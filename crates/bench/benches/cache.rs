@@ -1,0 +1,46 @@
+//! Microbenchmarks of the cache substrate: tag lookups, fills with LRU
+//! eviction, and MSHR allocate/complete cycles.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use melreq_cache::{CacheArray, CacheConfig, MshrFile};
+
+fn bench_hits(c: &mut Criterion) {
+    let mut cache = CacheArray::new(CacheConfig::l1d_paper());
+    for i in 0..512u64 {
+        cache.fill(i * 64, false);
+    }
+    c.bench_function("cache/l1d_hit", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 512;
+            black_box(cache.access(black_box(i * 64), false))
+        })
+    });
+}
+
+fn bench_fill_evict(c: &mut Criterion) {
+    c.bench_function("cache/l2_fill_with_eviction", |b| {
+        let mut cache = CacheArray::new(CacheConfig::l2_paper());
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr += 64;
+            black_box(cache.fill(black_box(addr), addr.is_multiple_of(3)))
+        })
+    });
+}
+
+fn bench_mshr(c: &mut Criterion) {
+    c.bench_function("cache/mshr_allocate_complete", |b| {
+        let mut mshr: MshrFile<u32> = MshrFile::new(32);
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr += 64;
+            mshr.allocate(addr, 1);
+            mshr.allocate(addr + 16, 2); // merge
+            black_box(mshr.complete(addr))
+        })
+    });
+}
+
+criterion_group!(benches, bench_hits, bench_fill_evict, bench_mshr);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Microbenchmarks of the DDR2 model: address decoding, bank state
+//! transitions and whole-channel transaction issue. These bound the
+//! per-transaction cost of the simulator's memory side.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use melreq_dram::{DramGeometry, DramSystem};
+use melreq_stats::types::AccessKind;
+
+fn bench_decode(c: &mut Criterion) {
+    let g = DramGeometry::paper();
+    c.bench_function("dram/decode", |b| {
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr = addr.wrapping_add(0x4373).wrapping_mul(0x9E3779B97F4A7C15) & 0x00FF_FFFF_FFC0;
+            black_box(g.decode(black_box(addr)))
+        })
+    });
+}
+
+fn bench_issue_stream(c: &mut Criterion) {
+    c.bench_function("dram/issue_sequential_stream", |b| {
+        b.iter_batched(
+            DramSystem::paper,
+            |mut d| {
+                let mut now = 0;
+                for i in 0..256u64 {
+                    let loc = d.decode(i * 64);
+                    while !d.can_issue(&loc, now) {
+                        now += 1;
+                    }
+                    let s = d.issue(&loc, AccessKind::Read, now, false);
+                    black_box(s);
+                    now += 1;
+                }
+                d
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_issue_random(c: &mut Criterion) {
+    c.bench_function("dram/issue_random_banks", |b| {
+        b.iter_batched(
+            DramSystem::paper,
+            |mut d| {
+                let mut now = 0;
+                let mut addr = 0u64;
+                for _ in 0..256 {
+                    addr = addr.wrapping_add(0x12345).wrapping_mul(6364136223846793005) & 0x3FFF_FFC0;
+                    let loc = d.decode(addr);
+                    while !d.can_issue(&loc, now) {
+                        now += 1;
+                    }
+                    black_box(d.issue(&loc, AccessKind::Read, now, false));
+                    now += 1;
+                }
+                d
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_decode, bench_issue_stream, bench_issue_random);
+criterion_main!(benches);

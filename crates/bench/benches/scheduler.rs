@@ -1,0 +1,52 @@
+//! Microbenchmarks of the scheduling decision itself — the operation the
+//! paper argues must stay implementable in controller hardware. Measures
+//! the software-model cost of one `select` over a full candidate set for
+//! every policy, including ME-LREQ's table lookups and tie-breaking.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use melreq_memctrl::policy::{Candidate, PolicyKind};
+use melreq_memctrl::request::ReqId;
+use melreq_stats::types::CoreId;
+
+fn candidates(n: usize, cores: usize) -> Vec<Candidate> {
+    (0..n)
+        .map(|i| Candidate {
+            id: ReqId(i as u64),
+            core: CoreId((i % cores) as u16),
+            row_hit: i % 5 == 0,
+        })
+        .collect()
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let cores = 8;
+    let me: Vec<f64> = (0..cores).map(|i| 1.0 + i as f64 * 7.0).collect();
+    let pending: Vec<u32> = (0..cores).map(|i| 1 + (i as u32 * 3) % 17).collect();
+    let mut group = c.benchmark_group("scheduler/select_32_candidates");
+    for kind in PolicyKind::figure2_set() {
+        let cands = candidates(32, cores);
+        let mut policy = kind.build(&me, cores, 42);
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| black_box(policy.select(black_box(&cands), black_box(&pending))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_queue_sizes(c: &mut Criterion) {
+    let cores = 8;
+    let me: Vec<f64> = (0..cores).map(|i| 1.0 + i as f64 * 7.0).collect();
+    let pending: Vec<u32> = (0..cores).map(|i| 1 + i as u32).collect();
+    let mut group = c.benchmark_group("scheduler/me_lreq_by_queue_depth");
+    for n in [4usize, 16, 64] {
+        let cands = candidates(n, cores);
+        let mut policy = PolicyKind::MeLreq.build(&me, cores, 42);
+        group.bench_function(format!("{n}_candidates"), |b| {
+            b.iter(|| black_box(policy.select(black_box(&cands), black_box(&pending))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies, bench_queue_sizes);
+criterion_main!(benches);

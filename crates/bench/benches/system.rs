@@ -1,0 +1,67 @@
+//! End-to-end simulator throughput: simulated cycles and committed
+//! instructions per wall-clock second for representative configurations.
+//! This is the number that determines how long the figure harnesses take.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use melreq_core::SystemConfig;
+use melreq_core::System;
+use melreq_memctrl::policy::PolicyKind;
+use melreq_trace::InstrStream;
+use melreq_workloads::{app_by_code, SliceKind};
+
+fn build(cores: usize, codes: &str, policy: PolicyKind) -> System {
+    let cfg = SystemConfig::paper(cores, policy);
+    let streams: Vec<Box<dyn InstrStream + Send>> = codes
+        .chars()
+        .enumerate()
+        .map(|(i, ch)| {
+            Box::new(app_by_code(ch).build_stream(i, SliceKind::Evaluation(0)))
+                as Box<dyn InstrStream + Send>
+        })
+        .collect();
+    let me = vec![1.0; cores];
+    System::new(cfg, streams, &me)
+}
+
+fn bench_single_core(c: &mut Criterion) {
+    let mut group = c.benchmark_group("system/10k_cycles");
+    group.sample_size(10);
+    for (label, codes) in [("ilp_1core", "t"), ("mem_1core", "c")] {
+        group.bench_function(label, |b| {
+            b.iter_batched(
+                || build(1, codes, PolicyKind::HfRf),
+                |mut sys| {
+                    for _ in 0..10_000 {
+                        sys.tick();
+                    }
+                    black_box(sys.cores()[0].committed())
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_four_core(c: &mut Criterion) {
+    let mut group = c.benchmark_group("system/10k_cycles_4core");
+    group.sample_size(10);
+    for kind in [PolicyKind::HfRf, PolicyKind::MeLreq] {
+        group.bench_function(kind.name(), |b| {
+            b.iter_batched(
+                || build(4, "bcde", kind.clone()),
+                |mut sys| {
+                    for _ in 0..10_000 {
+                        sys.tick();
+                    }
+                    black_box(sys.now())
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_core, bench_four_core);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Regenerates **Figure 2** of the paper: SMT speedup of the five
+//! scheduling schemes (HF-RF, ME, RR, LREQ, ME-LREQ) on 2-, 4- and
+//! 8-core systems over all Table 3 workload mixes, plus the average
+//! improvement of each scheme over the HF-RF baseline.
+//!
+//! ```text
+//! cargo run -p melreq-bench --release --bin fig2 [-- --instructions N --cores 4 --kind mem]
+//! ```
+
+use melreq_bench::{geomean, parse_opts};
+use melreq_core::experiment::{run_grid, ExperimentOptions, ProfileCache};
+use melreq_core::report::{format_table, pct_over};
+use melreq_memctrl::policy::PolicyKind;
+use melreq_workloads::{mixes_for_cores, MixKind};
+
+fn main() {
+    let (opts, rest) = parse_opts(ExperimentOptions::default());
+    let mut core_counts = vec![2usize, 4, 8];
+    let mut kinds = vec![(MixKind::Mem, "MEM"), (MixKind::Mixed, "MIX")];
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--cores" => {
+                let n: usize = it.next().expect("--cores N").parse().expect("--cores N");
+                core_counts = vec![n];
+            }
+            "--kind" => match it.next().expect("--kind mem|mix").as_str() {
+                "mem" => kinds = vec![(MixKind::Mem, "MEM")],
+                "mix" => kinds = vec![(MixKind::Mixed, "MIX")],
+                k => panic!("unknown kind {k}"),
+            },
+            a => panic!("unknown flag {a}"),
+        }
+    }
+
+    let policies = PolicyKind::figure2_set();
+    let cache = ProfileCache::new();
+    println!(
+        "Figure 2 — SMT speedup by scheduling scheme ({} instructions/core, warm-up {})\n",
+        opts.instructions, opts.warmup
+    );
+    for (kind, kind_name) in &kinds {
+        for &cores in &core_counts {
+            let mixes = mixes_for_cores(cores, Some(*kind));
+            if mixes.is_empty() {
+                continue;
+            }
+            let results = run_grid(&mixes, &policies, &opts, &cache);
+            let mut rows = Vec::new();
+            let mut rel: Vec<Vec<f64>> = vec![Vec::new(); policies.len()];
+            for (i, m) in mixes.iter().enumerate() {
+                let base = results[i * policies.len()].smt_speedup;
+                let mut row = vec![m.name.to_string()];
+                for (j, _) in policies.iter().enumerate() {
+                    let r = &results[i * policies.len() + j];
+                    rel[j].push(r.smt_speedup / base);
+                    row.push(format!("{:.3}", r.smt_speedup));
+                }
+                rows.push(row);
+            }
+            let mut avg_row = vec!["avg vs HF-RF".to_string()];
+            for series in &rel {
+                avg_row.push(pct_over(geomean(series.iter().copied()), 1.0));
+            }
+            rows.push(avg_row);
+            let headers: Vec<&str> = std::iter::once("workload")
+                .chain(policies.iter().map(|p| p.name()))
+                .collect();
+            println!("-- {cores}-core {kind_name} workloads --");
+            println!("{}", format_table(&headers, &rows));
+        }
+    }
+    println!(
+        "Paper shape: ME-LREQ best, LREQ second; ME/RR near or below the HF-RF \
+         baseline; improvements grow with the number of cores."
+    );
+}

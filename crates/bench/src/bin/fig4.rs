@@ -1,0 +1,81 @@
+//! Regenerates **Figure 4** of the paper: memory read latency under the
+//! five schemes on the four-core MEM workloads.
+//!
+//! * Left plot — average read latency per workload and scheme.
+//! * Right plot (`--per-core`, also printed by default) — per-core read
+//!   latency for 4MEM-1 and 4MEM-5, exposing the starvation of the ME
+//!   fixed-priority scheme (one core's latency explodes) and ME-LREQ's
+//!   dynamic correction.
+//!
+//! ```text
+//! cargo run -p melreq-bench --release --bin fig4 [-- --instructions N]
+//! ```
+
+use melreq_bench::parse_opts;
+use melreq_core::experiment::{run_grid, ExperimentOptions, ProfileCache};
+use melreq_core::report::format_table;
+use melreq_memctrl::policy::PolicyKind;
+use melreq_workloads::{mixes_for_cores, MixKind};
+
+fn main() {
+    let (opts, _) = parse_opts(ExperimentOptions::default());
+    let policies = PolicyKind::figure2_set();
+    let cache = ProfileCache::new();
+    let mixes = mixes_for_cores(4, Some(MixKind::Mem));
+    let results = run_grid(&mixes, &policies, &opts, &cache);
+
+    println!(
+        "Figure 4 (left) — average memory read latency in CPU cycles, 4-core MEM \
+         workloads ({} instructions/core)\n",
+        opts.instructions
+    );
+    let mut rows = Vec::new();
+    let mut sums = vec![0.0; policies.len()];
+    for (i, m) in mixes.iter().enumerate() {
+        let mut row = vec![m.name.to_string()];
+        for (j, _) in policies.iter().enumerate() {
+            let lat = results[i * policies.len() + j].mean_read_latency;
+            sums[j] += lat;
+            row.push(format!("{lat:.0}"));
+        }
+        rows.push(row);
+    }
+    let mut avg = vec!["average".to_string()];
+    for s in &sums {
+        avg.push(format!("{:.0}", s / mixes.len() as f64));
+    }
+    rows.push(avg);
+    let headers: Vec<&str> = std::iter::once("workload")
+        .chain(policies.iter().map(|p| p.name()))
+        .collect();
+    println!("{}", format_table(&headers, &rows));
+
+    println!("\nFigure 4 (right) — per-core read latency, workloads 4MEM-1 and 4MEM-5\n");
+    for probe in ["4MEM-1", "4MEM-5"] {
+        let (i, m) = mixes
+            .iter()
+            .enumerate()
+            .find(|(_, m)| m.name == probe)
+            .expect("probe mix present");
+        let apps: Vec<&str> = m.apps().iter().map(|a| a.name).collect();
+        println!("{probe} ({}):", apps.join(", "));
+        let mut rows = Vec::new();
+        for (j, p) in policies.iter().enumerate() {
+            let r = &results[i * policies.len() + j];
+            let mut row = vec![p.name().to_string()];
+            row.extend(r.read_latency.iter().map(|l| format!("{l:.0}")));
+            let spread = r.read_latency.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+                / r.read_latency.iter().cloned().fold(f64::INFINITY, f64::min).max(1.0);
+            row.push(format!("{spread:.2}x"));
+            rows.push(row);
+        }
+        let mut headers = vec!["scheme"];
+        headers.extend(apps.iter().map(|a| &**a));
+        headers.push("max/min");
+        println!("{}\n", format_table(&headers, &rows));
+    }
+    println!(
+        "Paper shape: ME-LREQ attains the lowest average latency; ME shows the \
+         widest per-core spread (fixed priority starves its lowest-priority core)."
+    );
+}

@@ -1,0 +1,64 @@
+//! Regenerates **Table 2** of the paper: per-application class and memory
+//! efficiency, profiled on the single-core reference machine.
+//!
+//! With `--mixes`, also prints **Table 3** (the workload mixes verbatim).
+//!
+//! ```text
+//! cargo run -p melreq-bench --release --bin table2 [-- --profile N --mixes]
+//! ```
+
+use melreq_bench::parse_opts;
+use melreq_core::experiment::ExperimentOptions;
+use melreq_core::profile::profile_app;
+use melreq_core::report::format_table;
+use melreq_workloads::{all_mixes, spec2000, SliceKind};
+
+fn main() {
+    let (opts, rest) = parse_opts(ExperimentOptions::default());
+    println!(
+        "Table 2 — application class and memory efficiency (profiling slice, \
+         {} instructions, single core)\n",
+        opts.profile_instructions
+    );
+    let rows: Vec<Vec<String>> = spec2000()
+        .iter()
+        .map(|a| {
+            let p = profile_app(a, SliceKind::Profiling, opts.profile_instructions);
+            vec![
+                a.name.to_string(),
+                a.code.to_string(),
+                a.class.to_string(),
+                format!("{:.2}", p.ipc),
+                format!("{:.3}", p.bw_gbs),
+                format!("{:.3}", p.me),
+                format!("{:.0}", a.paper_me),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(
+            &["app", "code", "class", "IPC_1", "BW (GB/s)", "ME (measured)", "ME (paper)"],
+            &rows
+        )
+    );
+    println!(
+        "Absolute ME differs from the paper (different slice lengths and synthetic \
+         substitutes); the scheduling policies only consume the relative ordering."
+    );
+
+    if rest.iter().any(|a| a == "--mixes") {
+        println!("\nTable 3 — workload mixes\n");
+        let rows: Vec<Vec<String>> = all_mixes()
+            .iter()
+            .map(|m| {
+                vec![
+                    m.name.to_string(),
+                    m.codes.to_string(),
+                    m.apps().iter().map(|a| a.name).collect::<Vec<_>>().join(","),
+                ]
+            })
+            .collect();
+        println!("{}", format_table(&["mix", "codes", "applications"], &rows));
+    }
+}

@@ -1,0 +1,103 @@
+//! Shared harness code for the table/figure reproduction binaries.
+//!
+//! Each binary regenerates one artifact of the paper's evaluation:
+//!
+//! | binary   | paper artifact |
+//! |----------|----------------|
+//! | `table2` | Table 2 — application class + memory efficiency (add `--mixes` for Table 3) |
+//! | `fig2`   | Figure 2 — SMT speedup of HF-RF/ME/RR/LREQ/ME-LREQ on 2/4/8 cores |
+//! | `fig3`   | Figure 3 — fixed-priority straw-men (FIX-0123 / FIX-3210) vs ME |
+//! | `fig4`   | Figure 4 — average and per-core memory read latency |
+//! | `fig5`   | Figure 5 — unfairness of the five schemes |
+//! | `ablation` | design-choice studies (quantization, tie-breaks, drain thresholds) |
+//!
+//! All binaries accept `--instructions N`, `--warmup N`, `--profile N`
+//! and `--slice K` to trade fidelity for runtime (defaults keep each
+//! figure under a few minutes on a laptop; the paper's 100 M-instruction
+//! slices would take hours but change only absolute values, not the
+//! ordering — see EXPERIMENTS.md).
+
+use melreq_core::experiment::ExperimentOptions;
+
+/// Parse the common harness flags from `std::env::args`, starting from
+/// `defaults`. Unknown flags abort with a usage message.
+pub fn parse_opts(defaults: ExperimentOptions) -> (ExperimentOptions, Vec<String>) {
+    parse_opts_from(std::env::args().skip(1).collect(), defaults)
+}
+
+/// Testable core of [`parse_opts`]: returns the options plus any
+/// non-flag (positional / boolean) arguments for the binary to interpret.
+pub fn parse_opts_from(
+    args: Vec<String>,
+    mut opts: ExperimentOptions,
+) -> (ExperimentOptions, Vec<String>) {
+    let mut rest = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        let mut grab = |name: &str| -> u64 {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+                .parse()
+                .unwrap_or_else(|e| panic!("{name}: {e}"))
+        };
+        match a.as_str() {
+            "--instructions" => opts.instructions = grab("--instructions"),
+            "--warmup" => opts.warmup = grab("--warmup"),
+            "--profile" => opts.profile_instructions = grab("--profile"),
+            "--slice" => opts.eval_slice = grab("--slice") as u32,
+            _ => rest.push(a),
+        }
+    }
+    (opts, rest)
+}
+
+/// Geometric-mean helper for "average improvement" rows (ratios average
+/// multiplicatively).
+pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let (mut log_sum, mut n) = (0.0, 0u32);
+    for v in values {
+        assert!(v > 0.0, "geomean needs positive values");
+        log_sum += v.ln();
+        n += 1;
+    }
+    if n == 0 {
+        1.0
+    } else {
+        (log_sum / n as f64).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flags_and_passes_rest() {
+        let (o, rest) = parse_opts_from(
+            vec![
+                "--instructions".into(),
+                "5000".into(),
+                "--mixes".into(),
+                "--slice".into(),
+                "3".into(),
+            ],
+            ExperimentOptions::quick(),
+        );
+        assert_eq!(o.instructions, 5000);
+        assert_eq!(o.eval_slice, 3);
+        assert_eq!(rest, vec!["--mixes".to_string()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "--warmup requires a value")]
+    fn missing_value_panics() {
+        let _ = parse_opts_from(vec!["--warmup".into()], ExperimentOptions::quick());
+    }
+
+    #[test]
+    fn geomean_of_ratios() {
+        let g = geomean([2.0, 0.5]);
+        assert!((g - 1.0).abs() < 1e-12);
+        assert_eq!(geomean(std::iter::empty()), 1.0);
+    }
+}

@@ -1,0 +1,89 @@
+//! Cache geometry and latency configuration.
+
+use melreq_stats::types::{Cycle, CACHE_LINE_BYTES};
+
+/// Geometry + latency of one cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity.
+    pub ways: usize,
+    /// Line size in bytes (64 throughout the paper).
+    pub line_bytes: u64,
+    /// Hit latency in cycles.
+    pub hit_latency: Cycle,
+    /// MSHR entries (concurrent outstanding misses).
+    pub mshrs: usize,
+}
+
+impl CacheConfig {
+    /// Table 1 L1 instruction cache: 64 KB, 2-way, 1-cycle, 8 MSHRs.
+    pub fn l1i_paper() -> Self {
+        CacheConfig { size_bytes: 64 << 10, ways: 2, line_bytes: 64, hit_latency: 1, mshrs: 8 }
+    }
+
+    /// Table 1 L1 data cache: 64 KB, 2-way, 3-cycle, 32 MSHRs.
+    pub fn l1d_paper() -> Self {
+        CacheConfig { size_bytes: 64 << 10, ways: 2, line_bytes: 64, hit_latency: 3, mshrs: 32 }
+    }
+
+    /// Table 1 shared L2: 4 MB, 4-way, 15-cycle, 64 MSHRs.
+    pub fn l2_paper() -> Self {
+        CacheConfig { size_bytes: 4 << 20, ways: 4, line_bytes: 64, hit_latency: 15, mshrs: 64 }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        let lines = self.size_bytes / self.line_bytes;
+        let sets = lines as usize / self.ways;
+        debug_assert!(sets.is_power_of_two(), "set count must be a power of two");
+        sets
+    }
+
+    /// Validate invariants (power-of-two sets, non-zero sizes).
+    pub fn validate(&self) {
+        assert!(self.line_bytes == CACHE_LINE_BYTES, "only 64 B lines are modeled");
+        assert!(self.ways >= 1, "need at least one way");
+        assert!(self.size_bytes >= self.line_bytes * self.ways as u64, "cache too small");
+        assert!(
+            (self.size_bytes / self.line_bytes).is_multiple_of(self.ways as u64),
+            "capacity must divide into ways"
+        );
+        assert!(self.sets().is_power_of_two(), "set count must be a power of two");
+        assert!(self.mshrs >= 1, "need at least one MSHR");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configs_are_valid() {
+        for c in [CacheConfig::l1i_paper(), CacheConfig::l1d_paper(), CacheConfig::l2_paper()] {
+            c.validate();
+        }
+    }
+
+    #[test]
+    fn set_counts() {
+        assert_eq!(CacheConfig::l1d_paper().sets(), 512);
+        assert_eq!(CacheConfig::l2_paper().sets(), 16384);
+    }
+
+    #[test]
+    fn latencies_match_table_1() {
+        assert_eq!(CacheConfig::l1i_paper().hit_latency, 1);
+        assert_eq!(CacheConfig::l1d_paper().hit_latency, 3);
+        assert_eq!(CacheConfig::l2_paper().hit_latency, 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "64 B lines")]
+    fn rejects_other_line_sizes() {
+        let mut c = CacheConfig::l1d_paper();
+        c.line_bytes = 32;
+        c.validate();
+    }
+}

@@ -1,0 +1,270 @@
+//! Command implementations. Each command renders to a `String` so it can
+//! be tested without capturing stdout.
+
+use crate::parse::{Command, PolicySpec, USAGE};
+use melreq_core::experiment::{
+    run_mix, run_mix_custom, ExperimentOptions, MixResult, ProfileCache,
+};
+use melreq_core::profile::profile_app;
+use melreq_core::report::{format_table, pct_over};
+use melreq_core::SystemConfig;
+use melreq_memctrl::ext::{FairQueueing, StallTimeFair};
+use melreq_memctrl::policy::PolicyKind;
+use melreq_workloads::{mixes_for_cores, spec2000, Mix, MixKind, SliceKind};
+
+fn run_with_spec(
+    mix: &Mix,
+    spec: &PolicySpec,
+    opts: &ExperimentOptions,
+    cache: &ProfileCache,
+) -> MixResult {
+    match spec {
+        PolicySpec::Paper(kind) => run_mix(mix, kind, opts, cache),
+        PolicySpec::Fq => run_mix_custom(
+            mix,
+            "FQ",
+            |_me, cores, _seed| (Box::new(FairQueueing::new(cores)), true),
+            None,
+            opts,
+            cache,
+        ),
+        PolicySpec::Stf => run_mix_custom(
+            mix,
+            "STF",
+            |_me, cores, _seed| (Box::new(StallTimeFair::new(cores)), true),
+            None,
+            opts,
+            cache,
+        ),
+    }
+}
+
+fn cmd_profile(apps: &[String], opts: &ExperimentOptions) -> Result<String, String> {
+    let roster = spec2000();
+    let selected: Vec<_> = if apps.is_empty() {
+        roster
+    } else {
+        let wanted: Vec<&str> = apps.iter().map(|s| s.as_str()).collect();
+        let picked: Vec<_> =
+            roster.into_iter().filter(|a| wanted.contains(&a.name)).collect();
+        if picked.len() != wanted.len() {
+            return Err(format!(
+                "unknown application(s) in {wanted:?}; names are SPEC2000 benchmarks (swim, mcf, ...)"
+            ));
+        }
+        picked
+    };
+    let rows: Vec<Vec<String>> = selected
+        .iter()
+        .map(|a| {
+            let p = profile_app(a, SliceKind::Profiling, opts.profile_instructions);
+            vec![
+                a.name.to_string(),
+                a.class.to_string(),
+                format!("{:.2}", p.ipc),
+                format!("{:.3}", p.bw_gbs),
+                format!("{:.3}", p.me),
+            ]
+        })
+        .collect();
+    Ok(format_table(&["app", "class", "IPC_1", "BW (GB/s)", "ME"], &rows))
+}
+
+fn cmd_run(
+    mix_name: &str,
+    spec: &PolicySpec,
+    opts: &ExperimentOptions,
+) -> Result<String, String> {
+    let mix = try_mix(mix_name)?;
+    let cache = ProfileCache::new();
+    let r = run_with_spec(&mix, spec, opts, &cache);
+    let mut out = format!(
+        "{} under {}: SMT speedup {:.3}, unfairness {:.3}, mean read latency {:.0} cycles\n\n",
+        mix.name, r.policy, r.smt_speedup, r.unfairness, r.mean_read_latency
+    );
+    let rows: Vec<Vec<String>> = mix
+        .apps()
+        .iter()
+        .enumerate()
+        .map(|(i, a)| {
+            vec![
+                format!("core {i}"),
+                a.name.to_string(),
+                format!("{:.3}", r.me[i]),
+                format!("{:.3}", r.ipc_single[i]),
+                format!("{:.3}", r.ipc_multi[i]),
+                format!("{:.2}x", r.ipc_single[i] / r.ipc_multi[i].max(1e-9)),
+                format!("{:.0}", r.read_latency[i]),
+            ]
+        })
+        .collect();
+    out.push_str(&format_table(
+        &["core", "app", "ME", "IPC alone", "IPC shared", "slowdown", "read lat"],
+        &rows,
+    ));
+    if r.timed_out {
+        out.push_str("\nWARNING: run hit the cycle safety net before completing\n");
+    }
+    Ok(out)
+}
+
+fn cmd_compare(
+    mix_name: &str,
+    specs: &[PolicySpec],
+    opts: &ExperimentOptions,
+) -> Result<String, String> {
+    let mix = try_mix(mix_name)?;
+    let cache = ProfileCache::new();
+    let results: Vec<MixResult> =
+        specs.iter().map(|s| run_with_spec(&mix, s, opts, &cache)).collect();
+    let base = results[0].smt_speedup;
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.policy.to_string(),
+                format!("{:.3}", r.smt_speedup),
+                pct_over(r.smt_speedup, base),
+                format!("{:.0}", r.mean_read_latency),
+                format!("{:.3}", r.unfairness),
+            ]
+        })
+        .collect();
+    Ok(format!(
+        "{} ({}):\n\n{}",
+        mix.name,
+        mix.apps().iter().map(|a| a.name).collect::<Vec<_>>().join(", "),
+        format_table(
+            &["policy", "speedup", "vs first", "read lat", "unfairness"],
+            &rows
+        )
+    ))
+}
+
+fn cmd_sweep(
+    kind: &str,
+    specs: &[PolicySpec],
+    opts: &ExperimentOptions,
+) -> Result<String, String> {
+    let kinds: Vec<MixKind> = match kind {
+        "mem" => vec![MixKind::Mem],
+        "mix" => vec![MixKind::Mixed],
+        _ => vec![MixKind::Mem, MixKind::Mixed],
+    };
+    let cache = ProfileCache::new();
+    let mut out = String::new();
+    for k in kinds {
+        out.push_str(&format!("-- {k:?} workloads --\n"));
+        let mut rows = Vec::new();
+        for cores in [2usize, 4, 8] {
+            let mixes = mixes_for_cores(cores, Some(k));
+            let mut row = vec![format!("{cores}-core")];
+            // Geometric mean of per-mix ratios vs the first policy.
+            let mut base: Vec<f64> = Vec::new();
+            for (pi, spec) in specs.iter().enumerate() {
+                let mut log_sum = 0.0;
+                for (mi, mix) in mixes.iter().enumerate() {
+                    let r = run_with_spec(mix, spec, opts, &cache);
+                    if pi == 0 {
+                        base.push(r.smt_speedup);
+                    }
+                    log_sum += (r.smt_speedup / base[mi]).ln();
+                }
+                let g = (log_sum / mixes.len() as f64).exp();
+                row.push(pct_over(g, 1.0));
+            }
+            rows.push(row);
+        }
+        let headers: Vec<&str> =
+            std::iter::once("cores").chain(specs.iter().map(|s| s.name())).collect();
+        out.push_str(&format_table(&headers, &rows));
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+fn try_mix(name: &str) -> Result<Mix, String> {
+    melreq_workloads::all_mixes()
+        .into_iter()
+        .find(|m| m.name.eq_ignore_ascii_case(name))
+        .ok_or_else(|| {
+            format!("unknown workload '{name}'; names follow Table 3 (2MEM-1 … 8MIX-6)")
+        })
+}
+
+/// Execute a parsed command, returning its rendered output.
+pub fn run_command(cmd: &Command) -> Result<String, String> {
+    match cmd {
+        Command::Help => Ok(USAGE.to_string()),
+        Command::Config { cores } => {
+            Ok(SystemConfig::paper(*cores, PolicyKind::MeLreq).describe())
+        }
+        Command::Profile { apps, opts } => cmd_profile(apps, opts),
+        Command::Run { mix, policy, opts } => cmd_run(mix, policy, opts),
+        Command::Compare { mix, policies, opts } => cmd_compare(mix, policies, opts),
+        Command::Sweep { kind, policies, opts } => cmd_sweep(kind, policies, opts),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> ExperimentOptions {
+        ExperimentOptions::quick()
+    }
+
+    #[test]
+    fn config_renders() {
+        let s = run_command(&Command::Config { cores: 4 }).unwrap();
+        assert!(s.contains("4 x 4-issue"));
+        assert!(s.contains("ME-LREQ"));
+    }
+
+    #[test]
+    fn help_renders_usage() {
+        let s = run_command(&Command::Help).unwrap();
+        assert!(s.contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_mix_is_an_error() {
+        let e = cmd_run("9MEM-9", &PolicySpec::Paper(PolicyKind::HfRf), &quick());
+        assert!(e.is_err());
+        assert!(e.unwrap_err().contains("Table 3"));
+    }
+
+    #[test]
+    fn mix_lookup_is_case_insensitive() {
+        assert!(try_mix("2mem-1").is_ok());
+    }
+
+    #[test]
+    fn profile_rejects_unknown_apps() {
+        let e = cmd_profile(&["notanapp".to_string()], &quick());
+        assert!(e.is_err());
+    }
+
+    #[test]
+    fn profile_subset_renders_rows() {
+        let s = cmd_profile(&["eon".to_string()], &quick()).unwrap();
+        assert!(s.contains("eon"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3); // header + rule + one row
+    }
+
+    #[test]
+    fn run_and_compare_work_end_to_end() {
+        let s = cmd_run("2MEM-1", &PolicySpec::Paper(PolicyKind::MeLreq), &quick()).unwrap();
+        assert!(s.contains("wupwise"));
+        assert!(s.contains("SMT speedup"));
+        let s = cmd_compare(
+            "2MEM-1",
+            &[PolicySpec::Paper(PolicyKind::HfRf), PolicySpec::Fq],
+            &quick(),
+        )
+        .unwrap();
+        assert!(s.contains("FQ"));
+        assert!(s.contains("+0.0%")); // baseline row
+    }
+}

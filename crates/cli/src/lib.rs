@@ -1,0 +1,18 @@
+//! Command parsing and command implementations for the `melreq` CLI.
+//!
+//! The binary (`src/main.rs`) is a thin shell over this library so the
+//! parsing and the command logic are unit-testable.
+//!
+//! ```text
+//! melreq profile [--apps swim,mcf] [--instructions N]
+//! melreq run <MIX> [--policy me-lreq] [--instructions N] [--warmup N]
+//! melreq compare <MIX> [--policies hf-rf,rr,lreq,me,me-lreq,fq,stf]
+//! melreq sweep [--kind mem|mix] [--policies ...]
+//! melreq config [--cores N]
+//! ```
+
+pub mod commands;
+pub mod parse;
+
+pub use commands::run_command;
+pub use parse::{parse_args, Command, PolicySpec};

@@ -1,0 +1,14 @@
+//! The `melreq` command-line tool. See `melreq help`.
+
+use melreq_cli::{parse_args, run_command};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&args).and_then(|cmd| run_command(&cmd)) {
+        Ok(out) => println!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}

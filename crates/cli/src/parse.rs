@@ -1,0 +1,310 @@
+//! Argument parsing (hand-rolled — the workspace's only dependencies are
+//! the simulation crates plus rand/proptest/criterion).
+
+use melreq_core::experiment::ExperimentOptions;
+use melreq_memctrl::policy::PolicyKind;
+
+/// A policy selected on the command line: one of the paper's schemes or
+/// one of this repo's extensions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PolicySpec {
+    /// A scheme from the paper's evaluated set.
+    Paper(PolicyKind),
+    /// Start-time fair queueing (extension).
+    Fq,
+    /// Stall-time-fairness heuristic (extension).
+    Stf,
+}
+
+impl PolicySpec {
+    /// Parse a policy name as accepted by `--policy`/`--policies`.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        Ok(match s.to_ascii_lowercase().as_str() {
+            "fcfs" => PolicySpec::Paper(PolicyKind::Fcfs),
+            "fcfs-rf" => PolicySpec::Paper(PolicyKind::FcfsRf),
+            "hf-rf" | "hfrf" | "baseline" => PolicySpec::Paper(PolicyKind::HfRf),
+            "rr" | "round-robin" => PolicySpec::Paper(PolicyKind::RoundRobin),
+            "lreq" => PolicySpec::Paper(PolicyKind::Lreq),
+            "me" => PolicySpec::Paper(PolicyKind::Me),
+            "me-lreq" | "melreq" => PolicySpec::Paper(PolicyKind::MeLreq),
+            "me-lreq-on" | "online" => {
+                PolicySpec::Paper(PolicyKind::MeLreqOnline { epoch_cycles: 50_000 })
+            }
+            "fix-0123" => PolicySpec::Paper(PolicyKind::Fixed {
+                name: "FIX-0123",
+                order: vec![0, 1, 2, 3],
+            }),
+            "fix-3210" => PolicySpec::Paper(PolicyKind::Fixed {
+                name: "FIX-3210",
+                order: vec![3, 2, 1, 0],
+            }),
+            "fq" => PolicySpec::Fq,
+            "stf" => PolicySpec::Stf,
+            other => return Err(format!("unknown policy '{other}'")),
+        })
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PolicySpec::Paper(k) => k.name(),
+            PolicySpec::Fq => "FQ",
+            PolicySpec::Stf => "STF",
+        }
+    }
+}
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Profile applications (Table 2 style).
+    Profile {
+        /// Benchmark names; empty = all 26.
+        apps: Vec<String>,
+        /// Harness options.
+        opts: ExperimentOptions,
+    },
+    /// Run one mix under one policy, with per-core detail.
+    Run {
+        /// Table 3 mix name.
+        mix: String,
+        /// Scheduling policy.
+        policy: PolicySpec,
+        /// Harness options.
+        opts: ExperimentOptions,
+    },
+    /// Compare several policies on one mix.
+    Compare {
+        /// Table 3 mix name.
+        mix: String,
+        /// Policies, first is the baseline.
+        policies: Vec<PolicySpec>,
+        /// Harness options.
+        opts: ExperimentOptions,
+    },
+    /// Core-count scaling sweep (2/4/8) of average improvement.
+    Sweep {
+        /// "mem", "mix" or "all".
+        kind: String,
+        /// Policies, first is the baseline.
+        policies: Vec<PolicySpec>,
+        /// Harness options.
+        opts: ExperimentOptions,
+    },
+    /// Print the Table 1 machine configuration.
+    Config {
+        /// Core count to describe.
+        cores: usize,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+melreq — memory access scheduling simulator (ICPP'08 ME-LREQ reproduction)
+
+USAGE:
+  melreq profile [--apps a,b,...] [common options]
+  melreq run <MIX> [--policy NAME] [common options]
+  melreq compare <MIX> [--policies n1,n2,...] [common options]
+  melreq sweep [--kind mem|mix|all] [--policies n1,n2,...] [common options]
+  melreq config [--cores N]
+  melreq help
+
+POLICIES:
+  fcfs fcfs-rf hf-rf rr lreq me me-lreq me-lreq-on fix-0123 fix-3210 fq stf
+
+COMMON OPTIONS:
+  --instructions N   measured instructions per core   (default 150000)
+  --warmup N         warm-up instructions per core    (default 60000)
+  --profile N        profiling-run instructions       (default 60000)
+  --slice K          evaluation slice index           (default 0)
+";
+
+fn split_list(s: &str) -> Vec<String> {
+    s.split(',').map(|x| x.trim().to_string()).filter(|x| !x.is_empty()).collect()
+}
+
+/// Parse a full argument vector (without the program name).
+pub fn parse_args(args: &[String]) -> Result<Command, String> {
+    let mut it = args.iter().peekable();
+    let Some(cmd) = it.next() else {
+        return Ok(Command::Help);
+    };
+
+    // Collect the remaining flags generically first.
+    let mut opts = ExperimentOptions::default();
+    let mut positional: Vec<String> = Vec::new();
+    let mut apps: Vec<String> = Vec::new();
+    let mut policies: Vec<PolicySpec> = Vec::new();
+    let mut policy: Option<PolicySpec> = None;
+    let mut kind = "mem".to_string();
+    let mut cores = 4usize;
+
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} requires a value"))
+        };
+        match a.as_str() {
+            "--instructions" => {
+                opts.instructions =
+                    val("--instructions")?.parse().map_err(|e| format!("--instructions: {e}"))?
+            }
+            "--warmup" => {
+                opts.warmup = val("--warmup")?.parse().map_err(|e| format!("--warmup: {e}"))?
+            }
+            "--profile" => {
+                opts.profile_instructions =
+                    val("--profile")?.parse().map_err(|e| format!("--profile: {e}"))?
+            }
+            "--slice" => {
+                opts.eval_slice = val("--slice")?.parse().map_err(|e| format!("--slice: {e}"))?
+            }
+            "--apps" => apps = split_list(val("--apps")?),
+            "--policy" => policy = Some(PolicySpec::parse(val("--policy")?)?),
+            "--policies" => {
+                policies = split_list(val("--policies")?)
+                    .iter()
+                    .map(|s| PolicySpec::parse(s))
+                    .collect::<Result<_, _>>()?
+            }
+            "--kind" => kind = val("--kind")?.clone(),
+            "--cores" => {
+                cores = val("--cores")?.parse().map_err(|e| format!("--cores: {e}"))?
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag '{flag}'")),
+            pos => positional.push(pos.to_string()),
+        }
+    }
+
+    let default_policies = || -> Vec<PolicySpec> {
+        vec![
+            PolicySpec::Paper(PolicyKind::HfRf),
+            PolicySpec::Paper(PolicyKind::RoundRobin),
+            PolicySpec::Paper(PolicyKind::Lreq),
+            PolicySpec::Paper(PolicyKind::Me),
+            PolicySpec::Paper(PolicyKind::MeLreq),
+        ]
+    };
+
+    match cmd.as_str() {
+        "profile" => Ok(Command::Profile { apps, opts }),
+        "run" => {
+            let mix = positional
+                .first()
+                .ok_or("run needs a workload mix name (e.g. 4MEM-1)")?
+                .clone();
+            Ok(Command::Run {
+                mix,
+                policy: policy.unwrap_or(PolicySpec::Paper(PolicyKind::MeLreq)),
+                opts,
+            })
+        }
+        "compare" => {
+            let mix = positional
+                .first()
+                .ok_or("compare needs a workload mix name (e.g. 4MEM-1)")?
+                .clone();
+            let policies = if policies.is_empty() { default_policies() } else { policies };
+            Ok(Command::Compare { mix, policies, opts })
+        }
+        "sweep" => {
+            let policies = if policies.is_empty() { default_policies() } else { policies };
+            if !matches!(kind.as_str(), "mem" | "mix" | "all") {
+                return Err(format!("--kind must be mem, mix or all (got '{kind}')"));
+            }
+            Ok(Command::Sweep { kind, policies, opts })
+        }
+        "config" => Ok(Command::Config { cores }),
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        other => Err(format!("unknown command '{other}' (try `melreq help`)")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn empty_is_help() {
+        assert_eq!(parse_args(&[]).unwrap(), Command::Help);
+        assert_eq!(parse_args(&v(&["help"])).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn run_parses_mix_policy_and_options() {
+        let c = parse_args(&v(&[
+            "run", "4MEM-1", "--policy", "lreq", "--instructions", "5000",
+        ]))
+        .unwrap();
+        match c {
+            Command::Run { mix, policy, opts } => {
+                assert_eq!(mix, "4MEM-1");
+                assert_eq!(policy, PolicySpec::Paper(PolicyKind::Lreq));
+                assert_eq!(opts.instructions, 5000);
+            }
+            c => panic!("wrong command {c:?}"),
+        }
+    }
+
+    #[test]
+    fn compare_defaults_to_figure2_policies() {
+        let c = parse_args(&v(&["compare", "2MEM-1"])).unwrap();
+        match c {
+            Command::Compare { policies, .. } => {
+                assert_eq!(policies.len(), 5);
+                assert_eq!(policies[0].name(), "HF-RF");
+                assert_eq!(policies[4].name(), "ME-LREQ");
+            }
+            c => panic!("wrong command {c:?}"),
+        }
+    }
+
+    #[test]
+    fn policy_names_parse() {
+        for (s, name) in [
+            ("hf-rf", "HF-RF"),
+            ("me-lreq", "ME-LREQ"),
+            ("online", "ME-LREQ-ON"),
+            ("fq", "FQ"),
+            ("stf", "STF"),
+            ("fix-3210", "FIX-3210"),
+        ] {
+            assert_eq!(PolicySpec::parse(s).unwrap().name(), name);
+        }
+        assert!(PolicySpec::parse("nope").is_err());
+    }
+
+    #[test]
+    fn sweep_validates_kind() {
+        assert!(parse_args(&v(&["sweep", "--kind", "mem"])).is_ok());
+        assert!(parse_args(&v(&["sweep", "--kind", "bogus"])).is_err());
+    }
+
+    #[test]
+    fn missing_values_and_unknown_flags_error() {
+        assert!(parse_args(&v(&["run", "4MEM-1", "--policy"])).is_err());
+        assert!(parse_args(&v(&["run", "4MEM-1", "--frobnicate"])).is_err());
+        assert!(parse_args(&v(&["run"])).is_err());
+        assert!(parse_args(&v(&["bogus"])).is_err());
+    }
+
+    #[test]
+    fn policies_list_parses() {
+        let c = parse_args(&v(&["compare", "4MEM-2", "--policies", "hf-rf,fq,stf"])).unwrap();
+        match c {
+            Command::Compare { policies, .. } => {
+                assert_eq!(
+                    policies.iter().map(|p| p.name()).collect::<Vec<_>>(),
+                    vec!["HF-RF", "FQ", "STF"]
+                );
+            }
+            c => panic!("wrong command {c:?}"),
+        }
+    }
+}

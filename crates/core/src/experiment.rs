@@ -1,0 +1,334 @@
+//! The multiprogrammed evaluation harness (Figures 2–5).
+//!
+//! [`run_mix`] reproduces the paper's per-workload methodology:
+//!
+//! 1. profile each application alone (profiling slice) → `ME[i]`;
+//! 2. run each application alone on the *evaluation* slice →
+//!    `IPC_single[i]` (the SMT-speedup denominator);
+//! 3. run the mix on the multi-core machine under the policy until every
+//!    core commits its target instruction count (early finishers keep
+//!    running — "reload their applications and keep running");
+//! 4. report SMT speedup, unfairness and read latencies.
+//!
+//! [`ProfileCache`] memoizes steps 1–2 per application so sweeping 36
+//! mixes × 5 policies does not re-profile the same programs; the cache is
+//! `Sync` and shared across the worker threads of [`run_grid`].
+
+use crate::profile::{profile_app, AppProfile};
+use crate::system::System;
+use crate::SystemConfig;
+use melreq_memctrl::policy::PolicyKind;
+use melreq_stats::fairness::FairnessReport;
+use melreq_stats::types::Cycle;
+use melreq_trace::InstrStream;
+use melreq_workloads::{Mix, SliceKind};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Knobs of an experiment sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExperimentOptions {
+    /// Committed instructions per core in the multiprogrammed run (the
+    /// paper uses 100 M; the default here keeps CI runtimes sane — the
+    /// statistical workloads are stationary, so the policy ordering is
+    /// preserved; see EXPERIMENTS.md).
+    pub instructions: u64,
+    /// Warm-up instructions per core before the measured slice begins.
+    pub warmup: u64,
+    /// Committed instructions of each single-core profiling run.
+    pub profile_instructions: u64,
+    /// Which evaluation slice (seed family) the mix runs.
+    pub eval_slice: u32,
+    /// Safety net: abort a run after `instructions * max_cycles_factor`
+    /// cycles.
+    pub max_cycles_factor: u64,
+}
+
+impl Default for ExperimentOptions {
+    fn default() -> Self {
+        ExperimentOptions {
+            instructions: 150_000,
+            warmup: 60_000,
+            profile_instructions: 60_000,
+            eval_slice: 0,
+            max_cycles_factor: 4000,
+        }
+    }
+}
+
+impl ExperimentOptions {
+    /// Quick options for tests.
+    pub fn quick() -> Self {
+        ExperimentOptions {
+            instructions: 20_000,
+            warmup: 10_000,
+            profile_instructions: 10_000,
+            ..Default::default()
+        }
+    }
+
+    fn max_cycles(&self) -> Cycle {
+        self.instructions.saturating_mul(self.max_cycles_factor).max(1 << 22)
+    }
+}
+
+/// Memoized single-core profiles: `ME` (profiling slice) and
+/// `IPC_single` (evaluation slice) per application code.
+#[derive(Debug, Default)]
+pub struct ProfileCache {
+    me: Mutex<HashMap<char, AppProfile>>,
+    ipc_single: Mutex<HashMap<(char, u32), f64>>,
+}
+
+impl ProfileCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The profiling-slice profile of `code` (memoized).
+    pub fn profile(&self, mix: &Mix, core: usize, opts: &ExperimentOptions) -> AppProfile {
+        let app = &mix.apps()[core];
+        let mut g = self.me.lock().expect("profile cache poisoned");
+        g.entry(app.code)
+            .or_insert_with(|| profile_app(app, SliceKind::Profiling, opts.profile_instructions))
+            .clone()
+    }
+
+    /// Single-core IPC of `code` on the evaluation slice (memoized).
+    pub fn ipc_single(&self, mix: &Mix, core: usize, opts: &ExperimentOptions) -> f64 {
+        let app = &mix.apps()[core];
+        let key = (app.code, opts.eval_slice);
+        let mut g = self.ipc_single.lock().expect("profile cache poisoned");
+        *g.entry(key).or_insert_with(|| {
+            profile_app(app, SliceKind::Evaluation(opts.eval_slice), opts.instructions).ipc
+        })
+    }
+}
+
+/// The full result of one (mix, policy) run.
+#[derive(Debug, Clone)]
+pub struct MixResult {
+    /// The workload that ran.
+    pub mix: Mix,
+    /// Policy shorthand name ("HF-RF", "ME-LREQ", ...).
+    pub policy: &'static str,
+    /// SMT speedup (Σ IPC_multi/IPC_single — Figure 2's metric).
+    pub smt_speedup: f64,
+    /// Unfairness (max slowdown / min slowdown — Figure 5's metric).
+    pub unfairness: f64,
+    /// Per-core IPC in the multiprogrammed run.
+    pub ipc_multi: Vec<f64>,
+    /// Per-core single-core reference IPC.
+    pub ipc_single: Vec<f64>,
+    /// Per-core mean read latency in cycles (Figure 4 right).
+    pub read_latency: Vec<f64>,
+    /// Mean read latency over all cores (Figure 4 left).
+    pub mean_read_latency: f64,
+    /// Profiled ME values used to program the priority table.
+    pub me: Vec<f64>,
+    /// Whether the run aborted on the cycle safety net.
+    pub timed_out: bool,
+}
+
+/// Run one Table 3 mix under one of the paper's policies.
+pub fn run_mix(
+    mix: &Mix,
+    policy: &PolicyKind,
+    opts: &ExperimentOptions,
+    cache: &ProfileCache,
+) -> MixResult {
+    let policy = policy.clone();
+    run_mix_custom(
+        mix,
+        policy.name(),
+        |me, cores, seed| {
+            let cfg_policy = policy.clone();
+            let sys_policy = cfg_policy.build(me, cores, seed);
+            (sys_policy, cfg_policy.read_first())
+        },
+        Some(policy.clone()),
+        opts,
+        cache,
+    )
+}
+
+/// Run one mix under an arbitrary policy built by `factory` (receives the
+/// profiled ME values, core count and seed; returns the policy and its
+/// read-first setting). This is the harness entry point for extension
+/// policies such as [`melreq_memctrl::ext::FairQueueing`].
+///
+/// `kind` threads the original [`PolicyKind`] through when there is one,
+/// so `PolicyKind::MeLreqOnline`'s system-side estimator still engages.
+pub fn run_mix_custom(
+    mix: &Mix,
+    name: &'static str,
+    factory: impl Fn(&[f64], usize, u64) -> (Box<dyn melreq_memctrl::SchedulerPolicy>, bool),
+    kind: Option<PolicyKind>,
+    opts: &ExperimentOptions,
+    cache: &ProfileCache,
+) -> MixResult {
+    let cores = mix.cores();
+    let me: Vec<f64> = (0..cores).map(|i| cache.profile(mix, i, opts).me).collect();
+    let ipc_single: Vec<f64> = (0..cores).map(|i| cache.ipc_single(mix, i, opts)).collect();
+
+    let streams: Vec<Box<dyn InstrStream + Send>> = mix
+        .apps()
+        .iter()
+        .enumerate()
+        .map(|(i, a)| {
+            Box::new(a.build_stream(i, SliceKind::Evaluation(opts.eval_slice)))
+                as Box<dyn InstrStream + Send>
+        })
+        .collect();
+    let mut sys = match kind {
+        // Paper policies go through System::new so policy-coupled system
+        // behaviour (the online ME estimator) stays wired up.
+        Some(k) => {
+            let cfg = SystemConfig::paper(cores, k);
+            System::new(cfg, streams, &me)
+        }
+        None => {
+            let cfg = SystemConfig::paper(cores, PolicyKind::HfRf);
+            let (policy, read_first) = factory(&me, cores, cfg.seed);
+            System::with_policy(cfg, streams, policy, read_first)
+        }
+    };
+    let out = sys.run_measured(opts.warmup, opts.instructions, opts.max_cycles());
+
+    let fairness = FairnessReport::compute(&out.ipc, &ipc_single);
+    MixResult {
+        mix: *mix,
+        policy: name,
+        smt_speedup: fairness.smt_speedup,
+        unfairness: fairness.unfairness,
+        ipc_multi: out.ipc,
+        ipc_single,
+        read_latency: out.read_latency,
+        mean_read_latency: out.mean_read_latency,
+        me,
+        timed_out: out.timed_out,
+    }
+}
+
+/// Results of one mix across several policies, with the first policy
+/// treated as the baseline.
+#[derive(Debug, Clone)]
+pub struct PolicyComparison {
+    /// One result per policy, in input order.
+    pub results: Vec<MixResult>,
+}
+
+impl PolicyComparison {
+    /// Speedup of policy `i` over the baseline (policy 0), as a ratio.
+    pub fn speedup_over_baseline(&self, i: usize) -> f64 {
+        self.results[i].smt_speedup / self.results[0].smt_speedup
+    }
+}
+
+/// Run one mix under every policy in `policies` (policy 0 = baseline).
+pub fn compare_policies(
+    mix: &Mix,
+    policies: &[PolicyKind],
+    opts: &ExperimentOptions,
+    cache: &ProfileCache,
+) -> PolicyComparison {
+    PolicyComparison {
+        results: policies.iter().map(|p| run_mix(mix, p, opts, cache)).collect(),
+    }
+}
+
+/// Run the full (mix × policy) grid in parallel across OS threads,
+/// returning results in `(mix-major, policy-minor)` order.
+pub fn run_grid(
+    mixes: &[Mix],
+    policies: &[PolicyKind],
+    opts: &ExperimentOptions,
+    cache: &ProfileCache,
+) -> Vec<MixResult> {
+    let jobs: Vec<(usize, &Mix, &PolicyKind)> = mixes
+        .iter()
+        .flat_map(|m| policies.iter().map(move |p| (m, p)))
+        .enumerate()
+        .map(|(i, (m, p))| (i, m, p))
+        .collect();
+    let n = jobs.len();
+    let slots: Vec<Mutex<Option<MixResult>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(n.max(1));
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let (slot, mix, policy) = jobs[i];
+                let r = run_mix(mix, policy, opts, cache);
+                *slots[slot].lock().expect("result slot poisoned") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("slot poisoned").expect("job not run"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use melreq_workloads::mix_by_name;
+
+    #[test]
+    fn run_mix_produces_consistent_result() {
+        let cache = ProfileCache::new();
+        let opts = ExperimentOptions::quick();
+        let mix = mix_by_name("2MEM-1");
+        let r = run_mix(&mix, &PolicyKind::HfRf, &opts, &cache);
+        assert!(!r.timed_out);
+        assert_eq!(r.ipc_multi.len(), 2);
+        assert!(r.smt_speedup > 0.5 && r.smt_speedup <= 2.0 + 1e-9, "speedup {}", r.smt_speedup);
+        assert!(r.unfairness >= 1.0);
+        assert!(r.mean_read_latency > 100.0, "latency {}", r.mean_read_latency);
+    }
+
+    #[test]
+    fn cache_avoids_reprofiling() {
+        let cache = ProfileCache::new();
+        let opts = ExperimentOptions::quick();
+        let mix = mix_by_name("2MEM-1");
+        let a = cache.profile(&mix, 0, &opts);
+        let b = cache.profile(&mix, 0, &opts);
+        assert_eq!(a.me, b.me);
+    }
+
+    #[test]
+    fn compare_policies_baseline_ratio_is_one() {
+        let cache = ProfileCache::new();
+        let opts = ExperimentOptions::quick();
+        let mix = mix_by_name("2MEM-4");
+        let cmp =
+            compare_policies(&mix, &[PolicyKind::HfRf, PolicyKind::Lreq], &opts, &cache);
+        assert!((cmp.speedup_over_baseline(0) - 1.0).abs() < 1e-12);
+        assert!(cmp.speedup_over_baseline(1) > 0.5);
+    }
+
+    #[test]
+    fn grid_matches_serial_order() {
+        let cache = ProfileCache::new();
+        let opts = ExperimentOptions::quick();
+        let mixes = [mix_by_name("2MEM-1"), mix_by_name("2MEM-2")];
+        let policies = [PolicyKind::HfRf, PolicyKind::MeLreq];
+        let grid = run_grid(&mixes, &policies, &opts, &cache);
+        assert_eq!(grid.len(), 4);
+        assert_eq!(grid[0].mix.name, "2MEM-1");
+        assert_eq!(grid[0].policy, "HF-RF");
+        assert_eq!(grid[1].policy, "ME-LREQ");
+        assert_eq!(grid[2].mix.name, "2MEM-2");
+        // Parallel result equals a serial re-run (determinism end-to-end).
+        let serial = run_mix(&mixes[1], &policies[1], &opts, &cache);
+        assert_eq!(serial.smt_speedup, grid[3].smt_speedup);
+    }
+}

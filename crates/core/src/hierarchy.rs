@@ -1,0 +1,575 @@
+//! The two-level cache hierarchy bound to the memory controller.
+//!
+//! Implements [`CoreMemory`] for all cores at once: per-core L1I/L1D with
+//! MSHRs, a shared L2 with its own MSHRs, write-back propagation, and the
+//! transaction plumbing down to [`MemoryController`].
+//!
+//! # Transaction flows
+//!
+//! *Load / instruction fetch*: L1 lookup → hit (fixed latency) or MSHR
+//! allocation → L2 lookup after the L1 tag latency → L2 hit (fill L1 after
+//! the L2 latency) or L2 MSHR allocation → memory read. When DRAM data
+//! returns, the L2 is filled (possibly evicting a dirty victim → memory
+//! write), every waiting L1 is filled (possibly evicting a dirty victim →
+//! L2), and the stalled micro-ops resume.
+//!
+//! *Store*: write-allocate, write-back. A store that hits L1D dirties the
+//! line and retires; a miss allocates an MSHR and fetches the line like a
+//! load (the core does **not** wait — stores retire into the store path,
+//! per the paper's "write requests normally can be well handled by write
+//! buffers"). DRAM *write* traffic arises only from dirty evictions.
+//!
+//! # Simplifications (documented in DESIGN.md)
+//!
+//! * No back-invalidation on L2 eviction (programs are private per core;
+//!   no sharing exists, so this affects neither correctness nor the
+//!   scheduling comparison).
+//! * The L2→L1 return path costs one cycle on top of the DRAM data-ready
+//!   time; the controller's 15 ns fixed overhead models the round trip.
+
+use melreq_cache::{AllocOutcome, CacheArray, CacheConfig, MshrFile};
+use melreq_cpu::{CoreMemory, CoreToken, MemResponse};
+use melreq_memctrl::MemoryController;
+use melreq_stats::types::{line_addr, AccessKind, Addr, CoreId, Cycle};
+use melreq_stats::Counter;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Which L1 a transaction originated from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Origin {
+    Inst,
+    Data,
+}
+
+/// An L1-level waiter parked in an L1D/L1I MSHR.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum L1Waiter {
+    /// A load (or ifetch) whose core op must be resumed.
+    Token(CoreToken),
+    /// A write-allocate store: no token, but the line fills dirty.
+    Store,
+}
+
+/// An L2-level waiter: which core's L1 (and which one) wants the line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct L2Waiter {
+    core: CoreId,
+    origin: Origin,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EventKind {
+    /// The L1 tag check finished and missed: look up the L2.
+    L2Access { core: CoreId, line: Addr, origin: Origin },
+    /// Data for `line` is at the L2 boundary: fill the L1 and wake waiters.
+    L1Fill { core: CoreId, line: Addr, origin: Origin },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Event {
+    at: Cycle,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Hierarchy-level statistics (cache stats live in the arrays themselves).
+#[derive(Debug, Default, Clone)]
+pub struct HierarchyStats {
+    /// Loads that hit in L1D.
+    pub l1d_load_hits: Counter,
+    /// Demand reads sent to memory.
+    pub mem_reads: Counter,
+    /// Write-backs sent to memory.
+    pub mem_writes: Counter,
+    /// Stores rejected because the L1D MSHR file was full.
+    pub store_stalls: Counter,
+}
+
+/// The assembled hierarchy for `n` cores.
+#[derive(Debug)]
+pub struct Hierarchy {
+    l1i: Vec<CacheArray>,
+    l1i_mshr: Vec<MshrFile<L1Waiter>>,
+    l1d: Vec<CacheArray>,
+    l1d_mshr: Vec<MshrFile<L1Waiter>>,
+    l2: CacheArray,
+    l2_mshr: MshrFile<L2Waiter>,
+    ctrl: MemoryController,
+    events: BinaryHeap<Reverse<Event>>,
+    event_seq: u64,
+    /// Lines that missed L2 but could not enter the controller yet.
+    pending_mem: VecDeque<(CoreId, Addr)>,
+    /// Dirty L2 victims waiting for controller space.
+    pending_wb: VecDeque<(CoreId, Addr)>,
+    /// Completions to deliver to cores (drained by the system loop).
+    finished: Vec<(CoreId, CoreToken)>,
+    stats: HierarchyStats,
+}
+
+impl Hierarchy {
+    /// Build the hierarchy for `cores` cores over `ctrl`.
+    pub fn new(
+        cores: usize,
+        l1i_cfg: CacheConfig,
+        l1d_cfg: CacheConfig,
+        l2_cfg: CacheConfig,
+        ctrl: MemoryController,
+    ) -> Self {
+        assert!(cores >= 1, "need at least one core");
+        Hierarchy {
+            l1i: (0..cores).map(|_| CacheArray::new(l1i_cfg)).collect(),
+            l1i_mshr: (0..cores).map(|_| MshrFile::new(l1i_cfg.mshrs)).collect(),
+            l1d: (0..cores).map(|_| CacheArray::new(l1d_cfg)).collect(),
+            l1d_mshr: (0..cores).map(|_| MshrFile::new(l1d_cfg.mshrs)).collect(),
+            l2: CacheArray::new(l2_cfg),
+            l2_mshr: MshrFile::new(l2_cfg.mshrs),
+            ctrl,
+            events: BinaryHeap::new(),
+            event_seq: 0,
+            pending_mem: VecDeque::new(),
+            pending_wb: VecDeque::new(),
+            finished: Vec::new(),
+            stats: HierarchyStats::default(),
+        }
+    }
+
+    /// The memory controller (policy stats, DRAM stats).
+    pub fn controller(&self) -> &MemoryController {
+        &self.ctrl
+    }
+
+    /// Hierarchy statistics.
+    pub fn stats(&self) -> &HierarchyStats {
+        &self.stats
+    }
+
+    /// Clear measurement statistics after warm-up (controller latency and
+    /// byte counters; cache arrays keep their contents — that is the
+    /// point of warming up).
+    pub fn reset_stats(&mut self) {
+        self.ctrl.reset_stats();
+        self.stats = HierarchyStats::default();
+    }
+
+    /// Forward fresh memory-efficiency estimates to the scheduling
+    /// policy (the online-profiling hook).
+    pub fn update_profile(&mut self, me: &[f64]) {
+        self.ctrl.update_profile(me);
+    }
+
+    /// L1D array of one core (hit rates in reports/tests).
+    pub fn l1d(&self, core: CoreId) -> &CacheArray {
+        &self.l1d[core.index()]
+    }
+
+    /// The shared L2 array.
+    pub fn l2(&self) -> &CacheArray {
+        &self.l2
+    }
+
+    /// Functionally pre-warm one core's caches from its program's address
+    /// regions — the stand-in for the architectural-checkpoint warm-up of
+    /// SimPoint methodology. Code fills the L1I (and L2); data fills the
+    /// L1D when it fits there, else the L2 up to an even per-core quota.
+    /// Working sets beyond the quota stream from DRAM regardless, so
+    /// nothing useful can be pre-loaded for them beyond the most recent
+    /// lines.
+    pub fn prewarm(&mut self, core: CoreId, hints: &melreq_trace::WarmHints) {
+        let c = core.index();
+        let line = 64u64;
+        // Code: footprints are small (≤ 64 KB) — fill L1I and L2.
+        let code_lines = (hints.code_len / line).min(self.l1i[c].config().size_bytes / line);
+        for i in 0..code_lines {
+            let addr = hints.code_base + i * line;
+            self.l1i[c].fill(addr, false);
+            self.l2.fill(addr, false);
+        }
+        // Data. A quarter of the pre-warmed lines are installed dirty:
+        // a long-running program's cached data is a mix of clean and
+        // modified lines (~ the store share of its accesses), and without
+        // this the short measured slices would never age dirty lines out
+        // of the 4 MB L2 — DRAM write traffic (and the write-drain
+        // machinery) would be unrealistically absent.
+        let dirty = |i: u64| i.is_multiple_of(4);
+        let l1d_cap = self.l1d[c].config().size_bytes;
+        let l2_quota = self.l2.config().size_bytes / self.l1d.len() as u64;
+        if hints.data_len <= l1d_cap {
+            for i in 0..hints.data_len / line {
+                let addr = hints.data_base + i * line;
+                self.l1d[c].fill(addr, dirty(i));
+                self.l2.fill(addr, false);
+            }
+        } else {
+            let lines = hints.data_len.min(l2_quota) / line;
+            for i in 0..lines {
+                self.l2.fill(hints.data_base + i * line, dirty(i));
+            }
+        }
+    }
+
+    fn schedule(&mut self, at: Cycle, kind: EventKind) {
+        self.event_seq += 1;
+        self.events.push(Reverse(Event { at, seq: self.event_seq, kind }));
+    }
+
+    /// Advance the hierarchy to `now` and return the core completions that
+    /// became ready.
+    pub fn advance(&mut self, now: Cycle) -> Vec<(CoreId, CoreToken)> {
+        // 1. Retry memory submissions stalled on a full controller buffer.
+        while let Some(&(core, line)) = self.pending_wb.front() {
+            if !self.ctrl.can_accept() {
+                break;
+            }
+            self.ctrl.submit(core, line, AccessKind::Write, now);
+            self.stats.mem_writes.inc();
+            self.pending_wb.pop_front();
+        }
+        while let Some(&(core, line)) = self.pending_mem.front() {
+            if !self.ctrl.can_accept() {
+                break;
+            }
+            self.ctrl.submit(core, line, AccessKind::Read, now);
+            self.stats.mem_reads.inc();
+            self.pending_mem.pop_front();
+        }
+
+        // 2. Process due hierarchy events.
+        while let Some(&Reverse(ev)) = self.events.peek() {
+            if ev.at > now {
+                break;
+            }
+            let Reverse(ev) = self.events.pop().expect("peeked");
+            match ev.kind {
+                EventKind::L2Access { core, line, origin } => {
+                    self.do_l2_access(core, line, origin, now)
+                }
+                EventKind::L1Fill { core, line, origin } => {
+                    self.do_l1_fill(core, line, origin, now)
+                }
+            }
+        }
+
+        // 3. Let the controller schedule DRAM transactions.
+        self.ctrl.tick(now);
+
+        // 4. Drain DRAM read completions: fill the L2 and fan out L1 fills.
+        while let Some((_, core, addr)) = self.ctrl.pop_completed(now) {
+            let line = line_addr(addr);
+            if let Some(victim) = self.l2.fill(line, false) {
+                if victim.dirty {
+                    // Attribute the write-back to the core whose fill
+                    // displaced the victim.
+                    self.pending_wb.push_back((core, victim.line_addr));
+                }
+            }
+            for w in self.l2_mshr.complete(line) {
+                self.schedule(
+                    now + 1,
+                    EventKind::L1Fill { core: w.core, line, origin: w.origin },
+                );
+            }
+        }
+
+        std::mem::take(&mut self.finished)
+    }
+
+    fn do_l2_access(&mut self, core: CoreId, line: Addr, origin: Origin, now: Cycle) {
+        if self.l2.access(line, false) {
+            // L2 hit: data at the L1 boundary after the L2 latency.
+            let at = now + self.l2.config().hit_latency;
+            self.schedule(at, EventKind::L1Fill { core, line, origin });
+            return;
+        }
+        match self.l2_mshr.allocate(line, L2Waiter { core, origin }) {
+            AllocOutcome::Primary => {
+                if self.ctrl.can_accept() {
+                    self.ctrl.submit(core, line, AccessKind::Read, now);
+                    self.stats.mem_reads.inc();
+                } else {
+                    self.pending_mem.push_back((core, line));
+                }
+            }
+            AllocOutcome::Merged => {}
+            AllocOutcome::Full => {
+                // Structural stall at the L2: retry next cycle.
+                self.schedule(now + 1, EventKind::L2Access { core, line, origin });
+            }
+        }
+    }
+
+    fn do_l1_fill(&mut self, core: CoreId, line: Addr, origin: Origin, _now: Cycle) {
+        let c = core.index();
+        let (l1, mshr) = match origin {
+            Origin::Inst => (&mut self.l1i[c], &mut self.l1i_mshr[c]),
+            Origin::Data => (&mut self.l1d[c], &mut self.l1d_mshr[c]),
+        };
+        let waiters = mshr.complete(line);
+        let fill_dirty = waiters.iter().any(|w| matches!(w, L1Waiter::Store));
+        if let Some(victim) = l1.fill(line, fill_dirty) {
+            if victim.dirty {
+                // L1 dirty victim retires into the L2 (full line, no
+                // memory fetch needed); may push an L2 victim to memory.
+                if let Some(l2_victim) = self.l2.fill(victim.line_addr, true) {
+                    if l2_victim.dirty {
+                        self.pending_wb.push_back((core, l2_victim.line_addr));
+                    }
+                }
+            }
+        }
+        for w in waiters {
+            if let L1Waiter::Token(tok) = w {
+                self.finished.push((core, tok));
+            }
+        }
+    }
+
+    fn l1_request(
+        &mut self,
+        core: CoreId,
+        token: CoreToken,
+        addr: Addr,
+        origin: Origin,
+        now: Cycle,
+    ) -> MemResponse {
+        let c = core.index();
+        let (l1, mshr) = match origin {
+            Origin::Inst => (&mut self.l1i[c], &mut self.l1i_mshr[c]),
+            Origin::Data => (&mut self.l1d[c], &mut self.l1d_mshr[c]),
+        };
+        let hit_latency = l1.config().hit_latency;
+        if l1.access(addr, false) {
+            if origin == Origin::Data {
+                self.stats.l1d_load_hits.inc();
+            }
+            return MemResponse::HitAt(now + hit_latency);
+        }
+        match mshr.allocate(addr, L1Waiter::Token(token)) {
+            AllocOutcome::Primary => {
+                let line = line_addr(addr);
+                self.schedule(now + hit_latency, EventKind::L2Access { core, line, origin });
+                MemResponse::Pending
+            }
+            AllocOutcome::Merged => MemResponse::Pending,
+            AllocOutcome::Full => MemResponse::Blocked,
+        }
+    }
+}
+
+impl CoreMemory for Hierarchy {
+    fn load(&mut self, core: CoreId, token: CoreToken, addr: Addr, now: Cycle) -> MemResponse {
+        self.l1_request(core, token, addr, Origin::Data, now)
+    }
+
+    fn ifetch(&mut self, core: CoreId, token: CoreToken, addr: Addr, now: Cycle) -> MemResponse {
+        self.l1_request(core, token, addr, Origin::Inst, now)
+    }
+
+    fn store(&mut self, core: CoreId, addr: Addr, now: Cycle) -> bool {
+        let c = core.index();
+        if self.l1d[c].access(addr, true) {
+            return true;
+        }
+        // Write-allocate: fetch the line; the store retires immediately.
+        match self.l1d_mshr[c].allocate(addr, L1Waiter::Store) {
+            AllocOutcome::Primary => {
+                let line = line_addr(addr);
+                let lat = self.l1d[c].config().hit_latency;
+                self.schedule(now + lat, EventKind::L2Access { core, line, origin: Origin::Data });
+                true
+            }
+            AllocOutcome::Merged => true,
+            AllocOutcome::Full => {
+                self.stats.store_stalls.inc();
+                false
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use melreq_dram::DramSystem;
+    use melreq_memctrl::controller::ControllerConfig;
+    use melreq_memctrl::policy::PolicyKind;
+
+    fn hierarchy(cores: usize) -> Hierarchy {
+        let me = vec![1.0; cores];
+        let ctrl = MemoryController::new(
+            ControllerConfig::paper(),
+            DramSystem::paper(),
+            PolicyKind::HfRf.build(&me, cores, 1),
+            true,
+            cores,
+        );
+        Hierarchy::new(
+            cores,
+            CacheConfig::l1i_paper(),
+            CacheConfig::l1d_paper(),
+            CacheConfig::l2_paper(),
+            ctrl,
+        )
+    }
+
+    /// Drive the hierarchy until the given token completes; returns the
+    /// completion cycle.
+    fn run_until(h: &mut Hierarchy, core: CoreId, token: CoreToken, limit: Cycle) -> Cycle {
+        for now in 0..limit {
+            for (c, t) in h.advance(now) {
+                if c == core && t == token {
+                    return now;
+                }
+            }
+        }
+        panic!("token never completed within {limit} cycles");
+    }
+
+    #[test]
+    fn cold_load_misses_to_memory_and_returns() {
+        let mut h = hierarchy(1);
+        let tok = CoreToken::Load(0);
+        assert_eq!(h.load(CoreId(0), tok, 0x100040, 0), MemResponse::Pending);
+        let done = run_until(&mut h, CoreId(0), tok, 2000);
+        // L1 (3) + L2 lookup + controller overhead (48) + DRAM (96) + fill.
+        assert!(done > 140 && done < 250, "latency {done}");
+        assert_eq!(h.stats().mem_reads.get(), 1);
+    }
+
+    #[test]
+    fn second_access_hits_l1() {
+        let mut h = hierarchy(1);
+        let tok = CoreToken::Load(0);
+        h.load(CoreId(0), tok, 0x100040, 0);
+        let done = run_until(&mut h, CoreId(0), tok, 2000);
+        match h.load(CoreId(0), CoreToken::Load(1), 0x100040, done + 1) {
+            MemResponse::HitAt(at) => assert_eq!(at, done + 1 + 3),
+            r => panic!("expected L1 hit, got {r:?}"),
+        }
+        assert_eq!(h.stats().mem_reads.get(), 1);
+    }
+
+    #[test]
+    fn same_line_loads_merge_in_mshr() {
+        let mut h = hierarchy(1);
+        assert_eq!(h.load(CoreId(0), CoreToken::Load(0), 0x100000, 0), MemResponse::Pending);
+        assert_eq!(h.load(CoreId(0), CoreToken::Load(1), 0x100020, 0), MemResponse::Pending);
+        let mut got = Vec::new();
+        for now in 0..2000 {
+            got.extend(h.advance(now));
+            if got.len() == 2 {
+                break;
+            }
+        }
+        assert_eq!(got.len(), 2, "both merged loads must complete");
+        assert_eq!(h.stats().mem_reads.get(), 1, "one memory read for the merged pair");
+    }
+
+    #[test]
+    fn l1d_mshr_exhaustion_blocks() {
+        let mut h = hierarchy(1);
+        for i in 0..32 {
+            assert_eq!(
+                h.load(CoreId(0), CoreToken::Load(i), 0x100000 + i * 64, 0),
+                MemResponse::Pending
+            );
+        }
+        assert_eq!(
+            h.load(CoreId(0), CoreToken::Load(99), 0x200000, 0),
+            MemResponse::Blocked
+        );
+    }
+
+    #[test]
+    fn store_miss_allocates_and_fills_dirty() {
+        let mut h = hierarchy(1);
+        assert!(h.store(CoreId(0), 0x300000, 0));
+        // Run until the fill lands.
+        for now in 0..2000 {
+            h.advance(now);
+            if h.l1d(CoreId(0)).probe(0x300000) {
+                break;
+            }
+        }
+        assert!(h.l1d(CoreId(0)).probe(0x300000), "write-allocate must install the line");
+        // Dirty bit visible via invalidate (hierarchy test backdoor).
+    }
+
+    #[test]
+    fn store_hit_is_instant() {
+        let mut h = hierarchy(1);
+        let tok = CoreToken::Load(0);
+        h.load(CoreId(0), tok, 0x400000, 0);
+        let done = run_until(&mut h, CoreId(0), tok, 2000);
+        assert!(h.store(CoreId(0), 0x400000, done + 1));
+    }
+
+    #[test]
+    fn ifetch_uses_l1i() {
+        let mut h = hierarchy(1);
+        let tok = CoreToken::Fetch;
+        assert_eq!(h.ifetch(CoreId(0), tok, 0x500000, 0), MemResponse::Pending);
+        run_until(&mut h, CoreId(0), tok, 2000);
+        match h.ifetch(CoreId(0), CoreToken::Fetch, 0x500000, 1000) {
+            MemResponse::HitAt(at) => assert_eq!(at, 1001),
+            r => panic!("expected L1I hit, got {r:?}"),
+        }
+    }
+
+    #[test]
+    fn l2_hit_avoids_memory() {
+        let mut h = hierarchy(2);
+        // Core 0 brings the line into L2 (and its own L1).
+        let t0 = CoreToken::Load(0);
+        h.load(CoreId(0), t0, 0x600000, 0);
+        let done = run_until(&mut h, CoreId(0), t0, 2000);
+        let reads_before = h.stats().mem_reads.get();
+        // Core 1 misses L1 but hits the shared L2.
+        let t1 = CoreToken::Load(1);
+        assert_eq!(h.load(CoreId(1), t1, 0x600000, done + 1), MemResponse::Pending);
+        let done1 = run_until(&mut h, CoreId(1), t1, done + 200);
+        assert_eq!(h.stats().mem_reads.get(), reads_before, "L2 hit must not touch memory");
+        // L1 tag (3) + L2 hit (15) + fill ~1.
+        assert!(done1 - done < 40, "L2 hit latency too high: {}", done1 - done);
+    }
+
+    #[test]
+    fn dirty_evictions_generate_memory_writes() {
+        let mut h = hierarchy(1);
+        // Dirty many lines mapping beyond L1/L2 capacity to force dirty
+        // evictions all the way out. L2 is 4 MB/4-way: walk > 4 MB span
+        // with stores, then stream loads over it again.
+        let mut now = 0;
+        for i in 0..(6 << 20) / 64u64 {
+            let addr = 0x4000_0000 + i * 64;
+            while !h.store(CoreId(0), addr, now) {
+                h.advance(now);
+                now += 1;
+            }
+            if i % 8 == 0 {
+                h.advance(now);
+                now += 1;
+            }
+        }
+        for _ in 0..20_000 {
+            h.advance(now);
+            now += 1;
+        }
+        assert!(
+            h.stats().mem_writes.get() > 0,
+            "dirty L2 victims must become DRAM writes"
+        );
+    }
+}

@@ -1,0 +1,33 @@
+//! Full-system simulator for the ICPP'08 ME-LREQ study.
+//!
+//! This crate composes the substrates into the machine of Table 1 and
+//! drives the paper's experiments:
+//!
+//! * [`config::SystemConfig`] — every Table 1 parameter in one place;
+//! * [`hierarchy::Hierarchy`] — the two-level cache hierarchy
+//!   (per-core L1I/L1D, shared L2, MSHRs, write-backs) glued to the
+//!   memory controller, implementing the CPU crate's
+//!   [`melreq_cpu::CoreMemory`] port;
+//! * [`system::System`] — N cores + hierarchy + the global cycle loop,
+//!   with the paper's run-to-target-then-keep-running methodology;
+//! * [`profile`] — single-core profiling runs that measure each
+//!   application's memory efficiency (Equation 1), the off-line step that
+//!   fills the controller's priority tables;
+//! * [`experiment`] — the multiprogrammed evaluation harness: runs a
+//!   Table 3 mix under a policy and reports SMT speedup, per-core read
+//!   latency and unfairness (Figures 2–5);
+//! * [`report`] — plain-text table formatting shared by the bench
+//!   binaries.
+
+pub mod config;
+pub mod experiment;
+pub mod hierarchy;
+pub mod profile;
+pub mod report;
+pub mod system;
+
+pub use config::SystemConfig;
+pub use experiment::{run_mix, ExperimentOptions, MixResult, PolicyComparison};
+pub use hierarchy::Hierarchy;
+pub use profile::{profile_app, profile_mix_apps, AppProfile};
+pub use system::{RunOutcome, System};

@@ -1,0 +1,408 @@
+//! The assembled machine and its global cycle loop.
+
+use crate::config::SystemConfig;
+use crate::hierarchy::Hierarchy;
+use melreq_cpu::Core;
+use melreq_dram::DramSystem;
+use melreq_memctrl::MemoryController;
+use melreq_stats::types::{CoreId, Cycle};
+use melreq_trace::InstrStream;
+
+/// N cores + cache hierarchy + memory controller + DRAM, advanced in
+/// lock-step by a single CPU-cycle loop.
+pub struct System {
+    cfg: SystemConfig,
+    cores: Vec<Core>,
+    hier: Hierarchy,
+    now: Cycle,
+    online: Option<OnlineMe>,
+}
+
+/// State of the run-time memory-efficiency estimator backing
+/// [`melreq_memctrl::policy::PolicyKind::MeLreqOnline`] — the paper's
+/// future-work direction ("online methods that can dynamically predict
+/// the memory efficiency of a program").
+///
+/// Every `epoch` cycles the per-core deltas of committed instructions
+/// and DRAM bytes are turned into an ME sample (Equation 1 over the
+/// epoch) and folded into an exponentially weighted estimate that is
+/// written back into the controller's priority tables.
+#[derive(Debug)]
+struct OnlineMe {
+    epoch: Cycle,
+    next_at: Cycle,
+    prev_instr: Vec<u64>,
+    prev_bytes: Vec<u64>,
+    estimate: Vec<f64>,
+}
+
+impl OnlineMe {
+    /// EWMA weight of the newest epoch sample.
+    const ALPHA: f64 = 0.5;
+
+    fn new(epoch: Cycle, cores: usize) -> Self {
+        assert!(epoch > 0, "online epoch must be positive");
+        OnlineMe {
+            epoch,
+            next_at: epoch,
+            prev_instr: vec![0; cores],
+            prev_bytes: vec![0; cores],
+            estimate: vec![1.0; cores],
+        }
+    }
+}
+
+/// Results of a measured run (the paper's methodology: each core's
+/// statistics are taken over its first `target` committed instructions;
+/// cores keep executing until the *last* core reaches the target).
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Cycle at which the last core reached its target.
+    pub cycles: Cycle,
+    /// Per-core measured IPC (target instructions / cycles to reach them).
+    pub ipc: Vec<f64>,
+    /// Per-core mean memory read latency in cycles (Figure 4's metric).
+    pub read_latency: Vec<f64>,
+    /// Mean read latency over all cores.
+    pub mean_read_latency: f64,
+    /// Per-core bytes moved at the DRAM interface.
+    pub bytes_by_core: Vec<u64>,
+    /// Whether the run hit the safety cycle limit before all targets.
+    pub timed_out: bool,
+}
+
+impl RunOutcome {
+    /// Total DRAM bandwidth of the run in GB/s at `freq_hz`.
+    pub fn total_bandwidth_gbs(&self, freq_hz: f64) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        let bytes: u64 = self.bytes_by_core.iter().sum();
+        bytes as f64 * freq_hz / self.cycles as f64 / 1e9
+    }
+}
+
+impl System {
+    /// Build a system running one instruction stream per core.
+    ///
+    /// `me` carries the profiled memory-efficiency values that initialize
+    /// the controller's priority tables (ignored by ME-oblivious
+    /// policies, but always required so every policy sees an identically
+    /// configured machine).
+    pub fn new(
+        cfg: SystemConfig,
+        streams: Vec<Box<dyn InstrStream + Send>>,
+        me: &[f64],
+    ) -> Self {
+        cfg.validate();
+        assert_eq!(streams.len(), cfg.cores, "one stream per core");
+        assert_eq!(me.len(), cfg.cores, "one ME value per core");
+        let dram = DramSystem::new(cfg.geometry, cfg.timing);
+        let policy = cfg.policy.build(me, cfg.cores, cfg.seed);
+        let ctrl =
+            MemoryController::new(cfg.ctrl, dram, policy, cfg.policy.read_first(), cfg.cores);
+        let mut hier = Hierarchy::new(cfg.cores, cfg.l1i, cfg.l1d, cfg.l2, ctrl);
+        // Functional warm-up: pre-load each program's cacheable regions so
+        // short measured slices are not dominated by compulsory misses
+        // (SimPoint checkpoints carry warm architectural state likewise).
+        for (i, s) in streams.iter().enumerate() {
+            if let Some(h) = s.warm_hints() {
+                hier.prewarm(CoreId::from(i), &h);
+            }
+        }
+        let cores = streams
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| Core::new(CoreId::from(i), cfg.core, s))
+            .collect();
+        let online = match cfg.policy {
+            melreq_memctrl::policy::PolicyKind::MeLreqOnline { epoch_cycles } => {
+                Some(OnlineMe::new(epoch_cycles, cfg.cores))
+            }
+            _ => None,
+        };
+        System { cfg, cores, hier, now: 0, online }
+    }
+
+    /// Build a system with an externally constructed scheduling policy —
+    /// the extension point for policies beyond the paper's set (see
+    /// `examples/custom_scheduler.rs`). `cfg.policy` is ignored;
+    /// `read_first` chooses whether reads bypass writes.
+    pub fn with_policy(
+        cfg: SystemConfig,
+        streams: Vec<Box<dyn InstrStream + Send>>,
+        policy: Box<dyn melreq_memctrl::SchedulerPolicy>,
+        read_first: bool,
+    ) -> Self {
+        cfg.validate();
+        assert_eq!(streams.len(), cfg.cores, "one stream per core");
+        let dram = DramSystem::new(cfg.geometry, cfg.timing);
+        let ctrl = MemoryController::new(cfg.ctrl, dram, policy, read_first, cfg.cores);
+        let mut hier = Hierarchy::new(cfg.cores, cfg.l1i, cfg.l1d, cfg.l2, ctrl);
+        for (i, s) in streams.iter().enumerate() {
+            if let Some(h) = s.warm_hints() {
+                hier.prewarm(CoreId::from(i), &h);
+            }
+        }
+        let cores = streams
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| Core::new(CoreId::from(i), cfg.core, s))
+            .collect();
+        System { cfg, cores, hier, now: 0, online: None }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Current simulated cycle.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// The cores (statistics access).
+    pub fn cores(&self) -> &[Core] {
+        &self.cores
+    }
+
+    /// The memory hierarchy (cache/controller/DRAM statistics).
+    pub fn hierarchy(&self) -> &Hierarchy {
+        &self.hier
+    }
+
+    /// Advance the whole machine by one CPU cycle.
+    pub fn tick(&mut self) {
+        let now = self.now;
+        // Memory side first: deliver data that becomes ready this cycle...
+        for (core, token) in self.hier.advance(now) {
+            self.cores[core.index()].finish(token, now);
+        }
+        // ...then let every core commit/issue/dispatch.
+        for core in &mut self.cores {
+            core.tick(now, &mut self.hier);
+        }
+        self.now += 1;
+        if self.online.is_some() {
+            self.refresh_online_profile();
+        }
+    }
+
+    /// Epoch step of the online memory-efficiency estimator (the
+    /// `ME-LREQ-ON` policy). Measures each core's instructions and DRAM
+    /// bytes since the previous epoch, converts them to an Equation-1
+    /// sample, smooths it, and rewrites the priority tables.
+    fn refresh_online_profile(&mut self) {
+        let Some(st) = self.online.as_mut() else { return };
+        if self.now < st.next_at {
+            return;
+        }
+        st.next_at = self.now + st.epoch;
+        let bytes_now: Vec<u64> = self
+            .hier
+            .controller()
+            .stats()
+            .bytes_by_core
+            .iter()
+            .map(|c| c.get())
+            .collect();
+        let freq = self.cfg.freq_hz;
+        let epoch = st.epoch as f64;
+        for (i, core) in self.cores.iter().enumerate() {
+            let instr_now = core.committed();
+            // A statistics reset (end of warm-up) makes byte counters go
+            // backwards; resynchronize and skip this epoch's sample.
+            if bytes_now[i] < st.prev_bytes[i] {
+                st.prev_bytes[i] = bytes_now[i];
+                st.prev_instr[i] = instr_now;
+                continue;
+            }
+            let d_instr = instr_now - st.prev_instr[i];
+            let d_bytes = bytes_now[i] - st.prev_bytes[i];
+            st.prev_instr[i] = instr_now;
+            st.prev_bytes[i] = bytes_now[i];
+            let ipc = d_instr as f64 / epoch;
+            let gbps = d_bytes as f64 * freq / epoch / 1e9;
+            let sample = ipc / gbps.max(1e-3);
+            st.estimate[i] =
+                OnlineMe::ALPHA * sample + (1.0 - OnlineMe::ALPHA) * st.estimate[i];
+        }
+        self.hier.update_profile(&st.estimate);
+    }
+
+    /// Run until every core has committed `target` instructions (the
+    /// paper's run-until-last-core-finishes methodology; early finishers
+    /// keep running and keep generating memory traffic), or until
+    /// `max_cycles` as a safety net.
+    pub fn run_until_targets(&mut self, target: u64, max_cycles: Cycle) -> RunOutcome {
+        self.run_measured(0, target, max_cycles)
+    }
+
+    /// Like [`System::run_until_targets`] but with an explicit warm-up:
+    /// each core first commits `warmup` instructions with cold caches;
+    /// once *all* cores have passed warm-up, the memory-side statistics
+    /// reset and each core's measured slice of `target` instructions
+    /// begins. This substitutes for the implicit warm-up inside the
+    /// paper's 100 M-instruction SimPoint slices.
+    pub fn run_measured(&mut self, warmup: u64, target: u64, max_cycles: Cycle) -> RunOutcome {
+        assert!(self.now == 0, "measured runs must start from reset");
+        for core in &mut self.cores {
+            core.set_window(warmup, target);
+        }
+        let mut timed_out = false;
+        let mut stats_reset_at: Option<Cycle> = if warmup == 0 { Some(0) } else { None };
+        while self.cores.iter().any(|c| c.target_cycle().is_none()) {
+            if self.now >= max_cycles {
+                timed_out = true;
+                break;
+            }
+            self.tick();
+            if stats_reset_at.is_none()
+                && self.cores.iter().all(|c| c.window_start_cycle().is_some())
+            {
+                self.hier.reset_stats();
+                stats_reset_at = Some(self.now);
+            }
+        }
+        let measured_cycles = self.now.saturating_sub(stats_reset_at.unwrap_or(0)).max(1);
+        let ctrl_stats = self.hier.controller().stats();
+        let read_latency: Vec<f64> =
+            ctrl_stats.read_latency.iter().map(|t| t.mean_or_zero()).collect();
+        RunOutcome {
+            cycles: measured_cycles,
+            ipc: self.cores.iter().map(|c| c.measured_ipc()).collect(),
+            read_latency,
+            mean_read_latency: ctrl_stats.mean_read_latency(),
+            bytes_by_core: ctrl_stats.bytes_by_core.iter().map(|c| c.get()).collect(),
+            timed_out,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use melreq_memctrl::policy::PolicyKind;
+    use melreq_workloads::{app_by_code, SliceKind};
+
+    fn small_system(cores: usize, codes: &str, policy: PolicyKind) -> System {
+        let cfg = SystemConfig::paper(cores, policy);
+        let streams: Vec<Box<dyn InstrStream + Send>> = codes
+            .chars()
+            .enumerate()
+            .map(|(i, c)| {
+                Box::new(app_by_code(c).build_stream(i, SliceKind::Evaluation(0)))
+                    as Box<dyn InstrStream + Send>
+            })
+            .collect();
+        let me = vec![1.0; cores];
+        System::new(cfg, streams, &me)
+    }
+
+    #[test]
+    fn single_core_ilp_app_runs() {
+        let mut sys = small_system(1, "t", PolicyKind::HfRf); // eon
+        let out = sys.run_measured(20_000, 20_000, 20_000_000);
+        assert!(!out.timed_out, "eon must finish quickly");
+        assert!(out.ipc[0] > 1.0, "cache-resident app should have high IPC, got {}", out.ipc[0]);
+    }
+
+    #[test]
+    fn single_core_mem_app_is_memory_bound() {
+        let mut sys = small_system(1, "c", PolicyKind::HfRf); // swim
+        let out = sys.run_until_targets(20_000, 10_000_000);
+        assert!(!out.timed_out);
+        assert!(out.ipc[0] < 1.5, "streaming app should be memory-bound, got {}", out.ipc[0]);
+        assert!(out.bytes_by_core[0] > 0, "must touch DRAM");
+    }
+
+    #[test]
+    fn ilp_app_uses_less_bandwidth_than_mem_app() {
+        let mut ilp = small_system(1, "t", PolicyKind::HfRf);
+        let mut mem = small_system(1, "c", PolicyKind::HfRf);
+        let oi = ilp.run_measured(20_000, 20_000, 20_000_000);
+        let om = mem.run_measured(20_000, 20_000, 20_000_000);
+        let bi = oi.total_bandwidth_gbs(3.2e9);
+        let bm = om.total_bandwidth_gbs(3.2e9);
+        assert!(
+            bm > 5.0 * bi.max(1e-6),
+            "MEM app must out-demand ILP app: {bm} vs {bi} GB/s"
+        );
+    }
+
+    #[test]
+    fn two_core_run_interferes() {
+        let mut solo = small_system(1, "c", PolicyKind::HfRf);
+        let s = solo.run_until_targets(10_000, 10_000_000);
+        let mut duo = small_system(2, "ce", PolicyKind::HfRf); // swim + applu
+        let d = duo.run_until_targets(10_000, 20_000_000);
+        assert!(!d.timed_out);
+        assert!(
+            d.ipc[0] < s.ipc[0],
+            "sharing memory must slow swim: {} vs {}",
+            d.ipc[0],
+            s.ipc[0]
+        );
+    }
+
+    #[test]
+    fn deterministic_across_identical_runs() {
+        let mut a = small_system(2, "bc", PolicyKind::MeLreq);
+        let mut b = small_system(2, "bc", PolicyKind::MeLreq);
+        let oa = a.run_until_targets(5_000, 10_000_000);
+        let ob = b.run_until_targets(5_000, 10_000_000);
+        assert_eq!(oa.cycles, ob.cycles);
+        assert_eq!(oa.ipc, ob.ipc);
+    }
+
+    #[test]
+    fn online_me_lreq_runs_and_learns() {
+        // ME-LREQ-ON needs no offline profile: ME values passed to
+        // System::new are ignored by the online build, and the estimator
+        // refreshes the tables as the run progresses.
+        let cfg = SystemConfig::paper(2, PolicyKind::MeLreqOnline { epoch_cycles: 5_000 });
+        let streams: Vec<Box<dyn InstrStream + Send>> = "bc"
+            .chars()
+            .enumerate()
+            .map(|(i, c)| {
+                Box::new(app_by_code(c).build_stream(i, SliceKind::Evaluation(0)))
+                    as Box<dyn InstrStream + Send>
+            })
+            .collect();
+        let mut sys = System::new(cfg, streams, &[1.0, 1.0]);
+        let out = sys.run_measured(10_000, 20_000, 1 << 27);
+        assert!(!out.timed_out);
+        assert!(out.ipc.iter().all(|&i| i > 0.0));
+    }
+
+    #[test]
+    fn online_estimator_is_deterministic() {
+        let run = || {
+            let cfg =
+                SystemConfig::paper(2, PolicyKind::MeLreqOnline { epoch_cycles: 3_000 });
+            let streams: Vec<Box<dyn InstrStream + Send>> = "kc"
+                .chars()
+                .enumerate()
+                .map(|(i, c)| {
+                    Box::new(app_by_code(c).build_stream(i, SliceKind::Evaluation(0)))
+                        as Box<dyn InstrStream + Send>
+                })
+                .collect();
+            let mut sys = System::new(cfg, streams, &[1.0, 1.0]);
+            sys.run_measured(5_000, 10_000, 1 << 27)
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.ipc, b.ipc);
+        assert_eq!(a.cycles, b.cycles);
+    }
+
+    #[test]
+    #[should_panic(expected = "one stream per core")]
+    fn stream_count_must_match() {
+        let cfg = SystemConfig::paper(2, PolicyKind::HfRf);
+        let s = app_by_code('c').build_stream(0, SliceKind::Profiling);
+        let _ =
+            System::new(cfg, vec![Box::new(s) as Box<dyn InstrStream + Send>], &[1.0, 1.0]);
+    }
+}

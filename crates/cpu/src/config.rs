@@ -1,0 +1,88 @@
+//! Core structural parameters (Table 1).
+
+use melreq_stats::types::Cycle;
+
+/// Sizing of one out-of-order core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreConfig {
+    /// Fetch/dispatch/issue/commit width.
+    pub width: usize,
+    /// Reorder-buffer entries.
+    pub rob: usize,
+    /// Issue-queue entries (dispatched but not yet issued).
+    pub iq: usize,
+    /// Load-queue entries.
+    pub lq: usize,
+    /// Store-queue entries.
+    pub sq: usize,
+    /// Integer ALUs.
+    pub int_alu: usize,
+    /// Integer multipliers.
+    pub int_mult: usize,
+    /// FP ALUs.
+    pub fp_alu: usize,
+    /// FP multipliers.
+    pub fp_mult: usize,
+    /// Front-end refill penalty after a mispredicted branch resolves
+    /// (16-stage pipeline's fetch-to-issue depth).
+    pub redirect_penalty: Cycle,
+}
+
+impl CoreConfig {
+    /// The paper's core (Table 1).
+    pub fn paper() -> Self {
+        CoreConfig {
+            width: 4,
+            rob: 196,
+            iq: 64,
+            lq: 32,
+            sq: 32,
+            int_alu: 4,
+            int_mult: 2,
+            fp_alu: 2,
+            fp_mult: 1,
+            redirect_penalty: 11,
+        }
+    }
+
+    /// Validate invariants.
+    pub fn validate(&self) {
+        assert!(self.width >= 1, "width must be positive");
+        assert!(self.rob >= self.width, "ROB smaller than pipeline width");
+        assert!(self.iq >= 1 && self.lq >= 1 && self.sq >= 1, "queues must be non-empty");
+        assert!(
+            self.int_alu >= 1,
+            "need at least one integer ALU (address generation uses it)"
+        );
+    }
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_table_1() {
+        let c = CoreConfig::paper();
+        assert_eq!(c.width, 4);
+        assert_eq!(c.rob, 196);
+        assert_eq!(c.iq, 64);
+        assert_eq!((c.lq, c.sq), (32, 32));
+        assert_eq!((c.int_alu, c.int_mult, c.fp_alu, c.fp_mult), (4, 2, 2, 1));
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "ROB smaller")]
+    fn rejects_tiny_rob() {
+        let mut c = CoreConfig::paper();
+        c.rob = 2;
+        c.validate();
+    }
+}

@@ -1,0 +1,210 @@
+//! Per-bank row-buffer state machine.
+
+use crate::timing::DramTiming;
+use melreq_stats::types::{AccessKind, Cycle};
+
+/// The observable state of a DRAM bank's row buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BankState {
+    /// All rows closed; an ACT may start once `ready_at` passes.
+    Closed,
+    /// `row` is latched in the row buffer; column accesses may issue.
+    Open { row: u64 },
+}
+
+/// One DRAM bank: an open-row latch plus a `ready_at` horizon before which
+/// no new command sequence may start.
+///
+/// Time is advanced only by [`Bank::service`]; the bank never needs a
+/// per-cycle tick, which keeps the DRAM model O(transactions) rather than
+/// O(cycles).
+#[derive(Debug, Clone)]
+pub struct Bank {
+    state: BankState,
+    /// Earliest cycle at which the next command sequence may start.
+    ready_at: Cycle,
+}
+
+/// How a granted transaction found the bank — determines its latency class
+/// and is the signal the Hit-First policy ranks on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RowOutcome {
+    /// The addressed row was already open: column access only.
+    Hit,
+    /// The bank was closed: activate, then column access.
+    ClosedMiss,
+    /// Another row was open: precharge, activate, then column access.
+    Conflict,
+}
+
+impl Bank {
+    /// A bank with all rows closed, ready immediately.
+    pub fn new() -> Self {
+        Bank { state: BankState::Closed, ready_at: 0 }
+    }
+
+    /// Current row-buffer state.
+    pub fn state(&self) -> BankState {
+        self.state
+    }
+
+    /// Earliest cycle the next command sequence may start.
+    pub fn ready_at(&self) -> Cycle {
+        self.ready_at
+    }
+
+    /// Whether a request for `row` would be a row-buffer hit right now.
+    pub fn is_row_hit(&self, row: u64) -> bool {
+        matches!(self.state, BankState::Open { row: r } if r == row)
+    }
+
+    /// Whether the bank can accept a new command sequence at `now`.
+    pub fn can_issue(&self, now: Cycle) -> bool {
+        self.ready_at <= now
+    }
+
+    /// Service one transaction for `row` granted at `now`.
+    ///
+    /// Returns the cycle the first data beat may appear on the data bus
+    /// (bus arbitration is the channel's job) and the row outcome.
+    ///
+    /// `keep_open` is the scheduler's close-page decision: `true` leaves
+    /// the row latched for a potential follow-up hit, `false` issues
+    /// auto-precharge so the bank returns to `Closed`.
+    ///
+    /// # Panics
+    /// Panics (debug) if called before `ready_at` — the controller must
+    /// check [`Bank::can_issue`] first.
+    pub fn service(
+        &mut self,
+        row: u64,
+        kind: AccessKind,
+        now: Cycle,
+        keep_open: bool,
+        t: &DramTiming,
+    ) -> (Cycle, RowOutcome) {
+        debug_assert!(self.can_issue(now), "bank busy until {} at {}", self.ready_at, now);
+        let (data_start, outcome) = match self.state {
+            BankState::Open { row: open } if open == row => (now + t.t_cl, RowOutcome::Hit),
+            BankState::Open { .. } => (now + t.t_rp + t.t_rcd + t.t_cl, RowOutcome::Conflict),
+            BankState::Closed => (now + t.t_rcd + t.t_cl, RowOutcome::ClosedMiss),
+        };
+        let data_end = data_start + t.burst;
+        if keep_open {
+            self.state = BankState::Open { row };
+            // The next column access to the open row may pipeline right
+            // behind this one's data transfer.
+            self.ready_at = data_start;
+        } else {
+            self.state = BankState::Closed;
+            // Auto-precharge: tRP after the access completes (plus write
+            // recovery for writes). The next ACT must wait it out.
+            let recovery = if kind.is_write() { t.t_wr } else { 0 };
+            self.ready_at = data_end + recovery + t.t_rp;
+        }
+        (data_start, outcome)
+    }
+
+    /// Apply an all-bank refresh that started at `at`: the row closes and
+    /// the bank is unavailable for `t_rfc` cycles (stacked on any work it
+    /// was still finishing).
+    pub fn refresh(&mut self, at: Cycle, t_rfc: Cycle) {
+        self.state = BankState::Closed;
+        self.ready_at = self.ready_at.max(at) + t_rfc;
+    }
+
+    /// Explicitly close the row (used when the controller notices the last
+    /// queued same-row request has drained).
+    pub fn precharge(&mut self, now: Cycle, t: &DramTiming) {
+        if matches!(self.state, BankState::Open { .. }) {
+            self.state = BankState::Closed;
+            self.ready_at = self.ready_at.max(now) + t.t_rp;
+        }
+    }
+}
+
+impl Default for Bank {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> DramTiming {
+        DramTiming::ddr2_800_at_3_2ghz()
+    }
+
+    #[test]
+    fn new_bank_is_closed_and_ready() {
+        let b = Bank::new();
+        assert_eq!(b.state(), BankState::Closed);
+        assert!(b.can_issue(0));
+        assert!(!b.is_row_hit(0));
+    }
+
+    #[test]
+    fn closed_miss_latency() {
+        let mut b = Bank::new();
+        let (data, out) = b.service(7, AccessKind::Read, 100, false, &t());
+        assert_eq!(out, RowOutcome::ClosedMiss);
+        assert_eq!(data, 100 + 40 + 40); // tRCD + tCL
+    }
+
+    #[test]
+    fn hit_after_keep_open() {
+        let mut b = Bank::new();
+        let (d1, _) = b.service(7, AccessKind::Read, 0, true, &t());
+        assert!(b.is_row_hit(7));
+        assert!(b.can_issue(d1));
+        let (d2, out) = b.service(7, AccessKind::Read, d1, false, &t());
+        assert_eq!(out, RowOutcome::Hit);
+        assert_eq!(d2, d1 + 40); // tCL only
+    }
+
+    #[test]
+    fn conflict_latency_when_other_row_open() {
+        let mut b = Bank::new();
+        let (d1, _) = b.service(7, AccessKind::Read, 0, true, &t());
+        let (d2, out) = b.service(9, AccessKind::Read, d1, false, &t());
+        assert_eq!(out, RowOutcome::Conflict);
+        assert_eq!(d2, d1 + 40 + 40 + 40); // tRP + tRCD + tCL
+    }
+
+    #[test]
+    fn auto_precharge_closes_and_blocks() {
+        let mut b = Bank::new();
+        let (data, _) = b.service(3, AccessKind::Read, 0, false, &t());
+        assert_eq!(b.state(), BankState::Closed);
+        // Next ACT must wait data_end + tRP.
+        assert!(!b.can_issue(data + 16));
+        assert!(b.can_issue(data + 16 + 40));
+    }
+
+    #[test]
+    fn write_recovery_extends_precharge() {
+        let mut b = Bank::new();
+        let (data, _) = b.service(3, AccessKind::Write, 0, false, &t());
+        assert!(!b.can_issue(data + 16 + 40));
+        assert!(b.can_issue(data + 16 + 48 + 40));
+    }
+
+    #[test]
+    fn explicit_precharge() {
+        let mut b = Bank::new();
+        let (d1, _) = b.service(3, AccessKind::Read, 0, true, &t());
+        b.precharge(d1, &t());
+        assert_eq!(b.state(), BankState::Closed);
+        assert!(!b.can_issue(d1 + 39));
+        assert!(b.can_issue(d1 + 40));
+    }
+
+    #[test]
+    fn precharge_on_closed_bank_is_noop() {
+        let mut b = Bank::new();
+        b.precharge(100, &t());
+        assert!(b.can_issue(0));
+    }
+}

@@ -1,0 +1,329 @@
+//! A logical DRAM channel: independent banks sharing one data bus.
+
+use crate::bank::{Bank, RowOutcome};
+use crate::timing::DramTiming;
+use melreq_stats::types::{AccessKind, Cycle};
+
+/// One logical channel: `n` banks plus a shared 16-byte data bus.
+///
+/// Transactions from different banks pipeline on the bus: a burst occupies
+/// the bus for `timing.burst` cycles starting no earlier than the bank's
+/// data-ready cycle and no earlier than the bus becoming free.
+#[derive(Debug, Clone)]
+pub struct Channel {
+    banks: Vec<Bank>,
+    /// First cycle at which the data bus is free.
+    bus_free: Cycle,
+    /// Total cycles the data bus has been occupied (for utilization).
+    bus_busy_cycles: Cycle,
+    /// Next scheduled all-bank refresh (when refresh is enabled).
+    next_refresh: Cycle,
+    /// Refreshes performed.
+    refreshes: u64,
+    /// Recent ACT start times (ring of 4) for the tRRD/tFAW windows.
+    recent_acts: [Cycle; 4],
+    act_head: usize,
+    /// Total ACTs recorded (the windows only bind once enough history
+    /// exists).
+    acts_seen: u64,
+}
+
+/// Completed service computation for one granted transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChannelGrant {
+    /// Cycle at which the last data beat has transferred: the request's
+    /// data is available to the cache hierarchy at this point.
+    pub data_ready: Cycle,
+    /// How the row buffer was found.
+    pub outcome: RowOutcome,
+}
+
+impl Channel {
+    /// A channel with `banks` closed banks and a free bus.
+    pub fn new(banks: usize) -> Self {
+        assert!(banks > 0, "channel needs at least one bank");
+        Channel {
+            banks: vec![Bank::new(); banks],
+            bus_free: 0,
+            bus_busy_cycles: 0,
+            next_refresh: 0,
+            refreshes: 0,
+            recent_acts: [0; 4],
+            act_head: 0,
+            acts_seen: 0,
+        }
+    }
+
+    /// Catch up any refreshes that have come due by `now` (no-op when
+    /// `t.t_refi == 0`). Call before issuing or probing availability.
+    pub fn sync_refresh(&mut self, now: Cycle, t: &DramTiming) {
+        if t.t_refi == 0 {
+            return;
+        }
+        if self.next_refresh == 0 {
+            self.next_refresh = t.t_refi;
+        }
+        while self.next_refresh <= now {
+            for b in &mut self.banks {
+                b.refresh(self.next_refresh, t.t_rfc);
+            }
+            self.refreshes += 1;
+            self.next_refresh += t.t_refi;
+        }
+    }
+
+    /// Number of all-bank refreshes performed.
+    pub fn refresh_count(&self) -> u64 {
+        self.refreshes
+    }
+
+    /// Earliest cycle a new ACT may start, per the tRRD/tFAW windows.
+    fn act_allowed_at(&self, t: &DramTiming) -> Cycle {
+        let mut at = 0;
+        if t.t_rrd > 0 && self.acts_seen >= 1 {
+            let last = self.recent_acts[(self.act_head + 3) % 4];
+            at = at.max(last + t.t_rrd);
+        }
+        if t.t_faw > 0 && self.acts_seen >= 4 {
+            // Four ACTs within t_faw: the oldest of the ring gates the
+            // fifth.
+            let oldest = self.recent_acts[self.act_head];
+            at = at.max(oldest + t.t_faw);
+        }
+        at
+    }
+
+    fn note_act(&mut self, at: Cycle) {
+        self.recent_acts[self.act_head] = at;
+        self.act_head = (self.act_head + 1) % 4;
+        self.acts_seen += 1;
+    }
+
+    /// Number of banks on this channel.
+    pub fn bank_count(&self) -> usize {
+        self.banks.len()
+    }
+
+    /// Shared read-only access to a bank (for row-hit queries).
+    pub fn bank(&self, idx: usize) -> &Bank {
+        &self.banks[idx]
+    }
+
+    /// Whether a transaction to `bank` could be granted at `now`.
+    ///
+    /// Requires the bank ready for a new command sequence. The bus may
+    /// still be busy — bursts queue behind it (pipelining), bounded
+    /// because the controller grants at most one transaction per bank
+    /// command-cycle.
+    pub fn can_issue(&self, bank: usize, now: Cycle) -> bool {
+        self.banks[bank].can_issue(now)
+    }
+
+    /// Grant a transaction to (`bank`, `row`) at `now`.
+    ///
+    /// `keep_open` is the close-page decision (see [`Bank::service`]).
+    pub fn issue(
+        &mut self,
+        bank: usize,
+        row: u64,
+        kind: AccessKind,
+        now: Cycle,
+        keep_open: bool,
+        t: &DramTiming,
+    ) -> ChannelGrant {
+        self.sync_refresh(now, t);
+        // A transaction that needs an ACT (no open-row hit) must honour
+        // the channel's activate-spacing windows.
+        let needs_act = !self.banks[bank].is_row_hit(row);
+        let grant_at = if needs_act { now.max(self.act_allowed_at(t)) } else { now };
+        let (bank_data_start, outcome) =
+            self.banks[bank].service(row, kind, grant_at, keep_open, t);
+        if needs_act {
+            // The ACT begins after any precharge the service implied.
+            let act_at = match outcome {
+                RowOutcome::Conflict => grant_at + t.t_rp,
+                _ => grant_at,
+            };
+            self.note_act(act_at);
+        }
+        let bus_start = bank_data_start.max(self.bus_free);
+        self.bus_free = bus_start + t.burst;
+        self.bus_busy_cycles += t.burst;
+        ChannelGrant { data_ready: bus_start + t.burst, outcome }
+    }
+
+    /// Explicitly precharge `bank` (controller's close-page sweep).
+    pub fn precharge(&mut self, bank: usize, now: Cycle, t: &DramTiming) {
+        self.banks[bank].precharge(now, t);
+    }
+
+    /// Cycle at which the data bus next becomes free.
+    pub fn bus_free_at(&self) -> Cycle {
+        self.bus_free
+    }
+
+    /// Total data-bus busy cycles so far (numerator of bus utilization).
+    pub fn bus_busy_cycles(&self) -> Cycle {
+        self.bus_busy_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> DramTiming {
+        DramTiming::ddr2_800_at_3_2ghz()
+    }
+
+    #[test]
+    fn single_read_latency() {
+        let mut ch = Channel::new(8);
+        let g = ch.issue(0, 5, AccessKind::Read, 0, false, &t());
+        assert_eq!(g.outcome, RowOutcome::ClosedMiss);
+        // tRCD + tCL + burst.
+        assert_eq!(g.data_ready, 40 + 40 + 16);
+    }
+
+    #[test]
+    fn different_banks_pipeline_on_bus() {
+        let mut ch = Channel::new(8);
+        let g0 = ch.issue(0, 5, AccessKind::Read, 0, false, &t());
+        // Second bank granted 1 cycle later: its bank latency overlaps the
+        // first's; the bus serializes only the 16-cycle bursts.
+        let g1 = ch.issue(1, 5, AccessKind::Read, 1, false, &t());
+        assert_eq!(g0.data_ready, 96);
+        // Bank 1's data is ready at 1+80 = 81 but the bus is busy with
+        // bank 0's burst until 96, so its burst runs 96..112: the 80-cycle
+        // bank latencies fully overlap, only the bursts serialize.
+        assert_eq!(g1.data_ready, 112);
+    }
+
+    #[test]
+    fn bus_contention_serializes_bursts() {
+        let mut ch = Channel::new(8);
+        let mut grants = Vec::new();
+        for b in 0..4 {
+            grants.push(ch.issue(b, 0, AccessKind::Read, 0, false, &t()));
+        }
+        // All four banks start ACT at 0 and want the bus at cycle 80; the
+        // bus serializes them 16 cycles apart.
+        let readies: Vec<Cycle> = grants.iter().map(|g| g.data_ready).collect();
+        assert_eq!(readies, vec![96, 112, 128, 144]);
+        assert_eq!(ch.bus_busy_cycles(), 64);
+    }
+
+    #[test]
+    fn same_bank_back_to_back_respects_precharge() {
+        let mut ch = Channel::new(8);
+        let g0 = ch.issue(0, 1, AccessKind::Read, 0, false, &t());
+        assert!(!ch.can_issue(0, g0.data_ready));
+        let ready = g0.data_ready + 40; // + tRP
+        assert!(ch.can_issue(0, ready));
+        let g1 = ch.issue(0, 2, AccessKind::Read, ready, false, &t());
+        assert_eq!(g1.outcome, RowOutcome::ClosedMiss);
+    }
+
+    #[test]
+    fn row_hit_via_keep_open() {
+        let mut ch = Channel::new(8);
+        let g0 = ch.issue(0, 1, AccessKind::Read, 0, true, &t());
+        assert!(ch.bank(0).is_row_hit(1));
+        let start = 80; // bank ready at data_start = 80
+        let g1 = ch.issue(0, 1, AccessKind::Read, start, false, &t());
+        assert_eq!(g1.outcome, RowOutcome::Hit);
+        // Hit: tCL from grant (80+40 = 120), then the 16-cycle burst; the
+        // bus freed at 96 so the hit's own CAS latency dominates.
+        assert_eq!(g0.data_ready, 96);
+        assert_eq!(g1.data_ready, 136);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bank")]
+    fn zero_banks_rejected() {
+        let _ = Channel::new(0);
+    }
+
+    #[test]
+    fn refresh_blocks_banks_and_closes_rows() {
+        let t = DramTiming::ddr2_800_at_3_2ghz().with_refresh();
+        let mut ch = Channel::new(8);
+        // Open a row before the first refresh boundary.
+        ch.issue(0, 3, AccessKind::Read, 0, true, &t);
+        assert!(ch.bank(0).is_row_hit(3));
+        // Jump past the refresh boundary.
+        ch.sync_refresh(t.t_refi + 1, &t);
+        assert_eq!(ch.refresh_count(), 1);
+        assert!(!ch.bank(0).is_row_hit(3), "refresh must close rows");
+        // Banks are blocked for tRFC after the refresh started.
+        assert!(!ch.can_issue(1, t.t_refi + 1));
+        assert!(ch.can_issue(1, t.t_refi + t.t_rfc));
+    }
+
+    #[test]
+    fn refresh_disabled_by_default() {
+        let t = DramTiming::ddr2_800_at_3_2ghz();
+        let mut ch = Channel::new(8);
+        ch.sync_refresh(1_000_000, &t);
+        assert_eq!(ch.refresh_count(), 0);
+    }
+
+    #[test]
+    fn multiple_missed_refreshes_catch_up() {
+        let t = DramTiming::ddr2_800_at_3_2ghz().with_refresh();
+        let mut ch = Channel::new(8);
+        ch.sync_refresh(3 * t.t_refi + 5, &t);
+        assert_eq!(ch.refresh_count(), 3);
+    }
+
+    #[test]
+    fn trrd_spaces_back_to_back_activates() {
+        let t = DramTiming::ddr2_800_at_3_2ghz().with_activation_windows();
+        let mut ch = Channel::new(8);
+        let g0 = ch.issue(0, 0, AccessKind::Read, 0, false, &t);
+        // Bank 1 granted the same cycle: its ACT must wait tRRD, shifting
+        // data by tRRD relative to an unconstrained issue.
+        let g1 = ch.issue(1, 0, AccessKind::Read, 0, false, &t);
+        assert_eq!(g0.data_ready, 96);
+        // Unconstrained this would be bus-serialized to 112; with
+        // tRRD = 24 the second ACT starts at 24, its data starts at
+        // 24+80 = 104 (past the bus-free point 96) and finishes at 120.
+        assert_eq!(g1.data_ready, 120);
+        // But a third and beyond keep spacing: issue to 4 more banks and
+        // confirm ACTs are at least tRRD apart via data times.
+        let g2 = ch.issue(2, 0, AccessKind::Read, 0, false, &t);
+        let g3 = ch.issue(3, 0, AccessKind::Read, 0, false, &t);
+        assert!(g3.data_ready >= g2.data_ready + t.burst);
+    }
+
+    #[test]
+    fn tfaw_limits_activation_burst() {
+        let mut t = DramTiming::ddr2_800_at_3_2ghz().with_activation_windows();
+        // Exaggerate the window so it clearly dominates the bus.
+        t.t_faw = 1000;
+        let mut ch = Channel::new(8);
+        let mut last_ready = 0;
+        for b in 0..5 {
+            let g = ch.issue(b, 0, AccessKind::Read, 0, false, &t);
+            last_ready = g.data_ready;
+        }
+        // The fifth ACT waits for the four-activate window: its data
+        // cannot be ready before t_faw + tRCD + tCL.
+        assert!(
+            last_ready >= 1000 + 80,
+            "fifth activate ignored tFAW: ready at {last_ready}"
+        );
+    }
+
+    #[test]
+    fn row_hits_bypass_activation_windows() {
+        let mut t = DramTiming::ddr2_800_at_3_2ghz().with_activation_windows();
+        t.t_faw = 10_000;
+        let mut ch = Channel::new(8);
+        let g0 = ch.issue(0, 7, AccessKind::Read, 0, true, &t);
+        // A row hit needs no ACT, so the huge tFAW must not delay it.
+        let g1 = ch.issue(0, 7, AccessKind::Read, g0.data_ready, false, &t);
+        assert_eq!(g1.outcome, RowOutcome::Hit);
+        assert!(g1.data_ready <= g0.data_ready + t.t_cl + 2 * t.burst);
+    }
+}

@@ -1,0 +1,36 @@
+//! Memory controller and scheduling policies from the ICPP'08 ME-LREQ paper.
+//!
+//! This crate implements the paper's primary contribution. It provides:
+//!
+//! * [`request::MemRequest`] — a memory transaction tagged with its
+//!   originating core (the unit the policies differentiate on);
+//! * [`queue::RequestQueue`] — the controller's shared 64-entry request
+//!   buffer with per-core pending read/write counters (the two counters
+//!   per core described in Section 3.2);
+//! * [`table::PriorityTable`] — the hardware workload-priority table of
+//!   Figure 1: per core, one pre-computed, 10-bit quantized
+//!   `ME[i]/PendingRead[i]` value for every possible pending-read count,
+//!   initialized "by OS at the time of program loading";
+//! * [`policy`] — every scheduling scheme the paper evaluates: FCFS,
+//!   FCFS+Read-First, Hit-First+Read-First (the baseline), Round-Robin,
+//!   Least-Request, Memory-Efficiency (fixed priority), arbitrary fixed
+//!   priorities (FIX-0123 / FIX-3210 of Figure 3), and **ME-LREQ**;
+//! * [`controller::MemoryController`] — the transaction engine binding a
+//!   policy to the DRAM device: read-first with write-drain hysteresis
+//!   (drain starts at ½ buffer, stops at ¼ — Section 4.1), close-page row
+//!   management, one grant per channel per cycle, per-core latency and
+//!   bandwidth accounting.
+
+pub mod controller;
+pub mod ext;
+pub mod policy;
+pub mod queue;
+pub mod request;
+pub mod table;
+
+pub use controller::{ControllerConfig, ControllerStats, MemoryController};
+pub use ext::{FairQueueing, StallTimeFair};
+pub use policy::{PolicyKind, SchedulerPolicy};
+pub use queue::RequestQueue;
+pub use request::{MemRequest, ReqId};
+pub use table::PriorityTable;

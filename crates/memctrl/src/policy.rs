@@ -1,0 +1,597 @@
+//! The scheduling policies evaluated in the paper (Sections 2, 3 and 5).
+//!
+//! A policy ranks the *candidate* requests — those already filtered by the
+//! controller to be issuable this cycle and belonging to the class chosen
+//! by the read-first / write-drain machinery — and picks one. Policies
+//! therefore never see a request the DRAM could not start immediately, so
+//! a high-priority request blocked on a busy bank never idles the channel.
+//!
+//! All core-aware policies order *cores* first (per Figure 1: "a set of
+//! comparators is used to select the thread with the highest priority,
+//! and then the first read request of the selected thread is scheduled")
+//! and fall back to hit-first-then-oldest within the selected core, since
+//! row-buffer hits are handled at the command level for every scheme
+//! (Section 4.1). Writes, when the controller drains them, use plain
+//! hit-first-then-oldest for every policy — the paper treats write order
+//! as performance-neutral ("write requests usually have small performance
+//! impact").
+
+use crate::request::ReqId;
+use crate::table::PriorityTable;
+use melreq_stats::types::CoreId;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A scheduling candidate: an issuable request of the selected class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Candidate {
+    /// Request id; ids are monotone in arrival order, so comparing ids
+    /// compares ages.
+    pub id: ReqId,
+    /// Originating core.
+    pub core: CoreId,
+    /// Whether the request currently hits an open row buffer.
+    pub row_hit: bool,
+}
+
+impl Candidate {
+    /// Hit-first-then-oldest sort key (smaller = preferred).
+    #[inline]
+    fn hf_age_key(&self) -> (bool, ReqId) {
+        (!self.row_hit, self.id)
+    }
+}
+
+/// Pick the hit-first-then-oldest candidate among `cands`, optionally
+/// restricted to one core. Returns an index into `cands`.
+fn pick_hf_oldest(cands: &[Candidate], core: Option<CoreId>) -> usize {
+    cands
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| core.is_none_or(|k| c.core == k))
+        .min_by_key(|(_, c)| c.hf_age_key())
+        .map(|(i, _)| i)
+        .expect("pick called with no eligible candidate")
+}
+
+/// A memory-access scheduling policy.
+///
+/// `select` receives at least one candidate and the per-core pending read
+/// counts (the controller's outstanding-read counters of Figure 1) and
+/// returns the index of the chosen candidate.
+pub trait SchedulerPolicy: std::fmt::Debug + Send {
+    /// Display name used in reports (matches the paper's shorthand).
+    fn name(&self) -> &'static str;
+
+    /// Choose one candidate. `pending_reads[i]` is core *i*'s queued read
+    /// count (≥ 1 for any core with a read candidate).
+    fn select(&mut self, cands: &[Candidate], pending_reads: &[u32]) -> usize;
+
+    /// Observe a grant (used by Round-Robin to advance its pointer).
+    fn note_grant(&mut self, _granted: &Candidate) {}
+
+    /// Receive fresh per-core memory-efficiency estimates.
+    ///
+    /// This is the hook for the paper's *future work*: "online methods
+    /// that can dynamically predict the memory efficiency of a program".
+    /// ME-LREQ rebuilds its priority tables (the OS/hardware analogue:
+    /// rewriting the SRAM tables at a phase boundary); ME-oblivious
+    /// policies ignore it.
+    fn update_profile(&mut self, _me: &[f64]) {}
+}
+
+/// First-come first-serve: strictly by arrival order (Section 2, "FCFS").
+#[derive(Debug, Default, Clone)]
+pub struct Fcfs;
+
+impl SchedulerPolicy for Fcfs {
+    fn name(&self) -> &'static str {
+        "FCFS"
+    }
+
+    fn select(&mut self, cands: &[Candidate], _pending: &[u32]) -> usize {
+        cands
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, c)| c.id)
+            .map(|(i, _)| i)
+            .expect("no candidates")
+    }
+}
+
+/// Hit-First with Read-First — the paper's baseline (HF-RF): row-buffer
+/// hits before misses, oldest first; reads bypass writes at the
+/// controller level.
+#[derive(Debug, Default, Clone)]
+pub struct HitFirst;
+
+impl SchedulerPolicy for HitFirst {
+    fn name(&self) -> &'static str {
+        "HF-RF"
+    }
+
+    fn select(&mut self, cands: &[Candidate], _pending: &[u32]) -> usize {
+        pick_hf_oldest(cands, None)
+    }
+}
+
+/// Round-Robin over cores (Section 2, "RR"): serve the next core in
+/// rotation that has an issuable request; hit-first-then-oldest within it.
+#[derive(Debug, Clone)]
+pub struct RoundRobin {
+    cores: usize,
+    next: usize,
+}
+
+impl RoundRobin {
+    /// A rotation over `cores` cores starting at core 0.
+    pub fn new(cores: usize) -> Self {
+        assert!(cores > 0, "need at least one core");
+        RoundRobin { cores, next: 0 }
+    }
+}
+
+impl SchedulerPolicy for RoundRobin {
+    fn name(&self) -> &'static str {
+        "RR"
+    }
+
+    fn select(&mut self, cands: &[Candidate], _pending: &[u32]) -> usize {
+        for off in 0..self.cores {
+            let core = CoreId(((self.next + off) % self.cores) as u16);
+            if cands.iter().any(|c| c.core == core) {
+                return pick_hf_oldest(cands, Some(core));
+            }
+        }
+        unreachable!("select called with no candidates")
+    }
+
+    fn note_grant(&mut self, granted: &Candidate) {
+        self.next = (granted.core.index() + 1) % self.cores;
+    }
+}
+
+/// Least-Request (Zhu & Zhang, HPCA'05): the core with the fewest pending
+/// read requests wins; hit-first-then-oldest within it.
+#[derive(Debug, Default, Clone)]
+pub struct LeastRequest;
+
+impl SchedulerPolicy for LeastRequest {
+    fn name(&self) -> &'static str {
+        "LREQ"
+    }
+
+    fn select(&mut self, cands: &[Candidate], pending: &[u32]) -> usize {
+        let best_core = cands
+            .iter()
+            .map(|c| c.core)
+            .min_by_key(|c| (pending[c.index()], c.index()))
+            .expect("no candidates");
+        pick_hf_oldest(cands, Some(best_core))
+    }
+}
+
+/// A fixed core-priority ranking: the building block of the ME scheme and
+/// the FIX-0123 / FIX-3210 straw-men of Figure 3.
+#[derive(Debug, Clone)]
+pub struct FixedPriority {
+    /// `rank[core]` — 0 is the highest priority.
+    rank: Vec<u32>,
+    name: &'static str,
+}
+
+impl FixedPriority {
+    /// Build from an explicit priority order: `order[0]` is the most
+    /// favoured core. E.g. FIX-3210 is `from_order("FIX-3210", &[3,2,1,0])`.
+    ///
+    /// # Panics
+    /// Panics unless `order` is a permutation of `0..order.len()`.
+    pub fn from_order(name: &'static str, order: &[usize]) -> Self {
+        let n = order.len();
+        let mut rank = vec![u32::MAX; n];
+        for (pos, &core) in order.iter().enumerate() {
+            assert!(core < n, "core {core} out of range");
+            assert!(rank[core] == u32::MAX, "core {core} listed twice");
+            rank[core] = pos as u32;
+        }
+        FixedPriority { rank, name }
+    }
+
+    /// The ME scheme (Section 5.1): fixed priority ordered by descending
+    /// profiled memory efficiency. Ties keep the lower core id first.
+    pub fn from_memory_efficiency(me: &[f64]) -> Self {
+        let mut order: Vec<usize> = (0..me.len()).collect();
+        order.sort_by(|&a, &b| {
+            me[b].partial_cmp(&me[a]).expect("ME values must be comparable").then(a.cmp(&b))
+        });
+        let mut p = Self::from_order("ME", &order);
+        p.name = "ME";
+        p
+    }
+
+    /// The rank vector (`rank[core]`, 0 = highest).
+    pub fn ranks(&self) -> &[u32] {
+        &self.rank
+    }
+}
+
+impl SchedulerPolicy for FixedPriority {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn select(&mut self, cands: &[Candidate], _pending: &[u32]) -> usize {
+        let best_core = cands
+            .iter()
+            .map(|c| c.core)
+            .min_by_key(|c| self.rank[c.index()])
+            .expect("no candidates");
+        pick_hf_oldest(cands, Some(best_core))
+    }
+}
+
+/// **ME-LREQ** — the paper's contribution (Section 3.2).
+///
+/// Each scheduling decision reads the per-core hardware table entry
+/// `P[i] = quantize(ME[i] / PendingRead[i])` for every core with a
+/// candidate, in parallel; the highest value wins, ties are broken by a
+/// (seeded) random pick among the tied cores, and the selected core's
+/// requests are served hit-first-then-oldest.
+#[derive(Debug)]
+pub struct MeLreq {
+    table: PriorityTable,
+    rng: SmallRng,
+}
+
+impl MeLreq {
+    /// Build from profiled memory-efficiency values and a tie-break seed.
+    pub fn new(me: &[f64], seed: u64) -> Self {
+        Self::with_table(PriorityTable::new(me), seed)
+    }
+
+    /// Build around an explicit priority table (used by the quantization
+    /// ablation, which substitutes [`PriorityTable::new_linear`]).
+    pub fn with_table(table: PriorityTable, seed: u64) -> Self {
+        MeLreq { table, rng: SmallRng::seed_from_u64(seed) }
+    }
+
+    /// The underlying hardware table (for inspection/tests).
+    pub fn table(&self) -> &PriorityTable {
+        &self.table
+    }
+}
+
+impl SchedulerPolicy for MeLreq {
+    fn name(&self) -> &'static str {
+        "ME-LREQ"
+    }
+
+    fn select(&mut self, cands: &[Candidate], pending: &[u32]) -> usize {
+        // Parallel table read for every core that has a candidate.
+        let mut best = None; // (priority, count_of_tied_cores)
+        let mut tied: [u16; 64] = [0; 64];
+        let mut tied_len = 0usize;
+        for c in cands {
+            let already_seen = tied[..tied_len].contains(&c.core.0);
+            if already_seen {
+                continue;
+            }
+            let p = self.table.lookup(c.core, pending[c.core.index()].max(1));
+            match best {
+                None => {
+                    best = Some(p);
+                    tied[0] = c.core.0;
+                    tied_len = 1;
+                }
+                Some(b) if p > b => {
+                    best = Some(p);
+                    tied[0] = c.core.0;
+                    tied_len = 1;
+                }
+                Some(b) if p == b => {
+                    tied[tied_len] = c.core.0;
+                    tied_len += 1;
+                }
+                _ => {}
+            }
+        }
+        debug_assert!(tied_len > 0, "select called with no candidates");
+        // "A tie of equal priority may be broken by a random selection."
+        let chosen = if tied_len == 1 {
+            tied[0]
+        } else {
+            tied[self.rng.gen_range(0..tied_len)]
+        };
+        pick_hf_oldest(cands, Some(CoreId(chosen)))
+    }
+
+    fn update_profile(&mut self, me: &[f64]) {
+        assert_eq!(me.len(), self.table.cores(), "profile must cover all cores");
+        self.table = PriorityTable::new(me);
+    }
+}
+
+/// Configuration-level identification of a policy; builds the boxed
+/// implementation for a concrete workload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PolicyKind {
+    /// First-come first-serve, no read bypass.
+    Fcfs,
+    /// FCFS with reads bypassing writes.
+    FcfsRf,
+    /// Hit-First + Read-First (the paper's baseline).
+    HfRf,
+    /// Round-Robin over cores.
+    RoundRobin,
+    /// Least-Request.
+    Lreq,
+    /// Fixed priority by profiled memory efficiency.
+    Me,
+    /// The paper's contribution.
+    MeLreq,
+    /// ME-LREQ with **online** memory-efficiency estimation — the
+    /// paper's stated future work. No off-line profile is needed: the
+    /// system measures each core's committed instructions and DRAM bytes
+    /// every `epoch_cycles` and refreshes the priority tables with an
+    /// exponentially weighted estimate.
+    MeLreqOnline {
+        /// Re-estimation period in CPU cycles.
+        epoch_cycles: u64,
+    },
+    /// Arbitrary fixed core priority (Figure 3's FIX-0123 / FIX-3210).
+    Fixed {
+        /// Report name (e.g. "FIX-3210").
+        name: &'static str,
+        /// Priority order; element 0 is the most favoured core.
+        order: Vec<usize>,
+    },
+}
+
+impl PolicyKind {
+    /// Whether the controller should let reads bypass writes. Only plain
+    /// FCFS disables the bypass; every evaluated scheme keeps it
+    /// (Section 4.1).
+    pub fn read_first(&self) -> bool {
+        !matches!(self, PolicyKind::Fcfs)
+    }
+
+    /// Display name matching the paper's shorthand.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PolicyKind::Fcfs => "FCFS",
+            PolicyKind::FcfsRf => "FCFS-RF",
+            PolicyKind::HfRf => "HF-RF",
+            PolicyKind::RoundRobin => "RR",
+            PolicyKind::Lreq => "LREQ",
+            PolicyKind::Me => "ME",
+            PolicyKind::MeLreq => "ME-LREQ",
+            PolicyKind::MeLreqOnline { .. } => "ME-LREQ-ON",
+            PolicyKind::Fixed { name, .. } => name,
+        }
+    }
+
+    /// Instantiate for a system of `cores` cores whose profiled
+    /// memory-efficiency values are `me` (ignored by ME-oblivious
+    /// policies); `seed` feeds ME-LREQ's tie-breaker.
+    pub fn build(&self, me: &[f64], cores: usize, seed: u64) -> Box<dyn SchedulerPolicy> {
+        assert!(me.len() == cores, "one ME value per core required");
+        match self {
+            PolicyKind::Fcfs | PolicyKind::FcfsRf => Box::new(Fcfs),
+            PolicyKind::HfRf => Box::new(HitFirst),
+            PolicyKind::RoundRobin => Box::new(RoundRobin::new(cores)),
+            PolicyKind::Lreq => Box::new(LeastRequest),
+            PolicyKind::Me => Box::new(FixedPriority::from_memory_efficiency(me)),
+            PolicyKind::MeLreq => Box::new(MeLreq::new(me, seed)),
+            // The online variant starts from a flat (uninformative)
+            // profile; the system refreshes it at run time.
+            PolicyKind::MeLreqOnline { .. } => Box::new(MeLreq::new(&vec![1.0; cores], seed)),
+            PolicyKind::Fixed { name, order } => {
+                assert_eq!(order.len(), cores, "priority order must cover all cores");
+                Box::new(FixedPriority::from_order(name, order))
+            }
+        }
+    }
+
+    /// The five schemes compared in Figure 2, in the paper's order.
+    pub fn figure2_set() -> Vec<PolicyKind> {
+        vec![
+            PolicyKind::HfRf,
+            PolicyKind::Me,
+            PolicyKind::RoundRobin,
+            PolicyKind::Lreq,
+            PolicyKind::MeLreq,
+        ]
+    }
+
+    /// The four schemes compared in Figure 3 for `cores` cores: HF-RF, ME
+    /// and the two straw-man fixed priorities.
+    pub fn figure3_set(cores: usize) -> Vec<PolicyKind> {
+        vec![
+            PolicyKind::HfRf,
+            PolicyKind::Me,
+            PolicyKind::Fixed { name: "FIX-3210", order: (0..cores).rev().collect() },
+            PolicyKind::Fixed { name: "FIX-0123", order: (0..cores).collect() },
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(id: u64, core: u16, hit: bool) -> Candidate {
+        Candidate { id: ReqId(id), core: CoreId(core), row_hit: hit }
+    }
+
+    #[test]
+    fn fcfs_picks_oldest_regardless_of_hits() {
+        let mut p = Fcfs;
+        let cands = [cand(5, 0, true), cand(2, 1, false), cand(9, 0, true)];
+        assert_eq!(p.select(&cands, &[2, 1]), 1);
+    }
+
+    #[test]
+    fn hit_first_prefers_hits_then_age() {
+        let mut p = HitFirst;
+        let cands = [cand(1, 0, false), cand(7, 1, true), cand(5, 1, true)];
+        assert_eq!(p.select(&cands, &[1, 2]), 2);
+        let cands = [cand(3, 0, false), cand(8, 1, false)];
+        assert_eq!(p.select(&cands, &[1, 1]), 0);
+    }
+
+    #[test]
+    fn round_robin_rotates() {
+        let mut p = RoundRobin::new(4);
+        let cands = [cand(0, 0, false), cand(1, 1, false), cand(2, 3, false)];
+        let i = p.select(&cands, &[1, 1, 0, 1]);
+        assert_eq!(cands[i].core, CoreId(0));
+        p.note_grant(&cands[i]);
+        let i = p.select(&cands, &[1, 1, 0, 1]);
+        assert_eq!(cands[i].core, CoreId(1));
+        p.note_grant(&cands[i]);
+        // Core 2 has no candidate: skip to core 3.
+        let i = p.select(&cands, &[1, 1, 0, 1]);
+        assert_eq!(cands[i].core, CoreId(3));
+        p.note_grant(&cands[i]);
+        let i = p.select(&cands, &[1, 1, 0, 1]);
+        assert_eq!(cands[i].core, CoreId(0));
+    }
+
+    #[test]
+    fn lreq_prefers_fewest_pending_reads() {
+        let mut p = LeastRequest;
+        let cands = [cand(0, 0, true), cand(1, 1, false)];
+        // Core 1 has fewer pending reads: its miss beats core 0's hit.
+        assert_eq!(p.select(&cands, &[10, 2]), 1);
+    }
+
+    #[test]
+    fn lreq_uses_hit_first_within_core() {
+        let mut p = LeastRequest;
+        let cands = [cand(0, 0, false), cand(3, 0, true), cand(9, 1, true)];
+        let i = p.select(&cands, &[2, 5]);
+        assert_eq!(i, 1); // core 0 wins, its hit beats its older miss
+    }
+
+    #[test]
+    fn fixed_priority_orders_cores() {
+        let mut p = FixedPriority::from_order("FIX-3210", &[3, 2, 1, 0]);
+        let cands = [cand(0, 0, true), cand(1, 2, false)];
+        assert_eq!(cands[p.select(&cands, &[1, 0, 1, 0])].core, CoreId(2));
+    }
+
+    #[test]
+    fn me_scheme_ranks_by_descending_me() {
+        let me = [2.0, 40.0, 1.0, 15.0]; // core 1 best, then 3, 0, 2
+        let mut p = FixedPriority::from_memory_efficiency(&me);
+        assert_eq!(p.ranks(), &[2, 0, 3, 1]);
+        assert_eq!(p.name(), "ME");
+        let cands = [cand(0, 0, true), cand(1, 3, false)];
+        assert_eq!(cands[p.select(&cands, &[1, 0, 0, 1])].core, CoreId(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "listed twice")]
+    fn fixed_priority_rejects_duplicates() {
+        let _ = FixedPriority::from_order("bad", &[0, 0]);
+    }
+
+    #[test]
+    fn me_lreq_combines_me_and_pending() {
+        // Core 0: ME 16, core 1: ME 4. With 8x the pending reads, core 0's
+        // ratio 16/8=2 loses to core 1's 4/1=4.
+        let mut p = MeLreq::new(&[16.0, 4.0], 42);
+        let cands = [cand(0, 0, true), cand(1, 1, false)];
+        assert_eq!(cands[p.select(&cands, &[8, 1])].core, CoreId(1));
+        // At equal pending, higher ME wins.
+        assert_eq!(cands[p.select(&cands, &[2, 2])].core, CoreId(0));
+    }
+
+    #[test]
+    fn me_lreq_tie_break_is_random_but_seeded() {
+        let me = [8.0, 8.0];
+        let cands = [cand(0, 0, false), cand(1, 1, false)];
+        let picks = |seed: u64| -> Vec<u16> {
+            let mut p = MeLreq::new(&me, seed);
+            (0..32).map(|_| cands[p.select(&cands, &[2, 2])].core.0).collect()
+        };
+        let a = picks(1);
+        let b = picks(1);
+        assert_eq!(a, b, "same seed must reproduce");
+        // Both cores get picked over 32 tie-breaks.
+        assert!(a.contains(&0) && a.contains(&1), "tie-break should mix cores: {a:?}");
+    }
+
+    #[test]
+    fn policy_kind_names_and_read_first() {
+        assert_eq!(PolicyKind::HfRf.name(), "HF-RF");
+        assert_eq!(PolicyKind::MeLreq.name(), "ME-LREQ");
+        assert_eq!(PolicyKind::MeLreqOnline { epoch_cycles: 100 }.name(), "ME-LREQ-ON");
+        assert!(!PolicyKind::Fcfs.read_first());
+        assert!(PolicyKind::FcfsRf.read_first());
+        assert!(PolicyKind::MeLreq.read_first());
+        assert!(PolicyKind::MeLreqOnline { epoch_cycles: 100 }.read_first());
+    }
+
+    #[test]
+    fn update_profile_changes_me_lreq_decisions() {
+        // Start with core 0 favoured, then flip the profile: the same
+        // candidate set must switch winners.
+        let mut p = MeLreq::new(&[100.0, 1.0], 3);
+        let cands = [cand(0, 0, false), cand(1, 1, false)];
+        assert_eq!(cands[p.select(&cands, &[2, 2])].core, CoreId(0));
+        p.update_profile(&[1.0, 100.0]);
+        assert_eq!(cands[p.select(&cands, &[2, 2])].core, CoreId(1));
+    }
+
+    #[test]
+    fn update_profile_is_noop_for_oblivious_policies() {
+        let mut p = HitFirst;
+        p.update_profile(&[5.0, 1.0]);
+        let cands = [cand(3, 0, false), cand(1, 1, false)];
+        assert_eq!(p.select(&cands, &[1, 1]), 1, "HF-RF still picks the oldest");
+    }
+
+    #[test]
+    fn online_variant_builds_with_flat_profile() {
+        let kind = PolicyKind::MeLreqOnline { epoch_cycles: 1000 };
+        let me = [7.0, 3.0]; // must be ignored at build time
+        let mut p = kind.build(&me, 2, 5);
+        // With a flat internal profile, the core with fewer pending reads
+        // wins (least-request degeneration), not the higher-ME core.
+        let cands = [cand(0, 0, false), cand(1, 1, false)];
+        assert_eq!(cands[p.select(&cands, &[6, 1])].core, CoreId(1));
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "profile must cover all cores")]
+    fn update_profile_rejects_wrong_width() {
+        let mut p = MeLreq::new(&[1.0, 2.0], 3);
+        p.update_profile(&[1.0]);
+    }
+
+    #[test]
+    fn figure_sets_have_papers_schemes() {
+        let f2 = PolicyKind::figure2_set();
+        assert_eq!(f2.len(), 5);
+        assert_eq!(f2[0].name(), "HF-RF");
+        assert_eq!(f2[4].name(), "ME-LREQ");
+        let f3 = PolicyKind::figure3_set(4);
+        assert_eq!(f3[2].name(), "FIX-3210");
+        if let PolicyKind::Fixed { order, .. } = &f3[2] {
+            assert_eq!(order, &[3, 2, 1, 0]);
+        } else {
+            panic!("expected fixed policy");
+        }
+    }
+
+    #[test]
+    fn build_produces_named_policies() {
+        let me = [1.0, 2.0];
+        for kind in PolicyKind::figure2_set() {
+            let p = kind.build(&me, 2, 7);
+            assert_eq!(p.name(), kind.name());
+        }
+    }
+}

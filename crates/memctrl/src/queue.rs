@@ -1,0 +1,214 @@
+//! The controller's shared request buffer.
+//!
+//! The paper's controller (Section 3.2, Figure 1) keeps "a read request
+//! queue and a write request queue, plus two counters for the number of
+//! outstanding read and write requests for each core", all sharing one
+//! M-entry buffer (M = 64 in Table 1). This module models that structure
+//! as a single vector with per-kind, per-core counters — the scheduling
+//! policies only ever observe the counters and the request fields, so the
+//! physical split into two queues is immaterial.
+
+use crate::request::{MemRequest, ReqId};
+use melreq_dram::Location;
+use melreq_stats::types::CoreId;
+
+/// Shared request buffer with per-core occupancy counters.
+#[derive(Debug, Clone)]
+pub struct RequestQueue {
+    entries: Vec<MemRequest>,
+    capacity: usize,
+    pending_reads: Vec<u32>,
+    pending_writes: Vec<u32>,
+}
+
+impl RequestQueue {
+    /// An empty buffer of `capacity` entries serving `cores` cores.
+    pub fn new(capacity: usize, cores: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        assert!(cores > 0, "need at least one core");
+        RequestQueue {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            pending_reads: vec![0; cores],
+            pending_writes: vec![0; cores],
+        }
+    }
+
+    /// Buffer capacity (M in Figure 1).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of queued requests.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no requests are queued.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True when another request can be accepted.
+    pub fn has_space(&self) -> bool {
+        self.entries.len() < self.capacity
+    }
+
+    /// Number of queued read requests across all cores.
+    pub fn total_reads(&self) -> u32 {
+        self.pending_reads.iter().sum()
+    }
+
+    /// Number of queued write requests across all cores.
+    pub fn total_writes(&self) -> u32 {
+        self.pending_writes.iter().sum()
+    }
+
+    /// Pending read count of one core (the LREQ / ME-LREQ input).
+    pub fn pending_reads(&self, core: CoreId) -> u32 {
+        self.pending_reads[core.index()]
+    }
+
+    /// Pending write count of one core.
+    pub fn pending_writes(&self, core: CoreId) -> u32 {
+        self.pending_writes[core.index()]
+    }
+
+    /// Per-core pending read counts, indexed by core.
+    pub fn pending_reads_all(&self) -> &[u32] {
+        &self.pending_reads
+    }
+
+    /// Append a request.
+    ///
+    /// # Panics
+    /// Panics if the buffer is full (callers must check
+    /// [`RequestQueue::has_space`] — the cache hierarchy models
+    /// back-pressure by stalling on a full buffer).
+    pub fn push(&mut self, req: MemRequest) {
+        assert!(self.has_space(), "request buffer overflow");
+        match req.kind {
+            k if k.is_read() => self.pending_reads[req.core.index()] += 1,
+            _ => self.pending_writes[req.core.index()] += 1,
+        }
+        self.entries.push(req);
+    }
+
+    /// Remove and return the request with `id`.
+    ///
+    /// # Panics
+    /// Panics if no such request is queued.
+    pub fn remove(&mut self, id: ReqId) -> MemRequest {
+        let pos = self
+            .entries
+            .iter()
+            .position(|r| r.id == id)
+            .expect("request not in queue");
+        let req = self.entries.swap_remove(pos);
+        if req.is_read() {
+            self.pending_reads[req.core.index()] -= 1;
+        } else {
+            self.pending_writes[req.core.index()] -= 1;
+        }
+        req
+    }
+
+    /// Iterate over queued requests (unordered; ids give arrival order).
+    pub fn iter(&self) -> impl Iterator<Item = &MemRequest> {
+        self.entries.iter()
+    }
+
+    /// Whether any queued request other than `excluding` targets the same
+    /// channel/bank/row as `loc` — the controller's close-page signal: the
+    /// row is kept open only while this returns true.
+    pub fn has_same_row_pending(&self, loc: &Location, excluding: ReqId) -> bool {
+        self.entries
+            .iter()
+            .any(|r| r.id != excluding && r.loc.same_row(loc))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use melreq_dram::DramGeometry;
+    use melreq_stats::types::{AccessKind, Cycle};
+
+    fn req(id: u64, core: u16, addr: u64, kind: AccessKind, arrival: Cycle) -> MemRequest {
+        let g = DramGeometry::paper();
+        MemRequest { id: ReqId(id), core: CoreId(core), addr, loc: g.decode(addr), kind, arrival }
+    }
+
+    #[test]
+    fn push_updates_counters() {
+        let mut q = RequestQueue::new(8, 2);
+        q.push(req(0, 0, 0x00, AccessKind::Read, 0));
+        q.push(req(1, 0, 0x40, AccessKind::Read, 1));
+        q.push(req(2, 1, 0x80, AccessKind::Write, 2));
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pending_reads(CoreId(0)), 2);
+        assert_eq!(q.pending_reads(CoreId(1)), 0);
+        assert_eq!(q.pending_writes(CoreId(1)), 1);
+        assert_eq!(q.total_reads(), 2);
+        assert_eq!(q.total_writes(), 1);
+    }
+
+    #[test]
+    fn remove_restores_counters() {
+        let mut q = RequestQueue::new(8, 2);
+        q.push(req(0, 0, 0x00, AccessKind::Read, 0));
+        q.push(req(1, 1, 0x40, AccessKind::Write, 0));
+        let r = q.remove(ReqId(0));
+        assert_eq!(r.id, ReqId(0));
+        assert_eq!(q.pending_reads(CoreId(0)), 0);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut q = RequestQueue::new(2, 1);
+        q.push(req(0, 0, 0x00, AccessKind::Read, 0));
+        assert!(q.has_space());
+        q.push(req(1, 0, 0x40, AccessKind::Read, 0));
+        assert!(!q.has_space());
+    }
+
+    #[test]
+    #[should_panic(expected = "request buffer overflow")]
+    fn overflow_panics() {
+        let mut q = RequestQueue::new(1, 1);
+        q.push(req(0, 0, 0x00, AccessKind::Read, 0));
+        q.push(req(1, 0, 0x40, AccessKind::Read, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "request not in queue")]
+    fn remove_missing_panics() {
+        let mut q = RequestQueue::new(2, 1);
+        q.remove(ReqId(9));
+    }
+
+    #[test]
+    fn same_row_detection() {
+        let g = DramGeometry::paper();
+        let mut q = RequestQueue::new(8, 1);
+        // Two addresses in the same row: stride channels*banks lines.
+        let a = 0u64;
+        let b = 2 * 8 * 64u64;
+        assert!(g.decode(a).same_row(&g.decode(b)));
+        q.push(req(0, 0, a, AccessKind::Read, 0));
+        q.push(req(1, 0, b, AccessKind::Read, 0));
+        let loc = g.decode(a);
+        assert!(q.has_same_row_pending(&loc, ReqId(0)));
+        q.remove(ReqId(1));
+        assert!(!q.has_same_row_pending(&loc, ReqId(0)));
+    }
+
+    #[test]
+    fn iter_sees_all() {
+        let mut q = RequestQueue::new(8, 1);
+        q.push(req(0, 0, 0x00, AccessKind::Read, 0));
+        q.push(req(1, 0, 0x40, AccessKind::Write, 0));
+        assert_eq!(q.iter().count(), 2);
+    }
+}

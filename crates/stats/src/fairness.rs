@@ -1,0 +1,137 @@
+//! The paper's two system-level evaluation metrics.
+//!
+//! * **SMT speedup** (Section 4.1, from Snavely & Tullsen): the sum over
+//!   cores of `IPC_multi[i] / IPC_single[i]`. A value of `n` would mean no
+//!   interference at all on an `n`-core system.
+//! * **Unfairness** (Section 5.3, following Gabor et al. and Mutlu &
+//!   Moscibroda): the ratio of the maximum per-program slowdown to the
+//!   minimum per-program slowdown, where slowdown is
+//!   `IPC_single[i] / IPC_multi[i]`. 1.0 is perfectly fair; larger is
+//!   less fair.
+
+/// SMT speedup: `Σ IPC_multi[i] / IPC_single[i]`.
+///
+/// # Panics
+/// Panics if the slices differ in length, are empty, or any single-core
+/// IPC is non-positive (a program cannot have zero standalone IPC).
+pub fn smt_speedup(ipc_multi: &[f64], ipc_single: &[f64]) -> f64 {
+    assert_eq!(ipc_multi.len(), ipc_single.len(), "per-core IPC slices must align");
+    assert!(!ipc_multi.is_empty(), "need at least one core");
+    ipc_multi
+        .iter()
+        .zip(ipc_single)
+        .map(|(&m, &s)| {
+            assert!(s > 0.0, "single-core IPC must be positive");
+            assert!(m >= 0.0, "multi-core IPC cannot be negative");
+            m / s
+        })
+        .sum()
+}
+
+/// Per-program slowdowns: `IPC_single[i] / IPC_multi[i]`.
+///
+/// A program that made no progress at all (`IPC_multi == 0`) is reported
+/// as `f64::INFINITY` slowdown — a starved core, which the unfairness
+/// metric will surface as infinite unfairness.
+pub fn slowdowns(ipc_multi: &[f64], ipc_single: &[f64]) -> Vec<f64> {
+    assert_eq!(ipc_multi.len(), ipc_single.len(), "per-core IPC slices must align");
+    ipc_multi
+        .iter()
+        .zip(ipc_single)
+        .map(|(&m, &s)| {
+            assert!(s > 0.0, "single-core IPC must be positive");
+            if m <= 0.0 {
+                f64::INFINITY
+            } else {
+                s / m
+            }
+        })
+        .collect()
+}
+
+/// Unfairness: `max(slowdown) / min(slowdown)`; 1.0 is perfectly fair.
+pub fn unfairness(ipc_multi: &[f64], ipc_single: &[f64]) -> f64 {
+    let sd = slowdowns(ipc_multi, ipc_single);
+    let max = sd.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let min = sd.iter().cloned().fold(f64::INFINITY, f64::min);
+    assert!(min > 0.0, "slowdown cannot be non-positive");
+    max / min
+}
+
+/// A bundle of both metrics plus the raw slowdowns, for reports.
+#[derive(Debug, Clone)]
+pub struct FairnessReport {
+    /// SMT speedup (higher is better; ideal = number of cores).
+    pub smt_speedup: f64,
+    /// Unfairness ratio (lower is better; ideal = 1.0).
+    pub unfairness: f64,
+    /// Per-core slowdown factors.
+    pub slowdowns: Vec<f64>,
+}
+
+impl FairnessReport {
+    /// Compute both metrics from per-core multi-core and single-core IPCs.
+    pub fn compute(ipc_multi: &[f64], ipc_single: &[f64]) -> Self {
+        FairnessReport {
+            smt_speedup: smt_speedup(ipc_multi, ipc_single),
+            unfairness: unfairness(ipc_multi, ipc_single),
+            slowdowns: slowdowns(ipc_multi, ipc_single),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_interference_gives_n() {
+        let single = [1.0, 2.0, 0.5, 1.5];
+        let speedup = smt_speedup(&single, &single);
+        assert!((speedup - 4.0).abs() < 1e-12);
+        assert!((unfairness(&single, &single) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_is_weighted_not_raw() {
+        // Core 0 halves, core 1 unchanged: speedup = 0.5 + 1.0.
+        let multi = [0.5, 2.0];
+        let single = [1.0, 2.0];
+        assert!((smt_speedup(&multi, &single) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unfairness_ratio() {
+        // Slowdowns 2.0 and 1.25 -> unfairness 1.6.
+        let multi = [0.5, 0.8];
+        let single = [1.0, 1.0];
+        assert!((unfairness(&multi, &single) - 1.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn starved_core_is_infinitely_unfair() {
+        let multi = [0.0, 1.0];
+        let single = [1.0, 1.0];
+        assert!(unfairness(&multi, &single).is_infinite());
+    }
+
+    #[test]
+    fn report_bundles_metrics() {
+        let r = FairnessReport::compute(&[0.5, 1.0], &[1.0, 1.0]);
+        assert_eq!(r.slowdowns.len(), 2);
+        assert!((r.smt_speedup - 1.5).abs() < 1e-12);
+        assert!((r.unfairness - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "must align")]
+    fn mismatched_lengths_panic() {
+        let _ = smt_speedup(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "single-core IPC must be positive")]
+    fn zero_single_ipc_panics() {
+        let _ = smt_speedup(&[1.0], &[0.0]);
+    }
+}

@@ -1,0 +1,130 @@
+//! Fixed-point quantization for the hardware priority table of Figure 1.
+//!
+//! The ME-LREQ controller cannot compute `ME[i] / PendingRead[i]` with a
+//! divider at scheduling time; instead the OS precomputes the quotient for
+//! every possible pending-read count (1..=64) and stores it, *scaled and
+//! rounded to a 10-bit integer*, in a per-core table (Section 3.2: "each
+//! table entry stores a 10-bit priority information").
+//!
+//! [`PriorityFixed`] is that 10-bit value. The quantization is shared by
+//! the controller model and its tests so both agree bit-for-bit.
+
+/// Number of bits in a priority-table entry (from Section 3.2).
+pub const PRIORITY_BITS: u32 = 10;
+
+/// Largest representable priority value (`2^10 - 1 = 1023`).
+pub const PRIORITY_MAX: u16 = (1 << PRIORITY_BITS) - 1;
+
+/// A 10-bit fixed-point priority value as stored in the hardware table.
+///
+/// Ordering follows the numeric value: larger means higher scheduling
+/// priority.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PriorityFixed(u16);
+
+impl PriorityFixed {
+    /// The zero (lowest) priority.
+    pub const ZERO: PriorityFixed = PriorityFixed(0);
+
+    /// The saturated maximum priority.
+    pub const MAX: PriorityFixed = PriorityFixed(PRIORITY_MAX);
+
+    /// Construct from a raw table value, saturating to 10 bits.
+    pub fn from_raw(v: u16) -> Self {
+        PriorityFixed(v.min(PRIORITY_MAX))
+    }
+
+    /// The raw 10-bit value.
+    pub fn raw(self) -> u16 {
+        self.0
+    }
+}
+
+/// Quantize a real-valued priority into the 10-bit table representation.
+///
+/// `scale` maps the real value onto the table range; values at or above
+/// `PRIORITY_MAX / scale` saturate. Non-finite or negative inputs map to
+/// zero (they can only arise from degenerate profiles and must not panic
+/// inside the controller).
+pub fn quantize(value: f64, scale: f64) -> PriorityFixed {
+    if !value.is_finite() {
+        // Infinite ME (a program with zero bandwidth) saturates: such a
+        // program's rare requests should win immediately.
+        return if value > 0.0 { PriorityFixed::MAX } else { PriorityFixed::ZERO };
+    }
+    if value <= 0.0 || scale <= 0.0 {
+        return PriorityFixed::ZERO;
+    }
+    let scaled = (value * scale).round();
+    if scaled >= PRIORITY_MAX as f64 {
+        PriorityFixed::MAX
+    } else {
+        PriorityFixed(scaled as u16)
+    }
+}
+
+/// Choose a table scale so that the largest finite priority in `values`
+/// lands near the top of the 10-bit range, maximizing resolution.
+///
+/// Returns 1.0 for an empty or all-zero input.
+pub fn auto_scale(values: impl IntoIterator<Item = f64>) -> f64 {
+    let max = values
+        .into_iter()
+        .filter(|v| v.is_finite())
+        .fold(0.0f64, f64::max);
+    if max <= 0.0 {
+        1.0
+    } else {
+        PRIORITY_MAX as f64 / max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_roundtrip_and_saturation() {
+        assert_eq!(PriorityFixed::from_raw(5).raw(), 5);
+        assert_eq!(PriorityFixed::from_raw(5000).raw(), PRIORITY_MAX);
+    }
+
+    #[test]
+    fn quantize_scales_and_rounds() {
+        let p = quantize(2.4, 10.0);
+        assert_eq!(p.raw(), 24);
+        let p = quantize(2.46, 10.0);
+        assert_eq!(p.raw(), 25);
+    }
+
+    #[test]
+    fn quantize_saturates() {
+        assert_eq!(quantize(1e9, 1.0), PriorityFixed::MAX);
+        assert_eq!(quantize(f64::INFINITY, 1.0), PriorityFixed::MAX);
+    }
+
+    #[test]
+    fn quantize_degenerate_inputs_are_zero() {
+        assert_eq!(quantize(-1.0, 10.0), PriorityFixed::ZERO);
+        assert_eq!(quantize(f64::NAN, 10.0), PriorityFixed::ZERO);
+        assert_eq!(quantize(1.0, 0.0), PriorityFixed::ZERO);
+    }
+
+    #[test]
+    fn auto_scale_targets_top_of_range() {
+        let s = auto_scale([1.0, 10.0, 100.0]);
+        assert_eq!(quantize(100.0, s), PriorityFixed::MAX);
+        assert!(quantize(1.0, s).raw() >= 10);
+    }
+
+    #[test]
+    fn auto_scale_empty_is_one() {
+        assert_eq!(auto_scale(std::iter::empty()), 1.0);
+        assert_eq!(auto_scale([0.0]), 1.0);
+    }
+
+    #[test]
+    fn ordering_follows_value() {
+        assert!(quantize(2.0, 10.0) > quantize(1.0, 10.0));
+    }
+}

@@ -1,0 +1,151 @@
+//! Property-based tests of the synthetic stream generators.
+
+use melreq_stats::types::CACHE_LINE_BYTES;
+use melreq_trace::{
+    AddressPattern, AddressStream, InstrStream, OpKind, OpMix, StreamParams, SyntheticStream,
+};
+use proptest::prelude::*;
+
+fn arb_pattern() -> impl Strategy<Value = AddressPattern> {
+    (10u32..=26, 0.0f64..=1.0, 1u64..=128, 0.0f64..=1.0).prop_map(
+        |(ws_bits, seq, stride, chase)| AddressPattern {
+            working_set: 1 << ws_bits,
+            seq_prob: seq,
+            stride,
+            chase_prob: chase,
+        },
+    )
+}
+
+fn arb_params() -> impl Strategy<Value = StreamParams> {
+    (arb_pattern(), 0.0f64..=1.0, 0.0f64..=1.0, 0.0f64..=16.0, 0.0f64..=0.2).prop_map(
+        |(pattern, mem_frac, load_frac, dep, mispredict)| StreamParams {
+            mem_frac,
+            load_frac,
+            pattern,
+            mix: OpMix::integer(),
+            mean_dep_dist: dep,
+            chase_dep_frac: 0.2,
+            mispredict_rate: mispredict,
+            code_footprint: 16 * 1024,
+        },
+    )
+}
+
+proptest! {
+    /// Address streams never leave their assigned region, for any valid
+    /// pattern.
+    #[test]
+    fn addresses_stay_in_region(p in arb_pattern(), seed in any::<u64>()) {
+        let base = 0x4000_0000u64;
+        let ws = p.working_set;
+        let mut s = AddressStream::new(p, base, seed);
+        for _ in 0..2000 {
+            let a = s.next_sample().addr;
+            prop_assert!(a >= base && a < base + ws, "address {a:#x} escaped region");
+        }
+    }
+
+    /// Generated micro-ops respect their invariants: memory ops carry
+    /// in-region addresses, PCs stay inside the code footprint, and
+    /// dependency distances fit the ROB-visible window.
+    #[test]
+    fn ops_respect_invariants(params in arb_params(), seed in any::<u64>()) {
+        let data = 0x1000_0000u64;
+        let code = 0x8000_0000u64;
+        let ws = params.pattern.working_set;
+        let cf = params.code_footprint;
+        let mut s = SyntheticStream::new("prop", params, data, code, seed);
+        for _ in 0..2000 {
+            let op = s.next_op();
+            prop_assert!(op.pc >= code && op.pc < code + cf, "pc {:#x} out of code", op.pc);
+            prop_assert!(op.dep_dist <= 64);
+            if let Some(a) = op.kind.mem_addr() {
+                prop_assert!(a >= data && a < data + ws, "data {a:#x} out of region");
+            }
+        }
+    }
+
+    /// Streams with the same seed are identical; the label round-trips.
+    #[test]
+    fn determinism(params in arb_params(), seed in any::<u64>()) {
+        let mut a = SyntheticStream::new("x", params.clone(), 0, 0x8000_0000, seed);
+        let mut b = SyntheticStream::new("x", params, 0, 0x8000_0000, seed);
+        prop_assert_eq!(a.label(), "x");
+        for _ in 0..256 {
+            prop_assert_eq!(a.next_op(), b.next_op());
+        }
+    }
+
+    /// The realized memory-op fraction converges to the configured one.
+    #[test]
+    fn mem_fraction_converges(frac in 0.05f64..0.95, seed in any::<u64>()) {
+        let params = StreamParams {
+            mem_frac: frac,
+            load_frac: 0.7,
+            pattern: AddressPattern::streaming(1 << 20),
+            mix: OpMix::integer(),
+            mean_dep_dist: 2.0,
+            chase_dep_frac: 0.0,
+            mispredict_rate: 0.02,
+            code_footprint: 8 * 1024,
+        };
+        let mut s = SyntheticStream::new("frac", params, 0, 0x8000_0000, seed);
+        let n = 20_000;
+        let mem = (0..n).filter(|_| s.next_op().kind.is_mem()).count();
+        let realized = mem as f64 / n as f64;
+        prop_assert!((realized - frac).abs() < 0.05, "requested {frac}, realized {realized}");
+    }
+
+    /// Sequential steps advance by the configured stride and wrap.
+    #[test]
+    fn pure_sequential_walk(stride in 1u64..=256, seed in any::<u64>()) {
+        let ws = 1u64 << 16;
+        let p = AddressPattern { working_set: ws, seq_prob: 1.0, stride, chase_prob: 0.0 };
+        let mut s = AddressStream::new(p, 0, seed);
+        let mut prev = s.next_sample().addr;
+        for _ in 0..1000 {
+            let a = s.next_sample().addr;
+            prop_assert!(a == prev + stride || a == 0, "unexpected step {prev:#x} -> {a:#x}");
+            prev = a;
+        }
+    }
+
+    /// Loads and stores split according to `load_frac`.
+    #[test]
+    fn load_store_split_converges(load_frac in 0.1f64..0.9, seed in any::<u64>()) {
+        let params = StreamParams {
+            mem_frac: 0.5,
+            load_frac,
+            pattern: AddressPattern::streaming(1 << 20),
+            mix: OpMix::integer(),
+            mean_dep_dist: 2.0,
+            chase_dep_frac: 0.0,
+            mispredict_rate: 0.0,
+            code_footprint: 8 * 1024,
+        };
+        let mut s = SyntheticStream::new("split", params, 0, 0x8000_0000, seed);
+        let (mut loads, mut stores) = (0u32, 0u32);
+        for _ in 0..20_000 {
+            match s.next_op().kind {
+                OpKind::Load { .. } => loads += 1,
+                OpKind::Store { .. } => stores += 1,
+                _ => {}
+            }
+        }
+        let realized = loads as f64 / (loads + stores) as f64;
+        prop_assert!((realized - load_frac).abs() < 0.05);
+    }
+}
+
+#[test]
+fn jump_targets_are_line_aligned() {
+    // Jumps land on line starts (the generator's contract with the
+    // spatial-locality model).
+    let p = AddressPattern { working_set: 1 << 20, seq_prob: 0.0, stride: 8, chase_prob: 0.5 };
+    let mut s = AddressStream::new(p, 0, 99);
+    for _ in 0..1000 {
+        let a = s.next_sample().addr;
+        assert_eq!(a % CACHE_LINE_BYTES, 0);
+    }
+}

@@ -1,0 +1,21 @@
+//! SPEC CPU2000 application models and the paper's workload mixes.
+//!
+//! The paper profiles the 26 SPEC2000 benchmarks (Table 2: MEM/ILP class
+//! and memory-efficiency value) and composes them into 36 multiprogrammed
+//! mixes (Table 3). We cannot ship SPEC binaries, so each benchmark is
+//! replaced by a *statistical model* — a [`melreq_trace::SyntheticStream`]
+//! parameterization chosen to land the application in the paper's class
+//! with a comparable memory-efficiency *magnitude*: streaming FP codes
+//! (swim, applu, lucas) saturate bandwidth at low IPC (ME ≈ 1), irregular
+//! pointer codes (mcf) crawl at low bandwidth, cache-resident integer
+//! codes (eon, perlbmk, twolf) rarely touch DRAM (ME in the thousands).
+//!
+//! The paper's methodology distinguishes *profiling* simpoints from
+//! *evaluation* simpoints; here those are different RNG seeds of the same
+//! model ([`SliceKind`]).
+
+pub mod apps;
+pub mod mixes;
+
+pub use apps::{app_by_code, spec2000, AppClass, AppSpec, SliceKind};
+pub use mixes::{all_mixes, mix_by_name, mixes_for_cores, Mix, MixKind};

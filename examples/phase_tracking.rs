@@ -1,0 +1,103 @@
+//! Phase tracking: why the paper's future work (online ME estimation)
+//! matters.
+//!
+//! Core 0 runs a *phased* program that alternates between a
+//! compute-bound phase (eon-like: huge ME) and a bandwidth-bound phase
+//! (swim-like: tiny ME); cores 1–3 run steady memory hogs. An off-line
+//! profile can only see the phased program's *average* efficiency, so
+//! classic ME-LREQ gives it a fixed middle-of-the-road priority. The
+//! online estimator (`ME-LREQ-ON`) re-measures every epoch and raises
+//! the program's priority exactly in the phases where serving it first
+//! is cheap and valuable.
+//!
+//! ```text
+//! cargo run --release --example phase_tracking
+//! ```
+
+use melreq::core::profile::profile_app;
+use melreq::trace::{InstrStream, PhasedStream};
+use melreq::workloads::{app_by_code, SliceKind};
+use melreq::{PolicyKind, System, SystemConfig};
+
+/// Ops per phase: long enough to dominate a 50 K-cycle estimation epoch.
+const PHASE_OPS: u64 = 120_000;
+
+fn phased_program(core: usize) -> PhasedStream {
+    let compute = app_by_code('t'); // eon-like phase
+    let stream = app_by_code('c'); // swim-like phase
+    PhasedStream::new(
+        "eon<->swim",
+        vec![
+            (compute.build_stream(core, SliceKind::Evaluation(7)), PHASE_OPS),
+            (stream.build_stream(core, SliceKind::Evaluation(8)), PHASE_OPS),
+        ],
+    )
+}
+
+fn run(policy: PolicyKind, me: &[f64]) -> (f64, Vec<f64>) {
+    let cfg = SystemConfig::paper(4, policy);
+    let mut streams: Vec<Box<dyn InstrStream + Send>> =
+        vec![Box::new(phased_program(0)) as Box<dyn InstrStream + Send>];
+    for (i, code) in ['d', 'e', 'p'].iter().enumerate() {
+        streams.push(Box::new(app_by_code(*code).build_stream(i + 1, SliceKind::Evaluation(0))));
+    }
+    let mut sys = System::new(cfg, streams, me);
+    let out = sys.run_measured(60_000, 240_000, 1 << 34);
+    assert!(!out.timed_out, "phase-tracking run timed out");
+    (out.ipc.iter().sum(), out.ipc.clone())
+}
+
+/// What an off-line profiling pass actually measures for the phased
+/// program: run it alone on the single-core machine and apply Equation 1
+/// to the whole slice. Time-weighting means the slow, bandwidth-heavy
+/// phase dominates both IPC and bandwidth, so the whole-program ME lands
+/// near the hog range even though half the *ops* come from a phase that
+/// deserves top priority.
+fn profile_phased() -> f64 {
+    let cfg = SystemConfig::paper(1, PolicyKind::HfRf);
+    let stream: Box<dyn InstrStream + Send> = Box::new(phased_program(0));
+    let mut sys = System::new(cfg, vec![stream], &[1.0]);
+    let out = sys.run_measured(2 * PHASE_OPS, 2 * PHASE_OPS, 1 << 34);
+    assert!(!out.timed_out);
+    let bw = out.total_bandwidth_gbs(3.2e9);
+    out.ipc[0] / bw.max(1e-3)
+}
+
+fn main() {
+    let compute = profile_app(&app_by_code('t'), SliceKind::Profiling, 60_000);
+    let stream = profile_app(&app_by_code('c'), SliceKind::Profiling, 60_000);
+    let phased_me = profile_phased();
+    let hogs: Vec<f64> = ['d', 'e', 'p']
+        .iter()
+        .map(|c| profile_app(&app_by_code(*c), SliceKind::Profiling, 60_000).me)
+        .collect();
+    let me = vec![phased_me, hogs[0], hogs[1], hogs[2]];
+    println!(
+        "offline whole-program profile of the phased program: ME = {:.2}\n\
+         (its phases alone profile at {:.2} and {:.2}); hogs = {:?}",
+        phased_me,
+        compute.me,
+        stream.me,
+        hogs.iter().map(|m| (m * 100.0).round() / 100.0).collect::<Vec<_>>()
+    );
+
+    println!("\n{:14} {:>10} {:>26}", "policy", "sum IPC", "per-core IPC");
+    for policy in [
+        PolicyKind::HfRf,
+        PolicyKind::MeLreq,
+        PolicyKind::MeLreqOnline { epoch_cycles: 25_000 },
+    ] {
+        let name = policy.name();
+        let (total, per_core) = run(policy, &me);
+        println!(
+            "{:14} {:>10.3} {:>26}",
+            name,
+            total,
+            per_core.iter().map(|x| format!("{x:.2}")).collect::<Vec<_>>().join(" ")
+        );
+    }
+    println!(
+        "\nThe online estimator re-profiles every epoch, so the phased program's\n\
+         priority follows its current phase instead of its long-run average."
+    );
+}

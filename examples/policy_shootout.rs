@@ -1,0 +1,53 @@
+//! Policy shoot-out: run one Table 3 workload under every scheduling
+//! scheme of the paper and compare performance, latency and fairness —
+//! a single-workload slice of Figures 2, 4 and 5.
+//!
+//! ```text
+//! cargo run --release --example policy_shootout [4MEM-1]
+//! ```
+
+use melreq::experiment::{compare_policies, ExperimentOptions, ProfileCache};
+use melreq::workloads::mix_by_name;
+use melreq::PolicyKind;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "4MEM-1".to_string());
+    let mix = mix_by_name(&name);
+    println!(
+        "workload {} on {} cores: {}",
+        mix.name,
+        mix.cores(),
+        mix.apps().iter().map(|a| a.name).collect::<Vec<_>>().join(", ")
+    );
+
+    let opts = ExperimentOptions {
+        instructions: 80_000,
+        warmup: 40_000,
+        profile_instructions: 40_000,
+        ..Default::default()
+    };
+    let cache = ProfileCache::new();
+    let cmp = compare_policies(&mix, &PolicyKind::figure2_set(), &opts, &cache);
+
+    println!(
+        "\n{:9} {:>9} {:>11} {:>11} {:>9}",
+        "scheme", "speedup", "vs HF-RF", "read lat", "unfair"
+    );
+    for (i, r) in cmp.results.iter().enumerate() {
+        println!(
+            "{:9} {:>9.3} {:>+10.1}% {:>8.0} cy {:>9.3}",
+            r.policy,
+            r.smt_speedup,
+            (cmp.speedup_over_baseline(i) - 1.0) * 100.0,
+            r.mean_read_latency,
+            r.unfairness
+        );
+    }
+
+    let best = cmp
+        .results
+        .iter()
+        .max_by(|a, b| a.smt_speedup.partial_cmp(&b.smt_speedup).expect("finite"))
+        .expect("non-empty");
+    println!("\nbest scheme for {}: {}", mix.name, best.policy);
+}

@@ -1,0 +1,62 @@
+//! Starvation study: what fixed core priorities do to individual
+//! programs — the phenomenon behind Figure 3 and Section 5.3's fairness
+//! analysis.
+//!
+//! Runs one 4-core MEM workload under HF-RF, ME, FIX-0123 and FIX-3210
+//! and prints each core's slowdown relative to running alone. Fixed
+//! priorities visibly crush the lowest-priority core; the ME ordering is
+//! consistent but still starves whoever profiles least efficient; the
+//! dynamic ME-LREQ (printed last for contrast) spreads the pain.
+//!
+//! ```text
+//! cargo run --release --example starvation_study [4MEM-5]
+//! ```
+
+use melreq::experiment::{run_mix, ExperimentOptions, ProfileCache};
+use melreq::workloads::mix_by_name;
+use melreq::PolicyKind;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "4MEM-5".to_string());
+    let mix = mix_by_name(&name);
+    let apps: Vec<&str> = mix.apps().iter().map(|a| a.name).collect();
+    println!("workload {} = {:?}\n", mix.name, apps);
+
+    let opts = ExperimentOptions {
+        instructions: 80_000,
+        warmup: 40_000,
+        profile_instructions: 40_000,
+        ..Default::default()
+    };
+    let cache = ProfileCache::new();
+
+    let mut policies = PolicyKind::figure3_set(mix.cores());
+    policies.push(PolicyKind::MeLreq);
+
+    println!(
+        "{:10} {:>8} {:>8}   per-core slowdown (x)",
+        "scheme", "speedup", "unfair"
+    );
+    for kind in policies {
+        let r = run_mix(&mix, &kind, &opts, &cache);
+        let slowdowns: Vec<String> = r
+            .ipc_single
+            .iter()
+            .zip(&r.ipc_multi)
+            .map(|(s, m)| format!("{:>6.2}", s / m.max(1e-9)))
+            .collect();
+        println!(
+            "{:10} {:>8.3} {:>8.3}   [{}]",
+            r.policy,
+            r.smt_speedup,
+            r.unfairness,
+            slowdowns.join(" ")
+        );
+    }
+    println!(
+        "\nReading the table: under FIX-3210 core 0 is always served last — its \
+         slowdown balloons; under FIX-0123 the same happens to core 3. ME picks a \
+         profile-guided order (consistent, but still a fixed pecking order). \
+         ME-LREQ keeps the order dynamic and the slowdowns balanced."
+    );
+}

@@ -1,0 +1,175 @@
+//! Integration tests for this repo's extensions beyond the paper's
+//! evaluated set: fair schedulers, phased programs, online ME estimation,
+//! and the optional DRAM timing constraints.
+
+use melreq::experiment::{run_mix, run_mix_custom, ExperimentOptions, ProfileCache};
+use melreq::memctrl::ext::{FairQueueing, StallTimeFair};
+use melreq::trace::{InstrStream, PhasedStream};
+use melreq::workloads::{app_by_code, mix_by_name, SliceKind};
+use melreq::{PolicyKind, System, SystemConfig};
+
+fn opts() -> ExperimentOptions {
+    ExperimentOptions {
+        instructions: 30_000,
+        warmup: 15_000,
+        profile_instructions: 15_000,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn fair_schedulers_run_end_to_end() {
+    let cache = ProfileCache::new();
+    let mix = mix_by_name("2MEM-4");
+    let fq = run_mix_custom(
+        &mix,
+        "FQ",
+        |_me, cores, _seed| (Box::new(FairQueueing::new(cores)), true),
+        None,
+        &opts(),
+        &cache,
+    );
+    let stf = run_mix_custom(
+        &mix,
+        "STF",
+        |_me, cores, _seed| (Box::new(StallTimeFair::new(cores)), true),
+        None,
+        &opts(),
+        &cache,
+    );
+    for r in [&fq, &stf] {
+        assert!(!r.timed_out, "{} timed out", r.policy);
+        assert!(r.smt_speedup > 0.5, "{} speedup {}", r.policy, r.smt_speedup);
+        assert!(r.unfairness >= 1.0);
+    }
+}
+
+#[test]
+fn weighted_fq_shifts_service_toward_the_favoured_core() {
+    // Same two-hog mix, once with equal shares and once with core 0
+    // favoured 8:1 — core 0's IPC must improve at core 1's expense.
+    let mix = mix_by_name("2MEM-2");
+    let cache = ProfileCache::new();
+    let equal = run_mix_custom(
+        &mix,
+        "FQ",
+        |_me, cores, _seed| (Box::new(FairQueueing::new(cores)), true),
+        None,
+        &opts(),
+        &cache,
+    );
+    let skewed = run_mix_custom(
+        &mix,
+        "FQ",
+        |_me, _cores, _seed| (Box::new(FairQueueing::with_shares(vec![8, 1])), true),
+        None,
+        &opts(),
+        &cache,
+    );
+    assert!(
+        skewed.ipc_multi[0] > equal.ipc_multi[0],
+        "favoured core must speed up: {} vs {}",
+        skewed.ipc_multi[0],
+        equal.ipc_multi[0]
+    );
+    assert!(
+        skewed.ipc_multi[1] < equal.ipc_multi[1],
+        "unfavoured core must slow down: {} vs {}",
+        skewed.ipc_multi[1],
+        equal.ipc_multi[1]
+    );
+}
+
+#[test]
+fn phased_program_runs_in_a_full_system() {
+    let phased = PhasedStream::new(
+        "phase-test",
+        vec![
+            (app_by_code('t').build_stream(0, SliceKind::Evaluation(1)), 8_000),
+            (app_by_code('c').build_stream(0, SliceKind::Evaluation(2)), 8_000),
+        ],
+    );
+    let cfg = SystemConfig::paper(2, PolicyKind::MeLreqOnline { epoch_cycles: 10_000 });
+    let streams: Vec<Box<dyn InstrStream + Send>> = vec![
+        Box::new(phased),
+        Box::new(app_by_code('e').build_stream(1, SliceKind::Evaluation(0))),
+    ];
+    let mut sys = System::new(cfg, streams, &[1.0, 1.0]);
+    let out = sys.run_measured(16_000, 32_000, 1 << 30);
+    assert!(!out.timed_out);
+    assert!(out.ipc.iter().all(|&i| i > 0.0));
+}
+
+#[test]
+fn online_me_is_competitive_with_offline_on_steady_workloads() {
+    // On a steady (non-phased) mix, online estimation should converge to
+    // the offline profile's behaviour: within a few percent.
+    let cache = ProfileCache::new();
+    let mix = mix_by_name("4MEM-5");
+    let o = ExperimentOptions { instructions: 60_000, warmup: 30_000, ..opts() };
+    let offline = run_mix(&mix, &PolicyKind::MeLreq, &o, &cache);
+    let online =
+        run_mix(&mix, &PolicyKind::MeLreqOnline { epoch_cycles: 20_000 }, &o, &cache);
+    assert!(!online.timed_out);
+    let ratio = online.smt_speedup / offline.smt_speedup;
+    assert!(
+        ratio > 0.95 && ratio < 1.05,
+        "online should track offline on steady workloads, ratio {ratio}"
+    );
+}
+
+#[test]
+fn refresh_costs_throughput() {
+    // The same single-core streaming run with and without refresh: with
+    // refresh enabled, banks periodically block, so the run takes longer.
+    let build = |refresh: bool| {
+        let mut cfg = SystemConfig::paper(1, PolicyKind::HfRf);
+        if refresh {
+            cfg.timing = cfg.timing.with_refresh();
+        }
+        let s: Box<dyn InstrStream + Send> =
+            Box::new(app_by_code('c').build_stream(0, SliceKind::Evaluation(0)));
+        System::new(cfg, vec![s], &[1.0])
+    };
+    let mut plain = build(false);
+    let a = plain.run_measured(10_000, 30_000, 1 << 30);
+    let mut refreshing = build(true);
+    let b = refreshing.run_measured(10_000, 30_000, 1 << 30);
+    assert!(!a.timed_out && !b.timed_out);
+    assert!(
+        refreshing.hierarchy().controller().dram().refresh_count() > 0,
+        "refresh never fired"
+    );
+    assert!(
+        b.ipc[0] < a.ipc[0],
+        "refresh must cost something: {} vs {}",
+        b.ipc[0],
+        a.ipc[0]
+    );
+    // ...but not more than a few percent (tREFI >> tRFC).
+    assert!(b.ipc[0] > 0.9 * a.ipc[0], "refresh cost implausibly high");
+}
+
+#[test]
+fn activation_windows_cost_bank_parallelism() {
+    let build = |strict: bool| {
+        let mut cfg = SystemConfig::paper(1, PolicyKind::HfRf);
+        if strict {
+            cfg.timing = cfg.timing.with_activation_windows();
+        }
+        let s: Box<dyn InstrStream + Send> =
+            Box::new(app_by_code('c').build_stream(0, SliceKind::Evaluation(0)));
+        System::new(cfg, vec![s], &[1.0])
+    };
+    let mut plain = build(false);
+    let a = plain.run_measured(10_000, 30_000, 1 << 30);
+    let mut strict = build(true);
+    let b = strict.run_measured(10_000, 30_000, 1 << 30);
+    assert!(!a.timed_out && !b.timed_out);
+    assert!(
+        b.ipc[0] <= a.ipc[0] * 1.001,
+        "tRRD/tFAW cannot speed anything up: {} vs {}",
+        b.ipc[0],
+        a.ipc[0]
+    );
+}
