@@ -1,0 +1,279 @@
+//! The audit event stream: what the instrumented simulator reports.
+//!
+//! Events are plain data — the auditor re-derives all legality from them
+//! and deliberately shares no state-machine code with `melreq-dram` or
+//! `melreq-memctrl`. The instrumentation contract is:
+//!
+//! * `DramConfig` / `CtrlConfig` are emitted once, at attach time;
+//! * `ProfileUpdate` is emitted when the priority tables are
+//!   (re)programmed, carrying the exact ME vector handed to the policy;
+//! * `Submit` is emitted for every request entering the shared buffer;
+//! * `Refresh` events are emitted *before* any grant that follows the
+//!   refresh boundary on that channel;
+//! * `Decision` is emitted for every scheduling choice, *before* the
+//!   matching `Grant`, and lists the complete candidate set the
+//!   controller considered.
+
+use melreq_stats::types::Cycle;
+use std::sync::{Arc, Mutex};
+
+/// DRAM timing parameters as the instrumented device reports them, in
+/// CPU cycles. Zero disables an optional constraint, mirroring
+/// `melreq_dram::DramTiming`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TimingParams {
+    /// ACT → READ/WRITE (row-to-column) delay.
+    pub t_rcd: Cycle,
+    /// CAS latency.
+    pub t_cl: Cycle,
+    /// Precharge time.
+    pub t_rp: Cycle,
+    /// Write recovery before precharge.
+    pub t_wr: Cycle,
+    /// Data-bus occupancy of one burst.
+    pub burst: Cycle,
+    /// Refresh interval (0 = refresh disabled).
+    pub t_refi: Cycle,
+    /// Refresh cycle time.
+    pub t_rfc: Cycle,
+    /// Minimum ACT-to-ACT spacing per channel (0 = unconstrained).
+    pub t_rrd: Cycle,
+    /// Four-activate window (0 = unconstrained).
+    pub t_faw: Cycle,
+}
+
+/// How the granting side claims the row buffer was found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GrantOutcome {
+    /// Addressed row already open.
+    Hit,
+    /// Bank closed: ACT then column access.
+    ClosedMiss,
+    /// Another row open: PRE, ACT, column access.
+    Conflict,
+}
+
+/// One request the controller offered to the scheduling policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CandidateInfo {
+    /// Request id (monotone in arrival order).
+    pub id: u64,
+    /// Originating core.
+    pub core: u16,
+    /// Target bank on the decision's channel.
+    pub bank: usize,
+    /// Target row.
+    pub row: u64,
+    /// Write-back (true) or demand read (false).
+    pub write: bool,
+    /// The controller's claim that this request hits an open row.
+    pub row_hit: bool,
+    /// Cycle the request entered the shared buffer.
+    pub arrival: Cycle,
+}
+
+/// One event of the instrumented simulator's audit stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AuditEvent {
+    /// DRAM device shape and timing (once, at attach).
+    DramConfig {
+        /// Logical channel count.
+        channels: usize,
+        /// Banks per channel.
+        banks_per_channel: usize,
+        /// Timing parameters in CPU cycles.
+        timing: TimingParams,
+    },
+    /// Controller configuration (once, at attach).
+    CtrlConfig {
+        /// Core count.
+        cores: usize,
+        /// Active policy's display name.
+        policy: &'static str,
+        /// Whether reads bypass writes.
+        read_first: bool,
+        /// Shared buffer entries.
+        buffer_entries: usize,
+        /// Pending-write count that starts draining.
+        drain_start: usize,
+        /// Pending-write count that stops draining.
+        drain_stop: usize,
+        /// Fixed pipeline overhead before a request is schedulable.
+        overhead: Cycle,
+    },
+    /// The priority tables were programmed with this ME vector.
+    ProfileUpdate {
+        /// Per-core memory-efficiency values.
+        me: Vec<f64>,
+    },
+    /// A request entered the shared buffer.
+    Submit {
+        /// Request id.
+        id: u64,
+        /// Originating core.
+        core: u16,
+        /// Decoded channel.
+        channel: usize,
+        /// Decoded bank.
+        bank: usize,
+        /// Decoded row.
+        row: u64,
+        /// Write-back (true) or read (false).
+        write: bool,
+        /// Submission cycle.
+        at: Cycle,
+    },
+    /// An all-bank refresh started on `channel` at `at`.
+    Refresh {
+        /// Channel refreshed.
+        channel: usize,
+        /// Cycle the refresh started.
+        at: Cycle,
+    },
+    /// The controller explicitly precharged a bank.
+    Precharge {
+        /// Channel.
+        channel: usize,
+        /// Bank.
+        bank: usize,
+        /// Cycle of the precharge command.
+        at: Cycle,
+    },
+    /// One scheduling decision (emitted before its `Grant`).
+    Decision {
+        /// Channel the decision is for.
+        channel: usize,
+        /// Scheduling cycle.
+        at: Cycle,
+        /// Whether the controller is in write-drain mode.
+        draining: bool,
+        /// Chosen request id.
+        chosen: u64,
+        /// The full candidate set the controller considered.
+        candidates: Vec<CandidateInfo>,
+        /// Per-core pending read counts the policy saw.
+        pending_reads: Vec<u32>,
+    },
+    /// A transaction was granted to the DRAM device.
+    Grant {
+        /// Request id.
+        id: u64,
+        /// Originating core.
+        core: u16,
+        /// Channel.
+        channel: usize,
+        /// Bank.
+        bank: usize,
+        /// Row.
+        row: u64,
+        /// Write-back (true) or read (false).
+        write: bool,
+        /// Cycle the controller asked for the grant.
+        requested_at: Cycle,
+        /// Effective grant cycle after activate-window spacing.
+        granted_at: Cycle,
+        /// Close-page decision: row stays latched after the access.
+        keep_open: bool,
+        /// Claimed row-buffer outcome.
+        outcome: GrantOutcome,
+        /// Claimed cycle of the last data beat.
+        data_ready: Cycle,
+    },
+}
+
+/// Receives audit events from the instrumented simulator.
+pub trait AuditSink: Send + std::fmt::Debug {
+    /// Observe one event.
+    fn record(&mut self, ev: &AuditEvent);
+}
+
+/// A sink that stores the raw stream (for tests and offline replay).
+#[derive(Debug, Default)]
+pub struct Recorder {
+    /// The recorded stream, in emission order.
+    pub events: Vec<AuditEvent>,
+}
+
+impl AuditSink for Recorder {
+    fn record(&mut self, ev: &AuditEvent) {
+        self.events.push(ev.clone());
+    }
+}
+
+/// A cheap, cloneable handle the instrumented crates hold. Disabled
+/// handles reduce every emission to one `Option` check; enabled handles
+/// forward to a shared [`AuditSink`].
+#[derive(Debug, Clone, Default)]
+pub struct AuditHandle {
+    inner: Option<Arc<Mutex<dyn AuditSink>>>,
+    decisions: bool,
+}
+
+impl AuditHandle {
+    /// A handle that drops every event (the default).
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// Wrap a sink. `decisions` controls whether the (comparatively
+    /// expensive) `Decision` events should be emitted; timing-only
+    /// auditing can leave it off.
+    pub fn new<S: AuditSink + 'static>(sink: S, decisions: bool) -> Self {
+        AuditHandle { inner: Some(Arc::new(Mutex::new(sink))), decisions }
+    }
+
+    /// Share an existing sink (the caller keeps the other `Arc` to read
+    /// results back after the run).
+    pub fn from_shared(sink: Arc<Mutex<dyn AuditSink>>, decisions: bool) -> Self {
+        AuditHandle { inner: Some(sink), decisions }
+    }
+
+    /// Whether any sink is attached.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Whether `Decision` events should be built and emitted.
+    pub fn wants_decisions(&self) -> bool {
+        self.inner.is_some() && self.decisions
+    }
+
+    /// Emit one event; `make` runs only when a sink is attached.
+    pub fn emit(&self, make: impl FnOnce() -> AuditEvent) {
+        if let Some(sink) = &self.inner {
+            let ev = make();
+            sink.lock().expect("audit sink poisoned").record(&ev);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_never_builds_events() {
+        let h = AuditHandle::disabled();
+        assert!(!h.is_enabled());
+        assert!(!h.wants_decisions());
+        h.emit(|| unreachable!("disabled handle must not build events"));
+    }
+
+    #[test]
+    fn recorder_captures_in_order() {
+        let h = AuditHandle::new(Recorder::default(), true);
+        h.emit(|| AuditEvent::Refresh { channel: 0, at: 10 });
+        h.emit(|| AuditEvent::Refresh { channel: 1, at: 20 });
+        assert!(h.is_enabled() && h.wants_decisions());
+    }
+
+    #[test]
+    fn shared_sink_is_readable_after_emission() {
+        let shared: Arc<Mutex<dyn AuditSink>> = Arc::new(Mutex::new(Recorder::default()));
+        let h = AuditHandle::from_shared(shared.clone(), false);
+        h.emit(|| AuditEvent::Precharge { channel: 0, bank: 3, at: 99 });
+        let guard = shared.lock().expect("sink");
+        let dbg = format!("{guard:?}");
+        assert!(dbg.contains("Precharge"), "{dbg}");
+    }
+}

@@ -14,7 +14,7 @@ fn bench_hits(c: &mut Criterion) {
         b.iter(|| {
             i = (i + 1) % 512;
             black_box(cache.access(black_box(i * 64), false))
-        })
+        });
     });
 }
 
@@ -25,7 +25,7 @@ fn bench_fill_evict(c: &mut Criterion) {
         b.iter(|| {
             addr += 64;
             black_box(cache.fill(black_box(addr), addr.is_multiple_of(3)))
-        })
+        });
     });
 }
 
@@ -38,7 +38,7 @@ fn bench_mshr(c: &mut Criterion) {
             mshr.allocate(addr, 1);
             mshr.allocate(addr + 16, 2); // merge
             black_box(mshr.complete(addr))
-        })
+        });
     });
 }
 

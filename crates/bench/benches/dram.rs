@@ -13,7 +13,7 @@ fn bench_decode(c: &mut Criterion) {
         b.iter(|| {
             addr = addr.wrapping_add(0x4373).wrapping_mul(0x9E3779B97F4A7C15) & 0x00FF_FFFF_FFC0;
             black_box(g.decode(black_box(addr)))
-        })
+        });
     });
 }
 
@@ -35,7 +35,7 @@ fn bench_issue_stream(c: &mut Criterion) {
                 d
             },
             criterion::BatchSize::SmallInput,
-        )
+        );
     });
 }
 
@@ -47,7 +47,8 @@ fn bench_issue_random(c: &mut Criterion) {
                 let mut now = 0;
                 let mut addr = 0u64;
                 for _ in 0..256 {
-                    addr = addr.wrapping_add(0x12345).wrapping_mul(6364136223846793005) & 0x3FFF_FFC0;
+                    addr =
+                        addr.wrapping_add(0x12345).wrapping_mul(6364136223846793005) & 0x3FFF_FFC0;
                     let loc = d.decode(addr);
                     while !d.can_issue(&loc, now) {
                         now += 1;
@@ -58,7 +59,7 @@ fn bench_issue_random(c: &mut Criterion) {
                 d
             },
             criterion::BatchSize::SmallInput,
-        )
+        );
     });
 }
 

@@ -27,7 +27,7 @@ fn bench_policies(c: &mut Criterion) {
         let cands = candidates(32, cores);
         let mut policy = kind.build(&me, cores, 42);
         group.bench_function(kind.name(), |b| {
-            b.iter(|| black_box(policy.select(black_box(&cands), black_box(&pending))))
+            b.iter(|| black_box(policy.select(black_box(&cands), black_box(&pending))));
         });
     }
     group.finish();
@@ -42,7 +42,7 @@ fn bench_queue_sizes(c: &mut Criterion) {
         let cands = candidates(n, cores);
         let mut policy = PolicyKind::MeLreq.build(&me, cores, 42);
         group.bench_function(format!("{n}_candidates"), |b| {
-            b.iter(|| black_box(policy.select(black_box(&cands), black_box(&pending))))
+            b.iter(|| black_box(policy.select(black_box(&cands), black_box(&pending))));
         });
     }
     group.finish();

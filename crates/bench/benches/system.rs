@@ -3,8 +3,8 @@
 //! This is the number that determines how long the figure harnesses take.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use melreq_core::SystemConfig;
 use melreq_core::System;
+use melreq_core::SystemConfig;
 use melreq_memctrl::policy::PolicyKind;
 use melreq_trace::InstrStream;
 use melreq_workloads::{app_by_code, SliceKind};
@@ -37,7 +37,7 @@ fn bench_single_core(c: &mut Criterion) {
                     black_box(sys.cores()[0].committed())
                 },
                 criterion::BatchSize::SmallInput,
-            )
+            );
         });
     }
     group.finish();
@@ -57,7 +57,7 @@ fn bench_four_core(c: &mut Criterion) {
                     black_box(sys.now())
                 },
                 criterion::BatchSize::SmallInput,
-            )
+            );
         });
     }
     group.finish();

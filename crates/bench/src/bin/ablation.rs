@@ -48,9 +48,8 @@ impl SchedulerPolicy for ExactMeLreq {
             .max_by(|a, b| {
                 let pa = self.me[a.index()] / pending[a.index()].max(1) as f64;
                 let pb = self.me[b.index()] / pending[b.index()].max(1) as f64;
-                pa.partial_cmp(&pb)
-                    .expect("finite priorities")
-                    .then(b.index().cmp(&a.index())) // tie: lowest core id
+                pa.partial_cmp(&pb).expect("finite priorities").then(b.index().cmp(&a.index()))
+                // tie: lowest core id
             })
             .expect("non-empty");
         cands
@@ -89,10 +88,7 @@ fn main() {
     let (opts, _) = parse_opts(ExperimentOptions::default());
     let cache = ProfileCache::new();
     let mix = mix_by_name("4MEM-4");
-    println!(
-        "Ablation studies on {} ({} instructions/core)\n",
-        mix.name, opts.instructions
-    );
+    println!("Ablation studies on {} ({} instructions/core)\n", mix.name, opts.instructions);
 
     // Shared inputs.
     let me: Vec<f64> = mix
@@ -103,9 +99,7 @@ fn main() {
     let ipc_single: Vec<f64> = mix
         .apps()
         .iter()
-        .map(|a| {
-            profile_app(a, SliceKind::Evaluation(opts.eval_slice), opts.instructions).ipc
-        })
+        .map(|a| profile_app(a, SliceKind::Evaluation(opts.eval_slice), opts.instructions).ipc)
         .collect();
 
     // Study 1 + 2: quantization and tie-breaking. Run on the MEM mix and
@@ -123,18 +117,16 @@ fn main() {
         let probe_single: Vec<f64> = probe
             .apps()
             .iter()
-            .map(|a| {
-                profile_app(a, SliceKind::Evaluation(opts.eval_slice), opts.instructions).ipc
-            })
+            .map(|a| profile_app(a, SliceKind::Evaluation(opts.eval_slice), opts.instructions).ipc)
             .collect();
         println!("   on {}:", probe.name);
         let variants: Vec<(&str, Box<dyn SchedulerPolicy>)> = vec![
-            ("log-quantized table, random ties (default)",
-             Box::new(MeLreq::new(&probe_me, seed))),
-            ("linear-quantized table, random ties",
-             Box::new(MeLreq::with_table(PriorityTable::new_linear(&probe_me), seed))),
-            ("exact float, lowest-core ties",
-             Box::new(ExactMeLreq { me: probe_me.clone() })),
+            ("log-quantized table, random ties (default)", Box::new(MeLreq::new(&probe_me, seed))),
+            (
+                "linear-quantized table, random ties",
+                Box::new(MeLreq::with_table(PriorityTable::new_linear(&probe_me), seed)),
+            ),
+            ("exact float, lowest-core ties", Box::new(ExactMeLreq { me: probe_me.clone() })),
         ];
         for (label, policy) in variants {
             let s = speedup_with_policy(&probe, policy, &probe_single, &opts);
@@ -159,8 +151,7 @@ fn main() {
             .collect();
         let mut sys = System::new(cfg, streams, &me);
         let out = sys.run_measured(opts.warmup, opts.instructions, 1 << 34);
-        let speedup: f64 =
-            out.ipc.iter().zip(&ipc_single).map(|(m, s)| m / s).sum();
+        let speedup: f64 = out.ipc.iter().zip(&ipc_single).map(|(m, s)| m / s).sum();
         let marker = if (start, stop) == (32, 16) { " (paper)" } else { "" };
         println!("   drain at {start:>2}/{stop:>2}{marker:8} speedup = {speedup:.3}");
     }
@@ -196,10 +187,7 @@ fn main() {
         let out = sys.run_measured(opts.warmup, opts.instructions, 1 << 34);
         let speedup: f64 = out.ipc.iter().zip(&ipc_single).map(|(m, s)| m / s).sum();
         let hit_rate = sys.hierarchy().controller().dram().stats().hit_rate();
-        println!(
-            "   {label:44} speedup = {speedup:.3}  row-hit rate = {:.1}%",
-            hit_rate * 100.0
-        );
+        println!("   {label:44} speedup = {speedup:.3}  row-hit rate = {:.1}%", hit_rate * 100.0);
     }
 
     // Study 4: offline profile vs online estimation.

@@ -64,7 +64,7 @@ fn main() {
             }
             rows.push(avg_row);
             let headers: Vec<&str> = std::iter::once("workload")
-                .chain(policies.iter().map(|p| p.name()))
+                .chain(policies.iter().map(melreq_memctrl::PolicyKind::name))
                 .collect();
             println!("-- {cores}-core {kind_name} workloads --");
             println!("{}", format_table(&headers, &rows));

@@ -46,17 +46,14 @@ fn main() {
     }
     rows.push(avg);
     let headers: Vec<&str> = std::iter::once("workload")
-        .chain(policies.iter().map(|p| p.name()))
+        .chain(policies.iter().map(melreq_memctrl::PolicyKind::name))
         .collect();
     println!("{}", format_table(&headers, &rows));
 
     println!("\nFigure 4 (right) — per-core read latency, workloads 4MEM-1 and 4MEM-5\n");
     for probe in ["4MEM-1", "4MEM-5"] {
-        let (i, m) = mixes
-            .iter()
-            .enumerate()
-            .find(|(_, m)| m.name == probe)
-            .expect("probe mix present");
+        let (i, m) =
+            mixes.iter().enumerate().find(|(_, m)| m.name == probe).expect("probe mix present");
         let apps: Vec<&str> = m.apps().iter().map(|a| a.name).collect();
         println!("{probe} ({}):", apps.join(", "));
         let mut rows = Vec::new();
@@ -64,8 +61,8 @@ fn main() {
             let r = &results[i * policies.len() + j];
             let mut row = vec![p.name().to_string()];
             row.extend(r.read_latency.iter().map(|l| format!("{l:.0}")));
-            let spread = r.read_latency.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
-                / r.read_latency.iter().cloned().fold(f64::INFINITY, f64::min).max(1.0);
+            let spread = r.read_latency.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+                / r.read_latency.iter().copied().fold(f64::INFINITY, f64::min).max(1.0);
             row.push(format!("{spread:.2}x"));
             rows.push(row);
         }

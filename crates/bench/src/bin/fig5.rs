@@ -41,7 +41,7 @@ fn main() {
     }
     rows.push(avg);
     let headers: Vec<&str> = std::iter::once("workload")
-        .chain(policies.iter().map(|p| p.name()))
+        .chain(policies.iter().map(melreq_memctrl::PolicyKind::name))
         .collect();
     println!("{}", format_table(&headers, &rows));
     println!(

@@ -117,9 +117,7 @@ impl CacheArray {
     pub fn probe(&self, addr: Addr) -> bool {
         let (set, tag) = self.set_and_tag(addr);
         let w = self.cfg.ways;
-        self.sets[set * w..(set + 1) * w]
-            .iter()
-            .any(|way| way.valid && way.tag == tag)
+        self.sets[set * w..(set + 1) * w].iter().any(|way| way.valid && way.tag == tag)
     }
 
     /// Install a line (from a fill or a write-back from an upper level).
@@ -145,11 +143,7 @@ impl CacheArray {
             return None;
         }
         // Evict true-LRU.
-        let victim = self
-            .ways_of(set)
-            .iter_mut()
-            .min_by_key(|w| w.lru)
-            .expect("set has ways");
+        let victim = self.ways_of(set).iter_mut().min_by_key(|w| w.lru).expect("set has ways");
         let evicted = Evicted {
             line_addr: ((victim.tag << set_bits) | set as u64) << CACHE_LINE_SHIFT,
             dirty: victim.dirty,

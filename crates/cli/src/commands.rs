@@ -3,7 +3,7 @@
 
 use crate::parse::{Command, PolicySpec, USAGE};
 use melreq_core::experiment::{
-    run_mix, run_mix_custom, ExperimentOptions, MixResult, ProfileCache,
+    run_mix, run_mix_audited, run_mix_custom, ExperimentOptions, MixResult, ProfileCache,
 };
 use melreq_core::profile::profile_app;
 use melreq_core::report::{format_table, pct_over};
@@ -44,9 +44,8 @@ fn cmd_profile(apps: &[String], opts: &ExperimentOptions) -> Result<String, Stri
     let selected: Vec<_> = if apps.is_empty() {
         roster
     } else {
-        let wanted: Vec<&str> = apps.iter().map(|s| s.as_str()).collect();
-        let picked: Vec<_> =
-            roster.into_iter().filter(|a| wanted.contains(&a.name)).collect();
+        let wanted: Vec<&str> = apps.iter().map(std::string::String::as_str).collect();
+        let picked: Vec<_> = roster.into_iter().filter(|a| wanted.contains(&a.name)).collect();
         if picked.len() != wanted.len() {
             return Err(format!(
                 "unknown application(s) in {wanted:?}; names are SPEC2000 benchmarks (swim, mcf, ...)"
@@ -74,10 +73,21 @@ fn cmd_run(
     mix_name: &str,
     spec: &PolicySpec,
     opts: &ExperimentOptions,
+    audit: bool,
 ) -> Result<String, String> {
     let mix = try_mix(mix_name)?;
     let cache = ProfileCache::new();
-    let r = run_with_spec(&mix, spec, opts, &cache);
+    let (r, report) = if audit {
+        let PolicySpec::Paper(kind) = spec else {
+            return Err("--audit checks the paper's policies; FQ/STF are externally \
+                        built and expose no invariants to verify"
+                .to_string());
+        };
+        let (r, report) = run_mix_audited(&mix, kind, opts, &cache);
+        (r, Some(report))
+    } else {
+        (run_with_spec(&mix, spec, opts, &cache), None)
+    };
     let mut out = format!(
         "{} under {}: SMT speedup {:.3}, unfairness {:.3}, mean read latency {:.0} cycles\n\n",
         mix.name, r.policy, r.smt_speedup, r.unfairness, r.mean_read_latency
@@ -105,6 +115,49 @@ fn cmd_run(
     if r.timed_out {
         out.push_str("\nWARNING: run hit the cycle safety net before completing\n");
     }
+    if let Some(report) = report {
+        if !report.is_clean() {
+            return Err(format!("{out}\n{}", report.render()));
+        }
+        out.push_str(&format!(
+            "\naudit: {} events checked, 0 violations, stream hash {:016x}\n",
+            report.events, report.stream_hash
+        ));
+    }
+    Ok(out)
+}
+
+fn cmd_audit(
+    mix_name: &str,
+    spec: &PolicySpec,
+    opts: &ExperimentOptions,
+) -> Result<String, String> {
+    let PolicySpec::Paper(kind) = spec else {
+        return Err("audit checks the paper's policies; FQ/STF are externally built \
+                    and expose no invariants to verify"
+            .to_string());
+    };
+    let mix = try_mix(mix_name)?;
+    let cache = ProfileCache::new();
+    let (_, a) = run_mix_audited(&mix, kind, opts, &cache);
+    let (_, b) = run_mix_audited(&mix, kind, opts, &cache);
+    let mut out = format!(
+        "{} under {}: {} events checked per pass\n  pass 1: hash {:016x}, {} violation(s)\n  pass 2: hash {:016x}, {} violation(s)\n",
+        mix.name,
+        kind.name(),
+        a.events,
+        a.stream_hash,
+        a.total_violations,
+        b.stream_hash,
+        b.total_violations,
+    );
+    if !a.is_clean() || !b.is_clean() {
+        return Err(format!("{out}\n{}\n{}", a.render(), b.render()));
+    }
+    if a.stream_hash != b.stream_hash {
+        return Err(format!("{out}\ndeterminism FAILED: event-stream hashes differ"));
+    }
+    out.push_str("audit OK: both passes clean, event streams identical\n");
     Ok(out)
 }
 
@@ -134,18 +187,11 @@ fn cmd_compare(
         "{} ({}):\n\n{}",
         mix.name,
         mix.apps().iter().map(|a| a.name).collect::<Vec<_>>().join(", "),
-        format_table(
-            &["policy", "speedup", "vs first", "read lat", "unfairness"],
-            &rows
-        )
+        format_table(&["policy", "speedup", "vs first", "read lat", "unfairness"], &rows)
     ))
 }
 
-fn cmd_sweep(
-    kind: &str,
-    specs: &[PolicySpec],
-    opts: &ExperimentOptions,
-) -> Result<String, String> {
+fn cmd_sweep(kind: &str, specs: &[PolicySpec], opts: &ExperimentOptions) -> Result<String, String> {
     let kinds: Vec<MixKind> = match kind {
         "mem" => vec![MixKind::Mem],
         "mix" => vec![MixKind::Mixed],
@@ -175,8 +221,9 @@ fn cmd_sweep(
             }
             rows.push(row);
         }
-        let headers: Vec<&str> =
-            std::iter::once("cores").chain(specs.iter().map(|s| s.name())).collect();
+        let headers: Vec<&str> = std::iter::once("cores")
+            .chain(specs.iter().map(super::parse::PolicySpec::name))
+            .collect();
         out.push_str(&format_table(&headers, &rows));
         out.push('\n');
     }
@@ -187,20 +234,17 @@ fn try_mix(name: &str) -> Result<Mix, String> {
     melreq_workloads::all_mixes()
         .into_iter()
         .find(|m| m.name.eq_ignore_ascii_case(name))
-        .ok_or_else(|| {
-            format!("unknown workload '{name}'; names follow Table 3 (2MEM-1 … 8MIX-6)")
-        })
+        .ok_or_else(|| format!("unknown workload '{name}'; names follow Table 3 (2MEM-1 … 8MIX-6)"))
 }
 
 /// Execute a parsed command, returning its rendered output.
 pub fn run_command(cmd: &Command) -> Result<String, String> {
     match cmd {
         Command::Help => Ok(USAGE.to_string()),
-        Command::Config { cores } => {
-            Ok(SystemConfig::paper(*cores, PolicyKind::MeLreq).describe())
-        }
+        Command::Config { cores } => Ok(SystemConfig::paper(*cores, PolicyKind::MeLreq).describe()),
         Command::Profile { apps, opts } => cmd_profile(apps, opts),
-        Command::Run { mix, policy, opts } => cmd_run(mix, policy, opts),
+        Command::Run { mix, policy, opts, audit } => cmd_run(mix, policy, opts, *audit),
+        Command::Audit { mix, policy, opts } => cmd_audit(mix, policy, opts),
         Command::Compare { mix, policies, opts } => cmd_compare(mix, policies, opts),
         Command::Sweep { kind, policies, opts } => cmd_sweep(kind, policies, opts),
     }
@@ -229,7 +273,7 @@ mod tests {
 
     #[test]
     fn unknown_mix_is_an_error() {
-        let e = cmd_run("9MEM-9", &PolicySpec::Paper(PolicyKind::HfRf), &quick());
+        let e = cmd_run("9MEM-9", &PolicySpec::Paper(PolicyKind::HfRf), &quick(), false);
         assert!(e.is_err());
         assert!(e.unwrap_err().contains("Table 3"));
     }
@@ -254,16 +298,29 @@ mod tests {
     }
 
     #[test]
+    fn audited_run_reports_clean() {
+        let s = cmd_run("2MEM-1", &PolicySpec::Paper(PolicyKind::MeLreq), &quick(), true).unwrap();
+        assert!(s.contains("0 violations"));
+        assert!(s.contains("stream hash"));
+        let e = cmd_run("2MEM-1", &PolicySpec::Fq, &quick(), true);
+        assert!(e.is_err(), "--audit must reject externally built policies");
+    }
+
+    #[test]
+    fn audit_subcommand_verifies_determinism() {
+        let s = cmd_audit("2MEM-1", &PolicySpec::Paper(PolicyKind::HfRf), &quick()).unwrap();
+        assert!(s.contains("audit OK"));
+        assert!(s.contains("pass 2"));
+    }
+
+    #[test]
     fn run_and_compare_work_end_to_end() {
-        let s = cmd_run("2MEM-1", &PolicySpec::Paper(PolicyKind::MeLreq), &quick()).unwrap();
+        let s = cmd_run("2MEM-1", &PolicySpec::Paper(PolicyKind::MeLreq), &quick(), false).unwrap();
         assert!(s.contains("wupwise"));
         assert!(s.contains("SMT speedup"));
-        let s = cmd_compare(
-            "2MEM-1",
-            &[PolicySpec::Paper(PolicyKind::HfRf), PolicySpec::Fq],
-            &quick(),
-        )
-        .unwrap();
+        let s =
+            cmd_compare("2MEM-1", &[PolicySpec::Paper(PolicyKind::HfRf), PolicySpec::Fq], &quick())
+                .unwrap();
         assert!(s.contains("FQ"));
         assert!(s.contains("+0.0%")); // baseline row
     }

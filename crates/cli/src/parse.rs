@@ -30,14 +30,12 @@ impl PolicySpec {
             "me-lreq-on" | "online" => {
                 PolicySpec::Paper(PolicyKind::MeLreqOnline { epoch_cycles: 50_000 })
             }
-            "fix-0123" => PolicySpec::Paper(PolicyKind::Fixed {
-                name: "FIX-0123",
-                order: vec![0, 1, 2, 3],
-            }),
-            "fix-3210" => PolicySpec::Paper(PolicyKind::Fixed {
-                name: "FIX-3210",
-                order: vec![3, 2, 1, 0],
-            }),
+            "fix-0123" => {
+                PolicySpec::Paper(PolicyKind::Fixed { name: "FIX-0123", order: vec![0, 1, 2, 3] })
+            }
+            "fix-3210" => {
+                PolicySpec::Paper(PolicyKind::Fixed { name: "FIX-3210", order: vec![3, 2, 1, 0] })
+            }
             "fq" => PolicySpec::Fq,
             "stf" => PolicySpec::Stf,
             other => return Err(format!("unknown policy '{other}'")),
@@ -66,6 +64,18 @@ pub enum Command {
     },
     /// Run one mix under one policy, with per-core detail.
     Run {
+        /// Table 3 mix name.
+        mix: String,
+        /// Scheduling policy.
+        policy: PolicySpec,
+        /// Harness options.
+        opts: ExperimentOptions,
+        /// Attach the protocol/invariant checker to the run.
+        audit: bool,
+    },
+    /// Run one mix twice under the independent protocol/invariant checker
+    /// and verify clean reports plus identical event-stream hashes.
+    Audit {
         /// Table 3 mix name.
         mix: String,
         /// Scheduling policy.
@@ -106,9 +116,10 @@ melreq — memory access scheduling simulator (ICPP'08 ME-LREQ reproduction)
 
 USAGE:
   melreq profile [--apps a,b,...] [common options]
-  melreq run <MIX> [--policy NAME] [common options]
+  melreq run <MIX> [--policy NAME] [--audit] [common options]
   melreq compare <MIX> [--policies n1,n2,...] [common options]
   melreq sweep [--kind mem|mix|all] [--policies n1,n2,...] [common options]
+  melreq audit [MIX] [--policy NAME] [common options]
   melreq config [--cores N]
   melreq help
 
@@ -120,6 +131,13 @@ COMMON OPTIONS:
   --warmup N         warm-up instructions per core    (default 60000)
   --profile N        profiling-run instructions       (default 60000)
   --slice K          evaluation slice index           (default 0)
+
+AUDITING:
+  --audit attaches an independent checker that re-validates every DRAM
+  grant against the DDR2 timing constraints and every scheduling decision
+  against the policy's invariants. `melreq audit` runs a mix twice
+  (default 4MEM-1 under ME-LREQ), requires both reports clean, and checks
+  the two event-stream hashes are identical; any violation exits nonzero.
 ";
 
 fn split_list(s: &str) -> Vec<String> {
@@ -141,6 +159,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut policy: Option<PolicySpec> = None;
     let mut kind = "mem".to_string();
     let mut cores = 4usize;
+    let mut audit = false;
 
     while let Some(a) = it.next() {
         let mut val = |name: &str| -> Result<&String, String> {
@@ -149,17 +168,17 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
         match a.as_str() {
             "--instructions" => {
                 opts.instructions =
-                    val("--instructions")?.parse().map_err(|e| format!("--instructions: {e}"))?
+                    val("--instructions")?.parse().map_err(|e| format!("--instructions: {e}"))?;
             }
             "--warmup" => {
-                opts.warmup = val("--warmup")?.parse().map_err(|e| format!("--warmup: {e}"))?
+                opts.warmup = val("--warmup")?.parse().map_err(|e| format!("--warmup: {e}"))?;
             }
             "--profile" => {
                 opts.profile_instructions =
-                    val("--profile")?.parse().map_err(|e| format!("--profile: {e}"))?
+                    val("--profile")?.parse().map_err(|e| format!("--profile: {e}"))?;
             }
             "--slice" => {
-                opts.eval_slice = val("--slice")?.parse().map_err(|e| format!("--slice: {e}"))?
+                opts.eval_slice = val("--slice")?.parse().map_err(|e| format!("--slice: {e}"))?;
             }
             "--apps" => apps = split_list(val("--apps")?),
             "--policy" => policy = Some(PolicySpec::parse(val("--policy")?)?),
@@ -167,11 +186,12 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 policies = split_list(val("--policies")?)
                     .iter()
                     .map(|s| PolicySpec::parse(s))
-                    .collect::<Result<_, _>>()?
+                    .collect::<Result<_, _>>()?;
             }
+            "--audit" => audit = true,
             "--kind" => kind = val("--kind")?.clone(),
             "--cores" => {
-                cores = val("--cores")?.parse().map_err(|e| format!("--cores: {e}"))?
+                cores = val("--cores")?.parse().map_err(|e| format!("--cores: {e}"))?;
             }
             flag if flag.starts_with("--") => return Err(format!("unknown flag '{flag}'")),
             pos => positional.push(pos.to_string()),
@@ -191,11 +211,19 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     match cmd.as_str() {
         "profile" => Ok(Command::Profile { apps, opts }),
         "run" => {
-            let mix = positional
-                .first()
-                .ok_or("run needs a workload mix name (e.g. 4MEM-1)")?
-                .clone();
+            let mix =
+                positional.first().ok_or("run needs a workload mix name (e.g. 4MEM-1)")?.clone();
             Ok(Command::Run {
+                mix,
+                policy: policy.unwrap_or(PolicySpec::Paper(PolicyKind::MeLreq)),
+                opts,
+                audit,
+            })
+        }
+        "audit" => {
+            // The acceptance workload: a seeded 4-core paper mix.
+            let mix = positional.first().cloned().unwrap_or_else(|| "4MEM-1".to_string());
+            Ok(Command::Audit {
                 mix,
                 policy: policy.unwrap_or(PolicySpec::Paper(PolicyKind::MeLreq)),
                 opts,
@@ -227,7 +255,7 @@ mod tests {
     use super::*;
 
     fn v(args: &[&str]) -> Vec<String> {
-        args.iter().map(|s| s.to_string()).collect()
+        args.iter().map(std::string::ToString::to_string).collect()
     }
 
     #[test]
@@ -238,15 +266,36 @@ mod tests {
 
     #[test]
     fn run_parses_mix_policy_and_options() {
-        let c = parse_args(&v(&[
-            "run", "4MEM-1", "--policy", "lreq", "--instructions", "5000",
-        ]))
-        .unwrap();
+        let c = parse_args(&v(&["run", "4MEM-1", "--policy", "lreq", "--instructions", "5000"]))
+            .unwrap();
         match c {
-            Command::Run { mix, policy, opts } => {
+            Command::Run { mix, policy, opts, audit } => {
                 assert_eq!(mix, "4MEM-1");
                 assert_eq!(policy, PolicySpec::Paper(PolicyKind::Lreq));
                 assert_eq!(opts.instructions, 5000);
+                assert!(!audit);
+            }
+            c => panic!("wrong command {c:?}"),
+        }
+    }
+
+    #[test]
+    fn audit_flag_and_subcommand_parse() {
+        match parse_args(&v(&["run", "4MEM-1", "--audit"])).unwrap() {
+            Command::Run { audit, .. } => assert!(audit),
+            c => panic!("wrong command {c:?}"),
+        }
+        match parse_args(&v(&["audit"])).unwrap() {
+            Command::Audit { mix, policy, .. } => {
+                assert_eq!(mix, "4MEM-1");
+                assert_eq!(policy.name(), "ME-LREQ");
+            }
+            c => panic!("wrong command {c:?}"),
+        }
+        match parse_args(&v(&["audit", "2MIX-1", "--policy", "rr"])).unwrap() {
+            Command::Audit { mix, policy, .. } => {
+                assert_eq!(mix, "2MIX-1");
+                assert_eq!(policy.name(), "RR");
             }
             c => panic!("wrong command {c:?}"),
         }
@@ -300,7 +349,7 @@ mod tests {
         match c {
             Command::Compare { policies, .. } => {
                 assert_eq!(
-                    policies.iter().map(|p| p.name()).collect::<Vec<_>>(),
+                    policies.iter().map(super::PolicySpec::name).collect::<Vec<_>>(),
                     vec!["HF-RF", "FQ", "STF"]
                 );
             }

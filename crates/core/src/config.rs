@@ -119,10 +119,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "cover all cores")]
     fn fixed_policy_must_match_core_count() {
-        let c = SystemConfig::paper(
-            4,
-            PolicyKind::Fixed { name: "FIX-10", order: vec![1, 0] },
-        );
+        let c = SystemConfig::paper(4, PolicyKind::Fixed { name: "FIX-10", order: vec![1, 0] });
         c.validate();
     }
 }

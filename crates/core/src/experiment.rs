@@ -212,6 +212,56 @@ pub fn run_mix_custom(
     }
 }
 
+/// Run one mix under one policy with the independent protocol/invariant
+/// checker attached ([`melreq_audit`]): every DRAM grant is re-validated
+/// against the DDR2 timing constraints and every scheduling decision
+/// against the policy's published invariants, while a running hash of the
+/// event stream fingerprints the run for determinism comparisons.
+///
+/// Returns the normal [`MixResult`] plus the [`melreq_audit::AuditReport`]
+/// (violation counts, samples, and the stream hash).
+pub fn run_mix_audited(
+    mix: &Mix,
+    policy: &PolicyKind,
+    opts: &ExperimentOptions,
+    cache: &ProfileCache,
+) -> (MixResult, melreq_audit::AuditReport) {
+    let cores = mix.cores();
+    let me: Vec<f64> = (0..cores).map(|i| cache.profile(mix, i, opts).me).collect();
+    let ipc_single: Vec<f64> = (0..cores).map(|i| cache.ipc_single(mix, i, opts)).collect();
+    let streams: Vec<Box<dyn InstrStream + Send>> = mix
+        .apps()
+        .iter()
+        .enumerate()
+        .map(|(i, a)| {
+            Box::new(a.build_stream(i, SliceKind::Evaluation(opts.eval_slice)))
+                as Box<dyn InstrStream + Send>
+        })
+        .collect();
+    let cfg = SystemConfig::paper(cores, policy.clone());
+    let mut sys = System::new(cfg, streams, &me);
+    let (handle, auditor) =
+        melreq_audit::Auditor::shared(melreq_audit::AuditorConfig::default(), true);
+    sys.attach_audit(handle);
+    let out = sys.run_measured(opts.warmup, opts.instructions, opts.max_cycles());
+    let report = auditor.lock().expect("auditor poisoned").report();
+
+    let fairness = FairnessReport::compute(&out.ipc, &ipc_single);
+    let result = MixResult {
+        mix: *mix,
+        policy: policy.name(),
+        smt_speedup: fairness.smt_speedup,
+        unfairness: fairness.unfairness,
+        ipc_multi: out.ipc,
+        ipc_single,
+        read_latency: out.read_latency,
+        mean_read_latency: out.mean_read_latency,
+        me,
+        timed_out: out.timed_out,
+    };
+    (result, report)
+}
+
 /// Results of one mix across several policies, with the first policy
 /// treated as the baseline.
 #[derive(Debug, Clone)]
@@ -234,9 +284,7 @@ pub fn compare_policies(
     opts: &ExperimentOptions,
     cache: &ProfileCache,
 ) -> PolicyComparison {
-    PolicyComparison {
-        results: policies.iter().map(|p| run_mix(mix, p, opts, cache)).collect(),
-    }
+    PolicyComparison { results: policies.iter().map(|p| run_mix(mix, p, opts, cache)).collect() }
 }
 
 /// Run the full (mix × policy) grid in parallel across OS threads,
@@ -256,7 +304,8 @@ pub fn run_grid(
     let n = jobs.len();
     let slots: Vec<Mutex<Option<MixResult>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
-    let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(n.max(1));
+    let workers =
+        std::thread::available_parallelism().map_or(4, std::num::NonZero::get).min(n.max(1));
     std::thread::scope(|s| {
         for _ in 0..workers {
             s.spawn(|| loop {
@@ -309,10 +358,22 @@ mod tests {
         let cache = ProfileCache::new();
         let opts = ExperimentOptions::quick();
         let mix = mix_by_name("2MEM-4");
-        let cmp =
-            compare_policies(&mix, &[PolicyKind::HfRf, PolicyKind::Lreq], &opts, &cache);
+        let cmp = compare_policies(&mix, &[PolicyKind::HfRf, PolicyKind::Lreq], &opts, &cache);
         assert!((cmp.speedup_over_baseline(0) - 1.0).abs() < 1e-12);
         assert!(cmp.speedup_over_baseline(1) > 0.5);
+    }
+
+    #[test]
+    fn audited_run_is_clean_and_reproducible() {
+        let cache = ProfileCache::new();
+        let opts = ExperimentOptions::quick();
+        let mix = mix_by_name("2MEM-1");
+        let (ra, a) = run_mix_audited(&mix, &PolicyKind::MeLreq, &opts, &cache);
+        let (rb, b) = run_mix_audited(&mix, &PolicyKind::MeLreq, &opts, &cache);
+        assert!(a.is_clean(), "audit must pass:\n{}", a.render());
+        assert!(a.events > 0, "instrumentation must emit events");
+        assert_eq!(a.stream_hash, b.stream_hash, "same seed must replay identically");
+        assert_eq!(ra.smt_speedup, rb.smt_speedup);
     }
 
     #[test]

@@ -170,6 +170,12 @@ impl Hierarchy {
         self.ctrl.update_profile(me);
     }
 
+    /// Attach audit instrumentation to the controller (and the DRAM
+    /// device beneath it) — see [`melreq_audit`].
+    pub fn attach_audit(&mut self, audit: melreq_audit::AuditHandle) {
+        self.ctrl.attach_audit(audit);
+    }
+
     /// L1D array of one core (hit rates in reports/tests).
     pub fn l1d(&self, core: CoreId) -> &CacheArray {
         &self.l1d[core.index()]
@@ -254,10 +260,10 @@ impl Hierarchy {
             let Reverse(ev) = self.events.pop().expect("peeked");
             match ev.kind {
                 EventKind::L2Access { core, line, origin } => {
-                    self.do_l2_access(core, line, origin, now)
+                    self.do_l2_access(core, line, origin, now);
                 }
                 EventKind::L1Fill { core, line, origin } => {
-                    self.do_l1_fill(core, line, origin, now)
+                    self.do_l1_fill(core, line, origin, now);
                 }
             }
         }
@@ -276,10 +282,7 @@ impl Hierarchy {
                 }
             }
             for w in self.l2_mshr.complete(line) {
-                self.schedule(
-                    now + 1,
-                    EventKind::L1Fill { core: w.core, line, origin: w.origin },
-                );
+                self.schedule(now + 1, EventKind::L1Fill { core: w.core, line, origin: w.origin });
             }
         }
 
@@ -486,10 +489,7 @@ mod tests {
                 MemResponse::Pending
             );
         }
-        assert_eq!(
-            h.load(CoreId(0), CoreToken::Load(99), 0x200000, 0),
-            MemResponse::Blocked
-        );
+        assert_eq!(h.load(CoreId(0), CoreToken::Load(99), 0x200000, 0), MemResponse::Blocked);
     }
 
     #[test]
@@ -567,9 +567,6 @@ mod tests {
             h.advance(now);
             now += 1;
         }
-        assert!(
-            h.stats().mem_writes.get() > 0,
-            "dirty L2 victims must become DRAM writes"
-        );
+        assert!(h.stats().mem_writes.get() > 0, "dirty L2 victims must become DRAM writes");
     }
 }

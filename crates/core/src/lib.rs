@@ -27,7 +27,7 @@ pub mod report;
 pub mod system;
 
 pub use config::SystemConfig;
-pub use experiment::{run_mix, ExperimentOptions, MixResult, PolicyComparison};
+pub use experiment::{run_mix, run_mix_audited, ExperimentOptions, MixResult, PolicyComparison};
 pub use hierarchy::Hierarchy;
 pub use profile::{profile_app, profile_mix_apps, AppProfile};
 pub use system::{RunOutcome, System};

@@ -59,10 +59,7 @@ pub fn profile_app(app: &AppSpec, slice: SliceKind, instructions: u64) -> AppPro
 
 /// Profile every application of a mix (profiling slice), in core order.
 pub fn profile_mix_apps(mix: &Mix, instructions: u64) -> Vec<AppProfile> {
-    mix.apps()
-        .iter()
-        .map(|a| profile_app(a, SliceKind::Profiling, instructions))
-        .collect()
+    mix.apps().iter().map(|a| profile_app(a, SliceKind::Profiling, instructions)).collect()
 }
 
 #[cfg(test)]

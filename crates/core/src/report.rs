@@ -20,7 +20,7 @@ pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
             if i > 0 {
                 line.push_str("  ");
             }
-            line.push_str(&format!("{c:>w$}", w = w));
+            line.push_str(&format!("{c:>w$}"));
         }
         line.push('\n');
         line
@@ -30,7 +30,7 @@ pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     out.push_str(&"-".repeat(total));
     out.push('\n');
     for r in rows {
-        out.push_str(&render_row(r.iter().map(|s| s.as_str()).collect(), &widths));
+        out.push_str(&render_row(r.iter().map(std::string::String::as_str).collect(), &widths));
     }
     out
 }
@@ -56,10 +56,7 @@ mod tests {
     fn table_aligns_columns() {
         let t = format_table(
             &["name", "val"],
-            &[
-                vec!["a".into(), "1.0".into()],
-                vec!["longer".into(), "22.5".into()],
-            ],
+            &[vec!["a".into(), "1.0".into()], vec!["longer".into(), "22.5".into()]],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);

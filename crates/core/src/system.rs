@@ -16,6 +16,11 @@ pub struct System {
     hier: Hierarchy,
     now: Cycle,
     online: Option<OnlineMe>,
+    /// The ME profile the scheduling policy was initialized from, when
+    /// known (`None` for externally built policies whose internal state
+    /// is opaque). Reported on [`System::attach_audit`] so the policy
+    /// auditor can reconstruct the priority tables.
+    me_profile: Option<Vec<f64>>,
 }
 
 /// State of the run-time memory-efficiency estimator backing
@@ -89,11 +94,7 @@ impl System {
     /// the controller's priority tables (ignored by ME-oblivious
     /// policies, but always required so every policy sees an identically
     /// configured machine).
-    pub fn new(
-        cfg: SystemConfig,
-        streams: Vec<Box<dyn InstrStream + Send>>,
-        me: &[f64],
-    ) -> Self {
+    pub fn new(cfg: SystemConfig, streams: Vec<Box<dyn InstrStream + Send>>, me: &[f64]) -> Self {
         cfg.validate();
         assert_eq!(streams.len(), cfg.cores, "one stream per core");
         assert_eq!(me.len(), cfg.cores, "one ME value per core");
@@ -121,7 +122,10 @@ impl System {
             }
             _ => None,
         };
-        System { cfg, cores, hier, now: 0, online }
+        // The online build starts from a flat profile (see
+        // `PolicyKind::build`); every other build programs `me` directly.
+        let me_profile = Some(if online.is_some() { vec![1.0; cfg.cores] } else { me.to_vec() });
+        System { cfg, cores, hier, now: 0, online, me_profile }
     }
 
     /// Build a system with an externally constructed scheduling policy —
@@ -149,7 +153,19 @@ impl System {
             .enumerate()
             .map(|(i, s)| Core::new(CoreId::from(i), cfg.core, s))
             .collect();
-        System { cfg, cores, hier, now: 0, online: None }
+        System { cfg, cores, hier, now: 0, online: None, me_profile: None }
+    }
+
+    /// Attach audit instrumentation to the whole machine: the memory
+    /// controller and DRAM device start reporting their configuration,
+    /// decisions, and grants on `audit`, and the initial memory-efficiency
+    /// profile (when the policy was built internally from a known one) is
+    /// announced so the checker can reconstruct the priority tables.
+    pub fn attach_audit(&mut self, audit: melreq_audit::AuditHandle) {
+        self.hier.attach_audit(audit.clone());
+        if let Some(me) = self.me_profile.clone() {
+            audit.emit(|| melreq_audit::AuditEvent::ProfileUpdate { me });
+        }
     }
 
     /// The configuration in use.
@@ -194,7 +210,9 @@ impl System {
     /// bytes since the previous epoch, converts them to an Equation-1
     /// sample, smooths it, and rewrites the priority tables.
     fn refresh_online_profile(&mut self) {
-        let Some(st) = self.online.as_mut() else { return };
+        let Some(st) = self.online.as_mut() else {
+            return;
+        };
         if self.now < st.next_at {
             return;
         }
@@ -205,7 +223,7 @@ impl System {
             .stats()
             .bytes_by_core
             .iter()
-            .map(|c| c.get())
+            .map(melreq_stats::Counter::get)
             .collect();
         let freq = self.cfg.freq_hz;
         let epoch = st.epoch as f64;
@@ -225,8 +243,7 @@ impl System {
             let ipc = d_instr as f64 / epoch;
             let gbps = d_bytes as f64 * freq / epoch / 1e9;
             let sample = ipc / gbps.max(1e-3);
-            st.estimate[i] =
-                OnlineMe::ALPHA * sample + (1.0 - OnlineMe::ALPHA) * st.estimate[i];
+            st.estimate[i] = OnlineMe::ALPHA * sample + (1.0 - OnlineMe::ALPHA) * st.estimate[i];
         }
         self.hier.update_profile(&st.estimate);
     }
@@ -267,14 +284,21 @@ impl System {
         }
         let measured_cycles = self.now.saturating_sub(stats_reset_at.unwrap_or(0)).max(1);
         let ctrl_stats = self.hier.controller().stats();
-        let read_latency: Vec<f64> =
-            ctrl_stats.read_latency.iter().map(|t| t.mean_or_zero()).collect();
+        let read_latency: Vec<f64> = ctrl_stats
+            .read_latency
+            .iter()
+            .map(melreq_stats::LatencyTracker::mean_or_zero)
+            .collect();
         RunOutcome {
             cycles: measured_cycles,
-            ipc: self.cores.iter().map(|c| c.measured_ipc()).collect(),
+            ipc: self.cores.iter().map(melreq_cpu::Core::measured_ipc).collect(),
             read_latency,
             mean_read_latency: ctrl_stats.mean_read_latency(),
-            bytes_by_core: ctrl_stats.bytes_by_core.iter().map(|c| c.get()).collect(),
+            bytes_by_core: ctrl_stats
+                .bytes_by_core
+                .iter()
+                .map(melreq_stats::Counter::get)
+                .collect(),
             timed_out,
         }
     }
@@ -325,10 +349,7 @@ mod tests {
         let om = mem.run_measured(20_000, 20_000, 20_000_000);
         let bi = oi.total_bandwidth_gbs(3.2e9);
         let bm = om.total_bandwidth_gbs(3.2e9);
-        assert!(
-            bm > 5.0 * bi.max(1e-6),
-            "MEM app must out-demand ILP app: {bm} vs {bi} GB/s"
-        );
+        assert!(bm > 5.0 * bi.max(1e-6), "MEM app must out-demand ILP app: {bm} vs {bi} GB/s");
     }
 
     #[test]
@@ -338,12 +359,7 @@ mod tests {
         let mut duo = small_system(2, "ce", PolicyKind::HfRf); // swim + applu
         let d = duo.run_until_targets(10_000, 20_000_000);
         assert!(!d.timed_out);
-        assert!(
-            d.ipc[0] < s.ipc[0],
-            "sharing memory must slow swim: {} vs {}",
-            d.ipc[0],
-            s.ipc[0]
-        );
+        assert!(d.ipc[0] < s.ipc[0], "sharing memory must slow swim: {} vs {}", d.ipc[0], s.ipc[0]);
     }
 
     #[test]
@@ -379,8 +395,7 @@ mod tests {
     #[test]
     fn online_estimator_is_deterministic() {
         let run = || {
-            let cfg =
-                SystemConfig::paper(2, PolicyKind::MeLreqOnline { epoch_cycles: 3_000 });
+            let cfg = SystemConfig::paper(2, PolicyKind::MeLreqOnline { epoch_cycles: 3_000 });
             let streams: Vec<Box<dyn InstrStream + Send>> = "kc"
                 .chars()
                 .enumerate()
@@ -402,7 +417,6 @@ mod tests {
     fn stream_count_must_match() {
         let cfg = SystemConfig::paper(2, PolicyKind::HfRf);
         let s = app_by_code('c').build_stream(0, SliceKind::Profiling);
-        let _ =
-            System::new(cfg, vec![Box::new(s) as Box<dyn InstrStream + Send>], &[1.0, 1.0]);
+        let _ = System::new(cfg, vec![Box::new(s) as Box<dyn InstrStream + Send>], &[1.0, 1.0]);
     }
 }

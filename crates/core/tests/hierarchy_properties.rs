@@ -43,9 +43,9 @@ proptest! {
         let policy = PolicyKind::figure2_set()[policy_pick].clone();
         let mut h = hierarchy(4, policy);
         let mut outstanding: HashSet<(u16, u64)> = HashSet::new();
-        let mut token = 0u64;
         let mut now = 0u64;
-        for (core, line, is_store) in accesses {
+        for (token, (core, line, is_store)) in accesses.into_iter().enumerate() {
+            let token = token as u64;
             let addr = 0x100_0000 + line * 64;
             if is_store {
                 // Stores may be rejected (MSHR full); that is allowed.
@@ -59,7 +59,6 @@ proptest! {
                     MemResponse::Blocked => {}
                 }
             }
-            token += 1;
             // Advance a little between accesses.
             for _ in 0..3 {
                 for (c, t) in h.advance(now) {

@@ -50,10 +50,7 @@ impl CoreConfig {
         assert!(self.width >= 1, "width must be positive");
         assert!(self.rob >= self.width, "ROB smaller than pipeline width");
         assert!(self.iq >= 1 && self.lq >= 1 && self.sq >= 1, "queues must be non-empty");
-        assert!(
-            self.int_alu >= 1,
-            "need at least one integer ALU (address generation uses it)"
-        );
+        assert!(self.int_alu >= 1, "need at least one integer ALU (address generation uses it)");
     }
 }
 

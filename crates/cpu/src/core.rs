@@ -390,11 +390,10 @@ impl Core {
             match op.kind {
                 OpKind::Load { .. } => self.loads_in_rob += 1,
                 OpKind::Store { .. } => self.stores_in_rob += 1,
-                OpKind::Branch { mispredict }
-                    if mispredict => {
-                        self.stats.mispredicts.inc();
-                        self.halted_by_branch = Some(seq);
-                    }
+                OpKind::Branch { mispredict } if mispredict => {
+                    self.stats.mispredicts.inc();
+                    self.halted_by_branch = Some(seq);
+                }
                 _ => {}
             }
             self.waiting_count += 1;

@@ -188,8 +188,7 @@ mod tests {
     fn lines_within_block_spread_over_banks() {
         let g = DramGeometry::paper();
         // Lines 0, 2, 4, ... on channel 0 should walk the banks.
-        let banks: Vec<usize> =
-            (0..8).map(|i| g.decode(i * 2 * CACHE_LINE_BYTES).bank).collect();
+        let banks: Vec<usize> = (0..8).map(|i| g.decode(i * 2 * CACHE_LINE_BYTES).bank).collect();
         assert_eq!(banks, vec![0, 1, 2, 3, 4, 5, 6, 7]);
     }
 

@@ -37,6 +37,18 @@ pub enum RowOutcome {
     Conflict,
 }
 
+impl From<RowOutcome> for melreq_audit::GrantOutcome {
+    /// The audit stream carries outcomes as plain data so the checker
+    /// stays decoupled from this crate's types.
+    fn from(o: RowOutcome) -> Self {
+        match o {
+            RowOutcome::Hit => melreq_audit::GrantOutcome::Hit,
+            RowOutcome::ClosedMiss => melreq_audit::GrantOutcome::ClosedMiss,
+            RowOutcome::Conflict => melreq_audit::GrantOutcome::Conflict,
+        }
+    }
+}
+
 impl Bank {
     /// A bank with all rows closed, ready immediately.
     pub fn new() -> Self {

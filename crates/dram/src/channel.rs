@@ -36,6 +36,9 @@ pub struct ChannelGrant {
     pub data_ready: Cycle,
     /// How the row buffer was found.
     pub outcome: RowOutcome,
+    /// Effective cycle the command sequence started: the requested cycle,
+    /// possibly pushed back by the tRRD/tFAW activate windows.
+    pub granted_at: Cycle,
 }
 
 impl Channel {
@@ -149,7 +152,7 @@ impl Channel {
         let bus_start = bank_data_start.max(self.bus_free);
         self.bus_free = bus_start + t.burst;
         self.bus_busy_cycles += t.burst;
-        ChannelGrant { data_ready: bus_start + t.burst, outcome }
+        ChannelGrant { data_ready: bus_start + t.burst, outcome, granted_at: grant_at }
     }
 
     /// Explicitly precharge `bank` (controller's close-page sweep).
@@ -309,10 +312,7 @@ mod tests {
         }
         // The fifth ACT waits for the four-activate window: its data
         // cannot be ready before t_faw + tRCD + tCL.
-        assert!(
-            last_ready >= 1000 + 80,
-            "fifth activate ignored tFAW: ready at {last_ready}"
-        );
+        assert!(last_ready >= 1000 + 80, "fifth activate ignored tFAW: ready at {last_ready}");
     }
 
     #[test]

@@ -4,6 +4,7 @@ use crate::address::{DramGeometry, Location};
 use crate::bank::RowOutcome;
 use crate::channel::Channel;
 use crate::timing::DramTiming;
+use melreq_audit::{AuditEvent, AuditHandle, TimingParams};
 use melreq_stats::types::{AccessKind, Addr, Cycle, CACHE_LINE_BYTES};
 use melreq_stats::Counter;
 
@@ -27,8 +28,7 @@ pub struct DramStats {
 impl DramStats {
     /// Row-hit rate over all transactions (0.0 when idle).
     pub fn hit_rate(&self) -> f64 {
-        let total =
-            self.row_hits.get() + self.row_closed_misses.get() + self.row_conflicts.get();
+        let total = self.row_hits.get() + self.row_closed_misses.get() + self.row_conflicts.get();
         self.row_hits.ratio_of(total)
     }
 }
@@ -56,6 +56,9 @@ pub struct ServiceTime {
     pub data_ready: Cycle,
     /// How the row buffer was found.
     pub outcome: RowOutcome,
+    /// Effective cycle the command sequence started (the grant cycle,
+    /// possibly pushed back by the tRRD/tFAW activate windows).
+    pub granted_at: Cycle,
 }
 
 /// The full DRAM device model behind the memory controller.
@@ -68,15 +71,65 @@ pub struct DramSystem {
     timing: DramTiming,
     channels: Vec<Channel>,
     stats: DramStats,
+    /// Audit instrumentation (no-op unless a sink is attached).
+    audit: AuditHandle,
+    /// Refreshes already reported to the audit stream, per channel.
+    refreshes_emitted: Vec<u64>,
 }
 
 impl DramSystem {
     /// Build a DRAM system from geometry and timing.
     pub fn new(geometry: DramGeometry, timing: DramTiming) -> Self {
-        let channels = (0..geometry.channels)
-            .map(|_| Channel::new(geometry.banks_per_channel()))
-            .collect();
-        DramSystem { geometry, timing, channels, stats: DramStats::default() }
+        let channels =
+            (0..geometry.channels).map(|_| Channel::new(geometry.banks_per_channel())).collect();
+        DramSystem {
+            channels,
+            stats: DramStats::default(),
+            audit: AuditHandle::disabled(),
+            refreshes_emitted: vec![0; geometry.channels],
+            geometry,
+            timing,
+        }
+    }
+
+    /// Attach audit instrumentation and announce the device configuration
+    /// on the stream. All subsequent refreshes, precharges, and grants on
+    /// this device are reported through `audit`.
+    pub fn set_audit(&mut self, audit: AuditHandle) {
+        audit.emit(|| AuditEvent::DramConfig {
+            channels: self.geometry.channels,
+            banks_per_channel: self.geometry.banks_per_channel(),
+            timing: TimingParams {
+                t_rcd: self.timing.t_rcd,
+                t_cl: self.timing.t_cl,
+                t_rp: self.timing.t_rp,
+                t_wr: self.timing.t_wr,
+                burst: self.timing.burst,
+                t_refi: self.timing.t_refi,
+                t_rfc: self.timing.t_rfc,
+                t_rrd: self.timing.t_rrd,
+                t_faw: self.timing.t_faw,
+            },
+        });
+        self.audit = audit;
+    }
+
+    /// Report any refreshes the channels performed that the audit stream
+    /// has not seen yet. Refresh `k` on a channel always starts at
+    /// `k × tREFI`, so the boundary cycles are reconstructible from the
+    /// per-channel counts.
+    fn emit_refreshes(&mut self) {
+        if !self.audit.is_enabled() {
+            return;
+        }
+        for (ch, emitted) in self.refreshes_emitted.iter_mut().enumerate() {
+            let performed = self.channels[ch].refresh_count();
+            while *emitted < performed {
+                *emitted += 1;
+                let at = *emitted * self.timing.t_refi;
+                self.audit.emit(|| AuditEvent::Refresh { channel: ch, at });
+            }
+        }
     }
 
     /// The paper's Table 1 memory system.
@@ -124,11 +177,12 @@ impl DramSystem {
         for ch in &mut self.channels {
             ch.sync_refresh(now, &self.timing);
         }
+        self.emit_refreshes();
     }
 
     /// Total all-bank refreshes performed across channels.
     pub fn refresh_count(&self) -> u64 {
-        self.channels.iter().map(|c| c.refresh_count()).sum()
+        self.channels.iter().map(super::channel::Channel::refresh_count).sum()
     }
 
     /// Cycle at which `loc`'s channel data bus next frees (for backlog
@@ -149,6 +203,10 @@ impl DramSystem {
         now: Cycle,
         keep_open: bool,
     ) -> ServiceTime {
+        // Catch up (and report) refreshes before the grant so the audit
+        // stream always orders a refresh ahead of the grants behind it.
+        self.channels[loc.channel].sync_refresh(now, &self.timing);
+        self.emit_refreshes();
         let grant =
             self.channels[loc.channel].issue(loc.bank, loc.row, kind, now, keep_open, &self.timing);
         match grant.outcome {
@@ -161,13 +219,18 @@ impl DramSystem {
             AccessKind::Write => self.stats.writes.inc(),
         }
         self.stats.bytes.add(CACHE_LINE_BYTES);
-        ServiceTime { data_ready: grant.data_ready, outcome: grant.outcome }
+        ServiceTime {
+            data_ready: grant.data_ready,
+            outcome: grant.outcome,
+            granted_at: grant.granted_at,
+        }
     }
 
     /// Explicitly close the row at `loc` if open (controller close-page
     /// sweep when the last same-row request drains).
     pub fn precharge(&mut self, loc: &Location, now: Cycle) {
         self.channels[loc.channel].precharge(loc.bank, now, &self.timing);
+        self.audit.emit(|| AuditEvent::Precharge { channel: loc.channel, bank: loc.bank, at: now });
     }
 
     /// Data-bus utilization of `channel` over `elapsed` cycles.

@@ -99,9 +99,21 @@ impl DramTiming {
 
     /// Derive a scaled timing (all latencies multiplied by `num/den`)
     /// for sensitivity/ablation studies.
+    ///
+    /// The division truncates toward zero, so `t.scaled(a, b).scaled(b, a)`
+    /// only round-trips exactly when every parameter is divisible by `b`
+    /// (it is for the presets and small ratios); enabled parameters are
+    /// floored at 1 cycle so extreme down-scales cannot turn a latency
+    /// into "free".
+    ///
+    /// # Panics
+    /// Panics if `den` is zero or `v * num` overflows [`Cycle`] for any
+    /// parameter — a scale that large is a caller bug, not a timing.
     pub fn scaled(&self, num: Cycle, den: Cycle) -> Self {
         assert!(den > 0, "scale denominator must be positive");
-        let s = |v: Cycle| (v * num / den).max(1);
+        let s = |v: Cycle| {
+            (v.checked_mul(num).expect("timing scale overflows u64 cycles") / den).max(1)
+        };
         // Zero means "disabled" for the optional constraints; keep it.
         let s0 = |v: Cycle| if v == 0 { 0 } else { s(v) };
         DramTiming {
@@ -170,5 +182,31 @@ mod tests {
         let t = DramTiming::default().scaled(2, 1);
         assert_eq!(t.t_rcd, 80);
         assert_eq!(t.burst, 32);
+    }
+
+    #[test]
+    fn scaled_round_trips_when_divisible() {
+        let t = DramTiming::default().with_refresh().with_activation_windows();
+        assert_eq!(t.scaled(8, 1).scaled(1, 8), t);
+        assert_eq!(t.scaled(3, 4).scaled(4, 3), t); // every preset value is ÷4
+    }
+
+    #[test]
+    fn scaled_keeps_disabled_constraints_disabled() {
+        let t = DramTiming::default().scaled(7, 2);
+        assert_eq!(t.t_refi, 0);
+        assert_eq!(t.t_faw, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows")]
+    fn scaled_overflow_is_loud() {
+        let _ = DramTiming::default().scaled(u64::MAX / 2, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "denominator")]
+    fn scaled_zero_denominator_is_loud() {
+        let _ = DramTiming::default().scaled(1, 0);
     }
 }

@@ -3,6 +3,7 @@
 use crate::policy::{Candidate, SchedulerPolicy};
 use crate::queue::RequestQueue;
 use crate::request::{MemRequest, ReqId};
+use melreq_audit::{AuditEvent, AuditHandle, CandidateInfo};
 use melreq_dram::{DramSystem, RowPolicy};
 use melreq_stats::types::{AccessKind, Addr, CoreId, Cycle};
 use melreq_stats::{Counter, LatencyTracker};
@@ -136,6 +137,9 @@ pub struct MemoryController {
     /// Scratch buffer reused across ticks to avoid per-cycle allocation.
     cand_buf: Vec<Candidate>,
     cand_ids: Vec<(ReqId, AccessKind)>,
+    /// Audit instrumentation (no-op unless a sink is attached; debug
+    /// builds attach a panicking watchdog automatically).
+    audit: AuditHandle,
 }
 
 impl MemoryController {
@@ -149,7 +153,7 @@ impl MemoryController {
     ) -> Self {
         assert!(cfg.drain_stop < cfg.drain_start, "drain hysteresis must be decreasing");
         assert!(cfg.drain_start <= cfg.buffer_entries, "drain threshold beyond buffer");
-        MemoryController {
+        let mut ctrl = MemoryController {
             queue: RequestQueue::new(cfg.buffer_entries, cores),
             cfg,
             dram,
@@ -161,7 +165,41 @@ impl MemoryController {
             stats: ControllerStats::new(cores),
             cand_buf: Vec::with_capacity(cfg.buffer_entries),
             cand_ids: Vec::with_capacity(cfg.buffer_entries),
+            audit: AuditHandle::disabled(),
+        };
+        // Debug builds run with an always-on protocol watchdog: any
+        // timing or scheduling violation panics at the offending grant.
+        // (The starvation check stays off here — straw-man policies such
+        // as FIX-3210 starve legitimately; `--audit` reports it instead.)
+        if cfg!(debug_assertions) {
+            let audit_cfg = melreq_audit::AuditorConfig {
+                starvation_cap: u64::MAX,
+                panic_on_violation: true,
+                max_stored: 1,
+            };
+            let (handle, _auditor) = melreq_audit::Auditor::shared(audit_cfg, true);
+            ctrl.attach_audit(handle);
         }
+        ctrl
+    }
+
+    /// Attach audit instrumentation: the DRAM device announces its
+    /// configuration, then the controller announces its own. Every
+    /// subsequent submit, scheduling decision, and grant is reported on
+    /// the stream. Replaces any previously attached sink (including the
+    /// debug-build watchdog).
+    pub fn attach_audit(&mut self, audit: AuditHandle) {
+        self.dram.set_audit(audit.clone());
+        audit.emit(|| AuditEvent::CtrlConfig {
+            cores: self.stats.read_latency.len(),
+            policy: self.policy.name(),
+            read_first: self.read_first,
+            buffer_entries: self.cfg.buffer_entries,
+            drain_start: self.cfg.drain_start,
+            drain_stop: self.cfg.drain_stop,
+            overhead: self.cfg.overhead,
+        });
+        self.audit = audit;
     }
 
     /// Name of the active policy.
@@ -185,6 +223,7 @@ impl MemoryController {
     /// (no-op for ME-oblivious policies) — the online-profiling hook.
     pub fn update_profile(&mut self, me: &[f64]) {
         self.policy.update_profile(me);
+        self.audit.emit(|| AuditEvent::ProfileUpdate { me: me.to_vec() });
     }
 
     /// The DRAM device behind the controller (row-hit stats etc.).
@@ -218,6 +257,15 @@ impl MemoryController {
         let id = ReqId(self.next_id);
         self.next_id += 1;
         let loc = self.dram.decode(addr);
+        self.audit.emit(|| AuditEvent::Submit {
+            id: id.0,
+            core: core.0,
+            channel: loc.channel,
+            bank: loc.bank,
+            row: loc.row,
+            write: kind.is_write(),
+            at: now,
+        });
         self.queue.push(MemRequest { id, core, addr, loc, kind, arrival: now });
         id
     }
@@ -300,7 +348,40 @@ impl MemoryController {
                 self.pick_read_via_policy(ch)
             }
         };
+        if self.audit.wants_decisions() {
+            self.emit_decision(ch, now, chosen);
+        }
         self.issue(chosen, now);
+    }
+
+    /// Report one scheduling decision — the full candidate set plus the
+    /// pending-read counts the policy saw — on the audit stream.
+    fn emit_decision(&self, ch: usize, now: Cycle, chosen: ReqId) {
+        let candidates: Vec<CandidateInfo> = self
+            .cand_ids
+            .iter()
+            .map(|&(id, kind)| {
+                let r = self.queue.iter().find(|r| r.id == id).expect("candidate vanished");
+                CandidateInfo {
+                    id: id.0,
+                    core: r.core.0,
+                    bank: r.loc.bank,
+                    row: r.loc.row,
+                    write: kind.is_write(),
+                    row_hit: self.dram.is_row_hit(&r.loc),
+                    arrival: r.arrival,
+                }
+            })
+            .collect();
+        let pending_reads = self.queue.pending_reads_all().to_vec();
+        self.audit.emit(|| AuditEvent::Decision {
+            channel: ch,
+            at: now,
+            draining: self.draining,
+            chosen: chosen.0,
+            candidates,
+            pending_reads,
+        });
     }
 
     fn build_candidates(&mut self, want_reads: bool) {
@@ -309,11 +390,7 @@ impl MemoryController {
             if kind.is_read() != want_reads {
                 continue;
             }
-            let req = self
-                .queue
-                .iter()
-                .find(|r| r.id == id)
-                .expect("candidate vanished");
+            let req = self.queue.iter().find(|r| r.id == id).expect("candidate vanished");
             self.cand_buf.push(Candidate {
                 id,
                 core: req.core,
@@ -350,6 +427,19 @@ impl MemoryController {
         };
         let hit_before = self.dram.is_row_hit(&req.loc);
         let service = self.dram.issue(&req.loc, req.kind, now, keep_open);
+        self.audit.emit(|| AuditEvent::Grant {
+            id: req.id.0,
+            core: req.core.0,
+            channel: req.loc.channel,
+            bank: req.loc.bank,
+            row: req.loc.row,
+            write: req.kind.is_write(),
+            requested_at: now,
+            granted_at: service.granted_at,
+            keep_open,
+            outcome: service.outcome.into(),
+            data_ready: service.data_ready,
+        });
         if hit_before {
             self.stats.grant_row_hits.inc();
         }

@@ -90,12 +90,7 @@ impl SchedulerPolicy for Fcfs {
     }
 
     fn select(&mut self, cands: &[Candidate], _pending: &[u32]) -> usize {
-        cands
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, c)| c.id)
-            .map(|(i, _)| i)
-            .expect("no candidates")
+        cands.iter().enumerate().min_by_key(|(_, c)| c.id).map(|(i, _)| i).expect("no candidates")
     }
 }
 
@@ -297,11 +292,7 @@ impl SchedulerPolicy for MeLreq {
         }
         debug_assert!(tied_len > 0, "select called with no candidates");
         // "A tie of equal priority may be broken by a random selection."
-        let chosen = if tied_len == 1 {
-            tied[0]
-        } else {
-            tied[self.rng.gen_range(0..tied_len)]
-        };
+        let chosen = if tied_len == 1 { tied[0] } else { tied[self.rng.gen_range(0..tied_len)] };
         pick_hf_oldest(cands, Some(CoreId(chosen)))
     }
 

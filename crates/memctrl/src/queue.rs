@@ -99,11 +99,7 @@ impl RequestQueue {
     /// # Panics
     /// Panics if no such request is queued.
     pub fn remove(&mut self, id: ReqId) -> MemRequest {
-        let pos = self
-            .entries
-            .iter()
-            .position(|r| r.id == id)
-            .expect("request not in queue");
+        let pos = self.entries.iter().position(|r| r.id == id).expect("request not in queue");
         let req = self.entries.swap_remove(pos);
         if req.is_read() {
             self.pending_reads[req.core.index()] -= 1;
@@ -122,9 +118,7 @@ impl RequestQueue {
     /// channel/bank/row as `loc` — the controller's close-page signal: the
     /// row is kept open only while this returns true.
     pub fn has_same_row_pending(&self, loc: &Location, excluding: ReqId) -> bool {
-        self.entries
-            .iter()
-            .any(|r| r.id != excluding && r.loc.same_row(loc))
+        self.entries.iter().any(|r| r.id != excluding && r.loc.same_row(loc))
     }
 }
 

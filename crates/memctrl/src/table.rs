@@ -57,11 +57,8 @@ impl PriorityTable {
             .copied()
             .filter(|&v| finite(v))
             .fold(f64::INFINITY, |a, v| a.min((v / MAX_PENDING as f64).log2()));
-        let scale = if lmax.is_finite() && lmax > lmin {
-            PRIORITY_MAX as f64 / (lmax - lmin)
-        } else {
-            1.0
-        };
+        let scale =
+            if lmax.is_finite() && lmax > lmin { PRIORITY_MAX as f64 / (lmax - lmin) } else { 1.0 };
         let quant = |v: f64| -> PriorityFixed {
             if !v.is_finite() {
                 return if v > 0.0 { PriorityFixed::MAX } else { PriorityFixed::ZERO };

@@ -52,8 +52,8 @@ pub fn slowdowns(ipc_multi: &[f64], ipc_single: &[f64]) -> Vec<f64> {
 /// Unfairness: `max(slowdown) / min(slowdown)`; 1.0 is perfectly fair.
 pub fn unfairness(ipc_multi: &[f64], ipc_single: &[f64]) -> f64 {
     let sd = slowdowns(ipc_multi, ipc_single);
-    let max = sd.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-    let min = sd.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = sd.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let min = sd.iter().copied().fold(f64::INFINITY, f64::min);
     assert!(min > 0.0, "slowdown cannot be non-positive");
     max / min
 }

@@ -68,10 +68,7 @@ pub fn quantize(value: f64, scale: f64) -> PriorityFixed {
 ///
 /// Returns 1.0 for an empty or all-zero input.
 pub fn auto_scale(values: impl IntoIterator<Item = f64>) -> f64 {
-    let max = values
-        .into_iter()
-        .filter(|v| v.is_finite())
-        .fold(0.0f64, f64::max);
+    let max = values.into_iter().filter(|v| v.is_finite()).fold(0.0f64, f64::max);
     if max <= 0.0 {
         1.0
     } else {

@@ -63,7 +63,7 @@ proptest! {
     #[test]
     fn auto_scale_saturates_max(values in proptest::collection::vec(0.001f64..1e6, 1..20)) {
         let s = auto_scale(values.iter().copied());
-        let max = values.iter().cloned().fold(0.0, f64::max);
+        let max = values.iter().copied().fold(0.0, f64::max);
         prop_assert_eq!(quantize(max, s).raw(), 1023);
     }
 

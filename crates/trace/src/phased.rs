@@ -61,10 +61,7 @@ impl InstrStream for PhasedStream {
     /// Warm hints cover the most memory-demanding phase (the union of
     /// regions would exceed what pre-warming can usefully install).
     fn warm_hints(&self) -> Option<WarmHints> {
-        self.phases
-            .iter()
-            .filter_map(|(s, _)| s.warm_hints())
-            .max_by_key(|h| h.data_len)
+        self.phases.iter().filter_map(|(s, _)| s.warm_hints()).max_by_key(|h| h.data_len)
     }
 }
 

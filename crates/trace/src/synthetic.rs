@@ -199,8 +199,7 @@ impl InstrStream for SyntheticStream {
             } else {
                 OpKind::Branch { mispredict: self.rng.gen_bool(self.params.mispredict_rate) }
             };
-            let taken_jump =
-                matches!(kind, OpKind::Branch { .. }) && self.rng.gen_bool(0.3);
+            let taken_jump = matches!(kind, OpKind::Branch { .. }) && self.rng.gen_bool(0.3);
             let pc = self.advance_pc(taken_jump);
             let dep_dist = self.sample_dep();
             self.ops_since_load = self.ops_since_load.saturating_add(1);
@@ -293,8 +292,7 @@ mod tests {
     fn dep_distances_have_requested_scale() {
         let mut s = stream(0.0, 4);
         let n = 20_000;
-        let mean: f64 =
-            (0..n).map(|_| s.next_op().dep_dist as f64).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n).map(|_| s.next_op().dep_dist as f64).sum::<f64>() / n as f64;
         // Geometric mean_dep_dist = 4 clamped at 64: expect ~4.
         assert!((mean - 4.0).abs() < 0.5, "mean dep {mean}");
     }

@@ -80,14 +80,7 @@ impl AppSpec {
 const KB: u64 = 1 << 10;
 const MB: u64 = 1 << 20;
 
-fn mem_params(
-    mem_frac: f64,
-    ws: u64,
-    seq: f64,
-    chase: f64,
-    mix: OpMix,
-    dep: f64,
-) -> StreamParams {
+fn mem_params(mem_frac: f64, ws: u64, seq: f64, chase: f64, mix: OpMix, dep: f64) -> StreamParams {
     StreamParams {
         mem_frac,
         load_frac: 0.72,

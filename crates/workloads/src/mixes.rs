@@ -122,10 +122,7 @@ mod tests {
     fn mem_mixes_are_all_mem_class() {
         // 8MEM-6 is excluded: the published row contains ILP codes (a
         // typesetting artifact in the source paper; see `all_mixes`).
-        for m in all_mixes()
-            .into_iter()
-            .filter(|m| m.kind == MixKind::Mem && m.name != "8MEM-6")
-        {
+        for m in all_mixes().into_iter().filter(|m| m.kind == MixKind::Mem && m.name != "8MEM-6") {
             for a in m.apps() {
                 assert_eq!(a.class, AppClass::Mem, "{} contains non-MEM app {}", m.name, a.name);
             }

@@ -96,14 +96,12 @@ fn main() {
         .iter()
         .enumerate()
         .map(|(i, a)| {
-            Box::new(a.build_stream(i, SliceKind::Evaluation(0)))
-                as Box<dyn InstrStream + Send>
+            Box::new(a.build_stream(i, SliceKind::Evaluation(0))) as Box<dyn InstrStream + Send>
         })
         .collect();
     let mut sys =
         System::with_policy(cfg, streams, Box::new(BwLreq::new(&bw)), /* read_first */ true);
     let out = sys.run_measured(opts.warmup, opts.instructions, 1 << 30);
-    let speedup: f64 =
-        out.ipc.iter().zip(&ipc_single).map(|(m, s)| m / s).sum();
+    let speedup: f64 = out.ipc.iter().zip(&ipc_single).map(|(m, s)| m / s).sum();
     println!("  {:8} speedup={:.3} (custom policy via SchedulerPolicy trait)", "BW-LREQ", speedup);
 }

@@ -82,11 +82,9 @@ fn main() {
     );
 
     println!("\n{:14} {:>10} {:>26}", "policy", "sum IPC", "per-core IPC");
-    for policy in [
-        PolicyKind::HfRf,
-        PolicyKind::MeLreq,
-        PolicyKind::MeLreqOnline { epoch_cycles: 25_000 },
-    ] {
+    for policy in
+        [PolicyKind::HfRf, PolicyKind::MeLreq, PolicyKind::MeLreqOnline { epoch_cycles: 25_000 }]
+    {
         let name = policy.name();
         let (total, per_core) = run(policy, &me);
         println!(

@@ -22,11 +22,8 @@ fn main() {
 
     // 2. Off-line profiling step (Equation 1): measure each program's
     //    memory efficiency alone on the single-core reference machine.
-    let profiles: Vec<_> = mix
-        .apps()
-        .iter()
-        .map(|a| profile_app(a, SliceKind::Profiling, 40_000))
-        .collect();
+    let profiles: Vec<_> =
+        mix.apps().iter().map(|a| profile_app(a, SliceKind::Profiling, 40_000)).collect();
     for p in &profiles {
         println!(
             "  profiled {:8}  IPC={:.2}  BW={:.2} GB/s  ME={:.3}",
@@ -44,8 +41,7 @@ fn main() {
         .iter()
         .enumerate()
         .map(|(i, a)| {
-            Box::new(a.build_stream(i, SliceKind::Evaluation(0)))
-                as Box<dyn InstrStream + Send>
+            Box::new(a.build_stream(i, SliceKind::Evaluation(0))) as Box<dyn InstrStream + Send>
         })
         .collect();
     let mut sys = System::new(cfg, streams, &me);

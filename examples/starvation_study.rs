@@ -33,10 +33,7 @@ fn main() {
     let mut policies = PolicyKind::figure3_set(mix.cores());
     policies.push(PolicyKind::MeLreq);
 
-    println!(
-        "{:10} {:>8} {:>8}   per-core slowdown (x)",
-        "scheme", "speedup", "unfair"
-    );
+    println!("{:10} {:>8} {:>8}   per-core slowdown (x)", "scheme", "speedup", "unfair");
     for kind in policies {
         let r = run_mix(&mix, &kind, &opts, &cache);
         let slowdowns: Vec<String> = r

@@ -14,8 +14,7 @@ fn build(mix_name: &str, policy: PolicyKind) -> System {
         .iter()
         .enumerate()
         .map(|(i, a)| {
-            Box::new(a.build_stream(i, SliceKind::Evaluation(0)))
-                as Box<dyn InstrStream + Send>
+            Box::new(a.build_stream(i, SliceKind::Evaluation(0))) as Box<dyn InstrStream + Send>
         })
         .collect();
     let me: Vec<f64> = (0..mix.cores()).map(|i| 1.0 + i as f64).collect();

@@ -108,8 +108,7 @@ fn online_me_is_competitive_with_offline_on_steady_workloads() {
     let mix = mix_by_name("4MEM-5");
     let o = ExperimentOptions { instructions: 60_000, warmup: 30_000, ..opts() };
     let offline = run_mix(&mix, &PolicyKind::MeLreq, &o, &cache);
-    let online =
-        run_mix(&mix, &PolicyKind::MeLreqOnline { epoch_cycles: 20_000 }, &o, &cache);
+    let online = run_mix(&mix, &PolicyKind::MeLreqOnline { epoch_cycles: 20_000 }, &o, &cache);
     assert!(!online.timed_out);
     let ratio = online.smt_speedup / offline.smt_speedup;
     assert!(
@@ -136,16 +135,8 @@ fn refresh_costs_throughput() {
     let mut refreshing = build(true);
     let b = refreshing.run_measured(10_000, 30_000, 1 << 30);
     assert!(!a.timed_out && !b.timed_out);
-    assert!(
-        refreshing.hierarchy().controller().dram().refresh_count() > 0,
-        "refresh never fired"
-    );
-    assert!(
-        b.ipc[0] < a.ipc[0],
-        "refresh must cost something: {} vs {}",
-        b.ipc[0],
-        a.ipc[0]
-    );
+    assert!(refreshing.hierarchy().controller().dram().refresh_count() > 0, "refresh never fired");
+    assert!(b.ipc[0] < a.ipc[0], "refresh must cost something: {} vs {}", b.ipc[0], a.ipc[0]);
     // ...but not more than a few percent (tREFI >> tRFC).
     assert!(b.ipc[0] > 0.9 * a.ipc[0], "refresh cost implausibly high");
 }

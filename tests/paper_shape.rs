@@ -32,10 +32,7 @@ fn table2_me_separates_classes() {
             AppClass::Mem => best_mem = best_mem.max(p.me),
         }
     }
-    assert!(
-        worst_ilp > best_mem,
-        "ILP floor {worst_ilp} must exceed MEM ceiling {best_mem}"
-    );
+    assert!(worst_ilp > best_mem, "ILP floor {worst_ilp} must exceed MEM ceiling {best_mem}");
 }
 
 #[test]
@@ -109,8 +106,8 @@ fn figure4_scheduling_affects_read_latency() {
     // The fixed-priority ME scheme must produce a wider per-core latency
     // spread than the baseline (the starvation signature of Fig. 4 right).
     let spread = |r: &melreq::experiment::MixResult| {
-        let max = r.read_latency.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        let min = r.read_latency.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = r.read_latency.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let min = r.read_latency.iter().copied().fold(f64::INFINITY, f64::min);
         max / min
     };
     assert!(
@@ -132,8 +129,7 @@ fn figure4_scheduling_affects_read_latency() {
 fn figure5_me_is_less_fair_than_me_lreq() {
     let cache = ProfileCache::new();
     let mix = mix_by_name("4MEM-4");
-    let cmp =
-        compare_policies(&mix, &[PolicyKind::Me, PolicyKind::MeLreq], &opts(), &cache);
+    let cmp = compare_policies(&mix, &[PolicyKind::Me, PolicyKind::MeLreq], &opts(), &cache);
     assert!(
         cmp.results[0].unfairness > cmp.results[1].unfairness,
         "fixed ME priority must be less fair than ME-LREQ: {} vs {}",

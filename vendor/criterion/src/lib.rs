@@ -1,0 +1,178 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate provides the API subset the workspace's benches use. It is a
+//! functional micro-harness, not a statistics engine: each benchmark
+//! runs a small fixed number of timed iterations and prints the mean
+//! wall-clock time per iteration, so `cargo bench` still produces
+//! usable relative numbers offline.
+
+use std::time::Instant;
+
+/// Iterations timed per benchmark (after one warm-up call).
+const ITERS: u32 = 50;
+
+/// An opaque barrier the optimizer must assume reads and writes `value`.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// How per-iteration setup outputs are batched in
+/// [`Bencher::iter_batched`]. The stub runs one setup per iteration
+/// regardless of the variant.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// Times closures handed to it by a benchmark body.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    nanos_per_iter: f64,
+}
+
+impl Bencher {
+    /// Time `routine` over the stub's fixed iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine()); // warm-up
+        let start = Instant::now();
+        for _ in 0..ITERS {
+            black_box(routine());
+        }
+        self.nanos_per_iter = start.elapsed().as_nanos() as f64 / f64::from(ITERS);
+    }
+
+    /// Time `routine` with a fresh `setup` output per iteration; setup
+    /// time is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup())); // warm-up
+        let mut total = std::time::Duration::ZERO;
+        for _ in 0..ITERS {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.nanos_per_iter = total.as_nanos() as f64 / f64::from(ITERS);
+    }
+}
+
+fn report(name: &str, nanos: f64) {
+    if nanos >= 1_000_000.0 {
+        println!("{name:<50} {:>12.3} ms/iter", nanos / 1e6);
+    } else if nanos >= 1_000.0 {
+        println!("{name:<50} {:>12.3} µs/iter", nanos / 1e3);
+    } else {
+        println!("{name:<50} {nanos:>12.1} ns/iter");
+    }
+}
+
+/// A named group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut (),
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API parity; the stub's iteration count is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.into()), b.nanos_per_iter);
+        self
+    }
+
+    /// End the group (no-op in the stub).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry object.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    anchor: (),
+}
+
+impl Criterion {
+    /// Run one top-level benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        f(&mut b);
+        report(&id.into(), b.nanos_per_iter);
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), _parent: &mut self.anchor }
+    }
+}
+
+/// Collect benchmark functions into a group runner, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit a `main` running the given groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut runs = 0u32;
+        c.bench_function("smoke", |b| b.iter(|| runs += 1));
+        assert!(runs >= ITERS);
+    }
+
+    #[test]
+    fn groups_and_batched_run() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        let mut total = 0u64;
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| 2u64, |v| total += v, BatchSize::SmallInput);
+        });
+        group.finish();
+        assert!(total >= u64::from(ITERS) * 2);
+    }
+}

@@ -1,0 +1,434 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate re-implements the subset of proptest's API the workspace's
+//! property tests use: the [`proptest!`]/[`prop_assert!`]/
+//! [`prop_assert_eq!`] macros, [`strategy::Strategy`] with `prop_map`,
+//! range and tuple strategies, [`arbitrary::any`], and
+//! [`collection::vec`]. Differences from the real crate:
+//!
+//! * cases are generated from a fixed seed, so runs are deterministic;
+//! * there is **no shrinking** — a failing case reports the assertion
+//!   message only;
+//! * `.proptest-regressions` files are ignored.
+
+pub mod test_runner {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// Why a strategy could not produce a value (kept for API parity; the
+    /// stub's strategies never fail).
+    #[derive(Debug, Clone)]
+    pub struct Reason(pub String);
+
+    impl std::fmt::Display for Reason {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "{}", self.0)
+        }
+    }
+
+    /// Per-test configuration. Only `cases` is honoured.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Drives value generation for one property test.
+    #[derive(Debug)]
+    pub struct TestRunner {
+        pub(crate) rng: SmallRng,
+        pub(crate) config: ProptestConfig,
+    }
+
+    impl TestRunner {
+        /// A runner with the given configuration and the fixed seed.
+        pub fn new(config: ProptestConfig) -> Self {
+            TestRunner { rng: SmallRng::seed_from_u64(0x9E37_79B9), config }
+        }
+
+        /// A deterministic runner (all stub runners are deterministic).
+        pub fn deterministic() -> Self {
+            Self::new(ProptestConfig::default())
+        }
+
+        /// The configured case count.
+        pub fn cases(&self) -> u32 {
+            self.config.cases
+        }
+
+        /// The runner's generator.
+        pub fn rng(&mut self) -> &mut SmallRng {
+            &mut self.rng
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::{Reason, TestRunner};
+
+    /// A generated value plus (in real proptest) its shrink tree. The
+    /// stub never shrinks: `current` just returns the generated value.
+    pub trait ValueTree {
+        /// The carried value type.
+        type Value;
+
+        /// The current (= originally generated) value.
+        fn current(&self) -> Self::Value;
+    }
+
+    /// A leaf tree holding one cloneable value.
+    #[derive(Debug, Clone)]
+    pub struct Single<T: Clone>(pub T);
+
+    impl<T: Clone> ValueTree for Single<T> {
+        type Value = T;
+
+        fn current(&self) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value: Clone;
+
+        /// Generate one value.
+        fn generate(&self, runner: &mut TestRunner) -> Self::Value;
+
+        /// Generate a (non-shrinking) value tree.
+        fn new_tree(&self, runner: &mut TestRunner) -> Result<Single<Self::Value>, Reason> {
+            Ok(Single(self.generate(runner)))
+        }
+
+        /// Map generated values through `f`.
+        fn prop_map<O: Clone, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { source: self, f }
+        }
+    }
+
+    /// The strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O: Clone, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, runner: &mut TestRunner) -> O {
+            (self.f)(self.source.generate(runner))
+        }
+    }
+
+    /// A strategy producing one fixed value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _runner: &mut TestRunner) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, runner: &mut TestRunner) -> $t {
+                    use rand::Rng;
+                    runner.rng().gen_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, runner: &mut TestRunner) -> $t {
+                    use rand::Rng;
+                    runner.rng().gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, f64);
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(runner),)+)
+                }
+            }
+        };
+    }
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRunner;
+    use rand::RngCore;
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary: Clone {
+        /// Draw one arbitrary value.
+        fn arbitrary(runner: &mut TestRunner) -> Self;
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                #[allow(clippy::cast_possible_truncation)]
+                fn arbitrary(runner: &mut TestRunner) -> $t {
+                    runner.rng().next_u64() as $t
+                }
+            }
+        )*};
+    }
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(runner: &mut TestRunner) -> bool {
+            runner.rng().next_u64() & 1 == 1
+        }
+    }
+
+    /// The canonical strategy for `T` (`any::<u64>()` etc.).
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(core::marker::PhantomData)
+    }
+
+    /// The strategy returned by [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct AnyStrategy<T>(core::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, runner: &mut TestRunner) -> T {
+            T::arbitrary(runner)
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRunner;
+    use rand::Rng;
+
+    /// An inclusive-exclusive element-count window for [`vec`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max_exclusive: n + 1 }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange { min: r.start, max_exclusive: r.end }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty vec size range");
+            SizeRange { min: *r.start(), max_exclusive: *r.end() + 1 }
+        }
+    }
+
+    /// A strategy generating vectors whose elements come from `element`
+    /// and whose length falls in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// The strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, runner: &mut TestRunner) -> Vec<S::Value> {
+            let n = runner.rng().gen_range(self.size.min..self.size.max_exclusive);
+            (0..n).map(|_| self.element.generate(runner)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::collection;
+    pub use crate::strategy::{Just, Strategy, ValueTree};
+    pub use crate::test_runner::{ProptestConfig, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Assert a condition inside a property body; on failure the failing
+/// message propagates as an `Err` so the harness reports the case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(format!($($fmt)*));
+        }
+    };
+}
+
+/// Assert equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// Assert inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+}
+
+/// Define property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let cases = config.cases;
+            let mut runner = $crate::test_runner::TestRunner::new(config);
+            for case in 0..cases {
+                let result: ::core::result::Result<(), String> = {
+                    use $crate::strategy::Strategy as _;
+                    $(let $pat = ($strat).generate(&mut runner);)+
+                    #[allow(clippy::redundant_closure_call)]
+                    (|| -> ::core::result::Result<(), String> {
+                        $body
+                        Ok(())
+                    })()
+                };
+                if let Err(msg) = result {
+                    panic!("property {} failed at case {}/{}: {}",
+                        stringify!($name), case + 1, cases, msg);
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(v in 10u64..20, w in 0u32..=3) {
+            prop_assert!((10..20).contains(&v));
+            prop_assert!(w <= 3);
+        }
+
+        #[test]
+        fn tuples_and_maps(pair in (0u8..4, any::<bool>()).prop_map(|(a, b)| (u32::from(a), b))) {
+            prop_assert!(pair.0 < 4);
+        }
+
+        #[test]
+        fn vectors_hit_requested_sizes(v in collection::vec(0u64..5, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+        #[test]
+        fn config_is_honoured(x in 0u64..1000) {
+            prop_assert_eq!(x, x);
+        }
+    }
+
+    #[test]
+    fn new_tree_and_current_work() {
+        use crate::strategy::{Strategy, ValueTree};
+        let mut runner = crate::test_runner::TestRunner::deterministic();
+        let v = (0u32..10).new_tree(&mut runner).expect("tree").current();
+        assert!(v < 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "property")]
+    fn failing_property_panics() {
+        // Reuse the expansion manually so the should_panic test stays a
+        // plain #[test].
+        proptest! {
+            fn always_fails(x in 0u64..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}
