@@ -1,0 +1,165 @@
+//! Simulator performance trajectory harness.
+//!
+//! Runs a fixed 4-core MEM reference mix (`4MEM-1`) under the paper's five
+//! scheduling schemes and records host-side throughput — wall time,
+//! simulated cycles per second — plus the process's peak RSS, into
+//! `BENCH_sim.json`. The JSON is the perf artifact tracked across PRs:
+//! regenerate it before and after a kernel change to quantify the effect.
+//!
+//! ```text
+//! cargo run -p melreq-bench --release --bin perf
+//!     [-- --instructions N --warmup N --profile N --slice K
+//!         --mix NAME --out PATH --tick-exact]
+//! ```
+//!
+//! `--tick-exact` forces the cycle-by-cycle reference loop instead of the
+//! event-driven fast-forward kernel, which is exactly what a "before"
+//! measurement of the fast-forward optimization looks like.
+
+use melreq_core::experiment::{ExperimentOptions, ProfileCache};
+use melreq_core::{System, SystemConfig};
+use melreq_memctrl::policy::PolicyKind;
+use melreq_stats::types::Cycle;
+use melreq_trace::InstrStream;
+use melreq_workloads::{mix_by_name, Mix, SliceKind};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One policy's measurement.
+struct Row {
+    policy: &'static str,
+    wall_s: f64,
+    sim_cycles: Cycle,
+    smt_like_ipc_sum: f64,
+}
+
+fn build_system(mix: &Mix, kind: &PolicyKind, me: &[f64], opts: &ExperimentOptions) -> System {
+    let streams: Vec<Box<dyn InstrStream + Send>> = mix
+        .apps()
+        .iter()
+        .enumerate()
+        .map(|(i, a)| {
+            Box::new(a.build_stream(i, SliceKind::Evaluation(opts.eval_slice)))
+                as Box<dyn InstrStream + Send>
+        })
+        .collect();
+    let cfg = SystemConfig::paper(mix.cores(), kind.clone());
+    System::new(cfg, streams, me)
+}
+
+/// Peak resident-set size of this process in bytes (Linux `VmHWM`;
+/// `None` elsewhere or when procfs is unavailable).
+fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let (opts, rest) = melreq_bench::parse_opts(ExperimentOptions::default());
+    let mut out_path = "BENCH_sim.json".to_string();
+    let mut mix_name = "4MEM-1".to_string();
+    let mut tick_exact = false;
+    let mut it = rest.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => out_path = it.next().expect("--out PATH"),
+            "--mix" => mix_name = it.next().expect("--mix NAME"),
+            "--tick-exact" => tick_exact = true,
+            a => panic!("unknown flag {a}"),
+        }
+    }
+    let opts = ExperimentOptions { tick_exact, ..opts };
+    let mix = mix_by_name(&mix_name);
+
+    // Profile outside the timed region: the artifact tracks the cost of
+    // the multiprogrammed simulation loop, not the (memoized) profiling.
+    let cache = ProfileCache::new();
+    let me: Vec<f64> = (0..mix.cores()).map(|i| cache.profile(&mix, i, &opts).me).collect();
+
+    let policies = [
+        PolicyKind::HfRf,
+        PolicyKind::Lreq,
+        PolicyKind::Me,
+        PolicyKind::MeLreq,
+        PolicyKind::MeLreqOnline { epoch_cycles: 50_000 },
+    ];
+
+    let mut rows = Vec::new();
+    let total_start = Instant::now();
+    for kind in &policies {
+        let mut sys = build_system(&mix, kind, &me, &opts);
+        sys.set_tick_exact(opts.tick_exact);
+        let t0 = Instant::now();
+        let out = sys.run_measured(
+            opts.warmup,
+            opts.instructions,
+            opts.instructions.saturating_mul(opts.max_cycles_factor).max(1 << 22),
+        );
+        let wall_s = t0.elapsed().as_secs_f64();
+        assert!(!out.timed_out, "{} timed out on {}", kind.name(), mix.name);
+        rows.push(Row {
+            policy: kind.name(),
+            wall_s,
+            sim_cycles: sys.now(),
+            smt_like_ipc_sum: out.ipc.iter().sum(),
+        });
+    }
+    let total_wall_s = total_start.elapsed().as_secs_f64();
+
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": 1,\n");
+    let _ = writeln!(json, "  \"mix\": \"{}\",", json_escape(mix.name));
+    let _ = writeln!(json, "  \"instructions\": {},", opts.instructions);
+    let _ = writeln!(json, "  \"warmup\": {},", opts.warmup);
+    let _ = writeln!(json, "  \"tick_exact\": {tick_exact},");
+    json.push_str("  \"policies\": [\n");
+    println!("simulator throughput on {} ({} instr/core):", mix.name, opts.instructions);
+    for (i, r) in rows.iter().enumerate() {
+        let cps = r.sim_cycles as f64 / r.wall_s.max(1e-9);
+        let _ = write!(
+            json,
+            "    {{\"policy\": \"{}\", \"wall_s\": {:.6}, \"sim_cycles\": {}, \
+             \"sim_cycles_per_sec\": {:.0}, \"ipc_sum\": {:.4}}}",
+            json_escape(r.policy),
+            r.wall_s,
+            r.sim_cycles,
+            cps,
+            r.smt_like_ipc_sum,
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+        println!(
+            "  {:<10} {:>10} sim cycles in {:>8.3} s  ->  {:>6.2} Mcycles/s",
+            r.policy,
+            r.sim_cycles,
+            r.wall_s,
+            cps / 1e6
+        );
+    }
+    json.push_str("  ],\n");
+    let agg_cycles: u64 = rows.iter().map(|r| r.sim_cycles).sum();
+    let agg_wall: f64 = rows.iter().map(|r| r.wall_s).sum();
+    let agg_cps = agg_cycles as f64 / agg_wall.max(1e-9);
+    let _ = writeln!(json, "  \"total_wall_s\": {total_wall_s:.6},");
+    let _ = writeln!(json, "  \"aggregate_sim_cycles_per_sec\": {agg_cps:.0},");
+    match peak_rss_bytes() {
+        Some(b) => {
+            let _ = writeln!(json, "  \"peak_rss_bytes\": {b}");
+        }
+        None => json.push_str("  \"peak_rss_bytes\": null\n"),
+    }
+    json.push_str("}\n");
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!(
+        "aggregate: {:.2} Mcycles/s over {} policies; peak RSS {} MiB -> {}",
+        agg_cps / 1e6,
+        rows.len(),
+        peak_rss_bytes().map_or(0, |b| b / (1 << 20)),
+        out_path
+    );
+}

@@ -112,6 +112,20 @@ fn cmd_run(
         &["core", "app", "ME", "IPC alone", "IPC shared", "slowdown", "read lat"],
         &rows,
     ));
+    // Host throughput of the multiprogrammed run (profiling excluded).
+    // Instructions are approximated by the per-core targets; early
+    // finishers keep committing, so the true rate is slightly higher.
+    let secs = r.wall.as_secs_f64().max(1e-9);
+    let instr = (opts.warmup + opts.instructions).saturating_mul(mix.cores() as u64);
+    out.push_str(&format!(
+        "\nhost throughput: {:.2} M sim-cycles/s, ~{:.2} M instr/s \
+         ({} cycles, {} cores in {:.3} s)\n",
+        r.sim_cycles as f64 / secs / 1e6,
+        instr as f64 / secs / 1e6,
+        r.sim_cycles,
+        mix.cores(),
+        secs
+    ));
     if r.timed_out {
         out.push_str("\nWARNING: run hit the cycle safety net before completing\n");
     }

@@ -131,6 +131,8 @@ COMMON OPTIONS:
   --warmup N         warm-up instructions per core    (default 60000)
   --profile N        profiling-run instructions       (default 60000)
   --slice K          evaluation slice index           (default 0)
+  --tick-exact       disable the fast-forward kernel and simulate every
+                     cycle (debug/baseline knob; results are identical)
 
 AUDITING:
   --audit attaches an independent checker that re-validates every DRAM
@@ -189,6 +191,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     .collect::<Result<_, _>>()?;
             }
             "--audit" => audit = true,
+            "--tick-exact" => opts.tick_exact = true,
             "--kind" => kind = val("--kind")?.clone(),
             "--cores" => {
                 cores = val("--cores")?.parse().map_err(|e| format!("--cores: {e}"))?;

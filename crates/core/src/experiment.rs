@@ -43,6 +43,11 @@ pub struct ExperimentOptions {
     /// Safety net: abort a run after `instructions * max_cycles_factor`
     /// cycles.
     pub max_cycles_factor: u64,
+    /// Debug knob: run the multiprogrammed system cycle-exactly instead of
+    /// fast-forwarding over quiescent cycles (see
+    /// [`System::set_tick_exact`]). Results are identical either way; this
+    /// exists for kernel-equivalence regression tests and perf baselines.
+    pub tick_exact: bool,
 }
 
 impl Default for ExperimentOptions {
@@ -53,6 +58,7 @@ impl Default for ExperimentOptions {
             profile_instructions: 60_000,
             eval_slice: 0,
             max_cycles_factor: 4000,
+            tick_exact: false,
         }
     }
 }
@@ -130,6 +136,12 @@ pub struct MixResult {
     pub me: Vec<f64>,
     /// Whether the run aborted on the cycle safety net.
     pub timed_out: bool,
+    /// Total cycles the multiprogrammed system simulated (warm-up
+    /// included — the denominator for host-throughput reporting).
+    pub sim_cycles: Cycle,
+    /// Host wall-clock time of the multiprogrammed run alone (profiling
+    /// and single-core reference runs excluded).
+    pub wall: std::time::Duration,
 }
 
 /// Run one Table 3 mix under one of the paper's policies.
@@ -195,7 +207,10 @@ pub fn run_mix_custom(
             System::with_policy(cfg, streams, policy, read_first)
         }
     };
+    sys.set_tick_exact(opts.tick_exact);
+    let started = std::time::Instant::now();
     let out = sys.run_measured(opts.warmup, opts.instructions, opts.max_cycles());
+    let wall = started.elapsed();
 
     let fairness = FairnessReport::compute(&out.ipc, &ipc_single);
     MixResult {
@@ -209,6 +224,8 @@ pub fn run_mix_custom(
         mean_read_latency: out.mean_read_latency,
         me,
         timed_out: out.timed_out,
+        sim_cycles: sys.now(),
+        wall,
     }
 }
 
@@ -240,10 +257,13 @@ pub fn run_mix_audited(
         .collect();
     let cfg = SystemConfig::paper(cores, policy.clone());
     let mut sys = System::new(cfg, streams, &me);
+    sys.set_tick_exact(opts.tick_exact);
     let (handle, auditor) =
         melreq_audit::Auditor::shared(melreq_audit::AuditorConfig::default(), true);
     sys.attach_audit(handle);
+    let started = std::time::Instant::now();
     let out = sys.run_measured(opts.warmup, opts.instructions, opts.max_cycles());
+    let wall = started.elapsed();
     let report = auditor.lock().expect("auditor poisoned").report();
 
     let fairness = FairnessReport::compute(&out.ipc, &ipc_single);
@@ -258,6 +278,8 @@ pub fn run_mix_audited(
         mean_read_latency: out.mean_read_latency,
         me,
         timed_out: out.timed_out,
+        sim_cycles: sys.now(),
+        wall,
     };
     (result, report)
 }

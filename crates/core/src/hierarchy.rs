@@ -114,8 +114,6 @@ pub struct Hierarchy {
     pending_mem: VecDeque<(CoreId, Addr)>,
     /// Dirty L2 victims waiting for controller space.
     pending_wb: VecDeque<(CoreId, Addr)>,
-    /// Completions to deliver to cores (drained by the system loop).
-    finished: Vec<(CoreId, CoreToken)>,
     stats: HierarchyStats,
 }
 
@@ -141,7 +139,6 @@ impl Hierarchy {
             event_seq: 0,
             pending_mem: VecDeque::new(),
             pending_wb: VecDeque::new(),
-            finished: Vec::new(),
             stats: HierarchyStats::default(),
         }
     }
@@ -231,9 +228,41 @@ impl Hierarchy {
         self.events.push(Reverse(Event { at, seq: self.event_seq, kind }));
     }
 
-    /// Advance the hierarchy to `now` and return the core completions that
-    /// became ready.
-    pub fn advance(&mut self, now: Cycle) -> Vec<(CoreId, CoreToken)> {
+    /// O(1) pre-filter for [`Hierarchy::next_event_at`]: `true` when the
+    /// hierarchy certainly has work at `now` (a stalled submission can
+    /// retry, an event is due, or a read completion is ready). `false`
+    /// still requires the full bound — a DRAM grant may be possible.
+    pub fn can_act_now(&self, now: Cycle) -> bool {
+        if (!self.pending_wb.is_empty() || !self.pending_mem.is_empty()) && self.ctrl.can_accept() {
+            return true;
+        }
+        if matches!(self.events.peek(), Some(&Reverse(ev)) if ev.at <= now) {
+            return true;
+        }
+        matches!(self.ctrl.next_completion_at(), Some(at) if at <= now)
+    }
+
+    /// Conservative lower bound on the next cycle at which this hierarchy
+    /// (including the controller and DRAM beneath it) can make progress:
+    /// a stalled submission can retry, a cache event comes due, a DRAM
+    /// grant or completion becomes possible, or a refresh boundary is
+    /// crossed. `None` when fully idle.
+    pub fn next_event_at(&self, now: Cycle) -> Option<Cycle> {
+        if (!self.pending_wb.is_empty() || !self.pending_mem.is_empty()) && self.ctrl.can_accept() {
+            return Some(now);
+        }
+        let events = self.events.peek().map(|&Reverse(ev)| ev.at);
+        match (events, self.ctrl.next_event_at(now)) {
+            (Some(a), Some(b)) => Some(a.min(b).max(now)),
+            (a, b) => a.or(b).map(|t| t.max(now)),
+        }
+    }
+
+    /// Advance the hierarchy to `now`, appending the core completions
+    /// that became ready to `finished` (a caller-owned scratch buffer;
+    /// not cleared here, so one buffer can be reused across cycles
+    /// without per-cycle allocation).
+    pub fn advance(&mut self, now: Cycle, finished: &mut Vec<(CoreId, CoreToken)>) {
         // 1. Retry memory submissions stalled on a full controller buffer.
         while let Some(&(core, line)) = self.pending_wb.front() {
             if !self.ctrl.can_accept() {
@@ -263,7 +292,7 @@ impl Hierarchy {
                     self.do_l2_access(core, line, origin, now);
                 }
                 EventKind::L1Fill { core, line, origin } => {
-                    self.do_l1_fill(core, line, origin, now);
+                    self.do_l1_fill(core, line, origin, finished);
                 }
             }
         }
@@ -285,8 +314,6 @@ impl Hierarchy {
                 self.schedule(now + 1, EventKind::L1Fill { core: w.core, line, origin: w.origin });
             }
         }
-
-        std::mem::take(&mut self.finished)
     }
 
     fn do_l2_access(&mut self, core: CoreId, line: Addr, origin: Origin, now: Cycle) {
@@ -313,7 +340,13 @@ impl Hierarchy {
         }
     }
 
-    fn do_l1_fill(&mut self, core: CoreId, line: Addr, origin: Origin, _now: Cycle) {
+    fn do_l1_fill(
+        &mut self,
+        core: CoreId,
+        line: Addr,
+        origin: Origin,
+        finished: &mut Vec<(CoreId, CoreToken)>,
+    ) {
         let c = core.index();
         let (l1, mshr) = match origin {
             Origin::Inst => (&mut self.l1i[c], &mut self.l1i_mshr[c]),
@@ -334,7 +367,7 @@ impl Hierarchy {
         }
         for w in waiters {
             if let L1Waiter::Token(tok) = w {
-                self.finished.push((core, tok));
+                finished.push((core, tok));
             }
         }
     }
@@ -430,11 +463,12 @@ mod tests {
     /// Drive the hierarchy until the given token completes; returns the
     /// completion cycle.
     fn run_until(h: &mut Hierarchy, core: CoreId, token: CoreToken, limit: Cycle) -> Cycle {
+        let mut done = Vec::new();
         for now in 0..limit {
-            for (c, t) in h.advance(now) {
-                if c == core && t == token {
-                    return now;
-                }
+            done.clear();
+            h.advance(now, &mut done);
+            if done.iter().any(|&(c, t)| c == core && t == token) {
+                return now;
             }
         }
         panic!("token never completed within {limit} cycles");
@@ -471,7 +505,7 @@ mod tests {
         assert_eq!(h.load(CoreId(0), CoreToken::Load(1), 0x100020, 0), MemResponse::Pending);
         let mut got = Vec::new();
         for now in 0..2000 {
-            got.extend(h.advance(now));
+            h.advance(now, &mut got);
             if got.len() == 2 {
                 break;
             }
@@ -497,8 +531,9 @@ mod tests {
         let mut h = hierarchy(1);
         assert!(h.store(CoreId(0), 0x300000, 0));
         // Run until the fill lands.
+        let mut sink = Vec::new();
         for now in 0..2000 {
-            h.advance(now);
+            h.advance(now, &mut sink);
             if h.l1d(CoreId(0)).probe(0x300000) {
                 break;
             }
@@ -552,19 +587,20 @@ mod tests {
         // evictions all the way out. L2 is 4 MB/4-way: walk > 4 MB span
         // with stores, then stream loads over it again.
         let mut now = 0;
+        let mut sink = Vec::new();
         for i in 0..(6 << 20) / 64u64 {
             let addr = 0x4000_0000 + i * 64;
             while !h.store(CoreId(0), addr, now) {
-                h.advance(now);
+                h.advance(now, &mut sink);
                 now += 1;
             }
             if i % 8 == 0 {
-                h.advance(now);
+                h.advance(now, &mut sink);
                 now += 1;
             }
         }
         for _ in 0..20_000 {
-            h.advance(now);
+            h.advance(now, &mut sink);
             now += 1;
         }
         assert!(h.stats().mem_writes.get() > 0, "dirty L2 victims must become DRAM writes");

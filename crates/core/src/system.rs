@@ -2,7 +2,7 @@
 
 use crate::config::SystemConfig;
 use crate::hierarchy::Hierarchy;
-use melreq_cpu::Core;
+use melreq_cpu::{Core, CoreToken};
 use melreq_dram::DramSystem;
 use melreq_memctrl::MemoryController;
 use melreq_stats::types::{CoreId, Cycle};
@@ -16,6 +16,13 @@ pub struct System {
     hier: Hierarchy,
     now: Cycle,
     online: Option<OnlineMe>,
+    /// Debug knob: force the cycle-exact loop, disabling the fast-forward
+    /// kernel. Used by the determinism regression tests and the perf
+    /// harness's `--tick-exact` baseline mode.
+    tick_exact: bool,
+    /// Reusable completion buffer for [`Hierarchy::advance`] (keeps the
+    /// per-cycle hot path allocation-free).
+    scratch: Vec<(CoreId, CoreToken)>,
     /// The ME profile the scheduling policy was initialized from, when
     /// known (`None` for externally built policies whose internal state
     /// is opaque). Reported on [`System::attach_audit`] so the policy
@@ -125,7 +132,16 @@ impl System {
         // The online build starts from a flat profile (see
         // `PolicyKind::build`); every other build programs `me` directly.
         let me_profile = Some(if online.is_some() { vec![1.0; cfg.cores] } else { me.to_vec() });
-        System { cfg, cores, hier, now: 0, online, me_profile }
+        System {
+            cfg,
+            cores,
+            hier,
+            now: 0,
+            online,
+            me_profile,
+            tick_exact: false,
+            scratch: Vec::new(),
+        }
     }
 
     /// Build a system with an externally constructed scheduling policy —
@@ -153,7 +169,25 @@ impl System {
             .enumerate()
             .map(|(i, s)| Core::new(CoreId::from(i), cfg.core, s))
             .collect();
-        System { cfg, cores, hier, now: 0, online: None, me_profile: None }
+        System {
+            cfg,
+            cores,
+            hier,
+            now: 0,
+            online: None,
+            me_profile: None,
+            tick_exact: false,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Force the cycle-exact loop (disable fast-forwarding over quiescent
+    /// cycles). Results are bit-identical either way — the fast-forward
+    /// kernel only skips cycles that are provably no-ops — so this exists
+    /// as a debug/regression knob and as the perf harness's baseline mode,
+    /// not as a fidelity switch.
+    pub fn set_tick_exact(&mut self, tick_exact: bool) {
+        self.tick_exact = tick_exact;
     }
 
     /// Attach audit instrumentation to the whole machine: the memory
@@ -192,7 +226,9 @@ impl System {
     pub fn tick(&mut self) {
         let now = self.now;
         // Memory side first: deliver data that becomes ready this cycle...
-        for (core, token) in self.hier.advance(now) {
+        self.scratch.clear();
+        self.hier.advance(now, &mut self.scratch);
+        for &(core, token) in &self.scratch {
             self.cores[core.index()].finish(token, now);
         }
         // ...then let every core commit/issue/dispatch.
@@ -203,6 +239,46 @@ impl System {
         if self.online.is_some() {
             self.refresh_online_profile();
         }
+    }
+
+    /// Conservative lower bound on the next cycle at which any component
+    /// can make progress (see DESIGN.md, "Simulation kernel"). `Some(now)`
+    /// means this cycle must be simulated; `Some(t > now)` means every
+    /// cycle strictly before `t` is provably a no-op; `None` means the
+    /// machine is fully quiescent with nothing in flight.
+    fn next_event_at(&self) -> Option<Cycle> {
+        let now = self.now;
+        // Cheap O(1) pre-filters first: in active phases some component
+        // can almost always act immediately, and the per-op scans below
+        // would be pure overhead on top of the tick that follows.
+        if self.cores.iter().any(|c| c.can_act_now(now)) || self.hier.can_act_now(now) {
+            return Some(now);
+        }
+        let mut bound: Option<Cycle> = None;
+        for t in std::iter::once(self.hier.next_event_at(now))
+            .chain(self.cores.iter().map(|c| c.next_event_at(now)))
+        {
+            match t {
+                Some(at) if at <= now => return Some(now),
+                Some(at) => bound = Some(bound.map_or(at, |b| b.min(at))),
+                None => {}
+            }
+        }
+        bound
+    }
+
+    /// Jump the clock from `now` to `target` without simulating the
+    /// intervening cycles. Only legal when every one of those cycles is a
+    /// no-op (guaranteed by [`System::next_event_at`]); per-core cycle and
+    /// commit-stall counters are advanced so statistics match a
+    /// cycle-exact run bit for bit.
+    fn skip_to(&mut self, target: Cycle) {
+        debug_assert!(target > self.now, "skip must move forward");
+        let delta = target - self.now;
+        for core in &mut self.cores {
+            core.note_skip(delta);
+        }
+        self.now = target;
     }
 
     /// Epoch step of the online memory-efficiency estimator (the
@@ -273,6 +349,21 @@ impl System {
             if self.now >= max_cycles {
                 timed_out = true;
                 break;
+            }
+            if !self.tick_exact {
+                // Fast-forward: jump over cycles no component can act in.
+                // Clamp to the safety limit (a fully idle machine skips
+                // straight to the timeout, as ticking would) and to the
+                // cycle before the next online-ME epoch boundary, whose
+                // profile refresh must fire on schedule.
+                let mut jump_to = self.next_event_at().unwrap_or(Cycle::MAX).min(max_cycles);
+                if let Some(st) = &self.online {
+                    jump_to = jump_to.min(st.next_at - 1);
+                }
+                if jump_to > self.now {
+                    self.skip_to(jump_to);
+                    continue;
+                }
             }
             self.tick();
             if stats_reset_at.is_none()

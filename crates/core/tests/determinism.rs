@@ -1,0 +1,54 @@
+//! Kernel-equivalence regression: the event-driven fast-forward loop must
+//! be indistinguishable from the cycle-exact loop.
+//!
+//! `System::set_tick_exact(true)` forces the pre-optimization behaviour of
+//! ticking every cycle. For each of the paper's five policies the same
+//! (mix, options) run is executed under both kernels with the audit
+//! instrumentation attached, and the results must agree *bit for bit*:
+//! the FNV-1a hash over the full audit event stream (every submission,
+//! scheduling decision, grant, refresh, and precharge, in order), every
+//! per-core IPC, and the cycle count. A fast-forward kernel that ever
+//! skips a cycle in which some component could have acted would perturb
+//! at least one grant time and fail the hash comparison.
+
+use melreq_core::experiment::ProfileCache;
+use melreq_core::{run_mix_audited, ExperimentOptions};
+use melreq_memctrl::policy::PolicyKind;
+use melreq_workloads::mix_by_name;
+
+#[test]
+fn fast_forward_matches_tick_exact_for_every_policy() {
+    let mix = mix_by_name("2MEM-1");
+    let policies = [
+        PolicyKind::HfRf,
+        PolicyKind::Lreq,
+        PolicyKind::Me,
+        PolicyKind::MeLreq,
+        PolicyKind::MeLreqOnline { epoch_cycles: 3_000 },
+    ];
+    for policy in &policies {
+        // Fresh caches per mode: profiling runs are kernel-independent
+        // inputs, and separate caches prove that rather than assume it.
+        let run = |tick_exact: bool| {
+            let cache = ProfileCache::new();
+            let opts = ExperimentOptions { tick_exact, ..ExperimentOptions::quick() };
+            run_mix_audited(&mix, policy, &opts, &cache)
+        };
+        let (fast, fast_audit) = run(false);
+        let (exact, exact_audit) = run(true);
+        let name = policy.name();
+        assert!(fast_audit.is_clean(), "[{name}] fast-forward audit:\n{}", fast_audit.render());
+        assert!(exact_audit.is_clean(), "[{name}] tick-exact audit:\n{}", exact_audit.render());
+        assert!(fast_audit.events > 0, "[{name}] instrumentation must emit events");
+        assert_eq!(
+            fast_audit.stream_hash, exact_audit.stream_hash,
+            "[{name}] audit event streams diverged between kernels"
+        );
+        assert_eq!(fast_audit.events, exact_audit.events, "[{name}] event counts diverged");
+        assert_eq!(fast.ipc_multi, exact.ipc_multi, "[{name}] per-core IPC diverged");
+        assert_eq!(fast.read_latency, exact.read_latency, "[{name}] read latency diverged");
+        assert_eq!(fast.smt_speedup, exact.smt_speedup, "[{name}] SMT speedup diverged");
+        assert_eq!(fast.unfairness, exact.unfairness, "[{name}] unfairness diverged");
+        assert!(!fast.timed_out && !exact.timed_out, "[{name}] runs must complete");
+    }
+}

@@ -44,6 +44,7 @@ proptest! {
         let mut h = hierarchy(4, policy);
         let mut outstanding: HashSet<(u16, u64)> = HashSet::new();
         let mut now = 0u64;
+        let mut done = Vec::new();
         for (token, (core, line, is_store)) in accesses.into_iter().enumerate() {
             let token = token as u64;
             let addr = 0x100_0000 + line * 64;
@@ -61,7 +62,9 @@ proptest! {
             }
             // Advance a little between accesses.
             for _ in 0..3 {
-                for (c, t) in h.advance(now) {
+                done.clear();
+                h.advance(now, &mut done);
+                for &(c, t) in &done {
                     if let CoreToken::Load(seq) = t {
                         prop_assert!(
                             outstanding.remove(&(c.0, seq)),
@@ -75,7 +78,9 @@ proptest! {
         // Drain: everything outstanding must eventually complete.
         let deadline = now + 1_000_000;
         while !outstanding.is_empty() && now < deadline {
-            for (c, t) in h.advance(now) {
+            done.clear();
+            h.advance(now, &mut done);
+            for &(c, t) in &done {
                 if let CoreToken::Load(seq) = t {
                     prop_assert!(outstanding.remove(&(c.0, seq)), "duplicate completion");
                 }
@@ -96,6 +101,7 @@ proptest! {
         let distinct: HashSet<u64> = lines.iter().copied().collect();
         let mut now = 0u64;
         let mut pending = 0u64;
+        let mut done = Vec::new();
         for (i, line) in lines.iter().enumerate() {
             let addr = 0x200_0000 + line * 64;
             match h.load(CoreId(0), CoreToken::Load(i as u64), addr, now) {
@@ -103,12 +109,16 @@ proptest! {
                 MemResponse::HitAt(_) => {}
                 MemResponse::Blocked => {}
             }
-            pending -= h.advance(now).len() as u64;
+            done.clear();
+            h.advance(now, &mut done);
+            pending -= done.len() as u64;
             now += 1;
         }
         let deadline = now + 1_000_000;
         while pending > 0 && now < deadline {
-            pending -= h.advance(now).len() as u64;
+            done.clear();
+            h.advance(now, &mut done);
+            pending -= done.len() as u64;
             now += 1;
         }
         prop_assert_eq!(pending, 0, "hierarchy wedged");

@@ -74,7 +74,12 @@ pub struct Core {
     // Occupancy counters.
     loads_in_rob: usize,
     stores_in_rob: usize,
-    waiting_count: usize,
+    /// Sequence numbers of `OpState::Waiting` ops, in program order — the
+    /// issue stage's worklist. Kept exactly in sync with the ROB states so
+    /// issue and the fast-forward bound never scan the full ROB: an op is
+    /// appended at dispatch and compacted out when it leaves `Waiting`.
+    /// Bounded by the IQ size (dispatch stops at `cfg.iq` waiting ops).
+    waiting: Vec<u64>,
     // Measurement window: commit counts at which the measured slice
     // starts and ends, and the cycles at which those commits happened.
     window_skip: u64,
@@ -112,7 +117,7 @@ impl Core {
             halted_by_branch: None,
             loads_in_rob: 0,
             stores_in_rob: 0,
-            waiting_count: 0,
+            waiting: Vec::with_capacity(cfg.iq),
             window_skip: 0,
             window_measure: None,
             window_start: None,
@@ -214,6 +219,127 @@ impl Core {
         self.dispatch(now, mem);
     }
 
+    /// Account for `cycles` skipped cycles during which this core was
+    /// provably quiescent (see [`Core::next_event_at`]): the per-cycle
+    /// counters advance exactly as `cycles` no-op [`Core::tick`] calls
+    /// would have advanced them — a quiescent cycle by construction
+    /// simulates, retires, and issues nothing, so only `cycles` and
+    /// `commit_stall_cycles` move.
+    pub fn note_skip(&mut self, cycles: u64) {
+        self.stats.cycles.add(cycles);
+        self.stats.commit_stall_cycles.add(cycles);
+    }
+
+    /// O(1) pre-filter for [`Core::next_event_at`]: `true` when the core
+    /// can certainly act this cycle (a resolved head can retire or retry
+    /// a blocked store, or the front end can dispatch). `false` is *not*
+    /// "quiescent" — issue may still be possible — it only means the
+    /// per-op scan in `next_event_at` is needed to decide. The system loop
+    /// calls this for every core before paying for any full bound.
+    pub fn can_act_now(&self, now: Cycle) -> bool {
+        if let Some(head) = self.rob.front() {
+            if matches!(Self::resolved_at(head), Some(at) if at <= now) {
+                return true;
+            }
+        }
+        if !self.fetch_pending
+            && self.halted_by_branch.is_none()
+            && self.rob.len() < self.cfg.rob
+            && self.waiting.len() < self.cfg.iq
+            && now >= self.fetch_stall_until
+        {
+            let staged_blocked = match &self.staged {
+                Some(op) => match op.kind {
+                    OpKind::Load { .. } => self.loads_in_rob >= self.cfg.lq,
+                    OpKind::Store { .. } => self.stores_in_rob >= self.cfg.sq,
+                    _ => false,
+                },
+                None => false,
+            };
+            if !staged_blocked {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Conservative lower bound on the next cycle at which a
+    /// [`Core::tick`] could change any state (commit, issue, dispatch, or
+    /// a statistic other than the cycle counters).
+    ///
+    /// * `Some(t)` with `t == now` — the core may act this very cycle;
+    ///   the caller must tick normally.
+    /// * `Some(t)` with `t > now` — the core provably cannot act before
+    ///   `t` *unless* an outstanding memory access completes first; the
+    ///   caller covers that case with the hierarchy's own bound.
+    /// * `None` — the core is blocked purely on memory (or fully drained)
+    ///   and has no internally known wake-up time.
+    ///
+    /// The bound is intentionally conservative: returning `now` when
+    /// nothing would actually happen only costs a probe tick, while
+    /// overshooting would change behaviour and is never allowed.
+    pub fn next_event_at(&self, now: Cycle) -> Option<Cycle> {
+        let mut bound: Option<Cycle> = None;
+        let mut fold = |t: Cycle| {
+            bound = Some(bound.map_or(t, |b: Cycle| b.min(t)));
+        };
+        // Commit: a resolved head retires (or retries a blocked store)
+        // this cycle; an executing head wakes commit when it finishes.
+        // A non-head op finishing execution mutates nothing — it only
+        // matters once it reaches the head (covered here) or as a
+        // producer of a waiting op (covered below), so those done-times
+        // need no bound of their own.
+        if let Some(head) = self.rob.front() {
+            match Self::resolved_at(head) {
+                Some(at) if at <= now => return Some(now),
+                Some(at) => fold(at),
+                None => {}
+            }
+        }
+        // Dispatch: open unless the front end is stalled or a structural
+        // limit binds. A front-end stall has a known expiry; ROB/IQ/LQ/SQ
+        // limits clear only at commit, which the other bounds cover.
+        if !self.fetch_pending
+            && self.halted_by_branch.is_none()
+            && self.rob.len() < self.cfg.rob
+            && self.waiting.len() < self.cfg.iq
+        {
+            if now < self.fetch_stall_until {
+                fold(self.fetch_stall_until);
+            } else {
+                let staged_blocked = match &self.staged {
+                    Some(op) => match op.kind {
+                        OpKind::Load { .. } => self.loads_in_rob >= self.cfg.lq,
+                        OpKind::Store { .. } => self.stores_in_rob >= self.cfg.sq,
+                        _ => false,
+                    },
+                    None => false,
+                };
+                if !staged_blocked {
+                    return Some(now);
+                }
+            }
+        }
+        // Issue: a waiting op with ready operands can issue (or retry a
+        // blocked load) this cycle. One whose producer is still executing
+        // becomes ready at the producer's completion; producers waiting
+        // on memory (and waiting producers' own wake-ups) are covered by
+        // the hierarchy's bound and this list respectively.
+        for &seq in &self.waiting {
+            let e = &self.rob[(seq - self.head_seq) as usize];
+            match e.dep_seq {
+                None => return Some(now),
+                Some(p) if p < self.head_seq => return Some(now),
+                Some(p) => match Self::resolved_at(&self.rob[(p - self.head_seq) as usize]) {
+                    Some(at) if at <= now => return Some(now),
+                    Some(at) => fold(at),
+                    None => {}
+                },
+            }
+        }
+        bound
+    }
+
     /// When `entry`'s result is (or will be) available, if known.
     #[inline]
     fn resolved_at(entry: &RobEntry) -> Option<Cycle> {
@@ -277,69 +403,90 @@ impl Core {
     }
 
     fn issue(&mut self, now: Cycle, mem: &mut dyn CoreMemory) {
-        if self.waiting_count == 0 {
+        if self.waiting.is_empty() {
             return;
         }
         let mut budget = self.cfg.width;
         let mut fu = [self.cfg.int_alu, self.cfg.int_mult, self.cfg.fp_alu, self.cfg.fp_mult];
-        let mut scanned_waiting = 0;
-        for idx in 0..self.rob.len() {
-            if budget == 0 || scanned_waiting >= self.cfg.iq {
-                break;
-            }
-            if self.rob[idx].state != OpState::Waiting {
-                continue;
-            }
-            scanned_waiting += 1;
+        // Walk the waiting-op worklist in program order, compacting out
+        // the ops that issue. The list never exceeds the IQ size, so this
+        // is the old bounded ROB scan minus the non-waiting entries.
+        let mut kept = 0;
+        for r in 0..self.waiting.len() {
+            let seq = self.waiting[r];
+            let idx = (seq - self.head_seq) as usize;
             let entry = self.rob[idx];
-            if !self.operands_ready(&entry, now) {
-                continue;
-            }
-            // Functional-unit check (loads/stores use an IntALU for
-            // address generation; branches use an IntALU).
-            let fu_idx = match entry.kind {
-                OpKind::IntMult => 1,
-                OpKind::FpAlu => 2,
-                OpKind::FpMult => 3,
-                _ => 0,
-            };
-            if fu[fu_idx] == 0 {
-                continue;
-            }
-            let new_state = match entry.kind {
-                OpKind::Load { addr } => {
-                    match mem.load(self.id, CoreToken::Load(entry.seq), addr, now) {
-                        MemResponse::HitAt(at) => {
-                            self.stats.loads.inc();
-                            OpState::Executing { done_at: at }
-                        }
-                        MemResponse::Pending => {
-                            self.stats.loads.inc();
-                            OpState::WaitingMem
-                        }
-                        // Structural stall: retry next cycle, keep IQ slot.
-                        MemResponse::Blocked => continue,
-                    }
+            debug_assert_eq!(entry.state, OpState::Waiting, "stale waiting-list entry");
+            let mut keep = budget == 0;
+            if !keep {
+                keep = !self.try_issue_one(&entry, idx, &mut fu, now, mem);
+                if !keep {
+                    budget -= 1;
                 }
-                kind => {
-                    let done_at = now + kind.exec_latency();
-                    if let OpKind::Branch { mispredict: true } = kind {
-                        // The redirect resolves when the branch executes;
-                        // then the front-end refills.
-                        if self.halted_by_branch == Some(entry.seq) {
-                            self.halted_by_branch = None;
-                            self.fetch_stall_until =
-                                self.fetch_stall_until.max(done_at + self.cfg.redirect_penalty);
-                        }
-                    }
-                    OpState::Executing { done_at }
-                }
-            };
-            fu[fu_idx] -= 1;
-            budget -= 1;
-            self.waiting_count -= 1;
-            self.rob[idx].state = new_state;
+            }
+            if keep {
+                self.waiting[kept] = seq;
+                kept += 1;
+            }
         }
+        self.waiting.truncate(kept);
+    }
+
+    /// Attempt to issue one waiting op; returns whether it left `Waiting`.
+    fn try_issue_one(
+        &mut self,
+        entry: &RobEntry,
+        idx: usize,
+        fu: &mut [usize; 4],
+        now: Cycle,
+        mem: &mut dyn CoreMemory,
+    ) -> bool {
+        if !self.operands_ready(entry, now) {
+            return false;
+        }
+        // Functional-unit check (loads/stores use an IntALU for
+        // address generation; branches use an IntALU).
+        let fu_idx = match entry.kind {
+            OpKind::IntMult => 1,
+            OpKind::FpAlu => 2,
+            OpKind::FpMult => 3,
+            _ => 0,
+        };
+        if fu[fu_idx] == 0 {
+            return false;
+        }
+        let new_state = match entry.kind {
+            OpKind::Load { addr } => {
+                match mem.load(self.id, CoreToken::Load(entry.seq), addr, now) {
+                    MemResponse::HitAt(at) => {
+                        self.stats.loads.inc();
+                        OpState::Executing { done_at: at }
+                    }
+                    MemResponse::Pending => {
+                        self.stats.loads.inc();
+                        OpState::WaitingMem
+                    }
+                    // Structural stall: retry next cycle, keep IQ slot.
+                    MemResponse::Blocked => return false,
+                }
+            }
+            kind => {
+                let done_at = now + kind.exec_latency();
+                if let OpKind::Branch { mispredict: true } = kind {
+                    // The redirect resolves when the branch executes;
+                    // then the front-end refills.
+                    if self.halted_by_branch == Some(entry.seq) {
+                        self.halted_by_branch = None;
+                        self.fetch_stall_until =
+                            self.fetch_stall_until.max(done_at + self.cfg.redirect_penalty);
+                    }
+                }
+                OpState::Executing { done_at }
+            }
+        };
+        fu[fu_idx] -= 1;
+        self.rob[idx].state = new_state;
+        true
     }
 
     fn dispatch(&mut self, now: Cycle, mem: &mut dyn CoreMemory) {
@@ -347,7 +494,7 @@ impl Core {
             return;
         }
         for _ in 0..self.cfg.width {
-            if self.rob.len() >= self.cfg.rob || self.waiting_count >= self.cfg.iq {
+            if self.rob.len() >= self.cfg.rob || self.waiting.len() >= self.cfg.iq {
                 break;
             }
             let op = match self.staged.take() {
@@ -396,7 +543,7 @@ impl Core {
                 }
                 _ => {}
             }
-            self.waiting_count += 1;
+            self.waiting.push(seq);
             self.rob.push_back(RobEntry { kind: op.kind, dep_seq, state: OpState::Waiting, seq });
             if self.halted_by_branch.is_some() {
                 break; // cannot fetch past an unresolved mispredict

@@ -80,6 +80,18 @@ impl Channel {
         self.refreshes
     }
 
+    /// The next all-bank refresh boundary, or `None` when refresh is
+    /// disabled. Lazy catch-up means the boundary may already be in the
+    /// past relative to the caller's clock until [`Channel::sync_refresh`]
+    /// runs; callers treating this as an event horizon must clamp to
+    /// their own `now`.
+    pub fn next_refresh_at(&self, t: &DramTiming) -> Option<Cycle> {
+        if t.t_refi == 0 {
+            return None;
+        }
+        Some(if self.next_refresh == 0 { t.t_refi } else { self.next_refresh })
+    }
+
     /// Earliest cycle a new ACT may start, per the tRRD/tFAW windows.
     fn act_allowed_at(&self, t: &DramTiming) -> Cycle {
         let mut at = 0;

@@ -168,6 +168,24 @@ impl DramSystem {
         self.channels[loc.channel].can_issue(loc.bank, now)
     }
 
+    /// Earliest cycle at which a bank accepts a new command sequence —
+    /// the cached form of [`DramSystem::can_issue`]
+    /// (`can_issue(loc, now)` ⇔ `bank_ready_at(loc.channel, loc.bank) <= now`).
+    /// A pending refresh can only push this later, so the value is a
+    /// conservative lower bound for event-horizon computations.
+    pub fn bank_ready_at(&self, channel: usize, bank: usize) -> Cycle {
+        self.channels[channel].bank(bank).ready_at()
+    }
+
+    /// The earliest upcoming all-bank refresh boundary across channels,
+    /// or `None` when refresh is disabled. The system loop must not skip
+    /// past this cycle: refreshes apply (and are reported on the audit
+    /// stream) lazily at the next controller tick, so a tick must land on
+    /// the boundary for the event order to match a cycle-exact run.
+    pub fn next_refresh_at(&self) -> Option<Cycle> {
+        self.channels.iter().filter_map(|ch| ch.next_refresh_at(&self.timing)).min()
+    }
+
     /// Catch up due refreshes on every channel (no-op when refresh is
     /// disabled). The controller calls this once per scheduling cycle.
     pub fn sync(&mut self, now: Cycle) {

@@ -71,11 +71,18 @@ pub struct ControllerStats {
     /// Per-core bytes moved (reads + write-backs), for per-program
     /// bandwidth and the ME profile.
     pub bytes_by_core: Vec<Counter>,
-    /// Queue occupancy sampled on every non-idle scheduling cycle
-    /// (diagnoses how much reordering freedom the policy actually had).
+    /// Queue occupancy sampled at each grant attempt that found at least
+    /// one issuable candidate — i.e. once per granted transaction, since
+    /// a non-empty candidate set always grants. The mean reads as "the
+    /// backlog a scheduling decision chose from", **not** a time average
+    /// over cycles: idle and fully-blocked cycles contribute no samples.
+    /// Sampling only at decisions keeps the statistic identical between
+    /// the cycle-exact and fast-forward kernels, which agree on grant
+    /// cycles but not on how many quiescent cycles are explicitly
+    /// simulated.
     pub queue_occupancy: melreq_stats::StreamingMean,
-    /// Candidate-set size at each grant attempt (how many requests
-    /// competed for the channel).
+    /// Candidate-set size at each grant (how many requests competed for
+    /// the channel); sampled at the same points as `queue_occupancy`.
     pub grant_candidates: melreq_stats::StreamingMean,
 }
 
@@ -134,9 +141,16 @@ pub struct MemoryController {
     next_id: u64,
     completions: BinaryHeap<Reverse<Completion>>,
     stats: ControllerStats,
-    /// Scratch buffer reused across ticks to avoid per-cycle allocation.
+    /// Scratch buffers reused across ticks to avoid per-cycle allocation.
+    /// `cand_ids` carries (buffer position, id, kind) of this channel's
+    /// issuable requests; `cand_pos` mirrors `cand_buf` with positions so
+    /// a policy's selection maps back to the buffer in O(1).
     cand_buf: Vec<Candidate>,
-    cand_ids: Vec<(ReqId, AccessKind)>,
+    cand_pos: Vec<usize>,
+    cand_ids: Vec<(usize, ReqId, AccessKind)>,
+    /// Per-bank ready-cycle snapshot for the channel being scheduled
+    /// (one DRAM probe per bank instead of one per queued request).
+    bank_ready: Vec<Cycle>,
     /// Audit instrumentation (no-op unless a sink is attached; debug
     /// builds attach a panicking watchdog automatically).
     audit: AuditHandle,
@@ -154,7 +168,8 @@ impl MemoryController {
         assert!(cfg.drain_stop < cfg.drain_start, "drain hysteresis must be decreasing");
         assert!(cfg.drain_start <= cfg.buffer_entries, "drain threshold beyond buffer");
         let mut ctrl = MemoryController {
-            queue: RequestQueue::new(cfg.buffer_entries, cores),
+            queue: RequestQueue::new(cfg.buffer_entries, cores, dram.geometry().channels),
+            bank_ready: Vec::with_capacity(dram.geometry().banks_per_channel()),
             cfg,
             dram,
             policy,
@@ -164,6 +179,7 @@ impl MemoryController {
             completions: BinaryHeap::new(),
             stats: ControllerStats::new(cores),
             cand_buf: Vec::with_capacity(cfg.buffer_entries),
+            cand_pos: Vec::with_capacity(cfg.buffer_entries),
             cand_ids: Vec::with_capacity(cfg.buffer_entries),
             audit: AuditHandle::disabled(),
         };
@@ -277,7 +293,6 @@ impl MemoryController {
         if self.queue.is_empty() {
             return;
         }
-        self.stats.queue_occupancy.push(self.queue.len() as f64);
         self.update_drain_state();
         for ch in 0..self.dram.geometry().channels {
             self.try_grant(ch, now);
@@ -301,6 +316,31 @@ impl MemoryController {
         self.completions.peek().map(|Reverse(c)| c.at)
     }
 
+    /// Conservative lower bound on the next cycle this controller can do
+    /// observable work: deliver a read completion, grant a queued request
+    /// (earliest cycle any request has both cleared the pipeline overhead
+    /// and found its bank ready), or cross an all-bank refresh boundary.
+    /// `None` when the controller is fully idle and refresh is disabled.
+    ///
+    /// The bound never overshoots: bank ready times only move later
+    /// (refresh), never earlier, and `try_grant` always grants when a
+    /// candidate passes both filters — so no grant can occur strictly
+    /// before the returned cycle. It may undershoot (e.g. bus or drain
+    /// effects), which merely costs the caller an extra probe tick.
+    pub fn next_event_at(&self, now: Cycle) -> Option<Cycle> {
+        let grant = self.queue.next_candidate_at(now, self.cfg.overhead, |loc| {
+            self.dram.bank_ready_at(loc.channel, loc.bank)
+        });
+        let mut bound = self.next_completion_at();
+        for t in [grant, self.dram.next_refresh_at()] {
+            bound = match (bound, t) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+        }
+        bound.map(|b| b.max(now))
+    }
+
     fn update_drain_state(&mut self) {
         let writes = self.queue.total_writes() as usize;
         if !self.draining && writes >= self.cfg.drain_start {
@@ -318,40 +358,56 @@ impl MemoryController {
 
     /// Attempt one grant on channel `ch`.
     fn try_grant(&mut self, ch: usize, now: Cycle) {
+        if self.queue.channel_positions(ch).is_empty() {
+            return;
+        }
+        // Snapshot per-bank ready cycles once per channel: O(banks) DRAM
+        // probes instead of one per queued request.
+        let banks = self.dram.geometry().banks_per_channel();
+        self.bank_ready.clear();
+        self.bank_ready.extend((0..banks).map(|b| self.dram.bank_ready_at(ch, b)));
         // Gather issuable requests on this channel that have cleared the
-        // controller pipeline overhead.
+        // controller pipeline overhead, walking only this channel's
+        // position list (buffer order, so policies see the same candidate
+        // sequence a full buffer scan would produce).
         self.cand_ids.clear();
-        for r in self.queue.iter() {
-            if r.loc.channel == ch
-                && r.arrival + self.cfg.overhead <= now
-                && self.dram.can_issue(&r.loc, now)
-            {
-                self.cand_ids.push((r.id, r.kind));
+        for &pos in self.queue.channel_positions(ch) {
+            let r = self.queue.at(pos);
+            if r.arrival + self.cfg.overhead <= now && self.bank_ready[r.loc.bank] <= now {
+                self.cand_ids.push((pos, r.id, r.kind));
             }
         }
         if self.cand_ids.is_empty() {
             return;
         }
+        // Statistics are sampled per scheduling decision, not per cycle —
+        // see `ControllerStats::queue_occupancy`.
+        self.stats.queue_occupancy.push(self.queue.len() as f64);
         self.stats.grant_candidates.push(self.cand_ids.len() as f64);
 
-        let chosen = if !self.read_first {
+        let (chosen_pos, chosen) = if !self.read_first {
             // Plain FCFS: single class, strict arrival order.
-            self.cand_ids.iter().map(|&(id, _)| id).min().expect("non-empty")
+            self.cand_ids
+                .iter()
+                .map(|&(pos, id, _)| (pos, id))
+                .min_by_key(|&(_, id)| id)
+                .expect("non-empty")
         } else {
-            let has_read = self.cand_ids.iter().any(|(_, k)| k.is_read());
-            let has_write = self.cand_ids.iter().any(|(_, k)| k.is_write());
+            let has_read = self.cand_ids.iter().any(|(_, _, k)| k.is_read());
+            let has_write = self.cand_ids.iter().any(|(_, _, k)| k.is_write());
             let use_writes = if self.draining { has_write } else { !has_read && has_write };
-            if use_writes {
+            let idx = if use_writes {
                 // Writes drain hit-first-then-oldest for every policy.
                 self.pick_write(ch)
             } else {
                 self.pick_read_via_policy(ch)
-            }
+            };
+            (self.cand_pos[idx], self.cand_buf[idx].id)
         };
         if self.audit.wants_decisions() {
             self.emit_decision(ch, now, chosen);
         }
-        self.issue(chosen, now);
+        self.issue(chosen_pos, now);
     }
 
     /// Report one scheduling decision — the full candidate set plus the
@@ -360,8 +416,8 @@ impl MemoryController {
         let candidates: Vec<CandidateInfo> = self
             .cand_ids
             .iter()
-            .map(|&(id, kind)| {
-                let r = self.queue.iter().find(|r| r.id == id).expect("candidate vanished");
+            .map(|&(pos, id, kind)| {
+                let r = self.queue.at(pos);
                 CandidateInfo {
                     id: id.0,
                     core: r.core.0,
@@ -386,38 +442,43 @@ impl MemoryController {
 
     fn build_candidates(&mut self, want_reads: bool) {
         self.cand_buf.clear();
-        for &(id, kind) in &self.cand_ids {
+        self.cand_pos.clear();
+        for &(pos, id, kind) in &self.cand_ids {
             if kind.is_read() != want_reads {
                 continue;
             }
-            let req = self.queue.iter().find(|r| r.id == id).expect("candidate vanished");
+            let req = self.queue.at(pos);
             self.cand_buf.push(Candidate {
                 id,
                 core: req.core,
                 row_hit: self.dram.is_row_hit(&req.loc),
             });
+            self.cand_pos.push(pos);
         }
     }
 
-    fn pick_write(&mut self, _ch: usize) -> ReqId {
+    /// Returns an index into `cand_buf`/`cand_pos`.
+    fn pick_write(&mut self, _ch: usize) -> usize {
         self.build_candidates(false);
         self.cand_buf
             .iter()
-            .min_by_key(|c| (!c.row_hit, c.id))
-            .map(|c| c.id)
+            .enumerate()
+            .min_by_key(|(_, c)| (!c.row_hit, c.id))
+            .map(|(i, _)| i)
             .expect("write candidate set empty")
     }
 
-    fn pick_read_via_policy(&mut self, _ch: usize) -> ReqId {
+    /// Returns an index into `cand_buf`/`cand_pos`.
+    fn pick_read_via_policy(&mut self, _ch: usize) -> usize {
         self.build_candidates(true);
         let idx = self.policy.select(&self.cand_buf, self.queue.pending_reads_all());
-        let chosen = self.cand_buf[idx];
-        self.policy.note_grant(&chosen);
-        chosen.id
+        self.policy.note_grant(&self.cand_buf[idx]);
+        idx
     }
 
-    fn issue(&mut self, id: ReqId, now: Cycle) {
-        let req = self.queue.remove(id);
+    fn issue(&mut self, pos: usize, now: Cycle) {
+        let req = self.queue.remove_at(pos);
+        let id = req.id;
         // Close-page: scheduler-controlled precharge keeps the row open
         // only while another queued request targets it. Open-page: rows
         // always stay open (conflicts pay the precharge later).

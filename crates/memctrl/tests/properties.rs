@@ -18,7 +18,7 @@ proptest! {
         ops in proptest::collection::vec((0u16..4, any::<bool>(), any::<bool>()), 1..100)
     ) {
         let g = DramGeometry::paper();
-        let mut q = RequestQueue::new(64, 4);
+        let mut q = RequestQueue::new(64, 4, g.channels);
         let mut next_id = 0u64;
         let mut live: Vec<ReqId> = Vec::new();
         for (core, is_read, remove) in ops {
