@@ -4,7 +4,11 @@
 //! and deliberately shares no state-machine code with `melreq-dram` or
 //! `melreq-memctrl`. The instrumentation contract is:
 //!
-//! * `DramConfig` / `CtrlConfig` are emitted once, at attach time;
+//! * `DramConfig` is emitted once, at attach time; `CtrlConfig` is
+//!   emitted at attach time and again whenever the controller swaps its
+//!   scheduling policy mid-run (warmup sharing) — a repeat `CtrlConfig`
+//!   re-arms the policy-invariant model without resetting the device
+//!   replicas or the request history;
 //! * `ProfileUpdate` is emitted when the priority tables are
 //!   (re)programmed, carrying the exact ME vector handed to the policy;
 //! * `Submit` is emitted for every request entering the shared buffer;
@@ -84,7 +88,8 @@ pub enum AuditEvent {
         /// Timing parameters in CPU cycles.
         timing: TimingParams,
     },
-    /// Controller configuration (once, at attach).
+    /// Controller configuration (at attach, and again on every mid-run
+    /// policy swap).
     CtrlConfig {
         /// Core count.
         cores: usize,

@@ -110,7 +110,14 @@ impl PolicyAuditor {
         PolicyAuditor { starvation_cap, ..Self::default() }
     }
 
-    /// Apply the stream's `CtrlConfig`.
+    /// Apply a `CtrlConfig`. The first one configures the auditor; a
+    /// later one is a *reconfiguration* — the controller swapped its
+    /// scheduling policy mid-run (warmup sharing) — so the policy model
+    /// resets to the new policy's initial state (rotation pointer at
+    /// core 0, no profile seen yet) while the request-history replicas
+    /// survive: the shared buffer is not cleared by a policy swap, and
+    /// the outstanding-read counts must keep matching the submit/grant
+    /// history.
     pub fn on_config(
         &mut self,
         cores: usize,
@@ -118,11 +125,16 @@ impl PolicyAuditor {
         read_first: bool,
         overhead: Cycle,
     ) {
+        if !self.configured || self.cores != cores {
+            self.reads_outstanding = vec![0; cores];
+        }
         self.cores = cores;
         self.policy = policy;
         self.read_first = read_first;
         self.overhead = overhead;
-        self.reads_outstanding = vec![0; cores];
+        self.rr_next = 0;
+        self.me_first = None;
+        self.me_latest = None;
         self.configured = true;
     }
 
@@ -613,6 +625,31 @@ mod tests {
         assert!(v.iter().any(|x| x.kind == ViolationKind::Starvation), "{v:?}");
         let v = decide(&mut a, 0, &[c], &[1], false);
         assert!(!v.iter().any(|x| x.kind == ViolationKind::Starvation), "{v:?}");
+    }
+
+    #[test]
+    fn reconfig_keeps_history_but_resets_policy_model() {
+        // Warm up under HF-RF, accumulate outstanding reads and an ME
+        // profile, then swap to RR mid-run.
+        let mut a = auditor("HF-RF", true, 2);
+        a.on_profile(&[9.0, 1.0]);
+        a.on_submit(0, false);
+        a.on_submit(0, false);
+        a.on_submit(1, false);
+        a.on_config(2, "RR", true, 0);
+        // History survives the swap...
+        assert_eq!(a.reads_outstanding, vec![2, 1]);
+        // ...but the policy model is the new policy's initial state.
+        assert!(a.me_first.is_none() && a.me_latest.is_none());
+        assert_eq!(a.rr_next, 0);
+        // The fresh RR pointer demands core 0 first.
+        let cands = [cand(0, 0, false, false), cand(1, 1, false, false)];
+        assert!(decide(&mut a, 0, &cands, &[1, 1], false).is_empty());
+        let v = decide(&mut a, 0, &cands, &[1, 1], false);
+        assert!(v.iter().any(|x| x.kind == ViolationKind::CoreChoiceViolated), "{v:?}");
+        // A different core count is a different machine: counts reset.
+        a.on_config(4, "HF-RF", true, 0);
+        assert_eq!(a.reads_outstanding, vec![0, 0, 0, 0]);
     }
 
     #[test]

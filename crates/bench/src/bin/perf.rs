@@ -118,6 +118,11 @@ fn main() {
     let _ = writeln!(json, "  \"instructions\": {},", opts.instructions);
     let _ = writeln!(json, "  \"warmup\": {},", opts.warmup);
     let _ = writeln!(json, "  \"tick_exact\": {tick_exact},");
+    let _ = writeln!(
+        json,
+        "  \"kernel\": \"{}\",",
+        if tick_exact { "tick-exact" } else { "fast-forward" }
+    );
     json.push_str("  \"policies\": [\n");
     println!("simulator throughput on {} ({} instr/core):", mix.name, opts.instructions);
     for (i, r) in rows.iter().enumerate() {
@@ -156,10 +161,11 @@ fn main() {
     json.push_str("}\n");
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
     println!(
-        "aggregate: {:.2} Mcycles/s over {} policies; peak RSS {} MiB -> {}",
+        "aggregate: {:.2} Mcycles/s over {} policies ({} kernel); peak RSS {} -> {}",
         agg_cps / 1e6,
         rows.len(),
-        peak_rss_bytes().map_or(0, |b| b / (1 << 20)),
+        if tick_exact { "tick-exact" } else { "fast-forward" },
+        peak_rss_bytes().map_or_else(|| "n/a".to_string(), |b| format!("{} MiB", b / (1 << 20))),
         out_path
     );
 }

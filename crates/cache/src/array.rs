@@ -171,6 +171,43 @@ impl CacheArray {
     pub fn occupancy(&self) -> usize {
         self.sets.iter().filter(|w| w.valid).count()
     }
+
+    /// Serialize every way, the LRU stamp and the statistics.
+    pub fn save_state(&self, enc: &mut melreq_snap::Enc) {
+        enc.usize(self.sets.len());
+        for way in &self.sets {
+            enc.u64(way.tag);
+            enc.bool(way.valid);
+            enc.bool(way.dirty);
+            enc.u64(way.lru);
+        }
+        enc.u64(self.stamp);
+        self.stats.hits.save_state(enc);
+        self.stats.misses.save_state(enc);
+        self.stats.writebacks.save_state(enc);
+    }
+
+    /// Restore state written by [`CacheArray::save_state`] into an array
+    /// with the same geometry.
+    pub fn load_state(
+        &mut self,
+        dec: &mut melreq_snap::Dec<'_>,
+    ) -> Result<(), melreq_snap::SnapError> {
+        let n = dec.usize()?;
+        if n != self.sets.len() {
+            return Err(melreq_snap::SnapError::Invalid("cache geometry mismatch"));
+        }
+        for way in &mut self.sets {
+            way.tag = dec.u64()?;
+            way.valid = dec.bool()?;
+            way.dirty = dec.bool()?;
+            way.lru = dec.u64()?;
+        }
+        self.stamp = dec.u64()?;
+        self.stats.hits.load_state(dec)?;
+        self.stats.misses.load_state(dec)?;
+        self.stats.writebacks.load_state(dec)
+    }
 }
 
 #[cfg(test)]

@@ -80,6 +80,48 @@ impl<W> MshrFile<W> {
         AllocOutcome::Primary
     }
 
+    /// Serialize outstanding entries and the merge counter. Waiter
+    /// handles are opaque to this crate, so the owner supplies `save_w`.
+    pub fn save_state(
+        &self,
+        enc: &mut melreq_snap::Enc,
+        mut save_w: impl FnMut(&W, &mut melreq_snap::Enc),
+    ) {
+        enc.usize(self.entries.len());
+        for e in &self.entries {
+            enc.u64(e.line);
+            enc.usize(e.waiters.len());
+            for w in &e.waiters {
+                save_w(w, enc);
+            }
+        }
+        self.merges.save_state(enc);
+    }
+
+    /// Restore state written by [`MshrFile::save_state`] into a file with
+    /// the same capacity, decoding waiters with `load_w`.
+    pub fn load_state(
+        &mut self,
+        dec: &mut melreq_snap::Dec<'_>,
+        mut load_w: impl FnMut(&mut melreq_snap::Dec<'_>) -> Result<W, melreq_snap::SnapError>,
+    ) -> Result<(), melreq_snap::SnapError> {
+        let n = dec.usize()?;
+        if n > self.capacity {
+            return Err(melreq_snap::SnapError::Invalid("MSHR entries exceed capacity"));
+        }
+        self.entries.clear();
+        for _ in 0..n {
+            let line = dec.u64()?;
+            let wn = dec.usize()?;
+            let mut waiters = Vec::with_capacity(wn);
+            for _ in 0..wn {
+                waiters.push(load_w(dec)?);
+            }
+            self.entries.push(Entry { line, waiters });
+        }
+        self.merges.load_state(dec)
+    }
+
     /// Complete the miss for `addr`'s line, returning all merged waiters.
     ///
     /// # Panics

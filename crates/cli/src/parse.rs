@@ -101,6 +101,24 @@ pub enum Command {
         /// Harness options.
         opts: ExperimentOptions,
     },
+    /// Drive the full paper grid (Table 2, Figures 2–5, ablation) with
+    /// shared warm-ups and a persistent checkpoint store, writing a
+    /// machine-readable sweep artifact.
+    Reproduce {
+        /// Reduced CI-sized grid at quick options; also a hard
+        /// fork-vs-fresh divergence gate (nonzero exit on mismatch).
+        smoke: bool,
+        /// Disable warm-up sharing entirely: no persistent store and one
+        /// fresh warm-up per (mix, policy) — the comparison baseline.
+        no_checkpoint: bool,
+        /// Checkpoint-store directory override (default: `MELREQ_STORE`
+        /// env var, else `.melreq-store`).
+        store: Option<String>,
+        /// Output path of the JSON artifact.
+        out: String,
+        /// Harness options.
+        opts: ExperimentOptions,
+    },
     /// Print the Table 1 machine configuration.
     Config {
         /// Core count to describe.
@@ -120,6 +138,8 @@ USAGE:
   melreq compare <MIX> [--policies n1,n2,...] [common options]
   melreq sweep [--kind mem|mix|all] [--policies n1,n2,...] [common options]
   melreq audit [MIX] [--policy NAME] [common options]
+  melreq reproduce [--smoke] [--no-checkpoint] [--store DIR] [--out PATH]
+                   [common options]
   melreq config [--cores N]
   melreq help
 
@@ -133,6 +153,18 @@ COMMON OPTIONS:
   --slice K          evaluation slice index           (default 0)
   --tick-exact       disable the fast-forward kernel and simulate every
                      cycle (debug/baseline knob; results are identical)
+
+REPRODUCING:
+  `melreq reproduce` runs the whole paper — Table 2 profiles, the
+  Figure 2/4/5 grid on 2/4/8 cores, the Figure 3 fixed-priority study
+  and the offline-vs-online ablation — sharing each mix's warm-up
+  across all policies via system snapshots, and writes BENCH_sweep.json
+  (wall time, sim-cycles/s, checkpoint hit rate, peak RSS). Warm-up
+  checkpoints and profiles persist in the store directory (--store,
+  MELREQ_STORE, default .melreq-store), so a second invocation skips
+  all warm-up and profiling simulation. --no-checkpoint disables both
+  the store and in-group sharing; --smoke runs a reduced CI grid and
+  exits nonzero if forked results diverge from fresh runs.
 
 AUDITING:
   --audit attaches an independent checker that re-validates every DRAM
@@ -162,6 +194,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut kind = "mem".to_string();
     let mut cores = 4usize;
     let mut audit = false;
+    let mut smoke = false;
+    let mut no_checkpoint = false;
+    let mut store: Option<String> = None;
+    let mut out = "BENCH_sweep.json".to_string();
 
     while let Some(a) = it.next() {
         let mut val = |name: &str| -> Result<&String, String> {
@@ -192,6 +228,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             }
             "--audit" => audit = true,
             "--tick-exact" => opts.tick_exact = true,
+            "--smoke" => smoke = true,
+            "--no-checkpoint" => no_checkpoint = true,
+            "--store" => store = Some(val("--store")?.clone()),
+            "--out" => out = val("--out")?.clone(),
             "--kind" => kind = val("--kind")?.clone(),
             "--cores" => {
                 cores = val("--cores")?.parse().map_err(|e| format!("--cores: {e}"))?;
@@ -247,6 +287,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             }
             Ok(Command::Sweep { kind, policies, opts })
         }
+        "reproduce" => Ok(Command::Reproduce { smoke, no_checkpoint, store, out, opts }),
         "config" => Ok(Command::Config { cores }),
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(format!("unknown command '{other}' (try `melreq help`)")),
@@ -330,6 +371,27 @@ mod tests {
             assert_eq!(PolicySpec::parse(s).unwrap().name(), name);
         }
         assert!(PolicySpec::parse("nope").is_err());
+    }
+
+    #[test]
+    fn reproduce_parses_flags() {
+        let c = parse_args(&v(&["reproduce", "--smoke", "--store", "/tmp/s", "--out", "x.json"]))
+            .unwrap();
+        match c {
+            Command::Reproduce { smoke, no_checkpoint, store, out, .. } => {
+                assert!(smoke && !no_checkpoint);
+                assert_eq!(store.as_deref(), Some("/tmp/s"));
+                assert_eq!(out, "x.json");
+            }
+            c => panic!("wrong command {c:?}"),
+        }
+        match parse_args(&v(&["reproduce", "--no-checkpoint"])).unwrap() {
+            Command::Reproduce { smoke, no_checkpoint, store, out, .. } => {
+                assert!(!smoke && no_checkpoint && store.is_none());
+                assert_eq!(out, "BENCH_sweep.json");
+            }
+            c => panic!("wrong command {c:?}"),
+        }
     }
 
     #[test]

@@ -13,9 +13,25 @@
 //! [`ProfileCache`] memoizes steps 1–2 per application so sweeping 36
 //! mixes × 5 policies does not re-profile the same programs; the cache is
 //! `Sync` and shared across the worker threads of [`run_grid`].
+//!
+//! # Warm-up sharing
+//!
+//! Warm-up always runs under the *canonical* policy
+//! ([`CANONICAL_WARMUP_POLICY`], the paper's HF-RF baseline, programmed
+//! with a flat ME profile) and the measured policy is swapped in at the
+//! measurement boundary ([`System::swap_policy`]) — in **every** path:
+//! [`run_mix`], [`run_mix_audited`], and the grid. The boundary state is
+//! therefore identical across all policies of a (mix, options) group, so
+//! [`run_grid`] simulates it once per group, snapshots it, and forks the
+//! bytes into one fresh system per policy; [`run_mix`] on the same inputs
+//! reaches the same state by direct simulation, which is what makes the
+//! two bit-exactly comparable. With a [`CheckpointStore`] attached
+//! (`*_with_store` variants), boundary snapshots and single-core profiles
+//! also persist across process invocations.
 
 use crate::profile::{profile_app, AppProfile};
-use crate::system::System;
+use crate::store::CheckpointStore;
+use crate::system::{RunOutcome, System};
 use crate::SystemConfig;
 use melreq_memctrl::policy::PolicyKind;
 use melreq_stats::fairness::FairnessReport;
@@ -24,7 +40,12 @@ use melreq_trace::InstrStream;
 use melreq_workloads::{Mix, SliceKind};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+
+/// The policy every warm-up runs under, regardless of the measured
+/// policy: the paper's baseline, which ignores ME values, so warm-up
+/// checkpoints are shared across policies *and* profiles.
+pub const CANONICAL_WARMUP_POLICY: PolicyKind = PolicyKind::HfRf;
 
 /// Knobs of an experiment sweep.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -80,17 +101,27 @@ impl ExperimentOptions {
 }
 
 /// Memoized single-core profiles: `ME` (profiling slice) and
-/// `IPC_single` (evaluation slice) per application code.
+/// `IPC_single` (evaluation slice) per application code. With a
+/// [`CheckpointStore`] attached ([`ProfileCache::with_store`]), profiles
+/// missing from memory are looked up on disk before being simulated, and
+/// freshly simulated ones are persisted — a warm store answers every
+/// profiling request of a sweep without running a single profiling cycle.
 #[derive(Debug, Default)]
 pub struct ProfileCache {
     me: Mutex<HashMap<char, AppProfile>>,
     ipc_single: Mutex<HashMap<(char, u32), f64>>,
+    store: Option<Arc<CheckpointStore>>,
 }
 
 impl ProfileCache {
-    /// An empty cache.
+    /// An empty in-memory cache.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty cache backed by a persistent store.
+    pub fn with_store(store: Arc<CheckpointStore>) -> Self {
+        ProfileCache { store: Some(store), ..Self::default() }
     }
 
     /// The profiling-slice profile of `code` (memoized).
@@ -98,17 +129,45 @@ impl ProfileCache {
         let app = &mix.apps()[core];
         let mut g = self.me.lock().expect("profile cache poisoned");
         g.entry(app.code)
-            .or_insert_with(|| profile_app(app, SliceKind::Profiling, opts.profile_instructions))
+            .or_insert_with(|| {
+                let key = CheckpointStore::profile_key(
+                    app.code,
+                    SliceKind::Profiling,
+                    opts.profile_instructions,
+                );
+                if let Some(st) = &self.store {
+                    if let Some(p) = st.load_profile(key) {
+                        return p;
+                    }
+                }
+                let p = profile_app(app, SliceKind::Profiling, opts.profile_instructions);
+                if let Some(st) = &self.store {
+                    st.store_profile(key, &p);
+                }
+                p
+            })
             .clone()
     }
 
-    /// Single-core IPC of `code` on the evaluation slice (memoized).
+    /// Single-core IPC of `code` on the evaluation slice (memoized). The
+    /// persistent record is the full evaluation-slice [`AppProfile`].
     pub fn ipc_single(&self, mix: &Mix, core: usize, opts: &ExperimentOptions) -> f64 {
         let app = &mix.apps()[core];
         let key = (app.code, opts.eval_slice);
         let mut g = self.ipc_single.lock().expect("profile cache poisoned");
         *g.entry(key).or_insert_with(|| {
-            profile_app(app, SliceKind::Evaluation(opts.eval_slice), opts.instructions).ipc
+            let slice = SliceKind::Evaluation(opts.eval_slice);
+            let skey = CheckpointStore::profile_key(app.code, slice, opts.instructions);
+            if let Some(st) = &self.store {
+                if let Some(p) = st.load_profile(skey) {
+                    return p.ipc;
+                }
+            }
+            let p = profile_app(app, slice, opts.instructions);
+            if let Some(st) = &self.store {
+                st.store_profile(skey, &p);
+            }
+            p.ipc
         })
     }
 }
@@ -136,55 +195,34 @@ pub struct MixResult {
     pub me: Vec<f64>,
     /// Whether the run aborted on the cycle safety net.
     pub timed_out: bool,
-    /// Total cycles the multiprogrammed system simulated (warm-up
-    /// included — the denominator for host-throughput reporting).
+    /// Final cycle count of the multiprogrammed system, warm-up included.
+    /// When [`MixResult::warmup_from_checkpoint`] is set, the warm-up
+    /// portion was restored rather than simulated — host-throughput
+    /// reporting should then count only [`MixResult::measured_cycles`].
     pub sim_cycles: Cycle,
-    /// Host wall-clock time of the multiprogrammed run alone (profiling
-    /// and single-core reference runs excluded).
+    /// Cycles of the measured window alone (boundary to completion): the
+    /// portion this run actually simulated when the warm-up came from a
+    /// checkpoint.
+    pub measured_cycles: Cycle,
+    /// Host wall-clock of the *simulated* portion of the multiprogrammed
+    /// run (profiling and single-core reference runs excluded). Inside a
+    /// [`run_grid`] group the shared warm-up's wall time is attributed to
+    /// the group's first policy.
     pub wall: std::time::Duration,
+    /// Whether the warm-up boundary state was restored from a checkpoint
+    /// (persistent store hit or in-group snapshot fork) instead of being
+    /// simulated by this run.
+    pub warmup_from_checkpoint: bool,
 }
 
-/// Run one Table 3 mix under one of the paper's policies.
-pub fn run_mix(
-    mix: &Mix,
-    policy: &PolicyKind,
-    opts: &ExperimentOptions,
-    cache: &ProfileCache,
-) -> MixResult {
-    let policy = policy.clone();
-    run_mix_custom(
-        mix,
-        policy.name(),
-        |me, cores, seed| {
-            let cfg_policy = policy.clone();
-            let sys_policy = cfg_policy.build(me, cores, seed);
-            (sys_policy, cfg_policy.read_first())
-        },
-        Some(policy.clone()),
-        opts,
-        cache,
-    )
+/// The canonical machine configuration a `cores`-wide warm-up runs under.
+fn canonical_config(cores: usize) -> SystemConfig {
+    SystemConfig::paper(cores, CANONICAL_WARMUP_POLICY)
 }
 
-/// Run one mix under an arbitrary policy built by `factory` (receives the
-/// profiled ME values, core count and seed; returns the policy and its
-/// read-first setting). This is the harness entry point for extension
-/// policies such as [`melreq_memctrl::ext::FairQueueing`].
-///
-/// `kind` threads the original [`PolicyKind`] through when there is one,
-/// so `PolicyKind::MeLreqOnline`'s system-side estimator still engages.
-pub fn run_mix_custom(
-    mix: &Mix,
-    name: &'static str,
-    factory: impl Fn(&[f64], usize, u64) -> (Box<dyn melreq_memctrl::SchedulerPolicy>, bool),
-    kind: Option<PolicyKind>,
-    opts: &ExperimentOptions,
-    cache: &ProfileCache,
-) -> MixResult {
-    let cores = mix.cores();
-    let me: Vec<f64> = (0..cores).map(|i| cache.profile(mix, i, opts).me).collect();
-    let ipc_single: Vec<f64> = (0..cores).map(|i| cache.ipc_single(mix, i, opts)).collect();
-
+/// A freshly constructed canonical system for `mix` (evaluation-slice
+/// streams, flat ME profile, canonical warm-up policy).
+fn canonical_system(mix: &Mix, opts: &ExperimentOptions) -> System {
     let streams: Vec<Box<dyn InstrStream + Send>> = mix
         .apps()
         .iter()
@@ -194,24 +232,68 @@ pub fn run_mix_custom(
                 as Box<dyn InstrStream + Send>
         })
         .collect();
-    let mut sys = match kind {
-        // Paper policies go through System::new so policy-coupled system
-        // behaviour (the online ME estimator) stays wired up.
-        Some(k) => {
-            let cfg = SystemConfig::paper(cores, k);
-            System::new(cfg, streams, &me)
-        }
-        None => {
-            let cfg = SystemConfig::paper(cores, PolicyKind::HfRf);
-            let (policy, read_first) = factory(&me, cores, cfg.seed);
-            System::with_policy(cfg, streams, policy, read_first)
-        }
-    };
+    let cores = mix.cores();
+    let mut sys = System::new(canonical_config(cores), streams, &vec![1.0; cores]);
     sys.set_tick_exact(opts.tick_exact);
-    let started = std::time::Instant::now();
-    let out = sys.run_measured(opts.warmup, opts.instructions, opts.max_cycles());
-    let wall = started.elapsed();
+    sys
+}
 
+/// A canonical system for `mix` at the measurement boundary, ready to
+/// receive the measured policy. Returns the system plus whether the
+/// boundary state came from a checkpoint (`true`) or was simulated here
+/// (`false`). With a store attached, a simulated boundary is persisted
+/// unless the warm-up hit the cycle safety net (the subsequent
+/// [`System::run_window`] then reports `timed_out` immediately) or
+/// `warmup == 0` (nothing worth caching).
+fn boundary_system(
+    mix: &Mix,
+    opts: &ExperimentOptions,
+    store: Option<&CheckpointStore>,
+) -> (System, bool) {
+    let mut sys = canonical_system(mix, opts);
+    let key = store.map(|_| {
+        CheckpointStore::warmup_key(
+            &canonical_config(mix.cores()),
+            mix.codes,
+            opts.eval_slice,
+            opts.warmup,
+            opts.instructions,
+        )
+    });
+    if opts.warmup > 0 {
+        if let (Some(st), Some(key)) = (store, key) {
+            if let Some(bytes) = st.load_warmup(key) {
+                if sys.load_snapshot(&bytes).is_ok() {
+                    return (sys, true);
+                }
+                // Checksummed but structurally incompatible (should be
+                // unreachable given the versioned keys): re-simulate.
+                sys = canonical_system(mix, opts);
+            }
+        }
+    }
+    sys.prepare_window(opts.warmup, opts.instructions);
+    let reached = sys.run_to_boundary(opts.max_cycles());
+    if reached && opts.warmup > 0 {
+        if let (Some(st), Some(key)) = (store, key) {
+            st.store_warmup(key, &sys.snapshot());
+        }
+    }
+    (sys, false)
+}
+
+/// Fold one measured-window outcome into a [`MixResult`].
+#[allow(clippy::too_many_arguments)]
+fn finish_result(
+    mix: &Mix,
+    name: &'static str,
+    me: Vec<f64>,
+    ipc_single: Vec<f64>,
+    out: RunOutcome,
+    sim_cycles: Cycle,
+    wall: std::time::Duration,
+    warmup_from_checkpoint: bool,
+) -> MixResult {
     let fairness = FairnessReport::compute(&out.ipc, &ipc_single);
     MixResult {
         mix: *mix,
@@ -224,9 +306,90 @@ pub fn run_mix_custom(
         mean_read_latency: out.mean_read_latency,
         me,
         timed_out: out.timed_out,
-        sim_cycles: sys.now(),
+        sim_cycles,
+        measured_cycles: out.cycles,
         wall,
+        warmup_from_checkpoint,
     }
+}
+
+/// Run one Table 3 mix under one of the paper's policies.
+pub fn run_mix(
+    mix: &Mix,
+    policy: &PolicyKind,
+    opts: &ExperimentOptions,
+    cache: &ProfileCache,
+) -> MixResult {
+    run_mix_with_store(mix, policy, opts, cache, None)
+}
+
+/// [`run_mix`] with an optional persistent checkpoint store: the warm-up
+/// boundary is restored from the store when present, and persisted after
+/// simulation otherwise.
+pub fn run_mix_with_store(
+    mix: &Mix,
+    policy: &PolicyKind,
+    opts: &ExperimentOptions,
+    cache: &ProfileCache,
+    store: Option<&CheckpointStore>,
+) -> MixResult {
+    let policy = policy.clone();
+    run_mix_custom_with_store(
+        mix,
+        policy.name(),
+        |_, _, _| unreachable!("paper policies are built by swap_policy"),
+        Some(policy),
+        opts,
+        cache,
+        store,
+    )
+}
+
+/// Run one mix under an arbitrary policy built by `factory` (receives the
+/// profiled ME values, core count and seed; returns the policy and its
+/// read-first setting). This is the harness entry point for extension
+/// policies such as [`melreq_memctrl::ext::FairQueueing`].
+///
+/// `kind` threads the original [`PolicyKind`] through when there is one,
+/// so `PolicyKind::MeLreqOnline`'s system-side estimator still engages;
+/// `factory` is only consulted when `kind` is `None`.
+pub fn run_mix_custom(
+    mix: &Mix,
+    name: &'static str,
+    factory: impl Fn(&[f64], usize, u64) -> (Box<dyn melreq_memctrl::SchedulerPolicy>, bool),
+    kind: Option<PolicyKind>,
+    opts: &ExperimentOptions,
+    cache: &ProfileCache,
+) -> MixResult {
+    run_mix_custom_with_store(mix, name, factory, kind, opts, cache, None)
+}
+
+/// [`run_mix_custom`] with an optional persistent checkpoint store.
+pub fn run_mix_custom_with_store(
+    mix: &Mix,
+    name: &'static str,
+    factory: impl Fn(&[f64], usize, u64) -> (Box<dyn melreq_memctrl::SchedulerPolicy>, bool),
+    kind: Option<PolicyKind>,
+    opts: &ExperimentOptions,
+    cache: &ProfileCache,
+    store: Option<&CheckpointStore>,
+) -> MixResult {
+    let cores = mix.cores();
+    let me: Vec<f64> = (0..cores).map(|i| cache.profile(mix, i, opts).me).collect();
+    let ipc_single: Vec<f64> = (0..cores).map(|i| cache.ipc_single(mix, i, opts)).collect();
+
+    let started = std::time::Instant::now();
+    let (mut sys, from_checkpoint) = boundary_system(mix, opts, store);
+    match &kind {
+        Some(k) => sys.swap_policy(k, &me),
+        None => {
+            let (policy, read_first) = factory(&me, cores, canonical_config(cores).seed);
+            sys.swap_policy_boxed(policy, read_first);
+        }
+    }
+    let out = sys.run_window(opts.max_cycles());
+    let wall = started.elapsed();
+    finish_result(mix, name, me, ipc_single, out, sys.now(), wall, from_checkpoint)
 }
 
 /// Run one mix under one policy with the independent protocol/invariant
@@ -234,6 +397,14 @@ pub fn run_mix_custom(
 /// against the DDR2 timing constraints and every scheduling decision
 /// against the policy's published invariants, while a running hash of the
 /// event stream fingerprints the run for determinism comparisons.
+///
+/// Audited runs never restore checkpoints: the oracle's device replicas
+/// arm at attach time, so they must observe the machine from reset. The
+/// run still warms up under the canonical policy and swaps at the
+/// boundary — the swap is audit-visible (a repeat `CtrlConfig` plus a
+/// `ProfileUpdate`) — so a clean audited run certifies the exact command
+/// stream that checkpoint-forked runs of the same (mix, policy, options)
+/// replay, and its [`MixResult`] must match theirs bit for bit.
 ///
 /// Returns the normal [`MixResult`] plus the [`melreq_audit::AuditReport`]
 /// (violation counts, samples, and the stream hash).
@@ -246,41 +417,18 @@ pub fn run_mix_audited(
     let cores = mix.cores();
     let me: Vec<f64> = (0..cores).map(|i| cache.profile(mix, i, opts).me).collect();
     let ipc_single: Vec<f64> = (0..cores).map(|i| cache.ipc_single(mix, i, opts)).collect();
-    let streams: Vec<Box<dyn InstrStream + Send>> = mix
-        .apps()
-        .iter()
-        .enumerate()
-        .map(|(i, a)| {
-            Box::new(a.build_stream(i, SliceKind::Evaluation(opts.eval_slice)))
-                as Box<dyn InstrStream + Send>
-        })
-        .collect();
-    let cfg = SystemConfig::paper(cores, policy.clone());
-    let mut sys = System::new(cfg, streams, &me);
-    sys.set_tick_exact(opts.tick_exact);
+    let mut sys = canonical_system(mix, opts);
     let (handle, auditor) =
         melreq_audit::Auditor::shared(melreq_audit::AuditorConfig::default(), true);
     sys.attach_audit(handle);
     let started = std::time::Instant::now();
-    let out = sys.run_measured(opts.warmup, opts.instructions, opts.max_cycles());
+    sys.prepare_window(opts.warmup, opts.instructions);
+    let _ = sys.run_to_boundary(opts.max_cycles());
+    sys.swap_policy(policy, &me);
+    let out = sys.run_window(opts.max_cycles());
     let wall = started.elapsed();
     let report = auditor.lock().expect("auditor poisoned").report();
-
-    let fairness = FairnessReport::compute(&out.ipc, &ipc_single);
-    let result = MixResult {
-        mix: *mix,
-        policy: policy.name(),
-        smt_speedup: fairness.smt_speedup,
-        unfairness: fairness.unfairness,
-        ipc_multi: out.ipc,
-        ipc_single,
-        read_latency: out.read_latency,
-        mean_read_latency: out.mean_read_latency,
-        me,
-        timed_out: out.timed_out,
-        sim_cycles: sys.now(),
-        wall,
-    };
+    let result = finish_result(mix, policy.name(), me, ipc_single, out, sys.now(), wall, false);
     (result, report)
 }
 
@@ -309,35 +457,119 @@ pub fn compare_policies(
     PolicyComparison { results: policies.iter().map(|p| run_mix(mix, p, opts, cache)).collect() }
 }
 
+/// Run one mix under every policy in `policies` with a single shared
+/// warm-up: the canonical boundary state is simulated (or loaded from
+/// `store`) once, snapshotted, and forked into one fresh system per
+/// policy. The first policy consumes the warmed system directly; every
+/// other policy restores the snapshot bytes — bit-exactly the same state,
+/// as [`System::load_snapshot`] guarantees and the harness tests enforce.
+pub fn run_mix_group(
+    mix: &Mix,
+    policies: &[PolicyKind],
+    opts: &ExperimentOptions,
+    cache: &ProfileCache,
+    store: Option<&CheckpointStore>,
+) -> Vec<MixResult> {
+    let cores = mix.cores();
+    let me: Vec<f64> = (0..cores).map(|i| cache.profile(mix, i, opts).me).collect();
+    let ipc_single: Vec<f64> = (0..cores).map(|i| cache.ipc_single(mix, i, opts)).collect();
+
+    let warm_started = std::time::Instant::now();
+    let (base, from_checkpoint) = boundary_system(mix, opts, store);
+    let snap = if policies.len() > 1 { Some(base.snapshot()) } else { None };
+    let warm_wall = warm_started.elapsed();
+    let mut base = Some(base);
+
+    policies
+        .iter()
+        .enumerate()
+        .map(|(pi, kind)| {
+            let started = std::time::Instant::now();
+            let mut sys = base.take().unwrap_or_else(|| {
+                let mut s = canonical_system(mix, opts);
+                s.load_snapshot(snap.as_ref().expect("snapshot taken for >1 policy"))
+                    .expect("boundary snapshot must restore into an identical fresh system");
+                s
+            });
+            sys.swap_policy(kind, &me);
+            let out = sys.run_window(opts.max_cycles());
+            let mut wall = started.elapsed();
+            if pi == 0 {
+                wall += warm_wall;
+            }
+            finish_result(
+                mix,
+                kind.name(),
+                me.clone(),
+                ipc_single.clone(),
+                out,
+                sys.now(),
+                wall,
+                if pi == 0 { from_checkpoint } else { true },
+            )
+        })
+        .collect()
+}
+
+/// Worker-thread count for [`run_grid`]: the `MELREQ_THREADS` environment
+/// variable when set to a positive integer, else the host's available
+/// parallelism (falling back to 4 when that is unknowable), capped at the
+/// number of schedulable jobs.
+fn worker_count(jobs: usize) -> usize {
+    std::env::var("MELREQ_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(4, std::num::NonZero::get))
+        .min(jobs.max(1))
+}
+
 /// Run the full (mix × policy) grid in parallel across OS threads,
 /// returning results in `(mix-major, policy-minor)` order.
+///
+/// The schedulable unit is one [`run_mix_group`] — a mix's warm-up runs
+/// once and forks across all policies, so a five-policy sweep pays one
+/// warm-up per mix instead of five. Groups are dispatched widest-mix
+/// first (cores descending, input order within a width) so the expensive
+/// 8-core warm-ups start before the cheap 2-core ones and the schedule's
+/// tail stays short. Thread count comes from [`worker_count`]
+/// (`MELREQ_THREADS` overrides host parallelism).
 pub fn run_grid(
     mixes: &[Mix],
     policies: &[PolicyKind],
     opts: &ExperimentOptions,
     cache: &ProfileCache,
 ) -> Vec<MixResult> {
-    let jobs: Vec<(usize, &Mix, &PolicyKind)> = mixes
-        .iter()
-        .flat_map(|m| policies.iter().map(move |p| (m, p)))
-        .enumerate()
-        .map(|(i, (m, p))| (i, m, p))
-        .collect();
-    let n = jobs.len();
-    let slots: Vec<Mutex<Option<MixResult>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    run_grid_with_store(mixes, policies, opts, cache, None)
+}
+
+/// [`run_grid`] with an optional persistent checkpoint store shared by
+/// every group.
+pub fn run_grid_with_store(
+    mixes: &[Mix],
+    policies: &[PolicyKind],
+    opts: &ExperimentOptions,
+    cache: &ProfileCache,
+    store: Option<&CheckpointStore>,
+) -> Vec<MixResult> {
+    let mut order: Vec<usize> = (0..mixes.len()).collect();
+    order.sort_by_key(|&g| std::cmp::Reverse(mixes[g].cores()));
+    let slots: Vec<Mutex<Option<MixResult>>> =
+        (0..mixes.len() * policies.len()).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
-    let workers =
-        std::thread::available_parallelism().map_or(4, std::num::NonZero::get).min(n.max(1));
+    let workers = worker_count(mixes.len());
     std::thread::scope(|s| {
         for _ in 0..workers {
             s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
+                let oi = next.fetch_add(1, Ordering::Relaxed);
+                if oi >= order.len() {
                     break;
                 }
-                let (slot, mix, policy) = jobs[i];
-                let r = run_mix(mix, policy, opts, cache);
-                *slots[slot].lock().expect("result slot poisoned") = Some(r);
+                let g = order[oi];
+                let results = run_mix_group(&mixes[g], policies, opts, cache, store);
+                for (pi, r) in results.into_iter().enumerate() {
+                    *slots[g * policies.len() + pi].lock().expect("result slot poisoned") = Some(r);
+                }
             });
         }
     });
@@ -363,6 +595,12 @@ mod tests {
         assert!(r.smt_speedup > 0.5 && r.smt_speedup <= 2.0 + 1e-9, "speedup {}", r.smt_speedup);
         assert!(r.unfairness >= 1.0);
         assert!(r.mean_read_latency > 100.0, "latency {}", r.mean_read_latency);
+        assert!(
+            r.measured_cycles > 0 && r.measured_cycles < r.sim_cycles,
+            "measured window ({}) must be a proper suffix of the run ({})",
+            r.measured_cycles,
+            r.sim_cycles
+        );
     }
 
     #[test]
@@ -396,6 +634,71 @@ mod tests {
         assert!(a.events > 0, "instrumentation must emit events");
         assert_eq!(a.stream_hash, b.stream_hash, "same seed must replay identically");
         assert_eq!(ra.smt_speedup, rb.smt_speedup);
+    }
+
+    #[test]
+    fn forked_policies_match_fresh_runs_bit_exactly() {
+        let cache = ProfileCache::new();
+        let opts = ExperimentOptions::quick();
+        let mix = mix_by_name("2MEM-1");
+        let policies = [PolicyKind::HfRf, PolicyKind::MeLreq, PolicyKind::Lreq];
+        let group = run_mix_group(&mix, &policies, &opts, &cache, None);
+        assert!(!group[0].warmup_from_checkpoint, "first policy owns the warm-up");
+        assert!(group[1].warmup_from_checkpoint && group[2].warmup_from_checkpoint);
+        for (p, forked) in policies.iter().zip(&group) {
+            let fresh = run_mix(&mix, p, &opts, &cache);
+            assert_eq!(forked.ipc_multi, fresh.ipc_multi, "{}", p.name());
+            assert_eq!(forked.read_latency, fresh.read_latency, "{}", p.name());
+            assert_eq!(forked.sim_cycles, fresh.sim_cycles, "{}", p.name());
+            assert_eq!(forked.smt_speedup, fresh.smt_speedup, "{}", p.name());
+        }
+    }
+
+    #[test]
+    fn audited_run_matches_unaudited_run_bit_exactly() {
+        let cache = ProfileCache::new();
+        let opts = ExperimentOptions::quick();
+        let mix = mix_by_name("2MIX-1");
+        let (ra, report) = run_mix_audited(&mix, &PolicyKind::MeLreq, &opts, &cache);
+        assert!(report.is_clean(), "swap-through-warmup must audit clean:\n{}", report.render());
+        let rb = run_mix(&mix, &PolicyKind::MeLreq, &opts, &cache);
+        assert_eq!(ra.ipc_multi, rb.ipc_multi);
+        assert_eq!(ra.sim_cycles, rb.sim_cycles);
+        assert_eq!(ra.smt_speedup, rb.smt_speedup);
+    }
+
+    #[test]
+    fn warm_store_skips_warmup_and_profiles() {
+        use crate::store::CheckpointStore;
+        use std::sync::Arc;
+        let dir =
+            std::env::temp_dir().join(format!("melreq-exp-store-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = ExperimentOptions::quick();
+        let mix = mix_by_name("2MEM-1");
+
+        let store = Arc::new(CheckpointStore::open(&dir).expect("store"));
+        let cache = ProfileCache::with_store(store.clone());
+        let cold = run_mix_with_store(&mix, &PolicyKind::MeLreq, &opts, &cache, Some(&store));
+        assert!(!cold.warmup_from_checkpoint);
+        let s = store.stats();
+        assert_eq!(s.warmup_hits, 0);
+        assert!(s.profile_hits == 0 && s.profile_misses > 0);
+
+        // Second invocation: fresh in-memory state, same directory.
+        let store = Arc::new(CheckpointStore::open(&dir).expect("store"));
+        let cache = ProfileCache::with_store(store.clone());
+        let warm = run_mix_with_store(&mix, &PolicyKind::MeLreq, &opts, &cache, Some(&store));
+        assert!(warm.warmup_from_checkpoint, "warm store must restore the boundary");
+        let s = store.stats();
+        assert_eq!(s.warmup_misses, 0, "no warm-up simulated on a warm store");
+        assert_eq!(s.profile_misses, 0, "no profiling simulated on a warm store");
+        assert!(s.warmup_hits == 1 && s.profile_hits > 0);
+        assert_eq!(cold.ipc_multi, warm.ipc_multi);
+        assert_eq!(cold.sim_cycles, warm.sim_cycles);
+        assert_eq!(cold.smt_speedup, warm.smt_speedup);
+        assert_eq!(cold.me, warm.me);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -173,6 +173,170 @@ impl Hierarchy {
         self.ctrl.attach_audit(audit);
     }
 
+    /// Swap the controller's scheduling policy in place (warmup sharing:
+    /// one warmed hierarchy forks into one copy per measured policy).
+    pub fn set_policy(
+        &mut self,
+        policy: Box<dyn melreq_memctrl::policy::SchedulerPolicy>,
+        read_first: bool,
+    ) {
+        self.ctrl.set_policy(policy, read_first);
+    }
+
+    /// Announce a memory-efficiency profile on the audit stream without
+    /// reprogramming the policy (see
+    /// [`melreq_memctrl::MemoryController::announce_profile`]).
+    pub fn announce_profile(&self, me: &[f64]) {
+        self.ctrl.announce_profile(me);
+    }
+
+    /// Serialize all mutable hierarchy state: cache arrays, MSHR files
+    /// (with their parked waiters), in-flight cache events, stalled
+    /// memory submissions, statistics, and the controller beneath.
+    pub fn save_state(&self, enc: &mut melreq_snap::Enc) {
+        let save_l1_waiter = |w: &L1Waiter, enc: &mut melreq_snap::Enc| match *w {
+            L1Waiter::Token(CoreToken::Load(seq)) => {
+                enc.u8(0);
+                enc.u64(seq);
+            }
+            L1Waiter::Token(CoreToken::Fetch) => enc.u8(1),
+            L1Waiter::Store => enc.u8(2),
+        };
+        enc.usize(self.l1i.len());
+        for c in 0..self.l1i.len() {
+            self.l1i[c].save_state(enc);
+            self.l1i_mshr[c].save_state(enc, save_l1_waiter);
+            self.l1d[c].save_state(enc);
+            self.l1d_mshr[c].save_state(enc, save_l1_waiter);
+        }
+        self.l2.save_state(enc);
+        self.l2_mshr.save_state(enc, |w, enc| {
+            enc.u16(w.core.0);
+            enc.u8(match w.origin {
+                Origin::Inst => 0,
+                Origin::Data => 1,
+            });
+        });
+        // BinaryHeap iteration order is unspecified; sort so identical
+        // states serialize to identical bytes.
+        let mut events: Vec<Event> = self.events.iter().map(|Reverse(e)| *e).collect();
+        events.sort();
+        enc.usize(events.len());
+        for e in &events {
+            enc.u64(e.at);
+            enc.u64(e.seq);
+            match e.kind {
+                EventKind::L2Access { core, line, origin } => {
+                    enc.u8(0);
+                    enc.u16(core.0);
+                    enc.u64(line);
+                    enc.u8(matches!(origin, Origin::Data) as u8);
+                }
+                EventKind::L1Fill { core, line, origin } => {
+                    enc.u8(1);
+                    enc.u16(core.0);
+                    enc.u64(line);
+                    enc.u8(matches!(origin, Origin::Data) as u8);
+                }
+            }
+        }
+        enc.u64(self.event_seq);
+        for q in [&self.pending_mem, &self.pending_wb] {
+            enc.usize(q.len());
+            for &(core, addr) in q {
+                enc.u16(core.0);
+                enc.u64(addr);
+            }
+        }
+        for c in [
+            &self.stats.l1d_load_hits,
+            &self.stats.mem_reads,
+            &self.stats.mem_writes,
+            &self.stats.store_stalls,
+        ] {
+            c.save_state(enc);
+        }
+        self.ctrl.save_state(enc);
+    }
+
+    /// Restore state written by [`Hierarchy::save_state`] into a
+    /// hierarchy constructed with the same configuration.
+    pub fn load_state(
+        &mut self,
+        dec: &mut melreq_snap::Dec<'_>,
+    ) -> Result<(), melreq_snap::SnapError> {
+        let load_l1_waiter =
+            |dec: &mut melreq_snap::Dec<'_>| -> Result<L1Waiter, melreq_snap::SnapError> {
+                Ok(match dec.u8()? {
+                    0 => L1Waiter::Token(CoreToken::Load(dec.u64()?)),
+                    1 => L1Waiter::Token(CoreToken::Fetch),
+                    2 => L1Waiter::Store,
+                    t => return Err(melreq_snap::SnapError::BadTag(t)),
+                })
+            };
+        let origin = |b: u8| -> Result<Origin, melreq_snap::SnapError> {
+            Ok(match b {
+                0 => Origin::Inst,
+                1 => Origin::Data,
+                t => return Err(melreq_snap::SnapError::BadTag(t)),
+            })
+        };
+        let n = dec.usize()?;
+        if n != self.l1i.len() {
+            return Err(melreq_snap::SnapError::Invalid("hierarchy core count mismatch"));
+        }
+        for c in 0..n {
+            self.l1i[c].load_state(dec)?;
+            self.l1i_mshr[c].load_state(dec, load_l1_waiter)?;
+            self.l1d[c].load_state(dec)?;
+            self.l1d_mshr[c].load_state(dec, load_l1_waiter)?;
+        }
+        self.l2.load_state(dec)?;
+        self.l2_mshr.load_state(dec, |dec| {
+            let core = CoreId(dec.u16()?);
+            Ok(L2Waiter { core, origin: origin(dec.u8()?)? })
+        })?;
+        let n_events = dec.usize()?;
+        self.events.clear();
+        for _ in 0..n_events {
+            let at = dec.u64()?;
+            let seq = dec.u64()?;
+            let kind = match dec.u8()? {
+                0 => {
+                    let core = CoreId(dec.u16()?);
+                    let line = dec.u64()?;
+                    EventKind::L2Access { core, line, origin: origin(dec.u8()?)? }
+                }
+                1 => {
+                    let core = CoreId(dec.u16()?);
+                    let line = dec.u64()?;
+                    EventKind::L1Fill { core, line, origin: origin(dec.u8()?)? }
+                }
+                t => return Err(melreq_snap::SnapError::BadTag(t)),
+            };
+            self.events.push(Reverse(Event { at, seq, kind }));
+        }
+        self.event_seq = dec.u64()?;
+        for q in [&mut self.pending_mem, &mut self.pending_wb] {
+            let len = dec.usize()?;
+            q.clear();
+            for _ in 0..len {
+                let core = CoreId(dec.u16()?);
+                let addr = dec.u64()?;
+                q.push_back((core, addr));
+            }
+        }
+        for c in [
+            &mut self.stats.l1d_load_hits,
+            &mut self.stats.mem_reads,
+            &mut self.stats.mem_writes,
+            &mut self.stats.store_stalls,
+        ] {
+            c.load_state(dec)?;
+        }
+        self.ctrl.load_state(dec)
+    }
+
     /// L1D array of one core (hit rates in reports/tests).
     pub fn l1d(&self, core: CoreId) -> &CacheArray {
         &self.l1d[core.index()]

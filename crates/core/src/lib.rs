@@ -24,10 +24,12 @@ pub mod experiment;
 pub mod hierarchy;
 pub mod profile;
 pub mod report;
+pub mod store;
 pub mod system;
 
 pub use config::SystemConfig;
 pub use experiment::{run_mix, run_mix_audited, ExperimentOptions, MixResult, PolicyComparison};
 pub use hierarchy::Hierarchy;
 pub use profile::{profile_app, profile_mix_apps, AppProfile};
+pub use store::{CheckpointStore, StoreStats};
 pub use system::{RunOutcome, System};

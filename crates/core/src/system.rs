@@ -28,6 +28,10 @@ pub struct System {
     /// is opaque). Reported on [`System::attach_audit`] so the policy
     /// auditor can reconstruct the priority tables.
     me_profile: Option<Vec<f64>>,
+    /// Cycle at which the memory-side statistics were reset (the
+    /// measurement boundary): `Some(0)` when no warm-up was requested,
+    /// `None` while warm-up is still in progress.
+    stats_reset_at: Option<Cycle>,
 }
 
 /// State of the run-time memory-efficiency estimator backing
@@ -141,6 +145,7 @@ impl System {
             me_profile,
             tick_exact: false,
             scratch: Vec::new(),
+            stats_reset_at: None,
         }
     }
 
@@ -178,6 +183,7 @@ impl System {
             me_profile: None,
             tick_exact: false,
             scratch: Vec::new(),
+            stats_reset_at: None,
         }
     }
 
@@ -338,42 +344,95 @@ impl System {
     /// reset and each core's measured slice of `target` instructions
     /// begins. This substitutes for the implicit warm-up inside the
     /// paper's 100 M-instruction SimPoint slices.
+    ///
+    /// Equivalent to [`System::prepare_window`] followed by
+    /// [`System::run_window`]; the split form exists so callers can pause
+    /// at the warm-up boundary ([`System::run_to_boundary`]), take a
+    /// [`System::snapshot`], and fork the warmed machine.
     pub fn run_measured(&mut self, warmup: u64, target: u64, max_cycles: Cycle) -> RunOutcome {
+        self.prepare_window(warmup, target);
+        self.run_window(max_cycles)
+    }
+
+    /// Arm every core's measurement window. Must be called from reset; the
+    /// run then proceeds via [`System::run_to_boundary`] and/or
+    /// [`System::run_window`].
+    pub fn prepare_window(&mut self, warmup: u64, target: u64) {
         assert!(self.now == 0, "measured runs must start from reset");
         for core in &mut self.cores {
             core.set_window(warmup, target);
         }
+        self.stats_reset_at = if warmup == 0 { Some(0) } else { None };
+    }
+
+    /// One iteration of the measured-run loop: fast-forward or tick, then
+    /// fire the statistics reset when the last core crosses warm-up.
+    /// Returns `false` when the safety limit was hit.
+    fn step_window(&mut self, max_cycles: Cycle) -> bool {
+        if self.now >= max_cycles {
+            return false;
+        }
+        if !self.tick_exact {
+            // Fast-forward: jump over cycles no component can act in.
+            // Clamp to the safety limit (a fully idle machine skips
+            // straight to the timeout, as ticking would) and to the
+            // cycle before the next online-ME epoch boundary, whose
+            // profile refresh must fire on schedule.
+            let mut jump_to = self.next_event_at().unwrap_or(Cycle::MAX).min(max_cycles);
+            if let Some(st) = &self.online {
+                jump_to = jump_to.min(st.next_at - 1);
+            }
+            if jump_to > self.now {
+                self.skip_to(jump_to);
+                return true;
+            }
+        }
+        self.tick();
+        if self.stats_reset_at.is_none()
+            && self.cores.iter().all(|c| c.window_start_cycle().is_some())
+        {
+            self.hier.reset_stats();
+            // All measured slices start here, together: a core that raced
+            // past its warm-up count keeps running, but only instructions
+            // committed from this cycle on count toward its target. This
+            // is also what makes the warm-up boundary policy-agnostic —
+            // nothing measured has executed yet when a forked run swaps
+            // the scheduler in.
+            for core in &mut self.cores {
+                core.begin_measured_slice(self.now);
+            }
+            self.stats_reset_at = Some(self.now);
+        }
+        true
+    }
+
+    /// Run a prepared window up to the measurement boundary: the cycle at
+    /// which the last core finishes warm-up and the memory-side
+    /// statistics reset. Returns `false` if `max_cycles` was hit first.
+    /// The machine state at the boundary is exactly the state the same
+    /// point of a straight [`System::run_window`] call would have — this
+    /// is the snapshot/fork point for warmup sharing.
+    pub fn run_to_boundary(&mut self, max_cycles: Cycle) -> bool {
+        while self.stats_reset_at.is_none() {
+            if !self.step_window(max_cycles) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Run a prepared window (from reset, the boundary, or a restored
+    /// snapshot) until every core completes its measured slice, then
+    /// report the outcome.
+    pub fn run_window(&mut self, max_cycles: Cycle) -> RunOutcome {
         let mut timed_out = false;
-        let mut stats_reset_at: Option<Cycle> = if warmup == 0 { Some(0) } else { None };
         while self.cores.iter().any(|c| c.target_cycle().is_none()) {
-            if self.now >= max_cycles {
+            if !self.step_window(max_cycles) {
                 timed_out = true;
                 break;
             }
-            if !self.tick_exact {
-                // Fast-forward: jump over cycles no component can act in.
-                // Clamp to the safety limit (a fully idle machine skips
-                // straight to the timeout, as ticking would) and to the
-                // cycle before the next online-ME epoch boundary, whose
-                // profile refresh must fire on schedule.
-                let mut jump_to = self.next_event_at().unwrap_or(Cycle::MAX).min(max_cycles);
-                if let Some(st) = &self.online {
-                    jump_to = jump_to.min(st.next_at - 1);
-                }
-                if jump_to > self.now {
-                    self.skip_to(jump_to);
-                    continue;
-                }
-            }
-            self.tick();
-            if stats_reset_at.is_none()
-                && self.cores.iter().all(|c| c.window_start_cycle().is_some())
-            {
-                self.hier.reset_stats();
-                stats_reset_at = Some(self.now);
-            }
         }
-        let measured_cycles = self.now.saturating_sub(stats_reset_at.unwrap_or(0)).max(1);
+        let measured_cycles = self.now.saturating_sub(self.stats_reset_at.unwrap_or(0)).max(1);
         let ctrl_stats = self.hier.controller().stats();
         let read_latency: Vec<f64> = ctrl_stats
             .read_latency
@@ -392,6 +451,138 @@ impl System {
                 .collect(),
             timed_out,
         }
+    }
+
+    /// Swap the scheduling policy in place, preserving all architectural
+    /// and micro-architectural state — the warmup-sharing hook: a system
+    /// warmed once (under the canonical warm-up policy) forks into one
+    /// run per measured policy at the measurement boundary.
+    ///
+    /// The new policy is built fresh from `kind`, `me`, and the system's
+    /// construction seed, exactly as [`System::new`] would build it; the
+    /// online-ME estimator is re-created (or dropped) to match, with its
+    /// first epoch starting now. An attached audit sees a fresh
+    /// `CtrlConfig` plus the profile the new tables were programmed from,
+    /// mirroring what [`System::attach_audit`] announces at reset.
+    pub fn swap_policy(&mut self, kind: &melreq_memctrl::policy::PolicyKind, me: &[f64]) {
+        assert_eq!(me.len(), self.cfg.cores, "one ME value per core required");
+        let policy = kind.build(me, self.cfg.cores, self.cfg.seed);
+        self.hier.set_policy(policy, kind.read_first());
+        self.online = match kind {
+            melreq_memctrl::policy::PolicyKind::MeLreqOnline { epoch_cycles } => {
+                let mut st = OnlineMe::new(*epoch_cycles, self.cfg.cores);
+                st.next_at = self.now + st.epoch;
+                // Baseline the deltas at the swap point so the first
+                // epoch samples only post-swap execution.
+                st.prev_instr = self.cores.iter().map(melreq_cpu::Core::committed).collect();
+                st.prev_bytes = self
+                    .hier
+                    .controller()
+                    .stats()
+                    .bytes_by_core
+                    .iter()
+                    .map(melreq_stats::Counter::get)
+                    .collect();
+                Some(st)
+            }
+            _ => None,
+        };
+        self.me_profile =
+            Some(if self.online.is_some() { vec![1.0; self.cfg.cores] } else { me.to_vec() });
+        self.cfg.policy = kind.clone();
+        if let Some(me) = &self.me_profile {
+            self.hier.announce_profile(me);
+        }
+    }
+
+    /// Like [`System::swap_policy`] but for an externally constructed
+    /// policy (the [`System::with_policy`] extension point). The policy's
+    /// internal state is opaque, so no profile is announced to an
+    /// attached audit and the online-ME estimator is dropped.
+    pub fn swap_policy_boxed(
+        &mut self,
+        policy: Box<dyn melreq_memctrl::SchedulerPolicy>,
+        read_first: bool,
+    ) {
+        self.hier.set_policy(policy, read_first);
+        self.online = None;
+        self.me_profile = None;
+    }
+
+    /// Serialize the entire machine — every core pipeline (including its
+    /// instruction stream's generation cursor), the cache hierarchy, the
+    /// memory controller, the DRAM device, the online-ME estimator, the
+    /// clock, and the measurement bookkeeping — into a self-validating
+    /// container ([`melreq_snap::seal`]). Restoring it into a freshly
+    /// constructed identical system resumes the run bit-exactly; see
+    /// [`System::load_snapshot`].
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut enc = melreq_snap::Enc::new();
+        enc.u64(self.now);
+        enc.usize(self.cores.len());
+        for c in &self.cores {
+            c.save_state(&mut enc);
+        }
+        self.hier.save_state(&mut enc);
+        match &self.online {
+            Some(st) => {
+                enc.bool(true);
+                enc.u64(st.epoch);
+                enc.u64(st.next_at);
+                enc.u64s(&st.prev_instr);
+                enc.u64s(&st.prev_bytes);
+                enc.f64s(&st.estimate);
+            }
+            None => enc.bool(false),
+        }
+        enc.opt_u64(self.stats_reset_at);
+        melreq_snap::seal(&enc.into_bytes())
+    }
+
+    /// Restore a [`System::snapshot`] into this system. The receiver must
+    /// have been built with the same configuration (core count, cache and
+    /// DRAM geometry, policy kind, seed, streams) as the system the
+    /// snapshot was taken from; what was *mutable* — pipeline contents,
+    /// cache arrays, queues, timers, RNG streams, statistics, the clock —
+    /// is overwritten wholesale. The audit handle and kernel mode
+    /// (`tick_exact`) are deliberately untouched: both are observers of
+    /// the simulation, not part of its state.
+    pub fn load_snapshot(&mut self, bytes: &[u8]) -> Result<(), melreq_snap::SnapError> {
+        let payload = melreq_snap::open(bytes)?;
+        let mut dec = melreq_snap::Dec::new(payload);
+        let now = dec.u64()?;
+        let n = dec.usize()?;
+        if n != self.cores.len() {
+            return Err(melreq_snap::SnapError::Invalid("system core count mismatch"));
+        }
+        for c in &mut self.cores {
+            c.load_state(&mut dec)?;
+        }
+        self.hier.load_state(&mut dec)?;
+        let has_online = dec.bool()?;
+        if has_online != self.online.is_some() {
+            return Err(melreq_snap::SnapError::Invalid("online estimator presence mismatch"));
+        }
+        if has_online {
+            let st = self.online.as_mut().expect("checked presence");
+            st.epoch = dec.u64()?;
+            if st.epoch == 0 {
+                return Err(melreq_snap::SnapError::Invalid("online epoch must be positive"));
+            }
+            st.next_at = dec.u64()?;
+            st.prev_instr = dec.u64s()?;
+            st.prev_bytes = dec.u64s()?;
+            st.estimate = dec.f64s()?;
+            if st.prev_instr.len() != n || st.prev_bytes.len() != n || st.estimate.len() != n {
+                return Err(melreq_snap::SnapError::Invalid("online estimator width mismatch"));
+            }
+        }
+        self.stats_reset_at = dec.opt_u64()?;
+        if !dec.is_exhausted() {
+            return Err(melreq_snap::SnapError::Invalid("trailing snapshot bytes"));
+        }
+        self.now = now;
+        Ok(())
     }
 }
 

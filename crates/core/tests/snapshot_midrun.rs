@@ -1,0 +1,100 @@
+//! Mid-run snapshot fidelity: pausing a multiprogrammed run at an
+//! arbitrary cycle, serializing the machine, and restoring the bytes into
+//! a freshly constructed system must be indistinguishable from never
+//! having paused at all.
+//!
+//! For every paper policy (the Figure 2 set) on two core counts, the run
+//! is driven to the measurement boundary and then a proptest-chosen
+//! number of extra cycles into the measured window — a point where
+//! in-flight MSHRs, queued DRAM commands, partially drained write buffers
+//! and mid-burst timers are all live. The machine is snapshotted and
+//! forked: one arm simply continues, the other restores the bytes into a
+//! fresh system. Both arms must produce the same [`RunOutcome`] field for
+//! field *and* end in bit-identical architectural state (FNV-1a over the
+//! final snapshot bytes).
+//!
+//! The audit oracle is deliberately absent here: an attached audit models
+//! the machine from reset, so restoring a snapshot detaches it by design
+//! (see `MemoryController::load_state`). End-state snapshot hashes are
+//! the stronger check anyway — they fingerprint every serialized
+//! component, not just the command stream.
+
+use melreq_core::{System, SystemConfig};
+use melreq_memctrl::policy::PolicyKind;
+use melreq_snap::fnv1a;
+use melreq_trace::InstrStream;
+use melreq_workloads::{mix_by_name, SliceKind};
+use proptest::prelude::*;
+
+const WARMUP: u64 = 4_000;
+const TARGET: u64 = 6_000;
+const MAX_CYCLES: u64 = 1 << 26;
+
+fn build(mix_name: &str, kind: &PolicyKind, me: &[f64]) -> System {
+    let mix = mix_by_name(mix_name);
+    let streams: Vec<Box<dyn InstrStream + Send>> = mix
+        .apps()
+        .iter()
+        .enumerate()
+        .map(|(i, a)| {
+            Box::new(a.build_stream(i, SliceKind::Evaluation(0))) as Box<dyn InstrStream + Send>
+        })
+        .collect();
+    System::new(SystemConfig::paper(mix.cores(), kind.clone()), streams, me)
+}
+
+proptest! {
+    // Each case sweeps 5 policies x 2 core counts with two full runs
+    // apiece; a handful of random pause points buys plenty of state-space
+    // coverage without dominating the suite's runtime.
+    #![proptest_config(ProptestConfig::with_cases(3))]
+    #[test]
+    fn midrun_snapshot_continue_equals_restore(seed in any::<u64>()) {
+        for (combo, (mix_name, cores)) in [("2MEM-1", 2usize), ("4MEM-1", 4usize)]
+            .into_iter()
+            .enumerate()
+        {
+            for (pi, kind) in PolicyKind::figure2_set().iter().enumerate() {
+                // A distinct, deterministic pause offset per combination.
+                let k = seed
+                    .rotate_left((combo * 5 + pi) as u32 * 7)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    % 3_000;
+                let me: Vec<f64> = (0..cores).map(|i| 0.5 + i as f64).collect();
+
+                let mut sys = build(mix_name, kind, &me);
+                sys.prepare_window(WARMUP, TARGET);
+                prop_assert!(sys.run_to_boundary(MAX_CYCLES), "warm-up must complete");
+                for _ in 0..k {
+                    sys.tick();
+                }
+                let snap = sys.snapshot();
+
+                let mut restored = build(mix_name, kind, &me);
+                restored
+                    .load_snapshot(&snap)
+                    .expect("mid-run snapshot must restore into an identical fresh system");
+                prop_assert_eq!(restored.now(), sys.now());
+
+                let name = kind.name();
+                let out_a = sys.run_window(MAX_CYCLES);
+                let out_b = restored.run_window(MAX_CYCLES);
+                prop_assert!(!out_a.timed_out && !out_b.timed_out, "[{}] must finish", name);
+                prop_assert_eq!(out_a.cycles, out_b.cycles, "[{}] cycles", name);
+                prop_assert_eq!(out_a.ipc, out_b.ipc, "[{}] IPC", name);
+                prop_assert_eq!(out_a.read_latency, out_b.read_latency, "[{}] latency", name);
+                prop_assert_eq!(
+                    out_a.mean_read_latency, out_b.mean_read_latency,
+                    "[{}] mean latency", name
+                );
+                prop_assert_eq!(out_a.bytes_by_core, out_b.bytes_by_core, "[{}] bytes", name);
+                prop_assert_eq!(
+                    fnv1a(&sys.snapshot()),
+                    fnv1a(&restored.snapshot()),
+                    "[{}] final machine state diverged after a mid-run restore",
+                    name
+                );
+            }
+        }
+    }
+}

@@ -174,6 +174,19 @@ impl Core {
         self.window_start
     }
 
+    /// Re-baseline the measured slice to start `now`: the next
+    /// `window_measure` committed ops are the measured slice, regardless
+    /// of how many were committed before. The system calls this on every
+    /// core at the global warm-up boundary (the cycle the *last* core
+    /// crosses its warm-up count), so all measured slices run entirely
+    /// under the measured policy and share one start cycle — a core that
+    /// raced ahead during warm-up gets its provisional window discarded.
+    pub fn begin_measured_slice(&mut self, now: Cycle) {
+        self.window_skip = self.stats.committed.get();
+        self.window_start = Some(now);
+        self.window_end = None;
+    }
+
     /// The cycle at which the measured slice completed, if it has.
     pub fn target_cycle(&self) -> Option<Cycle> {
         self.window_end
@@ -186,6 +199,118 @@ impl Core {
             (Some(n), Some(s), Some(e)) if e > s => n as f64 / (e - s) as f64,
             _ => self.stats.ipc(),
         }
+    }
+
+    /// Serialize all mutable pipeline state — the instruction stream's
+    /// generation cursor, ROB contents, fetch latches, occupancy
+    /// counters, issue worklist, measurement window, and statistics — so
+    /// a checkpointed system resumes this core bit-exactly. The config
+    /// and core id are construction parameters, not state.
+    pub fn save_state(&self, enc: &mut melreq_snap::Enc) {
+        self.stream.save_state(enc);
+        enc.usize(self.rob.len());
+        for e in &self.rob {
+            e.kind.save_state(enc);
+            enc.opt_u64(e.dep_seq);
+            match e.state {
+                OpState::Waiting => enc.u8(0),
+                OpState::Executing { done_at } => {
+                    enc.u8(1);
+                    enc.u64(done_at);
+                }
+                OpState::WaitingMem => enc.u8(2),
+                OpState::Done { at } => {
+                    enc.u8(3);
+                    enc.u64(at);
+                }
+            }
+            enc.u64(e.seq);
+        }
+        enc.u64(self.head_seq);
+        enc.u64(self.next_seq);
+        enc.opt_u64(self.fetch_line);
+        enc.bool(self.fetch_pending);
+        match &self.staged {
+            Some(op) => {
+                enc.bool(true);
+                op.save_state(enc);
+            }
+            None => enc.bool(false),
+        }
+        enc.u64(self.fetch_stall_until);
+        enc.opt_u64(self.halted_by_branch);
+        enc.usize(self.loads_in_rob);
+        enc.usize(self.stores_in_rob);
+        enc.u64s(&self.waiting);
+        enc.u64(self.window_skip);
+        enc.opt_u64(self.window_measure);
+        enc.opt_u64(self.window_start);
+        enc.opt_u64(self.window_end);
+        for c in [
+            &self.stats.committed,
+            &self.stats.cycles,
+            &self.stats.loads,
+            &self.stats.stores,
+            &self.stats.mispredicts,
+            &self.stats.commit_stall_cycles,
+        ] {
+            c.save_state(enc);
+        }
+    }
+
+    /// Restore state written by [`Core::save_state`] into a core built
+    /// with the same configuration and stream parameters.
+    pub fn load_state(
+        &mut self,
+        dec: &mut melreq_snap::Dec<'_>,
+    ) -> Result<(), melreq_snap::SnapError> {
+        self.stream.load_state(dec)?;
+        let n = dec.usize()?;
+        if n > self.cfg.rob {
+            return Err(melreq_snap::SnapError::Invalid("ROB occupancy beyond capacity"));
+        }
+        self.rob.clear();
+        for _ in 0..n {
+            let kind = OpKind::load_state(dec)?;
+            let dep_seq = dec.opt_u64()?;
+            let state = match dec.u8()? {
+                0 => OpState::Waiting,
+                1 => OpState::Executing { done_at: dec.u64()? },
+                2 => OpState::WaitingMem,
+                3 => OpState::Done { at: dec.u64()? },
+                t => return Err(melreq_snap::SnapError::BadTag(t)),
+            };
+            let seq = dec.u64()?;
+            self.rob.push_back(RobEntry { kind, dep_seq, state, seq });
+        }
+        self.head_seq = dec.u64()?;
+        self.next_seq = dec.u64()?;
+        self.fetch_line = dec.opt_u64()?;
+        self.fetch_pending = dec.bool()?;
+        self.staged = if dec.bool()? { Some(MicroOp::load_state(dec)?) } else { None };
+        self.fetch_stall_until = dec.u64()?;
+        self.halted_by_branch = dec.opt_u64()?;
+        self.loads_in_rob = dec.usize()?;
+        self.stores_in_rob = dec.usize()?;
+        self.waiting = dec.u64s()?;
+        if self.waiting.len() > self.cfg.iq {
+            return Err(melreq_snap::SnapError::Invalid("issue worklist beyond IQ capacity"));
+        }
+        self.window_skip = dec.u64()?;
+        self.window_measure = dec.opt_u64()?;
+        self.window_start = dec.opt_u64()?;
+        self.window_end = dec.opt_u64()?;
+        for c in [
+            &mut self.stats.committed,
+            &mut self.stats.cycles,
+            &mut self.stats.loads,
+            &mut self.stats.stores,
+            &mut self.stats.mispredicts,
+            &mut self.stats.commit_stall_cycles,
+        ] {
+            c.load_state(dec)?;
+        }
+        Ok(())
     }
 
     /// Resolve an outstanding memory access.
@@ -579,6 +704,18 @@ mod tests {
 
         fn label(&self) -> &str {
             "script"
+        }
+
+        fn save_state(&self, enc: &mut melreq_snap::Enc) {
+            enc.usize(self.i);
+        }
+
+        fn load_state(
+            &mut self,
+            dec: &mut melreq_snap::Dec<'_>,
+        ) -> Result<(), melreq_snap::SnapError> {
+            self.i = dec.usize()?;
+            Ok(())
         }
     }
 

@@ -22,6 +22,15 @@ impl InstrStream for Cyclic {
     fn label(&self) -> &str {
         "cyclic"
     }
+
+    fn save_state(&self, enc: &mut melreq_snap::Enc) {
+        enc.usize(self.i);
+    }
+
+    fn load_state(&mut self, dec: &mut melreq_snap::Dec<'_>) -> Result<(), melreq_snap::SnapError> {
+        self.i = dec.usize()?;
+        Ok(())
+    }
 }
 
 fn arb_op(i: u64) -> impl Strategy<Value = MicroOp> {

@@ -117,6 +117,32 @@ impl Bank {
         (data_start, outcome)
     }
 
+    /// Serialize the row-buffer latch and ready horizon.
+    pub fn save_state(&self, enc: &mut melreq_snap::Enc) {
+        match self.state {
+            BankState::Closed => enc.u8(0),
+            BankState::Open { row } => {
+                enc.u8(1);
+                enc.u64(row);
+            }
+        }
+        enc.u64(self.ready_at);
+    }
+
+    /// Restore state written by [`Bank::save_state`].
+    pub fn load_state(
+        &mut self,
+        dec: &mut melreq_snap::Dec<'_>,
+    ) -> Result<(), melreq_snap::SnapError> {
+        self.state = match dec.u8()? {
+            0 => BankState::Closed,
+            1 => BankState::Open { row: dec.u64()? },
+            t => return Err(melreq_snap::SnapError::BadTag(t)),
+        };
+        self.ready_at = dec.u64()?;
+        Ok(())
+    }
+
     /// Apply an all-bank refresh that started at `at`: the row closes and
     /// the bank is unavailable for `t_rfc` cycles (stacked on any work it
     /// was still finishing).

@@ -167,6 +167,53 @@ impl Channel {
         ChannelGrant { data_ready: bus_start + t.burst, outcome, granted_at: grant_at }
     }
 
+    /// Serialize bank latches, bus occupancy, refresh and ACT-window
+    /// tracking.
+    pub fn save_state(&self, enc: &mut melreq_snap::Enc) {
+        enc.usize(self.banks.len());
+        for b in &self.banks {
+            b.save_state(enc);
+        }
+        enc.u64(self.bus_free);
+        enc.u64(self.bus_busy_cycles);
+        enc.u64(self.next_refresh);
+        enc.u64(self.refreshes);
+        for a in self.recent_acts {
+            enc.u64(a);
+        }
+        enc.usize(self.act_head);
+        enc.u64(self.acts_seen);
+    }
+
+    /// Restore state written by [`Channel::save_state`] into a channel
+    /// with the same bank count.
+    pub fn load_state(
+        &mut self,
+        dec: &mut melreq_snap::Dec<'_>,
+    ) -> Result<(), melreq_snap::SnapError> {
+        let n = dec.usize()?;
+        if n != self.banks.len() {
+            return Err(melreq_snap::SnapError::Invalid("bank count mismatch"));
+        }
+        for b in &mut self.banks {
+            b.load_state(dec)?;
+        }
+        self.bus_free = dec.u64()?;
+        self.bus_busy_cycles = dec.u64()?;
+        self.next_refresh = dec.u64()?;
+        self.refreshes = dec.u64()?;
+        for a in &mut self.recent_acts {
+            *a = dec.u64()?;
+        }
+        let head = dec.usize()?;
+        if head >= 4 {
+            return Err(melreq_snap::SnapError::Invalid("ACT ring head out of range"));
+        }
+        self.act_head = head;
+        self.acts_seen = dec.u64()?;
+        Ok(())
+    }
+
     /// Explicitly precharge `bank` (controller's close-page sweep).
     pub fn precharge(&mut self, bank: usize, now: Cycle, t: &DramTiming) {
         self.banks[bank].precharge(now, t);

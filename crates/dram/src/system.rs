@@ -251,6 +251,58 @@ impl DramSystem {
         self.audit.emit(|| AuditEvent::Precharge { channel: loc.channel, bank: loc.bank, at: now });
     }
 
+    /// Serialize every channel, the aggregate statistics and the audit
+    /// refresh-emission cursors. The audit handle itself is NOT state: a
+    /// restored system keeps whatever sink it already has attached.
+    pub fn save_state(&self, enc: &mut melreq_snap::Enc) {
+        enc.usize(self.channels.len());
+        for ch in &self.channels {
+            ch.save_state(enc);
+        }
+        for c in [
+            &self.stats.row_hits,
+            &self.stats.row_closed_misses,
+            &self.stats.row_conflicts,
+            &self.stats.reads,
+            &self.stats.writes,
+            &self.stats.bytes,
+        ] {
+            c.save_state(enc);
+        }
+        enc.u64s(&self.refreshes_emitted);
+    }
+
+    /// Restore state written by [`DramSystem::save_state`] into a system
+    /// with the same geometry.
+    pub fn load_state(
+        &mut self,
+        dec: &mut melreq_snap::Dec<'_>,
+    ) -> Result<(), melreq_snap::SnapError> {
+        let n = dec.usize()?;
+        if n != self.channels.len() {
+            return Err(melreq_snap::SnapError::Invalid("channel count mismatch"));
+        }
+        for ch in &mut self.channels {
+            ch.load_state(dec)?;
+        }
+        for c in [
+            &mut self.stats.row_hits,
+            &mut self.stats.row_closed_misses,
+            &mut self.stats.row_conflicts,
+            &mut self.stats.reads,
+            &mut self.stats.writes,
+            &mut self.stats.bytes,
+        ] {
+            c.load_state(dec)?;
+        }
+        let emitted = dec.u64s()?;
+        if emitted.len() != self.refreshes_emitted.len() {
+            return Err(melreq_snap::SnapError::Invalid("refresh cursor count mismatch"));
+        }
+        self.refreshes_emitted = emitted;
+        Ok(())
+    }
+
     /// Data-bus utilization of `channel` over `elapsed` cycles.
     pub fn bus_utilization(&self, channel: usize, elapsed: Cycle) -> f64 {
         if elapsed == 0 {

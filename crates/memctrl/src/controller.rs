@@ -108,6 +108,47 @@ impl ControllerStats {
         }
         all.mean_or_zero()
     }
+
+    fn save_state(&self, enc: &mut melreq_snap::Enc) {
+        enc.usize(self.read_latency.len());
+        for t in &self.read_latency {
+            t.save_state(enc);
+        }
+        for c in
+            [&self.reads_served, &self.writes_served, &self.drain_entries, &self.grant_row_hits]
+        {
+            c.save_state(enc);
+        }
+        for c in &self.bytes_by_core {
+            c.save_state(enc);
+        }
+        self.queue_occupancy.save_state(enc);
+        self.grant_candidates.save_state(enc);
+    }
+
+    fn load_state(&mut self, dec: &mut melreq_snap::Dec<'_>) -> Result<(), melreq_snap::SnapError> {
+        let n = dec.usize()?;
+        if n != self.read_latency.len() {
+            return Err(melreq_snap::SnapError::Invalid("controller core count mismatch"));
+        }
+        for t in &mut self.read_latency {
+            t.load_state(dec)?;
+        }
+        for c in [
+            &mut self.reads_served,
+            &mut self.writes_served,
+            &mut self.drain_entries,
+            &mut self.grant_row_hits,
+        ] {
+            c.load_state(dec)?;
+        }
+        for c in &mut self.bytes_by_core {
+            c.load_state(dec)?;
+        }
+        self.queue_occupancy.load_state(dec)?;
+        self.grant_candidates.load_state(dec)?;
+        Ok(())
+    }
 }
 
 /// A completed read waiting to be delivered back to the cache hierarchy.
@@ -206,7 +247,14 @@ impl MemoryController {
     /// debug-build watchdog).
     pub fn attach_audit(&mut self, audit: AuditHandle) {
         self.dram.set_audit(audit.clone());
-        audit.emit(|| AuditEvent::CtrlConfig {
+        self.audit = audit;
+        self.emit_ctrl_config();
+    }
+
+    /// Announce the controller configuration (including the active
+    /// policy) on the audit stream.
+    fn emit_ctrl_config(&self) {
+        self.audit.emit(|| AuditEvent::CtrlConfig {
             cores: self.stats.read_latency.len(),
             policy: self.policy.name(),
             read_first: self.read_first,
@@ -215,12 +263,98 @@ impl MemoryController {
             drain_stop: self.cfg.drain_stop,
             overhead: self.cfg.overhead,
         });
-        self.audit = audit;
     }
 
     /// Name of the active policy.
     pub fn policy_name(&self) -> &'static str {
         self.policy.name()
+    }
+
+    /// Swap the scheduling policy (and its read-bypass setting) without
+    /// disturbing any other controller state — the warmup-sharing hook:
+    /// a system warmed under the canonical policy forks into one
+    /// controller per measured policy at the measurement boundary.
+    ///
+    /// A fresh `CtrlConfig` is emitted on the audit stream so an attached
+    /// checker switches its invariant model to the new policy mid-run
+    /// (the queue and device replicas are unaffected — only the
+    /// scheduling rules change).
+    pub fn set_policy(&mut self, policy: Box<dyn SchedulerPolicy>, read_first: bool) {
+        self.policy = policy;
+        self.read_first = read_first;
+        self.emit_ctrl_config();
+    }
+
+    /// Announce a memory-efficiency profile on the audit stream without
+    /// touching the policy — used when a policy whose tables were
+    /// programmed at construction is swapped in mid-run, so the checker
+    /// learns what the new tables hold.
+    pub fn announce_profile(&self, me: &[f64]) {
+        self.audit.emit(|| AuditEvent::ProfileUpdate { me: me.to_vec() });
+    }
+
+    /// Serialize all mutable controller state: request queue, DRAM
+    /// device, drain machinery, id allocator, in-flight completions,
+    /// statistics, and the active policy's decision state. The scratch
+    /// buffers (rebuilt from scratch every tick) and the audit handle (an
+    /// observer the host re-attaches) are deliberately not state.
+    pub fn save_state(&self, enc: &mut melreq_snap::Enc) {
+        self.queue.save_state(enc);
+        self.dram.save_state(enc);
+        enc.bool(self.read_first);
+        enc.bool(self.draining);
+        enc.u64(self.next_id);
+        // BinaryHeap iteration order is unspecified; sort so identical
+        // controller states serialize to identical bytes.
+        let mut comps: Vec<Completion> = self.completions.iter().map(|Reverse(c)| *c).collect();
+        comps.sort();
+        enc.usize(comps.len());
+        for c in &comps {
+            enc.u64(c.at);
+            enc.u64(c.id.0);
+            enc.u16(c.core.0);
+            enc.u64(c.addr);
+        }
+        self.stats.save_state(enc);
+        enc.str(self.policy.name());
+        self.policy.save_state(enc);
+    }
+
+    /// Restore state written by [`MemoryController::save_state`] into a
+    /// controller constructed with the same configuration and an
+    /// identically built policy (same kind and construction seed).
+    pub fn load_state(
+        &mut self,
+        dec: &mut melreq_snap::Dec<'_>,
+    ) -> Result<(), melreq_snap::SnapError> {
+        self.queue.load_state(dec)?;
+        self.dram.load_state(dec)?;
+        self.read_first = dec.bool()?;
+        self.draining = dec.bool()?;
+        self.next_id = dec.u64()?;
+        let n = dec.usize()?;
+        self.completions.clear();
+        for _ in 0..n {
+            let at = dec.u64()?;
+            let id = ReqId(dec.u64()?);
+            let core = CoreId(dec.u16()?);
+            let addr = dec.u64()?;
+            self.completions.push(Reverse(Completion { at, id, core, addr }));
+        }
+        self.stats.load_state(dec)?;
+        let name = dec.str()?;
+        if name != self.policy.name() {
+            return Err(melreq_snap::SnapError::Invalid("scheduler policy mismatch"));
+        }
+        self.policy.load_state(dec)?;
+        // An attached audit (including the debug-build watchdog) models
+        // the machine from reset; the restored state contains in-flight
+        // requests and device timings it never observed being built, so
+        // any audit is detached rather than left to report phantom
+        // violations. Audited runs always simulate fresh.
+        self.audit = AuditHandle::disabled();
+        self.dram.set_audit(AuditHandle::disabled());
+        Ok(())
     }
 
     /// Statistics gathered so far.

@@ -78,6 +78,22 @@ pub trait SchedulerPolicy: std::fmt::Debug + Send {
     /// rewriting the SRAM tables at a phase boundary); ME-oblivious
     /// policies ignore it.
     fn update_profile(&mut self, _me: &[f64]) {}
+
+    /// Serialize mutable scheduling state (RNG, rotation pointers,
+    /// priority tables) into a system checkpoint. Stateless policies keep
+    /// the no-op default; any policy carrying decision state that can be
+    /// live inside a snapshotted window must override both methods, or
+    /// restored runs will diverge from continued ones.
+    fn save_state(&self, _enc: &mut melreq_snap::Enc) {}
+
+    /// Restore state written by [`SchedulerPolicy::save_state`] into an
+    /// identically constructed policy.
+    fn load_state(
+        &mut self,
+        _dec: &mut melreq_snap::Dec<'_>,
+    ) -> Result<(), melreq_snap::SnapError> {
+        Ok(())
+    }
 }
 
 /// First-come first-serve: strictly by arrival order (Section 2, "FCFS").
@@ -143,6 +159,19 @@ impl SchedulerPolicy for RoundRobin {
 
     fn note_grant(&mut self, granted: &Candidate) {
         self.next = (granted.core.index() + 1) % self.cores;
+    }
+
+    fn save_state(&self, enc: &mut melreq_snap::Enc) {
+        enc.usize(self.next);
+    }
+
+    fn load_state(&mut self, dec: &mut melreq_snap::Dec<'_>) -> Result<(), melreq_snap::SnapError> {
+        let next = dec.usize()?;
+        if next >= self.cores {
+            return Err(melreq_snap::SnapError::Invalid("round-robin pointer out of range"));
+        }
+        self.next = next;
+        Ok(())
     }
 }
 
@@ -299,6 +328,26 @@ impl SchedulerPolicy for MeLreq {
     fn update_profile(&mut self, me: &[f64]) {
         assert_eq!(me.len(), self.table.cores(), "profile must cover all cores");
         self.table = PriorityTable::new(me);
+    }
+
+    fn save_state(&self, enc: &mut melreq_snap::Enc) {
+        // The table is saved entry-by-entry (not as the ME vector it was
+        // built from) so online-updated and ablation (linear-quantized)
+        // tables restore exactly.
+        self.table.save_state(enc);
+        for w in self.rng.state() {
+            enc.u64(w);
+        }
+    }
+
+    fn load_state(&mut self, dec: &mut melreq_snap::Dec<'_>) -> Result<(), melreq_snap::SnapError> {
+        self.table.load_state(dec)?;
+        let mut s = [0u64; 4];
+        for w in &mut s {
+            *w = dec.u64()?;
+        }
+        self.rng = SmallRng::from_state(s);
+        Ok(())
     }
 }
 

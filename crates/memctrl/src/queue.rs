@@ -191,6 +191,62 @@ impl RequestQueue {
         bound
     }
 
+    /// Serialize the queued requests. Per-core counters and per-channel
+    /// position lists are derived data and are rebuilt on load.
+    pub fn save_state(&self, enc: &mut melreq_snap::Enc) {
+        enc.usize(self.entries.len());
+        for r in &self.entries {
+            enc.u64(r.id.0);
+            enc.u16(r.core.0);
+            enc.u64(r.addr);
+            enc.usize(r.loc.channel);
+            enc.usize(r.loc.bank);
+            enc.u64(r.loc.row);
+            enc.u32(r.loc.column);
+            enc.bool(r.kind.is_read());
+            enc.u64(r.arrival);
+        }
+    }
+
+    /// Restore state written by [`RequestQueue::save_state`] into a queue
+    /// with the same capacity / core count / channel count, rebuilding the
+    /// occupancy counters and position indices.
+    pub fn load_state(
+        &mut self,
+        dec: &mut melreq_snap::Dec<'_>,
+    ) -> Result<(), melreq_snap::SnapError> {
+        let n = dec.usize()?;
+        if n > self.capacity {
+            return Err(melreq_snap::SnapError::Invalid("queue entries exceed capacity"));
+        }
+        self.entries.clear();
+        self.pending_reads.iter_mut().for_each(|c| *c = 0);
+        self.pending_writes.iter_mut().for_each(|c| *c = 0);
+        self.by_channel.iter_mut().for_each(Vec::clear);
+        for _ in 0..n {
+            let id = ReqId(dec.u64()?);
+            let core = CoreId(dec.u16()?);
+            let addr = dec.u64()?;
+            let loc = Location {
+                channel: dec.usize()?,
+                bank: dec.usize()?,
+                row: dec.u64()?,
+                column: dec.u32()?,
+            };
+            let kind = if dec.bool()? {
+                melreq_stats::types::AccessKind::Read
+            } else {
+                melreq_stats::types::AccessKind::Write
+            };
+            let arrival = dec.u64()?;
+            if core.index() >= self.pending_reads.len() || loc.channel >= self.by_channel.len() {
+                return Err(melreq_snap::SnapError::Invalid("request indices out of range"));
+            }
+            self.push(MemRequest { id, core, addr, loc, kind, arrival });
+        }
+        Ok(())
+    }
+
     /// Whether any queued request other than `excluding` targets the same
     /// channel/bank/row as `loc` — the controller's close-page signal: the
     /// row is kept open only while this returns true.

@@ -140,6 +140,38 @@ impl PriorityTable {
     pub fn storage_bits(&self) -> usize {
         self.cores() * MAX_PENDING as usize * 10
     }
+
+    /// Serialize every table entry plus the scale factor. Entries are
+    /// stored raw so both quantization modes (log-domain and linear)
+    /// round-trip identically.
+    pub fn save_state(&self, enc: &mut melreq_snap::Enc) {
+        enc.usize(self.tables.len());
+        for t in &self.tables {
+            for e in t {
+                enc.u16(e.raw());
+            }
+        }
+        enc.f64(self.scale);
+    }
+
+    /// Restore state written by [`PriorityTable::save_state`] into a
+    /// table built for the same core count.
+    pub fn load_state(
+        &mut self,
+        dec: &mut melreq_snap::Dec<'_>,
+    ) -> Result<(), melreq_snap::SnapError> {
+        let n = dec.usize()?;
+        if n != self.tables.len() {
+            return Err(melreq_snap::SnapError::Invalid("priority table core count mismatch"));
+        }
+        for t in &mut self.tables {
+            for e in t.iter_mut() {
+                *e = PriorityFixed::from_raw(dec.u16()?);
+            }
+        }
+        self.scale = dec.f64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -40,6 +40,20 @@ impl Counter {
         self.value = 0;
     }
 
+    /// Serialize into a checkpoint.
+    pub fn save_state(&self, enc: &mut melreq_snap::Enc) {
+        enc.u64(self.value);
+    }
+
+    /// Restore from a checkpoint.
+    pub fn load_state(
+        &mut self,
+        dec: &mut melreq_snap::Dec<'_>,
+    ) -> Result<(), melreq_snap::SnapError> {
+        self.value = dec.u64()?;
+        Ok(())
+    }
+
     /// This counter as a fraction of `denom` (0.0 when `denom` is zero).
     ///
     /// Convenience for hit-rate style reporting.

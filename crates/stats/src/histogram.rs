@@ -93,6 +93,29 @@ impl Histogram {
         self.sum += other.sum;
     }
 
+    /// Serialize into a checkpoint.
+    pub fn save_state(&self, enc: &mut melreq_snap::Enc) {
+        enc.u64s(&self.buckets);
+        enc.u64(self.count);
+        enc.u128(self.sum);
+    }
+
+    /// Restore from a checkpoint. The bucket count must match this
+    /// histogram's configuration (it is structural, not state).
+    pub fn load_state(
+        &mut self,
+        dec: &mut melreq_snap::Dec<'_>,
+    ) -> Result<(), melreq_snap::SnapError> {
+        let buckets = dec.u64s()?;
+        if buckets.len() != self.buckets.len() {
+            return Err(melreq_snap::SnapError::Invalid("histogram bucket count mismatch"));
+        }
+        self.buckets = buckets;
+        self.count = dec.u64()?;
+        self.sum = dec.u128()?;
+        Ok(())
+    }
+
     /// Reset all buckets.
     pub fn reset(&mut self) {
         self.buckets.iter_mut().for_each(|b| *b = 0);

@@ -68,6 +68,23 @@ impl LatencyTracker {
         &self.histogram
     }
 
+    /// Serialize into a checkpoint.
+    pub fn save_state(&self, enc: &mut melreq_snap::Enc) {
+        self.mean.save_state(enc);
+        self.minmax.save_state(enc);
+        self.histogram.save_state(enc);
+    }
+
+    /// Restore from a checkpoint.
+    pub fn load_state(
+        &mut self,
+        dec: &mut melreq_snap::Dec<'_>,
+    ) -> Result<(), melreq_snap::SnapError> {
+        self.mean.load_state(dec)?;
+        self.minmax.load_state(dec)?;
+        self.histogram.load_state(dec)
+    }
+
     /// Merge another tracker into this one.
     pub fn merge(&mut self, other: &LatencyTracker) {
         self.mean.merge(&other.mean);

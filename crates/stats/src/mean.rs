@@ -55,6 +55,22 @@ impl StreamingMean {
         self.count += other.count;
         self.sum += other.sum;
     }
+
+    /// Serialize into a checkpoint.
+    pub fn save_state(&self, enc: &mut melreq_snap::Enc) {
+        enc.u64(self.count);
+        enc.f64(self.sum);
+    }
+
+    /// Restore from a checkpoint.
+    pub fn load_state(
+        &mut self,
+        dec: &mut melreq_snap::Dec<'_>,
+    ) -> Result<(), melreq_snap::SnapError> {
+        self.count = dec.u64()?;
+        self.sum = dec.f64()?;
+        Ok(())
+    }
 }
 
 /// Streaming minimum and maximum.
@@ -84,6 +100,22 @@ impl StreamingMinMax {
     /// Largest sample seen, if any.
     pub fn max(&self) -> Option<f64> {
         self.max
+    }
+
+    /// Serialize into a checkpoint.
+    pub fn save_state(&self, enc: &mut melreq_snap::Enc) {
+        enc.opt_f64(self.min);
+        enc.opt_f64(self.max);
+    }
+
+    /// Restore from a checkpoint.
+    pub fn load_state(
+        &mut self,
+        dec: &mut melreq_snap::Dec<'_>,
+    ) -> Result<(), melreq_snap::SnapError> {
+        self.min = dec.opt_f64()?;
+        self.max = dec.opt_f64()?;
+        Ok(())
     }
 }
 

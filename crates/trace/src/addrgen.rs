@@ -90,6 +90,28 @@ impl AddressStream {
         &self.pattern
     }
 
+    /// Serialize the sampler's mutable state (cursor + RNG).
+    pub fn save_state(&self, enc: &mut melreq_snap::Enc) {
+        enc.u64(self.cursor);
+        for w in self.rng.state() {
+            enc.u64(w);
+        }
+    }
+
+    /// Restore state written by [`AddressStream::save_state`].
+    pub fn load_state(
+        &mut self,
+        dec: &mut melreq_snap::Dec<'_>,
+    ) -> Result<(), melreq_snap::SnapError> {
+        self.cursor = dec.u64()?;
+        let mut s = [0u64; 4];
+        for w in &mut s {
+            *w = dec.u64()?;
+        }
+        self.rng = rand::rngs::SmallRng::from_state(s);
+        Ok(())
+    }
+
     /// Sample the next data address.
     pub fn next_sample(&mut self) -> AddrSample {
         let ws = self.pattern.working_set;

@@ -60,6 +60,43 @@ impl OpKind {
             _ => None,
         }
     }
+
+    /// Serialize the op class and operands (for checkpointing in-flight
+    /// pipeline state).
+    pub fn save_state(&self, enc: &mut melreq_snap::Enc) {
+        match *self {
+            OpKind::IntAlu => enc.u8(0),
+            OpKind::IntMult => enc.u8(1),
+            OpKind::FpAlu => enc.u8(2),
+            OpKind::FpMult => enc.u8(3),
+            OpKind::Branch { mispredict } => {
+                enc.u8(4);
+                enc.bool(mispredict);
+            }
+            OpKind::Load { addr } => {
+                enc.u8(5);
+                enc.u64(addr);
+            }
+            OpKind::Store { addr } => {
+                enc.u8(6);
+                enc.u64(addr);
+            }
+        }
+    }
+
+    /// Decode an op class written by [`OpKind::save_state`].
+    pub fn load_state(dec: &mut melreq_snap::Dec<'_>) -> Result<Self, melreq_snap::SnapError> {
+        Ok(match dec.u8()? {
+            0 => OpKind::IntAlu,
+            1 => OpKind::IntMult,
+            2 => OpKind::FpAlu,
+            3 => OpKind::FpMult,
+            4 => OpKind::Branch { mispredict: dec.bool()? },
+            5 => OpKind::Load { addr: dec.u64()? },
+            6 => OpKind::Store { addr: dec.u64()? },
+            t => return Err(melreq_snap::SnapError::BadTag(t)),
+        })
+    }
 }
 
 /// One micro-op of the synthetic program.
@@ -74,6 +111,23 @@ pub struct MicroOp {
     /// Small distances serialize execution (low ILP); 0 or large
     /// distances expose parallelism.
     pub dep_dist: u16,
+}
+
+impl MicroOp {
+    /// Serialize this op (for checkpointing pipeline latches that hold a
+    /// staged op).
+    pub fn save_state(&self, enc: &mut melreq_snap::Enc) {
+        enc.u64(self.pc);
+        self.kind.save_state(enc);
+        enc.u16(self.dep_dist);
+    }
+
+    /// Decode an op written by [`MicroOp::save_state`].
+    pub fn load_state(dec: &mut melreq_snap::Dec<'_>) -> Result<Self, melreq_snap::SnapError> {
+        let pc = dec.u64()?;
+        let kind = OpKind::load_state(dec)?;
+        Ok(MicroOp { pc, kind, dep_dist: dec.u16()? })
+    }
 }
 
 /// The address regions a program will touch, so a simulator can
@@ -105,6 +159,16 @@ pub trait InstrStream {
     fn warm_hints(&self) -> Option<WarmHints> {
         None
     }
+
+    /// Serialize the stream's mutable generation state — cursor
+    /// positions and RNG state, not construction parameters — so a
+    /// system checkpoint can resume the op sequence exactly where it
+    /// left off.
+    fn save_state(&self, enc: &mut melreq_snap::Enc);
+
+    /// Restore state written by [`InstrStream::save_state`] into a
+    /// stream constructed with identical parameters.
+    fn load_state(&mut self, dec: &mut melreq_snap::Dec<'_>) -> Result<(), melreq_snap::SnapError>;
 }
 
 #[cfg(test)]

@@ -63,6 +63,27 @@ impl InstrStream for PhasedStream {
     fn warm_hints(&self) -> Option<WarmHints> {
         self.phases.iter().filter_map(|(s, _)| s.warm_hints()).max_by_key(|h| h.data_len)
     }
+
+    fn save_state(&self, enc: &mut melreq_snap::Enc) {
+        enc.usize(self.current);
+        enc.u64(self.remaining);
+        for (s, _) in &self.phases {
+            s.save_state(enc);
+        }
+    }
+
+    fn load_state(&mut self, dec: &mut melreq_snap::Dec<'_>) -> Result<(), melreq_snap::SnapError> {
+        let current = dec.usize()?;
+        if current >= self.phases.len() {
+            return Err(melreq_snap::SnapError::Invalid("phase index out of range"));
+        }
+        self.current = current;
+        self.remaining = dec.u64()?;
+        for (s, _) in &mut self.phases {
+            s.load_state(dec)?;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -219,6 +219,27 @@ impl InstrStream for SyntheticStream {
             code_len: self.params.code_footprint,
         })
     }
+
+    fn save_state(&self, enc: &mut melreq_snap::Enc) {
+        self.addrs.save_state(enc);
+        for w in self.rng.state() {
+            enc.u64(w);
+        }
+        enc.u64(self.pc);
+        enc.u16(self.ops_since_load);
+    }
+
+    fn load_state(&mut self, dec: &mut melreq_snap::Dec<'_>) -> Result<(), melreq_snap::SnapError> {
+        self.addrs.load_state(dec)?;
+        let mut s = [0u64; 4];
+        for w in &mut s {
+            *w = dec.u64()?;
+        }
+        self.rng = SmallRng::from_state(s);
+        self.pc = dec.u64()?;
+        self.ops_since_load = dec.u16()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

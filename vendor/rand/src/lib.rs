@@ -119,6 +119,19 @@ pub mod rngs {
         }
     }
 
+    impl SmallRng {
+        /// The raw xoshiro256++ state words, for checkpointing. Restoring
+        /// them with [`SmallRng::from_state`] resumes the stream exactly.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuild a generator from state captured by [`SmallRng::state`].
+        pub fn from_state(s: [u64; 4]) -> Self {
+            SmallRng { s }
+        }
+    }
+
     impl RngCore for SmallRng {
         fn next_u64(&mut self) -> u64 {
             let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
