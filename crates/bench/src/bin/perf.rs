@@ -15,6 +15,13 @@
 //! `--tick-exact` forces the cycle-by-cycle reference loop instead of the
 //! event-driven fast-forward kernel, which is exactly what a "before"
 //! measurement of the fast-forward optimization looks like.
+//!
+//! `--guard PATH` compares this run's aggregate sim-cycles/s against the
+//! `aggregate_sim_cycles_per_sec` recorded in a previous artifact (e.g.
+//! the committed `BENCH_sim.json`) and exits nonzero if it falls below
+//! `--guard-ratio` (default 0.25) of it — a loose floor that tolerates
+//! slower CI runners but catches order-of-magnitude regressions, such as
+//! the trace instrumentation ever costing something while disabled.
 
 use melreq_core::experiment::{ExperimentOptions, ProfileCache};
 use melreq_core::{System, SystemConfig};
@@ -60,17 +67,38 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
+/// Pull one numeric field out of a perf artifact without a JSON parser.
+fn read_json_number(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
 fn main() {
     let (opts, rest) = melreq_bench::parse_opts(ExperimentOptions::default());
     let mut out_path = "BENCH_sim.json".to_string();
     let mut mix_name = "4MEM-1".to_string();
     let mut tick_exact = false;
+    let mut guard_path: Option<String> = None;
+    let mut guard_ratio = 0.25_f64;
     let mut it = rest.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--out" => out_path = it.next().expect("--out PATH"),
             "--mix" => mix_name = it.next().expect("--mix NAME"),
             "--tick-exact" => tick_exact = true,
+            "--guard" => guard_path = Some(it.next().expect("--guard PATH")),
+            "--guard-ratio" => {
+                guard_ratio = it
+                    .next()
+                    .expect("--guard-ratio R")
+                    .parse()
+                    .expect("--guard-ratio must be a number in (0, 1]");
+            }
             a => panic!("unknown flag {a}"),
         }
     }
@@ -168,4 +196,28 @@ fn main() {
         peak_rss_bytes().map_or_else(|| "n/a".to_string(), |b| format!("{} MiB", b / (1 << 20))),
         out_path
     );
+
+    if let Some(path) = guard_path {
+        let baseline = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read guard baseline {path}: {e}"));
+        let base_cps = read_json_number(&baseline, "aggregate_sim_cycles_per_sec")
+            .unwrap_or_else(|| panic!("no aggregate_sim_cycles_per_sec in {path}"));
+        let floor = base_cps * guard_ratio;
+        if agg_cps < floor {
+            eprintln!(
+                "perf guard FAILED: {:.2} Mcycles/s is below {:.0}% of the \
+                 {:.2} Mcycles/s baseline in {path}",
+                agg_cps / 1e6,
+                guard_ratio * 100.0,
+                base_cps / 1e6
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "perf guard OK: {:.2} Mcycles/s >= {:.0}% of the {:.2} Mcycles/s baseline ({path})",
+            agg_cps / 1e6,
+            guard_ratio * 100.0,
+            base_cps / 1e6
+        );
+    }
 }

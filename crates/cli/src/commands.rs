@@ -1,16 +1,17 @@
 //! Command implementations. Each command renders to a `String` so it can
 //! be tested without capturing stdout.
 
-use crate::parse::{Command, PolicySpec, USAGE};
+use crate::parse::{Command, ObsArgs, PolicySpec, USAGE};
 use melreq_core::experiment::{
-    run_grid_with_store, run_mix, run_mix_audited, run_mix_custom, run_mix_group,
-    ExperimentOptions, MixResult, ProfileCache,
+    run_grid_with_store, run_mix, run_mix_audited, run_mix_audited_observed, run_mix_custom,
+    run_mix_group, run_mix_observed, ExperimentOptions, MixResult, ObserveOptions, ProfileCache,
 };
 use melreq_core::profile::profile_app;
 use melreq_core::report::{format_table, pct_over};
 use melreq_core::{CheckpointStore, SystemConfig};
 use melreq_memctrl::ext::{FairQueueing, StallTimeFair};
 use melreq_memctrl::policy::PolicyKind;
+use melreq_obs::{export_chrome_json, series, Collector, ObsConfig, RuleTotals};
 use melreq_workloads::{mix_by_name, mixes_for_cores, spec2000, Mix, MixKind, SliceKind};
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -74,24 +75,105 @@ fn cmd_profile(apps: &[String], opts: &ExperimentOptions) -> Result<String, Stri
     Ok(format_table(&["app", "class", "IPC_1", "BW (GB/s)", "ME"], &rows))
 }
 
+/// Translate CLI observability flags into core `ObserveOptions`.
+/// `force_sampling` (the `trace` command) turns the epoch sampler on
+/// even when neither `--sample-epoch` nor `--series` was given.
+fn observe_options(obs: &ObsArgs, force_sampling: bool) -> ObserveOptions {
+    let sample_epoch =
+        obs.sample_epoch.or_else(|| (force_sampling || obs.series_out.is_some()).then_some(10_000));
+    ObserveOptions {
+        ring_capacity: obs.trace_cap.unwrap_or(ObsConfig::default().ring_capacity),
+        sample_epoch,
+    }
+}
+
+/// Write the requested trace/series artifacts from a finished collector
+/// and return the report lines describing them.
+fn obs_outputs(c: &Collector, obs: &ObsArgs) -> Result<String, String> {
+    let mut out = String::new();
+    if let Some(path) = &obs.trace_out {
+        let json = export_chrome_json(c);
+        std::fs::write(path, &json).map_err(|e| format!("cannot write {path}: {e}"))?;
+        let ring = c.ring();
+        let _ = writeln!(
+            out,
+            "trace: {} events ({} dropped) -> {path}  [load in ui.perfetto.dev]",
+            ring.len(),
+            ring.dropped()
+        );
+    }
+    if let Some(path) = &obs.series_out {
+        let rows = c.series();
+        let (channels, cores) = c.geometry();
+        let body = if path.ends_with(".json") {
+            series::render_json(rows)
+        } else {
+            series::render_csv(rows, cores, channels)
+        };
+        std::fs::write(path, &body).map_err(|e| format!("cannot write {path}: {e}"))?;
+        let _ = writeln!(out, "series: {} epoch rows -> {path}", rows.len());
+    }
+    Ok(out)
+}
+
+/// Rule-attribution table: for each observed policy, how many grants each
+/// scheduler rule decided and its share of that policy's total.
+fn render_provenance(totals: &[(String, RuleTotals)]) -> String {
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for (policy, t) in totals {
+        let total = t.total().max(1);
+        for (rule, n) in t.nonzero() {
+            rows.push(vec![
+                policy.clone(),
+                rule.name().to_string(),
+                n.to_string(),
+                format!("{:.1}%", n as f64 / total as f64 * 100.0),
+            ]);
+        }
+    }
+    if rows.is_empty() {
+        return "\nprovenance: no grant decisions observed\n".to_string();
+    }
+    format!(
+        "\ndecision provenance (winning rule per grant):\n{}",
+        format_table(&["policy", "rule", "grants", "share"], &rows)
+    )
+}
+
 fn cmd_run(
     mix_name: &str,
     spec: &PolicySpec,
     opts: &ExperimentOptions,
     audit: bool,
+    obs: &ObsArgs,
 ) -> Result<String, String> {
     let mix = try_mix(mix_name)?;
     let cache = ProfileCache::new();
-    let (r, report) = if audit {
+    let (r, report, collector) = if obs.any() {
+        let PolicySpec::Paper(kind) = spec else {
+            return Err("trace/series/provenance flags cover the paper's policies; \
+                        FQ/STF are externally built and bypass the instrumented \
+                        scheduler"
+                .to_string());
+        };
+        let observe = observe_options(obs, false);
+        if audit {
+            let (r, report, c) = run_mix_audited_observed(&mix, kind, opts, &observe, &cache);
+            (r, Some(report), Some(c))
+        } else {
+            let (r, c) = run_mix_observed(&mix, kind, opts, &observe, &cache);
+            (r, None, Some(c))
+        }
+    } else if audit {
         let PolicySpec::Paper(kind) = spec else {
             return Err("--audit checks the paper's policies; FQ/STF are externally \
                         built and expose no invariants to verify"
                 .to_string());
         };
         let (r, report) = run_mix_audited(&mix, kind, opts, &cache);
-        (r, Some(report))
+        (r, Some(report), None)
     } else {
-        (run_with_spec(&mix, spec, opts, &cache), None)
+        (run_with_spec(&mix, spec, opts, &cache), None, None)
     };
     let mut out = format!(
         "{} under {}: SMT speedup {:.3}, unfairness {:.3}, mean read latency {:.0} cycles\n\n",
@@ -131,6 +213,30 @@ fn cmd_run(
         mix.cores(),
         secs
     ));
+    // Controller-level view of the measured window: streaming means plus
+    // the per-channel traffic breakdown.
+    let _ = writeln!(
+        out,
+        "\ncontroller: mean queue occupancy {:.2}, mean grant candidates {:.2}",
+        r.queue_occupancy_mean, r.grant_candidates_mean
+    );
+    if !r.channel_traffic.is_empty() {
+        let rows: Vec<Vec<String>> = r
+            .channel_traffic
+            .iter()
+            .enumerate()
+            .map(|(ch, t)| {
+                vec![
+                    format!("ch {ch}"),
+                    t.reads.to_string(),
+                    t.writes.to_string(),
+                    t.row_hits.to_string(),
+                    format!("{:.1}%", t.hit_rate() * 100.0),
+                ]
+            })
+            .collect();
+        out.push_str(&format_table(&["channel", "reads", "writes", "row hits", "hit rate"], &rows));
+    }
     if r.timed_out {
         out.push_str("\nWARNING: run hit the cycle safety net before completing\n");
     }
@@ -143,6 +249,50 @@ fn cmd_run(
             report.events, report.stream_hash
         ));
     }
+    if let Some(c) = collector {
+        let c = c.lock().expect("obs collector poisoned");
+        out.push_str(&obs_outputs(&c, obs)?);
+        if obs.provenance {
+            out.push_str(&render_provenance(c.rule_totals()));
+        }
+    }
+    Ok(out)
+}
+
+/// `melreq trace`: run one mix under one paper policy with the full
+/// observability stack on, write the Chrome/Perfetto trace (plus the
+/// optional epoch series), and summarize what was captured.
+fn cmd_trace(
+    mix_name: &str,
+    spec: &PolicySpec,
+    out_path: &str,
+    obs: &ObsArgs,
+    opts: &ExperimentOptions,
+) -> Result<String, String> {
+    let PolicySpec::Paper(kind) = spec else {
+        return Err("trace covers the paper's policies; FQ/STF are externally built \
+                    and bypass the instrumented scheduler"
+            .to_string());
+    };
+    let mix = try_mix(mix_name)?;
+    let cache = ProfileCache::new();
+    let observe = observe_options(obs, true);
+    let (r, collector) = run_mix_observed(&mix, kind, opts, &observe, &cache);
+    let c = collector.lock().expect("obs collector poisoned");
+    let mut effective = obs.clone();
+    effective.trace_out = Some(out_path.to_string());
+    let mut out = format!(
+        "{} under {}: {} sim cycles observed, {} scheduler decisions\n",
+        mix.name,
+        r.policy,
+        r.sim_cycles,
+        c.decisions_seen()
+    );
+    out.push_str(&obs_outputs(&c, &effective)?);
+    if r.timed_out {
+        out.push_str("\nWARNING: run hit the cycle safety net before completing\n");
+    }
+    out.push_str(&render_provenance(c.rule_totals()));
     Ok(out)
 }
 
@@ -184,11 +334,30 @@ fn cmd_compare(
     mix_name: &str,
     specs: &[PolicySpec],
     opts: &ExperimentOptions,
+    provenance: bool,
 ) -> Result<String, String> {
     let mix = try_mix(mix_name)?;
     let cache = ProfileCache::new();
-    let results: Vec<MixResult> =
-        specs.iter().map(|s| run_with_spec(&mix, s, opts, &cache)).collect();
+    let mut totals: Vec<(String, RuleTotals)> = Vec::new();
+    let results: Vec<MixResult> = if provenance {
+        let mut rs = Vec::new();
+        for s in specs {
+            let PolicySpec::Paper(kind) = s else {
+                return Err("--provenance covers the paper's policies; drop fq/stf \
+                            from --policies"
+                    .to_string());
+            };
+            let (r, c) = run_mix_observed(&mix, kind, opts, &ObserveOptions::default(), &cache);
+            let c = c.lock().expect("obs collector poisoned");
+            if let Some((name, t)) = c.active_rule_totals() {
+                totals.push((name.to_string(), t.clone()));
+            }
+            rs.push(r);
+        }
+        rs
+    } else {
+        specs.iter().map(|s| run_with_spec(&mix, s, opts, &cache)).collect()
+    };
     let base = results[0].smt_speedup;
     let rows: Vec<Vec<String>> = results
         .iter()
@@ -202,12 +371,16 @@ fn cmd_compare(
             ]
         })
         .collect();
-    Ok(format!(
+    let mut out = format!(
         "{} ({}):\n\n{}",
         mix.name,
         mix.apps().iter().map(|a| a.name).collect::<Vec<_>>().join(", "),
         format_table(&["policy", "speedup", "vs first", "read lat", "unfairness"], &rows)
-    ))
+    );
+    if provenance {
+        out.push_str(&render_provenance(&totals));
+    }
+    Ok(out)
 }
 
 fn cmd_sweep(kind: &str, specs: &[PolicySpec], opts: &ExperimentOptions) -> Result<String, String> {
@@ -630,9 +803,12 @@ pub fn run_command(cmd: &Command) -> Result<String, String> {
         Command::Help => Ok(USAGE.to_string()),
         Command::Config { cores } => Ok(SystemConfig::paper(*cores, PolicyKind::MeLreq).describe()),
         Command::Profile { apps, opts } => cmd_profile(apps, opts),
-        Command::Run { mix, policy, opts, audit } => cmd_run(mix, policy, opts, *audit),
+        Command::Run { mix, policy, opts, audit, obs } => cmd_run(mix, policy, opts, *audit, obs),
+        Command::Trace { mix, policy, out, obs, opts } => cmd_trace(mix, policy, out, obs, opts),
         Command::Audit { mix, policy, opts } => cmd_audit(mix, policy, opts),
-        Command::Compare { mix, policies, opts } => cmd_compare(mix, policies, opts),
+        Command::Compare { mix, policies, opts, provenance } => {
+            cmd_compare(mix, policies, opts, *provenance)
+        }
         Command::Sweep { kind, policies, opts } => cmd_sweep(kind, policies, opts),
         Command::Reproduce { smoke, no_checkpoint, store, out, opts } => {
             cmd_reproduce(*smoke, *no_checkpoint, store.as_deref(), out, opts)
@@ -663,7 +839,13 @@ mod tests {
 
     #[test]
     fn unknown_mix_is_an_error() {
-        let e = cmd_run("9MEM-9", &PolicySpec::Paper(PolicyKind::HfRf), &quick(), false);
+        let e = cmd_run(
+            "9MEM-9",
+            &PolicySpec::Paper(PolicyKind::HfRf),
+            &quick(),
+            false,
+            &ObsArgs::default(),
+        );
         assert!(e.is_err());
         assert!(e.unwrap_err().contains("Table 3"));
     }
@@ -689,10 +871,17 @@ mod tests {
 
     #[test]
     fn audited_run_reports_clean() {
-        let s = cmd_run("2MEM-1", &PolicySpec::Paper(PolicyKind::MeLreq), &quick(), true).unwrap();
+        let s = cmd_run(
+            "2MEM-1",
+            &PolicySpec::Paper(PolicyKind::MeLreq),
+            &quick(),
+            true,
+            &ObsArgs::default(),
+        )
+        .unwrap();
         assert!(s.contains("0 violations"));
         assert!(s.contains("stream hash"));
-        let e = cmd_run("2MEM-1", &PolicySpec::Fq, &quick(), true);
+        let e = cmd_run("2MEM-1", &PolicySpec::Fq, &quick(), true, &ObsArgs::default());
         assert!(e.is_err(), "--audit must reject externally built policies");
     }
 
@@ -731,13 +920,99 @@ mod tests {
 
     #[test]
     fn run_and_compare_work_end_to_end() {
-        let s = cmd_run("2MEM-1", &PolicySpec::Paper(PolicyKind::MeLreq), &quick(), false).unwrap();
+        let s = cmd_run(
+            "2MEM-1",
+            &PolicySpec::Paper(PolicyKind::MeLreq),
+            &quick(),
+            false,
+            &ObsArgs::default(),
+        )
+        .unwrap();
         assert!(s.contains("wupwise"));
         assert!(s.contains("SMT speedup"));
-        let s =
-            cmd_compare("2MEM-1", &[PolicySpec::Paper(PolicyKind::HfRf), PolicySpec::Fq], &quick())
-                .unwrap();
+        assert!(s.contains("mean queue occupancy"), "controller stats missing:\n{s}");
+        assert!(s.contains("hit rate"), "per-channel traffic table missing:\n{s}");
+        let s = cmd_compare(
+            "2MEM-1",
+            &[PolicySpec::Paper(PolicyKind::HfRf), PolicySpec::Fq],
+            &quick(),
+            false,
+        )
+        .unwrap();
         assert!(s.contains("FQ"));
         assert!(s.contains("+0.0%")); // baseline row
+    }
+
+    #[test]
+    fn trace_writes_valid_chrome_json_and_series() {
+        let dir = std::env::temp_dir().join(format!("melreq-trace-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("trace.json");
+        let series = dir.join("series.csv");
+        let obs = ObsArgs {
+            series_out: Some(series.to_str().unwrap().to_string()),
+            sample_epoch: Some(2_000),
+            ..ObsArgs::default()
+        };
+        let s = cmd_trace(
+            "2MEM-1",
+            &PolicySpec::Paper(PolicyKind::MeLreq),
+            trace.to_str().unwrap(),
+            &obs,
+            &quick(),
+        )
+        .unwrap();
+        assert!(s.contains("ui.perfetto.dev"), "summary must point at the viewer:\n{s}");
+        assert!(s.contains("decision provenance"), "provenance table missing:\n{s}");
+        let json = std::fs::read_to_string(&trace).unwrap();
+        assert!(json.contains("\"traceEvents\""), "Chrome trace_event envelope missing");
+        assert!(json.contains("\"ph\": \"X\""), "no duration slices emitted");
+        let csv = std::fs::read_to_string(&series).unwrap();
+        assert!(csv.lines().count() > 1, "series CSV must have header + rows:\n{csv}");
+        assert!(csv.starts_with("cycle,"), "series CSV header:\n{csv}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trace_rejects_external_policies() {
+        let e = cmd_trace("2MEM-1", &PolicySpec::Fq, "/dev/null", &ObsArgs::default(), &quick());
+        assert!(e.is_err());
+    }
+
+    #[test]
+    fn run_with_obs_flags_writes_trace_and_reports_provenance() {
+        let dir = std::env::temp_dir().join(format!("melreq-runobs-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("run-trace.json");
+        let obs = ObsArgs {
+            trace_out: Some(trace.to_str().unwrap().to_string()),
+            provenance: true,
+            ..ObsArgs::default()
+        };
+        let s =
+            cmd_run("2MEM-1", &PolicySpec::Paper(PolicyKind::HfRf), &quick(), true, &obs).unwrap();
+        assert!(s.contains("0 violations"), "audit and tracing must coexist:\n{s}");
+        assert!(s.contains("decision provenance"), "provenance missing:\n{s}");
+        assert!(trace.exists());
+        let e = cmd_run("2MEM-1", &PolicySpec::Fq, &quick(), false, &obs);
+        assert!(e.is_err(), "obs flags must reject externally built policies");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compare_provenance_renders_rule_totals() {
+        let s = cmd_compare(
+            "2MEM-1",
+            &[PolicySpec::Paper(PolicyKind::HfRf), PolicySpec::Paper(PolicyKind::MeLreq)],
+            &quick(),
+            true,
+        )
+        .unwrap();
+        assert!(s.contains("decision provenance"), "provenance table missing:\n{s}");
+        assert!(s.contains("ME-LREQ"), "both policies must appear:\n{s}");
+        let e = cmd_compare("2MEM-1", &[PolicySpec::Fq], &quick(), true);
+        assert!(e.is_err(), "--provenance must reject externally built policies");
     }
 }

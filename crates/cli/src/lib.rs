@@ -6,6 +6,7 @@
 //! ```text
 //! melreq profile [--apps swim,mcf] [--instructions N]
 //! melreq run <MIX> [--policy me-lreq] [--instructions N] [--warmup N]
+//! melreq trace <MIX> [--policy me-lreq] [--out trace.json] [--series s.csv]
 //! melreq compare <MIX> [--policies hf-rf,rr,lreq,me,me-lreq,fq,stf]
 //! melreq sweep [--kind mem|mix] [--policies ...]
 //! melreq config [--cores N]
@@ -15,4 +16,4 @@ pub mod commands;
 pub mod parse;
 
 pub use commands::run_command;
-pub use parse::{parse_args, Command, PolicySpec};
+pub use parse::{parse_args, Command, ObsArgs, PolicySpec};

@@ -52,6 +52,33 @@ impl PolicySpec {
     }
 }
 
+/// Observability flags (`--trace`, `--series`, `--sample-epoch`,
+/// `--trace-cap`, `--provenance`) accepted by `run` and `trace`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ObsArgs {
+    /// Perfetto trace output path (`--trace PATH`; `trace` uses `--out`).
+    pub trace_out: Option<String>,
+    /// Epoch time-series output path: CSV, or JSON when the path ends
+    /// in `.json`.
+    pub series_out: Option<String>,
+    /// Sampling epoch in cycles (`--sample-epoch N`).
+    pub sample_epoch: Option<u64>,
+    /// Trace-ring capacity override in events (`--trace-cap N`).
+    pub trace_cap: Option<usize>,
+    /// Render per-policy decision-provenance totals.
+    pub provenance: bool,
+}
+
+impl ObsArgs {
+    /// Whether any observability output was requested.
+    pub fn any(&self) -> bool {
+        self.trace_out.is_some()
+            || self.series_out.is_some()
+            || self.sample_epoch.is_some()
+            || self.provenance
+    }
+}
+
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
@@ -72,6 +99,22 @@ pub enum Command {
         opts: ExperimentOptions,
         /// Attach the protocol/invariant checker to the run.
         audit: bool,
+        /// Observability outputs (trace/series/provenance).
+        obs: ObsArgs,
+    },
+    /// Run one mix with the trace collector attached and export a
+    /// Chrome/Perfetto trace (plus optional epoch time-series).
+    Trace {
+        /// Table 3 mix name.
+        mix: String,
+        /// Scheduling policy.
+        policy: PolicySpec,
+        /// Perfetto JSON output path.
+        out: String,
+        /// Observability outputs (series path, epoch, ring capacity).
+        obs: ObsArgs,
+        /// Harness options.
+        opts: ExperimentOptions,
     },
     /// Run one mix twice under the independent protocol/invariant checker
     /// and verify clean reports plus identical event-stream hashes.
@@ -91,6 +134,8 @@ pub enum Command {
         policies: Vec<PolicySpec>,
         /// Harness options.
         opts: ExperimentOptions,
+        /// Append per-policy decision-provenance totals.
+        provenance: bool,
     },
     /// Core-count scaling sweep (2/4/8) of average improvement.
     Sweep {
@@ -134,8 +179,12 @@ melreq — memory access scheduling simulator (ICPP'08 ME-LREQ reproduction)
 
 USAGE:
   melreq profile [--apps a,b,...] [common options]
-  melreq run <MIX> [--policy NAME] [--audit] [common options]
-  melreq compare <MIX> [--policies n1,n2,...] [common options]
+  melreq run <MIX> [--policy NAME] [--audit] [trace options]
+             [common options]
+  melreq trace <MIX> [--policy NAME] [--out PATH] [trace options]
+               [common options]
+  melreq compare <MIX> [--policies n1,n2,...] [--provenance]
+                 [common options]
   melreq sweep [--kind mem|mix|all] [--policies n1,n2,...] [common options]
   melreq audit [MIX] [--policy NAME] [common options]
   melreq reproduce [--smoke] [--no-checkpoint] [--store DIR] [--out PATH]
@@ -153,6 +202,42 @@ COMMON OPTIONS:
   --slice K          evaluation slice index           (default 0)
   --tick-exact       disable the fast-forward kernel and simulate every
                      cycle (debug/baseline knob; results are identical)
+
+COMMAND FLAGS:
+  profile   --apps a,b,...      subset of SPEC2000 names (default all 26)
+  run       --policy NAME       scheduling policy       (default me-lreq)
+            --audit             attach the protocol/invariant checker
+  compare   --policies n1,...   policy list, first = baseline
+            --provenance        per-policy rule-attribution totals
+  sweep     --kind mem|mix|all  workload class          (default mem)
+            --policies n1,...   policy list, first = baseline
+  reproduce --smoke             reduced CI grid + fork-vs-fresh gate
+            --no-checkpoint     no store, no in-group warm-up sharing
+            --store DIR         checkpoint-store directory
+                                (default MELREQ_STORE, else .melreq-store)
+            --out PATH          sweep artifact          (BENCH_sweep.json)
+  config    --cores N           core count to describe  (default 4)
+
+TRACE OPTIONS (run and trace):
+  --trace PATH       write a Chrome/Perfetto trace_event JSON of the run
+                     (`trace` writes one always; its path is --out,
+                     default trace.json)
+  --series PATH      write the epoch time-series (CSV, or JSON when the
+                     path ends in .json); implies sampling
+  --sample-epoch N   sampling epoch in cycles (default 10000 when a
+                     series is requested or under `trace`)
+  --trace-cap N      trace-ring capacity in events (default 1048576,
+                     oldest events drop beyond it)
+  --provenance       print which scheduler rule won each grant,
+                     aggregated per policy
+
+TRACING:
+  `melreq trace` runs a mix with the deterministic trace collector on
+  the audit tap: request arrivals, reconstructed ACT/RD/WR/PRE commands,
+  grants (with the winning rule and beaten runner-up), refreshes and
+  per-core memory-stall spans, exported as Chrome trace_event JSON —
+  open it at https://ui.perfetto.dev. Timestamps are sim-cycles (shown
+  as µs). Tracing is inert: results are bit-identical with it on or off.
 
 REPRODUCING:
   `melreq reproduce` runs the whole paper — Table 2 profiles, the
@@ -197,7 +282,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut smoke = false;
     let mut no_checkpoint = false;
     let mut store: Option<String> = None;
-    let mut out = "BENCH_sweep.json".to_string();
+    let mut out: Option<String> = None;
+    let mut obs = ObsArgs::default();
 
     while let Some(a) = it.next() {
         let mut val = |name: &str| -> Result<&String, String> {
@@ -231,7 +317,22 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             "--smoke" => smoke = true,
             "--no-checkpoint" => no_checkpoint = true,
             "--store" => store = Some(val("--store")?.clone()),
-            "--out" => out = val("--out")?.clone(),
+            "--out" => out = Some(val("--out")?.clone()),
+            "--trace" => obs.trace_out = Some(val("--trace")?.clone()),
+            "--series" => obs.series_out = Some(val("--series")?.clone()),
+            "--sample-epoch" => {
+                let n: u64 =
+                    val("--sample-epoch")?.parse().map_err(|e| format!("--sample-epoch: {e}"))?;
+                if n == 0 {
+                    return Err("--sample-epoch must be positive".to_string());
+                }
+                obs.sample_epoch = Some(n);
+            }
+            "--trace-cap" => {
+                obs.trace_cap =
+                    Some(val("--trace-cap")?.parse().map_err(|e| format!("--trace-cap: {e}"))?);
+            }
+            "--provenance" => obs.provenance = true,
             "--kind" => kind = val("--kind")?.clone(),
             "--cores" => {
                 cores = val("--cores")?.parse().map_err(|e| format!("--cores: {e}"))?;
@@ -261,6 +362,18 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 policy: policy.unwrap_or(PolicySpec::Paper(PolicyKind::MeLreq)),
                 opts,
                 audit,
+                obs,
+            })
+        }
+        "trace" => {
+            let mix =
+                positional.first().ok_or("trace needs a workload mix name (e.g. 4MEM-1)")?.clone();
+            Ok(Command::Trace {
+                mix,
+                policy: policy.unwrap_or(PolicySpec::Paper(PolicyKind::MeLreq)),
+                out: out.unwrap_or_else(|| "trace.json".to_string()),
+                obs,
+                opts,
             })
         }
         "audit" => {
@@ -278,7 +391,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 .ok_or("compare needs a workload mix name (e.g. 4MEM-1)")?
                 .clone();
             let policies = if policies.is_empty() { default_policies() } else { policies };
-            Ok(Command::Compare { mix, policies, opts })
+            Ok(Command::Compare { mix, policies, opts, provenance: obs.provenance })
         }
         "sweep" => {
             let policies = if policies.is_empty() { default_policies() } else { policies };
@@ -287,7 +400,13 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             }
             Ok(Command::Sweep { kind, policies, opts })
         }
-        "reproduce" => Ok(Command::Reproduce { smoke, no_checkpoint, store, out, opts }),
+        "reproduce" => Ok(Command::Reproduce {
+            smoke,
+            no_checkpoint,
+            store,
+            out: out.unwrap_or_else(|| "BENCH_sweep.json".to_string()),
+            opts,
+        }),
         "config" => Ok(Command::Config { cores }),
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(format!("unknown command '{other}' (try `melreq help`)")),
@@ -313,11 +432,12 @@ mod tests {
         let c = parse_args(&v(&["run", "4MEM-1", "--policy", "lreq", "--instructions", "5000"]))
             .unwrap();
         match c {
-            Command::Run { mix, policy, opts, audit } => {
+            Command::Run { mix, policy, opts, audit, obs } => {
                 assert_eq!(mix, "4MEM-1");
                 assert_eq!(policy, PolicySpec::Paper(PolicyKind::Lreq));
                 assert_eq!(opts.instructions, 5000);
                 assert!(!audit);
+                assert!(!obs.any());
             }
             c => panic!("wrong command {c:?}"),
         }
@@ -391,6 +511,95 @@ mod tests {
                 assert_eq!(out, "BENCH_sweep.json");
             }
             c => panic!("wrong command {c:?}"),
+        }
+    }
+
+    #[test]
+    fn trace_and_obs_flags_parse() {
+        let c = parse_args(&v(&[
+            "trace",
+            "4MEM-1",
+            "--policy",
+            "hf-rf",
+            "--out",
+            "t.json",
+            "--series",
+            "s.csv",
+            "--sample-epoch",
+            "5000",
+            "--trace-cap",
+            "1024",
+        ]))
+        .unwrap();
+        match c {
+            Command::Trace { mix, policy, out, obs, .. } => {
+                assert_eq!(mix, "4MEM-1");
+                assert_eq!(policy.name(), "HF-RF");
+                assert_eq!(out, "t.json");
+                assert_eq!(obs.series_out.as_deref(), Some("s.csv"));
+                assert_eq!(obs.sample_epoch, Some(5000));
+                assert_eq!(obs.trace_cap, Some(1024));
+            }
+            c => panic!("wrong command {c:?}"),
+        }
+        // Defaults: out path, policy.
+        match parse_args(&v(&["trace", "2MEM-1"])).unwrap() {
+            Command::Trace { out, policy, obs, .. } => {
+                assert_eq!(out, "trace.json");
+                assert_eq!(policy.name(), "ME-LREQ");
+                assert!(!obs.provenance);
+            }
+            c => panic!("wrong command {c:?}"),
+        }
+        // run accepts the same flags; --sample-epoch 0 is rejected.
+        match parse_args(&v(&["run", "2MEM-1", "--trace", "x.json", "--provenance"])).unwrap() {
+            Command::Run { obs, .. } => {
+                assert_eq!(obs.trace_out.as_deref(), Some("x.json"));
+                assert!(obs.provenance && obs.any());
+            }
+            c => panic!("wrong command {c:?}"),
+        }
+        assert!(parse_args(&v(&["run", "2MEM-1", "--sample-epoch", "0"])).is_err());
+        match parse_args(&v(&["compare", "2MEM-1", "--provenance"])).unwrap() {
+            Command::Compare { provenance, .. } => assert!(provenance),
+            c => panic!("wrong command {c:?}"),
+        }
+        assert!(parse_args(&v(&["trace"])).is_err());
+    }
+
+    #[test]
+    fn unknown_flag_errors_name_the_flag() {
+        let e = parse_args(&v(&["run", "4MEM-1", "--frobnicate"])).unwrap_err();
+        assert!(e.contains("--frobnicate"), "error must name the flag: {e}");
+        let e = parse_args(&v(&["trace", "4MEM-1", "--sample-epoch"])).unwrap_err();
+        assert!(e.contains("--sample-epoch"), "error must name the flag: {e}");
+    }
+
+    #[test]
+    fn usage_documents_every_flag() {
+        for flag in [
+            "--instructions",
+            "--warmup",
+            "--profile",
+            "--slice",
+            "--tick-exact",
+            "--apps",
+            "--policy",
+            "--policies",
+            "--audit",
+            "--smoke",
+            "--no-checkpoint",
+            "--store",
+            "--out",
+            "--kind",
+            "--cores",
+            "--trace",
+            "--series",
+            "--sample-epoch",
+            "--trace-cap",
+            "--provenance",
+        ] {
+            assert!(USAGE.contains(flag), "USAGE must document {flag}");
         }
     }
 

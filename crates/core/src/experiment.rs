@@ -34,6 +34,7 @@ use crate::store::CheckpointStore;
 use crate::system::{RunOutcome, System};
 use crate::SystemConfig;
 use melreq_memctrl::policy::PolicyKind;
+use melreq_obs::{Collector, Fanout, ObsConfig};
 use melreq_stats::fairness::FairnessReport;
 use melreq_stats::types::Cycle;
 use melreq_trace::InstrStream;
@@ -191,6 +192,12 @@ pub struct MixResult {
     pub read_latency: Vec<f64>,
     /// Mean read latency over all cores (Figure 4 left).
     pub mean_read_latency: f64,
+    /// Mean request-queue occupancy at scheduling decisions.
+    pub queue_occupancy_mean: f64,
+    /// Mean candidate-set size per grant.
+    pub grant_candidates_mean: f64,
+    /// Per-channel grant breakdown (reads/writes/row-hits).
+    pub channel_traffic: Vec<melreq_memctrl::ChannelTraffic>,
     /// Profiled ME values used to program the priority table.
     pub me: Vec<f64>,
     /// Whether the run aborted on the cycle safety net.
@@ -304,6 +311,9 @@ fn finish_result(
         ipc_single,
         read_latency: out.read_latency,
         mean_read_latency: out.mean_read_latency,
+        queue_occupancy_mean: out.queue_occupancy_mean,
+        grant_candidates_mean: out.grant_candidates_mean,
+        channel_traffic: out.channel_traffic,
         me,
         timed_out: out.timed_out,
         sim_cycles,
@@ -430,6 +440,98 @@ pub fn run_mix_audited(
     let report = auditor.lock().expect("auditor poisoned").report();
     let result = finish_result(mix, policy.name(), me, ipc_single, out, sys.now(), wall, false);
     (result, report)
+}
+
+/// Observability knobs of an observed run ([`run_mix_observed`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObserveOptions {
+    /// Trace-ring capacity in events (drop-oldest beyond it).
+    pub ring_capacity: usize,
+    /// Epoch of the time-series sampler in cycles; `None` disables it.
+    pub sample_epoch: Option<Cycle>,
+}
+
+impl Default for ObserveOptions {
+    fn default() -> Self {
+        ObserveOptions { ring_capacity: ObsConfig::default().ring_capacity, sample_epoch: None }
+    }
+}
+
+/// Run one mix under one policy with the [`melreq_obs`] collector
+/// attached: the audit tap feeds the trace ring and decision-provenance
+/// classifier, and (when `observe.sample_epoch` is set) the system
+/// pushes one epoch row per boundary into the collector's time series.
+///
+/// Observed runs simulate fresh (no checkpoint restore), exactly like
+/// [`run_mix_audited`], and the observers are inert — the returned
+/// [`MixResult`] is bit-identical to [`run_mix`] on the same inputs,
+/// which the determinism tests pin for every paper policy.
+pub fn run_mix_observed(
+    mix: &Mix,
+    policy: &PolicyKind,
+    opts: &ExperimentOptions,
+    observe: &ObserveOptions,
+    cache: &ProfileCache,
+) -> (MixResult, Arc<Mutex<Collector>>) {
+    let (result, _, collector) = observed_run(mix, policy, opts, observe, cache, false);
+    (result, collector)
+}
+
+/// [`run_mix_observed`] with the protocol/invariant auditor listening on
+/// the same tap (one emission, fanned out to both sinks): returns the
+/// result, the audit report, and the collector.
+pub fn run_mix_audited_observed(
+    mix: &Mix,
+    policy: &PolicyKind,
+    opts: &ExperimentOptions,
+    observe: &ObserveOptions,
+    cache: &ProfileCache,
+) -> (MixResult, melreq_audit::AuditReport, Arc<Mutex<Collector>>) {
+    let (result, report, collector) = observed_run(mix, policy, opts, observe, cache, true);
+    (result, report.expect("audited run produces a report"), collector)
+}
+
+fn observed_run(
+    mix: &Mix,
+    policy: &PolicyKind,
+    opts: &ExperimentOptions,
+    observe: &ObserveOptions,
+    cache: &ProfileCache,
+    audited: bool,
+) -> (MixResult, Option<melreq_audit::AuditReport>, Arc<Mutex<Collector>>) {
+    let cores = mix.cores();
+    let me: Vec<f64> = (0..cores).map(|i| cache.profile(mix, i, opts).me).collect();
+    let ipc_single: Vec<f64> = (0..cores).map(|i| cache.ipc_single(mix, i, opts)).collect();
+    let mut sys = canonical_system(mix, opts);
+
+    let collector =
+        Arc::new(Mutex::new(Collector::new(ObsConfig { ring_capacity: observe.ring_capacity })));
+    let obs_sink: Arc<Mutex<dyn melreq_audit::AuditSink>> = collector.clone();
+    let auditor = audited.then(|| {
+        Arc::new(Mutex::new(melreq_audit::Auditor::new(melreq_audit::AuditorConfig::default())))
+    });
+    let handle = match &auditor {
+        Some(a) => {
+            let audit_sink: Arc<Mutex<dyn melreq_audit::AuditSink>> = a.clone();
+            Fanout::handle(vec![audit_sink, obs_sink], true)
+        }
+        None => melreq_audit::AuditHandle::from_shared(obs_sink, true),
+    };
+    sys.attach_audit(handle);
+    if let Some(epoch) = observe.sample_epoch {
+        sys.attach_sampler(collector.clone(), epoch);
+    }
+
+    let started = std::time::Instant::now();
+    sys.prepare_window(opts.warmup, opts.instructions);
+    let _ = sys.run_to_boundary(opts.max_cycles());
+    sys.swap_policy(policy, &me);
+    let out = sys.run_window(opts.max_cycles());
+    let wall = started.elapsed();
+    collector.lock().expect("obs collector poisoned").finish();
+    let report = auditor.map(|a| a.lock().expect("auditor poisoned").report());
+    let result = finish_result(mix, policy.name(), me, ipc_single, out, sys.now(), wall, false);
+    (result, report, collector)
 }
 
 /// Results of one mix across several policies, with the first policy

@@ -28,7 +28,10 @@ pub mod store;
 pub mod system;
 
 pub use config::SystemConfig;
-pub use experiment::{run_mix, run_mix_audited, ExperimentOptions, MixResult, PolicyComparison};
+pub use experiment::{
+    run_mix, run_mix_audited, run_mix_audited_observed, run_mix_observed, ExperimentOptions,
+    MixResult, ObserveOptions, PolicyComparison,
+};
 pub use hierarchy::Hierarchy;
 pub use profile::{profile_app, profile_mix_apps, AppProfile};
 pub use store::{CheckpointStore, StoreStats};

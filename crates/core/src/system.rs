@@ -4,9 +4,11 @@ use crate::config::SystemConfig;
 use crate::hierarchy::Hierarchy;
 use melreq_cpu::{Core, CoreToken};
 use melreq_dram::DramSystem;
-use melreq_memctrl::MemoryController;
+use melreq_memctrl::{ChannelTraffic, MemoryController};
+use melreq_obs::{ChannelSample, Collector, CoreSample};
 use melreq_stats::types::{CoreId, Cycle};
 use melreq_trace::InstrStream;
+use std::sync::{Arc, Mutex};
 
 /// N cores + cache hierarchy + memory controller + DRAM, advanced in
 /// lock-step by a single CPU-cycle loop.
@@ -32,6 +34,24 @@ pub struct System {
     /// measurement boundary): `Some(0)` when no warm-up was requested,
     /// `None` while warm-up is still in progress.
     stats_reset_at: Option<Cycle>,
+    /// Epoch time-series sampler ([`System::attach_sampler`]): `None`
+    /// (the default) costs nothing on the cycle loop.
+    sampler: Option<SamplerState>,
+}
+
+/// The attached [`melreq_obs::Collector`] plus its sampling schedule.
+/// Like the online-ME estimator, epoch boundaries are honoured exactly
+/// in both kernels: the fast-forward path clamps its jumps so the
+/// boundary cycle is always explicitly ticked, which keeps the sampled
+/// rows bit-identical to a cycle-exact run.
+#[derive(Debug)]
+struct SamplerState {
+    collector: Arc<Mutex<Collector>>,
+    epoch: Cycle,
+    next_at: Cycle,
+    /// Reusable row buffers (allocation-free steady-state sampling).
+    core_buf: Vec<CoreSample>,
+    chan_buf: Vec<ChannelSample>,
 }
 
 /// State of the run-time memory-efficiency estimator backing
@@ -83,6 +103,13 @@ pub struct RunOutcome {
     pub mean_read_latency: f64,
     /// Per-core bytes moved at the DRAM interface.
     pub bytes_by_core: Vec<u64>,
+    /// Mean request-queue occupancy, sampled at scheduling decisions
+    /// (see [`melreq_memctrl::ControllerStats::queue_occupancy`]).
+    pub queue_occupancy_mean: f64,
+    /// Mean candidate-set size per grant (how many requests competed).
+    pub grant_candidates_mean: f64,
+    /// Per-channel grant breakdown: reads, writes and row hits.
+    pub channel_traffic: Vec<ChannelTraffic>,
     /// Whether the run hit the safety cycle limit before all targets.
     pub timed_out: bool,
 }
@@ -146,6 +173,7 @@ impl System {
             tick_exact: false,
             scratch: Vec::new(),
             stats_reset_at: None,
+            sampler: None,
         }
     }
 
@@ -184,6 +212,7 @@ impl System {
             tick_exact: false,
             scratch: Vec::new(),
             stats_reset_at: None,
+            sampler: None,
         }
     }
 
@@ -206,6 +235,28 @@ impl System {
         if let Some(me) = self.me_profile.clone() {
             audit.emit(|| melreq_audit::AuditEvent::ProfileUpdate { me });
         }
+    }
+
+    /// Attach the epoch time-series sampler of a [`melreq_obs::Collector`]
+    /// (usually the same collector that is already listening on the audit
+    /// tap, see [`System::attach_audit`]): every `epoch` cycles the
+    /// per-core commit/pending state and per-channel queue/bus state are
+    /// pushed into the collector as one [`melreq_obs::EpochRow`].
+    ///
+    /// Sampling is an observer: it reads statistics the simulator
+    /// maintains anyway and cannot change the run. Epoch boundaries fire
+    /// at exactly the same cycles under both kernels (the fast-forward
+    /// path clamps its jumps, as it does for the online-ME estimator), so
+    /// the sampled series is kernel-independent.
+    pub fn attach_sampler(&mut self, collector: Arc<Mutex<Collector>>, epoch: Cycle) {
+        assert!(epoch > 0, "sampling epoch must be positive");
+        self.sampler = Some(SamplerState {
+            collector,
+            epoch,
+            next_at: self.now + epoch,
+            core_buf: Vec::with_capacity(self.cores.len()),
+            chan_buf: Vec::new(),
+        });
     }
 
     /// The configuration in use.
@@ -245,6 +296,41 @@ impl System {
         if self.online.is_some() {
             self.refresh_online_profile();
         }
+        if self.sampler.is_some() {
+            self.take_epoch_sample();
+        }
+    }
+
+    /// Push one epoch row into the attached collector when the sampling
+    /// boundary has been reached (no-op otherwise).
+    fn take_epoch_sample(&mut self) {
+        let Some(st) = self.sampler.as_mut() else {
+            return;
+        };
+        if self.now < st.next_at {
+            return;
+        }
+        st.next_at = self.now + st.epoch;
+        let ctrl = self.hier.controller();
+        st.core_buf.clear();
+        for (i, core) in self.cores.iter().enumerate() {
+            st.core_buf.push(CoreSample {
+                committed: core.committed(),
+                pending_reads: ctrl.pending_reads(CoreId::from(i)),
+            });
+        }
+        st.chan_buf.clear();
+        for ch in 0..ctrl.channels() {
+            st.chan_buf.push(ChannelSample {
+                queue_depth: ctrl.channel_queue_depth(ch),
+                busy_cycles: ctrl.dram().bus_busy_cycles(ch),
+            });
+        }
+        st.collector.lock().expect("obs collector poisoned").sample_epoch(
+            self.now,
+            &st.core_buf,
+            &st.chan_buf,
+        );
     }
 
     /// Conservative lower bound on the next cycle at which any component
@@ -382,6 +468,11 @@ impl System {
             if let Some(st) = &self.online {
                 jump_to = jump_to.min(st.next_at - 1);
             }
+            // Same contract for the epoch sampler: its boundary cycle
+            // must be explicitly ticked so rows land on schedule.
+            if let Some(st) = &self.sampler {
+                jump_to = jump_to.min(st.next_at - 1);
+            }
             if jump_to > self.now {
                 self.skip_to(jump_to);
                 return true;
@@ -449,6 +540,9 @@ impl System {
                 .iter()
                 .map(melreq_stats::Counter::get)
                 .collect(),
+            queue_occupancy_mean: ctrl_stats.queue_occupancy.mean_or_zero(),
+            grant_candidates_mean: ctrl_stats.grant_candidates.mean_or_zero(),
+            channel_traffic: ctrl_stats.per_channel.clone(),
             timed_out,
         }
     }
@@ -544,9 +638,12 @@ impl System {
     /// DRAM geometry, policy kind, seed, streams) as the system the
     /// snapshot was taken from; what was *mutable* — pipeline contents,
     /// cache arrays, queues, timers, RNG streams, statistics, the clock —
-    /// is overwritten wholesale. The audit handle and kernel mode
-    /// (`tick_exact`) are deliberately untouched: both are observers of
-    /// the simulation, not part of its state.
+    /// is overwritten wholesale. The kernel mode (`tick_exact`) is
+    /// deliberately untouched — an observer of the simulation, not part
+    /// of its state. Observers that would misreport across the
+    /// discontinuity detach: the controller drops its audit tap (see
+    /// [`MemoryController::load_state`]) and any attached epoch sampler
+    /// is dropped likewise.
     pub fn load_snapshot(&mut self, bytes: &[u8]) -> Result<(), melreq_snap::SnapError> {
         let payload = melreq_snap::open(bytes)?;
         let mut dec = melreq_snap::Dec::new(payload);
@@ -582,6 +679,10 @@ impl System {
             return Err(melreq_snap::SnapError::Invalid("trailing snapshot bytes"));
         }
         self.now = now;
+        // A sampler attached before the restore would emit rows whose
+        // deltas straddle the discontinuity; re-attach after restoring
+        // to observe the resumed run.
+        self.sampler = None;
         Ok(())
     }
 }

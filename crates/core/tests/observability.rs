@@ -1,0 +1,89 @@
+//! Observability-inertness regression: attaching the trace collector,
+//! the epoch sampler, or both must not perturb the simulation.
+//!
+//! The observed run fans the same audit tap out to both the auditor and
+//! the collector, so the strongest available check is free: the FNV-1a
+//! hash over the full audit event stream must match the un-observed run
+//! bit for bit, along with every paper metric. A collector that ever
+//! fed back into scheduling (e.g. by consuming the ME-LREQ tie-break
+//! RNG) would shift at least one grant and fail the hash comparison.
+
+use melreq_core::experiment::{ObserveOptions, ProfileCache};
+use melreq_core::{run_mix_audited, run_mix_audited_observed, run_mix_observed, ExperimentOptions};
+use melreq_memctrl::policy::PolicyKind;
+use melreq_workloads::mix_by_name;
+use proptest::prelude::*;
+
+#[test]
+fn tracing_and_sampling_are_inert_for_every_policy() {
+    let mix = mix_by_name("2MEM-1");
+    let observe = ObserveOptions { sample_epoch: Some(2_000), ..ObserveOptions::default() };
+    for policy in &PolicyKind::figure2_set() {
+        let name = policy.name();
+        // Fresh caches per arm: shared profile state must not be what
+        // makes the two runs agree.
+        let opts = ExperimentOptions::quick();
+        let plain_cache = ProfileCache::new();
+        let (plain, plain_audit) = run_mix_audited(&mix, policy, &opts, &plain_cache);
+        let obs_cache = ProfileCache::new();
+        let (observed, obs_audit, collector) =
+            run_mix_audited_observed(&mix, policy, &opts, &observe, &obs_cache);
+
+        assert!(plain_audit.is_clean(), "[{name}] plain audit:\n{}", plain_audit.render());
+        assert!(obs_audit.is_clean(), "[{name}] observed audit:\n{}", obs_audit.render());
+        assert_eq!(
+            plain_audit.stream_hash, obs_audit.stream_hash,
+            "[{name}] tracing changed the audit event stream"
+        );
+        assert_eq!(plain_audit.events, obs_audit.events, "[{name}] event counts diverged");
+        assert_eq!(plain.sim_cycles, observed.sim_cycles, "[{name}] cycle counts diverged");
+        assert_eq!(plain.ipc_multi, observed.ipc_multi, "[{name}] per-core IPC diverged");
+        assert_eq!(plain.read_latency, observed.read_latency, "[{name}] read latency diverged");
+        assert_eq!(plain.smt_speedup, observed.smt_speedup, "[{name}] SMT speedup diverged");
+        assert_eq!(plain.unfairness, observed.unfairness, "[{name}] unfairness diverged");
+
+        let c = collector.lock().expect("collector");
+        assert!(c.decisions_seen() > 0, "[{name}] collector saw no decisions");
+        assert!(!c.series().is_empty(), "[{name}] sampler produced no rows");
+        let (active, totals) = c.active_rule_totals().expect("active policy totals");
+        assert_eq!(active, name, "[{name}] provenance bucketed under the wrong policy");
+        assert!(totals.total() > 0, "[{name}] no grants attributed to a rule");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The epoch sampler reads identical state under the fast-forward
+    /// and cycle-exact kernels: every `EpochRow` — IPC, pending reads,
+    /// ME, queue depth, bus utilization, traffic rates — must match
+    /// bit for bit at every sample point, for any epoch length and any
+    /// paper policy. This pins the `step_window` clamp that forces the
+    /// fast-forward kernel to tick sampling boundaries explicitly.
+    #[test]
+    fn epoch_series_is_kernel_independent(
+        epoch in 500u64..6_000,
+        policy_pick in 0usize..5,
+    ) {
+        let mix = mix_by_name("2MEM-1");
+        let policy = PolicyKind::figure2_set()[policy_pick].clone();
+        let observe = ObserveOptions { sample_epoch: Some(epoch), ..ObserveOptions::default() };
+        let run = |tick_exact: bool| {
+            let cache = ProfileCache::new();
+            let opts = ExperimentOptions { tick_exact, ..ExperimentOptions::quick() };
+            run_mix_observed(&mix, &policy, &opts, &observe, &cache)
+        };
+        let (fast, fast_c) = run(false);
+        let (exact, exact_c) = run(true);
+        prop_assert_eq!(fast.sim_cycles, exact.sim_cycles, "cycle counts diverged");
+        let fast_c = fast_c.lock().expect("collector");
+        let exact_c = exact_c.lock().expect("collector");
+        prop_assert!(!fast_c.series().is_empty(), "sampler produced no rows");
+        prop_assert_eq!(
+            fast_c.series(),
+            exact_c.series(),
+            "epoch series diverged between kernels (epoch {})",
+            epoch
+        );
+    }
+}

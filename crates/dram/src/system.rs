@@ -303,6 +303,13 @@ impl DramSystem {
         Ok(())
     }
 
+    /// Cumulative data-bus busy cycles of `channel` (the numerator of
+    /// [`DramSystem::bus_utilization`]; the epoch sampler differences
+    /// this between samples).
+    pub fn bus_busy_cycles(&self, channel: usize) -> Cycle {
+        self.channels[channel].bus_busy_cycles()
+    }
+
     /// Data-bus utilization of `channel` over `elapsed` cycles.
     pub fn bus_utilization(&self, channel: usize, elapsed: Cycle) -> f64 {
         if elapsed == 0 {

@@ -54,6 +54,30 @@ impl Default for ControllerConfig {
     }
 }
 
+/// Per-channel grant counts (the channel-resolved view of
+/// `reads_served`/`writes_served`/`grant_row_hits`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChannelTraffic {
+    /// Reads granted on this channel.
+    pub reads: u64,
+    /// Writes granted on this channel.
+    pub writes: u64,
+    /// Grants that were row-buffer hits on this channel.
+    pub row_hits: u64,
+}
+
+impl ChannelTraffic {
+    /// Row-hit fraction of this channel's grants (0.0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.reads + self.writes;
+        if total == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / total as f64
+        }
+    }
+}
+
 /// Aggregate and per-core controller statistics.
 #[derive(Debug, Clone)]
 pub struct ControllerStats {
@@ -84,10 +108,12 @@ pub struct ControllerStats {
     /// Candidate-set size at each grant (how many requests competed for
     /// the channel); sampled at the same points as `queue_occupancy`.
     pub grant_candidates: melreq_stats::StreamingMean,
+    /// Per-channel grant breakdown (reads/writes/row-hits).
+    pub per_channel: Vec<ChannelTraffic>,
 }
 
 impl ControllerStats {
-    fn new(cores: usize) -> Self {
+    fn new(cores: usize, channels: usize) -> Self {
         ControllerStats {
             read_latency: vec![LatencyTracker::new(); cores],
             reads_served: Counter::new(),
@@ -97,6 +123,7 @@ impl ControllerStats {
             bytes_by_core: vec![Counter::new(); cores],
             queue_occupancy: melreq_stats::StreamingMean::new(),
             grant_candidates: melreq_stats::StreamingMean::new(),
+            per_channel: vec![ChannelTraffic::default(); channels],
         }
     }
 
@@ -124,6 +151,12 @@ impl ControllerStats {
         }
         self.queue_occupancy.save_state(enc);
         self.grant_candidates.save_state(enc);
+        enc.usize(self.per_channel.len());
+        for t in &self.per_channel {
+            enc.u64(t.reads);
+            enc.u64(t.writes);
+            enc.u64(t.row_hits);
+        }
     }
 
     fn load_state(&mut self, dec: &mut melreq_snap::Dec<'_>) -> Result<(), melreq_snap::SnapError> {
@@ -147,6 +180,15 @@ impl ControllerStats {
         }
         self.queue_occupancy.load_state(dec)?;
         self.grant_candidates.load_state(dec)?;
+        let n = dec.usize()?;
+        if n != self.per_channel.len() {
+            return Err(melreq_snap::SnapError::Invalid("controller channel count mismatch"));
+        }
+        for t in &mut self.per_channel {
+            t.reads = dec.u64()?;
+            t.writes = dec.u64()?;
+            t.row_hits = dec.u64()?;
+        }
         Ok(())
     }
 }
@@ -208,8 +250,9 @@ impl MemoryController {
     ) -> Self {
         assert!(cfg.drain_stop < cfg.drain_start, "drain hysteresis must be decreasing");
         assert!(cfg.drain_start <= cfg.buffer_entries, "drain threshold beyond buffer");
+        let channels = dram.geometry().channels;
         let mut ctrl = MemoryController {
-            queue: RequestQueue::new(cfg.buffer_entries, cores, dram.geometry().channels),
+            queue: RequestQueue::new(cfg.buffer_entries, cores, channels),
             bank_ready: Vec::with_capacity(dram.geometry().banks_per_channel()),
             cfg,
             dram,
@@ -218,7 +261,7 @@ impl MemoryController {
             draining: false,
             next_id: 0,
             completions: BinaryHeap::new(),
-            stats: ControllerStats::new(cores),
+            stats: ControllerStats::new(cores, channels),
             cand_buf: Vec::with_capacity(cfg.buffer_entries),
             cand_pos: Vec::with_capacity(cfg.buffer_entries),
             cand_ids: Vec::with_capacity(cfg.buffer_entries),
@@ -366,7 +409,8 @@ impl MemoryController {
     /// DRAM state are untouched — only the counters restart.
     pub fn reset_stats(&mut self) {
         let cores = self.stats.read_latency.len();
-        self.stats = ControllerStats::new(cores);
+        let channels = self.stats.per_channel.len();
+        self.stats = ControllerStats::new(cores, channels);
     }
 
     /// Push fresh per-core memory-efficiency estimates into the policy
@@ -390,6 +434,17 @@ impl MemoryController {
     /// throttling and for tests).
     pub fn pending_reads(&self, core: CoreId) -> u32 {
         self.queue.pending_reads(core)
+    }
+
+    /// Logical channel count of the DRAM behind the controller.
+    pub fn channels(&self) -> usize {
+        self.dram.geometry().channels
+    }
+
+    /// Requests currently queued for `channel` (the epoch sampler's
+    /// queue-depth signal).
+    pub fn channel_queue_depth(&self, channel: usize) -> usize {
+        self.queue.channel_positions(channel).len()
     }
 
     /// True when no requests are queued and no completions are pending.
@@ -637,6 +692,14 @@ impl MemoryController {
         });
         if hit_before {
             self.stats.grant_row_hits.inc();
+        }
+        let traffic = &mut self.stats.per_channel[req.loc.channel];
+        if hit_before {
+            traffic.row_hits += 1;
+        }
+        match req.kind {
+            AccessKind::Read => traffic.reads += 1,
+            AccessKind::Write => traffic.writes += 1,
         }
         self.stats.bytes_by_core[req.core.index()].add(melreq_stats::CACHE_LINE_BYTES);
         match req.kind {

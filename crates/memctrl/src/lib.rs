@@ -28,7 +28,7 @@ pub mod queue;
 pub mod request;
 pub mod table;
 
-pub use controller::{ControllerConfig, ControllerStats, MemoryController};
+pub use controller::{ChannelTraffic, ControllerConfig, ControllerStats, MemoryController};
 pub use ext::{FairQueueing, StallTimeFair};
 pub use policy::{PolicyKind, SchedulerPolicy};
 pub use queue::RequestQueue;

@@ -1,0 +1,761 @@
+//! The trace collector: an [`AuditSink`] that turns the audit tap
+//! stream into the structured trace, the provenance totals, and the
+//! event-derived half of the epoch time-series.
+//!
+//! The collector is attached through the exact same
+//! `melreq_audit::AuditHandle` tap the protocol checker uses, so the
+//! instrumented crates need no new hooks and the disabled path stays a
+//! single `Option` check. Everything here is read-only observation:
+//! the collector never calls back into the simulator and never re-runs
+//! a policy (see `provenance`), which is what makes tracing provably
+//! inert.
+
+use melreq_audit::{AuditEvent, AuditHandle, AuditSink, GrantOutcome, TimingParams};
+use melreq_memctrl::PriorityTable;
+use melreq_stats::types::Cycle;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::{Arc, Mutex};
+
+use crate::event::{CmdKind, TraceEvent, TraceRing};
+use crate::provenance::{classify, fix_rank, me_rank, PolicyView, Rule, RuleTotals, RunnerUp};
+use crate::series::EpochRow;
+
+/// Collector configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObsConfig {
+    /// Structured-trace ring capacity (drop-oldest beyond this).
+    pub ring_capacity: usize,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        // ~1M events ≈ a few hundred thousand grants: plenty for any
+        // plot while bounding memory to tens of MB.
+        ObsConfig { ring_capacity: 1 << 20 }
+    }
+}
+
+/// Per-core sample handed in by the system at an epoch boundary.
+#[derive(Debug, Clone, Copy)]
+pub struct CoreSample {
+    /// Cumulative committed instructions.
+    pub committed: u64,
+    /// Demand reads currently pending at the controller.
+    pub pending_reads: u32,
+}
+
+/// Per-channel sample handed in by the system at an epoch boundary.
+#[derive(Debug, Clone, Copy)]
+pub struct ChannelSample {
+    /// Requests currently queued for the channel.
+    pub queue_depth: usize,
+    /// Cumulative data-bus busy cycles.
+    pub busy_cycles: Cycle,
+}
+
+/// Reconstructs memory-bound spans per core: a span is open while the
+/// core has ≥ 1 demand read outstanding at the controller.
+#[derive(Debug, Default)]
+struct CoreTrack {
+    inflight: u64,
+    open_since: Option<Cycle>,
+    /// Data-return times of granted reads, popped as time advances.
+    completions: BinaryHeap<Reverse<Cycle>>,
+}
+
+/// Per-channel grant counts accumulated between epoch samples.
+#[derive(Debug, Default, Clone)]
+struct ChanAccum {
+    reads: u64,
+    writes: u64,
+    row_hits: u64,
+}
+
+/// The deterministic trace/telemetry collector (see crate docs).
+#[derive(Debug)]
+pub struct Collector {
+    ring: TraceRing,
+    // --- configuration knowledge replicated from the tap stream ---
+    timing: TimingParams,
+    channels: usize,
+    cores: usize,
+    policy: String,
+    read_first: bool,
+    me: Vec<f64>,
+    table: Option<PriorityTable>,
+    fixed_rank: Option<Vec<u32>>,
+    rr_next: usize,
+    // --- provenance ---
+    pending_rule: Option<(u64, Rule, Option<RunnerUp>)>,
+    totals: Vec<(String, RuleTotals)>,
+    decisions_seen: u64,
+    // --- core memory-bound span reconstruction ---
+    tracks: Vec<CoreTrack>,
+    // --- epoch accumulators (event-derived half of the series) ---
+    chan_accum: Vec<ChanAccum>,
+    prev_committed: Vec<u64>,
+    prev_busy: Vec<Cycle>,
+    last_sample_at: Cycle,
+    series: Vec<EpochRow>,
+}
+
+impl Collector {
+    /// A collector with the given configuration.
+    pub fn new(cfg: ObsConfig) -> Self {
+        Collector {
+            ring: TraceRing::new(cfg.ring_capacity),
+            timing: TimingParams::default(),
+            channels: 0,
+            cores: 0,
+            policy: String::new(),
+            read_first: true,
+            me: Vec::new(),
+            table: None,
+            fixed_rank: None,
+            rr_next: 0,
+            pending_rule: None,
+            totals: Vec::new(),
+            decisions_seen: 0,
+            tracks: Vec::new(),
+            chan_accum: Vec::new(),
+            prev_committed: Vec::new(),
+            prev_busy: Vec::new(),
+            last_sample_at: 0,
+            series: Vec::new(),
+        }
+    }
+
+    /// A collector with default configuration, wrapped for sharing with
+    /// an [`AuditHandle`]. Returns the handle to attach and the shared
+    /// collector to read results back from after the run.
+    pub fn shared(cfg: ObsConfig) -> (AuditHandle, Arc<Mutex<Collector>>) {
+        let collector = Arc::new(Mutex::new(Collector::new(cfg)));
+        let sink: Arc<Mutex<dyn AuditSink>> = collector.clone();
+        (AuditHandle::from_shared(sink, true), collector)
+    }
+
+    // ---- results ----
+
+    /// The structured event trace (most recent window, oldest first).
+    pub fn ring(&self) -> &TraceRing {
+        &self.ring
+    }
+
+    /// Epoch time-series rows collected so far.
+    pub fn series(&self) -> &[EpochRow] {
+        &self.series
+    }
+
+    /// Per-policy rule-attribution totals, in first-seen order. The
+    /// warm-up policy and the measured policy get separate buckets.
+    pub fn rule_totals(&self) -> &[(String, RuleTotals)] {
+        &self.totals
+    }
+
+    /// Rule totals for the policy active at the end of the run (the
+    /// measured policy after a warm-up swap), if any decision was seen.
+    pub fn active_rule_totals(&self) -> Option<(&str, &RuleTotals)> {
+        self.totals
+            .iter()
+            .find(|(name, _)| *name == self.policy)
+            .map(|(name, t)| (name.as_str(), t))
+    }
+
+    /// `Decision` events observed (0 when the tap had decisions off).
+    pub fn decisions_seen(&self) -> u64 {
+        self.decisions_seen
+    }
+
+    /// Device geometry as reported by `DramConfig` (channels, cores).
+    pub fn geometry(&self) -> (usize, usize) {
+        (self.channels, self.cores)
+    }
+
+    /// DRAM timing as reported by `DramConfig`.
+    pub fn timing(&self) -> TimingParams {
+        self.timing
+    }
+
+    /// Close still-open memory-bound spans. Call once after the run,
+    /// before exporting; further events may reopen spans.
+    pub fn finish(&mut self) {
+        for core in 0..self.tracks.len() {
+            // Drain queued completions, then close whatever remains
+            // open at the latest cycle we know about.
+            let last = self.tracks[core]
+                .completions
+                .iter()
+                .map(|r| r.0)
+                .max()
+                .unwrap_or(self.last_sample_at);
+            self.advance_track(core, Cycle::MAX);
+            let t = &mut self.tracks[core];
+            if let Some(from) = t.open_since.take() {
+                let to = last.max(from);
+                self.ring.push(TraceEvent::CoreWait { core: core as u16, from, to });
+            }
+        }
+    }
+
+    // ---- epoch sampling (driven by melreq_core::System) ----
+
+    /// Record one epoch sample at cycle `at`. `cores` and `channels`
+    /// carry the state only the system can see (cumulative committed
+    /// instructions, live queue depths, cumulative bus-busy cycles);
+    /// the collector supplies the event-derived rest.
+    pub fn sample_epoch(&mut self, at: Cycle, cores: &[CoreSample], channels: &[ChannelSample]) {
+        let dt = at.saturating_sub(self.last_sample_at).max(1) as f64;
+        self.prev_committed.resize(cores.len(), 0);
+        self.prev_busy.resize(channels.len(), 0);
+        self.chan_accum.resize(channels.len(), ChanAccum::default());
+
+        let ipc: Vec<f64> = cores
+            .iter()
+            .zip(&self.prev_committed)
+            .map(|(c, &prev)| c.committed.saturating_sub(prev) as f64 / dt)
+            .collect();
+        let bus_util: Vec<f64> = channels
+            .iter()
+            .zip(&self.prev_busy)
+            .map(|(c, &prev)| (c.busy_cycles.saturating_sub(prev) as f64 / dt).min(1.0))
+            .collect();
+        let row_hit_rate: Vec<f64> = self
+            .chan_accum
+            .iter()
+            .map(|a| {
+                let grants = a.reads + a.writes;
+                if grants == 0 {
+                    0.0
+                } else {
+                    a.row_hits as f64 / grants as f64
+                }
+            })
+            .collect();
+        self.series.push(EpochRow {
+            cycle: at,
+            ipc,
+            pending_reads: cores.iter().map(|c| c.pending_reads).collect(),
+            me: self.me.clone(),
+            queue_depth: channels.iter().map(|c| c.queue_depth).collect(),
+            bus_util,
+            reads: self.chan_accum.iter().map(|a| a.reads).collect(),
+            writes: self.chan_accum.iter().map(|a| a.writes).collect(),
+            row_hit_rate,
+        });
+
+        for (prev, c) in self.prev_committed.iter_mut().zip(cores) {
+            *prev = c.committed;
+        }
+        for (prev, c) in self.prev_busy.iter_mut().zip(channels) {
+            *prev = c.busy_cycles;
+        }
+        for a in &mut self.chan_accum {
+            *a = ChanAccum::default();
+        }
+        self.last_sample_at = at;
+    }
+
+    // ---- internals ----
+
+    /// Pop completions up to `now`, closing the span when the last
+    /// outstanding read returns.
+    fn advance_track(&mut self, core: usize, now: Cycle) {
+        while let Some(&Reverse(done)) = self.tracks[core].completions.peek() {
+            if done > now {
+                break;
+            }
+            self.tracks[core].completions.pop();
+            let t = &mut self.tracks[core];
+            t.inflight = t.inflight.saturating_sub(1);
+            if t.inflight == 0 {
+                if let Some(from) = t.open_since.take() {
+                    self.ring.push(TraceEvent::CoreWait {
+                        core: core as u16,
+                        from,
+                        to: done.max(from),
+                    });
+                }
+            }
+        }
+    }
+
+    fn current_totals(&mut self) -> &mut RuleTotals {
+        if let Some(i) = self.totals.iter().position(|(name, _)| *name == self.policy) {
+            &mut self.totals[i].1
+        } else {
+            self.totals.push((self.policy.clone(), RuleTotals::default()));
+            &mut self.totals.last_mut().expect("just pushed").1
+        }
+    }
+
+    /// Rebuild the replica policy state after a `CtrlConfig` or
+    /// `ProfileUpdate` (both cheap and rare: attach, policy swap,
+    /// online-ME epoch).
+    fn rebuild_policy_caches(&mut self) {
+        self.fixed_rank = None;
+        self.table = None;
+        if self.me.is_empty() {
+            return;
+        }
+        match self.policy.as_str() {
+            "ME" => self.fixed_rank = Some(me_rank(&self.me)),
+            name if name.starts_with("FIX-") => self.fixed_rank = fix_rank(name, self.cores),
+            "ME-LREQ" => self.table = Some(PriorityTable::new(&self.me)),
+            _ => {}
+        }
+    }
+
+    /// Reconstruct the DRAM command sequence a grant implies and push
+    /// it onto the ring (an approximation for visualization: the write
+    /// recovery before a close-page precharge is folded into the
+    /// precharge slice).
+    fn push_commands(&mut self, g: &GrantCmd) {
+        let t = self.timing;
+        let (id, channel, bank) = (g.id, g.channel, g.bank);
+        let mut at = g.granted_at;
+        if g.outcome == GrantOutcome::Conflict {
+            self.ring.push(TraceEvent::Command {
+                kind: CmdKind::Pre,
+                channel,
+                bank,
+                id,
+                at,
+                dur: t.t_rp.max(1),
+            });
+            at += t.t_rp;
+        }
+        if g.outcome != GrantOutcome::Hit {
+            self.ring.push(TraceEvent::Command {
+                kind: CmdKind::Act,
+                channel,
+                bank,
+                id,
+                at,
+                dur: t.t_rcd.max(1),
+            });
+            at += t.t_rcd;
+        }
+        let kind = if g.write { CmdKind::Write } else { CmdKind::Read };
+        let dur = g.data_ready.saturating_sub(at).max(1);
+        self.ring.push(TraceEvent::Command { kind, channel, bank, id, at, dur });
+        if !g.keep_open {
+            let pre_at = g.data_ready + if g.write { t.t_wr } else { 0 };
+            self.ring.push(TraceEvent::Command {
+                kind: CmdKind::Pre,
+                channel,
+                bank,
+                id,
+                at: pre_at,
+                dur: t.t_rp.max(1),
+            });
+        }
+    }
+}
+
+/// The slice of a `Grant` event that drives command reconstruction.
+#[derive(Debug, Clone, Copy)]
+struct GrantCmd {
+    id: u64,
+    channel: usize,
+    bank: usize,
+    write: bool,
+    granted_at: Cycle,
+    data_ready: Cycle,
+    keep_open: bool,
+    outcome: GrantOutcome,
+}
+
+impl AuditSink for Collector {
+    fn record(&mut self, ev: &AuditEvent) {
+        match ev {
+            AuditEvent::DramConfig { channels, timing, .. } => {
+                self.channels = *channels;
+                self.timing = *timing;
+                self.chan_accum.resize(*channels, ChanAccum::default());
+                self.prev_busy.resize(*channels, 0);
+            }
+            AuditEvent::CtrlConfig { cores, policy, read_first, .. } => {
+                self.cores = *cores;
+                self.policy = (*policy).to_string();
+                self.read_first = *read_first;
+                // A (re-)announced policy is freshly constructed: its
+                // rotation pointer starts at core 0.
+                self.rr_next = 0;
+                self.pending_rule = None;
+                while self.tracks.len() < *cores {
+                    self.tracks.push(CoreTrack::default());
+                }
+                self.prev_committed.resize(*cores, 0);
+                self.rebuild_policy_caches();
+            }
+            AuditEvent::ProfileUpdate { me } => {
+                self.me = me.clone();
+                self.rebuild_policy_caches();
+            }
+            AuditEvent::Submit { id, core, channel, bank, row, write, at } => {
+                self.ring.push(TraceEvent::Arrival {
+                    id: *id,
+                    core: *core,
+                    channel: *channel,
+                    bank: *bank,
+                    row: *row,
+                    write: *write,
+                    at: *at,
+                });
+                let core = *core as usize;
+                if !*write && core < self.tracks.len() {
+                    self.advance_track(core, *at);
+                    let t = &mut self.tracks[core];
+                    t.inflight += 1;
+                    if t.inflight == 1 {
+                        t.open_since = Some(*at);
+                    }
+                }
+            }
+            AuditEvent::Refresh { channel, at } => {
+                self.ring.push(TraceEvent::Refresh {
+                    channel: *channel,
+                    at: *at,
+                    dur: self.timing.t_rfc.max(1),
+                });
+            }
+            AuditEvent::Precharge { channel, bank, at } => {
+                self.ring.push(TraceEvent::Command {
+                    kind: CmdKind::Pre,
+                    channel: *channel,
+                    bank: *bank,
+                    id: 0,
+                    at: *at,
+                    dur: self.timing.t_rp.max(1),
+                });
+            }
+            AuditEvent::Decision { draining, chosen, candidates, pending_reads, .. } => {
+                self.decisions_seen += 1;
+                let view = PolicyView {
+                    name: &self.policy,
+                    read_first: self.read_first,
+                    table: self.table.as_ref(),
+                    fixed_rank: self.fixed_rank.as_deref(),
+                    me: &self.me,
+                    rr_next: self.rr_next,
+                    cores: self.cores,
+                };
+                let (rule, runner_up) =
+                    classify(&view, *draining, *chosen, candidates, pending_reads);
+                self.current_totals().add(rule);
+                self.pending_rule = Some((*chosen, rule, runner_up));
+            }
+            AuditEvent::Grant {
+                id,
+                core,
+                channel,
+                bank,
+                row,
+                write,
+                requested_at,
+                granted_at,
+                keep_open,
+                outcome,
+                data_ready,
+            } => {
+                let (rule, runner_up) = match self.pending_rule.take() {
+                    Some((decided, rule, ru)) if decided == *id => (Some(rule), ru),
+                    _ => (None, None),
+                };
+                self.ring.push(TraceEvent::Grant {
+                    id: *id,
+                    core: *core,
+                    channel: *channel,
+                    bank: *bank,
+                    row: *row,
+                    write: *write,
+                    at: *granted_at,
+                    queued_for: granted_at.saturating_sub(*requested_at),
+                    outcome: *outcome,
+                    data_ready: *data_ready,
+                    rule,
+                    runner_up,
+                });
+                self.push_commands(&GrantCmd {
+                    id: *id,
+                    channel: *channel,
+                    bank: *bank,
+                    write: *write,
+                    granted_at: *granted_at,
+                    data_ready: *data_ready,
+                    keep_open: *keep_open,
+                    outcome: *outcome,
+                });
+                if let Some(a) = self.chan_accum.get_mut(*channel) {
+                    if *write {
+                        a.writes += 1;
+                    } else {
+                        a.reads += 1;
+                    }
+                    if *outcome == GrantOutcome::Hit {
+                        a.row_hits += 1;
+                    }
+                }
+                if !*write {
+                    // Replay Round-Robin's pointer: `note_grant` fires
+                    // exactly on policy-selected (read) grants.
+                    if self.policy == "RR" && self.cores > 0 {
+                        self.rr_next = (*core as usize + 1) % self.cores;
+                    }
+                    let core = *core as usize;
+                    if core < self.tracks.len() {
+                        self.tracks[core].completions.push(Reverse(*data_ready));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Forward each audit event to several sinks (e.g. a protocol auditor
+/// *and* a trace collector on the same tap).
+#[derive(Debug)]
+pub struct Fanout {
+    sinks: Vec<Arc<Mutex<dyn AuditSink>>>,
+}
+
+impl Fanout {
+    /// A fanout over `sinks`, notified in order.
+    pub fn new(sinks: Vec<Arc<Mutex<dyn AuditSink>>>) -> Self {
+        Fanout { sinks }
+    }
+
+    /// Wrap a fanout over `sinks` in a ready-to-attach handle.
+    pub fn handle(sinks: Vec<Arc<Mutex<dyn AuditSink>>>, decisions: bool) -> AuditHandle {
+        AuditHandle::new(Fanout::new(sinks), decisions)
+    }
+}
+
+impl AuditSink for Fanout {
+    fn record(&mut self, ev: &AuditEvent) {
+        for s in &self.sinks {
+            s.lock().expect("fanout sink poisoned").record(ev);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use melreq_audit::CandidateInfo;
+
+    fn base_config(c: &mut Collector, policy: &'static str) {
+        c.record(&AuditEvent::DramConfig {
+            channels: 1,
+            banks_per_channel: 4,
+            timing: TimingParams {
+                t_rcd: 10,
+                t_cl: 10,
+                t_rp: 10,
+                t_wr: 8,
+                burst: 4,
+                t_refi: 0,
+                t_rfc: 60,
+                t_rrd: 0,
+                t_faw: 0,
+            },
+        });
+        c.record(&AuditEvent::CtrlConfig {
+            cores: 2,
+            policy,
+            read_first: true,
+            buffer_entries: 64,
+            drain_start: 32,
+            drain_stop: 16,
+            overhead: 0,
+        });
+        c.record(&AuditEvent::ProfileUpdate { me: vec![4.0, 2.0] });
+    }
+
+    fn grant(id: u64, core: u16, write: bool, at: Cycle, outcome: GrantOutcome) -> AuditEvent {
+        AuditEvent::Grant {
+            id,
+            core,
+            channel: 0,
+            bank: 0,
+            row: 1,
+            write,
+            requested_at: at,
+            granted_at: at,
+            keep_open: true,
+            outcome,
+            data_ready: at + 24,
+        }
+    }
+
+    #[test]
+    fn decision_then_grant_attributes_rule() {
+        let mut c = Collector::new(ObsConfig { ring_capacity: 64 });
+        base_config(&mut c, "HF-RF");
+        c.record(&AuditEvent::Decision {
+            channel: 0,
+            at: 5,
+            draining: false,
+            chosen: 1,
+            candidates: vec![
+                CandidateInfo {
+                    id: 1,
+                    core: 0,
+                    bank: 0,
+                    row: 1,
+                    write: false,
+                    row_hit: true,
+                    arrival: 0,
+                },
+                CandidateInfo {
+                    id: 0,
+                    core: 1,
+                    bank: 1,
+                    row: 2,
+                    write: false,
+                    row_hit: false,
+                    arrival: 0,
+                },
+            ],
+            pending_reads: vec![1, 1],
+        });
+        c.record(&grant(1, 0, false, 5, GrantOutcome::Hit));
+        let (name, totals) = c.active_rule_totals().expect("totals");
+        assert_eq!(name, "HF-RF");
+        assert_eq!(totals.get(Rule::RowHitFirst), 1);
+        let g = c.ring().iter().find_map(|e| match e {
+            TraceEvent::Grant { rule, runner_up, .. } => Some((*rule, *runner_up)),
+            _ => None,
+        });
+        let (rule, ru) = g.expect("grant traced");
+        assert_eq!(rule, Some(Rule::RowHitFirst));
+        assert_eq!(ru.map(|r| r.id), Some(0));
+    }
+
+    #[test]
+    fn policy_swap_opens_a_new_totals_bucket() {
+        let mut c = Collector::new(ObsConfig::default());
+        base_config(&mut c, "HF-RF");
+        let one_decision = |c: &mut Collector| {
+            c.record(&AuditEvent::Decision {
+                channel: 0,
+                at: 5,
+                draining: false,
+                chosen: 1,
+                candidates: vec![CandidateInfo {
+                    id: 1,
+                    core: 0,
+                    bank: 0,
+                    row: 1,
+                    write: false,
+                    row_hit: false,
+                    arrival: 0,
+                }],
+                pending_reads: vec![1, 0],
+            });
+        };
+        one_decision(&mut c);
+        c.record(&AuditEvent::CtrlConfig {
+            cores: 2,
+            policy: "ME-LREQ",
+            read_first: true,
+            buffer_entries: 64,
+            drain_start: 32,
+            drain_stop: 16,
+            overhead: 0,
+        });
+        one_decision(&mut c);
+        assert_eq!(c.rule_totals().len(), 2);
+        assert_eq!(c.rule_totals()[0].0, "HF-RF");
+        assert_eq!(c.active_rule_totals().expect("active").0, "ME-LREQ");
+    }
+
+    #[test]
+    fn grant_synthesizes_commands_by_outcome() {
+        let mut c = Collector::new(ObsConfig::default());
+        base_config(&mut c, "HF-RF");
+        c.record(&grant(0, 0, false, 100, GrantOutcome::Conflict));
+        let kinds: Vec<CmdKind> = c
+            .ring()
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Command { kind, .. } => Some(*kind),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(kinds, vec![CmdKind::Pre, CmdKind::Act, CmdKind::Read]);
+    }
+
+    #[test]
+    fn epoch_sample_computes_rates_and_resets_accumulators() {
+        let mut c = Collector::new(ObsConfig::default());
+        base_config(&mut c, "HF-RF");
+        c.record(&grant(0, 0, false, 50, GrantOutcome::Hit));
+        c.record(&grant(1, 1, true, 60, GrantOutcome::ClosedMiss));
+        c.sample_epoch(
+            100,
+            &[
+                CoreSample { committed: 80, pending_reads: 2 },
+                CoreSample { committed: 40, pending_reads: 0 },
+            ],
+            &[ChannelSample { queue_depth: 3, busy_cycles: 25 }],
+        );
+        let row = &c.series()[0];
+        assert_eq!(row.cycle, 100);
+        assert!((row.ipc[0] - 0.8).abs() < 1e-12);
+        assert_eq!(row.pending_reads, vec![2, 0]);
+        assert_eq!(row.queue_depth, vec![3]);
+        assert!((row.bus_util[0] - 0.25).abs() < 1e-12);
+        assert_eq!(row.reads, vec![1]);
+        assert_eq!(row.writes, vec![1]);
+        assert!((row.row_hit_rate[0] - 0.5).abs() < 1e-12);
+        // Second epoch: deltas, not cumulative values.
+        c.sample_epoch(
+            200,
+            &[
+                CoreSample { committed: 100, pending_reads: 0 },
+                CoreSample { committed: 60, pending_reads: 1 },
+            ],
+            &[ChannelSample { queue_depth: 0, busy_cycles: 35 }],
+        );
+        let row = &c.series()[1];
+        assert!((row.ipc[0] - 0.2).abs() < 1e-12);
+        assert!((row.bus_util[0] - 0.1).abs() < 1e-12);
+        assert_eq!(row.reads, vec![0]);
+        assert_eq!(row.row_hit_rate[0], 0.0);
+    }
+
+    #[test]
+    fn core_wait_spans_open_and_close() {
+        let mut c = Collector::new(ObsConfig::default());
+        base_config(&mut c, "HF-RF");
+        c.record(&AuditEvent::Submit {
+            id: 0,
+            core: 0,
+            channel: 0,
+            bank: 0,
+            row: 1,
+            write: false,
+            at: 10,
+        });
+        c.record(&grant(0, 0, false, 20, GrantOutcome::Hit)); // data_ready 44
+        c.finish();
+        let span = c.ring().iter().find_map(|e| match e {
+            TraceEvent::CoreWait { core, from, to } => Some((*core, *from, *to)),
+            _ => None,
+        });
+        assert_eq!(span, Some((0, 10, 44)));
+    }
+
+    #[test]
+    fn fanout_feeds_all_sinks() {
+        let a: Arc<Mutex<dyn AuditSink>> = Arc::new(Mutex::new(melreq_audit::Recorder::default()));
+        let collector = Arc::new(Mutex::new(Collector::new(ObsConfig::default())));
+        let c_dyn: Arc<Mutex<dyn AuditSink>> = collector.clone();
+        let h = Fanout::handle(vec![a.clone(), c_dyn], true);
+        h.emit(|| AuditEvent::Refresh { channel: 0, at: 7 });
+        assert!(format!("{:?}", a.lock().expect("recorder")).contains("Refresh"));
+        assert_eq!(collector.lock().expect("collector").ring().len(), 1);
+    }
+}

@@ -1,0 +1,220 @@
+//! The structured trace event model and its bounded ring buffer.
+//!
+//! Trace events are *derived observations*: the collector reconstructs
+//! them from the same audit tap stream the protocol checker consumes
+//! (`melreq_audit::AuditEvent`), so recording them cannot perturb the
+//! simulation. Timestamps are simulation cycles.
+
+use melreq_audit::GrantOutcome;
+use melreq_stats::types::Cycle;
+use std::collections::VecDeque;
+
+use crate::provenance::{Rule, RunnerUp};
+
+/// A DRAM command reconstructed from a grant's claimed row-buffer
+/// outcome and the device timing parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmdKind {
+    /// Row activate.
+    Act,
+    /// Column read (CAS latency + burst).
+    Read,
+    /// Column write.
+    Write,
+    /// Precharge (explicit, conflict-induced, or close-page auto).
+    Pre,
+}
+
+impl CmdKind {
+    /// Display name used as the Perfetto slice name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CmdKind::Act => "ACT",
+            CmdKind::Read => "RD",
+            CmdKind::Write => "WR",
+            CmdKind::Pre => "PRE",
+        }
+    }
+}
+
+/// One entry of the structured event trace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A request entered the controller's shared buffer.
+    Arrival {
+        /// Request id (monotone in arrival order).
+        id: u64,
+        /// Originating core.
+        core: u16,
+        /// Decoded channel.
+        channel: usize,
+        /// Decoded bank.
+        bank: usize,
+        /// Decoded row.
+        row: u64,
+        /// Write-back (true) or demand read (false).
+        write: bool,
+        /// Submission cycle.
+        at: Cycle,
+    },
+    /// A reconstructed DRAM command occupying a bank for `dur` cycles.
+    Command {
+        /// Command type.
+        kind: CmdKind,
+        /// Channel.
+        channel: usize,
+        /// Bank.
+        bank: usize,
+        /// Request id the command serves (0 for explicit precharges).
+        id: u64,
+        /// Start cycle.
+        at: Cycle,
+        /// Occupancy in cycles.
+        dur: Cycle,
+    },
+    /// An all-bank refresh held the channel for `dur` cycles.
+    Refresh {
+        /// Channel refreshed.
+        channel: usize,
+        /// Start cycle.
+        at: Cycle,
+        /// tRFC in CPU cycles.
+        dur: Cycle,
+    },
+    /// A transaction was granted to the DRAM device.
+    Grant {
+        /// Request id.
+        id: u64,
+        /// Originating core.
+        core: u16,
+        /// Channel.
+        channel: usize,
+        /// Bank.
+        bank: usize,
+        /// Row.
+        row: u64,
+        /// Write-back (true) or read (false).
+        write: bool,
+        /// Effective grant cycle.
+        at: Cycle,
+        /// Cycles the request waited in the buffer before the grant.
+        queued_for: Cycle,
+        /// Claimed row-buffer outcome.
+        outcome: GrantOutcome,
+        /// Cycle of the last data beat.
+        data_ready: Cycle,
+        /// The scheduler rule that decided this grant (present when the
+        /// tap emitted `Decision` events, i.e. `wants_decisions`).
+        rule: Option<Rule>,
+        /// The best candidate the winner beat, if any.
+        runner_up: Option<RunnerUp>,
+    },
+    /// A span during which a core had at least one demand read
+    /// outstanding at the memory controller (reconstructed memory-bound
+    /// period; see DESIGN.md "Observability").
+    CoreWait {
+        /// Core.
+        core: u16,
+        /// First cycle with an outstanding read.
+        from: Cycle,
+        /// Cycle the last outstanding read's data returned.
+        to: Cycle,
+    },
+}
+
+impl TraceEvent {
+    /// The event's primary timestamp (start cycle).
+    pub fn at(&self) -> Cycle {
+        match *self {
+            TraceEvent::Arrival { at, .. }
+            | TraceEvent::Command { at, .. }
+            | TraceEvent::Refresh { at, .. }
+            | TraceEvent::Grant { at, .. } => at,
+            TraceEvent::CoreWait { from, .. } => from,
+        }
+    }
+}
+
+/// A bounded drop-oldest ring buffer of trace events.
+///
+/// When the buffer is full the oldest event is discarded and counted;
+/// the trace therefore always holds the *most recent* window of the
+/// run, which is what one wants when opening it in Perfetto.
+#[derive(Debug)]
+pub struct TraceRing {
+    buf: VecDeque<TraceEvent>,
+    cap: usize,
+    dropped: u64,
+}
+
+impl TraceRing {
+    /// An empty ring holding at most `cap` events (`cap` ≥ 1).
+    pub fn new(cap: usize) -> Self {
+        TraceRing { buf: VecDeque::new(), cap: cap.max(1), dropped: 0 }
+    }
+
+    /// Append one event, discarding the oldest when full.
+    pub fn push(&mut self, ev: TraceEvent) {
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(ev);
+    }
+
+    /// Events currently held, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.buf.iter()
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the ring holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events discarded because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn refresh(at: Cycle) -> TraceEvent {
+        TraceEvent::Refresh { channel: 0, at, dur: 10 }
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_counts() {
+        let mut r = TraceRing::new(3);
+        for t in 0..5 {
+            r.push(refresh(t));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 2);
+        let ats: Vec<Cycle> = r.iter().map(TraceEvent::at).collect();
+        assert_eq!(ats, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let mut r = TraceRing::new(0);
+        r.push(refresh(1));
+        r.push(refresh(2));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.capacity(), 1);
+        assert_eq!(r.dropped(), 1);
+    }
+}
