@@ -6,6 +6,13 @@
 //! `BENCH_sim.json`. The JSON is the perf artifact tracked across PRs:
 //! regenerate it before and after a kernel change to quantify the effect.
 //!
+//! Each policy runs as one single-policy `SimRequest` through the shared
+//! `melreq_core::api` facade — the same entry point the CLI and the HTTP
+//! service use — so the harness times exactly the production path.
+//! Profiling and single-core baselines are pre-warmed into the session
+//! cache outside the timed region: the artifact tracks the cost of the
+//! multiprogrammed simulation loop, not the (memoized) profiling.
+//!
 //! ```text
 //! cargo run -p melreq-bench --release --bin perf
 //!     [-- --instructions N --warmup N --profile N --slice K
@@ -23,35 +30,20 @@
 //! slower CI runners but catches order-of-magnitude regressions, such as
 //! the trace instrumentation ever costing something while disabled.
 
-use melreq_core::experiment::{ExperimentOptions, ProfileCache};
-use melreq_core::{System, SystemConfig};
+use melreq_core::api::{PolicyChoice, Session, SimRequest};
+use melreq_core::experiment::{ExperimentOptions, RunControl};
 use melreq_memctrl::policy::PolicyKind;
 use melreq_stats::types::Cycle;
-use melreq_trace::InstrStream;
-use melreq_workloads::{mix_by_name, Mix, SliceKind};
+use melreq_workloads::mix_by_name;
 use std::fmt::Write as _;
 use std::time::Instant;
 
 /// One policy's measurement.
 struct Row {
-    policy: &'static str,
+    policy: String,
     wall_s: f64,
     sim_cycles: Cycle,
     smt_like_ipc_sum: f64,
-}
-
-fn build_system(mix: &Mix, kind: &PolicyKind, me: &[f64], opts: &ExperimentOptions) -> System {
-    let streams: Vec<Box<dyn InstrStream + Send>> = mix
-        .apps()
-        .iter()
-        .enumerate()
-        .map(|(i, a)| {
-            Box::new(a.build_stream(i, SliceKind::Evaluation(opts.eval_slice)))
-                as Box<dyn InstrStream + Send>
-        })
-        .collect();
-    let cfg = SystemConfig::paper(mix.cores(), kind.clone());
-    System::new(cfg, streams, me)
 }
 
 /// Peak resident-set size of this process in bytes (Linux `VmHWM`;
@@ -105,10 +97,14 @@ fn main() {
     let opts = ExperimentOptions { tick_exact, ..opts };
     let mix = mix_by_name(&mix_name);
 
-    // Profile outside the timed region: the artifact tracks the cost of
-    // the multiprogrammed simulation loop, not the (memoized) profiling.
-    let cache = ProfileCache::new();
-    let me: Vec<f64> = (0..mix.cores()).map(|i| cache.profile(&mix, i, &opts).me).collect();
+    // Profile and single-core baselines outside the timed region: both
+    // are memoized in the session cache, so each timed request below
+    // pays only for its multiprogrammed run.
+    let session = Session::new();
+    for i in 0..mix.cores() {
+        let _ = session.cache().profile(&mix, i, &opts);
+        let _ = session.cache().ipc_single(&mix, i, &opts);
+    }
 
     let policies = [
         PolicyKind::HfRf,
@@ -121,27 +117,25 @@ fn main() {
     let mut rows = Vec::new();
     let total_start = Instant::now();
     for kind in &policies {
-        let mut sys = build_system(&mix, kind, &me, &opts);
-        sys.set_tick_exact(opts.tick_exact);
+        let req = SimRequest::new(mix.name).policy(PolicyChoice::Paper(kind.clone())).opts(opts);
         let t0 = Instant::now();
-        let out = sys.run_measured(
-            opts.warmup,
-            opts.instructions,
-            opts.instructions.saturating_mul(opts.max_cycles_factor).max(1 << 22),
-        );
+        let report = session
+            .run(&req, &RunControl::default())
+            .unwrap_or_else(|e| panic!("{} failed on {}: {e}", kind.name(), mix.name));
         let wall_s = t0.elapsed().as_secs_f64();
-        assert!(!out.timed_out, "{} timed out on {}", kind.name(), mix.name);
+        let p = &report.policies[0];
+        assert!(!p.timed_out, "{} timed out on {}", kind.name(), mix.name);
         rows.push(Row {
-            policy: kind.name(),
+            policy: p.policy.clone(),
             wall_s,
-            sim_cycles: sys.now(),
-            smt_like_ipc_sum: out.ipc.iter().sum(),
+            sim_cycles: p.sim_cycles,
+            smt_like_ipc_sum: p.ipc_multi.iter().sum(),
         });
     }
     let total_wall_s = total_start.elapsed().as_secs_f64();
 
     let mut json = String::new();
-    json.push_str("{\n  \"schema\": 1,\n");
+    let _ = writeln!(json, "{{\n  \"schema_version\": {},", melreq_core::api::SCHEMA_VERSION);
     let _ = writeln!(json, "  \"mix\": \"{}\",", json_escape(mix.name));
     let _ = writeln!(json, "  \"instructions\": {},", opts.instructions);
     let _ = writeln!(json, "  \"warmup\": {},", opts.warmup);
@@ -159,7 +153,7 @@ fn main() {
             json,
             "    {{\"policy\": \"{}\", \"wall_s\": {:.6}, \"sim_cycles\": {}, \
              \"sim_cycles_per_sec\": {:.0}, \"ipc_sum\": {:.4}}}",
-            json_escape(r.policy),
+            json_escape(&r.policy),
             r.wall_s,
             r.sim_cycles,
             cps,

@@ -1,51 +1,106 @@
 //! Command implementations. Each command renders to a `String` so it can
-//! be tested without capturing stdout.
+//! be tested without capturing stdout; failures are the typed
+//! [`MelreqError`], which the binary maps to process exit codes.
+//!
+//! Simulation commands (`run`, `compare`, `sweep`, `reproduce`) go
+//! through the [`melreq_core::api`] facade — the same
+//! `SimRequest → Session::run → SimReport` path the HTTP service and the
+//! bench harness use — so `melreq run --json` is byte-identical to the
+//! service's `/run` report body. Only the observability paths
+//! (`--trace`/`--series`/`--provenance` and `melreq trace`) drop below
+//! the facade: they need the collector tap, which is deliberately not
+//! part of the service API.
 
 use crate::parse::{Command, ObsArgs, PolicySpec, USAGE};
+use melreq_core::api::{MelreqError, PolicyReport, Session, SimRequest};
 use melreq_core::experiment::{
-    run_grid_with_store, run_mix, run_mix_audited, run_mix_audited_observed, run_mix_custom,
-    run_mix_group, run_mix_observed, ExperimentOptions, MixResult, ObserveOptions, ProfileCache,
+    run_mix, run_mix_audited_observed, run_mix_group, run_mix_observed, ExperimentOptions,
+    MixResult, ObserveOptions, ProfileCache, RunControl,
 };
 use melreq_core::profile::profile_app;
 use melreq_core::report::{format_table, pct_over};
 use melreq_core::{CheckpointStore, SystemConfig};
-use melreq_memctrl::ext::{FairQueueing, StallTimeFair};
 use melreq_memctrl::policy::PolicyKind;
+use melreq_memctrl::ChannelTraffic;
 use melreq_obs::{export_chrome_json, series, Collector, ObsConfig, RuleTotals};
+use melreq_serve::{http, ServeConfig};
 use melreq_workloads::{mix_by_name, mixes_for_cores, spec2000, Mix, MixKind, SliceKind};
 use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-fn run_with_spec(
-    mix: &Mix,
-    spec: &PolicySpec,
-    opts: &ExperimentOptions,
-    cache: &ProfileCache,
-) -> MixResult {
-    match spec {
-        PolicySpec::Paper(kind) => run_mix(mix, kind, opts, cache),
-        PolicySpec::Fq => run_mix_custom(
-            mix,
-            "FQ",
-            |_me, cores, _seed| (Box::new(FairQueueing::new(cores)), true),
-            None,
-            opts,
-            cache,
-        ),
-        PolicySpec::Stf => run_mix_custom(
-            mix,
-            "STF",
-            |_me, cores, _seed| (Box::new(StallTimeFair::new(cores)), true),
-            None,
-            opts,
-            cache,
-        ),
+fn usage(msg: impl Into<String>) -> MelreqError {
+    MelreqError::Usage(msg.into())
+}
+
+fn io_err(msg: impl Into<String>) -> MelreqError {
+    MelreqError::Io(msg.into())
+}
+
+/// The per-policy fields the human `run` rendering needs, borrowable
+/// from either a facade [`PolicyReport`] or a raw [`MixResult`] (the
+/// observability paths still produce the latter).
+struct RunView<'a> {
+    policy: &'a str,
+    smt_speedup: f64,
+    unfairness: f64,
+    mean_read_latency: f64,
+    me: &'a [f64],
+    ipc_single: &'a [f64],
+    ipc_multi: &'a [f64],
+    read_latency: &'a [f64],
+    queue_occupancy_mean: f64,
+    grant_candidates_mean: f64,
+    channels: &'a [ChannelTraffic],
+    sim_cycles: u64,
+    timed_out: bool,
+    cancelled: bool,
+}
+
+impl<'a> From<&'a MixResult> for RunView<'a> {
+    fn from(r: &'a MixResult) -> Self {
+        RunView {
+            policy: r.policy,
+            smt_speedup: r.smt_speedup,
+            unfairness: r.unfairness,
+            mean_read_latency: r.mean_read_latency,
+            me: &r.me,
+            ipc_single: &r.ipc_single,
+            ipc_multi: &r.ipc_multi,
+            read_latency: &r.read_latency,
+            queue_occupancy_mean: r.queue_occupancy_mean,
+            grant_candidates_mean: r.grant_candidates_mean,
+            channels: &r.channel_traffic,
+            sim_cycles: r.sim_cycles,
+            timed_out: r.timed_out,
+            cancelled: r.cancelled,
+        }
     }
 }
 
-fn cmd_profile(apps: &[String], opts: &ExperimentOptions) -> Result<String, String> {
+impl<'a> From<&'a PolicyReport> for RunView<'a> {
+    fn from(r: &'a PolicyReport) -> Self {
+        RunView {
+            policy: &r.policy,
+            smt_speedup: r.smt_speedup,
+            unfairness: r.unfairness,
+            mean_read_latency: r.mean_read_latency,
+            me: &r.me,
+            ipc_single: &r.ipc_single,
+            ipc_multi: &r.ipc_multi,
+            read_latency: &r.read_latency,
+            queue_occupancy_mean: r.queue_occupancy_mean,
+            grant_candidates_mean: r.grant_candidates_mean,
+            channels: &r.channels,
+            sim_cycles: r.sim_cycles,
+            timed_out: r.timed_out,
+            cancelled: r.cancelled,
+        }
+    }
+}
+
+fn cmd_profile(apps: &[String], opts: &ExperimentOptions) -> Result<String, MelreqError> {
     let roster = spec2000();
     let selected: Vec<_> = if apps.is_empty() {
         roster
@@ -53,9 +108,9 @@ fn cmd_profile(apps: &[String], opts: &ExperimentOptions) -> Result<String, Stri
         let wanted: Vec<&str> = apps.iter().map(std::string::String::as_str).collect();
         let picked: Vec<_> = roster.into_iter().filter(|a| wanted.contains(&a.name)).collect();
         if picked.len() != wanted.len() {
-            return Err(format!(
+            return Err(usage(format!(
                 "unknown application(s) in {wanted:?}; names are SPEC2000 benchmarks (swim, mcf, ...)"
-            ));
+            )));
         }
         picked
     };
@@ -89,11 +144,11 @@ fn observe_options(obs: &ObsArgs, force_sampling: bool) -> ObserveOptions {
 
 /// Write the requested trace/series artifacts from a finished collector
 /// and return the report lines describing them.
-fn obs_outputs(c: &Collector, obs: &ObsArgs) -> Result<String, String> {
+fn obs_outputs(c: &Collector, obs: &ObsArgs) -> Result<String, MelreqError> {
     let mut out = String::new();
     if let Some(path) = &obs.trace_out {
         let json = export_chrome_json(c);
-        std::fs::write(path, &json).map_err(|e| format!("cannot write {path}: {e}"))?;
+        std::fs::write(path, &json).map_err(|e| io_err(format!("cannot write {path}: {e}")))?;
         let ring = c.ring();
         let _ = writeln!(
             out,
@@ -110,7 +165,7 @@ fn obs_outputs(c: &Collector, obs: &ObsArgs) -> Result<String, String> {
         } else {
             series::render_csv(rows, cores, channels)
         };
-        std::fs::write(path, &body).map_err(|e| format!("cannot write {path}: {e}"))?;
+        std::fs::write(path, &body).map_err(|e| io_err(format!("cannot write {path}: {e}")))?;
         let _ = writeln!(out, "series: {} epoch rows -> {path}", rows.len());
     }
     Ok(out)
@@ -140,41 +195,14 @@ fn render_provenance(totals: &[(String, RuleTotals)]) -> String {
     )
 }
 
-fn cmd_run(
-    mix_name: &str,
-    spec: &PolicySpec,
+/// The human single-run rendering: the headline, the per-core table,
+/// host throughput, the controller view and any safety-net warnings.
+fn render_run_human(
+    mix: &Mix,
+    r: &RunView<'_>,
+    wall: Duration,
     opts: &ExperimentOptions,
-    audit: bool,
-    obs: &ObsArgs,
-) -> Result<String, String> {
-    let mix = try_mix(mix_name)?;
-    let cache = ProfileCache::new();
-    let (r, report, collector) = if obs.any() {
-        let PolicySpec::Paper(kind) = spec else {
-            return Err("trace/series/provenance flags cover the paper's policies; \
-                        FQ/STF are externally built and bypass the instrumented \
-                        scheduler"
-                .to_string());
-        };
-        let observe = observe_options(obs, false);
-        if audit {
-            let (r, report, c) = run_mix_audited_observed(&mix, kind, opts, &observe, &cache);
-            (r, Some(report), Some(c))
-        } else {
-            let (r, c) = run_mix_observed(&mix, kind, opts, &observe, &cache);
-            (r, None, Some(c))
-        }
-    } else if audit {
-        let PolicySpec::Paper(kind) = spec else {
-            return Err("--audit checks the paper's policies; FQ/STF are externally \
-                        built and expose no invariants to verify"
-                .to_string());
-        };
-        let (r, report) = run_mix_audited(&mix, kind, opts, &cache);
-        (r, Some(report), None)
-    } else {
-        (run_with_spec(&mix, spec, opts, &cache), None, None)
-    };
+) -> String {
     let mut out = format!(
         "{} under {}: SMT speedup {:.3}, unfairness {:.3}, mean read latency {:.0} cycles\n\n",
         mix.name, r.policy, r.smt_speedup, r.unfairness, r.mean_read_latency
@@ -202,7 +230,7 @@ fn cmd_run(
     // Host throughput of the multiprogrammed run (profiling excluded).
     // Instructions are approximated by the per-core targets; early
     // finishers keep committing, so the true rate is slightly higher.
-    let secs = r.wall.as_secs_f64().max(1e-9);
+    let secs = wall.as_secs_f64().max(1e-9);
     let instr = (opts.warmup + opts.instructions).saturating_mul(mix.cores() as u64);
     out.push_str(&format!(
         "\nhost throughput: {:.2} M sim-cycles/s, ~{:.2} M instr/s \
@@ -220,9 +248,9 @@ fn cmd_run(
         "\ncontroller: mean queue occupancy {:.2}, mean grant candidates {:.2}",
         r.queue_occupancy_mean, r.grant_candidates_mean
     );
-    if !r.channel_traffic.is_empty() {
+    if !r.channels.is_empty() {
         let rows: Vec<Vec<String>> = r
-            .channel_traffic
+            .channels
             .iter()
             .enumerate()
             .map(|(ch, t)| {
@@ -240,21 +268,90 @@ fn cmd_run(
     if r.timed_out {
         out.push_str("\nWARNING: run hit the cycle safety net before completing\n");
     }
-    if let Some(report) = report {
-        if !report.is_clean() {
-            return Err(format!("{out}\n{}", report.render()));
-        }
-        out.push_str(&format!(
-            "\naudit: {} events checked, 0 violations, stream hash {:016x}\n",
-            report.events, report.stream_hash
-        ));
+    if r.cancelled {
+        out.push_str("\nWARNING: run was cancelled at an epoch boundary by its deadline\n");
     }
-    if let Some(c) = collector {
-        let c = c.lock().expect("obs collector poisoned");
+    out
+}
+
+/// Build the typed request the facade, the service and `melreq client`
+/// all share.
+fn sim_request(
+    mix: &Mix,
+    specs: &[PolicySpec],
+    opts: &ExperimentOptions,
+    audit: bool,
+) -> SimRequest {
+    SimRequest::new(mix.name).policies(specs.to_vec()).opts(*opts).audit(audit)
+}
+
+fn cmd_run(
+    mix_name: &str,
+    spec: &PolicySpec,
+    opts: &ExperimentOptions,
+    audit: bool,
+    obs: &ObsArgs,
+    json: bool,
+) -> Result<String, MelreqError> {
+    let mix = try_mix(mix_name)?;
+    if json {
+        if obs.any() {
+            return Err(usage(
+                "--json emits the versioned machine-readable report; drop the \
+                 --trace/--series/--sample-epoch/--provenance flags (use `melreq trace` \
+                 for observability artifacts)",
+            ));
+        }
+        let req = sim_request(&mix, std::slice::from_ref(spec), opts, audit);
+        let report = Session::new().run(&req, &RunControl::default())?;
+        return Ok(report.to_json());
+    }
+    if obs.any() {
+        // Observability paths sit below the facade: they need the
+        // collector tap on the audit stream.
+        let PolicySpec::Paper(kind) = spec else {
+            return Err(usage(
+                "trace/series/provenance flags cover the paper's policies; FQ/STF are \
+                 externally built and bypass the instrumented scheduler",
+            ));
+        };
+        let cache = ProfileCache::new();
+        let observe = observe_options(obs, false);
+        let (r, report, collector) = if audit {
+            let (r, report, c) = run_mix_audited_observed(&mix, kind, opts, &observe, &cache);
+            (r, Some(report), c)
+        } else {
+            let (r, c) = run_mix_observed(&mix, kind, opts, &observe, &cache);
+            (r, None, c)
+        };
+        let mut out = render_run_human(&mix, &RunView::from(&r), r.wall, opts);
+        if let Some(report) = report {
+            if !report.is_clean() {
+                return Err(MelreqError::Divergence(format!("{out}\n{}", report.render())));
+            }
+            out.push_str(&format!(
+                "\naudit: {} events checked, 0 violations, stream hash {:016x}\n",
+                report.events, report.stream_hash
+            ));
+        }
+        let c = collector.lock().expect("obs collector poisoned");
         out.push_str(&obs_outputs(&c, obs)?);
         if obs.provenance {
             out.push_str(&render_provenance(c.rule_totals()));
         }
+        return Ok(out);
+    }
+    // The plain run goes through the facade — identical machinery to
+    // `--json`, the service and the bench harness.
+    let req = sim_request(&mix, std::slice::from_ref(spec), opts, audit);
+    let report = Session::new().run(&req, &RunControl::default())?;
+    let p = &report.policies[0];
+    let mut out = render_run_human(&mix, &RunView::from(p), report.wall, opts);
+    if let Some(a) = &p.audit {
+        out.push_str(&format!(
+            "\naudit: {} events checked, {} violations, stream hash {:016x}\n",
+            a.events, a.violations, a.stream_hash
+        ));
     }
     Ok(out)
 }
@@ -268,11 +365,12 @@ fn cmd_trace(
     out_path: &str,
     obs: &ObsArgs,
     opts: &ExperimentOptions,
-) -> Result<String, String> {
+) -> Result<String, MelreqError> {
     let PolicySpec::Paper(kind) = spec else {
-        return Err("trace covers the paper's policies; FQ/STF are externally built \
-                    and bypass the instrumented scheduler"
-            .to_string());
+        return Err(usage(
+            "trace covers the paper's policies; FQ/STF are externally built and bypass \
+             the instrumented scheduler",
+        ));
     };
     let mix = try_mix(mix_name)?;
     let cache = ProfileCache::new();
@@ -300,31 +398,39 @@ fn cmd_audit(
     mix_name: &str,
     spec: &PolicySpec,
     opts: &ExperimentOptions,
-) -> Result<String, String> {
+) -> Result<String, MelreqError> {
     let PolicySpec::Paper(kind) = spec else {
-        return Err("audit checks the paper's policies; FQ/STF are externally built \
-                    and expose no invariants to verify"
-            .to_string());
+        return Err(usage(
+            "audit checks the paper's policies; FQ/STF are externally built and expose \
+             no invariants to verify",
+        ));
     };
     let mix = try_mix(mix_name)?;
-    let cache = ProfileCache::new();
-    let (_, a) = run_mix_audited(&mix, kind, opts, &cache);
-    let (_, b) = run_mix_audited(&mix, kind, opts, &cache);
+    let session = Session::new();
+    let req = sim_request(&mix, std::slice::from_ref(spec), opts, true);
+    // Two audited passes through the facade; `Session::run` already
+    // fails with `Divergence` on any violation, so reaching the hash
+    // comparison implies both passes were clean.
+    let a = session.run(&req, &RunControl::default())?;
+    let b = session.run(&req, &RunControl::default())?;
+    let (sa, sb) = (
+        a.policies[0].audit.as_ref().expect("audited run carries a summary"),
+        b.policies[0].audit.as_ref().expect("audited run carries a summary"),
+    );
     let mut out = format!(
         "{} under {}: {} events checked per pass\n  pass 1: hash {:016x}, {} violation(s)\n  pass 2: hash {:016x}, {} violation(s)\n",
         mix.name,
         kind.name(),
-        a.events,
-        a.stream_hash,
-        a.total_violations,
-        b.stream_hash,
-        b.total_violations,
+        sa.events,
+        sa.stream_hash,
+        sa.violations,
+        sb.stream_hash,
+        sb.violations,
     );
-    if !a.is_clean() || !b.is_clean() {
-        return Err(format!("{out}\n{}\n{}", a.render(), b.render()));
-    }
-    if a.stream_hash != b.stream_hash {
-        return Err(format!("{out}\ndeterminism FAILED: event-stream hashes differ"));
+    if sa.stream_hash != sb.stream_hash {
+        return Err(MelreqError::Divergence(format!(
+            "{out}\ndeterminism FAILED: event-stream hashes differ"
+        )));
     }
     out.push_str("audit OK: both passes clean, event streams identical\n");
     Ok(out)
@@ -335,39 +441,57 @@ fn cmd_compare(
     specs: &[PolicySpec],
     opts: &ExperimentOptions,
     provenance: bool,
-) -> Result<String, String> {
+    json: bool,
+) -> Result<String, MelreqError> {
     let mix = try_mix(mix_name)?;
-    let cache = ProfileCache::new();
+    if json {
+        if provenance {
+            return Err(usage(
+                "--json emits the versioned machine-readable report; drop --provenance",
+            ));
+        }
+        let req = sim_request(&mix, specs, opts, false);
+        let report = Session::new().run(&req, &RunControl::default())?;
+        return Ok(report.to_json());
+    }
+    // (policy, speedup, mean read latency, unfairness) per row.
     let mut totals: Vec<(String, RuleTotals)> = Vec::new();
-    let results: Vec<MixResult> = if provenance {
+    let rows_data: Vec<(String, f64, f64, f64)> = if provenance {
+        let cache = ProfileCache::new();
         let mut rs = Vec::new();
         for s in specs {
             let PolicySpec::Paper(kind) = s else {
-                return Err("--provenance covers the paper's policies; drop fq/stf \
-                            from --policies"
-                    .to_string());
+                return Err(usage(
+                    "--provenance covers the paper's policies; drop fq/stf from --policies",
+                ));
             };
             let (r, c) = run_mix_observed(&mix, kind, opts, &ObserveOptions::default(), &cache);
             let c = c.lock().expect("obs collector poisoned");
             if let Some((name, t)) = c.active_rule_totals() {
                 totals.push((name.to_string(), t.clone()));
             }
-            rs.push(r);
+            rs.push((r.policy.to_string(), r.smt_speedup, r.mean_read_latency, r.unfairness));
         }
         rs
     } else {
-        specs.iter().map(|s| run_with_spec(&mix, s, opts, &cache)).collect()
+        let req = sim_request(&mix, specs, opts, false);
+        let report = Session::new().run(&req, &RunControl::default())?;
+        report
+            .policies
+            .iter()
+            .map(|p| (p.policy.clone(), p.smt_speedup, p.mean_read_latency, p.unfairness))
+            .collect()
     };
-    let base = results[0].smt_speedup;
-    let rows: Vec<Vec<String>> = results
+    let base = rows_data[0].1;
+    let rows: Vec<Vec<String>> = rows_data
         .iter()
-        .map(|r| {
+        .map(|(policy, speedup, read_lat, unfairness)| {
             vec![
-                r.policy.to_string(),
-                format!("{:.3}", r.smt_speedup),
-                pct_over(r.smt_speedup, base),
-                format!("{:.0}", r.mean_read_latency),
-                format!("{:.3}", r.unfairness),
+                policy.clone(),
+                format!("{speedup:.3}"),
+                pct_over(*speedup, base),
+                format!("{read_lat:.0}"),
+                format!("{unfairness:.3}"),
             ]
         })
         .collect();
@@ -383,13 +507,19 @@ fn cmd_compare(
     Ok(out)
 }
 
-fn cmd_sweep(kind: &str, specs: &[PolicySpec], opts: &ExperimentOptions) -> Result<String, String> {
+fn cmd_sweep(
+    kind: &str,
+    specs: &[PolicySpec],
+    opts: &ExperimentOptions,
+) -> Result<String, MelreqError> {
     let kinds: Vec<MixKind> = match kind {
         "mem" => vec![MixKind::Mem],
         "mix" => vec![MixKind::Mixed],
         _ => vec![MixKind::Mem, MixKind::Mixed],
     };
-    let cache = ProfileCache::new();
+    // One session for the whole sweep: profiles are memoized across
+    // mixes, and all-paper policy lists share each mix's warm-up.
+    let session = Session::new();
     let mut out = String::new();
     for k in kinds {
         out.push_str(&format!("-- {k:?} workloads --\n"));
@@ -398,24 +528,23 @@ fn cmd_sweep(kind: &str, specs: &[PolicySpec], opts: &ExperimentOptions) -> Resu
             let mixes = mixes_for_cores(cores, Some(k));
             let mut row = vec![format!("{cores}-core")];
             // Geometric mean of per-mix ratios vs the first policy.
-            let mut base: Vec<f64> = Vec::new();
-            for (pi, spec) in specs.iter().enumerate() {
-                let mut log_sum = 0.0;
-                for (mi, mix) in mixes.iter().enumerate() {
-                    let r = run_with_spec(mix, spec, opts, &cache);
-                    if pi == 0 {
-                        base.push(r.smt_speedup);
-                    }
-                    log_sum += (r.smt_speedup / base[mi]).ln();
+            let mut log_sums = vec![0.0f64; specs.len()];
+            for mix in &mixes {
+                let req = sim_request(mix, specs, opts, false);
+                let report = session.run(&req, &RunControl::default())?;
+                let base = report.policies[0].smt_speedup;
+                for (pi, p) in report.policies.iter().enumerate() {
+                    log_sums[pi] += (p.smt_speedup / base).ln();
                 }
+            }
+            for log_sum in &log_sums {
                 let g = (log_sum / mixes.len() as f64).exp();
                 row.push(pct_over(g, 1.0));
             }
             rows.push(row);
         }
-        let headers: Vec<&str> = std::iter::once("cores")
-            .chain(specs.iter().map(super::parse::PolicySpec::name))
-            .collect();
+        let headers: Vec<&str> =
+            std::iter::once("cores").chain(specs.iter().map(PolicySpec::name)).collect();
         out.push_str(&format_table(&headers, &rows));
         out.push('\n');
     }
@@ -486,25 +615,27 @@ fn cmd_reproduce(
     store_dir: Option<&str>,
     out_path: &str,
     opts: &ExperimentOptions,
-) -> Result<String, String> {
+) -> Result<String, MelreqError> {
     // Smoke defaults to the quick scale; explicit scale flags still win.
     let opts = if smoke && *opts == ExperimentOptions::default() {
         ExperimentOptions::quick()
     } else {
         *opts
     };
-    let store = if no_checkpoint {
-        None
-    } else {
-        let dir = store_dir.map_or_else(CheckpointStore::default_dir, PathBuf::from);
-        Some(Arc::new(
-            CheckpointStore::open(&dir)
-                .map_err(|e| format!("cannot open checkpoint store {}: {e}", dir.display()))?,
-        ))
-    };
-    let cache = match &store {
-        Some(st) => ProfileCache::with_store(st.clone()),
-        None => ProfileCache::new(),
+    let store =
+        if no_checkpoint {
+            None
+        } else {
+            let dir = store_dir.map_or_else(CheckpointStore::default_dir, PathBuf::from);
+            Some(Arc::new(CheckpointStore::open(&dir).map_err(|e| {
+                io_err(format!("cannot open checkpoint store {}: {e}", dir.display()))
+            })?))
+        };
+    // The session owns the profile cache and (optionally) the store;
+    // every grid below runs through it.
+    let session = match &store {
+        Some(st) => Session::with_store(st.clone()),
+        None => Session::new(),
     };
     let kernel = if opts.tick_exact { "tick-exact" } else { "fast-forward" };
 
@@ -581,12 +712,10 @@ fn cmd_reproduce(
         let results: Vec<MixResult> = if no_checkpoint {
             policies
                 .iter()
-                .flat_map(|p| {
-                    run_grid_with_store(mixes, std::slice::from_ref(p), &opts, &cache, None)
-                })
+                .flat_map(|p| session.run_grid(mixes, std::slice::from_ref(p), &opts))
                 .collect()
         } else {
-            run_grid_with_store(mixes, policies, &opts, &cache, store.as_deref())
+            session.run_grid(mixes, policies, &opts)
         };
         timed_out += results.iter().filter(|r| r.timed_out).count();
         stages.push(Stage {
@@ -597,7 +726,9 @@ fn cmd_reproduce(
         });
     }
     if timed_out > 0 {
-        return Err(format!("{timed_out} grid run(s) hit the cycle safety net"));
+        return Err(MelreqError::Timeout(format!(
+            "{timed_out} grid run(s) hit the cycle safety net"
+        )));
     }
 
     // Warm-up-sharing benchmark + fork-vs-fresh divergence gate. The
@@ -606,7 +737,10 @@ fn cmd_reproduce(
     // pre-warmed so neither arm pays them. Full mode benchmarks at a
     // warm-up as long as the measured window — the regime short CI slices
     // stand in for (the paper's 100 M-instruction slices are mostly
-    // warm-up), where sharing visibly amortizes.
+    // warm-up), where sharing visibly amortizes. This stage deliberately
+    // drops below the facade: it pits the two low-level harness paths
+    // (`run_mix_group` vs `run_mix`) against each other.
+    let cache = session.cache();
     let bench_opts =
         if smoke { opts } else { ExperimentOptions { warmup: opts.instructions, ..opts } };
     let bmix = mix_by_name("4MEM-1");
@@ -627,21 +761,21 @@ fn cmd_reproduce(
     let mut fresh_hash = 0u64;
     for _ in 0..reps {
         let t0 = Instant::now();
-        let forked = run_mix_group(&bmix, &f2, &bench_opts, &cache, None);
+        let forked = run_mix_group(&bmix, &f2, &bench_opts, cache, None);
         let fw = t0.elapsed().as_secs_f64();
         let t0 = Instant::now();
         let fresh: Vec<MixResult> =
-            f2.iter().map(|p| run_mix(&bmix, p, &bench_opts, &cache)).collect();
+            f2.iter().map(|p| run_mix(&bmix, p, &bench_opts, cache)).collect();
         let sw = t0.elapsed().as_secs_f64();
         forked_hash = results_hash(&forked);
         fresh_hash = results_hash(&fresh);
         if forked_hash != fresh_hash {
-            return Err(format!(
+            return Err(MelreqError::Divergence(format!(
                 "checkpoint-forked results diverge from fresh runs on {} \
                  (forked {forked_hash:016x}, fresh {fresh_hash:016x}): snapshot \
                  fidelity is broken",
                 bmix.name
-            ));
+            )));
         }
         forked_wall = forked_wall.min(fw);
         fresh_wall = fresh_wall.min(sw);
@@ -662,9 +796,10 @@ fn cmd_reproduce(
     let cps = grid_cycles as f64 / grid_wall.max(1e-9);
     let rss = peak_rss_bytes();
 
-    // The machine-readable artifact.
+    // The machine-readable artifact, stamped with the workspace-wide
+    // schema version shared by every machine-readable output.
     let mut json = String::new();
-    json.push_str("{\n  \"schema\": 1,\n");
+    let _ = writeln!(json, "{{\n  \"schema_version\": {},", melreq_core::api::SCHEMA_VERSION);
     let _ = writeln!(json, "  \"mode\": \"{}\",", if smoke { "smoke" } else { "full" });
     let _ = writeln!(json, "  \"kernel\": \"{kernel}\",");
     let _ = writeln!(
@@ -731,7 +866,7 @@ fn cmd_reproduce(
         None => json.push_str("  \"peak_rss_bytes\": null\n"),
     }
     json.push_str("}\n");
-    std::fs::write(out_path, &json).map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    std::fs::write(out_path, &json).map_err(|e| io_err(format!("cannot write {out_path}: {e}")))?;
 
     // The human summary.
     let mut out = format!(
@@ -790,28 +925,129 @@ fn cmd_reproduce(
     Ok(out)
 }
 
-fn try_mix(name: &str) -> Result<Mix, String> {
+/// `melreq serve`: run the HTTP service in the foreground until SIGTERM
+/// (or POST /shutdown) drains it.
+#[allow(clippy::too_many_arguments)]
+fn cmd_serve(
+    addr: &str,
+    workers: usize,
+    queue_cap: usize,
+    store: Option<&str>,
+    no_store: bool,
+    timeout_ms: Option<u64>,
+    response_cache: usize,
+) -> Result<String, MelreqError> {
+    let store_dir = if no_store {
+        None
+    } else {
+        Some(store.map_or_else(CheckpointStore::default_dir, PathBuf::from))
+    };
+    let cfg = ServeConfig {
+        addr: addr.to_string(),
+        workers,
+        queue_cap,
+        store_dir,
+        default_timeout_ms: timeout_ms,
+        response_cache,
+    };
+    melreq_serve::serve_forever(cfg)
+}
+
+/// `melreq client`: build the same typed request the local commands use
+/// and send it to a running server.
+fn cmd_client(
+    verb: &str,
+    mix: Option<&str>,
+    specs: &[PolicySpec],
+    opts: &ExperimentOptions,
+    audit: bool,
+    addr: &str,
+    timeout_ms: Option<u64>,
+) -> Result<String, MelreqError> {
+    let (method, path, body) = match verb {
+        "health" => ("GET", "/healthz", None),
+        "metrics" => ("GET", "/metrics", None),
+        "shutdown" => ("POST", "/shutdown", None),
+        "run" | "compare" => {
+            if verb == "run" && specs.len() != 1 {
+                return Err(usage(format!(
+                    "client run takes exactly one policy (got {}); use client compare \
+                     for policy sets",
+                    specs.len()
+                )));
+            }
+            let mix = try_mix(mix.expect("parser guarantees a mix for run/compare"))?;
+            let mut req = sim_request(&mix, specs, opts, audit);
+            if let Some(ms) = timeout_ms {
+                req = req.timeout_ms(ms);
+            }
+            let path = if verb == "run" { "/run" } else { "/compare" };
+            ("POST", path, Some(req.to_json()))
+        }
+        other => return Err(usage(format!("unknown client verb '{other}'"))),
+    };
+    // Generous socket timeout: the request's own wall-clock budget (if
+    // any) plus slack, else long enough for a full-scale run.
+    let socket_timeout =
+        Duration::from_millis(timeout_ms.map_or(600_000, |ms| ms.saturating_add(30_000)));
+    let (status, response) = http::exchange(addr, method, path, body.as_deref(), socket_timeout)
+        .map_err(|e| io_err(format!("cannot reach {addr}: {e}")))?;
+    match status {
+        200 => Ok(response),
+        400 => Err(usage(format!("server rejected the request: {response}"))),
+        429 => Err(MelreqError::Overload { retry_after_s: 1 }),
+        503 => Err(MelreqError::Overload { retry_after_s: 1 }),
+        504 => Err(MelreqError::Timeout(format!("server timed out the run: {response}"))),
+        s => Err(io_err(format!("server answered HTTP {s}: {response}"))),
+    }
+}
+
+fn try_mix(name: &str) -> Result<Mix, MelreqError> {
     melreq_workloads::all_mixes()
         .into_iter()
         .find(|m| m.name.eq_ignore_ascii_case(name))
-        .ok_or_else(|| format!("unknown workload '{name}'; names follow Table 3 (2MEM-1 … 8MIX-6)"))
+        .ok_or_else(|| {
+            usage(format!("unknown workload '{name}'; names follow Table 3 (2MEM-1 … 8MIX-6)"))
+        })
 }
 
 /// Execute a parsed command, returning its rendered output.
-pub fn run_command(cmd: &Command) -> Result<String, String> {
+pub fn run_command(cmd: &Command) -> Result<String, MelreqError> {
     match cmd {
         Command::Help => Ok(USAGE.to_string()),
         Command::Config { cores } => Ok(SystemConfig::paper(*cores, PolicyKind::MeLreq).describe()),
         Command::Profile { apps, opts } => cmd_profile(apps, opts),
-        Command::Run { mix, policy, opts, audit, obs } => cmd_run(mix, policy, opts, *audit, obs),
+        Command::Run { mix, policy, opts, audit, obs, json } => {
+            cmd_run(mix, policy, opts, *audit, obs, *json)
+        }
         Command::Trace { mix, policy, out, obs, opts } => cmd_trace(mix, policy, out, obs, opts),
         Command::Audit { mix, policy, opts } => cmd_audit(mix, policy, opts),
-        Command::Compare { mix, policies, opts, provenance } => {
-            cmd_compare(mix, policies, opts, *provenance)
+        Command::Compare { mix, policies, opts, provenance, json } => {
+            cmd_compare(mix, policies, opts, *provenance, *json)
         }
         Command::Sweep { kind, policies, opts } => cmd_sweep(kind, policies, opts),
         Command::Reproduce { smoke, no_checkpoint, store, out, opts } => {
             cmd_reproduce(*smoke, *no_checkpoint, store.as_deref(), out, opts)
+        }
+        Command::Serve {
+            addr,
+            workers,
+            queue_cap,
+            store,
+            no_store,
+            timeout_ms,
+            response_cache,
+        } => cmd_serve(
+            addr,
+            *workers,
+            *queue_cap,
+            store.as_deref(),
+            *no_store,
+            *timeout_ms,
+            *response_cache,
+        ),
+        Command::Client { verb, mix, policies, opts, audit, addr, timeout_ms } => {
+            cmd_client(verb, mix.as_deref(), policies, opts, *audit, addr, *timeout_ms)
         }
     }
 }
@@ -845,9 +1081,12 @@ mod tests {
             &quick(),
             false,
             &ObsArgs::default(),
+            false,
         );
         assert!(e.is_err());
-        assert!(e.unwrap_err().contains("Table 3"));
+        let e = e.unwrap_err();
+        assert_eq!(e.exit_code(), 2, "unknown mix is a usage error");
+        assert!(e.to_string().contains("Table 3"));
     }
 
     #[test]
@@ -877,11 +1116,12 @@ mod tests {
             &quick(),
             true,
             &ObsArgs::default(),
+            false,
         )
         .unwrap();
         assert!(s.contains("0 violations"));
         assert!(s.contains("stream hash"));
-        let e = cmd_run("2MEM-1", &PolicySpec::Fq, &quick(), true, &ObsArgs::default());
+        let e = cmd_run("2MEM-1", &PolicySpec::Fq, &quick(), true, &ObsArgs::default(), false);
         assert!(e.is_err(), "--audit must reject externally built policies");
     }
 
@@ -911,6 +1151,7 @@ mod tests {
                 .unwrap();
         assert!(s.contains("bit-exact"), "summary must confirm the fork gate:\n{s}");
         let json = std::fs::read_to_string(&out).unwrap();
+        assert!(json.contains(&format!("\"schema_version\": {}", melreq_core::api::SCHEMA_VERSION)));
         assert!(json.contains("\"mode\": \"smoke\""));
         assert!(json.contains("\"bit_exact\": true"));
         assert!(json.contains("\"fork_speedup\""));
@@ -926,6 +1167,7 @@ mod tests {
             &quick(),
             false,
             &ObsArgs::default(),
+            false,
         )
         .unwrap();
         assert!(s.contains("wupwise"));
@@ -937,10 +1179,86 @@ mod tests {
             &[PolicySpec::Paper(PolicyKind::HfRf), PolicySpec::Fq],
             &quick(),
             false,
+            false,
         )
         .unwrap();
         assert!(s.contains("FQ"));
         assert!(s.contains("+0.0%")); // baseline row
+    }
+
+    #[test]
+    fn run_json_is_versioned_and_deterministic() {
+        let run = || {
+            cmd_run(
+                "2mem-1", // case-insensitive lookup feeds the canonical name
+                &PolicySpec::Paper(PolicyKind::MeLreq),
+                &quick(),
+                false,
+                &ObsArgs::default(),
+                true,
+            )
+            .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "--json output must be byte-deterministic");
+        assert!(a.starts_with(&format!(
+            "{{\"schema_version\":{},\"mix\":\"2MEM-1\"",
+            melreq_core::api::SCHEMA_VERSION
+        )));
+        assert!(a.contains("\"policies\":[{\"policy\":\"ME-LREQ\""));
+        assert!(!a.contains('\n'), "the report is a single line");
+        // And it must match the facade's own rendering for the same
+        // request — the CLI adds nothing on top.
+        let req =
+            SimRequest::new("2MEM-1").policy(PolicySpec::Paper(PolicyKind::MeLreq)).opts(quick());
+        let direct = Session::new().run(&req, &RunControl::default()).unwrap().to_json();
+        assert_eq!(a, direct);
+    }
+
+    #[test]
+    fn json_rejects_obs_flags_and_provenance() {
+        let obs = ObsArgs { provenance: true, ..ObsArgs::default() };
+        let e =
+            cmd_run("2MEM-1", &PolicySpec::Paper(PolicyKind::MeLreq), &quick(), false, &obs, true)
+                .unwrap_err();
+        assert_eq!(e.exit_code(), 2);
+        let e = cmd_compare("2MEM-1", &[PolicySpec::Paper(PolicyKind::HfRf)], &quick(), true, true)
+            .unwrap_err();
+        assert_eq!(e.exit_code(), 2);
+    }
+
+    #[test]
+    fn compare_json_reports_every_policy() {
+        let s = cmd_compare(
+            "2MEM-1",
+            &[PolicySpec::Paper(PolicyKind::HfRf), PolicySpec::Fq],
+            &quick(),
+            false,
+            true,
+        )
+        .unwrap();
+        assert!(s.contains("\"policy\":\"HF-RF\""));
+        assert!(s.contains("\"policy\":\"FQ\""));
+        assert!(s.starts_with("{\"schema_version\":"));
+    }
+
+    #[test]
+    fn client_errors_without_a_server() {
+        // Port 1 on localhost: connection refused, reported as I/O.
+        let e = cmd_client("health", None, &[], &quick(), false, "127.0.0.1:1", None).unwrap_err();
+        assert_eq!(e.exit_code(), 3, "unreachable server is an I/O error: {e}");
+        let e = cmd_client(
+            "run",
+            Some("2MEM-1"),
+            &[PolicySpec::Paper(PolicyKind::HfRf), PolicySpec::Fq],
+            &quick(),
+            false,
+            "127.0.0.1:1",
+            None,
+        )
+        .unwrap_err();
+        assert_eq!(e.exit_code(), 2, "client run rejects policy sets before connecting");
     }
 
     #[test]
@@ -969,8 +1287,14 @@ mod tests {
         assert!(json.contains("\"traceEvents\""), "Chrome trace_event envelope missing");
         assert!(json.contains("\"ph\": \"X\""), "no duration slices emitted");
         let csv = std::fs::read_to_string(&series).unwrap();
-        assert!(csv.lines().count() > 1, "series CSV must have header + rows:\n{csv}");
-        assert!(csv.starts_with("cycle,"), "series CSV header:\n{csv}");
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            format!("# schema_version={}", melreq_snap::SCHEMA_VERSION),
+            "series CSV must lead with the schema stamp:\n{csv}"
+        );
+        assert!(lines.next().unwrap().starts_with("cycle,"), "series CSV header:\n{csv}");
+        assert!(lines.next().is_some(), "series CSV must have data rows:\n{csv}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -992,11 +1316,12 @@ mod tests {
             ..ObsArgs::default()
         };
         let s =
-            cmd_run("2MEM-1", &PolicySpec::Paper(PolicyKind::HfRf), &quick(), true, &obs).unwrap();
+            cmd_run("2MEM-1", &PolicySpec::Paper(PolicyKind::HfRf), &quick(), true, &obs, false)
+                .unwrap();
         assert!(s.contains("0 violations"), "audit and tracing must coexist:\n{s}");
         assert!(s.contains("decision provenance"), "provenance missing:\n{s}");
         assert!(trace.exists());
-        let e = cmd_run("2MEM-1", &PolicySpec::Fq, &quick(), false, &obs);
+        let e = cmd_run("2MEM-1", &PolicySpec::Fq, &quick(), false, &obs, false);
         assert!(e.is_err(), "obs flags must reject externally built policies");
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -1008,11 +1333,12 @@ mod tests {
             &[PolicySpec::Paper(PolicyKind::HfRf), PolicySpec::Paper(PolicyKind::MeLreq)],
             &quick(),
             true,
+            false,
         )
         .unwrap();
         assert!(s.contains("decision provenance"), "provenance table missing:\n{s}");
         assert!(s.contains("ME-LREQ"), "both policies must appear:\n{s}");
-        let e = cmd_compare("2MEM-1", &[PolicySpec::Fq], &quick(), true);
+        let e = cmd_compare("2MEM-1", &[PolicySpec::Fq], &quick(), true, false);
         assert!(e.is_err(), "--provenance must reject externally built policies");
     }
 }

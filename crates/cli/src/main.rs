@@ -1,14 +1,16 @@
 //! The `melreq` command-line tool. See `melreq help`.
 
 use melreq_cli::{parse_args, run_command};
+use melreq_core::api::MelreqError;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match parse_args(&args).and_then(|cmd| run_command(&cmd)) {
+    let result = parse_args(&args).map_err(MelreqError::Usage).and_then(|cmd| run_command(&cmd));
+    match result {
         Ok(out) => println!("{out}"),
         Err(e) => {
             eprintln!("error: {e}");
-            std::process::exit(2);
+            std::process::exit(e.exit_code());
         }
     }
 }

@@ -4,53 +4,11 @@
 use melreq_core::experiment::ExperimentOptions;
 use melreq_memctrl::policy::PolicyKind;
 
-/// A policy selected on the command line: one of the paper's schemes or
-/// one of this repo's extensions.
-#[derive(Debug, Clone, PartialEq)]
-pub enum PolicySpec {
-    /// A scheme from the paper's evaluated set.
-    Paper(PolicyKind),
-    /// Start-time fair queueing (extension).
-    Fq,
-    /// Stall-time-fairness heuristic (extension).
-    Stf,
-}
-
-impl PolicySpec {
-    /// Parse a policy name as accepted by `--policy`/`--policies`.
-    pub fn parse(s: &str) -> Result<Self, String> {
-        Ok(match s.to_ascii_lowercase().as_str() {
-            "fcfs" => PolicySpec::Paper(PolicyKind::Fcfs),
-            "fcfs-rf" => PolicySpec::Paper(PolicyKind::FcfsRf),
-            "hf-rf" | "hfrf" | "baseline" => PolicySpec::Paper(PolicyKind::HfRf),
-            "rr" | "round-robin" => PolicySpec::Paper(PolicyKind::RoundRobin),
-            "lreq" => PolicySpec::Paper(PolicyKind::Lreq),
-            "me" => PolicySpec::Paper(PolicyKind::Me),
-            "me-lreq" | "melreq" => PolicySpec::Paper(PolicyKind::MeLreq),
-            "me-lreq-on" | "online" => {
-                PolicySpec::Paper(PolicyKind::MeLreqOnline { epoch_cycles: 50_000 })
-            }
-            "fix-0123" => {
-                PolicySpec::Paper(PolicyKind::Fixed { name: "FIX-0123", order: vec![0, 1, 2, 3] })
-            }
-            "fix-3210" => {
-                PolicySpec::Paper(PolicyKind::Fixed { name: "FIX-3210", order: vec![3, 2, 1, 0] })
-            }
-            "fq" => PolicySpec::Fq,
-            "stf" => PolicySpec::Stf,
-            other => return Err(format!("unknown policy '{other}'")),
-        })
-    }
-
-    /// Display name.
-    pub fn name(&self) -> &'static str {
-        match self {
-            PolicySpec::Paper(k) => k.name(),
-            PolicySpec::Fq => "FQ",
-            PolicySpec::Stf => "STF",
-        }
-    }
-}
+/// A policy selected on the command line. This is the facade's
+/// [`melreq_core::api::PolicyChoice`] — the CLI, the service and the
+/// bench harness all parse policy names through the same type, so a
+/// token accepted here is accepted everywhere.
+pub use melreq_core::api::PolicyChoice as PolicySpec;
 
 /// Observability flags (`--trace`, `--series`, `--sample-epoch`,
 /// `--trace-cap`, `--provenance`) accepted by `run` and `trace`.
@@ -101,6 +59,8 @@ pub enum Command {
         audit: bool,
         /// Observability outputs (trace/series/provenance).
         obs: ObsArgs,
+        /// Emit the versioned machine-readable report instead of tables.
+        json: bool,
     },
     /// Run one mix with the trace collector attached and export a
     /// Chrome/Perfetto trace (plus optional epoch time-series).
@@ -136,6 +96,8 @@ pub enum Command {
         opts: ExperimentOptions,
         /// Append per-policy decision-provenance totals.
         provenance: bool,
+        /// Emit the versioned machine-readable report instead of tables.
+        json: bool,
     },
     /// Core-count scaling sweep (2/4/8) of average improvement.
     Sweep {
@@ -164,6 +126,42 @@ pub enum Command {
         /// Harness options.
         opts: ExperimentOptions,
     },
+    /// Serve the simulator over HTTP: `/run`, `/compare`, `/healthz`,
+    /// `/metrics` on a bounded worker pool sharing one checkpoint store.
+    Serve {
+        /// Bind address (`--addr HOST:PORT`).
+        addr: String,
+        /// Worker threads executing simulations.
+        workers: usize,
+        /// Bounded job-queue capacity (beyond it: 429 + `Retry-After`).
+        queue_cap: usize,
+        /// Checkpoint-store directory override.
+        store: Option<String>,
+        /// Run storeless (every request warms up from scratch).
+        no_store: bool,
+        /// Default per-request wall-clock budget in milliseconds.
+        timeout_ms: Option<u64>,
+        /// Response-cache capacity in entries (0 = off, the default).
+        response_cache: usize,
+    },
+    /// Talk to a running server: build the same typed request the local
+    /// commands use and POST it (or hit a GET endpoint).
+    Client {
+        /// `run`, `compare`, `health`, `metrics` or `shutdown`.
+        verb: String,
+        /// Table 3 mix name (run/compare).
+        mix: Option<String>,
+        /// Policies for run/compare.
+        policies: Vec<PolicySpec>,
+        /// Harness options forwarded in the request body.
+        opts: ExperimentOptions,
+        /// Attach the auditor server-side.
+        audit: bool,
+        /// Server address.
+        addr: String,
+        /// Per-request wall-clock budget in milliseconds.
+        timeout_ms: Option<u64>,
+    },
     /// Print the Table 1 machine configuration.
     Config {
         /// Core count to describe.
@@ -179,16 +177,21 @@ melreq — memory access scheduling simulator (ICPP'08 ME-LREQ reproduction)
 
 USAGE:
   melreq profile [--apps a,b,...] [common options]
-  melreq run <MIX> [--policy NAME] [--audit] [trace options]
+  melreq run <MIX> [--policy NAME] [--audit] [--json] [trace options]
              [common options]
   melreq trace <MIX> [--policy NAME] [--out PATH] [trace options]
                [common options]
-  melreq compare <MIX> [--policies n1,n2,...] [--provenance]
+  melreq compare <MIX> [--policies n1,n2,...] [--provenance] [--json]
                  [common options]
   melreq sweep [--kind mem|mix|all] [--policies n1,n2,...] [common options]
   melreq audit [MIX] [--policy NAME] [common options]
   melreq reproduce [--smoke] [--no-checkpoint] [--store DIR] [--out PATH]
                    [common options]
+  melreq serve [--addr H:P] [--workers N] [--queue-cap M] [--store DIR]
+               [--no-store] [--timeout-ms N] [--response-cache N]
+  melreq client run|compare <MIX> [--policy NAME | --policies n1,...]
+               [--addr H:P] [--timeout-ms N] [common options]
+  melreq client health|metrics|shutdown [--addr H:P]
   melreq config [--cores N]
   melreq help
 
@@ -207,8 +210,11 @@ COMMAND FLAGS:
   profile   --apps a,b,...      subset of SPEC2000 names (default all 26)
   run       --policy NAME       scheduling policy       (default me-lreq)
             --audit             attach the protocol/invariant checker
+            --json              print the versioned single-line report
+                                (byte-identical to the server's /run body)
   compare   --policies n1,...   policy list, first = baseline
             --provenance        per-policy rule-attribution totals
+            --json              versioned report instead of the table
   sweep     --kind mem|mix|all  workload class          (default mem)
             --policies n1,...   policy list, first = baseline
   reproduce --smoke             reduced CI grid + fork-vs-fresh gate
@@ -216,6 +222,15 @@ COMMAND FLAGS:
             --store DIR         checkpoint-store directory
                                 (default MELREQ_STORE, else .melreq-store)
             --out PATH          sweep artifact          (BENCH_sweep.json)
+  serve     --addr H:P          bind address        (default 127.0.0.1:7700)
+            --workers N         simulation worker threads       (default 2)
+            --queue-cap M       job-queue bound; beyond it 429 (default 16)
+            --store DIR         checkpoint-store directory (same default)
+            --no-store          run storeless (no warm-up reuse)
+            --timeout-ms N      default per-request wall-clock budget
+            --response-cache N  cache N rendered responses  (default 0=off)
+  client    --addr H:P          server address      (default 127.0.0.1:7700)
+            --timeout-ms N      request wall-clock budget (forwarded)
   config    --cores N           core count to describe  (default 4)
 
 TRACE OPTIONS (run and trace):
@@ -230,6 +245,19 @@ TRACE OPTIONS (run and trace):
                      oldest events drop beyond it)
   --provenance       print which scheduler rule won each grant,
                      aggregated per policy
+
+SERVICE:
+  `melreq serve` exposes the simulator over HTTP/1.1 (std-only, no
+  external dependencies): POST /run and /compare take the same JSON
+  request the `melreq client` subcommand builds, execute it on a bounded
+  worker pool sharing one profile cache and checkpoint store, and return
+  `{\"cache\": ..., \"store\": ..., \"report\": ...}` where `report` is
+  byte-identical to `melreq run --json` for the same request. A full
+  queue answers 429 with Retry-After; per-request wall-clock budgets
+  cancel runs at an epoch boundary (504); SIGTERM (or POST /shutdown)
+  drains queued jobs before exiting. GET /healthz and /metrics
+  (Prometheus text format) serve operators. Every machine-readable body
+  carries schema_version; mismatched client requests are rejected.
 
 TRACING:
   `melreq trace` runs a mix with the deterministic trace collector on
@@ -257,6 +285,10 @@ AUDITING:
   against the policy's invariants. `melreq audit` runs a mix twice
   (default 4MEM-1 under ME-LREQ), requires both reports clean, and checks
   the two event-stream hashes are identical; any violation exits nonzero.
+
+EXIT CODES:
+  0 success · 2 usage · 3 I/O · 4 divergence (audit/fork gate)
+  5 overload · 6 timeout/cancelled
 ";
 
 fn split_list(s: &str) -> Vec<String> {
@@ -264,6 +296,7 @@ fn split_list(s: &str) -> Vec<String> {
 }
 
 /// Parse a full argument vector (without the program name).
+#[allow(clippy::too_many_lines)]
 pub fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut it = args.iter().peekable();
     let Some(cmd) = it.next() else {
@@ -284,6 +317,13 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut store: Option<String> = None;
     let mut out: Option<String> = None;
     let mut obs = ObsArgs::default();
+    let mut json = false;
+    let mut addr = "127.0.0.1:7700".to_string();
+    let mut workers = 2usize;
+    let mut queue_cap = 16usize;
+    let mut no_store = false;
+    let mut timeout_ms: Option<u64> = None;
+    let mut response_cache = 0usize;
 
     while let Some(a) = it.next() {
         let mut val = |name: &str| -> Result<&String, String> {
@@ -333,9 +373,33 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     Some(val("--trace-cap")?.parse().map_err(|e| format!("--trace-cap: {e}"))?);
             }
             "--provenance" => obs.provenance = true,
+            "--json" => json = true,
             "--kind" => kind = val("--kind")?.clone(),
             "--cores" => {
                 cores = val("--cores")?.parse().map_err(|e| format!("--cores: {e}"))?;
+            }
+            "--addr" => addr = val("--addr")?.clone(),
+            "--workers" => {
+                workers = val("--workers")?.parse().map_err(|e| format!("--workers: {e}"))?;
+                if workers == 0 {
+                    return Err("--workers must be positive".to_string());
+                }
+            }
+            "--queue-cap" => {
+                queue_cap = val("--queue-cap")?.parse().map_err(|e| format!("--queue-cap: {e}"))?;
+                if queue_cap == 0 {
+                    return Err("--queue-cap must be positive".to_string());
+                }
+            }
+            "--no-store" => no_store = true,
+            "--timeout-ms" => {
+                timeout_ms =
+                    Some(val("--timeout-ms")?.parse().map_err(|e| format!("--timeout-ms: {e}"))?);
+            }
+            "--response-cache" => {
+                response_cache = val("--response-cache")?
+                    .parse()
+                    .map_err(|e| format!("--response-cache: {e}"))?;
             }
             flag if flag.starts_with("--") => return Err(format!("unknown flag '{flag}'")),
             pos => positional.push(pos.to_string()),
@@ -363,6 +427,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 opts,
                 audit,
                 obs,
+                json,
             })
         }
         "trace" => {
@@ -391,7 +456,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 .ok_or("compare needs a workload mix name (e.g. 4MEM-1)")?
                 .clone();
             let policies = if policies.is_empty() { default_policies() } else { policies };
-            Ok(Command::Compare { mix, policies, opts, provenance: obs.provenance })
+            Ok(Command::Compare { mix, policies, opts, provenance: obs.provenance, json })
         }
         "sweep" => {
             let policies = if policies.is_empty() { default_policies() } else { policies };
@@ -407,6 +472,40 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             out: out.unwrap_or_else(|| "BENCH_sweep.json".to_string()),
             opts,
         }),
+        "serve" => Ok(Command::Serve {
+            addr,
+            workers,
+            queue_cap,
+            store,
+            no_store,
+            timeout_ms,
+            response_cache,
+        }),
+        "client" => {
+            let verb = positional
+                .first()
+                .ok_or("client needs a verb: run, compare, health, metrics or shutdown")?
+                .clone();
+            if !matches!(verb.as_str(), "run" | "compare" | "health" | "metrics" | "shutdown") {
+                return Err(format!(
+                    "unknown client verb '{verb}' (run, compare, health, metrics, shutdown)"
+                ));
+            }
+            let mix = positional.get(1).cloned();
+            if matches!(verb.as_str(), "run" | "compare") && mix.is_none() {
+                return Err(format!("client {verb} needs a workload mix name (e.g. 4MEM-1)"));
+            }
+            let policies = if let Some(p) = policy {
+                vec![p]
+            } else if policies.is_empty() && verb == "compare" {
+                default_policies()
+            } else if policies.is_empty() {
+                vec![PolicySpec::Paper(PolicyKind::MeLreq)]
+            } else {
+                policies
+            };
+            Ok(Command::Client { verb, mix, policies, opts, audit, addr, timeout_ms })
+        }
         "config" => Ok(Command::Config { cores }),
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(format!("unknown command '{other}' (try `melreq help`)")),
@@ -432,13 +531,26 @@ mod tests {
         let c = parse_args(&v(&["run", "4MEM-1", "--policy", "lreq", "--instructions", "5000"]))
             .unwrap();
         match c {
-            Command::Run { mix, policy, opts, audit, obs } => {
+            Command::Run { mix, policy, opts, audit, obs, json } => {
                 assert_eq!(mix, "4MEM-1");
                 assert_eq!(policy, PolicySpec::Paper(PolicyKind::Lreq));
                 assert_eq!(opts.instructions, 5000);
                 assert!(!audit);
                 assert!(!obs.any());
+                assert!(!json);
             }
+            c => panic!("wrong command {c:?}"),
+        }
+    }
+
+    #[test]
+    fn json_flag_parses_on_run_and_compare() {
+        match parse_args(&v(&["run", "4MEM-1", "--json"])).unwrap() {
+            Command::Run { json, .. } => assert!(json),
+            c => panic!("wrong command {c:?}"),
+        }
+        match parse_args(&v(&["compare", "4MEM-1", "--json"])).unwrap() {
+            Command::Compare { json, .. } => assert!(json),
             c => panic!("wrong command {c:?}"),
         }
     }
@@ -515,6 +627,93 @@ mod tests {
     }
 
     #[test]
+    fn serve_parses_flags_and_defaults() {
+        match parse_args(&v(&["serve"])).unwrap() {
+            Command::Serve {
+                addr,
+                workers,
+                queue_cap,
+                store,
+                no_store,
+                timeout_ms,
+                response_cache,
+            } => {
+                assert_eq!(addr, "127.0.0.1:7700");
+                assert_eq!((workers, queue_cap, response_cache), (2, 16, 0));
+                assert!(store.is_none() && !no_store && timeout_ms.is_none());
+            }
+            c => panic!("wrong command {c:?}"),
+        }
+        match parse_args(&v(&[
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "4",
+            "--queue-cap",
+            "8",
+            "--no-store",
+            "--timeout-ms",
+            "2500",
+            "--response-cache",
+            "32",
+        ]))
+        .unwrap()
+        {
+            Command::Serve {
+                addr,
+                workers,
+                queue_cap,
+                no_store,
+                timeout_ms,
+                response_cache,
+                ..
+            } => {
+                assert_eq!(addr, "127.0.0.1:0");
+                assert_eq!((workers, queue_cap, response_cache), (4, 8, 32));
+                assert!(no_store);
+                assert_eq!(timeout_ms, Some(2500));
+            }
+            c => panic!("wrong command {c:?}"),
+        }
+        assert!(parse_args(&v(&["serve", "--workers", "0"])).is_err());
+        assert!(parse_args(&v(&["serve", "--queue-cap", "0"])).is_err());
+    }
+
+    #[test]
+    fn client_parses_verbs_and_validates() {
+        match parse_args(&v(&["client", "run", "4MEM-1", "--policy", "lreq", "--addr", "h:1"]))
+            .unwrap()
+        {
+            Command::Client { verb, mix, policies, addr, .. } => {
+                assert_eq!(verb, "run");
+                assert_eq!(mix.as_deref(), Some("4MEM-1"));
+                assert_eq!(policies.len(), 1);
+                assert_eq!(policies[0].name(), "LREQ");
+                assert_eq!(addr, "h:1");
+            }
+            c => panic!("wrong command {c:?}"),
+        }
+        match parse_args(&v(&["client", "compare", "2MEM-1"])).unwrap() {
+            Command::Client { verb, policies, .. } => {
+                assert_eq!(verb, "compare");
+                assert_eq!(policies.len(), 5, "compare defaults to the Figure 2 set");
+            }
+            c => panic!("wrong command {c:?}"),
+        }
+        match parse_args(&v(&["client", "health"])).unwrap() {
+            Command::Client { verb, mix, .. } => {
+                assert_eq!(verb, "health");
+                assert!(mix.is_none());
+            }
+            c => panic!("wrong command {c:?}"),
+        }
+        assert!(parse_args(&v(&["client"])).is_err());
+        assert!(parse_args(&v(&["client", "bogus"])).is_err());
+        assert!(parse_args(&v(&["client", "run"])).is_err());
+    }
+
+    #[test]
     fn trace_and_obs_flags_parse() {
         let c = parse_args(&v(&[
             "trace",
@@ -573,6 +772,8 @@ mod tests {
         assert!(e.contains("--frobnicate"), "error must name the flag: {e}");
         let e = parse_args(&v(&["trace", "4MEM-1", "--sample-epoch"])).unwrap_err();
         assert!(e.contains("--sample-epoch"), "error must name the flag: {e}");
+        let e = parse_args(&v(&["serve", "--timeout-ms"])).unwrap_err();
+        assert!(e.contains("--timeout-ms"), "error must name the flag: {e}");
     }
 
     #[test]
@@ -598,6 +799,13 @@ mod tests {
             "--sample-epoch",
             "--trace-cap",
             "--provenance",
+            "--json",
+            "--addr",
+            "--workers",
+            "--queue-cap",
+            "--no-store",
+            "--timeout-ms",
+            "--response-cache",
         ] {
             assert!(USAGE.contains(flag), "USAGE must document {flag}");
         }
@@ -623,7 +831,7 @@ mod tests {
         match c {
             Command::Compare { policies, .. } => {
                 assert_eq!(
-                    policies.iter().map(super::PolicySpec::name).collect::<Vec<_>>(),
+                    policies.iter().map(PolicySpec::name).collect::<Vec<_>>(),
                     vec!["HF-RF", "FQ", "STF"]
                 );
             }

@@ -1,0 +1,877 @@
+//! The typed public facade of the simulator: one entry point shared by
+//! the CLI, the HTTP service (`melreq-serve`) and the benchmark harness.
+//!
+//! A [`SimRequest`] names a Table 3 mix, a policy set and the harness
+//! options; [`Session::run`] executes it — reusing the fork-per-policy
+//! warm-up kernel and the persistent [`CheckpointStore`] when one is
+//! attached — and returns a versioned [`SimReport`] whose
+//! [`SimReport::to_json`] rendering is **byte-deterministic**: the same
+//! request produces the same bytes whether it ran through `melreq run
+//! --json`, the service's `/run` endpoint, or a warm checkpoint store.
+//! Wall-clock time and cache provenance are deliberately *not* part of
+//! the report (the service carries them in its response envelope), which
+//! is what makes that identity hold.
+//!
+//! Failures are typed ([`MelreqError`]) and carry both a process exit
+//! code and an HTTP status, so the CLI and the service map errors the
+//! same way from the same values.
+
+pub mod json;
+
+use crate::experiment::{self, ExperimentOptions, MixResult, ProfileCache, RunControl};
+use crate::store::CheckpointStore;
+use crate::system::CancelToken;
+use json::{esc, fmt_f64, Json};
+use melreq_memctrl::policy::PolicyKind;
+use melreq_memctrl::{FairQueueing, StallTimeFair};
+use melreq_workloads::{all_mixes, Mix};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Schema version stamped on every machine-readable artifact this
+/// workspace emits (reports, series files, checkpoint containers). The
+/// single source of truth is `melreq_snap::SCHEMA_VERSION`.
+pub const SCHEMA_VERSION: u32 = melreq_snap::SCHEMA_VERSION;
+
+/// A typed failure, shared by every entry point. Each variant maps to
+/// both a CLI exit code ([`MelreqError::exit_code`]) and an HTTP status
+/// ([`MelreqError::http_status`]) so the CLI and the service agree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MelreqError {
+    /// The request itself is invalid (unknown flag, mix, policy, or a
+    /// malformed body). Exit 2 / HTTP 400.
+    Usage(String),
+    /// The host failed us (filesystem, sockets). Exit 3 / HTTP 500.
+    Io(String),
+    /// The simulation violated an invariant it must uphold (audit
+    /// violations, reproduction divergence). Exit 4 / HTTP 500.
+    Divergence(String),
+    /// The service's job queue is full; retry later. Exit 5 / HTTP 429.
+    Overload {
+        /// Suggested client back-off, surfaced as `Retry-After`.
+        retry_after_s: u64,
+    },
+    /// The run exceeded its wall-clock deadline and was cancelled at an
+    /// epoch boundary. Exit 6 / HTTP 504.
+    Timeout(String),
+}
+
+impl MelreqError {
+    /// The process exit code the CLI maps this error to.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            MelreqError::Usage(_) => 2,
+            MelreqError::Io(_) => 3,
+            MelreqError::Divergence(_) => 4,
+            MelreqError::Overload { .. } => 5,
+            MelreqError::Timeout(_) => 6,
+        }
+    }
+
+    /// The HTTP status the service maps this error to.
+    pub fn http_status(&self) -> u16 {
+        match self {
+            MelreqError::Usage(_) => 400,
+            MelreqError::Io(_) | MelreqError::Divergence(_) => 500,
+            MelreqError::Overload { .. } => 429,
+            MelreqError::Timeout(_) => 504,
+        }
+    }
+}
+
+impl std::fmt::Display for MelreqError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MelreqError::Usage(m) | MelreqError::Io(m) | MelreqError::Timeout(m) => f.write_str(m),
+            MelreqError::Divergence(m) => write!(f, "divergence: {m}"),
+            MelreqError::Overload { retry_after_s } => {
+                write!(f, "overloaded; retry after {retry_after_s}s")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MelreqError {}
+
+/// A scheduling policy selectable by name: one of the paper's evaluated
+/// set, or one of this repo's extensions. This is the parse-level type
+/// the CLI's `--policy`/`--policies` flags and the service's request
+/// bodies share (the CLI re-exports it as `PolicySpec`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum PolicyChoice {
+    /// A scheme from the paper's evaluated set.
+    Paper(PolicyKind),
+    /// Start-time fair queueing (extension).
+    Fq,
+    /// Stall-time-fairness heuristic (extension).
+    Stf,
+}
+
+impl PolicyChoice {
+    /// Parse a policy name as accepted by `--policy`/`--policies` and
+    /// the service's `"policies"` request field.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        Ok(match s.to_ascii_lowercase().as_str() {
+            "fcfs" => PolicyChoice::Paper(PolicyKind::Fcfs),
+            "fcfs-rf" => PolicyChoice::Paper(PolicyKind::FcfsRf),
+            "hf-rf" | "hfrf" | "baseline" => PolicyChoice::Paper(PolicyKind::HfRf),
+            "rr" | "round-robin" => PolicyChoice::Paper(PolicyKind::RoundRobin),
+            "lreq" => PolicyChoice::Paper(PolicyKind::Lreq),
+            "me" => PolicyChoice::Paper(PolicyKind::Me),
+            "me-lreq" | "melreq" => PolicyChoice::Paper(PolicyKind::MeLreq),
+            "me-lreq-on" | "online" => {
+                PolicyChoice::Paper(PolicyKind::MeLreqOnline { epoch_cycles: 50_000 })
+            }
+            "fix-0123" => {
+                PolicyChoice::Paper(PolicyKind::Fixed { name: "FIX-0123", order: vec![0, 1, 2, 3] })
+            }
+            "fix-3210" => {
+                PolicyChoice::Paper(PolicyKind::Fixed { name: "FIX-3210", order: vec![3, 2, 1, 0] })
+            }
+            "fq" => PolicyChoice::Fq,
+            "stf" => PolicyChoice::Stf,
+            other => return Err(format!("unknown policy '{other}'")),
+        })
+    }
+
+    /// Display name (report column).
+    pub fn name(&self) -> &'static str {
+        match self {
+            PolicyChoice::Paper(k) => k.name(),
+            PolicyChoice::Fq => "FQ",
+            PolicyChoice::Stf => "STF",
+        }
+    }
+
+    /// The canonical parse token that round-trips through
+    /// [`PolicyChoice::parse`] — used when serialising requests.
+    pub fn token(&self) -> &'static str {
+        match self {
+            PolicyChoice::Paper(PolicyKind::Fcfs) => "fcfs",
+            PolicyChoice::Paper(PolicyKind::FcfsRf) => "fcfs-rf",
+            PolicyChoice::Paper(PolicyKind::HfRf) => "hf-rf",
+            PolicyChoice::Paper(PolicyKind::RoundRobin) => "rr",
+            PolicyChoice::Paper(PolicyKind::Lreq) => "lreq",
+            PolicyChoice::Paper(PolicyKind::Me) => "me",
+            PolicyChoice::Paper(PolicyKind::MeLreq) => "me-lreq",
+            PolicyChoice::Paper(PolicyKind::MeLreqOnline { .. }) => "me-lreq-on",
+            PolicyChoice::Paper(PolicyKind::Fixed { name, .. }) => {
+                if *name == "FIX-3210" {
+                    "fix-3210"
+                } else {
+                    "fix-0123"
+                }
+            }
+            PolicyChoice::Fq => "fq",
+            PolicyChoice::Stf => "stf",
+        }
+    }
+
+    /// A canonical, collision-free description (captures `Fixed` orders
+    /// and online epochs) for request hashing.
+    fn canonical(&self) -> String {
+        match self {
+            PolicyChoice::Paper(k) => format!("{k:?}"),
+            PolicyChoice::Fq => "Fq".to_string(),
+            PolicyChoice::Stf => "Stf".to_string(),
+        }
+    }
+}
+
+/// One simulation request: a mix, a policy set, and the harness knobs.
+/// Build with [`SimRequest::new`] + the chainable setters, or decode a
+/// wire body with [`SimRequest::from_json`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimRequest {
+    /// Table 3 mix name (e.g. `2MEM-1`).
+    pub mix: String,
+    /// Policies to run, in report order (first = comparison baseline).
+    pub policies: Vec<PolicyChoice>,
+    /// Harness options.
+    pub opts: ExperimentOptions,
+    /// Attach the independent protocol/invariant auditor (paper
+    /// policies only); a violated run fails with
+    /// [`MelreqError::Divergence`].
+    pub audit: bool,
+    /// Optional simulated-cycle budget tightening the options' safety
+    /// net; an exhausted budget reports `timed_out` in the result.
+    pub max_cycles: Option<u64>,
+    /// Optional wall-clock deadline in milliseconds; an expired run is
+    /// cancelled at an epoch boundary and fails with
+    /// [`MelreqError::Timeout`]. Not part of the request's identity
+    /// ([`SimRequest::canonical_string`]) — it cannot change the
+    /// deterministic result, only whether it is produced in time.
+    pub timeout_ms: Option<u64>,
+}
+
+impl SimRequest {
+    /// A request for `mix` with default options and no policies (add
+    /// them with [`SimRequest::policy`] / [`SimRequest::policies`]).
+    pub fn new(mix: impl Into<String>) -> Self {
+        SimRequest {
+            mix: mix.into(),
+            policies: Vec::new(),
+            opts: ExperimentOptions::default(),
+            audit: false,
+            max_cycles: None,
+            timeout_ms: None,
+        }
+    }
+
+    /// Append one policy.
+    #[must_use]
+    pub fn policy(mut self, p: PolicyChoice) -> Self {
+        self.policies.push(p);
+        self
+    }
+
+    /// Replace the policy set.
+    #[must_use]
+    pub fn policies(mut self, ps: Vec<PolicyChoice>) -> Self {
+        self.policies = ps;
+        self
+    }
+
+    /// Set the harness options.
+    #[must_use]
+    pub fn opts(mut self, opts: ExperimentOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Attach the auditor.
+    #[must_use]
+    pub fn audit(mut self, on: bool) -> Self {
+        self.audit = on;
+        self
+    }
+
+    /// Set a simulated-cycle budget.
+    #[must_use]
+    pub fn max_cycles(mut self, cycles: u64) -> Self {
+        self.max_cycles = Some(cycles);
+        self
+    }
+
+    /// Set a wall-clock deadline in milliseconds.
+    #[must_use]
+    pub fn timeout_ms(mut self, ms: u64) -> Self {
+        self.timeout_ms = Some(ms);
+        self
+    }
+
+    /// Decode a wire request. Unknown fields are rejected by name; a
+    /// present-but-mismatched `schema_version` is rejected (an absent
+    /// one is accepted for hand-written bodies).
+    pub fn from_json(body: &str) -> Result<Self, MelreqError> {
+        let usage = |m: String| MelreqError::Usage(m);
+        let doc = Json::parse(body).map_err(|e| usage(format!("invalid JSON body: {e}")))?;
+        let members =
+            doc.as_obj().ok_or_else(|| usage("request body must be a JSON object".into()))?;
+
+        let mut req = SimRequest::new("");
+        let mut saw_mix = false;
+        for (key, value) in members {
+            match key.as_str() {
+                "schema_version" => {
+                    let v = value
+                        .as_u64()
+                        .ok_or_else(|| usage("schema_version must be an integer".into()))?;
+                    if v != u64::from(SCHEMA_VERSION) {
+                        return Err(usage(format!(
+                            "schema_version mismatch: request has {v}, this server speaks {SCHEMA_VERSION}"
+                        )));
+                    }
+                }
+                "mix" => {
+                    req.mix = value
+                        .as_str()
+                        .ok_or_else(|| usage("mix must be a string".into()))?
+                        .to_string();
+                    saw_mix = true;
+                }
+                "policies" => {
+                    let arr = value
+                        .as_arr()
+                        .ok_or_else(|| usage("policies must be an array of strings".into()))?;
+                    req.policies = arr
+                        .iter()
+                        .map(|p| {
+                            p.as_str()
+                                .ok_or_else(|| usage("policies must be an array of strings".into()))
+                                .and_then(|s| PolicyChoice::parse(s).map_err(usage))
+                        })
+                        .collect::<Result<_, _>>()?;
+                }
+                "policy" => {
+                    let s =
+                        value.as_str().ok_or_else(|| usage("policy must be a string".into()))?;
+                    req.policies = vec![PolicyChoice::parse(s).map_err(usage)?];
+                }
+                "audit" => {
+                    req.audit =
+                        value.as_bool().ok_or_else(|| usage("audit must be a boolean".into()))?;
+                }
+                "instructions" | "warmup" | "profile_instructions" | "max_cycles_factor" => {
+                    let v = value
+                        .as_u64()
+                        .ok_or_else(|| usage(format!("{key} must be a non-negative integer")))?;
+                    match key.as_str() {
+                        "instructions" => req.opts.instructions = v,
+                        "warmup" => req.opts.warmup = v,
+                        "profile_instructions" => req.opts.profile_instructions = v,
+                        _ => req.opts.max_cycles_factor = v,
+                    }
+                }
+                "eval_slice" => {
+                    let v = value
+                        .as_u64()
+                        .ok_or_else(|| usage("eval_slice must be a non-negative integer".into()))?;
+                    req.opts.eval_slice =
+                        u32::try_from(v).map_err(|_| usage("eval_slice out of range".into()))?;
+                }
+                "tick_exact" => {
+                    req.opts.tick_exact = value
+                        .as_bool()
+                        .ok_or_else(|| usage("tick_exact must be a boolean".into()))?;
+                }
+                "max_cycles" => {
+                    req.max_cycles = Some(value.as_u64().ok_or_else(|| {
+                        usage("max_cycles must be a non-negative integer".into())
+                    })?);
+                }
+                "timeout_ms" => {
+                    req.timeout_ms = Some(value.as_u64().ok_or_else(|| {
+                        usage("timeout_ms must be a non-negative integer".into())
+                    })?);
+                }
+                other => {
+                    return Err(usage(format!("unknown request field '{other}'")));
+                }
+            }
+        }
+        if !saw_mix {
+            return Err(usage("request is missing required field 'mix'".into()));
+        }
+        if req.policies.is_empty() {
+            return Err(usage("request must name at least one policy".into()));
+        }
+        Ok(req)
+    }
+
+    /// Encode as a wire body that [`SimRequest::from_json`] accepts.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(256);
+        write!(s, "{{\"schema_version\":{SCHEMA_VERSION},\"mix\":\"{}\"", esc(&self.mix)).unwrap();
+        let tokens: Vec<String> =
+            self.policies.iter().map(|p| format!("\"{}\"", p.token())).collect();
+        write!(s, ",\"policies\":[{}]", tokens.join(",")).unwrap();
+        let o = &self.opts;
+        write!(
+            s,
+            ",\"audit\":{},\"instructions\":{},\"warmup\":{},\"profile_instructions\":{},\"eval_slice\":{},\"max_cycles_factor\":{},\"tick_exact\":{}",
+            self.audit, o.instructions, o.warmup, o.profile_instructions, o.eval_slice,
+            o.max_cycles_factor, o.tick_exact
+        )
+        .unwrap();
+        if let Some(b) = self.max_cycles {
+            write!(s, ",\"max_cycles\":{b}").unwrap();
+        }
+        if let Some(ms) = self.timeout_ms {
+            write!(s, ",\"timeout_ms\":{ms}").unwrap();
+        }
+        s.push('}');
+        s
+    }
+
+    /// The request's deterministic identity: every field that can change
+    /// the simulated result, in a fixed order. `timeout_ms` is excluded —
+    /// it only bounds wall-clock time.
+    pub fn canonical_string(&self) -> String {
+        let policies: Vec<String> = self.policies.iter().map(PolicyChoice::canonical).collect();
+        let o = &self.opts;
+        format!(
+            "mix={};policies=[{}];audit={};instr={};warmup={};profile={};slice={};factor={};exact={};budget={:?}",
+            self.mix,
+            policies.join(","),
+            self.audit,
+            o.instructions,
+            o.warmup,
+            o.profile_instructions,
+            o.eval_slice,
+            o.max_cycles_factor,
+            o.tick_exact,
+            self.max_cycles,
+        )
+    }
+
+    /// A stable 64-bit key over [`SimRequest::canonical_string`]
+    /// (schema-versioned via `melreq_snap::keyed`) — the service's
+    /// response-cache key.
+    pub fn request_key(&self) -> u64 {
+        melreq_snap::keyed("request", &self.canonical_string())
+    }
+}
+
+/// Audit summary attached to a [`PolicyReport`] when the request ran
+/// with the auditor ([`SimRequest::audit`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditSummary {
+    /// Events the auditor observed.
+    pub events: u64,
+    /// FNV-1a hash of the canonical event stream.
+    pub stream_hash: u64,
+    /// Violations detected (always 0 in a returned report — a violated
+    /// run fails with [`MelreqError::Divergence`] instead).
+    pub violations: u64,
+}
+
+/// One policy's results within a [`SimReport`].
+#[derive(Debug, Clone)]
+pub struct PolicyReport {
+    /// Policy display name.
+    pub policy: String,
+    /// SMT speedup (Equation 2).
+    pub smt_speedup: f64,
+    /// Unfairness metric (Equation 3).
+    pub unfairness: f64,
+    /// Mean read latency across cores, in cycles.
+    pub mean_read_latency: f64,
+    /// Per-core IPC in the multiprogrammed run.
+    pub ipc_multi: Vec<f64>,
+    /// Per-core IPC running alone (the speedup denominator).
+    pub ipc_single: Vec<f64>,
+    /// Per-core mean read latency, in cycles.
+    pub read_latency: Vec<f64>,
+    /// Profiled ME values programmed into the priority table.
+    pub me: Vec<f64>,
+    /// Mean controller queue occupancy over the measured window.
+    pub queue_occupancy_mean: f64,
+    /// Mean number of grant candidates per scheduling decision.
+    pub grant_candidates_mean: f64,
+    /// Per-channel traffic counters.
+    pub channels: Vec<melreq_memctrl::ChannelTraffic>,
+    /// Final cycle count, warm-up included.
+    pub sim_cycles: u64,
+    /// Cycles in the measured window.
+    pub measured_cycles: u64,
+    /// Whether the run aborted on the simulated-cycle safety net.
+    pub timed_out: bool,
+    /// Whether the run was cancelled by a wall-clock deadline.
+    pub cancelled: bool,
+    /// Audit summary, present on audited runs.
+    pub audit: Option<AuditSummary>,
+    /// Whether this policy's warm-up was restored from a checkpoint
+    /// (provenance — deliberately not serialised).
+    pub warm: bool,
+}
+
+impl PolicyReport {
+    fn from_result(r: &MixResult, audit: Option<AuditSummary>) -> Self {
+        PolicyReport {
+            policy: r.policy.to_string(),
+            smt_speedup: r.smt_speedup,
+            unfairness: r.unfairness,
+            mean_read_latency: r.mean_read_latency,
+            ipc_multi: r.ipc_multi.clone(),
+            ipc_single: r.ipc_single.clone(),
+            read_latency: r.read_latency.clone(),
+            me: r.me.clone(),
+            queue_occupancy_mean: r.queue_occupancy_mean,
+            grant_candidates_mean: r.grant_candidates_mean,
+            channels: r.channel_traffic.clone(),
+            sim_cycles: r.sim_cycles,
+            measured_cycles: r.measured_cycles,
+            timed_out: r.timed_out,
+            cancelled: r.cancelled,
+            audit,
+            warm: r.warmup_from_checkpoint,
+        }
+    }
+
+    fn write_json(&self, s: &mut String) {
+        let vec_json = |v: &[f64]| {
+            let items: Vec<String> = v.iter().map(|x| fmt_f64(*x)).collect();
+            format!("[{}]", items.join(","))
+        };
+        write!(
+            s,
+            "{{\"policy\":\"{}\",\"smt_speedup\":{},\"unfairness\":{},\"mean_read_latency\":{}",
+            esc(&self.policy),
+            fmt_f64(self.smt_speedup),
+            fmt_f64(self.unfairness),
+            fmt_f64(self.mean_read_latency),
+        )
+        .unwrap();
+        write!(
+            s,
+            ",\"ipc_multi\":{},\"ipc_single\":{},\"read_latency\":{},\"me\":{}",
+            vec_json(&self.ipc_multi),
+            vec_json(&self.ipc_single),
+            vec_json(&self.read_latency),
+            vec_json(&self.me),
+        )
+        .unwrap();
+        write!(
+            s,
+            ",\"queue_occupancy_mean\":{},\"grant_candidates_mean\":{}",
+            fmt_f64(self.queue_occupancy_mean),
+            fmt_f64(self.grant_candidates_mean),
+        )
+        .unwrap();
+        let channels: Vec<String> = self
+            .channels
+            .iter()
+            .map(|c| {
+                format!(
+                    "{{\"reads\":{},\"writes\":{},\"row_hits\":{}}}",
+                    c.reads, c.writes, c.row_hits
+                )
+            })
+            .collect();
+        write!(
+            s,
+            ",\"channels\":[{}],\"sim_cycles\":{},\"measured_cycles\":{},\"timed_out\":{},\"cancelled\":{}",
+            channels.join(","),
+            self.sim_cycles,
+            self.measured_cycles,
+            self.timed_out,
+            self.cancelled,
+        )
+        .unwrap();
+        if let Some(a) = &self.audit {
+            write!(
+                s,
+                ",\"audit\":{{\"events\":{},\"stream_hash\":\"{:016x}\",\"violations\":{}}}",
+                a.events, a.stream_hash, a.violations
+            )
+            .unwrap();
+        }
+        s.push('}');
+    }
+}
+
+/// A versioned, deterministic simulation report.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// The mix that ran.
+    pub mix: String,
+    /// One report per requested policy, in request order.
+    pub policies: Vec<PolicyReport>,
+    /// Wall-clock time spent simulating (not serialised — it would break
+    /// byte-determinism).
+    pub wall: Duration,
+}
+
+impl SimReport {
+    /// Whether any policy's warm-up came from a checkpoint.
+    pub fn any_warm(&self) -> bool {
+        self.policies.iter().any(|p| p.warm)
+    }
+
+    /// Whether every policy's warm-up came from a checkpoint.
+    pub fn all_warm(&self) -> bool {
+        !self.policies.is_empty() && self.policies.iter().all(|p| p.warm)
+    }
+
+    /// The canonical single-line JSON rendering. Byte-deterministic for
+    /// a given request: same bytes from the CLI, the service, and warm
+    /// or cold checkpoint stores (pinned by the golden service test).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(512);
+        write!(s, "{{\"schema_version\":{SCHEMA_VERSION},\"mix\":\"{}\"", esc(&self.mix)).unwrap();
+        s.push_str(",\"policies\":[");
+        for (i, p) in self.policies.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            p.write_json(&mut s);
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+/// An execution context: the memoized profile cache plus (optionally) a
+/// persistent checkpoint store. One `Session` serves many requests —
+/// the CLI builds one per invocation, the service builds one per
+/// process and shares it across its worker pool (`&Session` is `Sync`).
+#[derive(Debug, Default)]
+pub struct Session {
+    cache: ProfileCache,
+    store: Option<Arc<CheckpointStore>>,
+}
+
+impl Session {
+    /// A session with an in-memory cache only.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A session backed by a persistent checkpoint store.
+    pub fn with_store(store: Arc<CheckpointStore>) -> Self {
+        Session { cache: ProfileCache::with_store(store.clone()), store: Some(store) }
+    }
+
+    /// The attached store, if any.
+    pub fn store(&self) -> Option<&Arc<CheckpointStore>> {
+        self.store.as_ref()
+    }
+
+    /// The session's profile cache (shared with lower-level harness
+    /// calls, e.g. the reproduce sweep).
+    pub fn cache(&self) -> &ProfileCache {
+        &self.cache
+    }
+
+    /// Execute `req` under `ctl`. The control's cancel token and cycle
+    /// budget are merged with the request's own `timeout_ms` /
+    /// `max_cycles`; see [`MelreqError`] for the failure taxonomy.
+    pub fn run(&self, req: &SimRequest, ctl: &RunControl) -> Result<SimReport, MelreqError> {
+        if req.policies.is_empty() {
+            return Err(MelreqError::Usage("request must name at least one policy".into()));
+        }
+        let mix = resolve_mix(&req.mix)?;
+        let ctl = self.effective_control(req, ctl);
+        let store = self.store.as_deref();
+
+        let mut wall = Duration::ZERO;
+        let mut reports = Vec::with_capacity(req.policies.len());
+        if req.audit {
+            for choice in &req.policies {
+                let PolicyChoice::Paper(kind) = choice else {
+                    return Err(MelreqError::Usage(format!(
+                        "audit supports only the paper's policies, not {}",
+                        choice.name()
+                    )));
+                };
+                let (result, audit) =
+                    experiment::run_mix_audited_ctl(&mix, kind, &req.opts, &self.cache, &ctl);
+                if audit.total_violations > 0 {
+                    return Err(MelreqError::Divergence(audit.render()));
+                }
+                let summary = AuditSummary {
+                    events: audit.events,
+                    stream_hash: audit.stream_hash,
+                    violations: audit.total_violations,
+                };
+                wall += result.wall;
+                reports.push(PolicyReport::from_result(&result, Some(summary)));
+            }
+        } else if req.policies.len() > 1
+            && req.policies.iter().all(|p| matches!(p, PolicyChoice::Paper(_)))
+        {
+            // All-paper comparisons share one warm-up and fork it.
+            let kinds: Vec<PolicyKind> = req
+                .policies
+                .iter()
+                .map(|p| match p {
+                    PolicyChoice::Paper(k) => k.clone(),
+                    _ => unreachable!("checked above"),
+                })
+                .collect();
+            let results =
+                experiment::run_mix_group_ctl(&mix, &kinds, &req.opts, &self.cache, store, &ctl);
+            for r in &results {
+                wall += r.wall;
+                reports.push(PolicyReport::from_result(r, None));
+            }
+        } else {
+            for choice in &req.policies {
+                let result = self.run_choice(&mix, choice, &req.opts, &ctl);
+                wall += result.wall;
+                reports.push(PolicyReport::from_result(&result, None));
+            }
+        }
+
+        if let Some(p) = reports.iter().find(|p| p.cancelled) {
+            return Err(MelreqError::Timeout(format!(
+                "run cancelled at a {}-cycle epoch boundary after {} simulated cycles (wall-clock deadline)",
+                crate::system::System::CANCEL_EPOCH,
+                p.sim_cycles
+            )));
+        }
+        Ok(SimReport { mix: mix.name.to_string(), policies: reports, wall })
+    }
+
+    /// Run one (mix, choice) pair through the right harness entry point.
+    fn run_choice(
+        &self,
+        mix: &Mix,
+        choice: &PolicyChoice,
+        opts: &ExperimentOptions,
+        ctl: &RunControl,
+    ) -> MixResult {
+        let store = self.store.as_deref();
+        match choice {
+            PolicyChoice::Paper(kind) => experiment::run_mix_custom_ctl(
+                mix,
+                kind.name(),
+                |_, _, _| unreachable!("paper policies are built by swap_policy"),
+                Some(kind.clone()),
+                opts,
+                &self.cache,
+                store,
+                ctl,
+            ),
+            PolicyChoice::Fq => experiment::run_mix_custom_ctl(
+                mix,
+                "FQ",
+                |_me, cores, _seed| (Box::new(FairQueueing::new(cores)), true),
+                None,
+                opts,
+                &self.cache,
+                store,
+                ctl,
+            ),
+            PolicyChoice::Stf => experiment::run_mix_custom_ctl(
+                mix,
+                "STF",
+                |_me, cores, _seed| (Box::new(StallTimeFair::new(cores)), true),
+                None,
+                opts,
+                &self.cache,
+                store,
+                ctl,
+            ),
+        }
+    }
+
+    /// Merge the caller's control with the request's own limits.
+    fn effective_control(&self, req: &SimRequest, ctl: &RunControl) -> RunControl {
+        let max_cycles = match (ctl.max_cycles, req.max_cycles) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        let cancel = ctl.cancel.clone().or_else(|| {
+            req.timeout_ms.map(|ms| {
+                CancelToken::with_deadline(std::time::Instant::now() + Duration::from_millis(ms))
+            })
+        });
+        RunControl { cancel, max_cycles }
+    }
+
+    /// Run the full (mix × policy) grid through this session's cache and
+    /// store — the sweep/reproduce entry point.
+    pub fn run_grid(
+        &self,
+        mixes: &[Mix],
+        policies: &[PolicyKind],
+        opts: &ExperimentOptions,
+    ) -> Vec<MixResult> {
+        experiment::run_grid_with_store(mixes, policies, opts, &self.cache, self.store.as_deref())
+    }
+}
+
+/// Look up a Table 3 mix by name, as a typed error.
+pub fn resolve_mix(name: &str) -> Result<Mix, MelreqError> {
+    all_mixes().into_iter().find(|m| m.name == name).ok_or_else(|| {
+        MelreqError::Usage(format!(
+            "unknown workload mix '{name}' (see `melreq config` for the roster)"
+        ))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_request(policy: &str) -> SimRequest {
+        SimRequest::new("2MEM-1")
+            .policy(PolicyChoice::parse(policy).unwrap())
+            .opts(ExperimentOptions::quick())
+    }
+
+    #[test]
+    fn request_json_round_trips() {
+        let req = quick_request("me-lreq").audit(true).max_cycles(123).timeout_ms(456);
+        let decoded = SimRequest::from_json(&req.to_json()).unwrap();
+        assert_eq!(decoded, req);
+    }
+
+    #[test]
+    fn from_json_rejects_unknown_fields_by_name() {
+        let err = SimRequest::from_json(r#"{"mix":"2MEM-1","policy":"me","bogus":1}"#).unwrap_err();
+        let MelreqError::Usage(msg) = err else { panic!("expected Usage") };
+        assert!(msg.contains("'bogus'"), "{msg}");
+    }
+
+    #[test]
+    fn from_json_rejects_schema_mismatch_but_allows_absence() {
+        let body = format!(r#"{{"schema_version":{},"mix":"2MEM-1","policy":"me"}}"#, 999);
+        let err = SimRequest::from_json(&body).unwrap_err();
+        assert_eq!(err.http_status(), 400);
+        assert!(SimRequest::from_json(r#"{"mix":"2MEM-1","policy":"me"}"#).is_ok());
+    }
+
+    #[test]
+    fn canonical_string_excludes_timeout_but_keys_on_budget() {
+        let a = quick_request("me-lreq");
+        let b = a.clone().timeout_ms(5);
+        assert_eq!(a.canonical_string(), b.canonical_string());
+        assert_eq!(a.request_key(), b.request_key());
+        let c = a.clone().max_cycles(1 << 30);
+        assert_ne!(a.request_key(), c.request_key());
+        // Fixed-priority orders are part of the identity.
+        let f0 = SimRequest::new("4MEM-1").policy(PolicyChoice::parse("fix-0123").unwrap());
+        let f3 = SimRequest::new("4MEM-1").policy(PolicyChoice::parse("fix-3210").unwrap());
+        assert_ne!(f0.request_key(), f3.request_key());
+    }
+
+    #[test]
+    fn session_runs_and_report_is_deterministic() {
+        let session = Session::new();
+        let req = quick_request("hf-rf");
+        let a = session.run(&req, &RunControl::default()).unwrap();
+        let b = session.run(&req, &RunControl::default()).unwrap();
+        assert_eq!(a.to_json(), b.to_json());
+        assert!(a.to_json().starts_with(&format!("{{\"schema_version\":{SCHEMA_VERSION},")));
+        assert_eq!(a.policies.len(), 1);
+        assert!(!a.policies[0].timed_out);
+    }
+
+    #[test]
+    fn unknown_mix_is_usage_error() {
+        let session = Session::new();
+        let req = SimRequest::new("MIX9-9").policy(PolicyChoice::Fq);
+        let err = session.run(&req, &RunControl::default()).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("MIX9-9"));
+    }
+
+    #[test]
+    fn expired_deadline_times_out() {
+        let session = Session::new();
+        // A deadline already in the past: the run must cancel at the
+        // first epoch poll and surface as a 504-class timeout.
+        let req = quick_request("hf-rf").timeout_ms(0);
+        let err = session.run(&req, &RunControl::default()).unwrap_err();
+        assert_eq!(err.http_status(), 504);
+        assert_eq!(err.exit_code(), 6);
+    }
+
+    #[test]
+    fn cycle_budget_reports_timed_out_without_error() {
+        let session = Session::new();
+        let req = quick_request("hf-rf").max_cycles(10_000);
+        let report = session.run(&req, &RunControl::default()).unwrap();
+        assert!(report.policies[0].timed_out);
+        assert!(!report.policies[0].cancelled);
+    }
+
+    #[test]
+    fn error_mappings_are_stable() {
+        let cases = [
+            (MelreqError::Usage(String::new()), 2, 400),
+            (MelreqError::Io(String::new()), 3, 500),
+            (MelreqError::Divergence(String::new()), 4, 500),
+            (MelreqError::Overload { retry_after_s: 1 }, 5, 429),
+            (MelreqError::Timeout(String::new()), 6, 504),
+        ];
+        for (err, exit, status) in cases {
+            assert_eq!(err.exit_code(), exit);
+            assert_eq!(err.http_status(), status);
+        }
+    }
+}

@@ -31,7 +31,7 @@
 
 use crate::profile::{profile_app, AppProfile};
 use crate::store::CheckpointStore;
-use crate::system::{RunOutcome, System};
+use crate::system::{CancelToken, RunOutcome, System};
 use crate::SystemConfig;
 use melreq_memctrl::policy::PolicyKind;
 use melreq_obs::{Collector, Fanout, ObsConfig};
@@ -98,6 +98,37 @@ impl ExperimentOptions {
 
     fn max_cycles(&self) -> Cycle {
         self.instructions.saturating_mul(self.max_cycles_factor).max(1 << 22)
+    }
+}
+
+/// Per-run controls threaded from the caller (CLI or service layer) into
+/// the harness: a cooperative [`CancelToken`] (wall-clock timeouts,
+/// server shutdown) and an optional simulated-cycle budget that tightens
+/// the options' safety net. The default control is inert — every
+/// convenience entry point (`run_mix`, `run_mix_group`, …) uses it.
+#[derive(Debug, Clone, Default)]
+pub struct RunControl {
+    /// Cooperative cancellation, polled at epoch boundaries
+    /// ([`System::CANCEL_EPOCH`]); `None` attaches nothing.
+    pub cancel: Option<CancelToken>,
+    /// Simulated-cycle budget for the whole run (warm-up included); the
+    /// effective limit is the minimum of this and the options' safety
+    /// net. A run that exhausts it reports `timed_out`.
+    pub max_cycles: Option<Cycle>,
+}
+
+impl RunControl {
+    /// The effective cycle limit under `opts`.
+    fn limit(&self, opts: &ExperimentOptions) -> Cycle {
+        let base = opts.max_cycles();
+        self.max_cycles.map_or(base, |b| b.min(base))
+    }
+
+    /// Attach the cancel token (if any) to a freshly built system.
+    fn arm(&self, sys: &mut System) {
+        if let Some(token) = &self.cancel {
+            sys.set_cancel(token.clone());
+        }
     }
 }
 
@@ -202,6 +233,9 @@ pub struct MixResult {
     pub me: Vec<f64>,
     /// Whether the run aborted on the cycle safety net.
     pub timed_out: bool,
+    /// Whether the run was cancelled mid-flight by a [`CancelToken`]
+    /// (wall-clock deadline or explicit cancel), at an epoch boundary.
+    pub cancelled: bool,
     /// Final cycle count of the multiprogrammed system, warm-up included.
     /// When [`MixResult::warmup_from_checkpoint`] is set, the warm-up
     /// portion was restored rather than simulated — host-throughput
@@ -256,8 +290,10 @@ fn boundary_system(
     mix: &Mix,
     opts: &ExperimentOptions,
     store: Option<&CheckpointStore>,
+    ctl: &RunControl,
 ) -> (System, bool) {
     let mut sys = canonical_system(mix, opts);
+    ctl.arm(&mut sys);
     let key = store.map(|_| {
         CheckpointStore::warmup_key(
             &canonical_config(mix.cores()),
@@ -276,11 +312,12 @@ fn boundary_system(
                 // Checksummed but structurally incompatible (should be
                 // unreachable given the versioned keys): re-simulate.
                 sys = canonical_system(mix, opts);
+                ctl.arm(&mut sys);
             }
         }
     }
     sys.prepare_window(opts.warmup, opts.instructions);
-    let reached = sys.run_to_boundary(opts.max_cycles());
+    let reached = sys.run_to_boundary(ctl.limit(opts));
     if reached && opts.warmup > 0 {
         if let (Some(st), Some(key)) = (store, key) {
             st.store_warmup(key, &sys.snapshot());
@@ -316,6 +353,7 @@ fn finish_result(
         channel_traffic: out.channel_traffic,
         me,
         timed_out: out.timed_out,
+        cancelled: out.cancelled,
         sim_cycles,
         measured_cycles: out.cycles,
         wall,
@@ -384,12 +422,29 @@ pub fn run_mix_custom_with_store(
     cache: &ProfileCache,
     store: Option<&CheckpointStore>,
 ) -> MixResult {
+    run_mix_custom_ctl(mix, name, factory, kind, opts, cache, store, &RunControl::default())
+}
+
+/// The fully general single-mix entry point: [`run_mix_custom_with_store`]
+/// plus a [`RunControl`] (cancellation token, simulated-cycle budget).
+/// Every other `run_mix*` variant funnels here.
+#[allow(clippy::too_many_arguments)]
+pub fn run_mix_custom_ctl(
+    mix: &Mix,
+    name: &'static str,
+    factory: impl Fn(&[f64], usize, u64) -> (Box<dyn melreq_memctrl::SchedulerPolicy>, bool),
+    kind: Option<PolicyKind>,
+    opts: &ExperimentOptions,
+    cache: &ProfileCache,
+    store: Option<&CheckpointStore>,
+    ctl: &RunControl,
+) -> MixResult {
     let cores = mix.cores();
     let me: Vec<f64> = (0..cores).map(|i| cache.profile(mix, i, opts).me).collect();
     let ipc_single: Vec<f64> = (0..cores).map(|i| cache.ipc_single(mix, i, opts)).collect();
 
     let started = std::time::Instant::now();
-    let (mut sys, from_checkpoint) = boundary_system(mix, opts, store);
+    let (mut sys, from_checkpoint) = boundary_system(mix, opts, store, ctl);
     match &kind {
         Some(k) => sys.swap_policy(k, &me),
         None => {
@@ -397,7 +452,7 @@ pub fn run_mix_custom_with_store(
             sys.swap_policy_boxed(policy, read_first);
         }
     }
-    let out = sys.run_window(opts.max_cycles());
+    let out = sys.run_window(ctl.limit(opts));
     let wall = started.elapsed();
     finish_result(mix, name, me, ipc_single, out, sys.now(), wall, from_checkpoint)
 }
@@ -424,18 +479,31 @@ pub fn run_mix_audited(
     opts: &ExperimentOptions,
     cache: &ProfileCache,
 ) -> (MixResult, melreq_audit::AuditReport) {
+    run_mix_audited_ctl(mix, policy, opts, cache, &RunControl::default())
+}
+
+/// [`run_mix_audited`] with a [`RunControl`] (cancellation token,
+/// simulated-cycle budget).
+pub fn run_mix_audited_ctl(
+    mix: &Mix,
+    policy: &PolicyKind,
+    opts: &ExperimentOptions,
+    cache: &ProfileCache,
+    ctl: &RunControl,
+) -> (MixResult, melreq_audit::AuditReport) {
     let cores = mix.cores();
     let me: Vec<f64> = (0..cores).map(|i| cache.profile(mix, i, opts).me).collect();
     let ipc_single: Vec<f64> = (0..cores).map(|i| cache.ipc_single(mix, i, opts)).collect();
     let mut sys = canonical_system(mix, opts);
+    ctl.arm(&mut sys);
     let (handle, auditor) =
         melreq_audit::Auditor::shared(melreq_audit::AuditorConfig::default(), true);
     sys.attach_audit(handle);
     let started = std::time::Instant::now();
     sys.prepare_window(opts.warmup, opts.instructions);
-    let _ = sys.run_to_boundary(opts.max_cycles());
+    let _ = sys.run_to_boundary(ctl.limit(opts));
     sys.swap_policy(policy, &me);
-    let out = sys.run_window(opts.max_cycles());
+    let out = sys.run_window(ctl.limit(opts));
     let wall = started.elapsed();
     let report = auditor.lock().expect("auditor poisoned").report();
     let result = finish_result(mix, policy.name(), me, ipc_single, out, sys.now(), wall, false);
@@ -572,12 +640,25 @@ pub fn run_mix_group(
     cache: &ProfileCache,
     store: Option<&CheckpointStore>,
 ) -> Vec<MixResult> {
+    run_mix_group_ctl(mix, policies, opts, cache, store, &RunControl::default())
+}
+
+/// [`run_mix_group`] with a [`RunControl`] (cancellation token,
+/// simulated-cycle budget) armed on the warm-up and every forked run.
+pub fn run_mix_group_ctl(
+    mix: &Mix,
+    policies: &[PolicyKind],
+    opts: &ExperimentOptions,
+    cache: &ProfileCache,
+    store: Option<&CheckpointStore>,
+    ctl: &RunControl,
+) -> Vec<MixResult> {
     let cores = mix.cores();
     let me: Vec<f64> = (0..cores).map(|i| cache.profile(mix, i, opts).me).collect();
     let ipc_single: Vec<f64> = (0..cores).map(|i| cache.ipc_single(mix, i, opts)).collect();
 
     let warm_started = std::time::Instant::now();
-    let (base, from_checkpoint) = boundary_system(mix, opts, store);
+    let (base, from_checkpoint) = boundary_system(mix, opts, store, ctl);
     let snap = if policies.len() > 1 { Some(base.snapshot()) } else { None };
     let warm_wall = warm_started.elapsed();
     let mut base = Some(base);
@@ -591,10 +672,11 @@ pub fn run_mix_group(
                 let mut s = canonical_system(mix, opts);
                 s.load_snapshot(snap.as_ref().expect("snapshot taken for >1 policy"))
                     .expect("boundary snapshot must restore into an identical fresh system");
+                ctl.arm(&mut s);
                 s
             });
             sys.swap_policy(kind, &me);
-            let out = sys.run_window(opts.max_cycles());
+            let out = sys.run_window(ctl.limit(opts));
             let mut wall = started.elapsed();
             if pi == 0 {
                 wall += warm_wall;

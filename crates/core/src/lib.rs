@@ -17,8 +17,13 @@
 //!   Table 3 mix under a policy and reports SMT speedup, per-core read
 //!   latency and unfairness (Figures 2–5);
 //! * [`report`] — plain-text table formatting shared by the bench
-//!   binaries.
+//!   binaries;
+//! * [`api`] — the typed public facade ([`api::SimRequest`] →
+//!   [`api::SimReport`]) shared by the CLI, the HTTP service and the
+//!   benchmark harness, with the typed error taxonomy
+//!   ([`api::MelreqError`]).
 
+pub mod api;
 pub mod config;
 pub mod experiment;
 pub mod hierarchy;
@@ -27,12 +32,13 @@ pub mod report;
 pub mod store;
 pub mod system;
 
+pub use api::{MelreqError, PolicyChoice, Session, SimReport, SimRequest};
 pub use config::SystemConfig;
 pub use experiment::{
     run_mix, run_mix_audited, run_mix_audited_observed, run_mix_observed, ExperimentOptions,
-    MixResult, ObserveOptions, PolicyComparison,
+    MixResult, ObserveOptions, PolicyComparison, RunControl,
 };
 pub use hierarchy::Hierarchy;
 pub use profile::{profile_app, profile_mix_apps, AppProfile};
 pub use store::{CheckpointStore, StoreStats};
-pub use system::{RunOutcome, System};
+pub use system::{CancelToken, RunOutcome, System};

@@ -36,7 +36,6 @@
 use crate::config::SystemConfig;
 use crate::profile::AppProfile;
 use melreq_memctrl::policy::PolicyKind;
-use melreq_snap::fnv1a;
 use melreq_workloads::{spec2000, SliceKind};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -115,12 +114,9 @@ impl CheckpointStore {
         warmup: u64,
         instructions: u64,
     ) -> u64 {
-        fnv1a(
-            format!(
-                "v{}|warmup|{cfg:?}|{codes}|{eval_slice}|{warmup}|{instructions}",
-                melreq_snap::SCHEMA_VERSION
-            )
-            .as_bytes(),
+        melreq_snap::keyed(
+            "warmup",
+            &format!("{cfg:?}|{codes}|{eval_slice}|{warmup}|{instructions}"),
         )
     }
 
@@ -129,13 +125,7 @@ impl CheckpointStore {
     /// invalidated when any machine parameter changes.
     pub fn profile_key(code: char, slice: SliceKind, instructions: u64) -> u64 {
         let cfg = SystemConfig::paper(1, PolicyKind::HfRf);
-        fnv1a(
-            format!(
-                "v{}|profile|{cfg:?}|{code}|{slice:?}|{instructions}",
-                melreq_snap::SCHEMA_VERSION
-            )
-            .as_bytes(),
-        )
+        melreq_snap::keyed("profile", &format!("{cfg:?}|{code}|{slice:?}|{instructions}"))
     }
 
     fn path(&self, kind: &str, key: u64) -> PathBuf {

@@ -8,7 +8,49 @@ use melreq_memctrl::{ChannelTraffic, MemoryController};
 use melreq_obs::{ChannelSample, Collector, CoreSample};
 use melreq_stats::types::{CoreId, Cycle};
 use melreq_trace::InstrStream;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Cooperative cancellation handle for a running simulation.
+///
+/// A token carries an externally settable flag (e.g. flipped by a server
+/// on shutdown) and an optional wall-clock deadline. An attached system
+/// ([`System::set_cancel`]) polls the token at fixed cycle-count epochs
+/// ([`System::CANCEL_EPOCH`]); when it reports expiry, the run stops at
+/// that epoch boundary and the outcome carries
+/// [`RunOutcome::cancelled`]` == true`.
+///
+/// Cancellation is a run-time attachment like the audit tap: it is never
+/// serialized into snapshots, and a system with no token attached pays
+/// nothing on the cycle loop.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token that never expires on its own (cancel via [`Self::cancel`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A token that additionally expires once `deadline` passes.
+    pub fn with_deadline(deadline: Instant) -> Self {
+        CancelToken { flag: Arc::new(AtomicBool::new(false)), deadline: Some(deadline) }
+    }
+
+    /// Request cancellation (thread- and signal-safe).
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the token has been cancelled or its deadline has passed.
+    pub fn expired(&self) -> bool {
+        self.flag.load(Ordering::Relaxed) || self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+}
 
 /// N cores + cache hierarchy + memory controller + DRAM, advanced in
 /// lock-step by a single CPU-cycle loop.
@@ -37,6 +79,19 @@ pub struct System {
     /// Epoch time-series sampler ([`System::attach_sampler`]): `None`
     /// (the default) costs nothing on the cycle loop.
     sampler: Option<SamplerState>,
+    /// Cooperative cancellation ([`System::set_cancel`]): polled every
+    /// [`System::CANCEL_EPOCH`] cycles; `None` costs nothing.
+    cancel: Option<CancelState>,
+    /// Latched once an attached [`CancelToken`] fires; reported through
+    /// [`RunOutcome::cancelled`].
+    cancelled: bool,
+}
+
+/// An attached [`CancelToken`] plus the next cycle it is polled at.
+#[derive(Debug)]
+struct CancelState {
+    token: CancelToken,
+    next_at: Cycle,
 }
 
 /// The attached [`melreq_obs::Collector`] plus its sampling schedule.
@@ -112,6 +167,9 @@ pub struct RunOutcome {
     pub channel_traffic: Vec<ChannelTraffic>,
     /// Whether the run hit the safety cycle limit before all targets.
     pub timed_out: bool,
+    /// Whether an attached [`CancelToken`] stopped the run at an epoch
+    /// boundary before all targets (wall-clock timeout or shutdown).
+    pub cancelled: bool,
 }
 
 impl RunOutcome {
@@ -174,6 +232,8 @@ impl System {
             scratch: Vec::new(),
             stats_reset_at: None,
             sampler: None,
+            cancel: None,
+            cancelled: false,
         }
     }
 
@@ -213,6 +273,8 @@ impl System {
             scratch: Vec::new(),
             stats_reset_at: None,
             sampler: None,
+            cancel: None,
+            cancelled: false,
         }
     }
 
@@ -257,6 +319,23 @@ impl System {
             core_buf: Vec::with_capacity(self.cores.len()),
             chan_buf: Vec::new(),
         });
+    }
+
+    /// Cycle-count stride at which an attached [`CancelToken`] is polled.
+    /// Cancellation therefore lands on a deterministic epoch grid: a
+    /// cancelled run always stops at a multiple of this stride (or the
+    /// cycle the token was attached, for immediate expiry).
+    pub const CANCEL_EPOCH: Cycle = 8_192;
+
+    /// Attach a cooperative cancellation token, polled by the run loop at
+    /// the first step boundary after each [`System::CANCEL_EPOCH`]-cycle
+    /// epoch elapses. Like the audit tap and the sampler this is a
+    /// run-time attachment: it is not part of snapshots and does not
+    /// perturb simulation state — polling only reads a flag and the
+    /// clock, so a run that is never cancelled is bit-identical to one
+    /// with no token attached.
+    pub fn set_cancel(&mut self, token: CancelToken) {
+        self.cancel = Some(CancelState { token, next_at: self.now + Self::CANCEL_EPOCH });
     }
 
     /// The configuration in use.
@@ -455,8 +534,17 @@ impl System {
     /// fire the statistics reset when the last core crosses warm-up.
     /// Returns `false` when the safety limit was hit.
     fn step_window(&mut self, max_cycles: Cycle) -> bool {
-        if self.now >= max_cycles {
+        if self.now >= max_cycles || self.cancelled {
             return false;
+        }
+        if let Some(cc) = &mut self.cancel {
+            if self.now >= cc.next_at {
+                cc.next_at = self.now + Self::CANCEL_EPOCH;
+                if cc.token.expired() {
+                    self.cancelled = true;
+                    return false;
+                }
+            }
         }
         if !self.tick_exact {
             // Fast-forward: jump over cycles no component can act in.
@@ -519,7 +607,7 @@ impl System {
         let mut timed_out = false;
         while self.cores.iter().any(|c| c.target_cycle().is_none()) {
             if !self.step_window(max_cycles) {
-                timed_out = true;
+                timed_out = !self.cancelled;
                 break;
             }
         }
@@ -544,6 +632,7 @@ impl System {
             grant_candidates_mean: ctrl_stats.grant_candidates.mean_or_zero(),
             channel_traffic: ctrl_stats.per_channel.clone(),
             timed_out,
+            cancelled: self.cancelled,
         }
     }
 

@@ -28,12 +28,14 @@
 
 pub mod collector;
 pub mod event;
+pub mod metrics;
 pub mod perfetto;
 pub mod provenance;
 pub mod series;
 
 pub use collector::{ChannelSample, Collector, CoreSample, Fanout, ObsConfig};
 pub use event::{CmdKind, TraceEvent, TraceRing};
+pub use metrics::{Counter, Gauge, MetricKind, Registry};
 pub use perfetto::export_chrome_json;
 pub use provenance::{Rule, RuleTotals, RunnerUp};
 pub use series::EpochRow;

@@ -1,0 +1,259 @@
+//! Prometheus text-format metrics (`text/plain; version=0.0.4`),
+//! dependency-free.
+//!
+//! A [`Registry`] holds named metric families; each family owns one or
+//! more samples (name plus optional `{label="value"}` suffix) backed by
+//! an atomic [`Counter`], a [`Gauge`], or a closure evaluated at scrape
+//! time (for sources that already keep their own counters, e.g. the
+//! checkpoint store's hit/miss statistics). [`Registry::render`] emits
+//! the families in registration order with `# HELP`/`# TYPE` headers
+//! once per family — the exact shape `promtool check metrics` accepts.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A fresh counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can go up and down.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A fresh gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Subtract one.
+    pub fn dec(&self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// What a metric family is, for the `# TYPE` header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonic counter.
+    Counter,
+    /// Up/down gauge.
+    Gauge,
+}
+
+impl MetricKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+        }
+    }
+}
+
+enum Source {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Func(Box<dyn Fn() -> f64 + Send>),
+}
+
+struct Sample {
+    /// Full sample name including any `{label="value"}` suffix.
+    name: String,
+    source: Source,
+}
+
+struct Family {
+    /// Family name (sample name minus labels).
+    name: String,
+    help: String,
+    kind: MetricKind,
+    samples: Vec<Sample>,
+}
+
+/// A set of metric families rendered to Prometheus text format.
+#[derive(Default)]
+pub struct Registry {
+    families: Mutex<Vec<Family>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let families = self.families.lock().expect("metrics registry poisoned");
+        let names: Vec<&str> = families.iter().map(|fam| fam.name.as_str()).collect();
+        f.debug_struct("Registry").field("families", &names).finish()
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register and return a counter. `sample` is the full sample name
+    /// (labels included); the family is everything before the first
+    /// `{`. Repeat registrations under one family must agree on kind
+    /// (checked) and reuse the first `help`.
+    pub fn counter(&self, sample: &str, help: &str) -> Arc<Counter> {
+        let c = Arc::new(Counter::new());
+        self.attach(sample, help, MetricKind::Counter, Source::Counter(c.clone()));
+        c
+    }
+
+    /// Register and return a gauge.
+    pub fn gauge(&self, sample: &str, help: &str) -> Arc<Gauge> {
+        let g = Arc::new(Gauge::new());
+        self.attach(sample, help, MetricKind::Gauge, Source::Gauge(g.clone()));
+        g
+    }
+
+    /// Register a scrape-time closure (for externally owned counters).
+    pub fn func(
+        &self,
+        sample: &str,
+        help: &str,
+        kind: MetricKind,
+        f: impl Fn() -> f64 + Send + 'static,
+    ) {
+        self.attach(sample, help, kind, Source::Func(Box::new(f)));
+    }
+
+    fn attach(&self, sample: &str, help: &str, kind: MetricKind, source: Source) {
+        let family_name = sample.split('{').next().unwrap_or(sample).to_string();
+        let mut families = self.families.lock().expect("metrics registry poisoned");
+        let family = families.iter_mut().find(|f| f.name == family_name);
+        let sample = Sample { name: sample.to_string(), source };
+        match family {
+            Some(f) => {
+                assert_eq!(f.kind, kind, "metric family '{family_name}' kind mismatch");
+                f.samples.push(sample);
+            }
+            None => families.push(Family {
+                name: family_name,
+                help: help.to_string(),
+                kind,
+                samples: vec![sample],
+            }),
+        }
+    }
+
+    /// Render every family in registration order as Prometheus text.
+    pub fn render(&self) -> String {
+        let families = self.families.lock().expect("metrics registry poisoned");
+        let mut out = String::new();
+        for f in families.iter() {
+            out.push_str(&format!("# HELP {} {}\n", f.name, f.help));
+            out.push_str(&format!("# TYPE {} {}\n", f.name, f.kind.as_str()));
+            for s in &f.samples {
+                let value = match &s.source {
+                    Source::Counter(c) => format_value(c.get() as f64),
+                    Source::Gauge(g) => format_value(g.get() as f64),
+                    Source::Func(func) => format_value(func()),
+                };
+                out.push_str(&format!("{} {}\n", s.name, value));
+            }
+        }
+        out
+    }
+}
+
+/// Integral values print without a fractional part (Prometheus accepts
+/// both; the integral form keeps scrapes byte-stable for tests).
+#[allow(clippy::cast_possible_truncation)]
+fn format_value(v: f64) -> String {
+    if v.is_finite() && v.fract() == 0.0 && v.abs() < 9e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_families_with_headers_once() {
+        let reg = Registry::new();
+        let a = reg.counter("melreq_requests_total{endpoint=\"run\"}", "Requests accepted.");
+        let b = reg.counter("melreq_requests_total{endpoint=\"compare\"}", "Requests accepted.");
+        let depth = reg.gauge("melreq_queue_depth", "Jobs queued.");
+        a.add(3);
+        b.inc();
+        depth.set(2);
+        let text = reg.render();
+        assert_eq!(text.matches("# HELP melreq_requests_total").count(), 1);
+        assert_eq!(text.matches("# TYPE melreq_requests_total counter").count(), 1);
+        assert!(text.contains("melreq_requests_total{endpoint=\"run\"} 3\n"));
+        assert!(text.contains("melreq_requests_total{endpoint=\"compare\"} 1\n"));
+        assert!(text.contains("# TYPE melreq_queue_depth gauge\n"));
+        assert!(text.contains("melreq_queue_depth 2\n"));
+    }
+
+    #[test]
+    fn func_sources_evaluate_at_scrape_time() {
+        let reg = Registry::new();
+        let shared = Arc::new(Counter::new());
+        let probe = shared.clone();
+        reg.func("melreq_store_hits_total", "Store hits.", MetricKind::Counter, move || {
+            probe.get() as f64
+        });
+        assert!(reg.render().contains("melreq_store_hits_total 0\n"));
+        shared.add(7);
+        assert!(reg.render().contains("melreq_store_hits_total 7\n"));
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let g = Gauge::new();
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 1);
+        g.set(-4);
+        assert_eq!(g.get(), -4);
+    }
+
+    #[test]
+    fn values_render_integral_or_float() {
+        assert_eq!(format_value(3.0), "3");
+        assert_eq!(format_value(0.5), "0.5");
+    }
+}

@@ -41,7 +41,10 @@ fn push_event(out: &mut String, first: &mut bool, body: std::fmt::Arguments<'_>)
 /// as a Chrome `trace_event` JSON object.
 pub fn export_chrome_json(collector: &Collector) -> String {
     let (channels, cores) = collector.geometry();
-    let mut out = String::from("{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [\n");
+    let mut out = format!(
+        "{{\n  \"schema_version\": {},\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [\n",
+        melreq_snap::SCHEMA_VERSION
+    );
     let mut first = true;
 
     // Track metadata first (ph "M" entries are exempt from the

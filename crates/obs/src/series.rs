@@ -33,9 +33,12 @@ pub struct EpochRow {
     pub row_hit_rate: Vec<f64>,
 }
 
-/// Render rows as CSV with a dynamic per-core/per-channel header.
+/// Render rows as CSV with a dynamic per-core/per-channel header. The
+/// first line is a `# schema_version=N` comment stamping the artifact
+/// with the workspace-wide schema version (`melreq_snap::SCHEMA_VERSION`).
 pub fn render_csv(rows: &[EpochRow], cores: usize, channels: usize) -> String {
-    let mut out = String::from("cycle");
+    let mut out = format!("# schema_version={}\n", melreq_snap::SCHEMA_VERSION);
+    out.push_str("cycle");
     for i in 0..cores {
         let _ = write!(out, ",core{i}_ipc,core{i}_pending,core{i}_me");
     }
@@ -88,9 +91,10 @@ fn json_f64_list(out: &mut String, vals: &[f64]) {
     out.push(']');
 }
 
-/// Render rows as a JSON array of per-epoch objects.
+/// Render rows as a versioned JSON document:
+/// `{"schema_version": N, "rows": [...]}` with one object per epoch.
 pub fn render_json(rows: &[EpochRow]) -> String {
-    let mut out = String::from("[\n");
+    let mut out = format!("{{\"schema_version\": {}, \"rows\": [\n", melreq_snap::SCHEMA_VERSION);
     for (i, r) in rows.iter().enumerate() {
         let _ = write!(out, "  {{\"cycle\": {}, \"ipc\": ", r.cycle);
         json_f64_list(&mut out, &r.ipc);
@@ -131,7 +135,7 @@ pub fn render_json(rows: &[EpochRow]) -> String {
         out.push('}');
         out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }
-    out.push_str("]\n");
+    out.push_str("]}\n");
     out
 }
 
@@ -154,23 +158,27 @@ mod tests {
     }
 
     #[test]
-    fn csv_has_header_and_one_line_per_row() {
+    fn csv_has_schema_stamp_header_and_one_line_per_row() {
         let csv = render_csv(&[row(100), row(200)], 2, 1);
         let lines: Vec<&str> = csv.lines().collect();
-        assert_eq!(lines.len(), 3);
-        assert!(lines[0].starts_with("cycle,core0_ipc"));
-        assert!(lines[0].contains("ch0_row_hit_rate"));
-        assert!(lines[1].starts_with("100,"));
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0], format!("# schema_version={}", melreq_snap::SCHEMA_VERSION));
+        assert!(lines[1].starts_with("cycle,core0_ipc"));
+        assert!(lines[1].contains("ch0_row_hit_rate"));
+        assert!(lines[2].starts_with("100,"));
         // header column count matches data column count
-        assert_eq!(lines[0].split(',').count(), lines[1].split(',').count());
+        assert_eq!(lines[1].split(',').count(), lines[2].split(',').count());
     }
 
     #[test]
-    fn json_is_an_array_of_objects() {
+    fn json_is_a_versioned_document_of_row_objects() {
         let json = render_json(&[row(100)]);
-        assert!(json.trim_start().starts_with('['));
+        assert!(json.starts_with(&format!(
+            "{{\"schema_version\": {}, \"rows\": [",
+            melreq_snap::SCHEMA_VERSION
+        )));
         assert!(json.contains("\"cycle\": 100"));
         assert!(json.contains("\"row_hit_rate\""));
-        assert!(json.trim_end().ends_with(']'));
+        assert!(json.trim_end().ends_with("]}"));
     }
 }

@@ -1,0 +1,212 @@
+//! A deliberately small HTTP/1.1 codec over `std::net::TcpStream` —
+//! request parsing and response writing for the server, plus a blocking
+//! one-shot client used by `melreq client` and the service tests.
+//!
+//! Scope: `Content-Length` bodies only (no chunked encoding), one
+//! request per connection (`Connection: close` on every response),
+//! bounded header and body sizes. That is exactly the profile the
+//! service speaks, and keeping the codec this small is what lets the
+//! workspace stay dependency-free.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Longest accepted head (request line + headers), in bytes.
+const MAX_HEAD: usize = 16 * 1024;
+
+/// A parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpRequest {
+    /// Method verb, uppercased by the client (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target (path only; queries are not used by this service).
+    pub path: String,
+    /// Decoded body (empty when there was none).
+    pub body: String,
+}
+
+/// Read one request from `stream`. `max_body` bounds the declared
+/// `Content-Length`; oversized or malformed requests are errors.
+pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<HttpRequest, String> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 2048];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD {
+            return Err("request head too large".into());
+        }
+        let n = stream.read(&mut chunk).map_err(|e| format!("read: {e}"))?;
+        if n == 0 {
+            return Err("connection closed mid-request".into());
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = std::str::from_utf8(&buf[..head_end]).map_err(|_| "non-utf8 head".to_string())?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().ok_or("empty request line")?.to_string();
+    let path = parts.next().ok_or("request line missing target")?.to_string();
+
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse::<usize>()
+                    .map_err(|_| format!("bad content-length '{}'", value.trim()))?;
+            }
+        }
+    }
+    if content_length > max_body {
+        return Err(format!("body of {content_length} bytes exceeds the {max_body}-byte cap"));
+    }
+
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk).map_err(|e| format!("read body: {e}"))?;
+        if n == 0 {
+            return Err("connection closed mid-body".into());
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    let body = String::from_utf8(body).map_err(|_| "non-utf8 body".to_string())?;
+    Ok(HttpRequest { method, path, body })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Standard reason phrase for the statuses this service emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+/// Write one complete response and close the write side. Errors are
+/// returned (the caller usually just counts them — the client is gone).
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, String)],
+    body: &str,
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        reason(status),
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// One blocking HTTP exchange: connect to `addr`, send `method path`
+/// with an optional JSON body, return `(status, body)`.
+pub fn exchange(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    timeout: Duration,
+) -> Result<(u16, String), String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream.set_read_timeout(Some(timeout)).map_err(|e| format!("set timeout: {e}"))?;
+    stream.set_write_timeout(Some(timeout)).map_err(|e| format!("set timeout: {e}"))?;
+
+    let body = body.unwrap_or("");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).map_err(|e| format!("write: {e}"))?;
+    stream.write_all(body.as_bytes()).map_err(|e| format!("write: {e}"))?;
+    stream.flush().map_err(|e| format!("flush: {e}"))?;
+
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).map_err(|e| format!("read: {e}"))?;
+    let head_end =
+        find_head_end(&response).ok_or_else(|| "response without header terminator".to_string())?;
+    let head = std::str::from_utf8(&response[..head_end])
+        .map_err(|_| "non-utf8 response head".to_string())?;
+    let status = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| format!("malformed status line in {head:?}"))?;
+    let body = String::from_utf8(response[head_end + 4..].to_vec())
+        .map_err(|_| "non-utf8 response body".to_string())?;
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn request_round_trips_over_a_socket() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let req = read_request(&mut stream, 1024).unwrap();
+            assert_eq!(req.method, "POST");
+            assert_eq!(req.path, "/run");
+            assert_eq!(req.body, "{\"x\":1}");
+            write_response(&mut stream, 200, "application/json", &[], "{\"ok\":true}").unwrap();
+        });
+        let (status, body) =
+            exchange(&addr.to_string(), "POST", "/run", Some("{\"x\":1}"), Duration::from_secs(5))
+                .unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "{\"ok\":true}");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn oversized_bodies_are_rejected() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            assert!(read_request(&mut stream, 4).unwrap_err().contains("cap"));
+        });
+        let _ = exchange(
+            &addr.to_string(),
+            "POST",
+            "/run",
+            Some("too large for the cap"),
+            Duration::from_secs(5),
+        );
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn reasons_cover_emitted_statuses() {
+        for status in [200, 400, 404, 405, 429, 500, 503, 504] {
+            assert_ne!(reason(status), "Unknown");
+        }
+    }
+}

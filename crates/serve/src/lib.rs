@@ -1,0 +1,608 @@
+//! # melreq-serve — the simulator as a service
+//!
+//! A dependency-free (std-only) threaded HTTP/1.1 front end over the
+//! typed facade (`melreq_core::api`): POST a [`SimRequest`] body to
+//! `/run` (exactly one policy) or `/compare` (one or more), and a
+//! worker pool executes it through the same [`Session`] the CLI uses —
+//! fork-per-policy warm-up sharing, the persistent checkpoint store,
+//! and byte-deterministic reports. The `"report"` field of a `/run`
+//! response is **bit-identical** to `melreq run --json` for the same
+//! request (pinned by the golden service test); provenance that may
+//! vary run-to-run (cache status, wall time, store statistics) lives in
+//! the response envelope around it.
+//!
+//! Robustness model:
+//!
+//! * **Backpressure** — a bounded job queue; a full queue answers
+//!   `429 Too Many Requests` with `Retry-After` instead of wedging.
+//! * **Deadlines** — per-request wall-clock budgets (`timeout_ms`, or
+//!   the server default); expired runs are cancelled cooperatively at a
+//!   simulation epoch boundary and answer `504`.
+//! * **Graceful drain** — SIGTERM (via [`install_sigterm`]), POST
+//!   `/shutdown`, or [`ServerHandle::shutdown`] stop the acceptor,
+//!   finish every queued job, and only then let the process exit.
+//! * **Introspection** — `GET /healthz` and Prometheus text metrics on
+//!   `GET /metrics` (request/response/rejection/timeout counters, queue
+//!   depth, simulated cycles, checkpoint-store hit/miss statistics).
+
+pub mod http;
+
+use melreq_core::api::json::esc;
+use melreq_core::api::{MelreqError, Session, SimRequest, SCHEMA_VERSION};
+use melreq_core::experiment::RunControl;
+use melreq_core::store::CheckpointStore;
+use melreq_core::system::CancelToken;
+use melreq_obs::metrics::{Counter, Gauge, MetricKind, Registry};
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Largest accepted request body.
+const MAX_BODY: usize = 1 << 20;
+
+/// Per-connection socket timeout (parse and respond within this).
+const SOCKET_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// `Retry-After` seconds suggested on queue overflow.
+const RETRY_AFTER_S: u64 = 1;
+
+/// Server configuration (`melreq serve` flags map 1:1 onto this).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port (tests).
+    pub addr: String,
+    /// Worker threads executing simulations.
+    pub workers: usize,
+    /// Bounded job-queue capacity; beyond it requests get 429.
+    pub queue_cap: usize,
+    /// Checkpoint-store directory; `None` runs storeless.
+    pub store_dir: Option<PathBuf>,
+    /// Default wall-clock budget for requests that set no `timeout_ms`.
+    pub default_timeout_ms: Option<u64>,
+    /// Response-cache capacity in entries; 0 disables it (the default —
+    /// repeats then exercise the checkpoint store instead).
+    pub response_cache: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7700".to_string(),
+            workers: 2,
+            queue_cap: 16,
+            store_dir: None,
+            default_timeout_ms: None,
+            response_cache: 0,
+        }
+    }
+}
+
+/// Which endpoint a queued job came from (metrics label).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Endpoint {
+    Run,
+    Compare,
+}
+
+impl Endpoint {
+    fn as_str(self) -> &'static str {
+        match self {
+            Endpoint::Run => "run",
+            Endpoint::Compare => "compare",
+        }
+    }
+}
+
+struct Job {
+    stream: TcpStream,
+    req: SimRequest,
+    deadline: Option<Instant>,
+}
+
+struct Metrics {
+    registry: Registry,
+    requests: Vec<(&'static str, Arc<Counter>)>,
+    responses: Vec<(u16, Arc<Counter>)>,
+    rejected: Arc<Counter>,
+    timeouts: Arc<Counter>,
+    queue_depth: Arc<Gauge>,
+    sim_cycles: Arc<Counter>,
+    response_cache_hits: Arc<Counter>,
+}
+
+impl Metrics {
+    fn new() -> Self {
+        let registry = Registry::new();
+        let requests = ["run", "compare", "healthz", "metrics", "shutdown"]
+            .into_iter()
+            .map(|ep| {
+                let c = registry.counter(
+                    &format!("melreq_requests_total{{endpoint=\"{ep}\"}}"),
+                    "Requests received, by endpoint.",
+                );
+                (ep, c)
+            })
+            .collect();
+        let responses = [200u16, 400, 404, 405, 429, 500, 504]
+            .into_iter()
+            .map(|code| {
+                let c = registry.counter(
+                    &format!("melreq_responses_total{{code=\"{code}\"}}"),
+                    "Responses sent, by status code.",
+                );
+                (code, c)
+            })
+            .collect();
+        let rejected = registry
+            .counter("melreq_rejected_total", "Requests rejected by queue backpressure (429).");
+        let timeouts = registry
+            .counter("melreq_timeouts_total", "Requests that exceeded their wall-clock deadline.");
+        let queue_depth =
+            registry.gauge("melreq_queue_depth", "Jobs waiting in the bounded queue.");
+        let sim_cycles = registry
+            .counter("melreq_sim_cycles_total", "Simulated cycles executed on behalf of requests.");
+        let response_cache_hits = registry.counter(
+            "melreq_response_cache_hits_total",
+            "Requests answered from the response cache.",
+        );
+        Metrics {
+            registry,
+            requests,
+            responses,
+            rejected,
+            timeouts,
+            queue_depth,
+            sim_cycles,
+            response_cache_hits,
+        }
+    }
+
+    fn count_request(&self, endpoint: &str) {
+        if let Some((_, c)) = self.requests.iter().find(|(ep, _)| *ep == endpoint) {
+            c.inc();
+        }
+    }
+
+    fn count_response(&self, status: u16) {
+        if let Some((_, c)) = self.responses.iter().find(|(code, _)| *code == status) {
+            c.inc();
+        }
+    }
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    session: Session,
+    queue: Mutex<VecDeque<Job>>,
+    cond: Condvar,
+    draining: AtomicBool,
+    metrics: Metrics,
+    response_cache: Mutex<VecDeque<(u64, String)>>,
+}
+
+/// A running server: bound address plus the thread handles needed to
+/// drain it. Dropping the handle without [`ServerHandle::join`] leaves
+/// the threads running for the life of the process.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: std::thread::JoinHandle<()>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Begin a graceful drain: stop accepting, let workers finish the
+    /// queue. Idempotent; returns immediately.
+    pub fn shutdown(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        self.shared.cond.notify_all();
+    }
+
+    /// Wait for the acceptor and every worker to exit (the queue is
+    /// fully drained once this returns).
+    pub fn join(self) {
+        let _ = self.acceptor.join();
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Bind, spawn the worker pool and the acceptor, and return.
+pub fn start(cfg: ServeConfig) -> Result<ServerHandle, MelreqError> {
+    let session = match &cfg.store_dir {
+        Some(dir) => {
+            let store = CheckpointStore::open(dir)
+                .map_err(|e| MelreqError::Io(format!("open store {}: {e}", dir.display())))?;
+            Session::with_store(Arc::new(store))
+        }
+        None => Session::new(),
+    };
+    let listener = TcpListener::bind(&cfg.addr)
+        .map_err(|e| MelreqError::Io(format!("bind {}: {e}", cfg.addr)))?;
+    let addr = listener.local_addr().map_err(|e| MelreqError::Io(format!("local_addr: {e}")))?;
+    listener.set_nonblocking(true).map_err(|e| MelreqError::Io(format!("set_nonblocking: {e}")))?;
+
+    type StatProbe = fn(&melreq_core::StoreStats) -> u64;
+    let metrics = Metrics::new();
+    if let Some(store) = session.store() {
+        let probes: [(&str, StatProbe); 4] = [
+            ("melreq_store_warmup_hits_total", |s| s.warmup_hits),
+            ("melreq_store_warmup_misses_total", |s| s.warmup_misses),
+            ("melreq_store_profile_hits_total", |s| s.profile_hits),
+            ("melreq_store_profile_misses_total", |s| s.profile_misses),
+        ];
+        for (name, probe) in probes {
+            let store = store.clone();
+            #[allow(clippy::cast_precision_loss)]
+            metrics.registry.func(
+                name,
+                "Checkpoint-store activity since server start.",
+                MetricKind::Counter,
+                move || probe(&store.stats()) as f64,
+            );
+        }
+    }
+
+    let shared = Arc::new(Shared {
+        cfg: cfg.clone(),
+        session,
+        queue: Mutex::new(VecDeque::new()),
+        cond: Condvar::new(),
+        draining: AtomicBool::new(false),
+        metrics,
+        response_cache: Mutex::new(VecDeque::new()),
+    });
+
+    let workers = (0..cfg.workers.max(1))
+        .map(|i| {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name(format!("melreq-worker-{i}"))
+                .spawn(move || worker_loop(&shared))
+                .expect("spawn worker thread")
+        })
+        .collect();
+    let acceptor = {
+        let shared = shared.clone();
+        std::thread::Builder::new()
+            .name("melreq-acceptor".to_string())
+            .spawn(move || accept_loop(&listener, &shared))
+            .expect("spawn acceptor thread")
+    };
+    Ok(ServerHandle { addr, shared, acceptor, workers })
+}
+
+/// Run a server in the foreground until it drains (SIGTERM, or POST
+/// `/shutdown`). Prints the listening line up front; returns a final
+/// summary for the CLI to print.
+pub fn serve_forever(cfg: ServeConfig) -> Result<String, MelreqError> {
+    install_sigterm();
+    let store_note = match &cfg.store_dir {
+        Some(dir) => format!("store {}", dir.display()),
+        None => "no store".to_string(),
+    };
+    let handle = start(cfg.clone())?;
+    println!(
+        "melreq-serve listening on {} ({} workers, queue {}, {})",
+        handle.addr(),
+        cfg.workers.max(1),
+        cfg.queue_cap,
+        store_note
+    );
+    handle.join();
+    Ok("melreq-serve drained cleanly".to_string())
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    loop {
+        if shared.draining.load(Ordering::SeqCst) || sigterm_received() {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => handle_connection(stream, shared),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => break,
+        }
+    }
+    // Drain: wake every worker so they can observe the flag.
+    shared.draining.store(true, Ordering::SeqCst);
+    shared.cond.notify_all();
+}
+
+fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
+    let _ = stream.set_read_timeout(Some(SOCKET_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
+    let request = match http::read_request(&mut stream, MAX_BODY) {
+        Ok(r) => r,
+        Err(e) => {
+            respond_error(&mut stream, shared, &MelreqError::Usage(format!("bad request: {e}")));
+            return;
+        }
+    };
+
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => {
+            shared.metrics.count_request("healthz");
+            let body = format!(
+                "{{\"status\":\"ok\",\"schema_version\":{SCHEMA_VERSION},\"queue_depth\":{}}}",
+                shared.queue.lock().expect("queue poisoned").len()
+            );
+            respond(&mut stream, shared, 200, "application/json", &[], &body);
+        }
+        ("GET", "/metrics") => {
+            shared.metrics.count_request("metrics");
+            let body = shared.metrics.registry.render();
+            respond(&mut stream, shared, 200, "text/plain; version=0.0.4", &[], &body);
+        }
+        ("POST", "/shutdown") => {
+            shared.metrics.count_request("shutdown");
+            shared.draining.store(true, Ordering::SeqCst);
+            shared.cond.notify_all();
+            respond(&mut stream, shared, 200, "application/json", &[], "{\"status\":\"draining\"}");
+        }
+        ("POST", path @ ("/run" | "/compare")) => {
+            let endpoint = if path == "/run" { Endpoint::Run } else { Endpoint::Compare };
+            shared.metrics.count_request(endpoint.as_str());
+            match parse_sim_request(&request.body, endpoint) {
+                Ok(req) => enqueue(stream, req, shared),
+                Err(e) => respond_error(&mut stream, shared, &e),
+            }
+        }
+        (_, "/healthz" | "/metrics" | "/shutdown" | "/run" | "/compare") => {
+            respond(
+                &mut stream,
+                shared,
+                405,
+                "application/json",
+                &[],
+                &error_body(405, "usage", "method not allowed"),
+            );
+        }
+        (_, path) => {
+            let body = error_body(404, "usage", &format!("unknown endpoint '{path}'"));
+            respond(&mut stream, shared, 404, "application/json", &[], &body);
+        }
+    }
+}
+
+fn parse_sim_request(body: &str, endpoint: Endpoint) -> Result<SimRequest, MelreqError> {
+    let req = SimRequest::from_json(body)?;
+    if endpoint == Endpoint::Run && req.policies.len() != 1 {
+        return Err(MelreqError::Usage(format!(
+            "/run takes exactly one policy (got {}); POST policy sets to /compare",
+            req.policies.len()
+        )));
+    }
+    Ok(req)
+}
+
+fn enqueue(mut stream: TcpStream, req: SimRequest, shared: &Arc<Shared>) {
+    // Response cache (opt-in): answer repeats without touching the pool.
+    if shared.cfg.response_cache > 0 {
+        let key = req.request_key();
+        let cache = shared.response_cache.lock().expect("response cache poisoned");
+        if let Some((_, report)) = cache.iter().find(|(k, _)| *k == key) {
+            let body = envelope(report, "response", shared);
+            drop(cache);
+            shared.metrics.response_cache_hits.inc();
+            respond(&mut stream, shared, 200, "application/json", &[], &body);
+            return;
+        }
+    }
+
+    let timeout_ms = req.timeout_ms.or(shared.cfg.default_timeout_ms);
+    let deadline = timeout_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
+    let job = Job { stream, req, deadline };
+
+    let mut queue = shared.queue.lock().expect("queue poisoned");
+    if queue.len() >= shared.cfg.queue_cap || shared.draining.load(Ordering::SeqCst) {
+        drop(queue);
+        let mut stream = job.stream;
+        shared.metrics.rejected.inc();
+        let err = MelreqError::Overload { retry_after_s: RETRY_AFTER_S };
+        let body = error_body(err.http_status(), kind(&err), &err.to_string());
+        respond(
+            &mut stream,
+            shared,
+            err.http_status(),
+            "application/json",
+            &[("Retry-After", RETRY_AFTER_S.to_string())],
+            &body,
+        );
+        return;
+    }
+    queue.push_back(job);
+    shared.metrics.queue_depth.set(i64::try_from(queue.len()).unwrap_or(i64::MAX));
+    drop(queue);
+    shared.cond.notify_one();
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("queue poisoned");
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    shared.metrics.queue_depth.set(i64::try_from(queue.len()).unwrap_or(i64::MAX));
+                    break Some(job);
+                }
+                if shared.draining.load(Ordering::SeqCst) {
+                    break None;
+                }
+                let (guard, _) = shared
+                    .cond
+                    .wait_timeout(queue, Duration::from_millis(100))
+                    .expect("queue poisoned");
+                queue = guard;
+            }
+        };
+        let Some(job) = job else { return };
+        process(job, shared);
+    }
+}
+
+fn process(job: Job, shared: &Arc<Shared>) {
+    let Job { mut stream, req, deadline } = job;
+    // A deadline that expired while the job sat in the queue is still a
+    // timeout — the simulation is simply never started.
+    if deadline.is_some_and(|d| Instant::now() >= d) {
+        let err = MelreqError::Timeout(
+            "request deadline expired while queued; the run was not started".to_string(),
+        );
+        respond_error(&mut stream, shared, &err);
+        return;
+    }
+
+    let ctl = RunControl { cancel: deadline.map(CancelToken::with_deadline), max_cycles: None };
+    match shared.session.run(&req, &ctl) {
+        Ok(report) => {
+            let mut cycles = 0u64;
+            for p in &report.policies {
+                cycles = cycles.saturating_add(p.sim_cycles);
+            }
+            shared.metrics.sim_cycles.add(cycles);
+            let cache_status = if report.all_warm() {
+                "warm"
+            } else if report.any_warm() {
+                "partial"
+            } else {
+                "cold"
+            };
+            let report_json = report.to_json();
+            if shared.cfg.response_cache > 0 {
+                let key = req.request_key();
+                let mut cache = shared.response_cache.lock().expect("response cache poisoned");
+                if !cache.iter().any(|(k, _)| *k == key) {
+                    cache.push_back((key, report_json.clone()));
+                    while cache.len() > shared.cfg.response_cache {
+                        cache.pop_front();
+                    }
+                }
+            }
+            let body = envelope(&report_json, cache_status, shared);
+            respond(&mut stream, shared, 200, "application/json", &[], &body);
+        }
+        Err(err) => respond_error(&mut stream, shared, &err),
+    }
+}
+
+/// The response envelope: provenance fields first, the deterministic
+/// report verbatim last — `"report":` up to the final `}` is exactly
+/// [`melreq_core::api::SimReport::to_json`]'s bytes.
+fn envelope(report_json: &str, cache: &str, shared: &Arc<Shared>) -> String {
+    let store = match shared.session.store() {
+        Some(store) => {
+            let s = store.stats();
+            format!(
+                "{{\"warmup_hits\":{},\"warmup_misses\":{},\"profile_hits\":{},\"profile_misses\":{}}}",
+                s.warmup_hits, s.warmup_misses, s.profile_hits, s.profile_misses
+            )
+        }
+        None => "null".to_string(),
+    };
+    format!("{{\"cache\":\"{cache}\",\"store\":{store},\"report\":{report_json}}}")
+}
+
+fn kind(err: &MelreqError) -> &'static str {
+    match err {
+        MelreqError::Usage(_) => "usage",
+        MelreqError::Io(_) => "io",
+        MelreqError::Divergence(_) => "divergence",
+        MelreqError::Overload { .. } => "overload",
+        MelreqError::Timeout(_) => "timeout",
+    }
+}
+
+fn error_body(status: u16, kind: &str, message: &str) -> String {
+    format!(
+        "{{\"error\":{{\"status\":{status},\"kind\":\"{kind}\",\"message\":\"{}\",\"schema_version\":{SCHEMA_VERSION}}}}}",
+        esc(message)
+    )
+}
+
+fn respond_error(stream: &mut TcpStream, shared: &Arc<Shared>, err: &MelreqError) {
+    if matches!(err, MelreqError::Timeout(_)) {
+        shared.metrics.timeouts.inc();
+    }
+    let status = err.http_status();
+    let body = error_body(status, kind(err), &err.to_string());
+    respond(stream, shared, status, "application/json", &[], &body);
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    shared: &Arc<Shared>,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, String)],
+    body: &str,
+) {
+    shared.metrics.count_response(status);
+    // The client may already be gone; nothing useful to do about it.
+    let _ = http::write_response(stream, status, content_type, extra_headers, body);
+}
+
+#[cfg(unix)]
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub static TERM: AtomicBool = AtomicBool::new(false);
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_term(_sig: i32) {
+        TERM.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGTERM, on_term as *const () as usize);
+        }
+    }
+}
+
+/// Install a SIGTERM handler that begins a graceful drain of every
+/// server in this process (the acceptor polls the flag). No-op off
+/// Unix. The handler is process-global — the embedding tests use
+/// [`ServerHandle::shutdown`] / `POST /shutdown` instead.
+pub fn install_sigterm() {
+    #[cfg(unix)]
+    sig::install();
+}
+
+fn sigterm_received() -> bool {
+    #[cfg(unix)]
+    {
+        sig::TERM.load(Ordering::SeqCst)
+    }
+    #[cfg(not(unix))]
+    {
+        false
+    }
+}
+
+/// Split a server response body into `(envelope_prefix, report_bytes)`:
+/// everything before `"report":`, and the report JSON itself (the
+/// envelope's trailing `}` removed). Shared by the golden tests and
+/// `melreq client`.
+pub fn split_envelope(body: &str) -> Option<(&str, &str)> {
+    let marker = "\"report\":";
+    let at = body.find(marker)?;
+    let report = &body[at + marker.len()..];
+    let report = report.strip_suffix('}')?;
+    Some((&body[..at], report))
+}

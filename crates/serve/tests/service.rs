@@ -1,0 +1,230 @@
+//! Black-box service tests over real sockets: backpressure (429 +
+//! Retry-After semantics without wedging the pool), wall-clock deadlines
+//! (504 at an epoch boundary), sustained concurrency across the worker
+//! pool, request validation (schema version, /run arity), and graceful
+//! drain. Every server binds port 0; nothing here touches SIGTERM — the
+//! in-process drain paths (`/shutdown`, `ServerHandle::shutdown`) cover
+//! the same code the signal handler flips.
+
+use melreq_core::api::{PolicyChoice, SimRequest, SCHEMA_VERSION};
+use melreq_core::experiment::ExperimentOptions;
+use melreq_serve::{http, split_envelope, start, ServeConfig, ServerHandle};
+use std::time::Duration;
+
+const EXCHANGE_TIMEOUT: Duration = Duration::from_secs(300);
+
+fn serve(workers: usize, queue_cap: usize) -> ServerHandle {
+    start(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers,
+        queue_cap,
+        store_dir: None,
+        ..ServeConfig::default()
+    })
+    .expect("start server")
+}
+
+fn run_body(mix: &str, opts: ExperimentOptions) -> String {
+    SimRequest::new(mix)
+        .policy(PolicyChoice::parse("me-lreq").expect("policy token"))
+        .opts(opts)
+        .to_json()
+}
+
+/// A request heavy enough to hold a worker for a while on any host.
+fn slow_opts() -> ExperimentOptions {
+    ExperimentOptions {
+        instructions: 120_000,
+        warmup: 30_000,
+        profile_instructions: 10_000,
+        ..ExperimentOptions::default()
+    }
+}
+
+fn post_run(addr: &str, body: &str) -> (u16, String) {
+    http::exchange(addr, "POST", "/run", Some(body), EXCHANGE_TIMEOUT).expect("POST /run")
+}
+
+#[test]
+fn queue_overflow_sheds_429_and_the_server_recovers() {
+    let handle = serve(1, 1);
+    let addr = handle.addr().to_string();
+
+    // Occupy the single worker with a slow run…
+    let slow = {
+        let addr = addr.clone();
+        std::thread::spawn(move || post_run(&addr, &run_body("2MEM-1", slow_opts())))
+    };
+    std::thread::sleep(Duration::from_millis(400));
+
+    // …then burst past the 1-slot queue. At most one follower fits.
+    let followers: Vec<_> = (0..4)
+        .map(|_| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                post_run(&addr, &run_body("2MEM-1", ExperimentOptions::quick()))
+            })
+        })
+        .collect();
+
+    let mut ok = 0;
+    let mut shed = 0;
+    for f in followers {
+        let (status, body) = f.join().expect("follower thread");
+        match status {
+            200 => ok += 1,
+            429 => {
+                shed += 1;
+                assert!(body.contains("\"kind\":\"overload\""), "429 body: {body}");
+                assert!(body.contains("retry after"), "429 names the backoff: {body}");
+            }
+            other => panic!("unexpected status {other}: {body}"),
+        }
+    }
+    assert_eq!(ok + shed, 4);
+    assert!(shed >= 1, "a 1-slot queue must shed part of a 4-request burst");
+    assert!(ok >= 1, "the queued follower must still complete");
+
+    let (status, _) = slow.join().expect("slow thread");
+    assert_eq!(status, 200, "the in-flight run finishes despite the burst");
+
+    // Not wedged: health and a fresh run still work.
+    let (status, body) =
+        http::exchange(&addr, "GET", "/healthz", None, EXCHANGE_TIMEOUT).expect("healthz");
+    assert_eq!(status, 200, "healthz after burst: {body}");
+    let (status, _) = post_run(&addr, &run_body("2MEM-1", ExperimentOptions::quick()));
+    assert_eq!(status, 200, "pool serves again after shedding");
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn expired_wall_clock_budget_returns_504() {
+    let handle = serve(1, 4);
+    let addr = handle.addr().to_string();
+
+    let body = SimRequest::new("2MEM-1")
+        .policy(PolicyChoice::parse("me-lreq").expect("policy token"))
+        .opts(slow_opts())
+        .timeout_ms(1)
+        .to_json();
+    let (status, resp) = post_run(&addr, &body);
+    assert_eq!(status, 504, "1ms budget must time out: {resp}");
+    assert!(resp.contains("\"kind\":\"timeout\""), "504 body: {resp}");
+
+    // The worker survives the cancellation.
+    let (status, resp) = post_run(&addr, &run_body("2MEM-1", ExperimentOptions::quick()));
+    assert_eq!(status, 200, "run after a timeout: {resp}");
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn worker_pool_sustains_concurrent_distinct_mixes() {
+    let handle = serve(4, 8);
+    let addr = handle.addr().to_string();
+
+    let mixes = ["2MEM-1", "2MEM-2", "2MIX-1", "2MIX-2"];
+    let threads: Vec<_> = mixes
+        .iter()
+        .map(|mix| {
+            let addr = addr.clone();
+            let mix = (*mix).to_string();
+            std::thread::spawn(move || {
+                (mix.clone(), post_run(&addr, &run_body(&mix, ExperimentOptions::quick())))
+            })
+        })
+        .collect();
+    for t in threads {
+        let (mix, (status, body)) = t.join().expect("run thread");
+        assert_eq!(status, 200, "{mix}: {body}");
+        let (_, report) = split_envelope(&body).expect("enveloped response");
+        assert!(
+            report.contains(&format!("\"mix\":\"{mix}\"")),
+            "{mix} report names its mix: {report}"
+        );
+    }
+
+    let (status, metrics) =
+        http::exchange(&addr, "GET", "/metrics", None, EXCHANGE_TIMEOUT).expect("metrics");
+    assert_eq!(status, 200);
+    assert!(metrics.contains("melreq_requests_total{endpoint=\"run\"} 4"), "metrics: {metrics}");
+    assert!(metrics.contains("melreq_responses_total{code=\"200\"}"), "metrics: {metrics}");
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn invalid_requests_are_rejected_up_front() {
+    let handle = serve(1, 4);
+    let addr = handle.addr().to_string();
+
+    // Stale client schema: refused before any simulation runs.
+    let stale = run_body("2MEM-1", ExperimentOptions::quick())
+        .replace(&format!("\"schema_version\":{SCHEMA_VERSION}"), "\"schema_version\":999");
+    let (status, body) = post_run(&addr, &stale);
+    assert_eq!(status, 400, "schema mismatch: {body}");
+    assert!(body.contains("\"kind\":\"usage\""), "400 body: {body}");
+    assert!(body.contains("schema"), "the error names the schema: {body}");
+
+    // /run is single-policy; policy sets belong on /compare.
+    let multi = SimRequest::new("2MEM-1")
+        .policies(vec![
+            PolicyChoice::parse("hf-rf").expect("policy token"),
+            PolicyChoice::parse("me-lreq").expect("policy token"),
+        ])
+        .opts(ExperimentOptions::quick())
+        .to_json();
+    let (status, body) = post_run(&addr, &multi);
+    assert_eq!(status, 400, "/run with two policies: {body}");
+    assert!(body.contains("exactly one policy"), "400 body: {body}");
+
+    // Unknown endpoint and wrong method keep their HTTP semantics.
+    let (status, _) =
+        http::exchange(&addr, "GET", "/nope", None, EXCHANGE_TIMEOUT).expect("GET /nope");
+    assert_eq!(status, 404);
+    let (status, _) =
+        http::exchange(&addr, "GET", "/run", None, EXCHANGE_TIMEOUT).expect("GET /run");
+    assert_eq!(status, 405);
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn post_shutdown_drains_in_flight_work_then_exits() {
+    let handle = serve(1, 4);
+    let addr = handle.addr().to_string();
+
+    // Two requests in flight: one running, one queued.
+    let in_flight: Vec<_> = (0..2)
+        .map(|_| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                post_run(&addr, &run_body("2MEM-1", ExperimentOptions::quick()))
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(300));
+
+    let (status, body) =
+        http::exchange(&addr, "POST", "/shutdown", None, EXCHANGE_TIMEOUT).expect("shutdown");
+    assert_eq!(status, 200, "shutdown: {body}");
+    assert!(body.contains("draining"), "shutdown body: {body}");
+
+    // Graceful: everything already accepted still completes.
+    for t in in_flight {
+        let (status, body) = t.join().expect("in-flight thread");
+        assert_eq!(status, 200, "drained request: {body}");
+    }
+    handle.join();
+
+    // Fully down: new connections are refused.
+    assert!(
+        http::exchange(&addr, "GET", "/healthz", None, Duration::from_secs(2)).is_err(),
+        "the drained server must stop accepting"
+    );
+}

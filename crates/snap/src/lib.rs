@@ -277,6 +277,18 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
+/// Canonical content-addressed key: FNV-1a over
+/// `"v{SCHEMA_VERSION}|{domain}|{canonical}"`.
+///
+/// This is the one key construction shared by every cache in the
+/// workspace — the checkpoint store's warm-up and profile records and
+/// the service layer's request keys all address content through it, so
+/// a schema bump invalidates every derived key at once and two
+/// subsystems can never collide as long as their `domain` differs.
+pub fn keyed(domain: &str, canonical: &str) -> u64 {
+    fnv1a(format!("v{SCHEMA_VERSION}|{domain}|{canonical}").as_bytes())
+}
+
 /// Wrap `payload` in a self-checking container:
 /// `MAGIC · SCHEMA_VERSION · payload-len · FNV-1a(payload) · payload`.
 pub fn seal(payload: &[u8]) -> Vec<u8> {
