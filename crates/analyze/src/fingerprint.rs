@@ -1,0 +1,266 @@
+//! Snapshot-layout fingerprinting (rule S02).
+//!
+//! Every struct that participates in snapshotting (has both
+//! `save_state` and `load_state` in its file) contributes its declared
+//! layout — name plus ordered `field:type` pairs — to a committed
+//! fingerprint file, `snap.fingerprint` at the workspace root. The
+//! analyzer recomputes the layouts on every run:
+//!
+//! * layouts changed, `SCHEMA_VERSION` unchanged → **S02 finding**: a
+//!   layout change invalidates every persisted checkpoint, so it must
+//!   bump `SCHEMA_VERSION` in `crates/snap` in the same diff;
+//! * layouts changed *and* the version bumped → S02 finding instructing
+//!   `melreq analyze --fix-fingerprint`, which rewrites the file (the
+//!   gate stays red until the refreshed fingerprint is committed);
+//! * fingerprint file missing → S02 finding (run `--fix-fingerprint`).
+//!
+//! The fingerprint deliberately hashes *declared* layouts, not encoder
+//! call sequences: together with S01 (every field referenced in both
+//! methods) a changed or added field cannot reach `main` without a
+//! conscious schema decision.
+
+use crate::items::StructDecl;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// File name of the committed fingerprint, relative to the root.
+pub const FINGERPRINT_FILE: &str = "snap.fingerprint";
+
+/// One snapshot'd struct's contribution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StructLayout {
+    /// Struct name.
+    pub name: String,
+    /// Number of declared fields.
+    pub fields: usize,
+    /// FNV-1a over `name{field:ty,field:ty,...}` in declaration order.
+    pub hash: u64,
+    /// Repo-relative file the struct lives in.
+    pub file: String,
+}
+
+/// The computed layout set plus its combined hash.
+#[derive(Debug, Clone, Default)]
+pub struct LayoutSet {
+    /// Per-struct layouts keyed by struct name (sorted — two structs
+    /// with the same name in different files would collide, which the
+    /// computation reports as a duplicate).
+    pub structs: BTreeMap<String, StructLayout>,
+    /// Struct names that appeared more than once across the workspace.
+    pub duplicates: Vec<String>,
+}
+
+impl LayoutSet {
+    /// Fold one file's snapshot'd structs in.
+    pub fn add(&mut self, file: &str, s: &StructDecl) {
+        let mut canon = String::new();
+        let _ = write!(canon, "{}{{", s.name);
+        for f in &s.fields {
+            let _ = write!(canon, "{}:{},", f.name, f.ty);
+        }
+        canon.push('}');
+        let layout = StructLayout {
+            name: s.name.clone(),
+            fields: s.fields.len(),
+            hash: melreq_snap::fnv1a(canon.as_bytes()),
+            file: file.to_string(),
+        };
+        if self.structs.insert(s.name.clone(), layout).is_some() {
+            self.duplicates.push(s.name.clone());
+        }
+    }
+
+    /// Combined hash over every struct line, order-independent by
+    /// construction (the map iterates sorted by name).
+    pub fn combined(&self) -> u64 {
+        let mut acc = String::new();
+        for s in self.structs.values() {
+            let _ = writeln!(acc, "{} {} {:016x}", s.name, s.fields, s.hash);
+        }
+        melreq_snap::fnv1a(acc.as_bytes())
+    }
+
+    /// Render the committed fingerprint file contents.
+    pub fn render(&self, schema_version: u32) -> String {
+        let mut out = String::new();
+        out.push_str(
+            "# melreq snapshot-layout fingerprint — regenerate with `melreq analyze --fix-fingerprint`\n",
+        );
+        let _ = writeln!(out, "schema_version {schema_version}");
+        let _ = writeln!(out, "layout {:016x}", self.combined());
+        for s in self.structs.values() {
+            let _ = writeln!(out, "struct {} {} {:016x} {}", s.name, s.fields, s.hash, s.file);
+        }
+        out
+    }
+}
+
+/// A parsed committed fingerprint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Committed {
+    /// `SCHEMA_VERSION` recorded at generation time.
+    pub schema_version: u32,
+    /// Combined layout hash recorded at generation time.
+    pub layout: u64,
+    /// Struct name → recorded per-struct hash.
+    pub structs: BTreeMap<String, u64>,
+}
+
+/// Parse the committed fingerprint file. `Ok(None)` when absent.
+pub fn read_committed(root: &Path) -> Result<Option<Committed>, String> {
+    let path = root.join(FINGERPRINT_FILE);
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(format!("{}: {e}", path.display())),
+    };
+    let mut schema_version = None;
+    let mut layout = None;
+    let mut structs = BTreeMap::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let bad = || format!("{}:{}: malformed fingerprint line", path.display(), i + 1);
+        match parts.next() {
+            Some("schema_version") => {
+                schema_version = Some(parts.next().and_then(|v| v.parse().ok()).ok_or_else(bad)?);
+            }
+            Some("layout") => {
+                layout = Some(
+                    parts.next().and_then(|v| u64::from_str_radix(v, 16).ok()).ok_or_else(bad)?,
+                );
+            }
+            Some("struct") => {
+                let name = parts.next().ok_or_else(bad)?.to_string();
+                let _fields = parts.next().ok_or_else(bad)?;
+                let hash =
+                    parts.next().and_then(|v| u64::from_str_radix(v, 16).ok()).ok_or_else(bad)?;
+                structs.insert(name, hash);
+            }
+            _ => return Err(bad()),
+        }
+    }
+    match (schema_version, layout) {
+        (Some(schema_version), Some(layout)) => {
+            Ok(Some(Committed { schema_version, layout, structs }))
+        }
+        _ => Err(format!("{}: missing schema_version/layout header", path.display())),
+    }
+}
+
+/// Extract `SCHEMA_VERSION` from `crates/snap/src/lib.rs` *source* (not
+/// the compiled constant — the analyzer must see the tree as committed,
+/// and tests doctor temporary trees with other versions).
+pub fn schema_version_from_source(root: &Path) -> Result<u32, String> {
+    let path = root.join("crates/snap/src/lib.rs");
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+    for line in text.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("pub const SCHEMA_VERSION: u32 =") {
+            let digits: String = rest.chars().filter(|c| c.is_ascii_digit() || *c == '_').collect();
+            return digits
+                .replace('_', "")
+                .parse()
+                .map_err(|_| format!("{}: unparsable SCHEMA_VERSION", path.display()));
+        }
+    }
+    Err(format!("{}: SCHEMA_VERSION not found", path.display()))
+}
+
+/// Human-readable struct-level diff between the committed fingerprint
+/// and the computed layouts (used in the S02 message so the finding
+/// names what drifted, not just that something did).
+pub fn diff(committed: &Committed, computed: &LayoutSet) -> String {
+    let mut changed = Vec::new();
+    let mut added = Vec::new();
+    let mut removed = Vec::new();
+    for (name, s) in &computed.structs {
+        match committed.structs.get(name) {
+            Some(&h) if h == s.hash => {}
+            Some(_) => changed.push(name.as_str()),
+            None => added.push(name.as_str()),
+        }
+    }
+    for name in committed.structs.keys() {
+        if !computed.structs.contains_key(name) {
+            removed.push(name.as_str());
+        }
+    }
+    let mut parts = Vec::new();
+    if !changed.is_empty() {
+        parts.push(format!("changed: {}", changed.join(", ")));
+    }
+    if !added.is_empty() {
+        parts.push(format!("added: {}", added.join(", ")));
+    }
+    if !removed.is_empty() {
+        parts.push(format!("removed: {}", removed.join(", ")));
+    }
+    if parts.is_empty() {
+        parts.push("(per-struct hashes match; header drift)".to_string());
+    }
+    parts.join("; ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::Field;
+
+    fn decl(name: &str, fields: &[(&str, &str)]) -> StructDecl {
+        StructDecl {
+            name: name.to_string(),
+            fields: fields
+                .iter()
+                .map(|(n, t)| Field { name: (*n).to_string(), ty: (*t).to_string(), line: 1 })
+                .collect(),
+            line: 1,
+        }
+    }
+
+    #[test]
+    fn layout_hash_is_field_order_sensitive() {
+        let mut a = LayoutSet::default();
+        a.add("f.rs", &decl("Bank", &[("state", "BankState"), ("ready_at", "Cycle")]));
+        let mut b = LayoutSet::default();
+        b.add("f.rs", &decl("Bank", &[("ready_at", "Cycle"), ("state", "BankState")]));
+        assert_ne!(a.combined(), b.combined());
+    }
+
+    #[test]
+    fn render_parses_back() {
+        let mut set = LayoutSet::default();
+        set.add("crates/dram/src/bank.rs", &decl("Bank", &[("state", "BankState")]));
+        set.add("crates/dram/src/channel.rs", &decl("Channel", &[("banks", "Vec<Bank>")]));
+        let dir = std::env::temp_dir().join(format!("melreq-fp-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(FINGERPRINT_FILE), set.render(2)).unwrap();
+        let c = read_committed(&dir).unwrap().expect("present");
+        assert_eq!(c.schema_version, 2);
+        assert_eq!(c.layout, set.combined());
+        assert_eq!(c.structs.len(), 2);
+        assert_eq!(diff(&c, &set), "(per-struct hashes match; header drift)");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn diff_names_what_drifted() {
+        let mut old = LayoutSet::default();
+        old.add("f.rs", &decl("A", &[("x", "u64")]));
+        old.add("f.rs", &decl("B", &[("y", "u64")]));
+        let committed = Committed {
+            schema_version: 2,
+            layout: old.combined(),
+            structs: old.structs.iter().map(|(k, v)| (k.clone(), v.hash)).collect(),
+        };
+        let mut new = LayoutSet::default();
+        new.add("f.rs", &decl("A", &[("x", "u64"), ("z", "u64")]));
+        new.add("f.rs", &decl("C", &[("w", "u64")]));
+        let d = diff(&committed, &new);
+        assert!(d.contains("changed: A") && d.contains("added: C") && d.contains("removed: B"));
+    }
+}

@@ -1,0 +1,453 @@
+//! Item extraction over the token stream: struct declarations with
+//! their fields, `impl` blocks with their `save_state`/`load_state`
+//! method bodies, and the spans of `#[cfg(test)]` modules (which every
+//! rule skips — test code may do whatever it likes).
+
+use crate::lexer::{Lexed, Token, TokenKind};
+
+/// One declared struct field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Field name.
+    pub name: String,
+    /// The type, rendered as a canonical token join (no whitespace
+    /// games) — part of the snapshot-layout fingerprint.
+    pub ty: String,
+    /// 1-based line of the field declaration.
+    pub line: u32,
+}
+
+/// One `struct` item with named fields (tuple and unit structs are
+/// skipped — nothing in the snapshot layer uses them).
+#[derive(Debug, Clone)]
+pub struct StructDecl {
+    /// Struct name.
+    pub name: String,
+    /// Declared fields in source order.
+    pub fields: Vec<Field>,
+    /// 1-based line of the `struct` keyword.
+    pub line: u32,
+}
+
+/// A `save_state`/`load_state` method body found in an `impl` block.
+#[derive(Debug, Clone)]
+pub struct SnapMethod {
+    /// Identifier tokens appearing anywhere in the body. A declared
+    /// field counts as covered when its name appears here (via
+    /// `self.field`, a struct-literal key, or destructuring).
+    pub idents: Vec<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+}
+
+/// The snapshot surface of one type: its `save_state` and/or
+/// `load_state` bodies, keyed by the `impl` self-type name.
+#[derive(Debug, Clone, Default)]
+pub struct SnapImpl {
+    /// `fn save_state` body, if present in this file.
+    pub save: Option<SnapMethod>,
+    /// `fn load_state` body, if present in this file.
+    pub load: Option<SnapMethod>,
+}
+
+/// Everything the rules need from one file.
+#[derive(Debug, Default)]
+pub struct FileItems {
+    /// Structs with named fields, in source order.
+    pub structs: Vec<StructDecl>,
+    /// Snapshot method bodies keyed by impl self-type name.
+    pub snaps: std::collections::BTreeMap<String, SnapImpl>,
+    /// Half-open token-index ranges of `#[cfg(test)] mod` bodies.
+    pub test_ranges: Vec<(usize, usize)>,
+}
+
+impl FileItems {
+    /// Whether token index `idx` falls inside a `#[cfg(test)]` module.
+    pub fn in_test(&self, idx: usize) -> bool {
+        self.test_ranges.iter().any(|&(a, b)| idx >= a && idx < b)
+    }
+}
+
+fn ident_at(tokens: &[Token], i: usize) -> Option<&str> {
+    match tokens.get(i).map(|t| &t.kind) {
+        Some(TokenKind::Ident(s)) => Some(s),
+        _ => None,
+    }
+}
+
+fn punct_at(tokens: &[Token], i: usize, c: char) -> bool {
+    matches!(tokens.get(i).map(|t| &t.kind), Some(TokenKind::Punct(p)) if *p == c)
+}
+
+/// Index just past the brace-balanced block opening at `open` (which
+/// must point at `{`). Returns `tokens.len()` on unbalanced input.
+fn skip_block(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < tokens.len() {
+        match tokens[i].kind {
+            TokenKind::Punct('{') => depth += 1,
+            TokenKind::Punct('}') => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    tokens.len()
+}
+
+/// Skip a balanced `<...>` generics list starting at `open` (pointing at
+/// `<`); returns the index just past the matching `>`.
+fn skip_angles(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0isize;
+    let mut i = open;
+    while i < tokens.len() {
+        match tokens[i].kind {
+            TokenKind::Punct('<') => depth += 1,
+            TokenKind::Punct('>') => {
+                depth -= 1;
+                if depth <= 0 {
+                    return i + 1;
+                }
+            }
+            // A parenthesized or bracketed group inside generics
+            // (e.g. `Fn(A) -> B`) cannot contain a bare `<`/`>` that
+            // unbalances us in this codebase's types.
+            _ => {}
+        }
+        i += 1;
+    }
+    tokens.len()
+}
+
+/// Render a token slice as a canonical type string.
+fn render_type(tokens: &[Token]) -> String {
+    let mut s = String::new();
+    for t in tokens {
+        match &t.kind {
+            TokenKind::Ident(w) => {
+                if s.ends_with(|c: char| c.is_alphanumeric() || c == '_') {
+                    s.push(' ');
+                }
+                s.push_str(w);
+            }
+            TokenKind::Punct(c) => s.push(*c),
+            TokenKind::PathSep => s.push_str("::"),
+            TokenKind::Arrow => s.push_str("->"),
+            TokenKind::Literal(l) => s.push_str(l),
+            TokenKind::Lifetime => s.push('\''),
+        }
+    }
+    s
+}
+
+/// Parse the named fields of a struct body; `open` points at `{`.
+fn parse_fields(tokens: &[Token], open: usize) -> Vec<Field> {
+    let end = skip_block(tokens, open) - 1; // index of closing `}`
+    let mut fields = Vec::new();
+    let mut i = open + 1;
+    while i < end {
+        // Skip attributes and visibility.
+        if punct_at(tokens, i, '#') {
+            if punct_at(tokens, i + 1, '[') {
+                let mut depth = 0;
+                i += 1;
+                while i < end {
+                    if punct_at(tokens, i, '[') {
+                        depth += 1;
+                    } else if punct_at(tokens, i, ']') {
+                        depth -= 1;
+                        if depth == 0 {
+                            i += 1;
+                            break;
+                        }
+                    }
+                    i += 1;
+                }
+                continue;
+            }
+            i += 1;
+            continue;
+        }
+        if ident_at(tokens, i) == Some("pub") {
+            i += 1;
+            if punct_at(tokens, i, '(') {
+                // pub(crate) etc.
+                while i < end && !punct_at(tokens, i, ')') {
+                    i += 1;
+                }
+                i += 1;
+            }
+            continue;
+        }
+        // Expect `name : type ,`
+        let Some(name) = ident_at(tokens, i) else {
+            i += 1;
+            continue;
+        };
+        if !punct_at(tokens, i + 1, ':') {
+            i += 1;
+            continue;
+        }
+        let name = name.to_string();
+        let line = tokens[i].line;
+        let ty_start = i + 2;
+        // Type runs to the next top-level comma (angle/paren/bracket
+        // depth aware) or the closing brace.
+        let mut depth = 0isize;
+        let mut j = ty_start;
+        while j < end {
+            match tokens[j].kind {
+                TokenKind::Punct('<') | TokenKind::Punct('(') | TokenKind::Punct('[') => depth += 1,
+                TokenKind::Punct('>') | TokenKind::Punct(')') | TokenKind::Punct(']') => depth -= 1,
+                TokenKind::Punct(',') if depth == 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        fields.push(Field { name, ty: render_type(&tokens[ty_start..j]), line });
+        i = j + 1;
+    }
+    fields
+}
+
+/// The self-type name of an `impl` header starting right after the
+/// `impl` keyword at `i`; also returns the index of the opening `{`.
+fn impl_target(tokens: &[Token], mut i: usize) -> (Option<String>, usize) {
+    // Skip `<...>` generic params.
+    if punct_at(tokens, i, '<') {
+        i = skip_angles(tokens, i);
+    }
+    // Collect the first path; if a `for` follows, the real self type is
+    // after it.
+    let mut name: Option<String> = None;
+    let mut last_ident: Option<String> = None;
+    while i < tokens.len() {
+        match &tokens[i].kind {
+            TokenKind::Ident(w) if w == "for" => {
+                last_ident = None; // discard the trait path
+                i += 1;
+            }
+            TokenKind::Ident(w) if w == "where" => {
+                name = name.or(last_ident.take());
+                // Skip to the impl body.
+                while i < tokens.len() && !punct_at(tokens, i, '{') {
+                    i += 1;
+                }
+                break;
+            }
+            TokenKind::Ident(w) => {
+                last_ident = Some(w.clone());
+                i += 1;
+            }
+            TokenKind::Punct('<') => i = skip_angles(tokens, i),
+            TokenKind::Punct('{') => {
+                name = name.or(last_ident.take());
+                break;
+            }
+            _ => i += 1,
+        }
+    }
+    (name, i)
+}
+
+/// Collect identifier tokens in `tokens[range]`.
+fn body_idents(tokens: &[Token], start: usize, end: usize) -> Vec<String> {
+    tokens[start..end]
+        .iter()
+        .filter_map(|t| match &t.kind {
+            TokenKind::Ident(s) => Some(s.clone()),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Extract structs, snapshot impls and test-module spans from a lexed
+/// file.
+pub fn extract(lexed: &Lexed) -> FileItems {
+    let tokens = &lexed.tokens;
+    let mut out = FileItems::default();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        match ident_at(tokens, i) {
+            Some("struct") => {
+                let Some(name) = ident_at(tokens, i + 1) else {
+                    i += 1;
+                    continue;
+                };
+                let name = name.to_string();
+                let line = tokens[i].line;
+                let mut j = i + 2;
+                if punct_at(tokens, j, '<') {
+                    j = skip_angles(tokens, j);
+                }
+                // `where` clauses on structs don't occur in this
+                // workspace; named-field structs open with `{` here.
+                if punct_at(tokens, j, '{') {
+                    let fields = parse_fields(tokens, j);
+                    if !out.in_test(i) {
+                        out.structs.push(StructDecl { name, fields, line });
+                    }
+                    i = skip_block(tokens, j);
+                } else {
+                    // Tuple struct or unit struct — skip to `;` or the
+                    // end of the parenthesized list.
+                    while j < tokens.len() && !punct_at(tokens, j, ';') && !punct_at(tokens, j, '{')
+                    {
+                        j += 1;
+                    }
+                    i = j + 1;
+                }
+            }
+            Some("impl") => {
+                let (target, open) = impl_target(tokens, i + 1);
+                let end = skip_block(tokens, open);
+                if let Some(target) = target {
+                    if !out.in_test(i) {
+                        collect_snap_methods(tokens, open, end, &target, &mut out);
+                    }
+                }
+                i = end;
+            }
+            Some("mod") => {
+                // `#[cfg(test)] mod name { ... }` — look back for the
+                // attribute tokens `# [ cfg ( test ) ]`.
+                let is_test_mod = i >= 7
+                    && punct_at(tokens, i - 7, '#')
+                    && punct_at(tokens, i - 6, '[')
+                    && ident_at(tokens, i - 5) == Some("cfg")
+                    && punct_at(tokens, i - 4, '(')
+                    && ident_at(tokens, i - 3) == Some("test")
+                    && punct_at(tokens, i - 2, ')')
+                    && punct_at(tokens, i - 1, ']');
+                if is_test_mod {
+                    let mut j = i + 1;
+                    while j < tokens.len() && !punct_at(tokens, j, '{') {
+                        if punct_at(tokens, j, ';') {
+                            break; // `mod tests;` — out-of-line, skip
+                        }
+                        j += 1;
+                    }
+                    if punct_at(tokens, j, '{') {
+                        let end = skip_block(tokens, j);
+                        out.test_ranges.push((i, end));
+                        i = end;
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    out
+}
+
+/// Scan an impl body for `fn save_state` / `fn load_state` with bodies
+/// (trait *declarations* end in `;` and are skipped).
+fn collect_snap_methods(
+    tokens: &[Token],
+    open: usize,
+    end: usize,
+    target: &str,
+    out: &mut FileItems,
+) {
+    let mut i = open + 1;
+    while i < end.saturating_sub(1) {
+        if ident_at(tokens, i) == Some("fn") {
+            let name = ident_at(tokens, i + 1).unwrap_or("").to_string();
+            let fn_line = tokens[i].line;
+            // Find the body `{` (or `;` for a bodiless declaration),
+            // skipping the signature. Generic bounds in these
+            // signatures contain no braces.
+            let mut j = i + 2;
+            while j < end && !punct_at(tokens, j, '{') && !punct_at(tokens, j, ';') {
+                j += 1;
+            }
+            if punct_at(tokens, j, '{') {
+                let body_end = skip_block(tokens, j);
+                if name == "save_state" || name == "load_state" {
+                    let m = SnapMethod { idents: body_idents(tokens, j, body_end), line: fn_line };
+                    let entry = out.snaps.entry(target.to_string()).or_default();
+                    if name == "save_state" {
+                        entry.save = Some(m);
+                    } else {
+                        entry.load = Some(m);
+                    }
+                }
+                i = body_end;
+                continue;
+            }
+        }
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn struct_fields_extract_with_types_and_lines() {
+        let src = "pub struct Bank {\n    state: BankState,\n    /// doc\n    ready_at: Cycle,\n    ring: [Cycle; 4],\n    v: Vec<Option<u64>>,\n}";
+        let items = extract(&lex(src));
+        assert_eq!(items.structs.len(), 1);
+        let s = &items.structs[0];
+        assert_eq!(s.name, "Bank");
+        let names: Vec<_> = s.fields.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["state", "ready_at", "ring", "v"]);
+        assert_eq!(s.fields[1].line, 4);
+        assert_eq!(s.fields[2].ty, "[Cycle;4]");
+        assert_eq!(s.fields[3].ty, "Vec<Option<u64>>");
+    }
+
+    #[test]
+    fn snap_methods_attach_to_impl_target() {
+        let src = "struct A { x: u64, y: u64 }\n\
+                   impl A {\n  pub fn save_state(&self, e: &mut Enc) { e.u64(self.x); }\n\
+                   fn other(&self) {}\n\
+                   pub fn load_state(&mut self, d: &mut Dec<'_>) -> R { self.x = d.u64()?; Ok(()) }\n}";
+        let items = extract(&lex(src));
+        let snap = items.snaps.get("A").expect("impl A snap methods");
+        assert!(snap.save.as_ref().unwrap().idents.contains(&"x".to_string()));
+        assert!(!snap.save.as_ref().unwrap().idents.contains(&"y".to_string()));
+        assert!(snap.load.is_some());
+    }
+
+    #[test]
+    fn trait_impls_and_generic_impls_resolve_self_type() {
+        let src = "impl Snap for Phased {\n fn save_state(&self, e: &mut Enc) {} }\n\
+                   impl<'a> Dec<'a> {\n fn load_state(&mut self) {} }";
+        let items = extract(&lex(src));
+        assert!(items.snaps.contains_key("Phased"));
+        assert!(items.snaps.contains_key("Dec"));
+    }
+
+    #[test]
+    fn bodiless_trait_declarations_are_skipped() {
+        let src = "trait Snap { fn save_state(&self, e: &mut Enc); fn load_state(&mut self); }";
+        let items = extract(&lex(src));
+        assert!(items.snaps.is_empty());
+    }
+
+    #[test]
+    fn cfg_test_modules_are_spanned() {
+        let src = "struct Real { a: u8 }\n#[cfg(test)]\nmod tests {\n struct Fake { b: u8 }\n}";
+        let items = extract(&lex(src));
+        assert_eq!(items.structs.len(), 1);
+        assert_eq!(items.structs[0].name, "Real");
+        assert_eq!(items.test_ranges.len(), 1);
+    }
+
+    #[test]
+    fn tuple_and_unit_structs_are_skipped() {
+        let items = extract(&lex("struct T(u64);\nstruct U;\nstruct N { f: u8 }"));
+        assert_eq!(items.structs.len(), 1);
+        assert_eq!(items.structs[0].name, "N");
+    }
+}

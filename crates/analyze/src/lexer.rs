@@ -1,0 +1,359 @@
+//! A minimal Rust lexer: just enough to tokenize the workspace's own
+//! sources for pattern rules and item extraction. No `syn`, no external
+//! crates — consistent with the vendored-offline build.
+//!
+//! The lexer produces identifiers, punctuation and literals with line
+//! numbers; comments and string/char literal *contents* are consumed
+//! (so `"Instant::now"` inside a string never matches a rule), but
+//! `// melreq-allow(RULE): reason` comments are collected into a
+//! side-table keyed by line, which is how findings are suppressed.
+
+use std::collections::BTreeMap;
+
+/// One lexical token with its source line (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token kind and text.
+    pub kind: TokenKind,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+/// The token classes the analyzer distinguishes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `struct`, `HashMap`, `as`, ...).
+    Ident(String),
+    /// A punctuation token. Multi-character operators are NOT combined
+    /// except `::` and `->`, which the item extractor and path rules
+    /// need as units (leaving `>` free for generic-depth counting).
+    Punct(char),
+    /// The `::` path separator.
+    PathSep,
+    /// The `->` return arrow.
+    Arrow,
+    /// Numeric, string, char or byte literal (text dropped except for
+    /// numbers, which fingerprinting of array lengths wants verbatim).
+    Literal(String),
+    /// A lifetime (`'a`); distinguished from char literals.
+    Lifetime,
+}
+
+/// One parsed `melreq-allow(RULE): reason` annotation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// The rule ID being suppressed (e.g. `S01`).
+    pub rule: String,
+    /// The human justification after the colon (must be non-empty for
+    /// the suppression to count).
+    pub reason: String,
+    /// Line the comment appears on.
+    pub line: u32,
+}
+
+/// A lexed source file: token stream plus the allow-comment side table.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Allow annotations keyed by the line they appear on.
+    pub allows: BTreeMap<u32, Vec<Allow>>,
+}
+
+impl Lexed {
+    /// Whether `rule` is suppressed at `line`: an allow comment on the
+    /// same line (trailing) or on the line directly above counts.
+    pub fn allow_for(&self, rule: &str, line: u32) -> Option<&Allow> {
+        for l in [line, line.saturating_sub(1)] {
+            if let Some(list) = self.allows.get(&l) {
+                if let Some(a) = list.iter().find(|a| a.rule == rule) {
+                    return Some(a);
+                }
+            }
+        }
+        None
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Scan a comment body for `melreq-allow(RULE): reason` and record it.
+fn collect_allow(body: &str, line: u32, allows: &mut BTreeMap<u32, Vec<Allow>>) {
+    let mut rest = body;
+    while let Some(idx) = rest.find("melreq-allow(") {
+        rest = &rest[idx + "melreq-allow(".len()..];
+        let Some(close) = rest.find(')') else { return };
+        let rule = rest[..close].trim().to_string();
+        rest = &rest[close + 1..];
+        let reason = match rest.strip_prefix(':') {
+            Some(r) => {
+                // The reason runs to the end of this comment line.
+                let r = r.lines().next().unwrap_or("").trim();
+                r.to_string()
+            }
+            None => String::new(),
+        };
+        if !rule.is_empty() && !reason.is_empty() {
+            allows.entry(line).or_default().push(Allow { rule, reason, line });
+        }
+    }
+}
+
+/// Tokenize `src`. Never fails: unrecognized bytes are skipped (the
+/// workspace's own sources are the only input, and they compile).
+#[allow(clippy::too_many_lines)]
+pub fn lex(src: &str) -> Lexed {
+    let mut out = Lexed::default();
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let n = chars.len();
+
+    macro_rules! push {
+        ($kind:expr) => {
+            out.tokens.push(Token { kind: $kind, line })
+        };
+    }
+
+    while i < n {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < n && chars[i + 1] == '/' => {
+                // Line comment (incl. doc comments): consume to newline,
+                // harvesting any allow annotation.
+                let start = i;
+                while i < n && chars[i] != '\n' {
+                    i += 1;
+                }
+                let body: String = chars[start..i].iter().collect();
+                collect_allow(&body, line, &mut out.allows);
+            }
+            '/' if i + 1 < n && chars[i + 1] == '*' => {
+                // Block comment, nesting per Rust. Allow annotations are
+                // attributed to the line the comment *starts* on.
+                let start_line = line;
+                let start = i;
+                i += 2;
+                let mut depth = 1;
+                while i < n && depth > 0 {
+                    if chars[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                let body: String = chars[start..i.min(n)].iter().collect();
+                collect_allow(&body, start_line, &mut out.allows);
+            }
+            '"' => {
+                // String literal (handles escapes; raw strings handled
+                // below at the `r` ident path).
+                i += 1;
+                while i < n {
+                    match chars[i] {
+                        '\\' => i += 2,
+                        '"' => {
+                            i += 1;
+                            break;
+                        }
+                        '\n' => {
+                            line += 1;
+                            i += 1;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                push!(TokenKind::Literal(String::new()));
+            }
+            '\'' => {
+                // Lifetime or char literal. `'a` (not closed by `'`) is a
+                // lifetime; `'x'` / `'\n'` are chars.
+                if i + 1 < n && chars[i + 1] == '\\' {
+                    // Escaped char literal.
+                    i += 2;
+                    while i < n && chars[i] != '\'' {
+                        i += 1;
+                    }
+                    i += 1;
+                    push!(TokenKind::Literal(String::new()));
+                } else if i + 2 < n && chars[i + 2] == '\'' {
+                    i += 3;
+                    push!(TokenKind::Literal(String::new()));
+                } else {
+                    i += 1;
+                    while i < n && is_ident_continue(chars[i]) {
+                        i += 1;
+                    }
+                    push!(TokenKind::Lifetime);
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < n && (is_ident_continue(chars[i]) || chars[i] == '.') {
+                    // `0..4` must not swallow the range: a dot only joins
+                    // when followed by a digit.
+                    if chars[i] == '.' && !(i + 1 < n && chars[i + 1].is_ascii_digit()) {
+                        break;
+                    }
+                    i += 1;
+                }
+                push!(TokenKind::Literal(chars[start..i].iter().collect()));
+            }
+            c if is_ident_start(c) => {
+                let start = i;
+                while i < n && is_ident_continue(chars[i]) {
+                    i += 1;
+                }
+                let word: String = chars[start..i].iter().collect();
+                // Raw string r"..." / r#"..."# (and byte strings).
+                if (word == "r" || word == "br" || word == "b")
+                    && i < n
+                    && (chars[i] == '"' || chars[i] == '#')
+                {
+                    let mut hashes = 0;
+                    while i < n && chars[i] == '#' {
+                        hashes += 1;
+                        i += 1;
+                    }
+                    if i < n && chars[i] == '"' {
+                        i += 1;
+                        'raw: while i < n {
+                            if chars[i] == '\n' {
+                                line += 1;
+                            } else if chars[i] == '"' {
+                                let mut j = i + 1;
+                                let mut h = 0;
+                                while j < n && chars[j] == '#' && h < hashes {
+                                    j += 1;
+                                    h += 1;
+                                }
+                                if h == hashes {
+                                    i = j;
+                                    break 'raw;
+                                }
+                            } else if word == "b" && hashes == 0 && chars[i] == '\\' {
+                                i += 1; // escaped byte in b"..."
+                            }
+                            i += 1;
+                        }
+                        push!(TokenKind::Literal(String::new()));
+                        continue;
+                    }
+                    // Lone `r#ident` raw identifier: fall through, token
+                    // text keeps the word without hashes.
+                }
+                push!(TokenKind::Ident(word));
+            }
+            ':' if i + 1 < n && chars[i + 1] == ':' => {
+                i += 2;
+                push!(TokenKind::PathSep);
+            }
+            '-' if i + 1 < n && chars[i + 1] == '>' => {
+                i += 2;
+                push!(TokenKind::Arrow);
+            }
+            c => {
+                i += 1;
+                push!(TokenKind::Punct(c));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokenKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_tokens() {
+        let src = r#"
+            // HashMap in a comment
+            /* SystemTime in a block */
+            let x = "Instant::now inside a string";
+            let y = 'H';
+        "#;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()));
+        assert!(!ids.contains(&"SystemTime".to_string()));
+        assert!(!ids.contains(&"Instant".to_string()));
+        assert!(ids.contains(&"let".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("impl<'a> Dec<'a> { fn f(&'a self) {} }").tokens;
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Lifetime).count(), 3);
+    }
+
+    #[test]
+    fn path_sep_and_arrow_combine() {
+        let toks = lex("fn f() -> std::time::Instant").tokens;
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Arrow));
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::PathSep).count(), 2);
+    }
+
+    #[test]
+    fn allow_comments_are_collected_with_reasons() {
+        let src = "\nlet m = x; // melreq-allow(D01): keyed lookups only\n\
+                   // melreq-allow(S01): rebuilt from config\nlet y = 1;\n\
+                   // melreq-allow(A01)\nlet z = 2;\n";
+        let lexed = lex(src);
+        let a = lexed.allow_for("D01", 2).expect("trailing allow");
+        assert_eq!(a.reason, "keyed lookups only");
+        assert!(lexed.allow_for("S01", 4).is_some(), "line-above allow");
+        assert!(lexed.allow_for("A01", 6).is_none(), "reasonless allow must not count");
+        assert!(lexed.allow_for("D01", 4).is_none());
+    }
+
+    #[test]
+    fn raw_strings_are_opaque() {
+        let ids = idents("let s = r#\"HashMap \" quote\"#; let t = r\"HashSet\"; end");
+        assert!(!ids.contains(&"HashMap".to_string()));
+        assert!(!ids.contains(&"HashSet".to_string()));
+        assert!(ids.contains(&"end".to_string()));
+    }
+
+    #[test]
+    fn numeric_literals_do_not_eat_ranges() {
+        let toks = lex("for i in 0..4 {}").tokens;
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Literal("0".into())));
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Literal("4".into())));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_everywhere() {
+        let src = "a\n\"multi\nline\"\nb";
+        let toks = lex(src).tokens;
+        assert_eq!(toks.last().unwrap().line, 4);
+    }
+}

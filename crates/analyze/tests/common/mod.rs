@@ -1,0 +1,21 @@
+//! Shared scaffolding: throwaway mini-workspaces for seeding drift.
+
+use std::path::{Path, PathBuf};
+
+/// A fresh temp workspace root containing only `crates/snap/src/lib.rs`
+/// at `SCHEMA_VERSION: u32 = 1`. Namespaced by test name and pid so
+/// parallel test binaries never collide.
+pub fn temp_tree(name: &str) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("melreq-analyze-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    write(&root, "crates/snap/src/lib.rs", "pub const SCHEMA_VERSION: u32 = 1;\n");
+    root
+}
+
+/// Write `contents` at `root/rel`, creating parent directories.
+pub fn write(root: &Path, rel: &str, contents: &str) {
+    let path = root.join(rel);
+    std::fs::create_dir_all(path.parent().expect("relative path has a parent"))
+        .expect("create fixture dirs");
+    std::fs::write(path, contents).expect("write fixture file");
+}

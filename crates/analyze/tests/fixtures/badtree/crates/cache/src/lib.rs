@@ -1,0 +1,27 @@
+pub struct Lru {
+    stamp: u64,
+    hits: u64,
+    cfg: u32,
+}
+
+impl Lru {
+    pub fn save_state(&self, out: &mut Vec<u64>) {
+        out.push(self.stamp);
+        out.push(self.hits);
+    }
+
+    pub fn load_state(&mut self, src: &[u64]) {
+        self.stamp = src[0];
+        self.hits = src[1];
+    }
+}
+
+pub struct HalfSnap {
+    val: u64,
+}
+
+impl HalfSnap {
+    pub fn save_state(&self, out: &mut Vec<u64>) {
+        out.push(self.val);
+    }
+}

@@ -1,0 +1,8 @@
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+pub fn threads() -> Option<String> {
+    // melreq-allow(D02): fixture — documented wall-clock exception
+    std::env::var("FIXTURE_THREADS").ok()
+}

@@ -1,0 +1,7 @@
+use std::collections::HashMap;
+// melreq-allow(D01): fixture justification text
+use std::collections::HashSet;
+
+pub fn sizes(m: &HashMap<u64, u64>, s: &HashSet<u64>) -> (usize, usize) {
+    (m.len(), s.len())
+}

@@ -1,0 +1,21 @@
+pub fn horizon(now: u64, t_cl: u64) -> u64 {
+    now + t_cl
+}
+
+pub fn wrap(a: u64, b: u64) -> u64 {
+    a.wrapping_add(b)
+}
+
+pub fn narrow(x: u64) -> u16 {
+    x as u16
+}
+
+pub fn ok_cast(x: u64) -> u16 {
+    // melreq-allow(A01): fixture — masked to 16 bits before the cast
+    (x & 0xffff) as u16
+}
+
+pub fn reasonless(a: u64, b: u64) -> u64 {
+    // melreq-allow(A01)
+    a * b
+}

@@ -1,0 +1,60 @@
+//! Golden test pinning the `--json` report shape: key order, nesting,
+//! the leading melreq-snap `schema_version` stamp, finding/suppressed
+//! entry layout, and the per-rule counts object. Only two values are
+//! computed (the snap schema-version constant and the layout hash);
+//! every byte of structure is literal.
+
+mod common;
+
+use common::{temp_tree, write};
+use melreq_analyze::analyze;
+
+const GOLDEN_SRC: &str = r#"pub type Map = std::collections::HashMap<u64, u64>;
+// melreq-allow(D01): golden suppressed entry
+pub type Set = std::collections::HashSet<u64>;
+
+pub struct Pinned {
+    v: u64,
+}
+
+impl Pinned {
+    pub fn save_state(&self, out: &mut Vec<u64>) {
+        out.push(self.v);
+    }
+
+    pub fn load_state(&mut self, src: &[u64]) {
+        self.v = src[0];
+    }
+}
+"#;
+
+#[test]
+fn json_report_shape_is_pinned() {
+    let root = temp_tree("golden");
+    write(&root, "crates/dram/src/lib.rs", GOLDEN_SRC);
+    analyze(&root, true).expect("fingerprint commit analyzes");
+    let r = analyze(&root, false).expect("golden tree analyzes");
+
+    let expected = format!(
+        "{{\"schema_version\":{},\"tool\":\"melreq-analyze\",\"files_scanned\":2,\
+         \"findings\":[{{\"rule\":\"D01\",\"file\":\"crates/dram/src/lib.rs\",\"line\":1,\
+         \"message\":\"HashMap in simulation crate `dram`: iteration order is host-seeded; \
+         use BTreeMap/BTreeSet/Vec or justify with melreq-allow(D01)\"}}],\
+         \"suppressed\":[{{\"rule\":\"D01\",\"file\":\"crates/dram/src/lib.rs\",\"line\":3,\
+         \"message\":\"HashSet in simulation crate `dram`: iteration order is host-seeded; \
+         use BTreeMap/BTreeSet/Vec or justify with melreq-allow(D01)\",\
+         \"reason\":\"golden suppressed entry\"}}],\
+         \"fingerprint\":{{\"status\":\"ok\",\"schema_version\":1,\
+         \"layout\":\"{:016x}\",\"structs\":1}},\
+         \"counts\":{{\"A01\":0,\"D01\":1,\"D02\":0,\"S01\":0,\"S02\":0}}}}",
+        melreq_snap::SCHEMA_VERSION,
+        r.layout_hash,
+    );
+    assert_eq!(r.render_json(), expected);
+
+    // The stamp is the shared melreq-snap schema version, first key.
+    let stamp = format!("{{\"schema_version\":{},", melreq_snap::SCHEMA_VERSION);
+    assert!(r.render_json().starts_with(&stamp));
+
+    let _ = std::fs::remove_dir_all(&root);
+}

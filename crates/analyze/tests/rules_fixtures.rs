@@ -1,0 +1,135 @@
+//! Negative tests per rule against the committed `fixtures/badtree`
+//! mini-workspace: each rule must fire where seeded, respect crate
+//! exemptions, and honour the allow-comment contract end to end (the
+//! unit tests in `src/rules.rs` cover the same logic on inline sources;
+//! these prove the full `analyze()` walk over a real directory tree).
+
+use melreq_analyze::{analyze, FingerprintStatus, Report};
+use std::path::Path;
+
+fn badtree() -> Report {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/badtree");
+    analyze(&root, false).expect("fixture tree analyzes")
+}
+
+#[test]
+fn d01_flags_hashmap_and_honours_allow() {
+    let r = badtree();
+    assert!(
+        r.findings
+            .iter()
+            .any(|f| f.rule == "D01" && f.file == "crates/dram/src/lib.rs" && f.line == 1),
+        "HashMap import must fire unsuppressed"
+    );
+    let suppressed: Vec<_> = r
+        .suppressed
+        .iter()
+        .filter(|f| f.rule == "D01" && f.file == "crates/dram/src/lib.rs")
+        .collect();
+    assert!(
+        suppressed
+            .iter()
+            .any(|f| f.line == 3 && f.suppressed.as_deref() == Some("fixture justification text")),
+        "allowed HashSet import must land in the suppressed list with its reason"
+    );
+}
+
+#[test]
+fn d02_flags_sim_crates_and_exempts_serve() {
+    let r = badtree();
+    assert!(
+        r.findings.iter().any(|f| f.rule == "D02"
+            && f.file == "crates/core/src/lib.rs"
+            && f.message.contains("Instant::now")),
+        "Instant::now in a simulation crate must fire"
+    );
+    assert!(
+        r.suppressed.iter().any(|f| f.rule == "D02" && f.message.contains("environment reads")),
+        "allowed env::var must be suppressed with its reason"
+    );
+    assert!(
+        r.findings.iter().chain(r.suppressed.iter()).all(|f| !f.file.starts_with("crates/serve/")),
+        "serve is exempt from D02 entirely"
+    );
+}
+
+#[test]
+fn s01_flags_missing_field_and_half_snapshots() {
+    let r = badtree();
+    assert!(
+        r.findings.iter().any(|f| f.rule == "S01"
+            && f.file == "crates/cache/src/lib.rs"
+            && f.message.contains("`Lru.cfg`")),
+        "field absent from both methods must fire"
+    );
+    assert!(
+        r.findings.iter().any(|f| f.rule == "S01"
+            && f.message.contains("`HalfSnap` has save_state but no load_state")),
+        "a type with only half a snapshot impl is itself drift"
+    );
+    // Serialized fields never fire.
+    assert!(r
+        .findings
+        .iter()
+        .all(|f| !f.message.contains("`Lru.stamp`") && !f.message.contains("`Lru.hits`")));
+}
+
+#[test]
+fn a01_flags_arithmetic_casts_and_wrapping() {
+    let r = badtree();
+    let timing = "crates/dram/src/timing.rs";
+    assert!(r
+        .findings
+        .iter()
+        .any(|f| f.rule == "A01" && f.file == timing && f.message.contains("bare `+`")));
+    assert!(r
+        .findings
+        .iter()
+        .any(|f| f.rule == "A01" && f.file == timing && f.message.contains("`wrapping_add`")));
+    assert!(r
+        .findings
+        .iter()
+        .any(|f| f.rule == "A01" && f.file == timing && f.message.contains("narrowing `as u16`")));
+    assert!(
+        r.suppressed.iter().any(|f| f.rule == "A01"
+            && f.suppressed.as_deref() == Some("fixture — masked to 16 bits before the cast")),
+        "allowed cast must be suppressed"
+    );
+}
+
+#[test]
+fn reasonless_allow_does_not_suppress() {
+    let r = badtree();
+    // `reasonless()` in the fixture has a bare `// melreq-allow(A01)` with
+    // no reason: the multiplication below it must still gate.
+    assert!(r
+        .findings
+        .iter()
+        .any(|f| f.rule == "A01" && f.line == 20 && f.message.contains("bare `*`")));
+}
+
+#[test]
+fn missing_fingerprint_is_a_finding() {
+    let r = badtree();
+    assert_eq!(r.fingerprint, FingerprintStatus::Missing);
+    assert!(r
+        .findings
+        .iter()
+        .any(|f| f.rule == "S02" && f.message.contains("no committed snapshot-layout")));
+    assert!(!r.clean());
+    // Only Lru has both halves; HalfSnap must not enter the layout.
+    assert_eq!(r.snap_structs, 1);
+    assert_eq!(r.schema_version, 1, "schema version comes from the fixture's snap source");
+}
+
+#[test]
+fn findings_are_sorted_and_counted() {
+    let r = badtree();
+    let keys: Vec<_> = r.findings.iter().map(|f| (f.file.clone(), f.line, f.rule)).collect();
+    let mut sorted = keys.clone();
+    sorted.sort();
+    assert_eq!(keys, sorted, "findings must be deterministically ordered");
+    let counts = r.counts();
+    assert_eq!(counts.values().sum::<usize>(), r.findings.len());
+    assert!(counts["D01"] >= 1 && counts["S01"] >= 2 && counts["A01"] >= 3);
+}

@@ -1,0 +1,24 @@
+//! The analyzer run against this repository itself: `cargo test` fails
+//! the moment anyone introduces an unsuppressed determinism or
+//! snapshot-coverage hazard, mirroring the CI `melreq analyze` step.
+
+use melreq_analyze::{analyze, FingerprintStatus};
+use std::path::Path;
+
+#[test]
+fn own_workspace_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).parent().unwrap().parent().unwrap();
+    let r = analyze(root, false).expect("workspace analyzes");
+    assert!(
+        r.clean(),
+        "the workspace must stay at zero unsuppressed findings:\n{}",
+        r.render_text()
+    );
+    assert_eq!(
+        r.fingerprint,
+        FingerprintStatus::Ok,
+        "snap.fingerprint must match the tree (run `melreq analyze --fix-fingerprint` \
+         after a deliberate SCHEMA_VERSION bump)"
+    );
+    assert!(r.snap_structs > 0, "the fingerprint must actually cover snapshot'd structs");
+}

@@ -48,9 +48,9 @@ impl CacheStats {
 /// All addresses may be un-aligned; the array masks to lines internally.
 #[derive(Debug, Clone)]
 pub struct CacheArray {
-    cfg: CacheConfig,
+    cfg: CacheConfig, // melreq-allow(S01): construction-time config, identical across snapshot peers
     sets: Vec<Way>,
-    set_mask: u64,
+    set_mask: u64, // melreq-allow(S01): derived from cfg at construction, never mutated
     stamp: u64,
     stats: CacheStats,
 }

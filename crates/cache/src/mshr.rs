@@ -32,7 +32,7 @@ struct Entry<W> {
 #[derive(Debug, Clone)]
 pub struct MshrFile<W> {
     entries: Vec<Entry<W>>,
-    capacity: usize,
+    capacity: usize, // melreq-allow(S01): construction-time bound; load_state validates against it
     /// Merges observed (secondary misses).
     pub merges: Counter,
 }

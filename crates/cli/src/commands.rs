@@ -1049,6 +1049,56 @@ pub fn run_command(cmd: &Command) -> Result<String, MelreqError> {
         Command::Client { verb, mix, policies, opts, audit, addr, timeout_ms } => {
             cmd_client(verb, mix.as_deref(), policies, opts, *audit, addr, *timeout_ms)
         }
+        Command::Analyze { json, fix_fingerprint, root, out } => {
+            cmd_analyze(*json, *fix_fingerprint, root.as_deref(), out.as_deref())
+        }
+    }
+}
+
+/// The workspace root the analyzer should scan: an explicit `--root`,
+/// else the nearest ancestor of the current directory that contains
+/// `crates/snap` (so `melreq analyze` works from anywhere inside the
+/// repo).
+fn analyze_root(explicit: Option<&str>) -> Result<PathBuf, MelreqError> {
+    if let Some(r) = explicit {
+        return Ok(PathBuf::from(r));
+    }
+    let start = std::env::current_dir().map_err(|e| io_err(format!("current dir: {e}")))?;
+    let mut dir = start.as_path();
+    loop {
+        if dir.join("crates/snap/src/lib.rs").is_file() {
+            return Ok(dir.to_path_buf());
+        }
+        match dir.parent() {
+            Some(p) => dir = p,
+            None => {
+                return Err(usage(format!(
+                    "no melreq workspace found above {} — pass --root DIR",
+                    start.display()
+                )))
+            }
+        }
+    }
+}
+
+fn cmd_analyze(
+    json: bool,
+    fix_fingerprint: bool,
+    root: Option<&str>,
+    out: Option<&str>,
+) -> Result<String, MelreqError> {
+    let root = analyze_root(root)?;
+    let report = melreq_analyze::analyze(&root, fix_fingerprint).map_err(io_err)?;
+    let rendered = if json { report.render_json() } else { report.render_text() };
+    if let Some(path) = out {
+        // The artifact is written before the gate decision so CI keeps
+        // the findings report even when the command exits nonzero.
+        std::fs::write(path, &rendered).map_err(|e| io_err(format!("{path}: {e}")))?;
+    }
+    if report.clean() {
+        Ok(rendered)
+    } else {
+        Err(MelreqError::Analysis(rendered))
     }
 }
 

@@ -162,6 +162,20 @@ pub enum Command {
         /// Per-request wall-clock budget in milliseconds.
         timeout_ms: Option<u64>,
     },
+    /// Run the workspace determinism & snapshot-coverage static
+    /// analyzer (rules D01/D02/S01/S02/A01) over `crates/*/src`.
+    Analyze {
+        /// Emit the versioned machine-readable findings report.
+        json: bool,
+        /// Regenerate `snap.fingerprint` from the current tree before
+        /// the S02 comparison (commit the result).
+        fix_fingerprint: bool,
+        /// Workspace root (default: walk up from the current directory
+        /// to the nearest directory containing `crates/snap`).
+        root: Option<String>,
+        /// Optional path to also write the rendered report to.
+        out: Option<String>,
+    },
     /// Print the Table 1 machine configuration.
     Config {
         /// Core count to describe.
@@ -192,6 +206,7 @@ USAGE:
   melreq client run|compare <MIX> [--policy NAME | --policies n1,...]
                [--addr H:P] [--timeout-ms N] [common options]
   melreq client health|metrics|shutdown [--addr H:P]
+  melreq analyze [--json] [--fix-fingerprint] [--root DIR] [--out PATH]
   melreq config [--cores N]
   melreq help
 
@@ -231,6 +246,11 @@ COMMAND FLAGS:
             --response-cache N  cache N rendered responses  (default 0=off)
   client    --addr H:P          server address      (default 127.0.0.1:7700)
             --timeout-ms N      request wall-clock budget (forwarded)
+  analyze   --json              versioned findings report instead of text
+            --fix-fingerprint   regenerate snap.fingerprint from the tree
+            --root DIR          workspace root (default: nearest ancestor
+                                directory containing crates/snap)
+            --out PATH          also write the report to a file
   config    --cores N           core count to describe  (default 4)
 
 TRACE OPTIONS (run and trace):
@@ -286,9 +306,21 @@ AUDITING:
   (default 4MEM-1 under ME-LREQ), requires both reports clean, and checks
   the two event-stream hashes are identical; any violation exits nonzero.
 
+STATIC ANALYSIS:
+  `melreq analyze` lexes the workspace's own sources and enforces the
+  determinism invariants the snapshot/reproduce machinery depends on:
+  D01 no HashMap/HashSet in simulation crates; D02 no wall clocks or
+  environment reads outside serve/bench/cli; S01 every field of a
+  snapshot'd struct referenced in both save_state and load_state; S02
+  snapshot layouts match the committed snap.fingerprint unless
+  SCHEMA_VERSION was bumped (refresh with --fix-fingerprint); A01 no
+  narrowing casts or unchecked cycle arithmetic in dram/memctrl timing
+  modules. Suppress a finding in place with a written reason:
+  `// melreq-allow(RULE): reason`. Unsuppressed findings exit 7.
+
 EXIT CODES:
   0 success · 2 usage · 3 I/O · 4 divergence (audit/fork gate)
-  5 overload · 6 timeout/cancelled
+  5 overload · 6 timeout/cancelled · 7 static-analysis findings
 ";
 
 fn split_list(s: &str) -> Vec<String> {
@@ -324,6 +356,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut no_store = false;
     let mut timeout_ms: Option<u64> = None;
     let mut response_cache = 0usize;
+    let mut fix_fingerprint = false;
+    let mut root: Option<String> = None;
 
     while let Some(a) = it.next() {
         let mut val = |name: &str| -> Result<&String, String> {
@@ -392,6 +426,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 }
             }
             "--no-store" => no_store = true,
+            "--fix-fingerprint" => fix_fingerprint = true,
+            "--root" => root = Some(val("--root")?.clone()),
             "--timeout-ms" => {
                 timeout_ms =
                     Some(val("--timeout-ms")?.parse().map_err(|e| format!("--timeout-ms: {e}"))?);
@@ -506,6 +542,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             };
             Ok(Command::Client { verb, mix, policies, opts, audit, addr, timeout_ms })
         }
+        "analyze" => Ok(Command::Analyze { json, fix_fingerprint, root, out }),
         "config" => Ok(Command::Config { cores }),
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(format!("unknown command '{other}' (try `melreq help`)")),
@@ -806,9 +843,40 @@ mod tests {
             "--no-store",
             "--timeout-ms",
             "--response-cache",
+            "--fix-fingerprint",
+            "--root",
         ] {
             assert!(USAGE.contains(flag), "USAGE must document {flag}");
         }
+    }
+
+    #[test]
+    fn analyze_parses_flags_and_defaults() {
+        match parse_args(&v(&["analyze"])).unwrap() {
+            Command::Analyze { json, fix_fingerprint, root, out } => {
+                assert!(!json && !fix_fingerprint && root.is_none() && out.is_none());
+            }
+            c => panic!("wrong command {c:?}"),
+        }
+        match parse_args(&v(&[
+            "analyze",
+            "--json",
+            "--fix-fingerprint",
+            "--root",
+            "/tmp/ws",
+            "--out",
+            "analyze.json",
+        ]))
+        .unwrap()
+        {
+            Command::Analyze { json, fix_fingerprint, root, out } => {
+                assert!(json && fix_fingerprint);
+                assert_eq!(root.as_deref(), Some("/tmp/ws"));
+                assert_eq!(out.as_deref(), Some("analyze.json"));
+            }
+            c => panic!("wrong command {c:?}"),
+        }
+        assert!(parse_args(&v(&["analyze", "--root"])).is_err());
     }
 
     #[test]

@@ -55,6 +55,10 @@ pub enum MelreqError {
     /// The run exceeded its wall-clock deadline and was cancelled at an
     /// epoch boundary. Exit 6 / HTTP 504.
     Timeout(String),
+    /// The static-analysis gate found unsuppressed findings
+    /// (`melreq analyze`). Exit 7 / HTTP 500. The payload is the full
+    /// rendered report so the CLI shows the findings, not just a count.
+    Analysis(String),
 }
 
 impl MelreqError {
@@ -66,6 +70,7 @@ impl MelreqError {
             MelreqError::Divergence(_) => 4,
             MelreqError::Overload { .. } => 5,
             MelreqError::Timeout(_) => 6,
+            MelreqError::Analysis(_) => 7,
         }
     }
 
@@ -73,7 +78,7 @@ impl MelreqError {
     pub fn http_status(&self) -> u16 {
         match self {
             MelreqError::Usage(_) => 400,
-            MelreqError::Io(_) | MelreqError::Divergence(_) => 500,
+            MelreqError::Io(_) | MelreqError::Divergence(_) | MelreqError::Analysis(_) => 500,
             MelreqError::Overload { .. } => 429,
             MelreqError::Timeout(_) => 504,
         }
@@ -83,7 +88,10 @@ impl MelreqError {
 impl std::fmt::Display for MelreqError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            MelreqError::Usage(m) | MelreqError::Io(m) | MelreqError::Timeout(m) => f.write_str(m),
+            MelreqError::Usage(m)
+            | MelreqError::Io(m)
+            | MelreqError::Timeout(m)
+            | MelreqError::Analysis(m) => f.write_str(m),
             MelreqError::Divergence(m) => write!(f, "divergence: {m}"),
             MelreqError::Overload { retry_after_s } => {
                 write!(f, "overloaded; retry after {retry_after_s}s")
@@ -746,6 +754,7 @@ impl Session {
         };
         let cancel = ctl.cancel.clone().or_else(|| {
             req.timeout_ms.map(|ms| {
+                // melreq-allow(D02): a request timeout is a wall-clock deadline by definition; it never alters simulated state
                 CancelToken::with_deadline(std::time::Instant::now() + Duration::from_millis(ms))
             })
         });

@@ -39,7 +39,7 @@ use melreq_stats::fairness::FairnessReport;
 use melreq_stats::types::Cycle;
 use melreq_trace::InstrStream;
 use melreq_workloads::{Mix, SliceKind};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -140,8 +140,8 @@ impl RunControl {
 /// profiling request of a sweep without running a single profiling cycle.
 #[derive(Debug, Default)]
 pub struct ProfileCache {
-    me: Mutex<HashMap<char, AppProfile>>,
-    ipc_single: Mutex<HashMap<(char, u32), f64>>,
+    me: Mutex<BTreeMap<char, AppProfile>>,
+    ipc_single: Mutex<BTreeMap<(char, u32), f64>>,
     store: Option<Arc<CheckpointStore>>,
 }
 
@@ -443,6 +443,7 @@ pub fn run_mix_custom_ctl(
     let me: Vec<f64> = (0..cores).map(|i| cache.profile(mix, i, opts).me).collect();
     let ipc_single: Vec<f64> = (0..cores).map(|i| cache.ipc_single(mix, i, opts)).collect();
 
+    // melreq-allow(D02): wall-clock elapsed time for the report only; no simulated state derives from it
     let started = std::time::Instant::now();
     let (mut sys, from_checkpoint) = boundary_system(mix, opts, store, ctl);
     match &kind {
@@ -499,6 +500,7 @@ pub fn run_mix_audited_ctl(
     let (handle, auditor) =
         melreq_audit::Auditor::shared(melreq_audit::AuditorConfig::default(), true);
     sys.attach_audit(handle);
+    // melreq-allow(D02): wall-clock elapsed time for the report only; no simulated state derives from it
     let started = std::time::Instant::now();
     sys.prepare_window(opts.warmup, opts.instructions);
     let _ = sys.run_to_boundary(ctl.limit(opts));
@@ -590,6 +592,7 @@ fn observed_run(
         sys.attach_sampler(collector.clone(), epoch);
     }
 
+    // melreq-allow(D02): wall-clock elapsed time for the report only; no simulated state derives from it
     let started = std::time::Instant::now();
     sys.prepare_window(opts.warmup, opts.instructions);
     let _ = sys.run_to_boundary(opts.max_cycles());
@@ -657,6 +660,7 @@ pub fn run_mix_group_ctl(
     let me: Vec<f64> = (0..cores).map(|i| cache.profile(mix, i, opts).me).collect();
     let ipc_single: Vec<f64> = (0..cores).map(|i| cache.ipc_single(mix, i, opts)).collect();
 
+    // melreq-allow(D02): wall-clock elapsed time for the report only; no simulated state derives from it
     let warm_started = std::time::Instant::now();
     let (base, from_checkpoint) = boundary_system(mix, opts, store, ctl);
     let snap = if policies.len() > 1 { Some(base.snapshot()) } else { None };
@@ -667,6 +671,7 @@ pub fn run_mix_group_ctl(
         .iter()
         .enumerate()
         .map(|(pi, kind)| {
+            // melreq-allow(D02): wall-clock elapsed time for the report only; no simulated state derives from it
             let started = std::time::Instant::now();
             let mut sys = base.take().unwrap_or_else(|| {
                 let mut s = canonical_system(mix, opts);
@@ -700,6 +705,7 @@ pub fn run_mix_group_ctl(
 /// parallelism (falling back to 4 when that is unknowable), capped at the
 /// number of schedulable jobs.
 fn worker_count(jobs: usize) -> usize {
+    // melreq-allow(D02): MELREQ_THREADS picks worker-thread count only; results are bit-identical at any parallelism
     std::env::var("MELREQ_THREADS")
         .ok()
         .and_then(|s| s.trim().parse::<usize>().ok())

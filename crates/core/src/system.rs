@@ -48,6 +48,7 @@ impl CancelToken {
 
     /// Whether the token has been cancelled or its deadline has passed.
     pub fn expired(&self) -> bool {
+        // melreq-allow(D02): deadline polling is the cancellation feature itself; expiry aborts, never feeds simulated state
         self.flag.load(Ordering::Relaxed) || self.deadline.is_some_and(|d| Instant::now() >= d)
     }
 }

@@ -59,8 +59,8 @@ impl CoreStats {
 
 /// One out-of-order core executing a synthetic instruction stream.
 pub struct Core {
-    id: CoreId,
-    cfg: CoreConfig,
+    id: CoreId, // melreq-allow(S01): construction-time identity, identical across snapshot peers
+    cfg: CoreConfig, // melreq-allow(S01): construction-time config, identical across snapshot peers
     stream: Box<dyn InstrStream + Send>,
     rob: VecDeque<RobEntry>,
     head_seq: u64,

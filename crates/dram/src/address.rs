@@ -106,12 +106,14 @@ impl DramGeometry {
                 let rest = line >> ch_bits;
                 let bank = (rest & (self.banks_per_channel() as u64 - 1)) as usize;
                 let rest = rest >> bank_bits;
+                // melreq-allow(A01): masked to col_bits (< 32) before the cast
                 let column = (rest & (self.lines_per_row() - 1)) as u32;
                 let row = rest >> col_bits;
                 Location { channel, bank, row, column }
             }
             Interleave::Page => {
                 // [offset | column | channel | bank | row]
+                // melreq-allow(A01): masked to col_bits (< 32) before the cast
                 let column = (line & (self.lines_per_row() - 1)) as u32;
                 let rest = line >> col_bits;
                 let channel = (rest & (self.channels as u64 - 1)) as usize;

@@ -1,7 +1,7 @@
 //! Per-bank row-buffer state machine.
 
 use crate::timing::DramTiming;
-use melreq_stats::types::{AccessKind, Cycle};
+use melreq_stats::types::{cyc_add, AccessKind, Cycle};
 
 /// The observable state of a DRAM bank's row buffer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -97,11 +97,13 @@ impl Bank {
     ) -> (Cycle, RowOutcome) {
         debug_assert!(self.can_issue(now), "bank busy until {} at {}", self.ready_at, now);
         let (data_start, outcome) = match self.state {
-            BankState::Open { row: open } if open == row => (now + t.t_cl, RowOutcome::Hit),
-            BankState::Open { .. } => (now + t.t_rp + t.t_rcd + t.t_cl, RowOutcome::Conflict),
-            BankState::Closed => (now + t.t_rcd + t.t_cl, RowOutcome::ClosedMiss),
+            BankState::Open { row: open } if open == row => {
+                (cyc_add(now, t.hit_to_data()), RowOutcome::Hit)
+            }
+            BankState::Open { .. } => (cyc_add(now, t.conflict_to_data()), RowOutcome::Conflict),
+            BankState::Closed => (cyc_add(now, t.idle_to_data()), RowOutcome::ClosedMiss),
         };
-        let data_end = data_start + t.burst;
+        let data_end = cyc_add(data_start, t.burst);
         if keep_open {
             self.state = BankState::Open { row };
             // The next column access to the open row may pipeline right
@@ -112,7 +114,7 @@ impl Bank {
             // Auto-precharge: tRP after the access completes (plus write
             // recovery for writes). The next ACT must wait it out.
             let recovery = if kind.is_write() { t.t_wr } else { 0 };
-            self.ready_at = data_end + recovery + t.t_rp;
+            self.ready_at = cyc_add(data_end, cyc_add(recovery, t.t_rp));
         }
         (data_start, outcome)
     }
@@ -148,7 +150,7 @@ impl Bank {
     /// was still finishing).
     pub fn refresh(&mut self, at: Cycle, t_rfc: Cycle) {
         self.state = BankState::Closed;
-        self.ready_at = self.ready_at.max(at) + t_rfc;
+        self.ready_at = cyc_add(self.ready_at.max(at), t_rfc);
     }
 
     /// Explicitly close the row (used when the controller notices the last
@@ -156,7 +158,7 @@ impl Bank {
     pub fn precharge(&mut self, now: Cycle, t: &DramTiming) {
         if matches!(self.state, BankState::Open { .. }) {
             self.state = BankState::Closed;
-            self.ready_at = self.ready_at.max(now) + t.t_rp;
+            self.ready_at = cyc_add(self.ready_at.max(now), t.t_rp);
         }
     }
 }

@@ -2,7 +2,7 @@
 
 use crate::bank::{Bank, RowOutcome};
 use crate::timing::DramTiming;
-use melreq_stats::types::{AccessKind, Cycle};
+use melreq_stats::types::{cyc_add, AccessKind, Cycle};
 
 /// One logical channel: `n` banks plus a shared 16-byte data bus.
 ///
@@ -70,8 +70,8 @@ impl Channel {
             for b in &mut self.banks {
                 b.refresh(self.next_refresh, t.t_rfc);
             }
-            self.refreshes += 1;
-            self.next_refresh += t.t_refi;
+            self.refreshes += 1; // melreq-allow(A01): event counter, not a deadline
+            self.next_refresh = cyc_add(self.next_refresh, t.t_refi);
         }
     }
 
@@ -96,22 +96,23 @@ impl Channel {
     fn act_allowed_at(&self, t: &DramTiming) -> Cycle {
         let mut at = 0;
         if t.t_rrd > 0 && self.acts_seen >= 1 {
+            // melreq-allow(A01): ring index, bounded by the modulo
             let last = self.recent_acts[(self.act_head + 3) % 4];
-            at = at.max(last + t.t_rrd);
+            at = at.max(cyc_add(last, t.t_rrd));
         }
         if t.t_faw > 0 && self.acts_seen >= 4 {
             // Four ACTs within t_faw: the oldest of the ring gates the
             // fifth.
             let oldest = self.recent_acts[self.act_head];
-            at = at.max(oldest + t.t_faw);
+            at = at.max(cyc_add(oldest, t.t_faw));
         }
         at
     }
 
     fn note_act(&mut self, at: Cycle) {
         self.recent_acts[self.act_head] = at;
-        self.act_head = (self.act_head + 1) % 4;
-        self.acts_seen += 1;
+        self.act_head = (self.act_head + 1) % 4; // melreq-allow(A01): ring index, bounded by the modulo
+        self.acts_seen += 1; // melreq-allow(A01): event counter, not a deadline
     }
 
     /// Number of banks on this channel.
@@ -156,15 +157,15 @@ impl Channel {
         if needs_act {
             // The ACT begins after any precharge the service implied.
             let act_at = match outcome {
-                RowOutcome::Conflict => grant_at + t.t_rp,
+                RowOutcome::Conflict => cyc_add(grant_at, t.t_rp),
                 _ => grant_at,
             };
             self.note_act(act_at);
         }
         let bus_start = bank_data_start.max(self.bus_free);
-        self.bus_free = bus_start + t.burst;
-        self.bus_busy_cycles += t.burst;
-        ChannelGrant { data_ready: bus_start + t.burst, outcome, granted_at: grant_at }
+        self.bus_free = cyc_add(bus_start, t.burst);
+        self.bus_busy_cycles = cyc_add(self.bus_busy_cycles, t.burst);
+        ChannelGrant { data_ready: self.bus_free, outcome, granted_at: grant_at }
     }
 
     /// Serialize bank latches, bus occupancy, refresh and ACT-window

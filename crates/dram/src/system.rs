@@ -67,12 +67,12 @@ pub struct ServiceTime {
 /// so there is no per-cycle tick cost.
 #[derive(Debug, Clone)]
 pub struct DramSystem {
-    geometry: DramGeometry,
-    timing: DramTiming,
+    geometry: DramGeometry, // melreq-allow(S01): construction-time config, identical across snapshot peers
+    timing: DramTiming, // melreq-allow(S01): construction-time config, identical across snapshot peers
     channels: Vec<Channel>,
     stats: DramStats,
     /// Audit instrumentation (no-op unless a sink is attached).
-    audit: AuditHandle,
+    audit: AuditHandle, // melreq-allow(S01): instrumentation handle re-attached by the host
     /// Refreshes already reported to the audit stream, per channel.
     refreshes_emitted: Vec<u64>,
 }

@@ -6,7 +6,7 @@
 //! All parameters here are pre-converted to CPU cycles so the simulator
 //! runs in a single clock domain.
 
-use melreq_stats::types::{Cycle, CACHE_LINE_BYTES};
+use melreq_stats::types::{cyc_add, Cycle, CACHE_LINE_BYTES};
 
 /// Timing parameters for one DRAM technology/configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -88,13 +88,13 @@ impl DramTiming {
     /// Latency from grant to first data when the bank is idle (activate
     /// then column access).
     pub fn idle_to_data(&self) -> Cycle {
-        self.t_rcd + self.t_cl
+        cyc_add(self.t_rcd, self.t_cl)
     }
 
     /// Latency from grant to first data when a different row is open
     /// (precharge, activate, column access).
     pub fn conflict_to_data(&self) -> Cycle {
-        self.t_rp + self.t_rcd + self.t_cl
+        cyc_add(self.t_rp, self.idle_to_data())
     }
 
     /// Derive a scaled timing (all latencies multiplied by `num/den`)

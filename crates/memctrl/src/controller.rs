@@ -214,7 +214,7 @@ struct Completion {
 ///    [`MemoryController::pop_completed`]. Writes complete silently.
 #[derive(Debug)]
 pub struct MemoryController {
-    cfg: ControllerConfig,
+    cfg: ControllerConfig, // melreq-allow(S01): construction-time config, identical across snapshot peers
     queue: RequestQueue,
     dram: DramSystem,
     policy: Box<dyn SchedulerPolicy>,
@@ -228,15 +228,15 @@ pub struct MemoryController {
     /// `cand_ids` carries (buffer position, id, kind) of this channel's
     /// issuable requests; `cand_pos` mirrors `cand_buf` with positions so
     /// a policy's selection maps back to the buffer in O(1).
-    cand_buf: Vec<Candidate>,
-    cand_pos: Vec<usize>,
-    cand_ids: Vec<(usize, ReqId, AccessKind)>,
+    cand_buf: Vec<Candidate>, // melreq-allow(S01): scratch, rebuilt from scratch every tick
+    cand_pos: Vec<usize>, // melreq-allow(S01): scratch, rebuilt from scratch every tick
+    cand_ids: Vec<(usize, ReqId, AccessKind)>, // melreq-allow(S01): scratch, rebuilt from scratch every tick
     /// Per-bank ready-cycle snapshot for the channel being scheduled
     /// (one DRAM probe per bank instead of one per queued request).
-    bank_ready: Vec<Cycle>,
+    bank_ready: Vec<Cycle>, // melreq-allow(S01): scratch, rebuilt from scratch every tick
     /// Audit instrumentation (no-op unless a sink is attached; debug
     /// builds attach a panicking watchdog automatically).
-    audit: AuditHandle,
+    audit: AuditHandle, // melreq-allow(S01): instrumentation handle re-attached by the host
 }
 
 impl MemoryController {

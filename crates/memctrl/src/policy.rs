@@ -130,7 +130,7 @@ impl SchedulerPolicy for HitFirst {
 /// rotation that has an issuable request; hit-first-then-oldest within it.
 #[derive(Debug, Clone)]
 pub struct RoundRobin {
-    cores: usize,
+    cores: usize, // melreq-allow(S01): construction topology, identical across snapshot peers
     next: usize,
 }
 
@@ -149,7 +149,7 @@ impl SchedulerPolicy for RoundRobin {
 
     fn select(&mut self, cands: &[Candidate], _pending: &[u32]) -> usize {
         for off in 0..self.cores {
-            let core = CoreId(((self.next + off) % self.cores) as u16);
+            let core = CoreId::from((self.next + off) % self.cores);
             if cands.iter().any(|c| c.core == core) {
                 return pick_hf_oldest(cands, Some(core));
             }
@@ -216,7 +216,7 @@ impl FixedPriority {
         for (pos, &core) in order.iter().enumerate() {
             assert!(core < n, "core {core} out of range");
             assert!(rank[core] == u32::MAX, "core {core} listed twice");
-            rank[core] = pos as u32;
+            rank[core] = u32::try_from(pos).expect("priority order fits u32");
         }
         FixedPriority { rank, name }
     }

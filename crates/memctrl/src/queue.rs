@@ -26,12 +26,12 @@ use melreq_stats::types::{CoreId, Cycle};
 #[derive(Debug, Clone)]
 pub struct RequestQueue {
     entries: Vec<MemRequest>,
-    capacity: usize,
-    pending_reads: Vec<u32>,
-    pending_writes: Vec<u32>,
+    capacity: usize, // melreq-allow(S01): construction-time bound; load_state validates against it
+    pending_reads: Vec<u32>, // melreq-allow(S01): recomputed by load_state's push replay
+    pending_writes: Vec<u32>, // melreq-allow(S01): recomputed by load_state's push replay
     /// Positions into `entries` per channel, sorted ascending (see module
     /// docs: sortedness preserves the flat iteration order per channel).
-    by_channel: Vec<Vec<usize>>,
+    by_channel: Vec<Vec<usize>>, // melreq-allow(S01): recomputed by load_state's push replay
 }
 
 impl RequestQueue {

@@ -67,6 +67,7 @@ impl PriorityTable {
                 return PriorityFixed::ZERO;
             }
             let raw = ((v.log2() - lmin) * scale).round().clamp(0.0, PRIORITY_MAX as f64);
+            // melreq-allow(A01): clamped to [0, PRIORITY_MAX] above; float casts saturate
             PriorityFixed::from_raw(raw as u16)
         };
         let tables = me

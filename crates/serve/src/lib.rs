@@ -521,6 +521,7 @@ fn kind(err: &MelreqError) -> &'static str {
         MelreqError::Divergence(_) => "divergence",
         MelreqError::Overload { .. } => "overload",
         MelreqError::Timeout(_) => "timeout",
+        MelreqError::Analysis(_) => "analysis",
     }
 }
 

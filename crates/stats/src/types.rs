@@ -86,6 +86,33 @@ impl std::fmt::Display for AccessKind {
     }
 }
 
+/// Checked addition on cycle/timing values.
+///
+/// Cycle arithmetic in the DRAM timing path wraps silently in release
+/// builds if it overflows; an overflowed `ready_at` horizon would quietly
+/// reorder grants instead of crashing. This helper (and [`cyc_mul`]) make
+/// overflow loud everywhere, matching the [`u64::checked_mul`] precedent in
+/// `DramTiming::scaled`.
+///
+/// # Panics
+/// Panics if `a + b` overflows [`Cycle`] — a simulated time that far past
+/// `u64::MAX` is a caller bug, not a timing.
+#[inline]
+#[track_caller]
+pub fn cyc_add(a: Cycle, b: Cycle) -> Cycle {
+    a.checked_add(b).expect("cycle arithmetic overflows u64")
+}
+
+/// Checked multiplication on cycle/timing values; see [`cyc_add`].
+///
+/// # Panics
+/// Panics if `a * b` overflows [`Cycle`].
+#[inline]
+#[track_caller]
+pub fn cyc_mul(a: Cycle, b: Cycle) -> Cycle {
+    a.checked_mul(b).expect("cycle arithmetic overflows u64")
+}
+
 /// Round `addr` down to the containing cache-line address.
 #[inline]
 pub fn line_addr(addr: Addr) -> Addr {
@@ -143,5 +170,23 @@ mod tests {
     fn core_id_ordering_matches_index() {
         assert!(CoreId(0) < CoreId(1));
         assert!(CoreId(3) > CoreId(2));
+    }
+
+    #[test]
+    fn cyc_helpers_compute() {
+        assert_eq!(cyc_add(40, 16), 56);
+        assert_eq!(cyc_mul(24_960, 3), 74_880);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows")]
+    fn cyc_add_overflow_is_loud() {
+        let _ = cyc_add(u64::MAX, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows")]
+    fn cyc_mul_overflow_is_loud() {
+        let _ = cyc_mul(u64::MAX / 2, 3);
     }
 }

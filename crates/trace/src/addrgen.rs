@@ -61,8 +61,8 @@ impl AddressPattern {
 /// lines (the paper runs one independent program per core).
 #[derive(Debug, Clone)]
 pub struct AddressStream {
-    pattern: AddressPattern,
-    base: Addr,
+    pattern: AddressPattern, // melreq-allow(S01): construction-time config, identical across snapshot peers
+    base: Addr, // melreq-allow(S01): construction-time config, identical across snapshot peers
     cursor: Addr,
     rng: SmallRng,
 }

@@ -15,7 +15,7 @@ use crate::synthetic::SyntheticStream;
 /// A program that cycles through phases of different behaviour.
 #[derive(Debug, Clone)]
 pub struct PhasedStream {
-    label: String,
+    label: String, // melreq-allow(S01): construction-time config, identical across snapshot peers
     phases: Vec<(SyntheticStream, u64)>,
     current: usize,
     remaining: u64,

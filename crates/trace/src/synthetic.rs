@@ -86,13 +86,13 @@ impl StreamParams {
 /// The generator implementing [`InstrStream`].
 #[derive(Debug, Clone)]
 pub struct SyntheticStream {
-    label: String,
-    params: StreamParams,
+    label: String, // melreq-allow(S01): construction-time config, identical across snapshot peers
+    params: StreamParams, // melreq-allow(S01): construction-time config, identical across snapshot peers
     addrs: AddressStream,
     rng: SmallRng,
     pc: Addr,
-    data_base: Addr,
-    code_base: Addr,
+    data_base: Addr, // melreq-allow(S01): construction-time config, identical across snapshot peers
+    code_base: Addr, // melreq-allow(S01): construction-time config, identical across snapshot peers
     /// Distance (in ops) back to the most recent load, for chase deps.
     ops_since_load: u16,
 }
