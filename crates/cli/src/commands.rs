@@ -14,8 +14,8 @@
 use crate::parse::{Command, ObsArgs, PolicySpec, USAGE};
 use melreq_core::api::{MelreqError, PolicyReport, Session, SimRequest};
 use melreq_core::experiment::{
-    run_mix, run_mix_audited_observed, run_mix_group, run_mix_observed, ExperimentOptions,
-    MixResult, ObserveOptions, ProfileCache, RunControl,
+    run_mix, run_mix_audited_observed, run_mix_group, run_mix_observed, worker_count,
+    ExperimentOptions, MixResult, ObserveOptions, ProfileCache, RunControl, SweepStage,
 };
 use melreq_core::profile::profile_app;
 use melreq_core::report::{format_table, pct_over};
@@ -285,6 +285,14 @@ fn sim_request(
     SimRequest::new(mix.name).policies(specs.to_vec()).opts(*opts).audit(audit)
 }
 
+/// Apply an optional `--threads` worker count to a request.
+fn with_threads(req: SimRequest, threads: Option<usize>) -> SimRequest {
+    match threads {
+        Some(n) => req.threads(n),
+        None => req,
+    }
+}
+
 fn cmd_run(
     mix_name: &str,
     spec: &PolicySpec,
@@ -292,6 +300,7 @@ fn cmd_run(
     audit: bool,
     obs: &ObsArgs,
     json: bool,
+    threads: Option<usize>,
 ) -> Result<String, MelreqError> {
     let mix = try_mix(mix_name)?;
     if json {
@@ -302,7 +311,7 @@ fn cmd_run(
                  for observability artifacts)",
             ));
         }
-        let req = sim_request(&mix, std::slice::from_ref(spec), opts, audit);
+        let req = with_threads(sim_request(&mix, std::slice::from_ref(spec), opts, audit), threads);
         let report = Session::new().run(&req, &RunControl::default())?;
         return Ok(report.to_json());
     }
@@ -343,7 +352,7 @@ fn cmd_run(
     }
     // The plain run goes through the facade — identical machinery to
     // `--json`, the service and the bench harness.
-    let req = sim_request(&mix, std::slice::from_ref(spec), opts, audit);
+    let req = with_threads(sim_request(&mix, std::slice::from_ref(spec), opts, audit), threads);
     let report = Session::new().run(&req, &RunControl::default())?;
     let p = &report.policies[0];
     let mut out = render_run_human(&mix, &RunView::from(p), report.wall, opts);
@@ -442,6 +451,7 @@ fn cmd_compare(
     opts: &ExperimentOptions,
     provenance: bool,
     json: bool,
+    threads: Option<usize>,
 ) -> Result<String, MelreqError> {
     let mix = try_mix(mix_name)?;
     if json {
@@ -450,7 +460,7 @@ fn cmd_compare(
                 "--json emits the versioned machine-readable report; drop --provenance",
             ));
         }
-        let req = sim_request(&mix, specs, opts, false);
+        let req = with_threads(sim_request(&mix, specs, opts, false), threads);
         let report = Session::new().run(&req, &RunControl::default())?;
         return Ok(report.to_json());
     }
@@ -474,7 +484,7 @@ fn cmd_compare(
         }
         rs
     } else {
-        let req = sim_request(&mix, specs, opts, false);
+        let req = with_threads(sim_request(&mix, specs, opts, false), threads);
         let report = Session::new().run(&req, &RunControl::default())?;
         report
             .policies
@@ -511,6 +521,7 @@ fn cmd_sweep(
     kind: &str,
     specs: &[PolicySpec],
     opts: &ExperimentOptions,
+    threads: Option<usize>,
 ) -> Result<String, MelreqError> {
     let kinds: Vec<MixKind> = match kind {
         "mem" => vec![MixKind::Mem],
@@ -530,7 +541,7 @@ fn cmd_sweep(
             // Geometric mean of per-mix ratios vs the first policy.
             let mut log_sums = vec![0.0f64; specs.len()];
             for mix in &mixes {
-                let req = sim_request(mix, specs, opts, false);
+                let req = with_threads(sim_request(mix, specs, opts, false), threads);
                 let report = session.run(&req, &RunControl::default())?;
                 let base = report.policies[0].smt_speedup;
                 for (pi, p) in report.policies.iter().enumerate() {
@@ -591,11 +602,34 @@ fn results_hash(results: &[MixResult]) -> u64 {
 }
 
 /// One timed stage of the reproduction sweep.
+///
+/// Grid stages run interleaved in one global job pool, so a stage has no
+/// private elapsed window; its `wall_s` is the **aggregate
+/// worker-seconds** its runs consumed (measured window plus any warm-up
+/// the run paid itself). The table2 and benchmark stages still run
+/// serially and report elapsed wall time.
 struct Stage {
     name: String,
     detail: String,
     wall_s: f64,
     sim_cycles: u64,
+    /// FNV-1a over the stage's paper-metric outputs ([`results_hash`]);
+    /// `None` for the untimed/non-grid stages. Byte-stable across
+    /// thread counts — CI diffs it between 1-worker and N-worker runs.
+    results_hash: Option<u64>,
+}
+
+/// Scrape one numeric field out of a flat JSON artifact (the bench
+/// files are written by this binary, so a full parser is overkill).
+fn read_json_number(text: &str, key: &str) -> Option<f64> {
+    let start = text.find(&format!("\"{key}\""))?;
+    let rest = &text[start..];
+    let colon = rest.find(':')?;
+    let rest = rest[colon + 1..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
 }
 
 /// `melreq reproduce`: the full paper — Table 2 profiles, the Figure
@@ -608,13 +642,16 @@ struct Stage {
 /// group twice — snapshot-forked and per-policy fresh — and hard-fails
 /// if the two result sets are not bit-identical, in smoke and full mode
 /// alike.
-#[allow(clippy::too_many_lines)]
+#[allow(clippy::too_many_lines, clippy::too_many_arguments)]
 fn cmd_reproduce(
     smoke: bool,
     no_checkpoint: bool,
     store_dir: Option<&str>,
     out_path: &str,
     opts: &ExperimentOptions,
+    threads: Option<usize>,
+    guard: Option<&str>,
+    guard_ratio: f64,
 ) -> Result<String, MelreqError> {
     // Smoke defaults to the quick scale; explicit scale flags still win.
     let opts = if smoke && *opts == ExperimentOptions::default() {
@@ -669,10 +706,11 @@ fn cmd_reproduce(
             detail: format!("{} applications, {simulated} profiled here", apps.len()),
             wall_s: t0.elapsed().as_secs_f64(),
             sim_cycles: 0,
+            results_hash: None,
         });
     }
 
-    // The multiprogrammed grid, one run_grid stage at a time.
+    // The multiprogrammed grid: every stage's jobs into one global pool.
     let f2 = PolicyKind::figure2_set();
     let mut grid_stages: Vec<(String, Vec<Mix>, Vec<PolicyKind>)> = Vec::new();
     if smoke {
@@ -703,26 +741,56 @@ fn cmd_reproduce(
             ],
         ));
     }
-    let mut timed_out = 0usize;
-    for (name, mixes, policies) in &grid_stages {
-        let t0 = Instant::now();
+    let total_grid_runs: usize = grid_stages.iter().map(|(_, m, p)| m.len() * p.len()).sum();
+    let workers = worker_count(total_grid_runs, threads);
+    let ctl = RunControl { threads: Some(workers), ..RunControl::default() };
+    let grid_t0 = Instant::now();
+    let stage_results: Vec<Vec<MixResult>> = if no_checkpoint {
         // --no-checkpoint: one single-policy grid per policy, so every
         // (mix, policy) cell warms up from scratch — the baseline the
-        // sharing speedup is quoted against.
-        let results: Vec<MixResult> = if no_checkpoint {
-            policies
-                .iter()
-                .flat_map(|p| session.run_grid(mixes, std::slice::from_ref(p), &opts))
-                .collect()
-        } else {
-            session.run_grid(mixes, policies, &opts)
-        };
+        // sharing speedup is quoted against. Results are reordered to
+        // the pooled path's (mix-major, policy-minor) layout so the
+        // per-stage hashes are comparable across modes.
+        grid_stages
+            .iter()
+            .map(|(_, mixes, policies)| {
+                let mut per_policy: Vec<std::vec::IntoIter<MixResult>> = policies
+                    .iter()
+                    .map(|p| {
+                        session
+                            .run_grid_ctl(mixes, std::slice::from_ref(p), &opts, &ctl)
+                            .into_iter()
+                    })
+                    .collect();
+                let mut results = Vec::with_capacity(mixes.len() * policies.len());
+                for _ in 0..mixes.len() {
+                    for it in &mut per_policy {
+                        results.push(it.next().expect("one result per (mix, policy)"));
+                    }
+                }
+                results
+            })
+            .collect()
+    } else {
+        let sweep: Vec<SweepStage> = grid_stages
+            .iter()
+            .map(|(_, mixes, policies)| SweepStage {
+                mixes: mixes.clone(),
+                policies: policies.clone(),
+            })
+            .collect();
+        session.run_sweep_stages(&sweep, &opts, &ctl)
+    };
+    let grid_elapsed = grid_t0.elapsed().as_secs_f64();
+    let mut timed_out = 0usize;
+    for ((name, mixes, policies), results) in grid_stages.iter().zip(&stage_results) {
         timed_out += results.iter().filter(|r| r.timed_out).count();
         stages.push(Stage {
             name: name.clone(),
             detail: format!("{} mixes x {} policies", mixes.len(), policies.len()),
-            wall_s: t0.elapsed().as_secs_f64(),
+            wall_s: results.iter().map(|r| r.wall + r.warm_wall).sum::<Duration>().as_secs_f64(),
             sim_cycles: results.iter().map(simulated_cycles).sum(),
+            results_hash: Some(results_hash(results)),
         });
     }
     if timed_out > 0 {
@@ -788,11 +856,15 @@ fn cmd_reproduce(
         detail: format!("4MEM-1 x {} policies, forked + fresh, best of {reps}", f2.len()),
         wall_s: bench_wall,
         sim_cycles: bench_cycles,
+        results_hash: None,
     });
 
     let total_wall_s = total_start.elapsed().as_secs_f64();
     let grid_cycles: u64 = stages.iter().map(|s| s.sim_cycles).sum();
-    let grid_wall: f64 = stages.iter().filter(|s| s.sim_cycles > 0).map(|s| s.wall_s).sum();
+    // Aggregate throughput over *elapsed* time (the pooled grid window
+    // plus the serial benchmark stage) — this is what the perf guard
+    // floors, and it credits worker parallelism.
+    let grid_wall: f64 = grid_elapsed + bench_wall;
     let cps = grid_cycles as f64 / grid_wall.max(1e-9);
     let rss = peak_rss_bytes();
 
@@ -802,6 +874,7 @@ fn cmd_reproduce(
     let _ = writeln!(json, "{{\n  \"schema_version\": {},", melreq_core::api::SCHEMA_VERSION);
     let _ = writeln!(json, "  \"mode\": \"{}\",", if smoke { "smoke" } else { "full" });
     let _ = writeln!(json, "  \"kernel\": \"{kernel}\",");
+    let _ = writeln!(json, "  \"threads\": {workers},");
     let _ = writeln!(
         json,
         "  \"options\": {{\"instructions\": {}, \"warmup\": {}, \
@@ -831,11 +904,12 @@ fn cmd_reproduce(
         let _ = write!(
             json,
             "    {{\"name\": \"{}\", \"detail\": \"{}\", \"wall_s\": {:.6}, \
-             \"sim_cycles\": {}}}",
+             \"sim_cycles\": {}, \"results_hash\": {}}}",
             json_escape(&s.name),
             json_escape(&s.detail),
             s.wall_s,
-            s.sim_cycles
+            s.sim_cycles,
+            s.results_hash.map_or_else(|| "null".to_string(), |h| format!("\"{h:016x}\"")),
         );
         json.push_str(if i + 1 < stages.len() { ",\n" } else { "\n" });
     }
@@ -868,9 +942,33 @@ fn cmd_reproduce(
     json.push_str("}\n");
     std::fs::write(out_path, &json).map_err(|e| io_err(format!("cannot write {out_path}: {e}")))?;
 
+    // Wall-clock guard against a baseline artifact: the artifact above
+    // is written first so a failing run still leaves its evidence.
+    let mut guard_line = String::new();
+    if let Some(gpath) = guard {
+        let base = std::fs::read_to_string(gpath)
+            .map_err(|e| io_err(format!("cannot read guard baseline {gpath}: {e}")))?;
+        let base_wall = read_json_number(&base, "total_wall_s").ok_or_else(|| {
+            usage(format!("guard baseline {gpath} has no \"total_wall_s\" field"))
+        })?;
+        let ceiling = base_wall / guard_ratio;
+        if total_wall_s > ceiling {
+            return Err(MelreqError::Timeout(format!(
+                "reproduce wall guard FAILED: total {total_wall_s:.3} s exceeds \
+                 {ceiling:.3} s (baseline {base_wall:.3} s / ratio {guard_ratio}) \
+                 from {gpath}"
+            )));
+        }
+        guard_line = format!(
+            "wall guard OK: total {total_wall_s:.3} s <= {ceiling:.3} s \
+             (baseline {base_wall:.3} s / ratio {guard_ratio})\n"
+        );
+    }
+
     // The human summary.
     let mut out = format!(
-        "reproduce ({} grid, {}; kernel {kernel}): {} instr/core, warm-up {}\n\n",
+        "reproduce ({} grid, {}; kernel {kernel}; {workers} worker threads): \
+         {} instr/core, warm-up {}\n\n",
         if smoke { "smoke" } else { "full" },
         if no_checkpoint { "checkpointing disabled" } else { "warm-up sharing on" },
         opts.instructions,
@@ -922,6 +1020,7 @@ fn cmd_reproduce(
         cps / 1e6,
         rss.map_or_else(|| "n/a".to_string(), |b| format!("{} MiB", b / (1 << 20)))
     );
+    out.push_str(&guard_line);
     Ok(out)
 }
 
@@ -1017,18 +1116,36 @@ pub fn run_command(cmd: &Command) -> Result<String, MelreqError> {
         Command::Help => Ok(USAGE.to_string()),
         Command::Config { cores } => Ok(SystemConfig::paper(*cores, PolicyKind::MeLreq).describe()),
         Command::Profile { apps, opts } => cmd_profile(apps, opts),
-        Command::Run { mix, policy, opts, audit, obs, json } => {
-            cmd_run(mix, policy, opts, *audit, obs, *json)
+        Command::Run { mix, policy, opts, audit, obs, json, threads } => {
+            cmd_run(mix, policy, opts, *audit, obs, *json, *threads)
         }
         Command::Trace { mix, policy, out, obs, opts } => cmd_trace(mix, policy, out, obs, opts),
         Command::Audit { mix, policy, opts } => cmd_audit(mix, policy, opts),
-        Command::Compare { mix, policies, opts, provenance, json } => {
-            cmd_compare(mix, policies, opts, *provenance, *json)
+        Command::Compare { mix, policies, opts, provenance, json, threads } => {
+            cmd_compare(mix, policies, opts, *provenance, *json, *threads)
         }
-        Command::Sweep { kind, policies, opts } => cmd_sweep(kind, policies, opts),
-        Command::Reproduce { smoke, no_checkpoint, store, out, opts } => {
-            cmd_reproduce(*smoke, *no_checkpoint, store.as_deref(), out, opts)
+        Command::Sweep { kind, policies, opts, threads } => {
+            cmd_sweep(kind, policies, opts, *threads)
         }
+        Command::Reproduce {
+            smoke,
+            no_checkpoint,
+            store,
+            out,
+            opts,
+            threads,
+            guard,
+            guard_ratio,
+        } => cmd_reproduce(
+            *smoke,
+            *no_checkpoint,
+            store.as_deref(),
+            out,
+            opts,
+            *threads,
+            guard.as_deref(),
+            *guard_ratio,
+        ),
         Command::Serve {
             addr,
             workers,
@@ -1132,6 +1249,7 @@ mod tests {
             false,
             &ObsArgs::default(),
             false,
+            None,
         );
         assert!(e.is_err());
         let e = e.unwrap_err();
@@ -1167,11 +1285,13 @@ mod tests {
             true,
             &ObsArgs::default(),
             false,
+            None,
         )
         .unwrap();
         assert!(s.contains("0 violations"));
         assert!(s.contains("stream hash"));
-        let e = cmd_run("2MEM-1", &PolicySpec::Fq, &quick(), true, &ObsArgs::default(), false);
+        let e =
+            cmd_run("2MEM-1", &PolicySpec::Fq, &quick(), true, &ObsArgs::default(), false, None);
         assert!(e.is_err(), "--audit must reject externally built policies");
     }
 
@@ -1196,16 +1316,56 @@ mod tests {
             ..ExperimentOptions::default()
         };
         let store = dir.join("store");
-        let s =
-            cmd_reproduce(true, false, Some(store.to_str().unwrap()), out.to_str().unwrap(), &tiny)
-                .unwrap();
+        let s = cmd_reproduce(
+            true,
+            false,
+            Some(store.to_str().unwrap()),
+            out.to_str().unwrap(),
+            &tiny,
+            Some(2),
+            None,
+            0.25,
+        )
+        .unwrap();
         assert!(s.contains("bit-exact"), "summary must confirm the fork gate:\n{s}");
         let json = std::fs::read_to_string(&out).unwrap();
         assert!(json.contains(&format!("\"schema_version\": {}", melreq_core::api::SCHEMA_VERSION)));
         assert!(json.contains("\"mode\": \"smoke\""));
+        assert!(json.contains("\"threads\": 2"));
+        assert!(json.contains("\"results_hash\": \""), "grid stages must carry a hash:\n{json}");
         assert!(json.contains("\"bit_exact\": true"));
         assert!(json.contains("\"fork_speedup\""));
         assert!(json.contains("\"store\": {"));
+
+        // Guard against its own artifact: a warm re-run is far inside
+        // any sane ceiling, so this must pass and say so.
+        let s2 = cmd_reproduce(
+            true,
+            false,
+            Some(store.to_str().unwrap()),
+            out.to_str().unwrap(),
+            &tiny,
+            Some(2),
+            Some(out.to_str().unwrap()),
+            0.25,
+        )
+        .unwrap();
+        assert!(s2.contains("wall guard OK"), "guard line missing:\n{s2}");
+        // An impossibly fast baseline must trip the guard with exit 6.
+        let fake = dir.join("fake-baseline.json");
+        std::fs::write(&fake, "{\"total_wall_s\": 0.000001}\n").unwrap();
+        let e = cmd_reproduce(
+            true,
+            false,
+            Some(store.to_str().unwrap()),
+            out.to_str().unwrap(),
+            &tiny,
+            Some(2),
+            Some(fake.to_str().unwrap()),
+            0.25,
+        )
+        .unwrap_err();
+        assert_eq!(e.exit_code(), 6, "wall-guard failure is a timeout-class error: {e}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -1218,6 +1378,7 @@ mod tests {
             false,
             &ObsArgs::default(),
             false,
+            None,
         )
         .unwrap();
         assert!(s.contains("wupwise"));
@@ -1230,6 +1391,7 @@ mod tests {
             &quick(),
             false,
             false,
+            None,
         )
         .unwrap();
         assert!(s.contains("FQ"));
@@ -1246,6 +1408,7 @@ mod tests {
                 false,
                 &ObsArgs::default(),
                 true,
+                None,
             )
             .unwrap()
         };
@@ -1269,12 +1432,26 @@ mod tests {
     #[test]
     fn json_rejects_obs_flags_and_provenance() {
         let obs = ObsArgs { provenance: true, ..ObsArgs::default() };
-        let e =
-            cmd_run("2MEM-1", &PolicySpec::Paper(PolicyKind::MeLreq), &quick(), false, &obs, true)
-                .unwrap_err();
+        let e = cmd_run(
+            "2MEM-1",
+            &PolicySpec::Paper(PolicyKind::MeLreq),
+            &quick(),
+            false,
+            &obs,
+            true,
+            None,
+        )
+        .unwrap_err();
         assert_eq!(e.exit_code(), 2);
-        let e = cmd_compare("2MEM-1", &[PolicySpec::Paper(PolicyKind::HfRf)], &quick(), true, true)
-            .unwrap_err();
+        let e = cmd_compare(
+            "2MEM-1",
+            &[PolicySpec::Paper(PolicyKind::HfRf)],
+            &quick(),
+            true,
+            true,
+            None,
+        )
+        .unwrap_err();
         assert_eq!(e.exit_code(), 2);
     }
 
@@ -1286,6 +1463,7 @@ mod tests {
             &quick(),
             false,
             true,
+            None,
         )
         .unwrap();
         assert!(s.contains("\"policy\":\"HF-RF\""));
@@ -1365,13 +1543,20 @@ mod tests {
             provenance: true,
             ..ObsArgs::default()
         };
-        let s =
-            cmd_run("2MEM-1", &PolicySpec::Paper(PolicyKind::HfRf), &quick(), true, &obs, false)
-                .unwrap();
+        let s = cmd_run(
+            "2MEM-1",
+            &PolicySpec::Paper(PolicyKind::HfRf),
+            &quick(),
+            true,
+            &obs,
+            false,
+            None,
+        )
+        .unwrap();
         assert!(s.contains("0 violations"), "audit and tracing must coexist:\n{s}");
         assert!(s.contains("decision provenance"), "provenance missing:\n{s}");
         assert!(trace.exists());
-        let e = cmd_run("2MEM-1", &PolicySpec::Fq, &quick(), false, &obs, false);
+        let e = cmd_run("2MEM-1", &PolicySpec::Fq, &quick(), false, &obs, false, None);
         assert!(e.is_err(), "obs flags must reject externally built policies");
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -1384,11 +1569,12 @@ mod tests {
             &quick(),
             true,
             false,
+            None,
         )
         .unwrap();
         assert!(s.contains("decision provenance"), "provenance table missing:\n{s}");
         assert!(s.contains("ME-LREQ"), "both policies must appear:\n{s}");
-        let e = cmd_compare("2MEM-1", &[PolicySpec::Fq], &quick(), true, false);
+        let e = cmd_compare("2MEM-1", &[PolicySpec::Fq], &quick(), true, false, None);
         assert!(e.is_err(), "--provenance must reject externally built policies");
     }
 }

@@ -61,6 +61,9 @@ pub enum Command {
         obs: ObsArgs,
         /// Emit the versioned machine-readable report instead of tables.
         json: bool,
+        /// Worker-thread count (`--threads`; falls back to
+        /// `MELREQ_THREADS`, then host parallelism).
+        threads: Option<usize>,
     },
     /// Run one mix with the trace collector attached and export a
     /// Chrome/Perfetto trace (plus optional epoch time-series).
@@ -98,6 +101,8 @@ pub enum Command {
         provenance: bool,
         /// Emit the versioned machine-readable report instead of tables.
         json: bool,
+        /// Worker-thread count for the shared-warm-up policy forks.
+        threads: Option<usize>,
     },
     /// Core-count scaling sweep (2/4/8) of average improvement.
     Sweep {
@@ -107,6 +112,8 @@ pub enum Command {
         policies: Vec<PolicySpec>,
         /// Harness options.
         opts: ExperimentOptions,
+        /// Worker-thread count for the grid pool.
+        threads: Option<usize>,
     },
     /// Drive the full paper grid (Table 2, Figures 2–5, ablation) with
     /// shared warm-ups and a persistent checkpoint store, writing a
@@ -125,6 +132,15 @@ pub enum Command {
         out: String,
         /// Harness options.
         opts: ExperimentOptions,
+        /// Worker-thread count for the global sweep pool.
+        threads: Option<usize>,
+        /// Baseline sweep artifact to guard `total_wall_s` against
+        /// (`--guard PATH`): exit nonzero when this run's wall exceeds
+        /// the baseline's beyond the guard ratio.
+        guard: Option<String>,
+        /// Guard tolerance (`--guard-ratio R`, default 0.25): fail when
+        /// `total_wall_s > baseline_total_wall_s / R`.
+        guard_ratio: f64,
     },
     /// Serve the simulator over HTTP: `/run`, `/compare`, `/healthz`,
     /// `/metrics` on a bounded worker pool sharing one checkpoint store.
@@ -200,7 +216,7 @@ USAGE:
   melreq sweep [--kind mem|mix|all] [--policies n1,n2,...] [common options]
   melreq audit [MIX] [--policy NAME] [common options]
   melreq reproduce [--smoke] [--no-checkpoint] [--store DIR] [--out PATH]
-                   [common options]
+                   [--guard PATH [--guard-ratio R]] [common options]
   melreq serve [--addr H:P] [--workers N] [--queue-cap M] [--store DIR]
                [--no-store] [--timeout-ms N] [--response-cache N]
   melreq client run|compare <MIX> [--policy NAME | --policies n1,...]
@@ -220,6 +236,9 @@ COMMON OPTIONS:
   --slice K          evaluation slice index           (default 0)
   --tick-exact       disable the fast-forward kernel and simulate every
                      cycle (debug/baseline knob; results are identical)
+  --threads N        worker threads for pooled runs (default MELREQ_THREADS,
+                     else host parallelism); results are bit-identical at
+                     any value
 
 COMMAND FLAGS:
   profile   --apps a,b,...      subset of SPEC2000 names (default all 26)
@@ -237,6 +256,9 @@ COMMAND FLAGS:
             --store DIR         checkpoint-store directory
                                 (default MELREQ_STORE, else .melreq-store)
             --out PATH          sweep artifact          (BENCH_sweep.json)
+            --guard PATH        baseline sweep artifact; exit nonzero when
+                                total_wall_s exceeds baseline/R
+            --guard-ratio R     wall-guard ratio in (0,1]   (default 0.25)
   serve     --addr H:P          bind address        (default 127.0.0.1:7700)
             --workers N         simulation worker threads       (default 2)
             --queue-cap M       job-queue bound; beyond it 429 (default 16)
@@ -358,6 +380,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut response_cache = 0usize;
     let mut fix_fingerprint = false;
     let mut root: Option<String> = None;
+    let mut threads: Option<usize> = None;
+    let mut guard: Option<String> = None;
+    let mut guard_ratio = 0.25f64;
 
     while let Some(a) = it.next() {
         let mut val = |name: &str| -> Result<&String, String> {
@@ -426,6 +451,21 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 }
             }
             "--no-store" => no_store = true,
+            "--threads" => {
+                let n: usize = val("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?;
+                if n == 0 {
+                    return Err("--threads must be positive".to_string());
+                }
+                threads = Some(n);
+            }
+            "--guard" => guard = Some(val("--guard")?.clone()),
+            "--guard-ratio" => {
+                guard_ratio =
+                    val("--guard-ratio")?.parse().map_err(|e| format!("--guard-ratio: {e}"))?;
+                if !(guard_ratio > 0.0 && guard_ratio <= 1.0) {
+                    return Err("--guard-ratio must be in (0, 1]".to_string());
+                }
+            }
             "--fix-fingerprint" => fix_fingerprint = true,
             "--root" => root = Some(val("--root")?.clone()),
             "--timeout-ms" => {
@@ -464,6 +504,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 audit,
                 obs,
                 json,
+                threads,
             })
         }
         "trace" => {
@@ -492,14 +533,14 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 .ok_or("compare needs a workload mix name (e.g. 4MEM-1)")?
                 .clone();
             let policies = if policies.is_empty() { default_policies() } else { policies };
-            Ok(Command::Compare { mix, policies, opts, provenance: obs.provenance, json })
+            Ok(Command::Compare { mix, policies, opts, provenance: obs.provenance, json, threads })
         }
         "sweep" => {
             let policies = if policies.is_empty() { default_policies() } else { policies };
             if !matches!(kind.as_str(), "mem" | "mix" | "all") {
                 return Err(format!("--kind must be mem, mix or all (got '{kind}')"));
             }
-            Ok(Command::Sweep { kind, policies, opts })
+            Ok(Command::Sweep { kind, policies, opts, threads })
         }
         "reproduce" => Ok(Command::Reproduce {
             smoke,
@@ -507,6 +548,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             store,
             out: out.unwrap_or_else(|| "BENCH_sweep.json".to_string()),
             opts,
+            threads,
+            guard,
+            guard_ratio,
         }),
         "serve" => Ok(Command::Serve {
             addr,
@@ -568,13 +612,14 @@ mod tests {
         let c = parse_args(&v(&["run", "4MEM-1", "--policy", "lreq", "--instructions", "5000"]))
             .unwrap();
         match c {
-            Command::Run { mix, policy, opts, audit, obs, json } => {
+            Command::Run { mix, policy, opts, audit, obs, json, threads } => {
                 assert_eq!(mix, "4MEM-1");
                 assert_eq!(policy, PolicySpec::Paper(PolicyKind::Lreq));
                 assert_eq!(opts.instructions, 5000);
                 assert!(!audit);
                 assert!(!obs.any());
                 assert!(!json);
+                assert!(threads.is_none());
             }
             c => panic!("wrong command {c:?}"),
         }
@@ -644,23 +689,78 @@ mod tests {
 
     #[test]
     fn reproduce_parses_flags() {
-        let c = parse_args(&v(&["reproduce", "--smoke", "--store", "/tmp/s", "--out", "x.json"]))
-            .unwrap();
+        let c = parse_args(&v(&[
+            "reproduce",
+            "--smoke",
+            "--store",
+            "/tmp/s",
+            "--out",
+            "x.json",
+            "--threads",
+            "4",
+            "--guard",
+            "base.json",
+            "--guard-ratio",
+            "0.5",
+        ]))
+        .unwrap();
         match c {
-            Command::Reproduce { smoke, no_checkpoint, store, out, .. } => {
+            Command::Reproduce {
+                smoke,
+                no_checkpoint,
+                store,
+                out,
+                threads,
+                guard,
+                guard_ratio,
+                ..
+            } => {
                 assert!(smoke && !no_checkpoint);
                 assert_eq!(store.as_deref(), Some("/tmp/s"));
                 assert_eq!(out, "x.json");
+                assert_eq!(threads, Some(4));
+                assert_eq!(guard.as_deref(), Some("base.json"));
+                assert!((guard_ratio - 0.5).abs() < 1e-12);
             }
             c => panic!("wrong command {c:?}"),
         }
         match parse_args(&v(&["reproduce", "--no-checkpoint"])).unwrap() {
-            Command::Reproduce { smoke, no_checkpoint, store, out, .. } => {
+            Command::Reproduce {
+                smoke,
+                no_checkpoint,
+                store,
+                out,
+                threads,
+                guard,
+                guard_ratio,
+                ..
+            } => {
                 assert!(!smoke && no_checkpoint && store.is_none());
                 assert_eq!(out, "BENCH_sweep.json");
+                assert!(threads.is_none() && guard.is_none());
+                assert!((guard_ratio - 0.25).abs() < 1e-12);
             }
             c => panic!("wrong command {c:?}"),
         }
+    }
+
+    #[test]
+    fn threads_flag_parses_and_rejects_zero() {
+        match parse_args(&v(&["run", "4MEM-1", "--threads", "8"])).unwrap() {
+            Command::Run { threads, .. } => assert_eq!(threads, Some(8)),
+            c => panic!("wrong command {c:?}"),
+        }
+        match parse_args(&v(&["sweep", "--threads", "2"])).unwrap() {
+            Command::Sweep { threads, .. } => assert_eq!(threads, Some(2)),
+            c => panic!("wrong command {c:?}"),
+        }
+        match parse_args(&v(&["compare", "2MEM-1", "--threads", "1"])).unwrap() {
+            Command::Compare { threads, .. } => assert_eq!(threads, Some(1)),
+            c => panic!("wrong command {c:?}"),
+        }
+        assert!(parse_args(&v(&["run", "4MEM-1", "--threads", "0"])).is_err());
+        assert!(parse_args(&v(&["reproduce", "--guard-ratio", "0"])).is_err());
+        assert!(parse_args(&v(&["reproduce", "--guard-ratio", "1.5"])).is_err());
     }
 
     #[test]
@@ -845,6 +945,9 @@ mod tests {
             "--response-cache",
             "--fix-fingerprint",
             "--root",
+            "--threads",
+            "--guard",
+            "--guard-ratio",
         ] {
             assert!(USAGE.contains(flag), "USAGE must document {flag}");
         }

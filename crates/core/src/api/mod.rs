@@ -211,6 +211,11 @@ pub struct SimRequest {
     /// ([`SimRequest::canonical_string`]) — it cannot change the
     /// deterministic result, only whether it is produced in time.
     pub timeout_ms: Option<u64>,
+    /// Optional worker-thread count for the run's job pool (`--threads`).
+    /// Like `timeout_ms`, excluded from the request's identity — the
+    /// slot-indexed merge keeps results bit-identical at any
+    /// parallelism, so thread count can never change the answer.
+    pub threads: Option<usize>,
 }
 
 impl SimRequest {
@@ -224,6 +229,7 @@ impl SimRequest {
             audit: false,
             max_cycles: None,
             timeout_ms: None,
+            threads: None,
         }
     }
 
@@ -266,6 +272,13 @@ impl SimRequest {
     #[must_use]
     pub fn timeout_ms(mut self, ms: u64) -> Self {
         self.timeout_ms = Some(ms);
+        self
+    }
+
+    /// Set the worker-thread count for the run's job pool.
+    #[must_use]
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = Some(n);
         self
     }
 
@@ -354,6 +367,16 @@ impl SimRequest {
                         usage("timeout_ms must be a non-negative integer".into())
                     })?);
                 }
+                "threads" => {
+                    let v = value
+                        .as_u64()
+                        .ok_or_else(|| usage("threads must be a positive integer".into()))?;
+                    let v = usize::try_from(v)
+                        .ok()
+                        .filter(|&n| n > 0)
+                        .ok_or_else(|| usage("threads must be a positive integer".into()))?;
+                    req.threads = Some(v);
+                }
                 other => {
                     return Err(usage(format!("unknown request field '{other}'")));
                 }
@@ -389,13 +412,17 @@ impl SimRequest {
         if let Some(ms) = self.timeout_ms {
             write!(s, ",\"timeout_ms\":{ms}").unwrap();
         }
+        if let Some(n) = self.threads {
+            write!(s, ",\"threads\":{n}").unwrap();
+        }
         s.push('}');
         s
     }
 
     /// The request's deterministic identity: every field that can change
-    /// the simulated result, in a fixed order. `timeout_ms` is excluded —
-    /// it only bounds wall-clock time.
+    /// the simulated result, in a fixed order. `timeout_ms` and `threads`
+    /// are excluded — one only bounds wall-clock time, the other only
+    /// picks worker-thread count.
     pub fn canonical_string(&self) -> String {
         let policies: Vec<String> = self.policies.iter().map(PolicyChoice::canonical).collect();
         let o = &self.opts;
@@ -567,9 +594,15 @@ pub struct SimReport {
     pub mix: String,
     /// One report per requested policy, in request order.
     pub policies: Vec<PolicyReport>,
-    /// Wall-clock time spent simulating (not serialised — it would break
-    /// byte-determinism).
+    /// Wall-clock time spent simulating measured windows, summed across
+    /// policies (not serialised — it would break byte-determinism).
     pub wall: Duration,
+    /// Wall-clock time spent simulating (or restoring) warm-up
+    /// boundaries, summed across policies — reported separately from
+    /// [`SimReport::wall`] so per-policy timing stays meaningful when a
+    /// shared warm-up and its forked policy runs execute on different
+    /// worker threads (not serialised).
+    pub warm_wall: Duration,
 }
 
 impl SimReport {
@@ -645,6 +678,7 @@ impl Session {
         let store = self.store.as_deref();
 
         let mut wall = Duration::ZERO;
+        let mut warm_wall = Duration::ZERO;
         let mut reports = Vec::with_capacity(req.policies.len());
         if req.audit {
             for choice in &req.policies {
@@ -665,6 +699,7 @@ impl Session {
                     violations: audit.total_violations,
                 };
                 wall += result.wall;
+                warm_wall += result.warm_wall;
                 reports.push(PolicyReport::from_result(&result, Some(summary)));
             }
         } else if req.policies.len() > 1
@@ -683,12 +718,14 @@ impl Session {
                 experiment::run_mix_group_ctl(&mix, &kinds, &req.opts, &self.cache, store, &ctl);
             for r in &results {
                 wall += r.wall;
+                warm_wall += r.warm_wall;
                 reports.push(PolicyReport::from_result(r, None));
             }
         } else {
             for choice in &req.policies {
                 let result = self.run_choice(&mix, choice, &req.opts, &ctl);
                 wall += result.wall;
+                warm_wall += result.warm_wall;
                 reports.push(PolicyReport::from_result(&result, None));
             }
         }
@@ -700,7 +737,7 @@ impl Session {
                 p.sim_cycles
             )));
         }
-        Ok(SimReport { mix: mix.name.to_string(), policies: reports, wall })
+        Ok(SimReport { mix: mix.name.to_string(), policies: reports, wall, warm_wall })
     }
 
     /// Run one (mix, choice) pair through the right harness entry point.
@@ -758,18 +795,42 @@ impl Session {
                 CancelToken::with_deadline(std::time::Instant::now() + Duration::from_millis(ms))
             })
         });
-        RunControl { cancel, max_cycles }
+        RunControl { cancel, max_cycles, threads: req.threads.or(ctl.threads) }
     }
 
     /// Run the full (mix × policy) grid through this session's cache and
-    /// store — the sweep/reproduce entry point.
+    /// store — the sweep entry point.
     pub fn run_grid(
         &self,
         mixes: &[Mix],
         policies: &[PolicyKind],
         opts: &ExperimentOptions,
     ) -> Vec<MixResult> {
-        experiment::run_grid_with_store(mixes, policies, opts, &self.cache, self.store.as_deref())
+        self.run_grid_ctl(mixes, policies, opts, &RunControl::default())
+    }
+
+    /// [`Session::run_grid`] with a [`RunControl`] (cancellation,
+    /// cycle budget, worker-thread count).
+    pub fn run_grid_ctl(
+        &self,
+        mixes: &[Mix],
+        policies: &[PolicyKind],
+        opts: &ExperimentOptions,
+        ctl: &RunControl,
+    ) -> Vec<MixResult> {
+        experiment::run_grid_ctl(mixes, policies, opts, &self.cache, self.store.as_deref(), ctl)
+    }
+
+    /// Run several grid stages through **one global job pool** (no
+    /// per-stage barrier) — the reproduce entry point. See
+    /// [`experiment::run_sweep_stages`].
+    pub fn run_sweep_stages(
+        &self,
+        stages: &[experiment::SweepStage],
+        opts: &ExperimentOptions,
+        ctl: &RunControl,
+    ) -> Vec<Vec<MixResult>> {
+        experiment::run_sweep_stages(stages, opts, &self.cache, self.store.as_deref(), ctl)
     }
 }
 

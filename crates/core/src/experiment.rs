@@ -40,7 +40,6 @@ use melreq_stats::types::Cycle;
 use melreq_trace::InstrStream;
 use melreq_workloads::{Mix, SliceKind};
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// The policy every warm-up runs under, regardless of the measured
@@ -115,6 +114,11 @@ pub struct RunControl {
     /// effective limit is the minimum of this and the options' safety
     /// net. A run that exhausts it reports `timed_out`.
     pub max_cycles: Option<Cycle>,
+    /// Worker-thread count for pooled runs (`--threads`); `None` falls
+    /// back to the `MELREQ_THREADS` environment variable, then to the
+    /// host's available parallelism (see [`worker_count`]). Results are
+    /// bit-identical at any value.
+    pub threads: Option<usize>,
 }
 
 impl RunControl {
@@ -245,11 +249,18 @@ pub struct MixResult {
     /// portion this run actually simulated when the warm-up came from a
     /// checkpoint.
     pub measured_cycles: Cycle,
-    /// Host wall-clock of the *simulated* portion of the multiprogrammed
-    /// run (profiling and single-core reference runs excluded). Inside a
-    /// [`run_grid`] group the shared warm-up's wall time is attributed to
-    /// the group's first policy.
+    /// Host wall-clock of this policy's *measured window* alone
+    /// (profiling, single-core reference runs, and warm-up excluded) —
+    /// the portion attributable to this policy even when warm-up and
+    /// policy runs execute on different worker threads.
     pub wall: std::time::Duration,
+    /// Host wall-clock spent producing the warm-up boundary state this
+    /// result consumed: simulation (or checkpoint-restore) time up to
+    /// the snapshot. In a shared-warm-up group the warm-up runs once and
+    /// its wall is reported on the run that consumed the warmed system
+    /// directly; forked runs report zero here (their snapshot-restore
+    /// cost is part of [`MixResult::wall`]).
+    pub warm_wall: std::time::Duration,
     /// Whether the warm-up boundary state was restored from a checkpoint
     /// (persistent store hit or in-group snapshot fork) instead of being
     /// simulated by this run.
@@ -336,6 +347,7 @@ fn finish_result(
     out: RunOutcome,
     sim_cycles: Cycle,
     wall: std::time::Duration,
+    warm_wall: std::time::Duration,
     warmup_from_checkpoint: bool,
 ) -> MixResult {
     let fairness = FairnessReport::compute(&out.ipc, &ipc_single);
@@ -357,6 +369,7 @@ fn finish_result(
         sim_cycles,
         measured_cycles: out.cycles,
         wall,
+        warm_wall,
         warmup_from_checkpoint,
     }
 }
@@ -444,8 +457,11 @@ pub fn run_mix_custom_ctl(
     let ipc_single: Vec<f64> = (0..cores).map(|i| cache.ipc_single(mix, i, opts)).collect();
 
     // melreq-allow(D02): wall-clock elapsed time for the report only; no simulated state derives from it
-    let started = std::time::Instant::now();
+    let warm_started = std::time::Instant::now();
     let (mut sys, from_checkpoint) = boundary_system(mix, opts, store, ctl);
+    let warm_wall = warm_started.elapsed();
+    // melreq-allow(D02): wall-clock elapsed time for the report only; no simulated state derives from it
+    let started = std::time::Instant::now();
     match &kind {
         Some(k) => sys.swap_policy(k, &me),
         None => {
@@ -455,7 +471,7 @@ pub fn run_mix_custom_ctl(
     }
     let out = sys.run_window(ctl.limit(opts));
     let wall = started.elapsed();
-    finish_result(mix, name, me, ipc_single, out, sys.now(), wall, from_checkpoint)
+    finish_result(mix, name, me, ipc_single, out, sys.now(), wall, warm_wall, from_checkpoint)
 }
 
 /// Run one mix under one policy with the independent protocol/invariant
@@ -501,14 +517,18 @@ pub fn run_mix_audited_ctl(
         melreq_audit::Auditor::shared(melreq_audit::AuditorConfig::default(), true);
     sys.attach_audit(handle);
     // melreq-allow(D02): wall-clock elapsed time for the report only; no simulated state derives from it
-    let started = std::time::Instant::now();
+    let warm_started = std::time::Instant::now();
     sys.prepare_window(opts.warmup, opts.instructions);
     let _ = sys.run_to_boundary(ctl.limit(opts));
+    let warm_wall = warm_started.elapsed();
+    // melreq-allow(D02): wall-clock elapsed time for the report only; no simulated state derives from it
+    let started = std::time::Instant::now();
     sys.swap_policy(policy, &me);
     let out = sys.run_window(ctl.limit(opts));
     let wall = started.elapsed();
     let report = auditor.lock().expect("auditor poisoned").report();
-    let result = finish_result(mix, policy.name(), me, ipc_single, out, sys.now(), wall, false);
+    let result =
+        finish_result(mix, policy.name(), me, ipc_single, out, sys.now(), wall, warm_wall, false);
     (result, report)
 }
 
@@ -593,15 +613,19 @@ fn observed_run(
     }
 
     // melreq-allow(D02): wall-clock elapsed time for the report only; no simulated state derives from it
-    let started = std::time::Instant::now();
+    let warm_started = std::time::Instant::now();
     sys.prepare_window(opts.warmup, opts.instructions);
     let _ = sys.run_to_boundary(opts.max_cycles());
+    let warm_wall = warm_started.elapsed();
+    // melreq-allow(D02): wall-clock elapsed time for the report only; no simulated state derives from it
+    let started = std::time::Instant::now();
     sys.swap_policy(policy, &me);
     let out = sys.run_window(opts.max_cycles());
     let wall = started.elapsed();
     collector.lock().expect("obs collector poisoned").finish();
     let report = auditor.map(|a| a.lock().expect("auditor poisoned").report());
-    let result = finish_result(mix, policy.name(), me, ipc_single, out, sys.now(), wall, false);
+    let result =
+        finish_result(mix, policy.name(), me, ipc_single, out, sys.now(), wall, warm_wall, false);
     (result, report, collector)
 }
 
@@ -647,7 +671,10 @@ pub fn run_mix_group(
 }
 
 /// [`run_mix_group`] with a [`RunControl`] (cancellation token,
-/// simulated-cycle budget) armed on the warm-up and every forked run.
+/// simulated-cycle budget, worker-thread count) armed on the warm-up and
+/// every forked run. The forked policy runs execute concurrently on the
+/// pool; results land in policy-indexed slots so the output order (and
+/// every byte of every result) is independent of the interleaving.
 pub fn run_mix_group_ctl(
     mix: &Mix,
     policies: &[PolicyKind],
@@ -656,60 +683,25 @@ pub fn run_mix_group_ctl(
     store: Option<&CheckpointStore>,
     ctl: &RunControl,
 ) -> Vec<MixResult> {
-    let cores = mix.cores();
-    let me: Vec<f64> = (0..cores).map(|i| cache.profile(mix, i, opts).me).collect();
-    let ipc_single: Vec<f64> = (0..cores).map(|i| cache.ipc_single(mix, i, opts)).collect();
-
-    // melreq-allow(D02): wall-clock elapsed time for the report only; no simulated state derives from it
-    let warm_started = std::time::Instant::now();
-    let (base, from_checkpoint) = boundary_system(mix, opts, store, ctl);
-    let snap = if policies.len() > 1 { Some(base.snapshot()) } else { None };
-    let warm_wall = warm_started.elapsed();
-    let mut base = Some(base);
-
-    policies
-        .iter()
-        .enumerate()
-        .map(|(pi, kind)| {
-            // melreq-allow(D02): wall-clock elapsed time for the report only; no simulated state derives from it
-            let started = std::time::Instant::now();
-            let mut sys = base.take().unwrap_or_else(|| {
-                let mut s = canonical_system(mix, opts);
-                s.load_snapshot(snap.as_ref().expect("snapshot taken for >1 policy"))
-                    .expect("boundary snapshot must restore into an identical fresh system");
-                ctl.arm(&mut s);
-                s
-            });
-            sys.swap_policy(kind, &me);
-            let out = sys.run_window(ctl.limit(opts));
-            let mut wall = started.elapsed();
-            if pi == 0 {
-                wall += warm_wall;
-            }
-            finish_result(
-                mix,
-                kind.name(),
-                me.clone(),
-                ipc_single.clone(),
-                out,
-                sys.now(),
-                wall,
-                if pi == 0 { from_checkpoint } else { true },
-            )
-        })
-        .collect()
+    let stages = [SweepStage { mixes: vec![*mix], policies: policies.to_vec() }];
+    run_sweep_stages(&stages, opts, cache, store, ctl).pop().expect("one stage submitted")
 }
 
-/// Worker-thread count for [`run_grid`]: the `MELREQ_THREADS` environment
-/// variable when set to a positive integer, else the host's available
-/// parallelism (falling back to 4 when that is unknowable), capped at the
-/// number of schedulable jobs.
-fn worker_count(jobs: usize) -> usize {
-    // melreq-allow(D02): MELREQ_THREADS picks worker-thread count only; results are bit-identical at any parallelism
-    std::env::var("MELREQ_THREADS")
-        .ok()
-        .and_then(|s| s.trim().parse::<usize>().ok())
+/// Worker-thread count for the pooled entry points: an explicit request
+/// (`--threads` via [`RunControl::threads`]) wins, then the
+/// `MELREQ_THREADS` environment variable, then the host's available
+/// parallelism (falling back to 4 when that is unknowable) — capped at
+/// the number of schedulable jobs.
+pub fn worker_count(jobs: usize, explicit: Option<usize>) -> usize {
+    explicit
         .filter(|&n| n > 0)
+        .or_else(|| {
+            // melreq-allow(D02): --threads / MELREQ_THREADS pick the worker-thread count only; the slot-indexed merge keeps results bit-identical at any parallelism
+            std::env::var("MELREQ_THREADS")
+                .ok()
+                .and_then(|s| s.trim().parse::<usize>().ok())
+                .filter(|&n| n > 0)
+        })
         .unwrap_or_else(|| std::thread::available_parallelism().map_or(4, std::num::NonZero::get))
         .min(jobs.max(1))
 }
@@ -717,13 +709,15 @@ fn worker_count(jobs: usize) -> usize {
 /// Run the full (mix × policy) grid in parallel across OS threads,
 /// returning results in `(mix-major, policy-minor)` order.
 ///
-/// The schedulable unit is one [`run_mix_group`] — a mix's warm-up runs
-/// once and forks across all policies, so a five-policy sweep pays one
-/// warm-up per mix instead of five. Groups are dispatched widest-mix
-/// first (cores descending, input order within a width) so the expensive
-/// 8-core warm-ups start before the cheap 2-core ones and the schedule's
-/// tail stays short. Thread count comes from [`worker_count`]
-/// (`MELREQ_THREADS` overrides host parallelism).
+/// The schedulable units are job-DAG nodes (see [`run_sweep_stages`]):
+/// one warm-up job per mix that publishes its boundary snapshot, then
+/// one forked policy-run job per (mix, policy) — a five-policy sweep
+/// pays one warm-up per mix and runs the five windows concurrently.
+/// Warm-up jobs are prioritised widest-mix first (cores descending,
+/// input order within a width) so the expensive 8-core warm-ups start
+/// before the cheap 2-core ones and the schedule's tail stays short.
+/// Thread count comes from [`worker_count`] (`MELREQ_THREADS` overrides
+/// host parallelism).
 pub fn run_grid(
     mixes: &[Mix],
     policies: &[PolicyKind],
@@ -742,31 +736,191 @@ pub fn run_grid_with_store(
     cache: &ProfileCache,
     store: Option<&CheckpointStore>,
 ) -> Vec<MixResult> {
-    let mut order: Vec<usize> = (0..mixes.len()).collect();
-    order.sort_by_key(|&g| std::cmp::Reverse(mixes[g].cores()));
-    let slots: Vec<Mutex<Option<MixResult>>> =
-        (0..mixes.len() * policies.len()).map(|_| Mutex::new(None)).collect();
-    let next = AtomicUsize::new(0);
-    let workers = worker_count(mixes.len());
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| loop {
-                let oi = next.fetch_add(1, Ordering::Relaxed);
-                if oi >= order.len() {
-                    break;
-                }
-                let g = order[oi];
-                let results = run_mix_group(&mixes[g], policies, opts, cache, store);
-                for (pi, r) in results.into_iter().enumerate() {
-                    *slots[g * policies.len() + pi].lock().expect("result slot poisoned") = Some(r);
-                }
+    run_grid_ctl(mixes, policies, opts, cache, store, &RunControl::default())
+}
+
+/// [`run_grid_with_store`] with a [`RunControl`] (cancellation token,
+/// cycle budget, worker-thread count).
+pub fn run_grid_ctl(
+    mixes: &[Mix],
+    policies: &[PolicyKind],
+    opts: &ExperimentOptions,
+    cache: &ProfileCache,
+    store: Option<&CheckpointStore>,
+    ctl: &RunControl,
+) -> Vec<MixResult> {
+    let stages = [SweepStage { mixes: mixes.to_vec(), policies: policies.to_vec() }];
+    run_sweep_stages(&stages, opts, cache, store, ctl).pop().expect("one stage submitted")
+}
+
+/// One grid stage of a sweep: a set of mixes, each run under every
+/// policy of the stage. [`run_sweep_stages`] schedules all stages into
+/// one global pool.
+#[derive(Debug, Clone)]
+pub struct SweepStage {
+    /// The stage's mixes, in output order.
+    pub mixes: Vec<Mix>,
+    /// The policies each mix runs, in output order.
+    pub policies: Vec<PolicyKind>,
+}
+
+/// One (stage, mix-position) pair that wants its stage's full policy
+/// set run from a shared warm-up boundary.
+struct GroupSlots<'a> {
+    policies: &'a [PolicyKind],
+    /// `policies.len()` result slots, policy-indexed.
+    slots: &'a [Mutex<Option<MixResult>>],
+}
+
+/// Run several (mixes × policies) stages through **one global
+/// work-stealing pool** (no per-stage barrier), returning each stage's
+/// results in `(mix-major, policy-minor)` order.
+///
+/// The job DAG has one warm-up job per *distinct* mix across all stages
+/// — warm-ups shared by several stages (e.g. a mix that appears in both
+/// a figure stage and an ablation stage) run once — and one forked
+/// policy-run job per (stage, mix, policy). The warm-up job profiles
+/// the mix's applications, simulates (or restores) the canonical
+/// boundary, publishes the snapshot bytes, forks every dependent policy
+/// run, and finally runs the first policy itself on the warmed system.
+/// Warm-up jobs enter the injector with the mix's core count as the
+/// priority (longest critical path first); forked runs go to the
+/// forking worker's local deque and are stolen by idle siblings.
+///
+/// Determinism: every result lands in a pre-indexed slot and every run
+/// is a pure function of the boundary snapshot, so the returned vectors
+/// are bit-identical at any worker count. `warmup_from_checkpoint` is
+/// DAG-structural, not timing-dependent: the first (stage, policy) run
+/// of a distinct mix inherits the warm-up's provenance flag, every
+/// other run forked from the published snapshot reports `true`.
+pub fn run_sweep_stages(
+    stages: &[SweepStage],
+    opts: &ExperimentOptions,
+    cache: &ProfileCache,
+    store: Option<&CheckpointStore>,
+    ctl: &RunControl,
+) -> Vec<Vec<MixResult>> {
+    let stage_runs: Vec<usize> = stages.iter().map(|s| s.mixes.len() * s.policies.len()).collect();
+    let total_runs: usize = stage_runs.iter().sum();
+    let slots: Vec<Mutex<Option<MixResult>>> = (0..total_runs).map(|_| Mutex::new(None)).collect();
+
+    // Group the (stage, mix-position) consumers by distinct mix, in
+    // first-appearance order: one warm-up job per entry.
+    let mut groups: Vec<(Mix, Vec<GroupSlots<'_>>)> = Vec::new();
+    let mut offset = 0;
+    for (si, stage) in stages.iter().enumerate() {
+        for (mi, mix) in stage.mixes.iter().enumerate() {
+            if stage.policies.is_empty() {
+                continue;
+            }
+            let base = offset + mi * stage.policies.len();
+            let consumer = GroupSlots {
+                policies: &stage.policies,
+                slots: &slots[base..base + stage.policies.len()],
+            };
+            match groups.iter_mut().find(|(m, _)| m.name == mix.name) {
+                Some((_, consumers)) => consumers.push(consumer),
+                None => groups.push((*mix, vec![consumer])),
+            }
+        }
+        offset += stage_runs[si];
+    }
+
+    let workers = worker_count(total_runs, ctl.threads);
+    melreq_exec::run_scope(workers, |scope| {
+        for (mix, consumers) in &groups {
+            let mix = *mix;
+            scope.submit(mix.cores() as u64, move |ctx| {
+                warm_up_and_fork(&ctx, mix, consumers, opts, cache, store, ctl);
             });
         }
     });
-    slots
-        .into_iter()
-        .map(|s| s.into_inner().expect("slot poisoned").expect("job not run"))
-        .collect()
+
+    let mut out = Vec::with_capacity(stages.len());
+    let mut taken = slots.into_iter().map(|s| s.into_inner().expect("result slot poisoned"));
+    for runs in stage_runs {
+        out.push((0..runs).map(|_| taken.next().flatten().expect("job not run")).collect());
+    }
+    out
+}
+
+/// The warm-up job of one distinct mix: profile, reach the canonical
+/// boundary, publish the snapshot, fork every dependent policy run, and
+/// run the first policy inline on the warmed system.
+fn warm_up_and_fork<'env>(
+    ctx: &melreq_exec::Ctx<'_, 'env>,
+    mix: Mix,
+    consumers: &'env [GroupSlots<'env>],
+    opts: &'env ExperimentOptions,
+    cache: &'env ProfileCache,
+    store: Option<&'env CheckpointStore>,
+    ctl: &'env RunControl,
+) {
+    let cores = mix.cores();
+    let me: Vec<f64> = (0..cores).map(|i| cache.profile(&mix, i, opts).me).collect();
+    let ipc_single: Vec<f64> = (0..cores).map(|i| cache.ipc_single(&mix, i, opts)).collect();
+
+    // melreq-allow(D02): wall-clock elapsed time for the report only; no simulated state derives from it
+    let warm_started = std::time::Instant::now();
+    let (base, from_checkpoint) = boundary_system(&mix, opts, store, ctl);
+    let total_runs: usize = consumers.iter().map(|c| c.policies.len()).sum();
+    let snap = (total_runs > 1).then(|| Arc::new(base.snapshot()));
+    let warm_wall = warm_started.elapsed();
+
+    // Fork every run but the first, then run the first on the warmed
+    // system while the forks are stolen by idle workers.
+    let mut first: Option<(&'env Mutex<Option<MixResult>>, &'env PolicyKind)> = None;
+    for consumer in consumers {
+        for (slot, kind) in consumer.slots.iter().zip(consumer.policies) {
+            if first.is_none() {
+                first = Some((slot, kind));
+                continue;
+            }
+            let snap = Arc::clone(snap.as_ref().expect("snapshot published for >1 run"));
+            let me = me.clone();
+            let ipc_single = ipc_single.clone();
+            ctx.fork(move |_ctx| {
+                // melreq-allow(D02): wall-clock elapsed time for the report only; no simulated state derives from it
+                let started = std::time::Instant::now();
+                let mut sys = canonical_system(&mix, opts);
+                sys.load_snapshot(&snap)
+                    .expect("boundary snapshot must restore into an identical fresh system");
+                ctl.arm(&mut sys);
+                sys.swap_policy(kind, &me);
+                let out = sys.run_window(ctl.limit(opts));
+                let wall = started.elapsed();
+                *slot.lock().expect("result slot poisoned") = Some(finish_result(
+                    &mix,
+                    kind.name(),
+                    me,
+                    ipc_single,
+                    out,
+                    sys.now(),
+                    wall,
+                    std::time::Duration::ZERO,
+                    true,
+                ));
+            });
+        }
+    }
+    let (slot, kind) = first.expect("a group has at least one policy run");
+    // melreq-allow(D02): wall-clock elapsed time for the report only; no simulated state derives from it
+    let started = std::time::Instant::now();
+    let mut sys = base;
+    sys.swap_policy(kind, &me);
+    let out = sys.run_window(ctl.limit(opts));
+    let wall = started.elapsed();
+    *slot.lock().expect("result slot poisoned") = Some(finish_result(
+        &mix,
+        kind.name(),
+        me,
+        ipc_single,
+        out,
+        sys.now(),
+        wall,
+        warm_wall,
+        from_checkpoint,
+    ));
 }
 
 #[cfg(test)]

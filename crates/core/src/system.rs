@@ -86,6 +86,14 @@ pub struct System {
     /// Latched once an attached [`CancelToken`] fires; reported through
     /// [`RunOutcome::cancelled`].
     cancelled: bool,
+    /// Memoized [`System::next_event_at`] bound, valid until the next
+    /// state mutation (tick, snapshot restore, policy swap). Component
+    /// event horizons are absolute cycles that only a tick can move, so a
+    /// strictly-future bound computed once stays exact while the
+    /// fast-forward loop merely advances the clock toward it — the
+    /// post-jump iteration reuses it instead of rescanning every core and
+    /// queue entry.
+    next_event_cache: Option<Cycle>, // melreq-allow(S01): derived cache, invalidated on every mutation
 }
 
 /// An attached [`CancelToken`] plus the next cycle it is polled at.
@@ -235,6 +243,7 @@ impl System {
             sampler: None,
             cancel: None,
             cancelled: false,
+            next_event_cache: None,
         }
     }
 
@@ -276,6 +285,7 @@ impl System {
             sampler: None,
             cancel: None,
             cancelled: false,
+            next_event_cache: None,
         }
     }
 
@@ -361,6 +371,8 @@ impl System {
 
     /// Advance the whole machine by one CPU cycle.
     pub fn tick(&mut self) {
+        // Any tick can move component event horizons.
+        self.next_event_cache = None;
         let now = self.now;
         // Memory side first: deliver data that becomes ready this cycle...
         self.scratch.clear();
@@ -525,6 +537,7 @@ impl System {
     /// [`System::run_window`].
     pub fn prepare_window(&mut self, warmup: u64, target: u64) {
         assert!(self.now == 0, "measured runs must start from reset");
+        self.next_event_cache = None;
         for core in &mut self.cores {
             core.set_window(warmup, target);
         }
@@ -553,7 +566,25 @@ impl System {
             // straight to the timeout, as ticking would) and to the
             // cycle before the next online-ME epoch boundary, whose
             // profile refresh must fire on schedule.
-            let mut jump_to = self.next_event_at().unwrap_or(Cycle::MAX).min(max_cycles);
+            //
+            // A bound memoized by an earlier iteration is still exact
+            // here: only [`System::tick`] (and snapshot/policy mutation,
+            // each of which clears the cache) can move an event horizon,
+            // and a clock that merely advanced toward the bound cannot
+            // pass it — jumps are clamped to at most the bound itself.
+            let bound = match self.next_event_cache {
+                Some(b) => Some(b),
+                None => {
+                    let b = self.next_event_at();
+                    if let Some(at) = b {
+                        if at > self.now {
+                            self.next_event_cache = Some(at);
+                        }
+                    }
+                    b
+                }
+            };
+            let mut jump_to = bound.unwrap_or(Cycle::MAX).min(max_cycles);
             if let Some(st) = &self.online {
                 jump_to = jump_to.min(st.next_at - 1);
             }
@@ -650,6 +681,7 @@ impl System {
     /// mirroring what [`System::attach_audit`] announces at reset.
     pub fn swap_policy(&mut self, kind: &melreq_memctrl::policy::PolicyKind, me: &[f64]) {
         assert_eq!(me.len(), self.cfg.cores, "one ME value per core required");
+        self.next_event_cache = None;
         let policy = kind.build(me, self.cfg.cores, self.cfg.seed);
         self.hier.set_policy(policy, kind.read_first());
         self.online = match kind {
@@ -688,6 +720,7 @@ impl System {
         policy: Box<dyn melreq_memctrl::SchedulerPolicy>,
         read_first: bool,
     ) {
+        self.next_event_cache = None;
         self.hier.set_policy(policy, read_first);
         self.online = None;
         self.me_profile = None;
@@ -773,6 +806,7 @@ impl System {
         // deltas straddle the discontinuity; re-attach after restoring
         // to observe the resumed run.
         self.sampler = None;
+        self.next_event_cache = None;
         Ok(())
     }
 }

@@ -1,7 +1,22 @@
 //! Per-bank row-buffer state machine.
+//!
+//! The bank model is expressed twice over one set of scalar transition
+//! functions: [`Bank`] packages an `(open_row, ready_at)` pair for
+//! unit-level reasoning, while [`crate::channel::Channel`] holds the same
+//! scalars in struct-of-arrays form (`Vec<u64>` + `Vec<Cycle>`) so the
+//! controller's hot candidate scans walk dense, cache-friendly slices.
+//! Both views delegate every transition to the `scalar_*` functions below,
+//! so they cannot diverge.
 
 use crate::timing::DramTiming;
 use melreq_stats::types::{cyc_add, AccessKind, Cycle};
+
+/// Sentinel value of the `open_row` scalar meaning "all rows closed".
+///
+/// Row indices come from the address mapping and are bounded by the
+/// geometry's rows-per-bank, so `u64::MAX` can never collide with a real
+/// row.
+pub const NO_OPEN_ROW: u64 = u64::MAX;
 
 /// The observable state of a DRAM bank's row buffer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -20,7 +35,8 @@ pub enum BankState {
 /// O(cycles).
 #[derive(Debug, Clone)]
 pub struct Bank {
-    state: BankState,
+    /// Open-row latch: a row index, or [`NO_OPEN_ROW`] when closed.
+    open_row: u64,
     /// Earliest cycle at which the next command sequence may start.
     ready_at: Cycle,
 }
@@ -49,15 +65,111 @@ impl From<RowOutcome> for melreq_audit::GrantOutcome {
     }
 }
 
+/// Whether a request for `row` finds it latched.
+#[inline]
+pub(crate) fn scalar_is_row_hit(open_row: u64, row: u64) -> bool {
+    open_row == row && open_row != NO_OPEN_ROW
+}
+
+/// Service one transaction for `row` granted at `now` against the scalar
+/// pair; returns the bank-side data-start cycle and the row outcome. See
+/// [`Bank::service`] for the timing contract.
+#[inline]
+pub(crate) fn scalar_service(
+    open_row: &mut u64,
+    ready_at: &mut Cycle,
+    row: u64,
+    kind: AccessKind,
+    now: Cycle,
+    keep_open: bool,
+    t: &DramTiming,
+) -> (Cycle, RowOutcome) {
+    let cur = *open_row;
+    debug_assert!(*ready_at <= now, "bank busy until {ready_at} at {now}");
+    let (data_start, outcome) = if cur == NO_OPEN_ROW {
+        (cyc_add(now, t.idle_to_data()), RowOutcome::ClosedMiss)
+    } else if cur == row {
+        (cyc_add(now, t.hit_to_data()), RowOutcome::Hit)
+    } else {
+        (cyc_add(now, t.conflict_to_data()), RowOutcome::Conflict)
+    };
+    let data_end = cyc_add(data_start, t.burst);
+    if keep_open {
+        *open_row = row;
+        // The next column access to the open row may pipeline right
+        // behind this one's data transfer.
+        *ready_at = data_start;
+    } else {
+        *open_row = NO_OPEN_ROW;
+        // Auto-precharge: tRP after the access completes (plus write
+        // recovery for writes). The next ACT must wait it out.
+        let recovery = if kind.is_write() { t.t_wr } else { 0 };
+        *ready_at = cyc_add(data_end, cyc_add(recovery, t.t_rp));
+    }
+    (data_start, outcome)
+}
+
+/// Apply an all-bank refresh that started at `at` to the scalar pair.
+#[inline]
+pub(crate) fn scalar_refresh(open_row: &mut u64, ready_at: &mut Cycle, at: Cycle, t_rfc: Cycle) {
+    *open_row = NO_OPEN_ROW;
+    *ready_at = cyc_add((*ready_at).max(at), t_rfc);
+}
+
+/// Explicitly close the row if one is open.
+#[inline]
+pub(crate) fn scalar_precharge(
+    open_row: &mut u64,
+    ready_at: &mut Cycle,
+    now: Cycle,
+    t: &DramTiming,
+) {
+    let cur = *open_row;
+    if cur != NO_OPEN_ROW {
+        *open_row = NO_OPEN_ROW;
+        *ready_at = cyc_add((*ready_at).max(now), t.t_rp);
+    }
+}
+
+/// Serialize one bank's scalar pair (tagged open-row latch, then the ready
+/// horizon) — the wire format both [`Bank::save_state`] and the channel's
+/// struct-of-arrays writer emit.
+pub(crate) fn scalar_save_state(open_row: u64, ready_at: Cycle, enc: &mut melreq_snap::Enc) {
+    if open_row == NO_OPEN_ROW {
+        enc.u8(0);
+    } else {
+        enc.u8(1);
+        enc.u64(open_row);
+    }
+    enc.u64(ready_at);
+}
+
+/// Restore one bank's scalar pair written by [`scalar_save_state`].
+pub(crate) fn scalar_load_state(
+    dec: &mut melreq_snap::Dec<'_>,
+) -> Result<(u64, Cycle), melreq_snap::SnapError> {
+    let open_row = match dec.u8()? {
+        0 => NO_OPEN_ROW,
+        1 => dec.u64()?,
+        t => return Err(melreq_snap::SnapError::BadTag(t)),
+    };
+    let ready_at = dec.u64()?;
+    Ok((open_row, ready_at))
+}
+
 impl Bank {
     /// A bank with all rows closed, ready immediately.
     pub fn new() -> Self {
-        Bank { state: BankState::Closed, ready_at: 0 }
+        Bank { open_row: NO_OPEN_ROW, ready_at: 0 }
     }
 
     /// Current row-buffer state.
     pub fn state(&self) -> BankState {
-        self.state
+        if self.open_row == NO_OPEN_ROW {
+            BankState::Closed
+        } else {
+            BankState::Open { row: self.open_row }
+        }
     }
 
     /// Earliest cycle the next command sequence may start.
@@ -67,7 +179,7 @@ impl Bank {
 
     /// Whether a request for `row` would be a row-buffer hit right now.
     pub fn is_row_hit(&self, row: u64) -> bool {
-        matches!(self.state, BankState::Open { row: r } if r == row)
+        scalar_is_row_hit(self.open_row, row)
     }
 
     /// Whether the bank can accept a new command sequence at `now`.
@@ -95,40 +207,12 @@ impl Bank {
         keep_open: bool,
         t: &DramTiming,
     ) -> (Cycle, RowOutcome) {
-        debug_assert!(self.can_issue(now), "bank busy until {} at {}", self.ready_at, now);
-        let (data_start, outcome) = match self.state {
-            BankState::Open { row: open } if open == row => {
-                (cyc_add(now, t.hit_to_data()), RowOutcome::Hit)
-            }
-            BankState::Open { .. } => (cyc_add(now, t.conflict_to_data()), RowOutcome::Conflict),
-            BankState::Closed => (cyc_add(now, t.idle_to_data()), RowOutcome::ClosedMiss),
-        };
-        let data_end = cyc_add(data_start, t.burst);
-        if keep_open {
-            self.state = BankState::Open { row };
-            // The next column access to the open row may pipeline right
-            // behind this one's data transfer.
-            self.ready_at = data_start;
-        } else {
-            self.state = BankState::Closed;
-            // Auto-precharge: tRP after the access completes (plus write
-            // recovery for writes). The next ACT must wait it out.
-            let recovery = if kind.is_write() { t.t_wr } else { 0 };
-            self.ready_at = cyc_add(data_end, cyc_add(recovery, t.t_rp));
-        }
-        (data_start, outcome)
+        scalar_service(&mut self.open_row, &mut self.ready_at, row, kind, now, keep_open, t)
     }
 
     /// Serialize the row-buffer latch and ready horizon.
     pub fn save_state(&self, enc: &mut melreq_snap::Enc) {
-        match self.state {
-            BankState::Closed => enc.u8(0),
-            BankState::Open { row } => {
-                enc.u8(1);
-                enc.u64(row);
-            }
-        }
-        enc.u64(self.ready_at);
+        scalar_save_state(self.open_row, self.ready_at, enc);
     }
 
     /// Restore state written by [`Bank::save_state`].
@@ -136,12 +220,9 @@ impl Bank {
         &mut self,
         dec: &mut melreq_snap::Dec<'_>,
     ) -> Result<(), melreq_snap::SnapError> {
-        self.state = match dec.u8()? {
-            0 => BankState::Closed,
-            1 => BankState::Open { row: dec.u64()? },
-            t => return Err(melreq_snap::SnapError::BadTag(t)),
-        };
-        self.ready_at = dec.u64()?;
+        let (open_row, ready_at) = scalar_load_state(dec)?;
+        self.open_row = open_row;
+        self.ready_at = ready_at;
         Ok(())
     }
 
@@ -149,17 +230,13 @@ impl Bank {
     /// the bank is unavailable for `t_rfc` cycles (stacked on any work it
     /// was still finishing).
     pub fn refresh(&mut self, at: Cycle, t_rfc: Cycle) {
-        self.state = BankState::Closed;
-        self.ready_at = cyc_add(self.ready_at.max(at), t_rfc);
+        scalar_refresh(&mut self.open_row, &mut self.ready_at, at, t_rfc);
     }
 
     /// Explicitly close the row (used when the controller notices the last
     /// queued same-row request has drained).
     pub fn precharge(&mut self, now: Cycle, t: &DramTiming) {
-        if matches!(self.state, BankState::Open { .. }) {
-            self.state = BankState::Closed;
-            self.ready_at = cyc_add(self.ready_at.max(now), t.t_rp);
-        }
+        scalar_precharge(&mut self.open_row, &mut self.ready_at, now, t);
     }
 }
 
@@ -246,5 +323,13 @@ mod tests {
         let mut b = Bank::new();
         b.precharge(100, &t());
         assert!(b.can_issue(0));
+    }
+
+    #[test]
+    fn no_open_row_sentinel_never_hits() {
+        let b = Bank::new();
+        // Even a (physically impossible) request for the sentinel row
+        // index must not read as a hit on a closed bank.
+        assert!(!b.is_row_hit(NO_OPEN_ROW));
     }
 }

@@ -1,6 +1,9 @@
 //! A logical DRAM channel: independent banks sharing one data bus.
 
-use crate::bank::{Bank, RowOutcome};
+use crate::bank::{
+    scalar_is_row_hit, scalar_load_state, scalar_precharge, scalar_refresh, scalar_save_state,
+    scalar_service, RowOutcome, NO_OPEN_ROW,
+};
 use crate::timing::DramTiming;
 use melreq_stats::types::{cyc_add, AccessKind, Cycle};
 
@@ -9,9 +12,17 @@ use melreq_stats::types::{cyc_add, AccessKind, Cycle};
 /// Transactions from different banks pipeline on the bus: a burst occupies
 /// the bus for `timing.burst` cycles starting no earlier than the bank's
 /// data-ready cycle and no earlier than the bus becoming free.
+///
+/// Bank state is held struct-of-arrays (`open_row` + `bank_ready` vectors
+/// over the shared scalar transition functions in [`crate::bank`]) so the
+/// controller's candidate scans and ready-horizon folds walk dense slices
+/// instead of chasing per-bank structs.
 #[derive(Debug, Clone)]
 pub struct Channel {
-    banks: Vec<Bank>,
+    /// Per-bank open-row latch ([`NO_OPEN_ROW`] when closed).
+    open_row: Vec<u64>,
+    /// Per-bank earliest cycle the next command sequence may start.
+    bank_ready: Vec<Cycle>,
     /// First cycle at which the data bus is free.
     bus_free: Cycle,
     /// Total cycles the data bus has been occupied (for utilization).
@@ -46,7 +57,8 @@ impl Channel {
     pub fn new(banks: usize) -> Self {
         assert!(banks > 0, "channel needs at least one bank");
         Channel {
-            banks: vec![Bank::new(); banks],
+            open_row: vec![NO_OPEN_ROW; banks],
+            bank_ready: vec![0; banks],
             bus_free: 0,
             bus_busy_cycles: 0,
             next_refresh: 0,
@@ -67,8 +79,8 @@ impl Channel {
             self.next_refresh = t.t_refi;
         }
         while self.next_refresh <= now {
-            for b in &mut self.banks {
-                b.refresh(self.next_refresh, t.t_rfc);
+            for (row, ready) in self.open_row.iter_mut().zip(self.bank_ready.iter_mut()) {
+                scalar_refresh(row, ready, self.next_refresh, t.t_rfc);
             }
             self.refreshes += 1; // melreq-allow(A01): event counter, not a deadline
             self.next_refresh = cyc_add(self.next_refresh, t.t_refi);
@@ -117,12 +129,25 @@ impl Channel {
 
     /// Number of banks on this channel.
     pub fn bank_count(&self) -> usize {
-        self.banks.len()
+        self.open_row.len()
     }
 
-    /// Shared read-only access to a bank (for row-hit queries).
-    pub fn bank(&self, idx: usize) -> &Bank {
-        &self.banks[idx]
+    /// Whether a request for (`bank`, `row`) would be a row-buffer hit
+    /// right now.
+    pub fn is_row_hit(&self, bank: usize, row: u64) -> bool {
+        scalar_is_row_hit(self.open_row[bank], row)
+    }
+
+    /// Earliest cycle `bank` may start a new command sequence.
+    pub fn bank_ready_at(&self, bank: usize) -> Cycle {
+        self.bank_ready[bank]
+    }
+
+    /// The per-bank ready horizons as a dense slice (index = bank). The
+    /// controller's candidate scans fold over this directly rather than
+    /// probing banks one at a time.
+    pub fn bank_ready_slice(&self) -> &[Cycle] {
+        &self.bank_ready
     }
 
     /// Whether a transaction to `bank` could be granted at `now`.
@@ -132,12 +157,13 @@ impl Channel {
     /// because the controller grants at most one transaction per bank
     /// command-cycle.
     pub fn can_issue(&self, bank: usize, now: Cycle) -> bool {
-        self.banks[bank].can_issue(now)
+        self.bank_ready[bank] <= now
     }
 
     /// Grant a transaction to (`bank`, `row`) at `now`.
     ///
-    /// `keep_open` is the close-page decision (see [`Bank::service`]).
+    /// `keep_open` is the close-page decision (see
+    /// [`crate::bank::Bank::service`]).
     pub fn issue(
         &mut self,
         bank: usize,
@@ -150,10 +176,17 @@ impl Channel {
         self.sync_refresh(now, t);
         // A transaction that needs an ACT (no open-row hit) must honour
         // the channel's activate-spacing windows.
-        let needs_act = !self.banks[bank].is_row_hit(row);
+        let needs_act = !scalar_is_row_hit(self.open_row[bank], row);
         let grant_at = if needs_act { now.max(self.act_allowed_at(t)) } else { now };
-        let (bank_data_start, outcome) =
-            self.banks[bank].service(row, kind, grant_at, keep_open, t);
+        let (bank_data_start, outcome) = scalar_service(
+            &mut self.open_row[bank],
+            &mut self.bank_ready[bank],
+            row,
+            kind,
+            grant_at,
+            keep_open,
+            t,
+        );
         if needs_act {
             // The ACT begins after any precharge the service implied.
             let act_at = match outcome {
@@ -169,11 +202,12 @@ impl Channel {
     }
 
     /// Serialize bank latches, bus occupancy, refresh and ACT-window
-    /// tracking.
+    /// tracking. Per-bank bytes are identical to the former array-of-
+    /// [`crate::bank::Bank`] layout (tagged open row, then ready horizon).
     pub fn save_state(&self, enc: &mut melreq_snap::Enc) {
-        enc.usize(self.banks.len());
-        for b in &self.banks {
-            b.save_state(enc);
+        enc.usize(self.open_row.len());
+        for (&row, &ready) in self.open_row.iter().zip(self.bank_ready.iter()) {
+            scalar_save_state(row, ready, enc);
         }
         enc.u64(self.bus_free);
         enc.u64(self.bus_busy_cycles);
@@ -193,11 +227,13 @@ impl Channel {
         dec: &mut melreq_snap::Dec<'_>,
     ) -> Result<(), melreq_snap::SnapError> {
         let n = dec.usize()?;
-        if n != self.banks.len() {
+        if n != self.open_row.len() {
             return Err(melreq_snap::SnapError::Invalid("bank count mismatch"));
         }
-        for b in &mut self.banks {
-            b.load_state(dec)?;
+        for (row, ready) in self.open_row.iter_mut().zip(self.bank_ready.iter_mut()) {
+            let (r, at) = scalar_load_state(dec)?;
+            *row = r;
+            *ready = at;
         }
         self.bus_free = dec.u64()?;
         self.bus_busy_cycles = dec.u64()?;
@@ -217,7 +253,7 @@ impl Channel {
 
     /// Explicitly precharge `bank` (controller's close-page sweep).
     pub fn precharge(&mut self, bank: usize, now: Cycle, t: &DramTiming) {
-        self.banks[bank].precharge(now, t);
+        scalar_precharge(&mut self.open_row[bank], &mut self.bank_ready[bank], now, t);
     }
 
     /// Cycle at which the data bus next becomes free.
@@ -291,7 +327,7 @@ mod tests {
     fn row_hit_via_keep_open() {
         let mut ch = Channel::new(8);
         let g0 = ch.issue(0, 1, AccessKind::Read, 0, true, &t());
-        assert!(ch.bank(0).is_row_hit(1));
+        assert!(ch.is_row_hit(0, 1));
         let start = 80; // bank ready at data_start = 80
         let g1 = ch.issue(0, 1, AccessKind::Read, start, false, &t());
         assert_eq!(g1.outcome, RowOutcome::Hit);
@@ -313,11 +349,11 @@ mod tests {
         let mut ch = Channel::new(8);
         // Open a row before the first refresh boundary.
         ch.issue(0, 3, AccessKind::Read, 0, true, &t);
-        assert!(ch.bank(0).is_row_hit(3));
+        assert!(ch.is_row_hit(0, 3));
         // Jump past the refresh boundary.
         ch.sync_refresh(t.t_refi + 1, &t);
         assert_eq!(ch.refresh_count(), 1);
-        assert!(!ch.bank(0).is_row_hit(3), "refresh must close rows");
+        assert!(!ch.is_row_hit(0, 3), "refresh must close rows");
         // Banks are blocked for tRFC after the refresh started.
         assert!(!ch.can_issue(1, t.t_refi + 1));
         assert!(ch.can_issue(1, t.t_refi + t.t_rfc));
@@ -385,5 +421,24 @@ mod tests {
         let g1 = ch.issue(0, 7, AccessKind::Read, g0.data_ready, false, &t);
         assert_eq!(g1.outcome, RowOutcome::Hit);
         assert!(g1.data_ready <= g0.data_ready + t.t_cl + 2 * t.burst);
+    }
+
+    #[test]
+    fn snapshot_round_trips_soa_bank_state() {
+        let t = DramTiming::ddr2_800_at_3_2ghz();
+        let mut ch = Channel::new(4);
+        ch.issue(0, 9, AccessKind::Read, 0, true, &t);
+        ch.issue(2, 3, AccessKind::Write, 5, false, &t);
+        let mut enc = melreq_snap::Enc::new();
+        ch.save_state(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut restored = Channel::new(4);
+        let mut dec = melreq_snap::Dec::new(&bytes);
+        restored.load_state(&mut dec).expect("round trip");
+        assert!(dec.is_exhausted());
+        assert!(restored.is_row_hit(0, 9));
+        assert!(!restored.is_row_hit(2, 3));
+        assert_eq!(restored.bank_ready_slice(), ch.bank_ready_slice());
+        assert_eq!(restored.bus_free_at(), ch.bus_free_at());
     }
 }

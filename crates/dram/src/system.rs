@@ -160,7 +160,7 @@ impl DramSystem {
     /// Whether `loc` would be a row-buffer hit right now (the signal the
     /// Hit-First family of policies ranks on).
     pub fn is_row_hit(&self, loc: &Location) -> bool {
-        self.channels[loc.channel].bank(loc.bank).is_row_hit(loc.row)
+        self.channels[loc.channel].is_row_hit(loc.bank, loc.row)
     }
 
     /// Whether a transaction to `loc` could be granted at `now`.
@@ -174,7 +174,15 @@ impl DramSystem {
     /// A pending refresh can only push this later, so the value is a
     /// conservative lower bound for event-horizon computations.
     pub fn bank_ready_at(&self, channel: usize, bank: usize) -> Cycle {
-        self.channels[channel].bank(bank).ready_at()
+        self.channels[channel].bank_ready_at(bank)
+    }
+
+    /// One channel's per-bank ready horizons as a dense slice (index =
+    /// bank) — the bulk form of [`DramSystem::bank_ready_at`] for the
+    /// controller's candidate scans. Same conservative-lower-bound caveat:
+    /// a pending refresh can only push these later.
+    pub fn bank_ready_slice(&self, channel: usize) -> &[Cycle] {
+        self.channels[channel].bank_ready_slice()
     }
 
     /// The earliest upcoming all-bank refresh boundary across channels,

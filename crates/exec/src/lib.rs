@@ -1,0 +1,362 @@
+//! A scoped work-stealing job pool for the experiment sweep.
+//!
+//! The schedulable unit is a *job*: a boxed closure that may borrow from
+//! the caller's stack frame (the pool is built on [`std::thread::scope`],
+//! so jobs carry a `'env` lifetime instead of `'static`) and that may
+//! *fork* further jobs while running. Two queues feed the workers:
+//!
+//! * a global **injector** ordered by `(priority desc, submission seq
+//!   asc)` — the sweep submits one warm-up job per workload group here,
+//!   with the group's core count as the priority, so the longest
+//!   critical paths (8-core warm-ups) start first and ties resolve in
+//!   deterministic submission order;
+//! * one **local deque** per worker for forked children, popped LIFO by
+//!   the owner (the freshly published snapshot is still warm in cache)
+//!   and stolen FIFO by idle siblings (the oldest fork has waited
+//!   longest and is the fairest steal).
+//!
+//! Determinism contract: the pool guarantees *completion*, not order —
+//! every submitted and forked job has run exactly once when
+//! [`run_scope`] returns. Callers that need deterministic output write
+//! results into pre-indexed slots, which makes the merged output
+//! independent of the execution interleaving; the experiment harness
+//! pins this end to end (byte-identical artifacts at any worker count).
+//!
+//! A panicking job (or seeder) drains the pool — workers stop picking
+//! up new work, in-flight jobs finish — and the first panic payload is
+//! re-thrown from [`run_scope`] on the calling thread.
+
+use std::collections::{BinaryHeap, VecDeque};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// A unit of work: runs once on some worker, receiving a [`Ctx`] through
+/// which it can fork children.
+type Job<'env> = Box<dyn FnOnce(Ctx<'_, 'env>) + Send + 'env>;
+
+/// An injector entry: jobs pop highest `priority` first; equal
+/// priorities pop in submission order (`seq` ascending).
+struct Ranked<'env> {
+    priority: u64,
+    seq: u64,
+    job: Job<'env>,
+}
+
+impl PartialEq for Ranked<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.priority == other.priority && self.seq == other.seq
+    }
+}
+impl Eq for Ranked<'_> {}
+impl PartialOrd for Ranked<'_> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Ranked<'_> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap: larger priority wins, then the
+        // *smaller* submission sequence (earlier submit) wins.
+        (self.priority, std::cmp::Reverse(self.seq))
+            .cmp(&(other.priority, std::cmp::Reverse(other.seq)))
+    }
+}
+
+/// State shared between the seeding thread and the workers.
+struct Shared<'env> {
+    injector: Mutex<BinaryHeap<Ranked<'env>>>,
+    seq: AtomicU64,
+    locals: Vec<Mutex<VecDeque<Job<'env>>>>,
+    /// Jobs submitted or forked but not yet finished.
+    active: AtomicUsize,
+    /// Set once the seeding closure has returned: only then does
+    /// `active == 0` mean "drained" rather than "not started yet".
+    seeded: AtomicBool,
+    /// Terminal state: drained, or poisoned by a panic.
+    done: AtomicBool,
+    idle: Mutex<()>,
+    wake: Condvar,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl<'env> Shared<'env> {
+    fn new(workers: usize) -> Self {
+        Shared {
+            injector: Mutex::new(BinaryHeap::new()),
+            seq: AtomicU64::new(0),
+            locals: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            active: AtomicUsize::new(0),
+            seeded: AtomicBool::new(false),
+            done: AtomicBool::new(false),
+            idle: Mutex::new(()),
+            wake: Condvar::new(),
+            panic: Mutex::new(None),
+        }
+    }
+
+    fn poison(&self, payload: Box<dyn std::any::Any + Send>) {
+        let mut slot = self.panic.lock().expect("panic slot poisoned");
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+        drop(slot);
+        self.done.store(true, Ordering::Release);
+        self.wake.notify_all();
+    }
+
+    fn job_finished(&self) {
+        if self.active.fetch_sub(1, Ordering::AcqRel) == 1 && self.seeded.load(Ordering::Acquire) {
+            self.done.store(true, Ordering::Release);
+            self.wake.notify_all();
+        }
+    }
+}
+
+/// Handle the seeding closure receives: submit root jobs into the
+/// global priority injector.
+pub struct Scope<'a, 'env> {
+    shared: &'a Shared<'env>,
+}
+
+impl<'env> Scope<'_, 'env> {
+    /// Submit a root job. Higher `priority` jobs start first; equal
+    /// priorities start in submission order.
+    pub fn submit(&self, priority: u64, job: impl FnOnce(Ctx<'_, 'env>) + Send + 'env) {
+        self.shared.active.fetch_add(1, Ordering::AcqRel);
+        let seq = self.shared.seq.fetch_add(1, Ordering::Relaxed);
+        self.shared.injector.lock().expect("injector poisoned").push(Ranked {
+            priority,
+            seq,
+            job: Box::new(job),
+        });
+        self.shared.wake.notify_all();
+    }
+}
+
+/// Handle a running job receives: fork children onto the current
+/// worker's local deque (popped LIFO locally, stolen FIFO by idle
+/// siblings).
+pub struct Ctx<'a, 'env> {
+    shared: &'a Shared<'env>,
+    worker: usize,
+}
+
+impl<'env> Ctx<'_, 'env> {
+    /// Fork a child job from inside a running job.
+    pub fn fork(&self, job: impl FnOnce(Ctx<'_, 'env>) + Send + 'env) {
+        self.shared.active.fetch_add(1, Ordering::AcqRel);
+        self.shared.locals[self.worker]
+            .lock()
+            .expect("local deque poisoned")
+            .push_back(Box::new(job));
+        self.shared.wake.notify_all();
+    }
+
+    /// Index of the worker running this job (0-based; diagnostic only).
+    pub fn worker(&self) -> usize {
+        self.worker
+    }
+}
+
+fn take_job<'env>(shared: &Shared<'env>, idx: usize) -> Option<Job<'env>> {
+    if let Some(job) = shared.locals[idx].lock().expect("local deque poisoned").pop_back() {
+        return Some(job);
+    }
+    if let Some(ranked) = shared.injector.lock().expect("injector poisoned").pop() {
+        return Some(ranked.job);
+    }
+    let n = shared.locals.len();
+    for off in 1..n {
+        let victim = (idx + off) % n;
+        if let Some(job) = shared.locals[victim].lock().expect("local deque poisoned").pop_front() {
+            return Some(job);
+        }
+    }
+    None
+}
+
+fn worker_loop(shared: &Shared<'_>, idx: usize) {
+    loop {
+        if shared.done.load(Ordering::Acquire) {
+            return;
+        }
+        if let Some(job) = take_job(shared, idx) {
+            let outcome = catch_unwind(AssertUnwindSafe(|| job(Ctx { shared, worker: idx })));
+            if let Err(payload) = outcome {
+                shared.poison(payload);
+            }
+            shared.job_finished();
+        } else {
+            let guard = shared.idle.lock().expect("idle lock poisoned");
+            if shared.done.load(Ordering::Acquire) {
+                return;
+            }
+            // The timeout bounds the race between a failed scan and a
+            // concurrent submit (a missed notify costs at most one tick,
+            // against jobs that run for milliseconds to seconds).
+            let _unused = shared
+                .wake
+                .wait_timeout(guard, Duration::from_millis(2))
+                .expect("idle lock poisoned while waiting");
+        }
+    }
+}
+
+/// Run a job pool with `workers` worker threads (clamped to at least
+/// one). `seed` submits the root jobs; the call returns once every
+/// submitted and forked job has finished. If a job or the seeder
+/// panicked, the pool drains and the first panic is re-thrown here.
+pub fn run_scope<'env>(workers: usize, seed: impl FnOnce(&Scope<'_, 'env>)) {
+    let workers = workers.max(1);
+    let shared = Shared::new(workers);
+    std::thread::scope(|s| {
+        for i in 0..workers {
+            let shared = &shared;
+            s.spawn(move || worker_loop(shared, i));
+        }
+        let seeded = catch_unwind(AssertUnwindSafe(|| seed(&Scope { shared: &shared })));
+        shared.seeded.store(true, Ordering::Release);
+        match seeded {
+            Err(payload) => shared.poison(payload),
+            Ok(()) => {
+                if shared.active.load(Ordering::Acquire) == 0 {
+                    shared.done.store(true, Ordering::Release);
+                }
+                shared.wake.notify_all();
+            }
+        }
+    });
+    let payload = shared.panic.lock().expect("panic slot poisoned").take();
+    if let Some(payload) = payload {
+        resume_unwind(payload);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    #[test]
+    fn runs_every_submitted_job_once() {
+        for workers in [1, 2, 8] {
+            let hits: Vec<AtomicUsize> = (0..64).map(|_| AtomicUsize::new(0)).collect();
+            run_scope(workers, |scope| {
+                for slot in &hits {
+                    scope.submit(0, move |_ctx| {
+                        slot.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "every job runs exactly once at {workers} workers"
+            );
+        }
+    }
+
+    #[test]
+    fn forked_children_all_run() {
+        for workers in [1, 3] {
+            let count = AtomicUsize::new(0);
+            run_scope(workers, |scope| {
+                for _ in 0..4 {
+                    scope.submit(0, |ctx| {
+                        count.fetch_add(1, Ordering::Relaxed);
+                        for _ in 0..5 {
+                            ctx.fork(|_ctx| {
+                                count.fetch_add(1, Ordering::Relaxed);
+                            });
+                        }
+                    });
+                }
+            });
+            assert_eq!(count.load(Ordering::Relaxed), 4 * 6, "at {workers} workers");
+        }
+    }
+
+    #[test]
+    fn grandchildren_run_too() {
+        let count = AtomicUsize::new(0);
+        run_scope(2, |scope| {
+            scope.submit(0, |ctx| {
+                ctx.fork(|ctx| {
+                    ctx.fork(|_ctx| {
+                        count.fetch_add(1, Ordering::Relaxed);
+                    });
+                });
+            });
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn injector_orders_by_priority_then_submission() {
+        // A gate job occupies the single worker while the remaining jobs
+        // are submitted, so the injector's pop order is observable.
+        let released = AtomicBool::new(false);
+        let order = Mutex::new(Vec::new());
+        run_scope(1, |scope| {
+            scope.submit(u64::MAX, |_ctx| {
+                while !released.load(Ordering::Acquire) {
+                    std::thread::yield_now();
+                }
+            });
+            for (priority, tag) in [(2u64, "2a"), (8, "8a"), (2, "2b"), (8, "8b"), (4, "4a")] {
+                let order = &order;
+                scope.submit(priority, move |_ctx| {
+                    order.lock().unwrap().push(tag);
+                });
+            }
+            released.store(true, Ordering::Release);
+        });
+        assert_eq!(*order.lock().unwrap(), vec!["8a", "8b", "4a", "2a", "2b"]);
+    }
+
+    #[test]
+    fn empty_seed_returns() {
+        run_scope(4, |_scope| {});
+    }
+
+    #[test]
+    fn job_panic_propagates_to_caller() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run_scope(2, |scope| {
+                scope.submit(0, |_ctx| panic!("job exploded"));
+            });
+        }));
+        let payload = result.expect_err("panic must propagate");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+        assert_eq!(msg, "job exploded");
+    }
+
+    #[test]
+    fn seeder_panic_propagates_to_caller() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run_scope(2, |scope| {
+                scope.submit(0, |_ctx| {});
+                panic!("seed exploded");
+            });
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn jobs_may_borrow_the_callers_stack() {
+        let inputs = [1u64, 2, 3, 4];
+        let slots: Vec<Mutex<Option<u64>>> = inputs.iter().map(|_| Mutex::new(None)).collect();
+        run_scope(2, |scope| {
+            for (i, v) in inputs.iter().enumerate() {
+                let slot = &slots[i];
+                scope.submit(0, move |_ctx| {
+                    *slot.lock().unwrap() = Some(v * 10);
+                });
+            }
+        });
+        let out: Vec<u64> = slots.iter().map(|s| s.lock().unwrap().unwrap()).collect();
+        assert_eq!(out, vec![10, 20, 30, 40]);
+    }
+}

@@ -517,9 +517,9 @@ impl MemoryController {
     /// before the returned cycle. It may undershoot (e.g. bus or drain
     /// effects), which merely costs the caller an extra probe tick.
     pub fn next_event_at(&self, now: Cycle) -> Option<Cycle> {
-        let grant = self.queue.next_candidate_at(now, self.cfg.overhead, |loc| {
-            self.dram.bank_ready_at(loc.channel, loc.bank)
-        });
+        let grant = self
+            .queue
+            .next_candidate_at(now, self.cfg.overhead, |ch| self.dram.bank_ready_slice(ch));
         let mut bound = self.next_completion_at();
         for t in [grant, self.dram.next_refresh_at()] {
             bound = match (bound, t) {
@@ -550,11 +550,12 @@ impl MemoryController {
         if self.queue.channel_positions(ch).is_empty() {
             return;
         }
-        // Snapshot per-bank ready cycles once per channel: O(banks) DRAM
-        // probes instead of one per queued request.
-        let banks = self.dram.geometry().banks_per_channel();
+        // Snapshot per-bank ready cycles once per channel: one dense copy
+        // from the DRAM model's struct-of-arrays state instead of a probe
+        // per bank (a grant below mutates the DRAM, so the scan cannot
+        // borrow the slice directly).
         self.bank_ready.clear();
-        self.bank_ready.extend((0..banks).map(|b| self.dram.bank_ready_at(ch, b)));
+        self.bank_ready.extend_from_slice(self.dram.bank_ready_slice(ch));
         // Gather issuable requests on this channel that have cleared the
         // controller pipeline overhead, walking only this channel's
         // position list (buffer order, so policies see the same candidate

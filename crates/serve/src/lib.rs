@@ -464,7 +464,11 @@ fn process(job: Job, shared: &Arc<Shared>) {
         return;
     }
 
-    let ctl = RunControl { cancel: deadline.map(CancelToken::with_deadline), max_cycles: None };
+    let ctl = RunControl {
+        cancel: deadline.map(CancelToken::with_deadline),
+        max_cycles: None,
+        threads: None,
+    };
     match shared.session.run(&req, &ctl) {
         Ok(report) => {
             let mut cycles = 0u64;

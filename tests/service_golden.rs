@@ -43,6 +43,7 @@ fn cli_facade_and_service_reports_are_byte_identical() {
         audit: false,
         obs: ObsArgs::default(),
         json: true,
+        threads: None,
     })
     .expect("melreq run --json");
 
