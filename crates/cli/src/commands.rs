@@ -1035,6 +1035,7 @@ fn cmd_serve(
     no_store: bool,
     timeout_ms: Option<u64>,
     response_cache: usize,
+    idle_timeout_ms: u64,
 ) -> Result<String, MelreqError> {
     let store_dir = if no_store {
         None
@@ -1048,14 +1049,16 @@ fn cmd_serve(
         store_dir,
         default_timeout_ms: timeout_ms,
         response_cache,
+        idle_timeout_ms,
     };
     melreq_serve::serve_forever(cfg)
 }
 
-/// `melreq client`: build the same typed request the local commands use
-/// and send it to a running server.
+/// `melreq client`: build the same typed requests the local commands use
+/// and send them to a running server — all verbs of one invocation over
+/// one keep-alive connection, `Connection: close` only on the last.
 fn cmd_client(
-    verb: &str,
+    verbs: &[String],
     mix: Option<&str>,
     specs: &[PolicySpec],
     opts: &ExperimentOptions,
@@ -1063,42 +1066,135 @@ fn cmd_client(
     addr: &str,
     timeout_ms: Option<u64>,
 ) -> Result<String, MelreqError> {
-    let (method, path, body) = match verb {
-        "health" => ("GET", "/healthz", None),
-        "metrics" => ("GET", "/metrics", None),
-        "shutdown" => ("POST", "/shutdown", None),
-        "run" | "compare" => {
-            if verb == "run" && specs.len() != 1 {
-                return Err(usage(format!(
-                    "client run takes exactly one policy (got {}); use client compare \
-                     for policy sets",
-                    specs.len()
-                )));
+    // Build every request up front so a usage error costs no traffic.
+    let mut requests: Vec<(&str, &str, Option<String>)> = Vec::new();
+    for verb in verbs {
+        requests.push(match verb.as_str() {
+            "health" => ("GET", "/healthz", None),
+            "metrics" => ("GET", "/metrics", None),
+            "shutdown" => ("POST", "/shutdown", None),
+            "run" | "compare" => {
+                if verb == "run" && specs.len() != 1 {
+                    return Err(usage(format!(
+                        "client run takes exactly one policy (got {}); use client compare \
+                         for policy sets",
+                        specs.len()
+                    )));
+                }
+                let mix = try_mix(mix.expect("parser guarantees a mix for run/compare"))?;
+                let mut req = sim_request(&mix, specs, opts, audit);
+                if let Some(ms) = timeout_ms {
+                    req = req.timeout_ms(ms);
+                }
+                let path = if verb == "run" { "/run" } else { "/compare" };
+                ("POST", path, Some(req.to_json()))
             }
-            let mix = try_mix(mix.expect("parser guarantees a mix for run/compare"))?;
-            let mut req = sim_request(&mix, specs, opts, audit);
-            if let Some(ms) = timeout_ms {
-                req = req.timeout_ms(ms);
-            }
-            let path = if verb == "run" { "/run" } else { "/compare" };
-            ("POST", path, Some(req.to_json()))
-        }
-        other => return Err(usage(format!("unknown client verb '{other}'"))),
-    };
+            other => return Err(usage(format!("unknown client verb '{other}'"))),
+        });
+    }
     // Generous socket timeout: the request's own wall-clock budget (if
     // any) plus slack, else long enough for a full-scale run.
     let socket_timeout =
         Duration::from_millis(timeout_ms.map_or(600_000, |ms| ms.saturating_add(30_000)));
-    let (status, response) = http::exchange(addr, method, path, body.as_deref(), socket_timeout)
+    let mut conn = http::ClientConn::connect(addr, socket_timeout)
         .map_err(|e| io_err(format!("cannot reach {addr}: {e}")))?;
-    match status {
-        200 => Ok(response),
-        400 => Err(usage(format!("server rejected the request: {response}"))),
-        429 => Err(MelreqError::Overload { retry_after_s: 1 }),
-        503 => Err(MelreqError::Overload { retry_after_s: 1 }),
-        504 => Err(MelreqError::Timeout(format!("server timed out the run: {response}"))),
-        s => Err(io_err(format!("server answered HTTP {s}: {response}"))),
+    let mut out = String::new();
+    let last = requests.len() - 1;
+    for (i, (method, path, body)) in requests.iter().enumerate() {
+        let (status, response) = conn
+            .request(method, path, body.as_deref(), i == last)
+            .map_err(|e| io_err(format!("cannot reach {addr}: {e}")))?;
+        match status {
+            200 => {
+                out.push_str(&response);
+                if !response.ends_with('\n') {
+                    out.push('\n');
+                }
+            }
+            400 => return Err(usage(format!("server rejected the request: {response}"))),
+            429 | 503 => return Err(MelreqError::Overload { retry_after_s: 1 }),
+            504 => {
+                return Err(MelreqError::Timeout(format!("server timed out the run: {response}")))
+            }
+            s => return Err(io_err(format!("server answered HTTP {s}: {response}"))),
+        }
     }
+    Ok(out)
+}
+
+/// `melreq loadbench`: drive a running server with the deterministic
+/// open-loop generator, write the artifact, and optionally guard cached
+/// throughput against a committed baseline.
+#[allow(clippy::too_many_arguments)]
+fn cmd_loadbench(
+    addr: &str,
+    rps: f64,
+    conns: usize,
+    duration_s: f64,
+    seed: u64,
+    mix: &str,
+    out_path: &str,
+    guard: Option<&str>,
+    guard_ratio: f64,
+) -> Result<String, MelreqError> {
+    let cfg = melreq_loadgen::LoadConfig {
+        addr: addr.to_string(),
+        rps,
+        conns,
+        duration_s,
+        seed,
+        mix: mix.to_string(),
+    };
+    let report = melreq_loadgen::run(&cfg)?;
+    let artifact = melreq_loadgen::render_json(&cfg, &report);
+    std::fs::write(out_path, &artifact)
+        .map_err(|e| io_err(format!("cannot write {out_path}: {e}")))?;
+
+    // The artifact is written first so a failing guard still leaves its
+    // evidence; guard after (same contract as reproduce --guard).
+    let mut guard_line = String::new();
+    if let Some(gpath) = guard {
+        let base = std::fs::read_to_string(gpath)
+            .map_err(|e| io_err(format!("cannot read guard baseline {gpath}: {e}")))?;
+        guard_line = melreq_loadgen::guard_check(&artifact, &base, gpath, guard_ratio)?;
+        guard_line.push('\n');
+    }
+
+    let mut out = format!(
+        "loadbench against {addr}: {rps:.0} rps offered for {duration_s:.1} s per phase \
+         over {conns} connections (seed {seed}, mix {mix})\n\n"
+    );
+    let rows: Vec<Vec<String>> = report
+        .phases
+        .iter()
+        .map(|p| {
+            vec![
+                p.name.to_string(),
+                p.offered.to_string(),
+                p.completed_200.to_string(),
+                (p.http_429 + p.http_504).to_string(),
+                (p.http_5xx + p.transport_errors).to_string(),
+                (p.cache_responses + p.coalesced).to_string(),
+                format!("{:.1}", p.p50_ms),
+                format!("{:.1}", p.p99_ms),
+                format!("{:.1}", p.throughput_rps),
+            ]
+        })
+        .collect();
+    out.push_str(&format_table(
+        &["phase", "offered", "200", "shed", "errors", "cached", "p50 ms", "p99 ms", "rps"],
+        &rows,
+    ));
+    let _ = writeln!(
+        out,
+        "\ncached keep-alive throughput {:.1} rps vs cold per-connection {:.1} rps \
+         -> {:.1}x -> {out_path}",
+        report.cached_throughput_rps,
+        report.baseline_throughput_rps,
+        report.speedup_cached_vs_baseline
+    );
+    out.push_str(&guard_line);
+    Ok(out)
 }
 
 fn try_mix(name: &str) -> Result<Mix, MelreqError> {
@@ -1154,6 +1250,7 @@ pub fn run_command(cmd: &Command) -> Result<String, MelreqError> {
             no_store,
             timeout_ms,
             response_cache,
+            idle_timeout_ms,
         } => cmd_serve(
             addr,
             *workers,
@@ -1162,9 +1259,23 @@ pub fn run_command(cmd: &Command) -> Result<String, MelreqError> {
             *no_store,
             *timeout_ms,
             *response_cache,
+            *idle_timeout_ms,
         ),
-        Command::Client { verb, mix, policies, opts, audit, addr, timeout_ms } => {
-            cmd_client(verb, mix.as_deref(), policies, opts, *audit, addr, *timeout_ms)
+        Command::Client { verbs, mix, policies, opts, audit, addr, timeout_ms } => {
+            cmd_client(verbs, mix.as_deref(), policies, opts, *audit, addr, *timeout_ms)
+        }
+        Command::Loadbench { addr, rps, conns, duration_s, seed, mix, out, guard, guard_ratio } => {
+            cmd_loadbench(
+                addr,
+                *rps,
+                *conns,
+                *duration_s,
+                *seed,
+                mix,
+                out,
+                guard.as_deref(),
+                *guard_ratio,
+            )
         }
         Command::Analyze { json, fix_fingerprint, root, out } => {
             cmd_analyze(*json, *fix_fingerprint, root.as_deref(), out.as_deref())
@@ -1474,10 +1585,12 @@ mod tests {
     #[test]
     fn client_errors_without_a_server() {
         // Port 1 on localhost: connection refused, reported as I/O.
-        let e = cmd_client("health", None, &[], &quick(), false, "127.0.0.1:1", None).unwrap_err();
+        let e =
+            cmd_client(&["health".to_string()], None, &[], &quick(), false, "127.0.0.1:1", None)
+                .unwrap_err();
         assert_eq!(e.exit_code(), 3, "unreachable server is an I/O error: {e}");
         let e = cmd_client(
-            "run",
+            &["run".to_string()],
             Some("2MEM-1"),
             &[PolicySpec::Paper(PolicyKind::HfRf), PolicySpec::Fq],
             &quick(),

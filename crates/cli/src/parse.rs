@@ -159,12 +159,17 @@ pub enum Command {
         timeout_ms: Option<u64>,
         /// Response-cache capacity in entries (0 = off, the default).
         response_cache: usize,
+        /// Idle keep-alive connection timeout in milliseconds
+        /// (0 disables the sweep).
+        idle_timeout_ms: u64,
     },
     /// Talk to a running server: build the same typed request the local
-    /// commands use and POST it (or hit a GET endpoint).
+    /// commands use and POST it (or hit a GET endpoint). Several verbs
+    /// in one invocation share one keep-alive connection.
     Client {
-        /// `run`, `compare`, `health`, `metrics` or `shutdown`.
-        verb: String,
+        /// Verbs, executed in order on one connection: `run`, `compare`,
+        /// `health`, `metrics`, `shutdown` (at most one of run|compare).
+        verbs: Vec<String>,
         /// Table 3 mix name (run/compare).
         mix: Option<String>,
         /// Policies for run/compare.
@@ -177,6 +182,29 @@ pub enum Command {
         addr: String,
         /// Per-request wall-clock budget in milliseconds.
         timeout_ms: Option<u64>,
+    },
+    /// Drive a running server with the deterministic open-loop load
+    /// generator and write the `BENCH_serve.json` artifact.
+    Loadbench {
+        /// Server address.
+        addr: String,
+        /// Offered arrival rate, requests per second.
+        rps: f64,
+        /// Client connections (worker threads).
+        conns: usize,
+        /// Arrival-window length per phase, seconds.
+        duration_s: f64,
+        /// Arrival-process seed.
+        seed: u64,
+        /// Mix for the repeated request of the cached phase.
+        mix: String,
+        /// Artifact output path.
+        out: String,
+        /// Baseline artifact to guard cached throughput against.
+        guard: Option<String>,
+        /// Guard ratio: fail when cached throughput drops below
+        /// `baseline * R`.
+        guard_ratio: f64,
     },
     /// Run the workspace determinism & snapshot-coverage static
     /// analyzer (rules D01/D02/S01/S02/A01) over `crates/*/src`.
@@ -219,9 +247,14 @@ USAGE:
                    [--guard PATH [--guard-ratio R]] [common options]
   melreq serve [--addr H:P] [--workers N] [--queue-cap M] [--store DIR]
                [--no-store] [--timeout-ms N] [--response-cache N]
-  melreq client run|compare <MIX> [--policy NAME | --policies n1,...]
-               [--addr H:P] [--timeout-ms N] [common options]
-  melreq client health|metrics|shutdown [--addr H:P]
+               [--idle-timeout-ms N]
+  melreq client VERB... [--addr H:P] [--timeout-ms N] [common options]
+               where VERB is run <MIX> | compare <MIX> | health | metrics
+               | shutdown; several verbs share one keep-alive connection
+               (at most one of run|compare per invocation)
+  melreq loadbench [MIX] [--addr H:P] [--rps R] [--conns N]
+                   [--duration S] [--seed N] [--out PATH]
+                   [--guard PATH [--guard-ratio R]]
   melreq analyze [--json] [--fix-fingerprint] [--root DIR] [--out PATH]
   melreq config [--cores N]
   melreq help
@@ -266,8 +299,19 @@ COMMAND FLAGS:
             --no-store          run storeless (no warm-up reuse)
             --timeout-ms N      default per-request wall-clock budget
             --response-cache N  cache N rendered responses  (default 0=off)
+            --idle-timeout-ms N close idle keep-alive connections after N ms
+                                (default 30000; 0 = never)
   client    --addr H:P          server address      (default 127.0.0.1:7700)
             --timeout-ms N      request wall-clock budget (forwarded)
+  loadbench --addr H:P          server address      (default 127.0.0.1:7700)
+            --rps R             offered open-loop arrival rate (default 200)
+            --conns N           client connections/workers     (default 16)
+            --duration S        arrival window per phase, s   (default 2.0)
+            --seed N            arrival-process seed           (default 42)
+            --out PATH          load artifact        (BENCH_serve.json)
+            --guard PATH        baseline load artifact; exit nonzero when
+                                cached throughput drops below baseline*R
+            --guard-ratio R     load-guard ratio in (0,1]   (default 0.25)
   analyze   --json              versioned findings report instead of text
             --fix-fingerprint   regenerate snap.fingerprint from the tree
             --root DIR          workspace root (default: nearest ancestor
@@ -294,12 +338,32 @@ SERVICE:
   request the `melreq client` subcommand builds, execute it on a bounded
   worker pool sharing one profile cache and checkpoint store, and return
   `{\"cache\": ..., \"store\": ..., \"report\": ...}` where `report` is
-  byte-identical to `melreq run --json` for the same request. A full
+  byte-identical to `melreq run --json` for the same request. All
+  connections are served by one nonblocking event loop with keep-alive
+  and pipelining; idle connections close after --idle-timeout-ms. With
+  --response-cache N, repeated identical requests answer from an LRU of
+  rendered reports (`\"cache\":\"response\"`), and identical requests
+  arriving while one is already simulating coalesce onto that run
+  (`\"cache\":\"coalesced\"`) — same report bytes either way. A full
   queue answers 429 with Retry-After; per-request wall-clock budgets
   cancel runs at an epoch boundary (504); SIGTERM (or POST /shutdown)
   drains queued jobs before exiting. GET /healthz and /metrics
   (Prometheus text format) serve operators. Every machine-readable body
   carries schema_version; mismatched client requests are rejected.
+
+LOAD TESTING:
+  `melreq loadbench` drives a running server with a deterministic
+  open-loop arrival process (seeded exponential inter-arrivals; same
+  seed = byte-identical offered load, hashed into the artifact) and
+  runs two phases back to back: `baseline_close` opens a fresh
+  connection per unique request — the cold thread-per-connection
+  model — and `keepalive_cached` repeats one identical request over
+  persistent connections so the response cache and coalescing answer.
+  The artifact (BENCH_serve.json) records per-phase p50/p90/p95/p99
+  latency, throughput, 429/504/5xx and transport-error counts, and the
+  cached-over-baseline throughput speedup. --guard compares cached
+  throughput against a committed baseline artifact and exits nonzero
+  (timeout-class, code 6) below baseline*ratio.
 
 TRACING:
   `melreq trace` runs a mix with the deterministic trace collector on
@@ -383,6 +447,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut threads: Option<usize> = None;
     let mut guard: Option<String> = None;
     let mut guard_ratio = 0.25f64;
+    let mut idle_timeout_ms = 30_000u64;
+    let mut rps = 200.0f64;
+    let mut conns = 16usize;
+    let mut duration_s = 2.0f64;
+    let mut seed = 42u64;
 
     while let Some(a) = it.next() {
         let mut val = |name: &str| -> Result<&String, String> {
@@ -477,6 +546,32 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     .parse()
                     .map_err(|e| format!("--response-cache: {e}"))?;
             }
+            "--idle-timeout-ms" => {
+                idle_timeout_ms = val("--idle-timeout-ms")?
+                    .parse()
+                    .map_err(|e| format!("--idle-timeout-ms: {e}"))?;
+            }
+            "--rps" => {
+                rps = val("--rps")?.parse().map_err(|e| format!("--rps: {e}"))?;
+                if !(rps > 0.0 && rps.is_finite()) {
+                    return Err("--rps must be positive".to_string());
+                }
+            }
+            "--conns" => {
+                conns = val("--conns")?.parse().map_err(|e| format!("--conns: {e}"))?;
+                if conns == 0 {
+                    return Err("--conns must be positive".to_string());
+                }
+            }
+            "--duration" => {
+                duration_s = val("--duration")?.parse().map_err(|e| format!("--duration: {e}"))?;
+                if !(duration_s > 0.0 && duration_s.is_finite()) {
+                    return Err("--duration must be positive".to_string());
+                }
+            }
+            "--seed" => {
+                seed = val("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?;
+            }
             flag if flag.starts_with("--") => return Err(format!("unknown flag '{flag}'")),
             pos => positional.push(pos.to_string()),
         }
@@ -560,31 +655,69 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             no_store,
             timeout_ms,
             response_cache,
+            idle_timeout_ms,
         }),
         "client" => {
-            let verb = positional
-                .first()
-                .ok_or("client needs a verb: run, compare, health, metrics or shutdown")?
-                .clone();
-            if !matches!(verb.as_str(), "run" | "compare" | "health" | "metrics" | "shutdown") {
-                return Err(format!(
-                    "unknown client verb '{verb}' (run, compare, health, metrics, shutdown)"
-                ));
+            if positional.is_empty() {
+                return Err(
+                    "client needs at least one verb: run, compare, health, metrics or shutdown"
+                        .to_string(),
+                );
             }
-            let mix = positional.get(1).cloned();
-            if matches!(verb.as_str(), "run" | "compare") && mix.is_none() {
-                return Err(format!("client {verb} needs a workload mix name (e.g. 4MEM-1)"));
+            // Positionals are verbs in execution order; `run` and
+            // `compare` consume the next positional as their mix.
+            let mut verbs: Vec<String> = Vec::new();
+            let mut mix: Option<String> = None;
+            let mut pos = positional.iter().peekable();
+            while let Some(verb) = pos.next() {
+                match verb.as_str() {
+                    "run" | "compare" => {
+                        if verbs.iter().any(|v| matches!(v.as_str(), "run" | "compare")) {
+                            return Err("client takes at most one of run|compare per invocation"
+                                .to_string());
+                        }
+                        let Some(m) = pos.next() else {
+                            return Err(format!(
+                                "client {verb} needs a workload mix name (e.g. 4MEM-1)"
+                            ));
+                        };
+                        mix = Some(m.clone());
+                        verbs.push(verb.clone());
+                    }
+                    "health" | "metrics" | "shutdown" => verbs.push(verb.clone()),
+                    other => {
+                        return Err(format!(
+                            "unknown client verb '{other}' (run, compare, health, metrics, \
+                             shutdown)"
+                        ));
+                    }
+                }
             }
+            let wants_compare = verbs.iter().any(|v| v == "compare");
             let policies = if let Some(p) = policy {
                 vec![p]
-            } else if policies.is_empty() && verb == "compare" {
+            } else if policies.is_empty() && wants_compare {
                 default_policies()
             } else if policies.is_empty() {
                 vec![PolicySpec::Paper(PolicyKind::MeLreq)]
             } else {
                 policies
             };
-            Ok(Command::Client { verb, mix, policies, opts, audit, addr, timeout_ms })
+            Ok(Command::Client { verbs, mix, policies, opts, audit, addr, timeout_ms })
+        }
+        "loadbench" => {
+            let mix = positional.first().cloned().unwrap_or_else(|| "2MEM-1".to_string());
+            Ok(Command::Loadbench {
+                addr,
+                rps,
+                conns,
+                duration_s,
+                seed,
+                mix,
+                out: out.unwrap_or_else(|| "BENCH_serve.json".to_string()),
+                guard,
+                guard_ratio,
+            })
         }
         "analyze" => Ok(Command::Analyze { json, fix_fingerprint, root, out }),
         "config" => Ok(Command::Config { cores }),
@@ -774,9 +907,11 @@ mod tests {
                 no_store,
                 timeout_ms,
                 response_cache,
+                idle_timeout_ms,
             } => {
                 assert_eq!(addr, "127.0.0.1:7700");
                 assert_eq!((workers, queue_cap, response_cache), (2, 16, 0));
+                assert_eq!(idle_timeout_ms, 30_000);
                 assert!(store.is_none() && !no_store && timeout_ms.is_none());
             }
             c => panic!("wrong command {c:?}"),
@@ -794,6 +929,8 @@ mod tests {
             "2500",
             "--response-cache",
             "32",
+            "--idle-timeout-ms",
+            "0",
         ]))
         .unwrap()
         {
@@ -804,12 +941,14 @@ mod tests {
                 no_store,
                 timeout_ms,
                 response_cache,
+                idle_timeout_ms,
                 ..
             } => {
                 assert_eq!(addr, "127.0.0.1:0");
                 assert_eq!((workers, queue_cap, response_cache), (4, 8, 32));
                 assert!(no_store);
                 assert_eq!(timeout_ms, Some(2500));
+                assert_eq!(idle_timeout_ms, 0);
             }
             c => panic!("wrong command {c:?}"),
         }
@@ -818,12 +957,77 @@ mod tests {
     }
 
     #[test]
+    fn loadbench_parses_flags_and_defaults() {
+        match parse_args(&v(&["loadbench"])).unwrap() {
+            Command::Loadbench { addr, rps, conns, duration_s, seed, mix, out, guard, .. } => {
+                assert_eq!(addr, "127.0.0.1:7700");
+                assert!((rps - 200.0).abs() < 1e-12);
+                assert_eq!(conns, 16);
+                assert!((duration_s - 2.0).abs() < 1e-12);
+                assert_eq!(seed, 42);
+                assert_eq!(mix, "2MEM-1");
+                assert_eq!(out, "BENCH_serve.json");
+                assert!(guard.is_none());
+            }
+            c => panic!("wrong command {c:?}"),
+        }
+        match parse_args(&v(&[
+            "loadbench",
+            "4MEM-1",
+            "--addr",
+            "h:9",
+            "--rps",
+            "500",
+            "--conns",
+            "64",
+            "--duration",
+            "1.5",
+            "--seed",
+            "7",
+            "--out",
+            "x.json",
+            "--guard",
+            "BENCH_serve.json",
+            "--guard-ratio",
+            "0.1",
+        ]))
+        .unwrap()
+        {
+            Command::Loadbench {
+                addr,
+                rps,
+                conns,
+                duration_s,
+                seed,
+                mix,
+                out,
+                guard,
+                guard_ratio,
+            } => {
+                assert_eq!(
+                    (addr.as_str(), mix.as_str(), out.as_str()),
+                    ("h:9", "4MEM-1", "x.json")
+                );
+                assert!((rps - 500.0).abs() < 1e-12);
+                assert_eq!((conns, seed), (64, 7));
+                assert!((duration_s - 1.5).abs() < 1e-12);
+                assert_eq!(guard.as_deref(), Some("BENCH_serve.json"));
+                assert!((guard_ratio - 0.1).abs() < 1e-12);
+            }
+            c => panic!("wrong command {c:?}"),
+        }
+        assert!(parse_args(&v(&["loadbench", "--rps", "0"])).is_err());
+        assert!(parse_args(&v(&["loadbench", "--conns", "0"])).is_err());
+        assert!(parse_args(&v(&["loadbench", "--duration", "0"])).is_err());
+    }
+
+    #[test]
     fn client_parses_verbs_and_validates() {
         match parse_args(&v(&["client", "run", "4MEM-1", "--policy", "lreq", "--addr", "h:1"]))
             .unwrap()
         {
-            Command::Client { verb, mix, policies, addr, .. } => {
-                assert_eq!(verb, "run");
+            Command::Client { verbs, mix, policies, addr, .. } => {
+                assert_eq!(verbs, vec!["run".to_string()]);
                 assert_eq!(mix.as_deref(), Some("4MEM-1"));
                 assert_eq!(policies.len(), 1);
                 assert_eq!(policies[0].name(), "LREQ");
@@ -832,15 +1036,15 @@ mod tests {
             c => panic!("wrong command {c:?}"),
         }
         match parse_args(&v(&["client", "compare", "2MEM-1"])).unwrap() {
-            Command::Client { verb, policies, .. } => {
-                assert_eq!(verb, "compare");
+            Command::Client { verbs, policies, .. } => {
+                assert_eq!(verbs, vec!["compare".to_string()]);
                 assert_eq!(policies.len(), 5, "compare defaults to the Figure 2 set");
             }
             c => panic!("wrong command {c:?}"),
         }
         match parse_args(&v(&["client", "health"])).unwrap() {
-            Command::Client { verb, mix, .. } => {
-                assert_eq!(verb, "health");
+            Command::Client { verbs, mix, .. } => {
+                assert_eq!(verbs, vec!["health".to_string()]);
                 assert!(mix.is_none());
             }
             c => panic!("wrong command {c:?}"),
@@ -848,6 +1052,30 @@ mod tests {
         assert!(parse_args(&v(&["client"])).is_err());
         assert!(parse_args(&v(&["client", "bogus"])).is_err());
         assert!(parse_args(&v(&["client", "run"])).is_err());
+    }
+
+    #[test]
+    fn client_chains_verbs_on_one_invocation() {
+        match parse_args(&v(&["client", "health", "run", "4MEM-1", "metrics"])).unwrap() {
+            Command::Client { verbs, mix, .. } => {
+                assert_eq!(verbs, vec!["health".to_string(), "run".into(), "metrics".into()]);
+                assert_eq!(mix.as_deref(), Some("4MEM-1"));
+            }
+            c => panic!("wrong command {c:?}"),
+        }
+        // The mix positional belongs to run/compare, not to the verb list.
+        match parse_args(&v(&["client", "compare", "2MEM-1", "metrics", "shutdown"])).unwrap() {
+            Command::Client { verbs, mix, .. } => {
+                assert_eq!(verbs, vec!["compare".to_string(), "metrics".into(), "shutdown".into()]);
+                assert_eq!(mix.as_deref(), Some("2MEM-1"));
+            }
+            c => panic!("wrong command {c:?}"),
+        }
+        // At most one simulation verb per invocation (one mix slot).
+        assert!(parse_args(&v(&["client", "run", "4MEM-1", "run", "2MEM-1"])).is_err());
+        assert!(parse_args(&v(&["client", "run", "4MEM-1", "compare", "2MEM-1"])).is_err());
+        // A trailing run/compare still needs its mix.
+        assert!(parse_args(&v(&["client", "health", "run"])).is_err());
     }
 
     #[test]
@@ -948,6 +1176,11 @@ mod tests {
             "--threads",
             "--guard",
             "--guard-ratio",
+            "--idle-timeout-ms",
+            "--rps",
+            "--conns",
+            "--duration",
+            "--seed",
         ] {
             assert!(USAGE.contains(flag), "USAGE must document {flag}");
         }

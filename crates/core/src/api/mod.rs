@@ -442,10 +442,19 @@ impl SimRequest {
     }
 
     /// A stable 64-bit key over [`SimRequest::canonical_string`]
-    /// (schema-versioned via `melreq_snap::keyed`) — the service's
-    /// response-cache key.
+    /// (schema-versioned via `melreq_snap::keyed`) — a compact request
+    /// fingerprint for logs and quick lookups.
     pub fn request_key(&self) -> u64 {
         melreq_snap::keyed("request", &self.canonical_string())
+    }
+
+    /// The full schema-versioned canonical identity bytes — the
+    /// service's response-cache and request-coalescing key. Unlike
+    /// [`SimRequest::request_key`] this is collision-free by
+    /// construction: two requests map to the same entry iff their
+    /// canonical strings are byte-identical under the same schema.
+    pub fn canonical_bytes(&self) -> String {
+        format!("v{SCHEMA_VERSION};{}", self.canonical_string())
     }
 }
 
@@ -887,6 +896,16 @@ mod tests {
         let f0 = SimRequest::new("4MEM-1").policy(PolicyChoice::parse("fix-0123").unwrap());
         let f3 = SimRequest::new("4MEM-1").policy(PolicyChoice::parse("fix-3210").unwrap());
         assert_ne!(f0.request_key(), f3.request_key());
+    }
+
+    #[test]
+    fn canonical_bytes_are_schema_versioned_and_track_identity() {
+        let a = quick_request("me-lreq");
+        assert!(a.canonical_bytes().starts_with(&format!("v{SCHEMA_VERSION};")));
+        assert!(a.canonical_bytes().ends_with(&a.canonical_string()));
+        // Wall-clock budget is not identity; cycle budget is.
+        assert_eq!(a.canonical_bytes(), a.clone().timeout_ms(5).canonical_bytes());
+        assert_ne!(a.canonical_bytes(), a.clone().max_cycles(1 << 30).canonical_bytes());
     }
 
     #[test]

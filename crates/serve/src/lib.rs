@@ -1,15 +1,23 @@
 //! # melreq-serve — the simulator as a service
 //!
-//! A dependency-free (std-only) threaded HTTP/1.1 front end over the
-//! typed facade (`melreq_core::api`): POST a [`SimRequest`] body to
-//! `/run` (exactly one policy) or `/compare` (one or more), and a
-//! worker pool executes it through the same [`Session`] the CLI uses —
+//! A dependency-free (std-only) HTTP/1.1 front end over the typed
+//! facade (`melreq_core::api`): POST a [`SimRequest`] body to `/run`
+//! (exactly one policy) or `/compare` (one or more), and a worker pool
+//! executes it through the same [`Session`] the CLI uses —
 //! fork-per-policy warm-up sharing, the persistent checkpoint store,
 //! and byte-deterministic reports. The `"report"` field of a `/run`
 //! response is **bit-identical** to `melreq run --json` for the same
 //! request (pinned by the golden service test); provenance that may
 //! vary run-to-run (cache status, wall time, store statistics) lives in
 //! the response envelope around it.
+//!
+//! Connection handling is a single nonblocking event loop
+//! ([`poll::Poller`]: epoll on Linux, `poll(2)` elsewhere on Unix) with
+//! HTTP/1.1 keep-alive, pipelined request parsing on a reusable
+//! per-connection buffer, and idle-connection timeouts; only the
+//! simulations themselves run on the bounded worker pool, which hands
+//! finished responses back to the loop through a completion queue and a
+//! pipe-based waker.
 //!
 //! Robustness model:
 //!
@@ -18,14 +26,23 @@
 //! * **Deadlines** — per-request wall-clock budgets (`timeout_ms`, or
 //!   the server default); expired runs are cancelled cooperatively at a
 //!   simulation epoch boundary and answer `504`.
+//! * **Caching + coalescing** — an opt-in LRU response cache keyed by
+//!   the canonical schema-versioned request bytes
+//!   ([`SimRequest::canonical_bytes`]) answers repeats without touching
+//!   the pool (`"cache":"response"`), and concurrent identical requests
+//!   coalesce onto one in-flight simulation, every follower receiving
+//!   the same report bytes (`"cache":"coalesced"`).
 //! * **Graceful drain** — SIGTERM (via [`install_sigterm`]), POST
-//!   `/shutdown`, or [`ServerHandle::shutdown`] stop the acceptor,
-//!   finish every queued job, and only then let the process exit.
+//!   `/shutdown`, or [`ServerHandle::shutdown`] stop accepting, finish
+//!   every admitted job, flush every response, and only then let the
+//!   process exit.
 //! * **Introspection** — `GET /healthz` and Prometheus text metrics on
 //!   `GET /metrics` (request/response/rejection/timeout counters, queue
-//!   depth, simulated cycles, checkpoint-store hit/miss statistics).
+//!   depth and in-flight gauges, connection and cache/coalescing
+//!   counters, simulated cycles, checkpoint-store statistics).
 
 pub mod http;
+pub mod poll;
 
 use melreq_core::api::json::esc;
 use melreq_core::api::{MelreqError, Session, SimRequest, SCHEMA_VERSION};
@@ -33,21 +50,41 @@ use melreq_core::experiment::RunControl;
 use melreq_core::store::CheckpointStore;
 use melreq_core::system::CancelToken;
 use melreq_obs::metrics::{Counter, Gauge, MetricKind, Registry};
-use std::collections::VecDeque;
+use poll::{Interest, Poller, WakeHandle, Waker};
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Largest accepted request body.
 const MAX_BODY: usize = 1 << 20;
 
-/// Per-connection socket timeout (parse and respond within this).
-const SOCKET_TIMEOUT: Duration = Duration::from_secs(10);
+/// Hard ceiling on buffered-but-unparsed bytes per connection (one
+/// maximal body plus headroom for pipelined heads).
+const MAX_CONN_BUF: usize = MAX_BODY + 32 * 1024;
 
 /// `Retry-After` seconds suggested on queue overflow.
 const RETRY_AFTER_S: u64 = 1;
+
+/// Longest the event loop sleeps in the poller — the tick driving idle
+/// sweeps, drain progress, and SIGTERM polling.
+const TICK_MS: i32 = 100;
+
+const LISTENER_TOKEN: u64 = 0;
+const WAKER_TOKEN: u64 = 1;
+const FIRST_CONN_TOKEN: u64 = 2;
+
+#[cfg(unix)]
+fn raw_fd(s: &impl std::os::fd::AsRawFd) -> i32 {
+    s.as_raw_fd()
+}
+#[cfg(not(unix))]
+fn raw_fd<T>(_: &T) -> i32 {
+    -1
+}
 
 /// Server configuration (`melreq serve` flags map 1:1 onto this).
 #[derive(Debug, Clone)]
@@ -65,6 +102,9 @@ pub struct ServeConfig {
     /// Response-cache capacity in entries; 0 disables it (the default —
     /// repeats then exercise the checkpoint store instead).
     pub response_cache: usize,
+    /// Close keep-alive connections idle longer than this; 0 disables
+    /// the sweep. Connections with a simulation in flight are exempt.
+    pub idle_timeout_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -76,6 +116,7 @@ impl Default for ServeConfig {
             store_dir: None,
             default_timeout_ms: None,
             response_cache: 0,
+            idle_timeout_ms: 30_000,
         }
     }
 }
@@ -96,10 +137,23 @@ impl Endpoint {
     }
 }
 
+/// One admitted simulation, owned by the worker pool. The connection is
+/// referenced by token only — the event loop keeps the socket.
 struct Job {
-    stream: TcpStream,
+    token: u64,
+    /// Canonical identity bytes ([`SimRequest::canonical_bytes`]) — the
+    /// coalescing and response-cache key.
+    key: String,
     req: SimRequest,
     deadline: Option<Instant>,
+}
+
+/// A finished job (or error), handed from a worker back to the event
+/// loop for delivery.
+struct Completion {
+    token: u64,
+    status: u16,
+    body: String,
 }
 
 struct Metrics {
@@ -109,8 +163,15 @@ struct Metrics {
     rejected: Arc<Counter>,
     timeouts: Arc<Counter>,
     queue_depth: Arc<Gauge>,
+    inflight_requests: Arc<Gauge>,
+    open_connections: Arc<Gauge>,
+    connections_total: Arc<Counter>,
     sim_cycles: Arc<Counter>,
-    response_cache_hits: Arc<Counter>,
+    simulations: Arc<Counter>,
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
+    cache_evictions: Arc<Counter>,
+    coalesced: Arc<Counter>,
 }
 
 impl Metrics {
@@ -142,11 +203,33 @@ impl Metrics {
             .counter("melreq_timeouts_total", "Requests that exceeded their wall-clock deadline.");
         let queue_depth =
             registry.gauge("melreq_queue_depth", "Jobs waiting in the bounded queue.");
+        let inflight_requests = registry.gauge(
+            "melreq_inflight_requests",
+            "Simulation requests admitted (queued, running, or coalesced) and not yet answered.",
+        );
+        let open_connections = registry
+            .gauge("melreq_open_connections", "Connections currently held by the event loop.");
+        let connections_total =
+            registry.counter("melreq_connections_total", "Connections accepted since start.");
         let sim_cycles = registry
             .counter("melreq_sim_cycles_total", "Simulated cycles executed on behalf of requests.");
-        let response_cache_hits = registry.counter(
-            "melreq_response_cache_hits_total",
-            "Requests answered from the response cache.",
+        let simulations = registry.counter(
+            "melreq_simulations_total",
+            "Simulations actually executed by the worker pool (cached and coalesced requests excluded).",
+        );
+        let cache_hits = registry
+            .counter("melreq_serve_cache_hits_total", "Requests answered from the response cache.");
+        let cache_misses = registry.counter(
+            "melreq_serve_cache_misses_total",
+            "Cache-enabled requests that missed the response cache.",
+        );
+        let cache_evictions = registry.counter(
+            "melreq_serve_cache_evictions_total",
+            "Entries evicted from the response cache (LRU, bounded capacity).",
+        );
+        let coalesced = registry.counter(
+            "melreq_serve_coalesced_total",
+            "Requests coalesced onto an identical in-flight simulation.",
         );
         Metrics {
             registry,
@@ -155,8 +238,15 @@ impl Metrics {
             rejected,
             timeouts,
             queue_depth,
+            inflight_requests,
+            open_connections,
+            connections_total,
             sim_cycles,
-            response_cache_hits,
+            simulations,
+            cache_hits,
+            cache_misses,
+            cache_evictions,
+            coalesced,
         }
     }
 
@@ -173,6 +263,50 @@ impl Metrics {
     }
 }
 
+/// Bounded LRU over `(canonical request bytes → report bytes)`. The
+/// stored value is the deterministic report JSON only — envelopes are
+/// rendered per response, so `"cache":"response"` answers stay
+/// byte-identical to a cold `/run` in their `"report"` field.
+struct ResponseCache {
+    cap: usize,
+    /// Front = most recently used.
+    entries: VecDeque<(String, Arc<String>)>,
+}
+
+impl ResponseCache {
+    fn new(cap: usize) -> Self {
+        ResponseCache { cap, entries: VecDeque::new() }
+    }
+
+    fn get(&mut self, key: &str) -> Option<Arc<String>> {
+        let pos = self.entries.iter().position(|(k, _)| k == key)?;
+        let entry = self.entries.remove(pos).expect("position is in range");
+        let report = entry.1.clone();
+        self.entries.push_front(entry);
+        Some(report)
+    }
+
+    /// Insert (or refresh) an entry; returns how many entries the
+    /// capacity bound evicted.
+    fn insert(&mut self, key: String, report: Arc<String>) -> u64 {
+        if self.cap == 0 {
+            return 0;
+        }
+        if let Some(pos) = self.entries.iter().position(|(k, _)| *k == key) {
+            let entry = self.entries.remove(pos).expect("position is in range");
+            self.entries.push_front(entry);
+            return 0;
+        }
+        self.entries.push_front((key, report));
+        let mut evicted = 0u64;
+        while self.entries.len() > self.cap {
+            self.entries.pop_back();
+            evicted += 1;
+        }
+        evicted
+    }
+}
+
 struct Shared {
     cfg: ServeConfig,
     session: Session,
@@ -180,7 +314,17 @@ struct Shared {
     cond: Condvar,
     draining: AtomicBool,
     metrics: Metrics,
-    response_cache: Mutex<VecDeque<(u64, String)>>,
+    response_cache: Mutex<ResponseCache>,
+    /// In-flight coalescing registry: canonical request bytes → tokens
+    /// of follower connections waiting on the leader's run. An entry
+    /// exists exactly while a job for that key is queued or executing.
+    coalesce: Mutex<BTreeMap<String, Vec<u64>>>,
+    /// Finished jobs awaiting delivery by the event loop.
+    completions: Mutex<VecDeque<Completion>>,
+    /// Jobs admitted to the queue whose completions have not been
+    /// published yet (drain barrier).
+    jobs_outstanding: AtomicUsize,
+    waker: WakeHandle,
 }
 
 /// A running server: bound address plus the thread handles needed to
@@ -189,7 +333,7 @@ struct Shared {
 pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
-    acceptor: std::thread::JoinHandle<()>,
+    event_loop: std::thread::JoinHandle<()>,
     workers: Vec<std::thread::JoinHandle<()>>,
 }
 
@@ -199,24 +343,25 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Begin a graceful drain: stop accepting, let workers finish the
-    /// queue. Idempotent; returns immediately.
+    /// Begin a graceful drain: stop accepting, let workers finish every
+    /// admitted job. Idempotent; returns immediately.
     pub fn shutdown(&self) {
         self.shared.draining.store(true, Ordering::SeqCst);
         self.shared.cond.notify_all();
+        self.shared.waker.wake();
     }
 
-    /// Wait for the acceptor and every worker to exit (the queue is
-    /// fully drained once this returns).
+    /// Wait for the event loop and every worker to exit (all admitted
+    /// work is answered and flushed once this returns).
     pub fn join(self) {
-        let _ = self.acceptor.join();
+        let _ = self.event_loop.join();
         for w in self.workers {
             let _ = w.join();
         }
     }
 }
 
-/// Bind, spawn the worker pool and the acceptor, and return.
+/// Bind, spawn the worker pool and the event loop, and return.
 pub fn start(cfg: ServeConfig) -> Result<ServerHandle, MelreqError> {
     let session = match &cfg.store_dir {
         Some(dir) => {
@@ -252,6 +397,16 @@ pub fn start(cfg: ServeConfig) -> Result<ServerHandle, MelreqError> {
         }
     }
 
+    let mut poller = Poller::new().map_err(|e| MelreqError::Io(format!("poller: {e}")))?;
+    let (waker, wake_handle) =
+        poll::wake_pair().map_err(|e| MelreqError::Io(format!("wake pipe: {e}")))?;
+    poller
+        .add(raw_fd(&listener), LISTENER_TOKEN, Interest::Read)
+        .map_err(|e| MelreqError::Io(format!("register listener: {e}")))?;
+    poller
+        .add(waker.fd(), WAKER_TOKEN, Interest::Read)
+        .map_err(|e| MelreqError::Io(format!("register waker: {e}")))?;
+
     let shared = Arc::new(Shared {
         cfg: cfg.clone(),
         session,
@@ -259,7 +414,11 @@ pub fn start(cfg: ServeConfig) -> Result<ServerHandle, MelreqError> {
         cond: Condvar::new(),
         draining: AtomicBool::new(false),
         metrics,
-        response_cache: Mutex::new(VecDeque::new()),
+        response_cache: Mutex::new(ResponseCache::new(cfg.response_cache)),
+        coalesce: Mutex::new(BTreeMap::new()),
+        completions: Mutex::new(VecDeque::new()),
+        jobs_outstanding: AtomicUsize::new(0),
+        waker: wake_handle,
     });
 
     let workers = (0..cfg.workers.max(1))
@@ -271,14 +430,21 @@ pub fn start(cfg: ServeConfig) -> Result<ServerHandle, MelreqError> {
                 .expect("spawn worker thread")
         })
         .collect();
-    let acceptor = {
-        let shared = shared.clone();
+    let event_loop = {
+        let state = EventLoop {
+            shared: shared.clone(),
+            poller,
+            waker,
+            listener: Some(listener),
+            conns: BTreeMap::new(),
+            next_token: FIRST_CONN_TOKEN,
+        };
         std::thread::Builder::new()
-            .name("melreq-acceptor".to_string())
-            .spawn(move || accept_loop(&listener, &shared))
-            .expect("spawn acceptor thread")
+            .name("melreq-netio".to_string())
+            .spawn(move || state.run())
+            .expect("spawn event-loop thread")
     };
-    Ok(ServerHandle { addr, shared, acceptor, workers })
+    Ok(ServerHandle { addr, shared, event_loop, workers })
 }
 
 /// Run a server in the foreground until it drains (SIGTERM, or POST
@@ -292,86 +458,496 @@ pub fn serve_forever(cfg: ServeConfig) -> Result<String, MelreqError> {
     };
     let handle = start(cfg.clone())?;
     println!(
-        "melreq-serve listening on {} ({} workers, queue {}, {})",
+        "melreq-serve listening on {} ({} workers, queue {}, cache {}, {})",
         handle.addr(),
         cfg.workers.max(1),
         cfg.queue_cap,
+        cfg.response_cache,
         store_note
     );
     handle.join();
     Ok("melreq-serve drained cleanly".to_string())
 }
 
-fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
-    loop {
-        if shared.draining.load(Ordering::SeqCst) || sigterm_received() {
-            break;
-        }
-        match listener.accept() {
-            Ok((stream, _)) => handle_connection(stream, shared),
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(20));
-            }
-            Err(_) => break,
-        }
-    }
-    // Drain: wake every worker so they can observe the flag.
-    shared.draining.store(true, Ordering::SeqCst);
-    shared.cond.notify_all();
+/// Per-connection event-loop state. `rbuf` accumulates unparsed input
+/// (possibly several pipelined requests); `wbuf`/`wpos` hold rendered
+/// but unflushed responses.
+struct Conn {
+    stream: TcpStream,
+    rbuf: Vec<u8>,
+    wbuf: Vec<u8>,
+    wpos: usize,
+    /// One simulation request outstanding (leader or coalesced
+    /// follower); parsing pauses until its response is sent, which
+    /// keeps pipelined responses in order.
+    busy: bool,
+    /// The current request asked for `Connection: close`.
+    close_requested: bool,
+    /// Close once `wbuf` is fully flushed.
+    close_after_write: bool,
+    /// Peer closed its write side (EOF seen).
+    read_closed: bool,
+    /// Write interest currently registered in the poller.
+    want_write: bool,
+    last_activity: Instant,
 }
 
-fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
-    let _ = stream.set_read_timeout(Some(SOCKET_TIMEOUT));
-    let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
-    let request = match http::read_request(&mut stream, MAX_BODY) {
-        Ok(r) => r,
-        Err(e) => {
-            respond_error(&mut stream, shared, &MelreqError::Usage(format!("bad request: {e}")));
-            return;
+impl Conn {
+    fn new(stream: TcpStream) -> Self {
+        Conn {
+            stream,
+            rbuf: Vec::new(),
+            wbuf: Vec::new(),
+            wpos: 0,
+            busy: false,
+            close_requested: false,
+            close_after_write: false,
+            read_closed: false,
+            want_write: false,
+            last_activity: Instant::now(),
         }
-    };
+    }
+}
 
-    match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => {
-            shared.metrics.count_request("healthz");
-            let body = format!(
-                "{{\"status\":\"ok\",\"schema_version\":{SCHEMA_VERSION},\"queue_depth\":{}}}",
-                shared.queue.lock().expect("queue poisoned").len()
-            );
-            respond(&mut stream, shared, 200, "application/json", &[], &body);
+enum FlushOutcome {
+    /// Everything written; close if that was requested.
+    Flushed,
+    /// Socket buffer full; need write readiness.
+    Pending,
+    /// Connection is unusable.
+    Dead,
+}
+
+struct EventLoop {
+    shared: Arc<Shared>,
+    poller: Poller,
+    waker: Waker,
+    listener: Option<TcpListener>,
+    conns: BTreeMap<u64, Conn>,
+    next_token: u64,
+}
+
+impl EventLoop {
+    fn run(mut self) {
+        let mut events: Vec<poll::Event> = Vec::new();
+        loop {
+            if sigterm_received() || self.shared.draining.load(Ordering::SeqCst) {
+                self.begin_drain();
+                if self.drained() {
+                    break;
+                }
+            }
+            if self.poller.wait(&mut events, TICK_MS).is_err() {
+                break;
+            }
+            for ev in &events {
+                match ev.token {
+                    LISTENER_TOKEN => self.accept_ready(),
+                    WAKER_TOKEN => self.waker.drain(),
+                    token => {
+                        if ev.readable {
+                            self.on_readable(token);
+                        }
+                        if ev.writable {
+                            self.on_writable(token);
+                        }
+                        if ev.hangup {
+                            self.on_hangup(token);
+                        }
+                    }
+                }
+            }
+            self.drain_completions();
+            self.sweep_idle();
         }
-        ("GET", "/metrics") => {
-            shared.metrics.count_request("metrics");
-            let body = shared.metrics.registry.render();
-            respond(&mut stream, shared, 200, "text/plain; version=0.0.4", &[], &body);
+        // Exit: make sure workers observe the drain too.
+        self.shared.draining.store(true, Ordering::SeqCst);
+        self.shared.cond.notify_all();
+    }
+
+    /// Idempotent drain entry: stop accepting, wake workers, drop
+    /// connections with nothing pending.
+    fn begin_drain(&mut self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        self.shared.cond.notify_all();
+        if let Some(listener) = self.listener.take() {
+            let _ = self.poller.remove(raw_fd(&listener));
         }
-        ("POST", "/shutdown") => {
-            shared.metrics.count_request("shutdown");
-            shared.draining.store(true, Ordering::SeqCst);
-            shared.cond.notify_all();
-            respond(&mut stream, shared, 200, "application/json", &[], "{\"status\":\"draining\"}");
+        let idle: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| !c.busy && c.wbuf.is_empty())
+            .map(|(t, _)| *t)
+            .collect();
+        for token in idle {
+            self.close_conn(token);
         }
-        ("POST", path @ ("/run" | "/compare")) => {
-            let endpoint = if path == "/run" { Endpoint::Run } else { Endpoint::Compare };
-            shared.metrics.count_request(endpoint.as_str());
-            match parse_sim_request(&request.body, endpoint) {
-                Ok(req) => enqueue(stream, req, shared),
-                Err(e) => respond_error(&mut stream, shared, &e),
+    }
+
+    /// All admitted work answered and flushed?
+    fn drained(&self) -> bool {
+        self.shared.jobs_outstanding.load(Ordering::SeqCst) == 0
+            && self.shared.completions.lock().expect("completions poisoned").is_empty()
+            && self.conns.values().all(|c| c.wbuf.is_empty() && !c.busy)
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            let Some(listener) = &self.listener else { return };
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    if self.poller.add(raw_fd(&stream), token, Interest::Read).is_err() {
+                        continue;
+                    }
+                    self.shared.metrics.connections_total.inc();
+                    self.shared.metrics.open_connections.inc();
+                    self.conns.insert(token, Conn::new(stream));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
             }
         }
-        (_, "/healthz" | "/metrics" | "/shutdown" | "/run" | "/compare") => {
-            respond(
-                &mut stream,
-                shared,
-                405,
-                "application/json",
-                &[],
-                &error_body(405, "usage", "method not allowed"),
-            );
+    }
+
+    fn on_readable(&mut self, token: u64) {
+        let mut dead = false;
+        {
+            let Some(conn) = self.conns.get_mut(&token) else { return };
+            let mut chunk = [0u8; 8192];
+            loop {
+                match conn.stream.read(&mut chunk) {
+                    Ok(0) => {
+                        conn.read_closed = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.rbuf.extend_from_slice(&chunk[..n]);
+                        if conn.rbuf.len() > MAX_CONN_BUF {
+                            dead = true;
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        dead = true;
+                        break;
+                    }
+                }
+            }
+            conn.last_activity = Instant::now();
         }
-        (_, path) => {
-            let body = error_body(404, "usage", &format!("unknown endpoint '{path}'"));
-            respond(&mut stream, shared, 404, "application/json", &[], &body);
+        if dead {
+            self.close_conn(token);
+            return;
+        }
+        self.advance(token);
+    }
+
+    fn on_writable(&mut self, token: u64) {
+        self.flush(token);
+    }
+
+    fn on_hangup(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else { return };
+        conn.read_closed = true;
+        // A busy connection keeps its socket: the response may still be
+        // deliverable, and the completion path needs the token.
+        if !conn.busy && conn.wbuf.is_empty() {
+            self.close_conn(token);
+        }
+    }
+
+    /// Parse every complete pipelined request the connection is allowed
+    /// to start (at most one simulation in flight per connection), then
+    /// flush.
+    fn advance(&mut self, token: u64) {
+        loop {
+            let Some(conn) = self.conns.get_mut(&token) else { return };
+            if conn.busy || conn.close_after_write {
+                break;
+            }
+            match http::parse_request(&conn.rbuf, MAX_BODY) {
+                Ok(None) => break,
+                Ok(Some((request, consumed))) => {
+                    conn.rbuf.drain(..consumed);
+                    if request.close {
+                        conn.close_requested = true;
+                    }
+                    self.dispatch(token, &request);
+                }
+                Err(e) => {
+                    let body = error_body(400, "usage", &format!("bad request: {e}"));
+                    self.send_close(token, 400, "application/json", &[], &body);
+                    break;
+                }
+            }
+        }
+        let Some(conn) = self.conns.get_mut(&token) else { return };
+        if conn.read_closed && !conn.busy && conn.wbuf.is_empty() {
+            self.close_conn(token);
+            return;
+        }
+        self.flush(token);
+    }
+
+    fn dispatch(&mut self, token: u64, request: &http::HttpRequest) {
+        let shared = self.shared.clone();
+        match (request.method.as_str(), request.path.as_str()) {
+            ("GET", "/healthz") => {
+                shared.metrics.count_request("healthz");
+                let body = format!(
+                    "{{\"status\":\"ok\",\"schema_version\":{SCHEMA_VERSION},\"queue_depth\":{}}}",
+                    shared.queue.lock().expect("queue poisoned").len()
+                );
+                self.send(token, 200, "application/json", &[], &body);
+            }
+            ("GET", "/metrics") => {
+                shared.metrics.count_request("metrics");
+                let body = shared.metrics.registry.render();
+                self.send(token, 200, "text/plain; version=0.0.4", &[], &body);
+            }
+            ("POST", "/shutdown") => {
+                shared.metrics.count_request("shutdown");
+                shared.draining.store(true, Ordering::SeqCst);
+                self.send(token, 200, "application/json", &[], "{\"status\":\"draining\"}");
+                self.begin_drain();
+            }
+            ("POST", path @ ("/run" | "/compare")) => {
+                let endpoint = if path == "/run" { Endpoint::Run } else { Endpoint::Compare };
+                shared.metrics.count_request(endpoint.as_str());
+                match parse_sim_request(&request.body, endpoint) {
+                    Ok(req) => self.admit(token, req),
+                    Err(e) => self.send_error(token, &e),
+                }
+            }
+            (_, "/healthz" | "/metrics" | "/shutdown" | "/run" | "/compare") => {
+                let body = error_body(405, "usage", "method not allowed");
+                self.send(token, 405, "application/json", &[], &body);
+            }
+            (_, path) => {
+                let body = error_body(404, "usage", &format!("unknown endpoint '{path}'"));
+                self.send(token, 404, "application/json", &[], &body);
+            }
+        }
+    }
+
+    /// Admit one parsed simulation request: response cache, then
+    /// coalescing, then the bounded queue (or 429).
+    fn admit(&mut self, token: u64, req: SimRequest) {
+        let shared = self.shared.clone();
+        let key = req.canonical_bytes();
+
+        if shared.cfg.response_cache > 0 {
+            let hit = shared.response_cache.lock().expect("response cache poisoned").get(&key);
+            match hit {
+                Some(report) => {
+                    shared.metrics.cache_hits.inc();
+                    let body = envelope(&report, "response", &shared);
+                    self.send(token, 200, "application/json", &[], &body);
+                    return;
+                }
+                None => shared.metrics.cache_misses.inc(),
+            }
+        }
+
+        {
+            let mut coalesce = shared.coalesce.lock().expect("coalesce poisoned");
+            if let Some(waiters) = coalesce.get_mut(&key) {
+                waiters.push(token);
+                drop(coalesce);
+                shared.metrics.inflight_requests.inc();
+                if let Some(conn) = self.conns.get_mut(&token) {
+                    conn.busy = true;
+                }
+                return;
+            }
+        }
+
+        let timeout_ms = req.timeout_ms.or(shared.cfg.default_timeout_ms);
+        let deadline = timeout_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
+        let mut queue = shared.queue.lock().expect("queue poisoned");
+        if queue.len() >= shared.cfg.queue_cap || shared.draining.load(Ordering::SeqCst) {
+            drop(queue);
+            shared.metrics.rejected.inc();
+            let err = MelreqError::Overload { retry_after_s: RETRY_AFTER_S };
+            let body = error_body(err.http_status(), kind(&err), &err.to_string());
+            self.send(
+                token,
+                err.http_status(),
+                "application/json",
+                &[("Retry-After", RETRY_AFTER_S.to_string())],
+                &body,
+            );
+            return;
+        }
+        // Publish the coalescing entry before the job becomes visible:
+        // a worker finishing the job resolves the entry, so it must
+        // exist first.
+        shared.coalesce.lock().expect("coalesce poisoned").insert(key.clone(), Vec::new());
+        queue.push_back(Job { token, key, req, deadline });
+        shared.jobs_outstanding.fetch_add(1, Ordering::SeqCst);
+        shared.metrics.queue_depth.set(i64::try_from(queue.len()).unwrap_or(i64::MAX));
+        shared.metrics.inflight_requests.inc();
+        drop(queue);
+        shared.cond.notify_one();
+        if let Some(conn) = self.conns.get_mut(&token) {
+            conn.busy = true;
+        }
+    }
+
+    /// Deliver every pending worker completion, then let the affected
+    /// connections resume parsing pipelined input.
+    fn drain_completions(&mut self) {
+        loop {
+            let completion =
+                self.shared.completions.lock().expect("completions poisoned").pop_front();
+            let Some(c) = completion else { break };
+            self.shared.metrics.inflight_requests.dec();
+            if self.conns.contains_key(&c.token) {
+                if let Some(conn) = self.conns.get_mut(&c.token) {
+                    conn.busy = false;
+                }
+                self.send(c.token, c.status, "application/json", &[], &c.body);
+                self.advance(c.token);
+            }
+        }
+    }
+
+    fn sweep_idle(&mut self) {
+        if self.shared.cfg.idle_timeout_ms == 0 {
+            return;
+        }
+        let idle = Duration::from_millis(self.shared.cfg.idle_timeout_ms);
+        let now = Instant::now();
+        let stale: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| {
+                !c.busy && c.wbuf.is_empty() && now.duration_since(c.last_activity) >= idle
+            })
+            .map(|(t, _)| *t)
+            .collect();
+        for token in stale {
+            self.close_conn(token);
+        }
+    }
+
+    fn send_error(&mut self, token: u64, err: &MelreqError) {
+        if matches!(err, MelreqError::Timeout(_)) {
+            self.shared.metrics.timeouts.inc();
+        }
+        let status = err.http_status();
+        let body = error_body(status, kind(err), &err.to_string());
+        self.send(token, status, "application/json", &[], &body);
+    }
+
+    /// Queue a response on the connection and flush what the socket
+    /// accepts. The `Connection` header honors the request's
+    /// keep-alive/close choice; during a drain every response closes.
+    fn send(
+        &mut self,
+        token: u64,
+        status: u16,
+        content_type: &str,
+        extra_headers: &[(&str, String)],
+        body: &str,
+    ) {
+        let draining = self.shared.draining.load(Ordering::SeqCst);
+        let Some(conn) = self.conns.get_mut(&token) else { return };
+        let close = conn.close_requested || draining;
+        self.shared.metrics.count_response(status);
+        conn.wbuf.extend_from_slice(&http::response_bytes(
+            status,
+            content_type,
+            extra_headers,
+            body,
+            close,
+        ));
+        if close {
+            conn.close_after_write = true;
+        }
+        self.flush(token);
+    }
+
+    /// Like [`EventLoop::send`] but always closes afterwards (protocol
+    /// errors poison the parse state).
+    fn send_close(
+        &mut self,
+        token: u64,
+        status: u16,
+        content_type: &str,
+        extra_headers: &[(&str, String)],
+        body: &str,
+    ) {
+        if let Some(conn) = self.conns.get_mut(&token) {
+            conn.close_requested = true;
+        }
+        self.send(token, status, content_type, extra_headers, body);
+    }
+
+    fn flush(&mut self, token: u64) {
+        let outcome = {
+            let Some(conn) = self.conns.get_mut(&token) else { return };
+            let mut outcome = FlushOutcome::Flushed;
+            while conn.wpos < conn.wbuf.len() {
+                match conn.stream.write(&conn.wbuf[conn.wpos..]) {
+                    Ok(0) => {
+                        outcome = FlushOutcome::Dead;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.wpos += n;
+                        conn.last_activity = Instant::now();
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        outcome = FlushOutcome::Pending;
+                        break;
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        outcome = FlushOutcome::Dead;
+                        break;
+                    }
+                }
+            }
+            if matches!(outcome, FlushOutcome::Flushed) {
+                conn.wbuf.clear();
+                conn.wpos = 0;
+                if conn.close_after_write {
+                    outcome = FlushOutcome::Dead;
+                }
+            }
+            outcome
+        };
+        match outcome {
+            FlushOutcome::Dead => self.close_conn(token),
+            FlushOutcome::Pending => self.set_write_interest(token, true),
+            FlushOutcome::Flushed => self.set_write_interest(token, false),
+        }
+    }
+
+    fn set_write_interest(&mut self, token: u64, on: bool) {
+        let Some(conn) = self.conns.get_mut(&token) else { return };
+        if conn.want_write == on {
+            return;
+        }
+        conn.want_write = on;
+        let interest = if on { Interest::ReadWrite } else { Interest::Read };
+        let _ = self.poller.modify(raw_fd(&conn.stream), token, interest);
+    }
+
+    fn close_conn(&mut self, token: u64) {
+        if let Some(conn) = self.conns.remove(&token) {
+            let _ = self.poller.remove(raw_fd(&conn.stream));
+            self.shared.metrics.open_connections.dec();
         }
     }
 }
@@ -385,47 +961,6 @@ fn parse_sim_request(body: &str, endpoint: Endpoint) -> Result<SimRequest, Melre
         )));
     }
     Ok(req)
-}
-
-fn enqueue(mut stream: TcpStream, req: SimRequest, shared: &Arc<Shared>) {
-    // Response cache (opt-in): answer repeats without touching the pool.
-    if shared.cfg.response_cache > 0 {
-        let key = req.request_key();
-        let cache = shared.response_cache.lock().expect("response cache poisoned");
-        if let Some((_, report)) = cache.iter().find(|(k, _)| *k == key) {
-            let body = envelope(report, "response", shared);
-            drop(cache);
-            shared.metrics.response_cache_hits.inc();
-            respond(&mut stream, shared, 200, "application/json", &[], &body);
-            return;
-        }
-    }
-
-    let timeout_ms = req.timeout_ms.or(shared.cfg.default_timeout_ms);
-    let deadline = timeout_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
-    let job = Job { stream, req, deadline };
-
-    let mut queue = shared.queue.lock().expect("queue poisoned");
-    if queue.len() >= shared.cfg.queue_cap || shared.draining.load(Ordering::SeqCst) {
-        drop(queue);
-        let mut stream = job.stream;
-        shared.metrics.rejected.inc();
-        let err = MelreqError::Overload { retry_after_s: RETRY_AFTER_S };
-        let body = error_body(err.http_status(), kind(&err), &err.to_string());
-        respond(
-            &mut stream,
-            shared,
-            err.http_status(),
-            "application/json",
-            &[("Retry-After", RETRY_AFTER_S.to_string())],
-            &body,
-        );
-        return;
-    }
-    queue.push_back(job);
-    shared.metrics.queue_depth.set(i64::try_from(queue.len()).unwrap_or(i64::MAX));
-    drop(queue);
-    shared.cond.notify_one();
 }
 
 fn worker_loop(shared: &Arc<Shared>) {
@@ -448,63 +983,98 @@ fn worker_loop(shared: &Arc<Shared>) {
             }
         };
         let Some(job) = job else { return };
-        process(job, shared);
+        execute_job(job, shared);
     }
 }
 
-fn process(job: Job, shared: &Arc<Shared>) {
-    let Job { mut stream, req, deadline } = job;
+/// Run one job, resolve its coalescing entry, and publish a completion
+/// for the leader plus every coalesced follower.
+fn execute_job(job: Job, shared: &Arc<Shared>) {
+    let Job { token, key, req, deadline } = job;
     // A deadline that expired while the job sat in the queue is still a
     // timeout — the simulation is simply never started.
-    if deadline.is_some_and(|d| Instant::now() >= d) {
-        let err = MelreqError::Timeout(
-            "request deadline expired while queued; the run was not started".to_string(),
-        );
-        respond_error(&mut stream, shared, &err);
-        return;
-    }
-
-    let ctl = RunControl {
-        cancel: deadline.map(CancelToken::with_deadline),
-        max_cycles: None,
-        threads: None,
-    };
-    match shared.session.run(&req, &ctl) {
-        Ok(report) => {
-            let mut cycles = 0u64;
-            for p in &report.policies {
-                cycles = cycles.saturating_add(p.sim_cycles);
-            }
-            shared.metrics.sim_cycles.add(cycles);
-            let cache_status = if report.all_warm() {
-                "warm"
-            } else if report.any_warm() {
-                "partial"
-            } else {
-                "cold"
+    let outcome: Result<(Arc<String>, &'static str), MelreqError> =
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            Err(MelreqError::Timeout(
+                "request deadline expired while queued; the run was not started".to_string(),
+            ))
+        } else {
+            let ctl = RunControl {
+                cancel: deadline.map(CancelToken::with_deadline),
+                max_cycles: None,
+                threads: None,
             };
-            let report_json = report.to_json();
-            if shared.cfg.response_cache > 0 {
-                let key = req.request_key();
-                let mut cache = shared.response_cache.lock().expect("response cache poisoned");
-                if !cache.iter().any(|(k, _)| *k == key) {
-                    cache.push_back((key, report_json.clone()));
-                    while cache.len() > shared.cfg.response_cache {
-                        cache.pop_front();
+            shared.session.run(&req, &ctl).map(|report| {
+                let mut cycles = 0u64;
+                for p in &report.policies {
+                    cycles = cycles.saturating_add(p.sim_cycles);
+                }
+                shared.metrics.sim_cycles.add(cycles);
+                shared.metrics.simulations.inc();
+                let cache_status = if report.all_warm() {
+                    "warm"
+                } else if report.any_warm() {
+                    "partial"
+                } else {
+                    "cold"
+                };
+                let report_json = Arc::new(report.to_json());
+                if shared.cfg.response_cache > 0 {
+                    let evicted = shared
+                        .response_cache
+                        .lock()
+                        .expect("response cache poisoned")
+                        .insert(key.clone(), report_json.clone());
+                    if evicted > 0 {
+                        shared.metrics.cache_evictions.add(evicted);
                     }
                 }
+                (report_json, cache_status)
+            })
+        };
+
+    // Resolve the coalescing entry before publishing: requests arriving
+    // after this point either hit the response cache or start a fresh
+    // run — they can no longer join this one.
+    let waiters =
+        shared.coalesce.lock().expect("coalesce poisoned").remove(&key).unwrap_or_default();
+
+    let mut batch = Vec::with_capacity(1 + waiters.len());
+    match &outcome {
+        Ok((report_json, cache_status)) => {
+            batch.push(Completion {
+                token,
+                status: 200,
+                body: envelope(report_json, cache_status, shared),
+            });
+            if !waiters.is_empty() {
+                shared.metrics.coalesced.add(waiters.len() as u64);
+                let body = envelope(report_json, "coalesced", shared);
+                for w in waiters {
+                    batch.push(Completion { token: w, status: 200, body: body.clone() });
+                }
             }
-            let body = envelope(&report_json, cache_status, shared);
-            respond(&mut stream, shared, 200, "application/json", &[], &body);
         }
-        Err(err) => respond_error(&mut stream, shared, &err),
+        Err(err) => {
+            if matches!(err, MelreqError::Timeout(_)) {
+                shared.metrics.timeouts.inc();
+            }
+            let status = err.http_status();
+            let body = error_body(status, kind(err), &err.to_string());
+            for t in std::iter::once(token).chain(waiters) {
+                batch.push(Completion { token: t, status, body: body.clone() });
+            }
+        }
     }
+    shared.completions.lock().expect("completions poisoned").extend(batch);
+    shared.jobs_outstanding.fetch_sub(1, Ordering::SeqCst);
+    shared.waker.wake();
 }
 
 /// The response envelope: provenance fields first, the deterministic
 /// report verbatim last — `"report":` up to the final `}` is exactly
 /// [`melreq_core::api::SimReport::to_json`]'s bytes.
-fn envelope(report_json: &str, cache: &str, shared: &Arc<Shared>) -> String {
+fn envelope(report_json: &str, cache: &str, shared: &Shared) -> String {
     let store = match shared.session.store() {
         Some(store) => {
             let s = store.stats();
@@ -536,28 +1106,6 @@ fn error_body(status: u16, kind: &str, message: &str) -> String {
     )
 }
 
-fn respond_error(stream: &mut TcpStream, shared: &Arc<Shared>, err: &MelreqError) {
-    if matches!(err, MelreqError::Timeout(_)) {
-        shared.metrics.timeouts.inc();
-    }
-    let status = err.http_status();
-    let body = error_body(status, kind(err), &err.to_string());
-    respond(stream, shared, status, "application/json", &[], &body);
-}
-
-fn respond(
-    stream: &mut TcpStream,
-    shared: &Arc<Shared>,
-    status: u16,
-    content_type: &str,
-    extra_headers: &[(&str, String)],
-    body: &str,
-) {
-    shared.metrics.count_response(status);
-    // The client may already be gone; nothing useful to do about it.
-    let _ = http::write_response(stream, status, content_type, extra_headers, body);
-}
-
 #[cfg(unix)]
 mod sig {
     use std::sync::atomic::{AtomicBool, Ordering};
@@ -581,7 +1129,7 @@ mod sig {
 }
 
 /// Install a SIGTERM handler that begins a graceful drain of every
-/// server in this process (the acceptor polls the flag). No-op off
+/// server in this process (the event loop polls the flag). No-op off
 /// Unix. The handler is process-global — the embedding tests use
 /// [`ServerHandle::shutdown`] / `POST /shutdown` instead.
 pub fn install_sigterm() {

@@ -1,0 +1,425 @@
+//! A dependency-free readiness poller for the serve event loop.
+//!
+//! On Linux this wraps `epoll` through raw `extern "C"` declarations
+//! (level-triggered — the event loop reads/writes until `WouldBlock`,
+//! so level semantics are the simple, correct choice). Other Unixes
+//! fall back to `poll(2)` over the registered set; non-Unix targets get
+//! a stub that fails at construction (the threaded service paths the
+//! tests exercise are all Unix).
+//!
+//! The poller itself is single-threaded — it lives on the event-loop
+//! thread. Cross-thread wake-up goes through an anonymous pipe
+//! ([`std::io::pipe`]): workers hold a cloneable [`WakeHandle`] and
+//! write one byte; the read end is registered in the poller like any
+//! other fd, so a wake is just another readiness event.
+
+use std::io;
+use std::io::{PipeReader, PipeWriter, Read, Write};
+use std::sync::Arc;
+
+#[cfg(unix)]
+use std::os::fd::{AsRawFd, RawFd};
+#[cfg(not(unix))]
+pub type RawFd = i32;
+
+/// What the event loop wants to hear about for a registered fd. Read
+/// interest is implicit — every registration listens for readability;
+/// write interest is added only while a connection has unflushed
+/// output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Interest {
+    /// Readability (and hangup) only.
+    Read,
+    /// Readability plus writability.
+    ReadWrite,
+}
+
+/// One readiness event, translated to poller-independent flags.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token the fd was registered under.
+    pub token: u64,
+    /// Data (or EOF) can be read without blocking.
+    pub readable: bool,
+    /// The socket's send buffer has room again.
+    pub writable: bool,
+    /// Peer hung up or the fd errored; the connection is dead.
+    pub hangup: bool,
+}
+
+/// Cross-thread wake-up handle: writing a byte to the pipe makes the
+/// poller's next `wait` return with the waker token readable.
+#[derive(Clone)]
+pub struct WakeHandle(Arc<PipeWriter>);
+
+impl WakeHandle {
+    /// Wake the poller. Best-effort: a full pipe already guarantees a
+    /// pending wake, and a closed pipe means the loop is gone.
+    #[allow(clippy::unused_io_amount)]
+    pub fn wake(&self) {
+        // Deliberately `write`, not `write_all`: a full pipe must not
+        // block a worker — pending bytes already mean a wake is due.
+        let _ = (&*self.0).write(&[1u8]);
+    }
+}
+
+/// The read end of the wake pipe, owned by the event loop. After a
+/// readiness event on the waker token, [`Waker::drain`] consumes the
+/// pending bytes (coalescing any number of wakes).
+pub struct Waker {
+    rx: PipeReader,
+}
+
+impl Waker {
+    /// The fd to register in the poller.
+    #[cfg(unix)]
+    pub fn fd(&self) -> RawFd {
+        self.rx.as_raw_fd()
+    }
+
+    /// Non-Unix placeholder (the stub poller never gets this far).
+    #[cfg(not(unix))]
+    pub fn fd(&self) -> RawFd {
+        -1
+    }
+
+    /// Consume pending wake bytes. A single bounded read suffices: a
+    /// pipe with data never blocks to fill the buffer, and any bytes
+    /// left behind simply keep the fd readable for the next `wait`.
+    #[allow(clippy::unused_io_amount)]
+    pub fn drain(&mut self) {
+        let mut buf = [0u8; 256];
+        let _ = self.rx.read(&mut buf);
+    }
+}
+
+/// Create the wake pipe: the loop-side [`Waker`] and a cloneable
+/// [`WakeHandle`] for worker threads.
+pub fn wake_pair() -> io::Result<(Waker, WakeHandle)> {
+    let (rx, tx) = std::io::pipe()?;
+    Ok((Waker { rx }, WakeHandle(Arc::new(tx))))
+}
+
+#[cfg(target_os = "linux")]
+mod sys {
+    use super::{Event, Interest};
+    use std::io;
+    use std::os::fd::RawFd;
+
+    const EPOLL_CLOEXEC: i32 = 0o2000000;
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+
+    // The kernel ABI struct; packed on x86-64 (no padding between the
+    // 32-bit event mask and the 64-bit payload).
+    #[repr(C, packed)]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+
+    fn mask(interest: Interest) -> u32 {
+        match interest {
+            Interest::Read => EPOLLIN | EPOLLRDHUP,
+            Interest::ReadWrite => EPOLLIN | EPOLLRDHUP | EPOLLOUT,
+        }
+    }
+
+    /// epoll-backed poller (Linux).
+    pub struct Poller {
+        epfd: RawFd,
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Self> {
+            let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if epfd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Poller { epfd })
+        }
+
+        fn ctl(&self, op: i32, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            let mut ev = EpollEvent { events: mask(interest), data: token };
+            let rc = unsafe { epoll_ctl(self.epfd, op, fd, &raw mut ev) };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        pub fn add(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, token, interest)
+        }
+
+        pub fn modify(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, token, interest)
+        }
+
+        pub fn remove(&mut self, fd: RawFd) -> io::Result<()> {
+            let mut ev = EpollEvent { events: 0, data: 0 };
+            let rc = unsafe { epoll_ctl(self.epfd, EPOLL_CTL_DEL, fd, &raw mut ev) };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        pub fn wait(&mut self, out: &mut Vec<Event>, timeout_ms: i32) -> io::Result<()> {
+            out.clear();
+            let mut raw = [EpollEvent { events: 0, data: 0 }; 128];
+            let n = unsafe {
+                epoll_wait(
+                    self.epfd,
+                    raw.as_mut_ptr(),
+                    i32::try_from(raw.len()).expect("event buffer fits i32"),
+                    timeout_ms,
+                )
+            };
+            if n < 0 {
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    return Ok(());
+                }
+                return Err(err);
+            }
+            for ev in raw.iter().take(n.unsigned_abs() as usize) {
+                let bits = ev.events;
+                out.push(Event {
+                    token: ev.data,
+                    readable: bits & EPOLLIN != 0,
+                    writable: bits & EPOLLOUT != 0,
+                    hangup: bits & (EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            unsafe {
+                close(self.epfd);
+            }
+        }
+    }
+}
+
+#[cfg(all(unix, not(target_os = "linux")))]
+mod sys {
+    use super::{Event, Interest};
+    use std::io;
+    use std::os::fd::RawFd;
+
+    const POLLIN: i16 = 0x001;
+    const POLLOUT: i16 = 0x004;
+    const POLLERR: i16 = 0x008;
+    const POLLHUP: i16 = 0x010;
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct PollFd {
+        fd: i32,
+        events: i16,
+        revents: i16,
+    }
+
+    extern "C" {
+        // nfds_t is `unsigned int` on the BSD family this fallback
+        // targets (macOS, the BSDs); Linux uses the epoll backend.
+        fn poll(fds: *mut PollFd, nfds: u32, timeout: i32) -> i32;
+    }
+
+    /// poll(2)-backed fallback for non-Linux Unix.
+    pub struct Poller {
+        registered: Vec<(RawFd, u64, Interest)>,
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Self> {
+            Ok(Poller { registered: Vec::new() })
+        }
+
+        pub fn add(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            if self.registered.iter().any(|(f, _, _)| *f == fd) {
+                return Err(io::Error::new(io::ErrorKind::AlreadyExists, "fd registered"));
+            }
+            self.registered.push((fd, token, interest));
+            Ok(())
+        }
+
+        pub fn modify(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            match self.registered.iter_mut().find(|(f, _, _)| *f == fd) {
+                Some(slot) => {
+                    *slot = (fd, token, interest);
+                    Ok(())
+                }
+                None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+            }
+        }
+
+        pub fn remove(&mut self, fd: RawFd) -> io::Result<()> {
+            let before = self.registered.len();
+            self.registered.retain(|(f, _, _)| *f != fd);
+            if self.registered.len() == before {
+                return Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered"));
+            }
+            Ok(())
+        }
+
+        pub fn wait(&mut self, out: &mut Vec<Event>, timeout_ms: i32) -> io::Result<()> {
+            out.clear();
+            let mut fds: Vec<PollFd> = self
+                .registered
+                .iter()
+                .map(|(fd, _, interest)| PollFd {
+                    fd: *fd,
+                    events: match interest {
+                        Interest::Read => POLLIN,
+                        Interest::ReadWrite => POLLIN | POLLOUT,
+                    },
+                    revents: 0,
+                })
+                .collect();
+            let n = unsafe {
+                poll(
+                    fds.as_mut_ptr(),
+                    u32::try_from(fds.len()).expect("fd set fits u32"),
+                    timeout_ms,
+                )
+            };
+            if n < 0 {
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    return Ok(());
+                }
+                return Err(err);
+            }
+            for (slot, (_, token, _)) in fds.iter().zip(&self.registered) {
+                let bits = slot.revents;
+                if bits == 0 {
+                    continue;
+                }
+                out.push(Event {
+                    token: *token,
+                    readable: bits & POLLIN != 0,
+                    writable: bits & POLLOUT != 0,
+                    hangup: bits & (POLLERR | POLLHUP) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod sys {
+    use super::{Event, Interest};
+    use std::io;
+
+    pub type RawFd = i32;
+
+    /// Stub: the event-loop service requires a Unix readiness API.
+    pub struct Poller;
+
+    impl Poller {
+        pub fn new() -> io::Result<Self> {
+            Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "melreq-serve requires epoll/poll (Unix)",
+            ))
+        }
+
+        pub fn add(&mut self, _fd: RawFd, _token: u64, _interest: Interest) -> io::Result<()> {
+            unreachable!("stub poller cannot be constructed")
+        }
+
+        pub fn modify(&mut self, _fd: RawFd, _token: u64, _interest: Interest) -> io::Result<()> {
+            unreachable!("stub poller cannot be constructed")
+        }
+
+        pub fn remove(&mut self, _fd: RawFd) -> io::Result<()> {
+            unreachable!("stub poller cannot be constructed")
+        }
+
+        pub fn wait(&mut self, _out: &mut Vec<Event>, _timeout_ms: i32) -> io::Result<()> {
+            unreachable!("stub poller cannot be constructed")
+        }
+    }
+}
+
+pub use sys::Poller;
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+
+    #[test]
+    fn poller_reports_listener_readability() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let mut poller = Poller::new().unwrap();
+        poller.add(listener.as_raw_fd(), 7, Interest::Read).unwrap();
+
+        let mut events = Vec::new();
+        poller.wait(&mut events, 0).unwrap();
+        assert!(events.is_empty(), "no connection yet: {events:?}");
+
+        let _client = TcpStream::connect(addr).unwrap();
+        poller.wait(&mut events, 2_000).unwrap();
+        assert!(events.iter().any(|e| e.token == 7 && e.readable), "{events:?}");
+    }
+
+    #[test]
+    fn waker_wakes_and_drains() {
+        let (mut waker, handle) = wake_pair().unwrap();
+        let mut poller = Poller::new().unwrap();
+        poller.add(waker.fd(), 1, Interest::Read).unwrap();
+
+        let mut events = Vec::new();
+        handle.wake();
+        handle.wake();
+        poller.wait(&mut events, 2_000).unwrap();
+        assert!(events.iter().any(|e| e.token == 1 && e.readable), "{events:?}");
+        waker.drain();
+        poller.wait(&mut events, 0).unwrap();
+        assert!(events.is_empty(), "wake bytes not drained: {events:?}");
+    }
+
+    #[test]
+    fn write_interest_fires_on_connected_socket() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        client.set_nonblocking(true).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        client.write_all(b"x").unwrap();
+        drop(server);
+
+        let mut poller = Poller::new().unwrap();
+        poller.add(client.as_raw_fd(), 3, Interest::ReadWrite).unwrap();
+        let mut events = Vec::new();
+        poller.wait(&mut events, 2_000).unwrap();
+        assert!(events.iter().any(|e| e.token == 3 && e.writable), "{events:?}");
+        poller.remove(client.as_raw_fd()).unwrap();
+        poller.wait(&mut events, 0).unwrap();
+        assert!(events.is_empty());
+    }
+}

@@ -1,10 +1,12 @@
 //! Black-box service tests over real sockets: backpressure (429 +
 //! Retry-After semantics without wedging the pool), wall-clock deadlines
 //! (504 at an epoch boundary), sustained concurrency across the worker
-//! pool, request validation (schema version, /run arity), and graceful
-//! drain. Every server binds port 0; nothing here touches SIGTERM — the
-//! in-process drain paths (`/shutdown`, `ServerHandle::shutdown`) cover
-//! the same code the signal handler flips.
+//! pool, keep-alive + pipelining on the event loop, request coalescing,
+//! the LRU response cache, idle-connection timeouts, request validation
+//! (schema version, /run arity), and graceful drain. Every server binds
+//! port 0; nothing here touches SIGTERM — the in-process drain paths
+//! (`/shutdown`, `ServerHandle::shutdown`) cover the same code the
+//! signal handler flips.
 
 use melreq_core::api::{PolicyChoice, SimRequest, SCHEMA_VERSION};
 use melreq_core::experiment::ExperimentOptions;
@@ -22,6 +24,17 @@ fn serve(workers: usize, queue_cap: usize) -> ServerHandle {
         ..ServeConfig::default()
     })
     .expect("start server")
+}
+
+/// Scrape `/metrics` and return the value of a single-sample family.
+fn metric_value(addr: &str, name: &str) -> f64 {
+    let (status, text) =
+        http::exchange(addr, "GET", "/metrics", None, EXCHANGE_TIMEOUT).expect("metrics");
+    assert_eq!(status, 200);
+    text.lines()
+        .find(|l| l.starts_with(name) && l.as_bytes().get(name.len()) == Some(&b' '))
+        .and_then(|l| l[name.len() + 1..].trim().parse::<f64>().ok())
+        .unwrap_or_else(|| panic!("metric {name} not found in:\n{text}"))
 }
 
 fn run_body(mix: &str, opts: ExperimentOptions) -> String {
@@ -57,12 +70,19 @@ fn queue_overflow_sheds_429_and_the_server_recovers() {
     };
     std::thread::sleep(Duration::from_millis(400));
 
-    // …then burst past the 1-slot queue. At most one follower fits.
-    let followers: Vec<_> = (0..4)
-        .map(|_| {
+    // …then burst past the 1-slot queue with four DISTINCT requests
+    // (distinct cycle budgets — identical ones would coalesce instead
+    // of overflowing). At most one follower fits.
+    let followers: Vec<_> = (0..4u64)
+        .map(|i| {
             let addr = addr.clone();
             std::thread::spawn(move || {
-                post_run(&addr, &run_body("2MEM-1", ExperimentOptions::quick()))
+                let body = SimRequest::new("2MEM-1")
+                    .policy(PolicyChoice::parse("me-lreq").expect("policy token"))
+                    .opts(ExperimentOptions::quick())
+                    .max_cycles(1_000_000_000 + i)
+                    .to_json();
+                post_run(&addr, &body)
             })
         })
         .collect();
@@ -227,4 +247,162 @@ fn post_shutdown_drains_in_flight_work_then_exits() {
         http::exchange(&addr, "GET", "/healthz", None, Duration::from_secs(2)).is_err(),
         "the drained server must stop accepting"
     );
+}
+
+#[test]
+fn keep_alive_connection_serves_pipelined_and_sequential_requests() {
+    let handle = serve(2, 8);
+    let addr = handle.addr().to_string();
+
+    // Sequential keep-alive: health, a run, and the metrics scrape all
+    // on ONE connection; `Connection: close` only on the last.
+    let mut conn = http::ClientConn::connect(&addr, EXCHANGE_TIMEOUT).expect("connect");
+    let (status, body) = conn.request("GET", "/healthz", None, false).expect("healthz");
+    assert_eq!(status, 200, "{body}");
+    let (status, body) = conn
+        .request("POST", "/run", Some(&run_body("2MEM-1", ExperimentOptions::quick())), false)
+        .expect("run");
+    assert_eq!(status, 200, "{body}");
+    let (status, metrics) = conn.request("GET", "/metrics", None, true).expect("metrics");
+    assert_eq!(status, 200);
+    assert!(
+        metrics.contains("melreq_connections_total 1"),
+        "all three requests share one connection: {metrics}"
+    );
+
+    // Pipelining: two requests written back-to-back arrive in one
+    // buffer; both responses come back, in order, on the same socket.
+    use std::io::{Read, Write};
+    let mut raw = std::net::TcpStream::connect(&addr).expect("connect raw");
+    raw.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout");
+    let one = format!("GET /healthz HTTP/1.1\r\nHost: {addr}\r\nContent-Length: 0\r\n\r\n");
+    raw.write_all(format!("{one}{one}").as_bytes()).expect("pipelined write");
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        let n = raw.read(&mut chunk).expect("pipelined read");
+        assert!(n > 0, "server closed before both pipelined responses");
+        buf.extend_from_slice(&chunk[..n]);
+        let text = String::from_utf8_lossy(&buf);
+        if text.matches("\"status\":\"ok\"").count() >= 2 {
+            assert_eq!(text.matches("HTTP/1.1 200").count(), 2, "{text}");
+            break;
+        }
+    }
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn coalesced_identical_requests_run_one_simulation_with_identical_bytes() {
+    let handle = serve(4, 8);
+    let addr = handle.addr().to_string();
+
+    // A leader heavy enough to still be in flight when the followers
+    // arrive, then five byte-identical requests.
+    let body = run_body("2MEM-1", slow_opts());
+    let leader = {
+        let addr = addr.clone();
+        let body = body.clone();
+        std::thread::spawn(move || post_run(&addr, &body))
+    };
+    std::thread::sleep(Duration::from_millis(300));
+    let followers: Vec<_> = (0..5)
+        .map(|_| {
+            let addr = addr.clone();
+            let body = body.clone();
+            std::thread::spawn(move || post_run(&addr, &body))
+        })
+        .collect();
+
+    let (status, leader_body) = leader.join().expect("leader thread");
+    assert_eq!(status, 200, "leader: {leader_body}");
+    let (leader_env, leader_report) = split_envelope(&leader_body).expect("leader envelope");
+    assert!(leader_env.contains("\"cache\":\"cold\""), "leader envelope: {leader_env}");
+
+    for f in followers {
+        let (status, body) = f.join().expect("follower thread");
+        assert_eq!(status, 200, "follower: {body}");
+        let (env, report) = split_envelope(&body).expect("follower envelope");
+        assert_eq!(report, leader_report, "coalesced report bytes must be identical");
+        assert!(env.contains("\"cache\":\"coalesced\""), "follower envelope: {env}");
+    }
+
+    // The store/session side proves it: exactly ONE simulation executed
+    // for all six requests, and five of them coalesced onto it.
+    assert_eq!(metric_value(&addr, "melreq_simulations_total"), 1.0);
+    assert_eq!(metric_value(&addr, "melreq_serve_coalesced_total"), 5.0);
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn response_cache_serves_repeats_and_evicts_lru_at_tiny_cap() {
+    let handle = start(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        queue_cap: 4,
+        store_dir: None,
+        response_cache: 1,
+        ..ServeConfig::default()
+    })
+    .expect("start server");
+    let addr = handle.addr().to_string();
+
+    let a = run_body("2MEM-1", ExperimentOptions::quick());
+    let b = run_body("2MEM-2", ExperimentOptions::quick());
+
+    let (status, cold) = post_run(&addr, &a);
+    assert_eq!(status, 200, "cold run: {cold}");
+    let (env, cold_report) = split_envelope(&cold).expect("cold envelope");
+    assert!(env.contains("\"cache\":\"cold\""), "first A is cold: {env}");
+
+    let (status, hit) = post_run(&addr, &a);
+    assert_eq!(status, 200, "cached run: {hit}");
+    let (env, hit_report) = split_envelope(&hit).expect("hit envelope");
+    assert!(env.contains("\"cache\":\"response\""), "repeat A hits the cache: {env}");
+    assert_eq!(hit_report, cold_report, "cached report bytes identical to the cold run");
+
+    // B displaces A from the 1-entry cache; A must re-run cold.
+    let (status, _) = post_run(&addr, &b);
+    assert_eq!(status, 200);
+    let (status, third) = post_run(&addr, &a);
+    assert_eq!(status, 200);
+    let (env, _) = split_envelope(&third).expect("post-eviction envelope");
+    assert!(env.contains("\"cache\":\"cold\""), "evicted entry re-runs: {env}");
+
+    assert_eq!(metric_value(&addr, "melreq_serve_cache_hits_total"), 1.0);
+    assert_eq!(metric_value(&addr, "melreq_serve_cache_misses_total"), 3.0);
+    assert!(metric_value(&addr, "melreq_serve_cache_evictions_total") >= 1.0);
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn idle_keep_alive_connections_are_closed() {
+    let handle = start(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        queue_cap: 4,
+        store_dir: None,
+        idle_timeout_ms: 200,
+        ..ServeConfig::default()
+    })
+    .expect("start server");
+    let addr = handle.addr().to_string();
+
+    let mut conn = http::ClientConn::connect(&addr, Duration::from_secs(5)).expect("connect");
+    let (status, _) = conn.request("GET", "/healthz", None, false).expect("healthz");
+    assert_eq!(status, 200);
+    std::thread::sleep(Duration::from_millis(800));
+    assert!(
+        conn.request("GET", "/healthz", None, false).is_err(),
+        "a connection idle past the timeout must be closed by the server"
+    );
+
+    handle.shutdown();
+    handle.join();
 }

@@ -88,6 +88,45 @@ fn cli_facade_and_service_reports_are_byte_identical() {
 }
 
 #[test]
+fn response_cache_and_coalescing_replay_the_exact_facade_bytes() {
+    let req = quick_request();
+    let facade_json =
+        Session::new().run(&req, &RunControl::default()).expect("facade run").to_json();
+
+    let handle = start(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        queue_cap: 4,
+        store_dir: None,
+        response_cache: 8,
+        ..ServeConfig::default()
+    })
+    .expect("start server");
+    let addr = handle.addr().to_string();
+    let body = req.to_json();
+
+    // First request simulates (cold, storeless). The second is answered
+    // from the LRU response cache — the envelope says so, and the report
+    // inside it is byte-for-byte the facade's.
+    let (status, first) =
+        http::exchange(&addr, "POST", "/run", Some(&body), EXCHANGE_TIMEOUT).expect("first /run");
+    assert_eq!(status, 200, "first /run: {first}");
+    let (env, report) = split_envelope(&first).expect("enveloped response");
+    assert!(env.contains("\"cache\":\"cold\""), "first request simulates: {env}");
+    assert_eq!(report, facade_json, "cold report bytes must match the facade");
+
+    let (status, second) =
+        http::exchange(&addr, "POST", "/run", Some(&body), EXCHANGE_TIMEOUT).expect("second /run");
+    assert_eq!(status, 200, "second /run: {second}");
+    let (env, report) = split_envelope(&second).expect("enveloped response");
+    assert!(env.contains("\"cache\":\"response\""), "repeat hits the response cache: {env}");
+    assert_eq!(report, facade_json, "cached replay must not change a byte of the report");
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
 fn compare_endpoint_matches_the_facade_for_multi_policy_requests() {
     let req = SimRequest::new(MIX)
         .policies(vec![
