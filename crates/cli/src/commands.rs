@@ -22,7 +22,9 @@ use melreq_core::report::{format_table, pct_over};
 use melreq_core::{CheckpointStore, SystemConfig};
 use melreq_memctrl::policy::PolicyKind;
 use melreq_memctrl::ChannelTraffic;
-use melreq_obs::{export_chrome_json, series, Collector, ObsConfig, RuleTotals};
+use melreq_obs::{
+    export_chrome_json, export_host_profile, series, Collector, ObsConfig, RuleTotals,
+};
 use melreq_serve::{http, ServeConfig};
 use melreq_workloads::{mix_by_name, mixes_for_cores, spec2000, Mix, MixKind, SliceKind};
 use std::fmt::Write as _;
@@ -291,6 +293,47 @@ fn with_threads(req: SimRequest, threads: Option<usize>) -> SimRequest {
         Some(n) => req.threads(n),
         None => req,
     }
+}
+
+/// The CLI's buildinfo block, embedded in host-profile artifacts so a
+/// trace file is self-describing (mirrors the server's `/buildinfo`).
+fn cli_buildinfo(threads: Option<usize>) -> String {
+    format!(
+        "{{\"name\":\"melreq\",\"version\":\"{}\",\"schema_version\":{},\"threads\":{}}}",
+        env!("CARGO_PKG_VERSION"),
+        melreq_core::api::SCHEMA_VERSION,
+        threads.map_or_else(|| "null".to_string(), |n| n.to_string())
+    )
+}
+
+/// Run `body` with the host-side span profiler attached when `--profile
+/// PATH` was given: enable before, drain after (success or failure, so a
+/// failed run never leaks spans into a later one), write the Perfetto
+/// trace with the summary and buildinfo blocks embedded, and append the
+/// text summary to the command's output.
+fn with_host_profile(
+    prof_out: Option<&str>,
+    process_name: &str,
+    threads: Option<usize>,
+    body: impl FnOnce() -> Result<String, MelreqError>,
+) -> Result<String, MelreqError> {
+    let Some(path) = prof_out else {
+        return body();
+    };
+    melreq_prof::enable();
+    let result = body();
+    melreq_prof::disable();
+    let profile = melreq_prof::drain();
+    let mut out = result?;
+    let summary = melreq_prof::summarize(&profile, 10);
+    let trace = export_host_profile(
+        &profile,
+        process_name,
+        &[("summary", summary.render_json()), ("buildinfo", cli_buildinfo(threads))],
+    );
+    std::fs::write(path, &trace).map_err(|e| io_err(format!("cannot write {path}: {e}")))?;
+    let _ = write!(out, "\n{}\nhost profile written to {path}\n", summary.render_text());
+    Ok(out)
 }
 
 fn cmd_run(
@@ -652,6 +695,7 @@ fn cmd_reproduce(
     threads: Option<usize>,
     guard: Option<&str>,
     guard_ratio: f64,
+    prof_out: Option<&str>,
 ) -> Result<String, MelreqError> {
     // Smoke defaults to the quick scale; explicit scale flags still win.
     let opts = if smoke && *opts == ExperimentOptions::default() {
@@ -659,6 +703,9 @@ fn cmd_reproduce(
     } else {
         *opts
     };
+    if prof_out.is_some() {
+        melreq_prof::enable();
+    }
     let store =
         if no_checkpoint {
             None
@@ -868,6 +915,24 @@ fn cmd_reproduce(
     let cps = grid_cycles as f64 / grid_wall.max(1e-9);
     let rss = peak_rss_bytes();
 
+    // Drain the host profiler before the artifact is rendered so its
+    // aggregated summary can be embedded; the Perfetto trace goes to its
+    // own file (wall-clock domain — never merged with sim-time traces).
+    let host_profile = if let Some(ppath) = prof_out {
+        melreq_prof::disable();
+        let profile = melreq_prof::drain();
+        let summary = melreq_prof::summarize(&profile, 10);
+        let trace = export_host_profile(
+            &profile,
+            "melreq reproduce",
+            &[("summary", summary.render_json()), ("buildinfo", cli_buildinfo(Some(workers)))],
+        );
+        std::fs::write(ppath, &trace).map_err(|e| io_err(format!("cannot write {ppath}: {e}")))?;
+        Some(summary)
+    } else {
+        None
+    };
+
     // The machine-readable artifact, stamped with the workspace-wide
     // schema version shared by every machine-readable output.
     let mut json = String::new();
@@ -875,6 +940,9 @@ fn cmd_reproduce(
     let _ = writeln!(json, "  \"mode\": \"{}\",", if smoke { "smoke" } else { "full" });
     let _ = writeln!(json, "  \"kernel\": \"{kernel}\",");
     let _ = writeln!(json, "  \"threads\": {workers},");
+    if let Some(s) = &host_profile {
+        let _ = writeln!(json, "  \"host_profile\": {},", s.render_json());
+    }
     let _ = writeln!(
         json,
         "  \"options\": {{\"instructions\": {}, \"warmup\": {}, \
@@ -1020,6 +1088,9 @@ fn cmd_reproduce(
         cps / 1e6,
         rss.map_or_else(|| "n/a".to_string(), |b| format!("{} MiB", b / (1 << 20)))
     );
+    if let (Some(s), Some(ppath)) = (&host_profile, prof_out) {
+        let _ = writeln!(out, "\n{}\nhost profile written to {ppath}", s.render_text());
+    }
     out.push_str(&guard_line);
     Ok(out)
 }
@@ -1036,6 +1107,8 @@ fn cmd_serve(
     timeout_ms: Option<u64>,
     response_cache: usize,
     idle_timeout_ms: u64,
+    access_log: Option<&str>,
+    prof_out: Option<&str>,
 ) -> Result<String, MelreqError> {
     let store_dir = if no_store {
         None
@@ -1050,6 +1123,8 @@ fn cmd_serve(
         default_timeout_ms: timeout_ms,
         response_cache,
         idle_timeout_ms,
+        access_log: access_log.map(PathBuf::from),
+        prof_out: prof_out.map(PathBuf::from),
     };
     melreq_serve::serve_forever(cfg)
 }
@@ -1072,6 +1147,7 @@ fn cmd_client(
         requests.push(match verb.as_str() {
             "health" => ("GET", "/healthz", None),
             "metrics" => ("GET", "/metrics", None),
+            "buildinfo" => ("GET", "/buildinfo", None),
             "shutdown" => ("POST", "/shutdown", None),
             "run" | "compare" => {
                 if verb == "run" && specs.len() != 1 {
@@ -1212,13 +1288,17 @@ pub fn run_command(cmd: &Command) -> Result<String, MelreqError> {
         Command::Help => Ok(USAGE.to_string()),
         Command::Config { cores } => Ok(SystemConfig::paper(*cores, PolicyKind::MeLreq).describe()),
         Command::Profile { apps, opts } => cmd_profile(apps, opts),
-        Command::Run { mix, policy, opts, audit, obs, json, threads } => {
-            cmd_run(mix, policy, opts, *audit, obs, *json, *threads)
+        Command::Run { mix, policy, opts, audit, obs, json, threads, prof_out } => {
+            with_host_profile(prof_out.as_deref(), "melreq run", *threads, || {
+                cmd_run(mix, policy, opts, *audit, obs, *json, *threads)
+            })
         }
         Command::Trace { mix, policy, out, obs, opts } => cmd_trace(mix, policy, out, obs, opts),
         Command::Audit { mix, policy, opts } => cmd_audit(mix, policy, opts),
-        Command::Compare { mix, policies, opts, provenance, json, threads } => {
-            cmd_compare(mix, policies, opts, *provenance, *json, *threads)
+        Command::Compare { mix, policies, opts, provenance, json, threads, prof_out } => {
+            with_host_profile(prof_out.as_deref(), "melreq compare", *threads, || {
+                cmd_compare(mix, policies, opts, *provenance, *json, *threads)
+            })
         }
         Command::Sweep { kind, policies, opts, threads } => {
             cmd_sweep(kind, policies, opts, *threads)
@@ -1232,6 +1312,7 @@ pub fn run_command(cmd: &Command) -> Result<String, MelreqError> {
             threads,
             guard,
             guard_ratio,
+            prof_out,
         } => cmd_reproduce(
             *smoke,
             *no_checkpoint,
@@ -1241,6 +1322,7 @@ pub fn run_command(cmd: &Command) -> Result<String, MelreqError> {
             *threads,
             guard.as_deref(),
             *guard_ratio,
+            prof_out.as_deref(),
         ),
         Command::Serve {
             addr,
@@ -1251,6 +1333,8 @@ pub fn run_command(cmd: &Command) -> Result<String, MelreqError> {
             timeout_ms,
             response_cache,
             idle_timeout_ms,
+            access_log,
+            prof_out,
         } => cmd_serve(
             addr,
             *workers,
@@ -1260,6 +1344,8 @@ pub fn run_command(cmd: &Command) -> Result<String, MelreqError> {
             *timeout_ms,
             *response_cache,
             *idle_timeout_ms,
+            access_log.as_deref(),
+            prof_out.as_deref(),
         ),
         Command::Client { verbs, mix, policies, opts, audit, addr, timeout_ms } => {
             cmd_client(verbs, mix.as_deref(), policies, opts, *audit, addr, *timeout_ms)
@@ -1337,6 +1423,10 @@ mod tests {
     fn quick() -> ExperimentOptions {
         ExperimentOptions::quick()
     }
+
+    /// The profiler's enable/drain state is process-global; tests that
+    /// turn it on serialize here so one drain can't steal another's spans.
+    static PROF_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
     #[test]
     fn config_renders() {
@@ -1436,6 +1526,7 @@ mod tests {
             Some(2),
             None,
             0.25,
+            None,
         )
         .unwrap();
         assert!(s.contains("bit-exact"), "summary must confirm the fork gate:\n{s}");
@@ -1459,6 +1550,7 @@ mod tests {
             Some(2),
             Some(out.to_str().unwrap()),
             0.25,
+            None,
         )
         .unwrap();
         assert!(s2.contains("wall guard OK"), "guard line missing:\n{s2}");
@@ -1474,9 +1566,82 @@ mod tests {
             Some(2),
             Some(fake.to_str().unwrap()),
             0.25,
+            None,
         )
         .unwrap_err();
         assert_eq!(e.exit_code(), 6, "wall-guard failure is a timeout-class error: {e}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reproduce_with_profile_embeds_summary_and_writes_trace() {
+        let _guard = PROF_LOCK.lock().unwrap();
+        let dir =
+            std::env::temp_dir().join(format!("melreq-repro-prof-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("sweep.json");
+        let prof = dir.join("prof.json");
+        let tiny = ExperimentOptions {
+            instructions: 3000,
+            warmup: 1500,
+            profile_instructions: 1500,
+            ..ExperimentOptions::default()
+        };
+        let s = cmd_reproduce(
+            true,
+            false,
+            Some(dir.join("store").to_str().unwrap()),
+            out.to_str().unwrap(),
+            &tiny,
+            Some(2),
+            None,
+            0.25,
+            Some(prof.to_str().unwrap()),
+        )
+        .unwrap();
+        assert!(s.contains("host profile written to"), "summary must name the trace:\n{s}");
+        let artifact = std::fs::read_to_string(&out).unwrap();
+        assert!(
+            artifact.contains("\"host_profile\""),
+            "artifact must embed the profile summary:\n{artifact}"
+        );
+        let trace = std::fs::read_to_string(&prof).unwrap();
+        assert!(trace.contains("\"traceEvents\""), "Perfetto envelope missing");
+        assert!(trace.contains("\"summary\":"), "summary block missing from trace");
+        assert!(trace.contains("\"buildinfo\":"), "buildinfo block missing from trace");
+        assert!(trace.contains("worker "), "executor worker tracks missing:\n{trace:.300}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn host_profile_wrapper_writes_trace_and_passes_through_on_none() {
+        let _guard = PROF_LOCK.lock().unwrap();
+        // Without --profile the wrapper is a pure pass-through.
+        let s = with_host_profile(None, "melreq run", None, || Ok("plain".to_string())).unwrap();
+        assert_eq!(s, "plain");
+        let dir = std::env::temp_dir().join(format!("melreq-runprof-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("prof.json");
+        let s = with_host_profile(Some(path.to_str().unwrap()), "melreq run", Some(2), || {
+            cmd_run(
+                "2MEM-1",
+                &PolicySpec::Paper(PolicyKind::MeLreq),
+                &quick(),
+                false,
+                &ObsArgs::default(),
+                false,
+                Some(2),
+            )
+        })
+        .unwrap();
+        assert!(s.contains("SMT speedup"), "the run output must survive the wrapper:\n{s}");
+        assert!(s.contains("host profile written to"), "summary line missing:\n{s}");
+        let trace = std::fs::read_to_string(&path).unwrap();
+        assert!(trace.contains("\"traceEvents\""));
+        assert!(trace.contains("\"buildinfo\":"), "buildinfo block missing");
+        assert!(trace.contains("session"), "facade session span missing from trace");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -64,6 +64,9 @@ pub enum Command {
         /// Worker-thread count (`--threads`; falls back to
         /// `MELREQ_THREADS`, then host parallelism).
         threads: Option<usize>,
+        /// Host-profile output path (`--profile PATH`): wall-clock span
+        /// trace of the run itself (executor, kernel stages, facade).
+        prof_out: Option<String>,
     },
     /// Run one mix with the trace collector attached and export a
     /// Chrome/Perfetto trace (plus optional epoch time-series).
@@ -103,6 +106,8 @@ pub enum Command {
         json: bool,
         /// Worker-thread count for the shared-warm-up policy forks.
         threads: Option<usize>,
+        /// Host-profile output path (`--profile PATH`).
+        prof_out: Option<String>,
     },
     /// Core-count scaling sweep (2/4/8) of average improvement.
     Sweep {
@@ -141,6 +146,9 @@ pub enum Command {
         /// Guard tolerance (`--guard-ratio R`, default 0.25): fail when
         /// `total_wall_s > baseline_total_wall_s / R`.
         guard_ratio: f64,
+        /// Host-profile output path (`--profile PATH`): Perfetto span
+        /// trace of the sweep itself, summary embedded in the artifact.
+        prof_out: Option<String>,
     },
     /// Serve the simulator over HTTP: `/run`, `/compare`, `/healthz`,
     /// `/metrics` on a bounded worker pool sharing one checkpoint store.
@@ -162,13 +170,19 @@ pub enum Command {
         /// Idle keep-alive connection timeout in milliseconds
         /// (0 disables the sweep).
         idle_timeout_ms: u64,
+        /// Structured JSON access-log path (`--access-log PATH`).
+        access_log: Option<String>,
+        /// Host-profile output path (`--profile PATH`): request-lifecycle
+        /// span trace written at drain.
+        prof_out: Option<String>,
     },
     /// Talk to a running server: build the same typed request the local
     /// commands use and POST it (or hit a GET endpoint). Several verbs
     /// in one invocation share one keep-alive connection.
     Client {
         /// Verbs, executed in order on one connection: `run`, `compare`,
-        /// `health`, `metrics`, `shutdown` (at most one of run|compare).
+        /// `health`, `metrics`, `buildinfo`, `shutdown` (at most one of
+        /// run|compare).
         verbs: Vec<String>,
         /// Table 3 mix name (run/compare).
         mix: Option<String>,
@@ -247,11 +261,11 @@ USAGE:
                    [--guard PATH [--guard-ratio R]] [common options]
   melreq serve [--addr H:P] [--workers N] [--queue-cap M] [--store DIR]
                [--no-store] [--timeout-ms N] [--response-cache N]
-               [--idle-timeout-ms N]
+               [--idle-timeout-ms N] [--access-log PATH] [--profile PATH]
   melreq client VERB... [--addr H:P] [--timeout-ms N] [common options]
                where VERB is run <MIX> | compare <MIX> | health | metrics
-               | shutdown; several verbs share one keep-alive connection
-               (at most one of run|compare per invocation)
+               | buildinfo | shutdown; several verbs share one keep-alive
+               connection (at most one of run|compare per invocation)
   melreq loadbench [MIX] [--addr H:P] [--rps R] [--conns N]
                    [--duration S] [--seed N] [--out PATH]
                    [--guard PATH [--guard-ratio R]]
@@ -265,7 +279,10 @@ POLICIES:
 COMMON OPTIONS:
   --instructions N   measured instructions per core   (default 150000)
   --warmup N         warm-up instructions per core    (default 60000)
-  --profile N        profiling-run instructions       (default 60000)
+  --profile N|PATH   a number sets the profiling-run instruction count
+                     (default 60000); a path enables the host-side span
+                     profiler and writes a Perfetto trace there (run,
+                     compare, reproduce, serve — see HOST PROFILING)
   --slice K          evaluation slice index           (default 0)
   --tick-exact       disable the fast-forward kernel and simulate every
                      cycle (debug/baseline knob; results are identical)
@@ -301,6 +318,10 @@ COMMAND FLAGS:
             --response-cache N  cache N rendered responses  (default 0=off)
             --idle-timeout-ms N close idle keep-alive connections after N ms
                                 (default 30000; 0 = never)
+            --access-log PATH   append one structured JSON line per request
+                                (id, endpoint, status, per-stage µs)
+            --profile PATH      write the request-lifecycle host profile
+                                (Perfetto JSON) at drain
   client    --addr H:P          server address      (default 127.0.0.1:7700)
             --timeout-ms N      request wall-clock budget (forwarded)
   loadbench --addr H:P          server address      (default 127.0.0.1:7700)
@@ -347,9 +368,11 @@ SERVICE:
   (`\"cache\":\"coalesced\"`) — same report bytes either way. A full
   queue answers 429 with Retry-After; per-request wall-clock budgets
   cancel runs at an epoch boundary (504); SIGTERM (or POST /shutdown)
-  drains queued jobs before exiting. GET /healthz and /metrics
-  (Prometheus text format) serve operators. Every machine-readable body
-  carries schema_version; mismatched client requests are rejected.
+  drains queued jobs before exiting. GET /healthz, /metrics (Prometheus
+  text format, including per-stage request-latency histograms) and
+  /buildinfo (version, poller backend, pool shape) serve operators.
+  Every machine-readable body carries schema_version; mismatched client
+  requests are rejected.
 
 LOAD TESTING:
   `melreq loadbench` drives a running server with a deterministic
@@ -364,6 +387,21 @@ LOAD TESTING:
   cached-over-baseline throughput speedup. --guard compares cached
   throughput against a committed baseline artifact and exits nonzero
   (timeout-class, code 6) below baseline*ratio.
+
+HOST PROFILING:
+  `--profile PATH` (on run, compare, reproduce and serve) attaches the
+  host-side span profiler: thread-local ring buffers record wall-clock
+  spans of the process itself — executor job spans with queue-wait and
+  steal attribution, kernel stages (warm-up, snapshot encode/decode,
+  policy runs), session phases, and under serve the request lifecycle
+  (parse → queue → execute → render → flush). At exit the spans are
+  drained into a Perfetto trace_event JSON at PATH (one track per
+  thread, wall-clock µs — a separate clock domain from the sim-time
+  `--trace` output; never merge the two files) with an aggregated
+  summary plus a buildinfo block embedded, and the summary is printed
+  (reproduce also embeds it in the sweep artifact as `host_profile`).
+  Profiling is inert: simulation results are bit-identical with it on
+  or off.
 
 TRACING:
   `melreq trace` runs a mix with the deterministic trace collector on
@@ -452,6 +490,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut conns = 16usize;
     let mut duration_s = 2.0f64;
     let mut seed = 42u64;
+    let mut prof_out: Option<String> = None;
+    let mut access_log: Option<String> = None;
 
     while let Some(a) = it.next() {
         let mut val = |name: &str| -> Result<&String, String> {
@@ -466,9 +506,15 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 opts.warmup = val("--warmup")?.parse().map_err(|e| format!("--warmup: {e}"))?;
             }
             "--profile" => {
-                opts.profile_instructions =
-                    val("--profile")?.parse().map_err(|e| format!("--profile: {e}"))?;
+                // Polymorphic: a number is the profiling-run instruction
+                // count; anything else is the host-profile output path.
+                let v = val("--profile")?;
+                match v.parse::<u64>() {
+                    Ok(n) => opts.profile_instructions = n,
+                    Err(_) => prof_out = Some(v.clone()),
+                }
             }
+            "--access-log" => access_log = Some(val("--access-log")?.clone()),
             "--slice" => {
                 opts.eval_slice = val("--slice")?.parse().map_err(|e| format!("--slice: {e}"))?;
             }
@@ -600,6 +646,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 obs,
                 json,
                 threads,
+                prof_out,
             })
         }
         "trace" => {
@@ -628,7 +675,15 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 .ok_or("compare needs a workload mix name (e.g. 4MEM-1)")?
                 .clone();
             let policies = if policies.is_empty() { default_policies() } else { policies };
-            Ok(Command::Compare { mix, policies, opts, provenance: obs.provenance, json, threads })
+            Ok(Command::Compare {
+                mix,
+                policies,
+                opts,
+                provenance: obs.provenance,
+                json,
+                threads,
+                prof_out,
+            })
         }
         "sweep" => {
             let policies = if policies.is_empty() { default_policies() } else { policies };
@@ -646,6 +701,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             threads,
             guard,
             guard_ratio,
+            prof_out,
         }),
         "serve" => Ok(Command::Serve {
             addr,
@@ -656,13 +712,14 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             timeout_ms,
             response_cache,
             idle_timeout_ms,
+            access_log,
+            prof_out,
         }),
         "client" => {
             if positional.is_empty() {
-                return Err(
-                    "client needs at least one verb: run, compare, health, metrics or shutdown"
-                        .to_string(),
-                );
+                return Err("client needs at least one verb: run, compare, health, metrics, \
+                            buildinfo or shutdown"
+                    .to_string());
             }
             // Positionals are verbs in execution order; `run` and
             // `compare` consume the next positional as their mix.
@@ -684,11 +741,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                         mix = Some(m.clone());
                         verbs.push(verb.clone());
                     }
-                    "health" | "metrics" | "shutdown" => verbs.push(verb.clone()),
+                    "health" | "metrics" | "buildinfo" | "shutdown" => verbs.push(verb.clone()),
                     other => {
                         return Err(format!(
                             "unknown client verb '{other}' (run, compare, health, metrics, \
-                             shutdown)"
+                             buildinfo, shutdown)"
                         ));
                     }
                 }
@@ -745,7 +802,7 @@ mod tests {
         let c = parse_args(&v(&["run", "4MEM-1", "--policy", "lreq", "--instructions", "5000"]))
             .unwrap();
         match c {
-            Command::Run { mix, policy, opts, audit, obs, json, threads } => {
+            Command::Run { mix, policy, opts, audit, obs, json, threads, prof_out } => {
                 assert_eq!(mix, "4MEM-1");
                 assert_eq!(policy, PolicySpec::Paper(PolicyKind::Lreq));
                 assert_eq!(opts.instructions, 5000);
@@ -753,6 +810,7 @@ mod tests {
                 assert!(!obs.any());
                 assert!(!json);
                 assert!(threads.is_none());
+                assert!(prof_out.is_none());
             }
             c => panic!("wrong command {c:?}"),
         }
@@ -908,11 +966,14 @@ mod tests {
                 timeout_ms,
                 response_cache,
                 idle_timeout_ms,
+                access_log,
+                prof_out,
             } => {
                 assert_eq!(addr, "127.0.0.1:7700");
                 assert_eq!((workers, queue_cap, response_cache), (2, 16, 0));
                 assert_eq!(idle_timeout_ms, 30_000);
                 assert!(store.is_none() && !no_store && timeout_ms.is_none());
+                assert!(access_log.is_none() && prof_out.is_none());
             }
             c => panic!("wrong command {c:?}"),
         }
@@ -931,6 +992,10 @@ mod tests {
             "32",
             "--idle-timeout-ms",
             "0",
+            "--access-log",
+            "access.jsonl",
+            "--profile",
+            "serve_prof.json",
         ]))
         .unwrap()
         {
@@ -942,6 +1007,8 @@ mod tests {
                 timeout_ms,
                 response_cache,
                 idle_timeout_ms,
+                access_log,
+                prof_out,
                 ..
             } => {
                 assert_eq!(addr, "127.0.0.1:0");
@@ -949,6 +1016,8 @@ mod tests {
                 assert!(no_store);
                 assert_eq!(timeout_ms, Some(2500));
                 assert_eq!(idle_timeout_ms, 0);
+                assert_eq!(access_log.as_deref(), Some("access.jsonl"));
+                assert_eq!(prof_out.as_deref(), Some("serve_prof.json"));
             }
             c => panic!("wrong command {c:?}"),
         }
@@ -1181,8 +1250,58 @@ mod tests {
             "--conns",
             "--duration",
             "--seed",
+            "--access-log",
         ] {
             assert!(USAGE.contains(flag), "USAGE must document {flag}");
+        }
+    }
+
+    #[test]
+    fn profile_flag_is_polymorphic() {
+        // A number keeps the legacy meaning: profiling-run instructions.
+        match parse_args(&v(&["run", "4MEM-1", "--profile", "12345"])).unwrap() {
+            Command::Run { opts, prof_out, .. } => {
+                assert_eq!(opts.profile_instructions, 12_345);
+                assert!(prof_out.is_none());
+            }
+            c => panic!("wrong command {c:?}"),
+        }
+        // A path enables the host profiler on run, compare and reproduce.
+        match parse_args(&v(&["run", "4MEM-1", "--profile", "prof.json"])).unwrap() {
+            Command::Run { opts, prof_out, .. } => {
+                assert_eq!(opts.profile_instructions, 60_000, "default untouched");
+                assert_eq!(prof_out.as_deref(), Some("prof.json"));
+            }
+            c => panic!("wrong command {c:?}"),
+        }
+        match parse_args(&v(&["compare", "2MEM-1", "--profile", "p.json"])).unwrap() {
+            Command::Compare { prof_out, .. } => {
+                assert_eq!(prof_out.as_deref(), Some("p.json"));
+            }
+            c => panic!("wrong command {c:?}"),
+        }
+        match parse_args(&v(&["reproduce", "--smoke", "--profile", "p.json"])).unwrap() {
+            Command::Reproduce { prof_out, .. } => {
+                assert_eq!(prof_out.as_deref(), Some("p.json"));
+            }
+            c => panic!("wrong command {c:?}"),
+        }
+    }
+
+    #[test]
+    fn client_buildinfo_verb_parses() {
+        match parse_args(&v(&["client", "buildinfo"])).unwrap() {
+            Command::Client { verbs, mix, .. } => {
+                assert_eq!(verbs, vec!["buildinfo".to_string()]);
+                assert!(mix.is_none());
+            }
+            c => panic!("wrong command {c:?}"),
+        }
+        match parse_args(&v(&["client", "health", "buildinfo", "metrics"])).unwrap() {
+            Command::Client { verbs, .. } => {
+                assert_eq!(verbs, vec!["health".to_string(), "buildinfo".into(), "metrics".into()]);
+            }
+            c => panic!("wrong command {c:?}"),
         }
     }
 

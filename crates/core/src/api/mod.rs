@@ -686,6 +686,13 @@ impl Session {
         let ctl = self.effective_control(req, ctl);
         let store = self.store.as_deref();
 
+        // Facade phase span: the whole request, enclosing the kernel's
+        // warm-up / policy-window / snapshot spans. Records on drop, so
+        // error returns are covered too.
+        let mut phase_span = melreq_prof::span("session", || format!("run {}", mix.name));
+        phase_span.arg("policies", req.policies.len() as u64);
+        phase_span.arg("audit", u64::from(req.audit));
+
         let mut wall = Duration::ZERO;
         let mut warm_wall = Duration::ZERO;
         let mut reports = Vec::with_capacity(req.policies.len());

@@ -176,6 +176,7 @@ impl ProfileCache {
                         return p;
                     }
                 }
+                let _sp = melreq_prof::span("profile", || format!("app {} (ME)", app.code));
                 let p = profile_app(app, SliceKind::Profiling, opts.profile_instructions);
                 if let Some(st) = &self.store {
                     st.store_profile(key, &p);
@@ -199,6 +200,7 @@ impl ProfileCache {
                     return p.ipc;
                 }
             }
+            let _sp = melreq_prof::span("profile", || format!("app {} (IPC_single)", app.code));
             let p = profile_app(app, slice, opts.instructions);
             if let Some(st) = &self.store {
                 st.store_profile(skey, &p);
@@ -317,7 +319,12 @@ fn boundary_system(
     if opts.warmup > 0 {
         if let (Some(st), Some(key)) = (store, key) {
             if let Some(bytes) = st.load_warmup(key) {
-                if sys.load_snapshot(&bytes).is_ok() {
+                let restored = {
+                    let _sp =
+                        melreq_prof::span("snapshot.decode", || format!("warmup {}", mix.name));
+                    sys.load_snapshot(&bytes).is_ok()
+                };
+                if restored {
                     return (sys, true);
                 }
                 // Checksummed but structurally incompatible (should be
@@ -328,9 +335,13 @@ fn boundary_system(
         }
     }
     sys.prepare_window(opts.warmup, opts.instructions);
-    let reached = sys.run_to_boundary(ctl.limit(opts));
+    let reached = {
+        let _sp = melreq_prof::span("warmup", || mix.name.to_string());
+        sys.run_to_boundary(ctl.limit(opts))
+    };
     if reached && opts.warmup > 0 {
         if let (Some(st), Some(key)) = (store, key) {
+            let _sp = melreq_prof::span("snapshot.encode", || format!("warmup {}", mix.name));
             st.store_warmup(key, &sys.snapshot());
         }
     }
@@ -469,7 +480,10 @@ pub fn run_mix_custom_ctl(
             sys.swap_policy_boxed(policy, read_first);
         }
     }
-    let out = sys.run_window(ctl.limit(opts));
+    let out = {
+        let _sp = melreq_prof::span("policy", || format!("{name} {}", mix.name));
+        sys.run_window(ctl.limit(opts))
+    };
     let wall = started.elapsed();
     finish_result(mix, name, me, ipc_single, out, sys.now(), wall, warm_wall, from_checkpoint)
 }
@@ -519,12 +533,18 @@ pub fn run_mix_audited_ctl(
     // melreq-allow(D02): wall-clock elapsed time for the report only; no simulated state derives from it
     let warm_started = std::time::Instant::now();
     sys.prepare_window(opts.warmup, opts.instructions);
-    let _ = sys.run_to_boundary(ctl.limit(opts));
+    {
+        let _sp = melreq_prof::span("warmup", || mix.name.to_string());
+        let _ = sys.run_to_boundary(ctl.limit(opts));
+    }
     let warm_wall = warm_started.elapsed();
     // melreq-allow(D02): wall-clock elapsed time for the report only; no simulated state derives from it
     let started = std::time::Instant::now();
     sys.swap_policy(policy, &me);
-    let out = sys.run_window(ctl.limit(opts));
+    let out = {
+        let _sp = melreq_prof::span("policy", || format!("{} {}", policy.name(), mix.name));
+        sys.run_window(ctl.limit(opts))
+    };
     let wall = started.elapsed();
     let report = auditor.lock().expect("auditor poisoned").report();
     let result =
@@ -615,12 +635,18 @@ fn observed_run(
     // melreq-allow(D02): wall-clock elapsed time for the report only; no simulated state derives from it
     let warm_started = std::time::Instant::now();
     sys.prepare_window(opts.warmup, opts.instructions);
-    let _ = sys.run_to_boundary(opts.max_cycles());
+    {
+        let _sp = melreq_prof::span("warmup", || mix.name.to_string());
+        let _ = sys.run_to_boundary(opts.max_cycles());
+    }
     let warm_wall = warm_started.elapsed();
     // melreq-allow(D02): wall-clock elapsed time for the report only; no simulated state derives from it
     let started = std::time::Instant::now();
     sys.swap_policy(policy, &me);
-    let out = sys.run_window(opts.max_cycles());
+    let out = {
+        let _sp = melreq_prof::span("policy", || format!("{} {}", policy.name(), mix.name));
+        sys.run_window(opts.max_cycles())
+    };
     let wall = started.elapsed();
     collector.lock().expect("obs collector poisoned").finish();
     let report = auditor.map(|a| a.lock().expect("auditor poisoned").report());
@@ -864,7 +890,10 @@ fn warm_up_and_fork<'env>(
     let warm_started = std::time::Instant::now();
     let (base, from_checkpoint) = boundary_system(&mix, opts, store, ctl);
     let total_runs: usize = consumers.iter().map(|c| c.policies.len()).sum();
-    let snap = (total_runs > 1).then(|| Arc::new(base.snapshot()));
+    let snap = (total_runs > 1).then(|| {
+        let _sp = melreq_prof::span("snapshot.encode", || format!("fork {}", mix.name));
+        Arc::new(base.snapshot())
+    });
     let warm_wall = warm_started.elapsed();
 
     // Fork every run but the first, then run the first on the warmed
@@ -883,11 +912,18 @@ fn warm_up_and_fork<'env>(
                 // melreq-allow(D02): wall-clock elapsed time for the report only; no simulated state derives from it
                 let started = std::time::Instant::now();
                 let mut sys = canonical_system(&mix, opts);
-                sys.load_snapshot(&snap)
-                    .expect("boundary snapshot must restore into an identical fresh system");
+                {
+                    let _sp = melreq_prof::span("snapshot.decode", || format!("fork {}", mix.name));
+                    sys.load_snapshot(&snap)
+                        .expect("boundary snapshot must restore into an identical fresh system");
+                }
                 ctl.arm(&mut sys);
                 sys.swap_policy(kind, &me);
-                let out = sys.run_window(ctl.limit(opts));
+                let out = {
+                    let _sp =
+                        melreq_prof::span("policy", || format!("{} {}", kind.name(), mix.name));
+                    sys.run_window(ctl.limit(opts))
+                };
                 let wall = started.elapsed();
                 *slot.lock().expect("result slot poisoned") = Some(finish_result(
                     &mix,
@@ -908,7 +944,10 @@ fn warm_up_and_fork<'env>(
     let started = std::time::Instant::now();
     let mut sys = base;
     sys.swap_policy(kind, &me);
-    let out = sys.run_window(ctl.limit(opts));
+    let out = {
+        let _sp = melreq_prof::span("policy", || format!("{} {}", kind.name(), mix.name));
+        sys.run_window(ctl.limit(opts))
+    };
     let wall = started.elapsed();
     *slot.lock().expect("result slot poisoned") = Some(finish_result(
         &mix,

@@ -41,7 +41,26 @@ type Job<'env> = Box<dyn FnOnce(Ctx<'_, 'env>) + Send + 'env>;
 struct Ranked<'env> {
     priority: u64,
     seq: u64,
+    /// Profiler-clock submit stamp (0 when profiling is off).
+    submitted_ns: u64,
     job: Job<'env>,
+}
+
+/// A forked child parked on a worker's local deque.
+struct Forked<'env> {
+    /// Profiler-clock fork stamp (0 when profiling is off).
+    submitted_ns: u64,
+    job: Job<'env>,
+}
+
+/// A job plus its scheduling provenance, as handed to a worker.
+struct Taken<'env> {
+    job: Job<'env>,
+    submitted_ns: u64,
+    /// `Some(priority, seq)` for injector roots, `None` for forks.
+    root: Option<(u64, u64)>,
+    /// Popped from another worker's deque rather than our own.
+    stolen: bool,
 }
 
 impl PartialEq for Ranked<'_> {
@@ -68,7 +87,7 @@ impl Ord for Ranked<'_> {
 struct Shared<'env> {
     injector: Mutex<BinaryHeap<Ranked<'env>>>,
     seq: AtomicU64,
-    locals: Vec<Mutex<VecDeque<Job<'env>>>>,
+    locals: Vec<Mutex<VecDeque<Forked<'env>>>>,
     /// Jobs submitted or forked but not yet finished.
     active: AtomicUsize,
     /// Set once the seeding closure has returned: only then does
@@ -129,6 +148,7 @@ impl<'env> Scope<'_, 'env> {
         self.shared.injector.lock().expect("injector poisoned").push(Ranked {
             priority,
             seq,
+            submitted_ns: melreq_prof::now_ns(),
             job: Box::new(job),
         });
         self.shared.wake.notify_all();
@@ -150,7 +170,7 @@ impl<'env> Ctx<'_, 'env> {
         self.shared.locals[self.worker]
             .lock()
             .expect("local deque poisoned")
-            .push_back(Box::new(job));
+            .push_back(Forked { submitted_ns: melreq_prof::now_ns(), job: Box::new(job) });
         self.shared.wake.notify_all();
     }
 
@@ -160,30 +180,74 @@ impl<'env> Ctx<'_, 'env> {
     }
 }
 
-fn take_job<'env>(shared: &Shared<'env>, idx: usize) -> Option<Job<'env>> {
-    if let Some(job) = shared.locals[idx].lock().expect("local deque poisoned").pop_back() {
-        return Some(job);
+fn take_job<'env>(shared: &Shared<'env>, idx: usize) -> Option<Taken<'env>> {
+    if let Some(forked) = shared.locals[idx].lock().expect("local deque poisoned").pop_back() {
+        return Some(Taken {
+            job: forked.job,
+            submitted_ns: forked.submitted_ns,
+            root: None,
+            stolen: false,
+        });
     }
     if let Some(ranked) = shared.injector.lock().expect("injector poisoned").pop() {
-        return Some(ranked.job);
+        return Some(Taken {
+            job: ranked.job,
+            submitted_ns: ranked.submitted_ns,
+            root: Some((ranked.priority, ranked.seq)),
+            stolen: false,
+        });
     }
     let n = shared.locals.len();
     for off in 1..n {
         let victim = (idx + off) % n;
-        if let Some(job) = shared.locals[victim].lock().expect("local deque poisoned").pop_front() {
-            return Some(job);
+        if let Some(forked) =
+            shared.locals[victim].lock().expect("local deque poisoned").pop_front()
+        {
+            return Some(Taken {
+                job: forked.job,
+                submitted_ns: forked.submitted_ns,
+                root: None,
+                stolen: true,
+            });
         }
     }
     None
 }
 
 fn worker_loop(shared: &Shared<'_>, idx: usize) {
+    melreq_prof::set_thread_track(|| format!("worker {idx}"));
     loop {
         if shared.done.load(Ordering::Acquire) {
-            return;
+            break;
         }
-        if let Some(job) = take_job(shared, idx) {
+        if let Some(taken) = take_job(shared, idx) {
+            let start_ns = melreq_prof::now_ns();
+            let Taken { job, submitted_ns, root, stolen } = taken;
             let outcome = catch_unwind(AssertUnwindSafe(|| job(Ctx { shared, worker: idx })));
+            let mut args = [("", 0u64); 3];
+            let mut nargs = 0;
+            if start_ns >= submitted_ns {
+                args[nargs] = ("queue_ns", start_ns - submitted_ns);
+                nargs += 1;
+            }
+            if stolen {
+                args[nargs] = ("steal", 1);
+                nargs += 1;
+            }
+            if let Some((priority, _)) = root {
+                args[nargs] = ("prio", priority);
+                nargs += 1;
+            }
+            melreq_prof::record(
+                "exec.job",
+                || match root {
+                    Some((_, seq)) => format!("root #{seq}"),
+                    None => "fork".to_string(),
+                },
+                start_ns,
+                melreq_prof::now_ns(),
+                &args[..nargs],
+            );
             if let Err(payload) = outcome {
                 shared.poison(payload);
             }
@@ -191,7 +255,7 @@ fn worker_loop(shared: &Shared<'_>, idx: usize) {
         } else {
             let guard = shared.idle.lock().expect("idle lock poisoned");
             if shared.done.load(Ordering::Acquire) {
-                return;
+                break;
             }
             // The timeout bounds the race between a failed scan and a
             // concurrent submit (a missed notify costs at most one tick,
@@ -202,6 +266,10 @@ fn worker_loop(shared: &Shared<'_>, idx: usize) {
                 .expect("idle lock poisoned while waiting");
         }
     }
+    // Joining a scoped thread does not wait for TLS destructors, so the
+    // recorder must flush here — not in Drop — or [`melreq_prof::drain`]
+    // on the caller can race the flush and lose this worker's spans.
+    melreq_prof::flush_thread();
 }
 
 /// Run a job pool with `workers` worker threads (clamped to at least
@@ -342,6 +410,39 @@ mod tests {
             });
         }));
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn profiled_pool_records_job_spans_per_worker() {
+        // Other tests in this binary may run pools concurrently while
+        // profiling is on; assertions are presence-based (>=), never
+        // exact counts, so extra spans from neighbors cannot fail us.
+        melreq_prof::enable();
+        let count = AtomicUsize::new(0);
+        run_scope(2, |scope| {
+            for _ in 0..4 {
+                scope.submit(3, |ctx| {
+                    count.fetch_add(1, Ordering::Relaxed);
+                    ctx.fork(|_ctx| {
+                        count.fetch_add(1, Ordering::Relaxed);
+                    });
+                });
+            }
+        });
+        melreq_prof::disable();
+        let p = melreq_prof::drain();
+        assert_eq!(count.load(Ordering::Relaxed), 8);
+        // A worker that happened to run zero jobs flushes no track, so
+        // assert the labeling scheme, not a specific worker index.
+        assert!(
+            p.tracks.iter().any(|t| t.label.starts_with("worker ")),
+            "worker threads label their tracks"
+        );
+        let jobs: Vec<_> =
+            p.tracks.iter().flat_map(|t| t.spans.iter()).filter(|s| s.cat == "exec.job").collect();
+        assert!(jobs.len() >= 8, "one span per submitted and forked job");
+        assert!(jobs.iter().any(|s| s.arg("prio") == Some(3)), "roots carry their priority");
+        assert!(jobs.iter().all(|s| s.arg("queue_ns").is_some()), "queue wait attributed");
     }
 
     #[test]

@@ -28,6 +28,7 @@
 
 pub mod collector;
 pub mod event;
+pub mod hostprof;
 pub mod metrics;
 pub mod perfetto;
 pub mod provenance;
@@ -35,7 +36,8 @@ pub mod series;
 
 pub use collector::{ChannelSample, Collector, CoreSample, Fanout, ObsConfig};
 pub use event::{CmdKind, TraceEvent, TraceRing};
-pub use metrics::{Counter, Gauge, MetricKind, Registry};
+pub use hostprof::export_host_profile;
+pub use metrics::{Counter, Gauge, Histogram, MetricKind, Registry};
 pub use perfetto::export_chrome_json;
 pub use provenance::{Rule, RuleTotals, RunnerUp};
 pub use series::EpochRow;

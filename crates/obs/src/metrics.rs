@@ -69,6 +69,80 @@ impl Gauge {
     }
 }
 
+/// A histogram over fixed upper bounds, rendered Prometheus-style as
+/// cumulative `_bucket{le=...}` samples plus `_sum` and `_count`.
+#[derive(Debug)]
+pub struct Histogram {
+    /// Bucket upper bounds, strictly increasing; the `+Inf` bucket is
+    /// implicit (it always equals `_count`).
+    bounds: Vec<f64>,
+    /// Per-bucket (non-cumulative) observation counts.
+    counts: Vec<AtomicU64>,
+    /// Sum of observed values, stored as `f64` bits (CAS-updated).
+    sum_bits: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]) && bounds.iter().all(|b| b.is_finite()),
+            "histogram bounds must be finite and strictly increasing"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: bounds.iter().map(|_| AtomicU64::new(0)).collect(),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation.
+    pub fn observe(&self, v: f64) {
+        if let Some(i) = self.bounds.iter().position(|b| v <= *b) {
+            self.counts[i].fetch_add(1, Ordering::Relaxed);
+        }
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observed values.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// `(upper bound, cumulative count)` per declared bucket.
+    pub fn cumulative(&self) -> Vec<(f64, u64)> {
+        let mut acc = 0u64;
+        self.bounds
+            .iter()
+            .zip(&self.counts)
+            .map(|(b, c)| {
+                acc += c.load(Ordering::Relaxed);
+                (*b, acc)
+            })
+            .collect()
+    }
+}
+
 /// What a metric family is, for the `# TYPE` header.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MetricKind {
@@ -76,6 +150,8 @@ pub enum MetricKind {
     Counter,
     /// Up/down gauge.
     Gauge,
+    /// Bucketed distribution.
+    Histogram,
 }
 
 impl MetricKind {
@@ -83,6 +159,7 @@ impl MetricKind {
         match self {
             MetricKind::Counter => "counter",
             MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
         }
     }
 }
@@ -91,6 +168,7 @@ enum Source {
     Counter(Arc<Counter>),
     Gauge(Arc<Gauge>),
     Func(Box<dyn Fn() -> f64 + Send>),
+    Histogram(Arc<Histogram>),
 }
 
 struct Sample {
@@ -144,6 +222,14 @@ impl Registry {
         g
     }
 
+    /// Register and return a histogram with the given bucket upper
+    /// bounds (the `+Inf` bucket is implicit).
+    pub fn histogram(&self, sample: &str, help: &str, bounds: &[f64]) -> Arc<Histogram> {
+        let h = Arc::new(Histogram::new(bounds));
+        self.attach(sample, help, MetricKind::Histogram, Source::Histogram(h.clone()));
+        h
+    }
+
     /// Register a scrape-time closure (for externally owned counters).
     pub fn func(
         &self,
@@ -182,16 +268,50 @@ impl Registry {
             out.push_str(&format!("# HELP {} {}\n", f.name, f.help));
             out.push_str(&format!("# TYPE {} {}\n", f.name, f.kind.as_str()));
             for s in &f.samples {
-                let value = match &s.source {
-                    Source::Counter(c) => format_value(c.get() as f64),
-                    Source::Gauge(g) => format_value(g.get() as f64),
-                    Source::Func(func) => format_value(func()),
-                };
-                out.push_str(&format!("{} {}\n", s.name, value));
+                match &s.source {
+                    Source::Counter(c) => {
+                        out.push_str(&format!("{} {}\n", s.name, format_value(c.get() as f64)));
+                    }
+                    Source::Gauge(g) => {
+                        out.push_str(&format!("{} {}\n", s.name, format_value(g.get() as f64)));
+                    }
+                    Source::Func(func) => {
+                        out.push_str(&format!("{} {}\n", s.name, format_value(func())));
+                    }
+                    Source::Histogram(h) => render_histogram(&mut out, &s.name, h),
+                }
             }
         }
         out
     }
+}
+
+/// Expand one histogram sample into its cumulative `_bucket` series
+/// (ending with `le="+Inf"`, which by construction equals `_count`)
+/// plus `_sum` and `_count`, threading any existing labels through.
+fn render_histogram(out: &mut String, sample: &str, h: &Histogram) {
+    let (base, labels) = match sample.split_once('{') {
+        Some((base, rest)) => (base, rest.trim_end_matches('}')),
+        None => (sample, ""),
+    };
+    let with = |extra: &str| -> String {
+        if labels.is_empty() {
+            format!("{{{extra}}}")
+        } else {
+            format!("{{{labels},{extra}}}")
+        }
+    };
+    for (bound, cum) in h.cumulative() {
+        out.push_str(&format!(
+            "{base}_bucket{} {cum}\n",
+            with(&format!("le=\"{}\"", format_value(bound)))
+        ));
+    }
+    let count = h.count();
+    out.push_str(&format!("{base}_bucket{} {count}\n", with("le=\"+Inf\"")));
+    let suffix = if labels.is_empty() { String::new() } else { format!("{{{labels}}}") };
+    out.push_str(&format!("{base}_sum{suffix} {}\n", format_value(h.sum())));
+    out.push_str(&format!("{base}_count{suffix} {count}\n"));
 }
 
 /// Integral values print without a fractional part (Prometheus accepts
@@ -255,5 +375,44 @@ mod tests {
     fn values_render_integral_or_float() {
         assert_eq!(format_value(3.0), "3");
         assert_eq!(format_value(0.5), "0.5");
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_inf_matches_count() {
+        let reg = Registry::new();
+        let h = reg.histogram("req_seconds", "Latency.", &[0.1, 0.5, 1.0]);
+        for v in [0.05, 0.05, 0.3, 0.7, 5.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert!((h.sum() - 6.1).abs() < 1e-9);
+        assert_eq!(h.cumulative(), vec![(0.1, 2), (0.5, 3), (1.0, 4)]);
+        let text = reg.render();
+        assert!(text.contains("# TYPE req_seconds histogram\n"));
+        assert!(text.contains("req_seconds_bucket{le=\"0.1\"} 2\n"));
+        assert!(text.contains("req_seconds_bucket{le=\"0.5\"} 3\n"));
+        assert!(text.contains("req_seconds_bucket{le=\"1\"} 4\n"));
+        assert!(text.contains("req_seconds_bucket{le=\"+Inf\"} 5\n"));
+        assert!(text.contains("req_seconds_sum 6.1"));
+        assert!(text.contains("req_seconds_count 5\n"));
+    }
+
+    #[test]
+    fn labeled_histogram_threads_labels_through_bucket_lines() {
+        let reg = Registry::new();
+        let parse =
+            reg.histogram("stage_seconds{stage=\"parse\"}", "Per-stage latency.", &[0.01, 0.1]);
+        let queue =
+            reg.histogram("stage_seconds{stage=\"queue\"}", "Per-stage latency.", &[0.01, 0.1]);
+        parse.observe(0.005);
+        queue.observe(0.05);
+        let text = reg.render();
+        assert_eq!(text.matches("# TYPE stage_seconds histogram").count(), 1);
+        assert!(text.contains("stage_seconds_bucket{stage=\"parse\",le=\"0.01\"} 1\n"));
+        assert!(text.contains("stage_seconds_bucket{stage=\"parse\",le=\"+Inf\"} 1\n"));
+        assert!(text.contains("stage_seconds_bucket{stage=\"queue\",le=\"0.01\"} 0\n"));
+        assert!(text.contains("stage_seconds_bucket{stage=\"queue\",le=\"0.1\"} 1\n"));
+        assert!(text.contains("stage_seconds_sum{stage=\"parse\"} 0.005\n"));
+        assert!(text.contains("stage_seconds_count{stage=\"queue\"} 1\n"));
     }
 }

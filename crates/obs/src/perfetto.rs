@@ -28,7 +28,9 @@ fn outcome_name(o: GrantOutcome) -> &'static str {
     }
 }
 
-fn push_event(out: &mut String, first: &mut bool, body: std::fmt::Arguments<'_>) {
+/// Append one `trace_event` record with the `",\n"` separator protocol
+/// (shared with the host-profile exporter in [`crate::hostprof`]).
+pub(crate) fn push_event(out: &mut String, first: &mut bool, body: std::fmt::Arguments<'_>) {
     if !*first {
         out.push_str(",\n");
     }

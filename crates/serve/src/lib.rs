@@ -49,13 +49,13 @@ use melreq_core::api::{MelreqError, Session, SimRequest, SCHEMA_VERSION};
 use melreq_core::experiment::RunControl;
 use melreq_core::store::CheckpointStore;
 use melreq_core::system::CancelToken;
-use melreq_obs::metrics::{Counter, Gauge, MetricKind, Registry};
+use melreq_obs::metrics::{Counter, Gauge, Histogram, MetricKind, Registry};
 use poll::{Interest, Poller, WakeHandle, Waker};
 use std::collections::{BTreeMap, VecDeque};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -72,6 +72,18 @@ const RETRY_AFTER_S: u64 = 1;
 /// Longest the event loop sleeps in the poller — the tick driving idle
 /// sweeps, drain progress, and SIGTERM polling.
 const TICK_MS: i32 = 100;
+
+/// Histogram bucket upper bounds (seconds) shared by the request and
+/// per-stage latency families — sub-millisecond parse/flush stages up
+/// through multi-second simulations.
+const LATENCY_BUCKETS: [f64; 16] = [
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+    60.0,
+];
+
+/// Request lifecycle stages, in order, as the `stage` label values of
+/// `melreq_serve_request_stage_duration_seconds`.
+const STAGES: [&str; 5] = ["parse", "queue", "execute", "render", "flush"];
 
 const LISTENER_TOKEN: u64 = 0;
 const WAKER_TOKEN: u64 = 1;
@@ -105,6 +117,13 @@ pub struct ServeConfig {
     /// Close keep-alive connections idle longer than this; 0 disables
     /// the sweep. Connections with a simulation in flight are exempt.
     pub idle_timeout_ms: u64,
+    /// Structured JSON access log (one line per answered `/run` or
+    /// `/compare` request); `None` disables it.
+    pub access_log: Option<PathBuf>,
+    /// Host-profile output path: when set, [`serve_forever`] enables
+    /// the span profiler for the server's lifetime and writes a
+    /// Perfetto trace (with embedded summary and buildinfo) on drain.
+    pub prof_out: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -117,6 +136,8 @@ impl Default for ServeConfig {
             default_timeout_ms: None,
             response_cache: 0,
             idle_timeout_ms: 30_000,
+            access_log: None,
+            prof_out: None,
         }
     }
 }
@@ -141,19 +162,32 @@ impl Endpoint {
 /// referenced by token only — the event loop keeps the socket.
 struct Job {
     token: u64,
+    /// Request id (process-wide, monotonically assigned at dispatch) —
+    /// threads the connection's lifecycle trace through the worker.
+    id: u64,
     /// Canonical identity bytes ([`SimRequest::canonical_bytes`]) — the
     /// coalescing and response-cache key.
     key: String,
     req: SimRequest,
     deadline: Option<Instant>,
+    /// When the job entered the bounded queue (queue-wait timing).
+    queued_at: Instant,
 }
 
 /// A finished job (or error), handed from a worker back to the event
-/// loop for delivery.
+/// loop for delivery. Stage durations ride along so the loop can merge
+/// them into the connection's request trace; coalesced followers carry
+/// zeros (they did no work of their own).
 struct Completion {
     token: u64,
     status: u16,
     body: String,
+    /// Cache disposition for the access log ("cold"/"warm"/"partial",
+    /// "coalesced", or "none" on errors).
+    cache: &'static str,
+    queue: Duration,
+    execute: Duration,
+    render: Duration,
 }
 
 struct Metrics {
@@ -172,12 +206,14 @@ struct Metrics {
     cache_misses: Arc<Counter>,
     cache_evictions: Arc<Counter>,
     coalesced: Arc<Counter>,
+    request_duration: Arc<Histogram>,
+    stage_durations: Vec<(&'static str, Arc<Histogram>)>,
 }
 
 impl Metrics {
     fn new() -> Self {
         let registry = Registry::new();
-        let requests = ["run", "compare", "healthz", "metrics", "shutdown"]
+        let requests = ["run", "compare", "healthz", "metrics", "shutdown", "buildinfo"]
             .into_iter()
             .map(|ep| {
                 let c = registry.counter(
@@ -231,6 +267,22 @@ impl Metrics {
             "melreq_serve_coalesced_total",
             "Requests coalesced onto an identical in-flight simulation.",
         );
+        let request_duration = registry.histogram(
+            "melreq_serve_request_duration_seconds",
+            "End-to-end simulation request latency: parse start to final flush.",
+            &LATENCY_BUCKETS,
+        );
+        let stage_durations = STAGES
+            .into_iter()
+            .map(|stage| {
+                let h = registry.histogram(
+                    &format!("melreq_serve_request_stage_duration_seconds{{stage=\"{stage}\"}}"),
+                    "Simulation request latency by lifecycle stage.",
+                    &LATENCY_BUCKETS,
+                );
+                (stage, h)
+            })
+            .collect();
         Metrics {
             registry,
             requests,
@@ -247,6 +299,14 @@ impl Metrics {
             cache_misses,
             cache_evictions,
             coalesced,
+            request_duration,
+            stage_durations,
+        }
+    }
+
+    fn observe_stage(&self, stage: &str, d: Duration) {
+        if let Some((_, h)) = self.stage_durations.iter().find(|(s, _)| *s == stage) {
+            h.observe(d.as_secs_f64());
         }
     }
 
@@ -324,6 +384,9 @@ struct Shared {
     /// Jobs admitted to the queue whose completions have not been
     /// published yet (drain barrier).
     jobs_outstanding: AtomicUsize,
+    /// Monotonic request-id source for `/run`//`compare` lifecycle
+    /// traces (ids start at 1; 0 never appears in a log line).
+    next_request_id: AtomicU64,
     waker: WakeHandle,
 }
 
@@ -418,15 +481,26 @@ pub fn start(cfg: ServeConfig) -> Result<ServerHandle, MelreqError> {
         coalesce: Mutex::new(BTreeMap::new()),
         completions: Mutex::new(VecDeque::new()),
         jobs_outstanding: AtomicUsize::new(0),
+        next_request_id: AtomicU64::new(0),
         waker: wake_handle,
     });
+
+    let access_log =
+        match &cfg.access_log {
+            Some(path) => {
+                Some(std::fs::OpenOptions::new().create(true).append(true).open(path).map_err(
+                    |e| MelreqError::Io(format!("open access log {}: {e}", path.display())),
+                )?)
+            }
+            None => None,
+        };
 
     let workers = (0..cfg.workers.max(1))
         .map(|i| {
             let shared = shared.clone();
             std::thread::Builder::new()
                 .name(format!("melreq-worker-{i}"))
-                .spawn(move || worker_loop(&shared))
+                .spawn(move || worker_loop(&shared, i))
                 .expect("spawn worker thread")
         })
         .collect();
@@ -438,6 +512,7 @@ pub fn start(cfg: ServeConfig) -> Result<ServerHandle, MelreqError> {
             listener: Some(listener),
             conns: BTreeMap::new(),
             next_token: FIRST_CONN_TOKEN,
+            access_log,
         };
         std::thread::Builder::new()
             .name("melreq-netio".to_string())
@@ -452,6 +527,9 @@ pub fn start(cfg: ServeConfig) -> Result<ServerHandle, MelreqError> {
 /// summary for the CLI to print.
 pub fn serve_forever(cfg: ServeConfig) -> Result<String, MelreqError> {
     install_sigterm();
+    if cfg.prof_out.is_some() {
+        melreq_prof::enable();
+    }
     let store_note = match &cfg.store_dir {
         Some(dir) => format!("store {}", dir.display()),
         None => "no store".to_string(),
@@ -466,7 +544,44 @@ pub fn serve_forever(cfg: ServeConfig) -> Result<String, MelreqError> {
         store_note
     );
     handle.join();
+    if let Some(path) = &cfg.prof_out {
+        melreq_prof::disable();
+        let profile = melreq_prof::drain();
+        let summary = melreq_prof::summarize(&profile, 10);
+        let trace = melreq_obs::export_host_profile(
+            &profile,
+            "melreq serve",
+            &[("summary", summary.render_json()), ("buildinfo", buildinfo_json(&cfg))],
+        );
+        std::fs::write(path, trace)
+            .map_err(|e| MelreqError::Io(format!("write profile {}: {e}", path.display())))?;
+        return Ok(format!(
+            "{}\nhost profile written to {}\nmelreq-serve drained cleanly",
+            summary.render_text(),
+            path.display()
+        ));
+    }
     Ok("melreq-serve drained cleanly".to_string())
+}
+
+/// Render the `/buildinfo` body: crate version, request schema version,
+/// compiled poller backend, and the effective worker/queue/feature
+/// configuration. The same block is embedded in `--profile` artifacts
+/// so a trace records which build and configuration produced it.
+pub fn buildinfo_json(cfg: &ServeConfig) -> String {
+    format!(
+        "{{\"name\":\"melreq-serve\",\"version\":\"{}\",\"schema_version\":{SCHEMA_VERSION},\
+         \"poller\":\"{}\",\"workers\":{},\"queue_cap\":{},\"response_cache\":{},\"store\":{},\
+         \"profiling\":{},\"access_log\":{}}}",
+        env!("CARGO_PKG_VERSION"),
+        poll::backend_name(),
+        cfg.workers.max(1),
+        cfg.queue_cap,
+        cfg.response_cache,
+        cfg.store_dir.is_some(),
+        cfg.prof_out.is_some(),
+        cfg.access_log.is_some(),
+    )
 }
 
 /// Per-connection event-loop state. `rbuf` accumulates unparsed input
@@ -490,6 +605,10 @@ struct Conn {
     /// Write interest currently registered in the poller.
     want_write: bool,
     last_activity: Instant,
+    /// Lifecycle trace of the simulation request currently in flight on
+    /// this connection. At most one exists because `busy` pauses
+    /// parsing until the previous response is delivered.
+    trace: Option<ReqTrace>,
 }
 
 impl Conn {
@@ -505,6 +624,45 @@ impl Conn {
             read_closed: false,
             want_write: false,
             last_activity: Instant::now(),
+            trace: None,
+        }
+    }
+}
+
+/// Per-request lifecycle record: stage timings accumulate as the
+/// request moves parse → queue → execute → render → flush, and the
+/// whole record is finalized (histograms, profiler spans, access log)
+/// once the response bytes have fully left the process.
+struct ReqTrace {
+    id: u64,
+    endpoint: &'static str,
+    /// When parsing of this request began (the request's time zero).
+    start: Instant,
+    parse: Duration,
+    queue: Duration,
+    execute: Duration,
+    render: Duration,
+    /// Cache disposition ("response" for cache hits, worker-reported
+    /// otherwise; "none" until known).
+    cache: &'static str,
+    status: u16,
+    /// When the response was queued on the connection (flush begins).
+    sent_at: Option<Instant>,
+}
+
+impl ReqTrace {
+    fn new(id: u64, endpoint: &'static str, start: Instant, parse: Duration) -> Self {
+        ReqTrace {
+            id,
+            endpoint,
+            start,
+            parse,
+            queue: Duration::ZERO,
+            execute: Duration::ZERO,
+            render: Duration::ZERO,
+            cache: "none",
+            status: 0,
+            sent_at: None,
         }
     }
 }
@@ -525,10 +683,14 @@ struct EventLoop {
     listener: Option<TcpListener>,
     conns: BTreeMap<u64, Conn>,
     next_token: u64,
+    /// Open `--access-log` sink (append mode); one JSON line per
+    /// finalized simulation request.
+    access_log: Option<std::fs::File>,
 }
 
 impl EventLoop {
     fn run(mut self) {
+        melreq_prof::set_thread_track(|| "serve netio".to_string());
         let mut events: Vec<poll::Event> = Vec::new();
         loop {
             if sigterm_received() || self.shared.draining.load(Ordering::SeqCst) {
@@ -563,6 +725,9 @@ impl EventLoop {
         // Exit: make sure workers observe the drain too.
         self.shared.draining.store(true, Ordering::SeqCst);
         self.shared.cond.notify_all();
+        // Thread join does not wait for TLS destructors; flush the span
+        // recorder explicitly so a post-join drain sees this thread.
+        melreq_prof::flush_thread();
     }
 
     /// Idempotent drain entry: stop accepting, wake workers, drop
@@ -674,14 +839,16 @@ impl EventLoop {
             if conn.busy || conn.close_after_write {
                 break;
             }
+            let parse_started = Instant::now();
             match http::parse_request(&conn.rbuf, MAX_BODY) {
                 Ok(None) => break,
                 Ok(Some((request, consumed))) => {
+                    let parse = parse_started.elapsed();
                     conn.rbuf.drain(..consumed);
                     if request.close {
                         conn.close_requested = true;
                     }
-                    self.dispatch(token, &request);
+                    self.dispatch(token, &request, parse_started, parse);
                 }
                 Err(e) => {
                     let body = error_body(400, "usage", &format!("bad request: {e}"));
@@ -698,7 +865,13 @@ impl EventLoop {
         self.flush(token);
     }
 
-    fn dispatch(&mut self, token: u64, request: &http::HttpRequest) {
+    fn dispatch(
+        &mut self,
+        token: u64,
+        request: &http::HttpRequest,
+        started: Instant,
+        parse: Duration,
+    ) {
         let shared = self.shared.clone();
         match (request.method.as_str(), request.path.as_str()) {
             ("GET", "/healthz") => {
@@ -720,15 +893,35 @@ impl EventLoop {
                 self.send(token, 200, "application/json", &[], "{\"status\":\"draining\"}");
                 self.begin_drain();
             }
+            ("GET", "/buildinfo") => {
+                shared.metrics.count_request("buildinfo");
+                let body = buildinfo_json(&shared.cfg);
+                self.send(token, 200, "application/json", &[], &body);
+            }
             ("POST", path @ ("/run" | "/compare")) => {
                 let endpoint = if path == "/run" { Endpoint::Run } else { Endpoint::Compare };
                 shared.metrics.count_request(endpoint.as_str());
+                let id = shared.next_request_id.fetch_add(1, Ordering::Relaxed) + 1;
+                // Replacing a not-yet-finalized trace (possible only
+                // when a pipelined response is still flushing) settles
+                // the old one now rather than losing it.
+                let prev = match self.conns.get_mut(&token) {
+                    Some(conn) => {
+                        conn.trace.replace(ReqTrace::new(id, endpoint.as_str(), started, parse))
+                    }
+                    None => None,
+                };
+                if let Some(t) = prev {
+                    if t.sent_at.is_some() {
+                        self.finalize_request(t);
+                    }
+                }
                 match parse_sim_request(&request.body, endpoint) {
-                    Ok(req) => self.admit(token, req),
+                    Ok(req) => self.admit(token, id, req),
                     Err(e) => self.send_error(token, &e),
                 }
             }
-            (_, "/healthz" | "/metrics" | "/shutdown" | "/run" | "/compare") => {
+            (_, "/healthz" | "/metrics" | "/buildinfo" | "/shutdown" | "/run" | "/compare") => {
                 let body = error_body(405, "usage", "method not allowed");
                 self.send(token, 405, "application/json", &[], &body);
             }
@@ -741,7 +934,7 @@ impl EventLoop {
 
     /// Admit one parsed simulation request: response cache, then
     /// coalescing, then the bounded queue (or 429).
-    fn admit(&mut self, token: u64, req: SimRequest) {
+    fn admit(&mut self, token: u64, id: u64, req: SimRequest) {
         let shared = self.shared.clone();
         let key = req.canonical_bytes();
 
@@ -750,6 +943,10 @@ impl EventLoop {
             match hit {
                 Some(report) => {
                     shared.metrics.cache_hits.inc();
+                    if let Some(t) = self.conns.get_mut(&token).and_then(|conn| conn.trace.as_mut())
+                    {
+                        t.cache = "response";
+                    }
                     let body = envelope(&report, "response", &shared);
                     self.send(token, 200, "application/json", &[], &body);
                     return;
@@ -792,7 +989,7 @@ impl EventLoop {
         // a worker finishing the job resolves the entry, so it must
         // exist first.
         shared.coalesce.lock().expect("coalesce poisoned").insert(key.clone(), Vec::new());
-        queue.push_back(Job { token, key, req, deadline });
+        queue.push_back(Job { token, id, key, req, deadline, queued_at: Instant::now() });
         shared.jobs_outstanding.fetch_add(1, Ordering::SeqCst);
         shared.metrics.queue_depth.set(i64::try_from(queue.len()).unwrap_or(i64::MAX));
         shared.metrics.inflight_requests.inc();
@@ -814,6 +1011,12 @@ impl EventLoop {
             if self.conns.contains_key(&c.token) {
                 if let Some(conn) = self.conns.get_mut(&c.token) {
                     conn.busy = false;
+                    if let Some(t) = conn.trace.as_mut() {
+                        t.cache = c.cache;
+                        t.queue = c.queue;
+                        t.execute = c.execute;
+                        t.render = c.render;
+                    }
                 }
                 self.send(c.token, c.status, "application/json", &[], &c.body);
                 self.advance(c.token);
@@ -862,6 +1065,12 @@ impl EventLoop {
     ) {
         let draining = self.shared.draining.load(Ordering::SeqCst);
         let Some(conn) = self.conns.get_mut(&token) else { return };
+        if let Some(t) = conn.trace.as_mut() {
+            if t.sent_at.is_none() {
+                t.sent_at = Some(Instant::now());
+                t.status = status;
+            }
+        }
         let close = conn.close_requested || draining;
         self.shared.metrics.count_response(status);
         conn.wbuf.extend_from_slice(&http::response_bytes(
@@ -894,7 +1103,7 @@ impl EventLoop {
     }
 
     fn flush(&mut self, token: u64) {
-        let outcome = {
+        let (outcome, finished) = {
             let Some(conn) = self.conns.get_mut(&token) else { return };
             let mut outcome = FlushOutcome::Flushed;
             while conn.wpos < conn.wbuf.len() {
@@ -918,19 +1127,90 @@ impl EventLoop {
                     }
                 }
             }
+            let mut finished = None;
             if matches!(outcome, FlushOutcome::Flushed) {
                 conn.wbuf.clear();
                 conn.wpos = 0;
+                // The traced response (if any) has fully left the
+                // process — settle its lifecycle record. `sent_at` set
+                // distinguishes answered requests from one still with
+                // the worker pool.
+                if conn.trace.as_ref().is_some_and(|t| t.sent_at.is_some()) {
+                    finished = conn.trace.take();
+                }
                 if conn.close_after_write {
                     outcome = FlushOutcome::Dead;
                 }
             }
-            outcome
+            (outcome, finished)
         };
+        if let Some(trace) = finished {
+            self.finalize_request(trace);
+        }
         match outcome {
             FlushOutcome::Dead => self.close_conn(token),
             FlushOutcome::Pending => self.set_write_interest(token, true),
             FlushOutcome::Flushed => self.set_write_interest(token, false),
+        }
+    }
+
+    /// A traced request's response bytes are on the wire: observe the
+    /// request and per-stage latency histograms, emit the profiler's
+    /// lifecycle spans, and write the access-log line.
+    fn finalize_request(&mut self, t: ReqTrace) {
+        let now = Instant::now();
+        let sent_at = t.sent_at.unwrap_or(now);
+        let flush = now.duration_since(sent_at);
+        let total = now.duration_since(t.start);
+        let m = &self.shared.metrics;
+        m.request_duration.observe(total.as_secs_f64());
+        m.observe_stage("parse", t.parse);
+        m.observe_stage("queue", t.queue);
+        m.observe_stage("execute", t.execute);
+        m.observe_stage("render", t.render);
+        m.observe_stage("flush", flush);
+        if melreq_prof::enabled() {
+            let start_ns = melreq_prof::ns_of(t.start);
+            let end_ns = melreq_prof::ns_of(now);
+            melreq_prof::record(
+                "serve.parse",
+                || format!("parse #{}", t.id),
+                start_ns,
+                start_ns.saturating_add(dur_ns(t.parse)),
+                &[("id", t.id)],
+            );
+            melreq_prof::record(
+                "serve.flush",
+                || format!("flush #{}", t.id),
+                melreq_prof::ns_of(sent_at),
+                end_ns,
+                &[("id", t.id)],
+            );
+            melreq_prof::record(
+                "serve.request",
+                || format!("{} #{}", t.endpoint, t.id),
+                start_ns,
+                end_ns,
+                &[("id", t.id), ("status", u64::from(t.status))],
+            );
+        }
+        if let Some(log) = self.access_log.as_mut() {
+            let line = format!(
+                "{{\"id\":{},\"endpoint\":\"{}\",\"status\":{},\"cache\":\"{}\",\
+                 \"parse_us\":{},\"queue_us\":{},\"execute_us\":{},\"render_us\":{},\
+                 \"flush_us\":{},\"total_us\":{}}}\n",
+                t.id,
+                t.endpoint,
+                t.status,
+                t.cache,
+                t.parse.as_micros(),
+                t.queue.as_micros(),
+                t.execute.as_micros(),
+                t.render.as_micros(),
+                flush.as_micros(),
+                total.as_micros(),
+            );
+            let _ = log.write_all(line.as_bytes());
         }
     }
 
@@ -963,7 +1243,13 @@ fn parse_sim_request(body: &str, endpoint: Endpoint) -> Result<SimRequest, Melre
     Ok(req)
 }
 
-fn worker_loop(shared: &Arc<Shared>) {
+/// Nanoseconds in `d`, saturating (a span arg / duration cast helper).
+fn dur_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+fn worker_loop(shared: &Arc<Shared>, idx: usize) {
+    melreq_prof::set_thread_track(|| format!("serve-worker-{idx}"));
     loop {
         let job = {
             let mut queue = shared.queue.lock().expect("queue poisoned");
@@ -982,15 +1268,29 @@ fn worker_loop(shared: &Arc<Shared>) {
                 queue = guard;
             }
         };
-        let Some(job) = job else { return };
+        let Some(job) = job else { break };
         execute_job(job, shared);
     }
+    // Thread join does not wait for TLS destructors; flush the span
+    // recorder explicitly so a post-join drain sees this worker.
+    melreq_prof::flush_thread();
 }
 
 /// Run one job, resolve its coalescing entry, and publish a completion
 /// for the leader plus every coalesced follower.
 fn execute_job(job: Job, shared: &Arc<Shared>) {
-    let Job { token, key, req, deadline } = job;
+    let Job { token, id, key, req, deadline, queued_at } = job;
+    let picked = Instant::now();
+    let queue_wait = picked.duration_since(queued_at);
+    melreq_prof::record(
+        "serve.queue",
+        || format!("queue #{id}"),
+        melreq_prof::ns_of(queued_at),
+        melreq_prof::ns_of(picked),
+        &[("id", id)],
+    );
+    let mut execute = Duration::ZERO;
+    let mut render = Duration::ZERO;
     // A deadline that expired while the job sat in the queue is still a
     // timeout — the simulation is simply never started.
     let outcome: Result<(Arc<String>, &'static str), MelreqError> =
@@ -1004,7 +1304,14 @@ fn execute_job(job: Job, shared: &Arc<Shared>) {
                 max_cycles: None,
                 threads: None,
             };
-            shared.session.run(&req, &ctl).map(|report| {
+            let exec_started = Instant::now();
+            let run = {
+                let mut sp = melreq_prof::span("serve.execute", || format!("execute #{id}"));
+                sp.arg("id", id);
+                shared.session.run(&req, &ctl)
+            };
+            execute = exec_started.elapsed();
+            run.map(|report| {
                 let mut cycles = 0u64;
                 for p in &report.policies {
                     cycles = cycles.saturating_add(p.sim_cycles);
@@ -1018,7 +1325,13 @@ fn execute_job(job: Job, shared: &Arc<Shared>) {
                 } else {
                     "cold"
                 };
-                let report_json = Arc::new(report.to_json());
+                let render_started = Instant::now();
+                let report_json = {
+                    let mut sp = melreq_prof::span("serve.render", || format!("render #{id}"));
+                    sp.arg("id", id);
+                    Arc::new(report.to_json())
+                };
+                render = render_started.elapsed();
                 if shared.cfg.response_cache > 0 {
                     let evicted = shared
                         .response_cache
@@ -1046,12 +1359,24 @@ fn execute_job(job: Job, shared: &Arc<Shared>) {
                 token,
                 status: 200,
                 body: envelope(report_json, cache_status, shared),
+                cache: cache_status,
+                queue: queue_wait,
+                execute,
+                render,
             });
             if !waiters.is_empty() {
                 shared.metrics.coalesced.add(waiters.len() as u64);
                 let body = envelope(report_json, "coalesced", shared);
                 for w in waiters {
-                    batch.push(Completion { token: w, status: 200, body: body.clone() });
+                    batch.push(Completion {
+                        token: w,
+                        status: 200,
+                        body: body.clone(),
+                        cache: "coalesced",
+                        queue: Duration::ZERO,
+                        execute: Duration::ZERO,
+                        render: Duration::ZERO,
+                    });
                 }
             }
         }
@@ -1062,7 +1387,15 @@ fn execute_job(job: Job, shared: &Arc<Shared>) {
             let status = err.http_status();
             let body = error_body(status, kind(err), &err.to_string());
             for t in std::iter::once(token).chain(waiters) {
-                batch.push(Completion { token: t, status, body: body.clone() });
+                batch.push(Completion {
+                    token: t,
+                    status,
+                    body: body.clone(),
+                    cache: "none",
+                    queue: queue_wait,
+                    execute,
+                    render: Duration::ZERO,
+                });
             }
         }
     }

@@ -22,6 +22,17 @@ use std::os::fd::{AsRawFd, RawFd};
 #[cfg(not(unix))]
 pub type RawFd = i32;
 
+/// Name of the compiled poller backend (surfaced by `/buildinfo`).
+pub fn backend_name() -> &'static str {
+    if cfg!(target_os = "linux") {
+        "epoll"
+    } else if cfg!(unix) {
+        "poll"
+    } else {
+        "unsupported"
+    }
+}
+
 /// What the event loop wants to hear about for a registered fd. Read
 /// interest is implicit — every registration listens for readability;
 /// write interest is added only while a connection has unflushed

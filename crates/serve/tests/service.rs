@@ -381,6 +381,239 @@ fn response_cache_serves_repeats_and_evicts_lru_at_tiny_cap() {
     handle.join();
 }
 
+/// Assert one histogram family's text rendering is well-formed for the
+/// sample lines matching `label_filter`: `le` bounds strictly increase,
+/// bucket counts are cumulative (non-decreasing), and the `+Inf` bucket
+/// equals `_count`.
+fn assert_histogram_conformant(text: &str, family: &str, label_filter: &str) {
+    let value_of = |line: &str| -> f64 {
+        line.rsplit(' ')
+            .next()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("unparseable sample value in line: {line}"))
+    };
+    let bucket_prefix = format!("{family}_bucket{{");
+    let mut prev_bound = f64::NEG_INFINITY;
+    let mut prev_count = -1.0;
+    let mut inf_count = None;
+    let mut buckets = 0;
+    for line in text.lines().filter(|l| l.starts_with(&bucket_prefix) && l.contains(label_filter)) {
+        let le_at = line.find("le=\"").unwrap_or_else(|| panic!("bucket without le: {line}"));
+        let rest = &line[le_at + 4..];
+        let le = &rest[..rest.find('"').expect("unterminated le label")];
+        let v = value_of(line);
+        assert!(v >= prev_count, "bucket counts must be cumulative: {line}");
+        prev_count = v;
+        if le == "+Inf" {
+            inf_count = Some(v);
+        } else {
+            let bound: f64 = le.parse().unwrap_or_else(|_| panic!("bad le bound: {line}"));
+            assert!(bound > prev_bound, "le bounds must increase: {line}");
+            prev_bound = bound;
+        }
+        buckets += 1;
+    }
+    assert!(buckets > 1, "family {family} ({label_filter}) has no buckets:\n{text}");
+    let count_line = text
+        .lines()
+        .find(|l| l.starts_with(&format!("{family}_count")) && l.contains(label_filter))
+        .unwrap_or_else(|| panic!("{family}_count ({label_filter}) missing:\n{text}"));
+    assert_eq!(
+        inf_count.expect("+Inf bucket missing"),
+        value_of(count_line),
+        "le=\"+Inf\" must equal _count for {family} ({label_filter})"
+    );
+}
+
+#[test]
+fn metrics_text_format_is_prometheus_conformant() {
+    let handle = serve(1, 4);
+    let addr = handle.addr().to_string();
+    let (status, resp) = post_run(&addr, &run_body("2MEM-1", ExperimentOptions::quick()));
+    assert_eq!(status, 200, "seed run: {resp}");
+
+    let (status, text) =
+        http::exchange(&addr, "GET", "/metrics", None, EXCHANGE_TIMEOUT).expect("metrics");
+    assert_eq!(status, 200);
+
+    // Every family announces itself with HELP then TYPE before its
+    // samples, and every sample line parses as `name[{labels}] value`.
+    let mut helped: Vec<String> = Vec::new();
+    let mut typed: Vec<String> = Vec::new();
+    for line in text.lines().filter(|l| !l.is_empty()) {
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            helped.push(rest.split(' ').next().expect("family name").to_string());
+        } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split(' ');
+            let family = it.next().expect("family name").to_string();
+            let kind = it.next().expect("metric kind");
+            assert!(matches!(kind, "counter" | "gauge" | "histogram"), "unknown TYPE kind: {line}");
+            assert!(helped.contains(&family), "TYPE before HELP for {family}:\n{text}");
+            typed.push(family);
+        } else {
+            let (name, value) =
+                line.rsplit_once(' ').unwrap_or_else(|| panic!("malformed sample: {line}"));
+            assert!(value.parse::<f64>().is_ok(), "sample value must parse as a float: {line}");
+            // The family is the name up to `{`, with histogram-series
+            // suffixes stripped; it must have been declared.
+            let base = name.split('{').next().expect("sample name");
+            let family = base
+                .strip_suffix("_bucket")
+                .or_else(|| base.strip_suffix("_sum"))
+                .or_else(|| base.strip_suffix("_count"))
+                .unwrap_or(base);
+            assert!(
+                typed.contains(&family.to_string()) || typed.contains(&base.to_string()),
+                "sample without TYPE declaration: {line}"
+            );
+        }
+    }
+
+    // The request-latency histograms exist and are well-formed: the
+    // total and one series per lifecycle stage.
+    assert!(
+        text.contains("# TYPE melreq_serve_request_duration_seconds histogram"),
+        "request-duration histogram missing:\n{text}"
+    );
+    assert_histogram_conformant(&text, "melreq_serve_request_duration_seconds", "");
+    for stage in ["parse", "queue", "execute", "render", "flush"] {
+        assert_histogram_conformant(
+            &text,
+            "melreq_serve_request_stage_duration_seconds",
+            &format!("stage=\"{stage}\""),
+        );
+    }
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn buildinfo_endpoint_reports_configuration() {
+    let handle = start(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 3,
+        queue_cap: 5,
+        store_dir: None,
+        response_cache: 7,
+        ..ServeConfig::default()
+    })
+    .expect("start server");
+    let addr = handle.addr().to_string();
+
+    let (status, body) =
+        http::exchange(&addr, "GET", "/buildinfo", None, EXCHANGE_TIMEOUT).expect("buildinfo");
+    assert_eq!(status, 200, "{body}");
+    for needle in [
+        "\"name\":\"melreq-serve\"",
+        &format!("\"schema_version\":{SCHEMA_VERSION}"),
+        "\"poller\":\"",
+        "\"workers\":3",
+        "\"queue_cap\":5",
+        "\"response_cache\":7",
+        "\"store\":false",
+        "\"profiling\":false",
+        "\"access_log\":false",
+    ] {
+        assert!(body.contains(needle), "buildinfo must carry {needle}: {body}");
+    }
+    let (status, _) =
+        http::exchange(&addr, "POST", "/buildinfo", None, EXCHANGE_TIMEOUT).expect("POST");
+    assert_eq!(status, 405, "buildinfo is GET-only");
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn access_log_appends_one_structured_line_per_request() {
+    let dir = std::env::temp_dir().join(format!("melreq-accesslog-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("test dir");
+    let log = dir.join("access.jsonl");
+    let handle = start(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        queue_cap: 4,
+        store_dir: None,
+        access_log: Some(log.clone()),
+        ..ServeConfig::default()
+    })
+    .expect("start server");
+    let addr = handle.addr().to_string();
+
+    // Two sim requests get logged; operator endpoints do not.
+    let (status, _) = post_run(&addr, &run_body("2MEM-1", ExperimentOptions::quick()));
+    assert_eq!(status, 200);
+    let (status, _) = post_run(&addr, &run_body("2MEM-2", ExperimentOptions::quick()));
+    assert_eq!(status, 200);
+    let (status, _) =
+        http::exchange(&addr, "GET", "/healthz", None, EXCHANGE_TIMEOUT).expect("healthz");
+    assert_eq!(status, 200);
+    handle.shutdown();
+    handle.join();
+
+    let text = std::fs::read_to_string(&log).expect("access log written");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 2, "one line per simulation request:\n{text}");
+    for line in &lines {
+        for needle in [
+            "\"id\":",
+            "\"endpoint\":\"run\"",
+            "\"status\":200",
+            "\"cache\":\"",
+            "\"parse_us\":",
+            "\"queue_us\":",
+            "\"execute_us\":",
+            "\"render_us\":",
+            "\"flush_us\":",
+            "\"total_us\":",
+        ] {
+            assert!(line.contains(needle), "access-log line must carry {needle}: {line}");
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn profiled_server_records_request_lifecycle_spans() {
+    // Enable the host profiler around a whole server lifetime — the same
+    // sequence `serve_forever` runs for `--profile PATH` — and check the
+    // event loop and worker threads produced lifecycle spans.
+    melreq_prof::enable();
+    let handle = serve(2, 8);
+    let addr = handle.addr().to_string();
+    let (status, resp) = post_run(&addr, &run_body("2MEM-1", ExperimentOptions::quick()));
+    assert_eq!(status, 200, "profiled run: {resp}");
+    handle.shutdown();
+    handle.join();
+    melreq_prof::disable();
+    let profile = melreq_prof::drain();
+
+    let has = |cat: &str, track_prefix: &str| {
+        profile
+            .tracks
+            .iter()
+            .filter(|t| t.label.starts_with(track_prefix))
+            .any(|t| t.spans.iter().any(|s| s.cat == cat))
+    };
+    assert!(has("serve.request", "serve netio"), "request span on the event-loop track");
+    assert!(has("serve.parse", "serve netio"), "parse span on the event-loop track");
+    assert!(has("serve.execute", "serve-worker-"), "execute span on a worker track");
+    assert!(has("serve.queue", "serve-worker-"), "queue-wait span on a worker track");
+
+    // The Perfetto export of that profile is a loadable trace with the
+    // summary block `serve_forever` embeds.
+    let summary = melreq_prof::summarize(&profile, 5);
+    let trace = melreq_obs::export_host_profile(
+        &profile,
+        "melreq serve",
+        &[("summary", summary.render_json())],
+    );
+    assert!(trace.contains("\"traceEvents\""), "Perfetto envelope missing");
+    assert!(trace.contains("serve netio"), "event-loop track missing from export");
+}
+
 #[test]
 fn idle_keep_alive_connections_are_closed() {
     let handle = start(ServeConfig {

@@ -44,6 +44,7 @@ fn cli_facade_and_service_reports_are_byte_identical() {
         obs: ObsArgs::default(),
         json: true,
         threads: None,
+        prof_out: None,
     })
     .expect("melreq run --json");
 

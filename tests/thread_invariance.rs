@@ -124,6 +124,7 @@ fn reproduce_artifact_is_deterministic_across_worker_counts() {
         threads: Some(2),
         guard: None,
         guard_ratio: 0.25,
+        prof_out: None,
     })
     .expect("priming reproduce --smoke");
 
@@ -139,6 +140,7 @@ fn reproduce_artifact_is_deterministic_across_worker_counts() {
             threads: Some(threads),
             guard: None,
             guard_ratio: 0.25,
+            prof_out: None,
         })
         .expect("reproduce --smoke");
         let artifact = std::fs::read_to_string(&out).expect("read artifact");
