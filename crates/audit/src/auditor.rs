@@ -93,6 +93,14 @@ fn fold_event(h: &mut Fnv, ev: &AuditEvent) {
                 h.f64(v);
             }
         }
+        AuditEvent::PolicyParams { params } => {
+            h.byte(9);
+            h.usize(params.len());
+            for (k, v) in params {
+                h.str(k);
+                h.u64(*v);
+            }
+        }
         AuditEvent::Submit { id, core, channel, bank, row, write, at } => {
             h.byte(4);
             h.u64(*id);
@@ -309,6 +317,7 @@ impl AuditSink for Auditor {
             AuditEvent::CtrlConfig { cores, policy, read_first, overhead, .. } => {
                 self.policy.on_config(*cores, policy, *read_first, *overhead);
             }
+            AuditEvent::PolicyParams { params } => self.policy.on_params(params),
             AuditEvent::ProfileUpdate { me } => self.policy.on_profile(me),
             AuditEvent::Submit { core, write, .. } => self.policy.on_submit(*core, *write),
             AuditEvent::Refresh { channel, at } => {

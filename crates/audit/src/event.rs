@@ -106,6 +106,13 @@ pub enum AuditEvent {
         /// Fixed pipeline overhead before a request is schedulable.
         overhead: Cycle,
     },
+    /// The active policy's tunable parameters (emitted right after
+    /// `CtrlConfig`, and only for parameterized policies — the paper's
+    /// schemes carry no parameters, so their streams are unchanged).
+    PolicyParams {
+        /// `(key, value)` pairs in the policy's declared order.
+        params: Vec<(&'static str, u64)>,
+    },
     /// The priority tables were programmed with this ME vector.
     ProfileUpdate {
         /// Per-core memory-efficiency values.

@@ -65,6 +65,37 @@ fn hf_key(c: &CandidateInfo) -> (bool, u64) {
     (!c.row_hit, c.id)
 }
 
+/// Fallback parameter values used when a parameterized policy's stream
+/// carries no `PolicyParams` event. Deliberately hard-coded (not imported
+/// from `melreq-memctrl`): if the registry's defaults drift, the audit
+/// should fail, not follow.
+const BLISS_DEFAULT_THRESHOLD: u64 = 4;
+const BLISS_DEFAULT_CLEAR: u64 = 10_000;
+const TCM_DEFAULT_QUANTUM: u64 = 2_000;
+
+/// Independent re-derivation of the TCM two-cluster ranking: cores at or
+/// below the mean read count form the latency cluster (ascending reads,
+/// ties to the lower id); the bandwidth cluster follows, its ascending
+/// order rotated left by `shuffle` positions.
+fn tcm_ranks(interval_reads: &[u64], shuffle: u64) -> Vec<u32> {
+    let cores = interval_reads.len();
+    let total: u64 = interval_reads.iter().sum();
+    let mean = total / cores as u64;
+    let mut latency: Vec<usize> = (0..cores).filter(|&c| interval_reads[c] <= mean).collect();
+    let mut bandwidth: Vec<usize> = (0..cores).filter(|&c| interval_reads[c] > mean).collect();
+    latency.sort_by_key(|&c| (interval_reads[c], c));
+    bandwidth.sort_by_key(|&c| (interval_reads[c], c));
+    if !bandwidth.is_empty() {
+        let by = usize::try_from(shuffle % bandwidth.len() as u64).expect("rotation < len");
+        bandwidth.rotate_left(by);
+    }
+    let mut rank = vec![0u32; cores];
+    for (pos, &core) in latency.iter().chain(bandwidth.iter()).enumerate() {
+        rank[core] = pos as u32;
+    }
+    rank
+}
+
 /// Everything a `Decision` event carries, destructured.
 #[derive(Debug)]
 pub struct DecisionFacts<'a> {
@@ -96,6 +127,25 @@ pub struct PolicyAuditor {
     me_latest: Option<Vec<f64>>,
     /// Round-Robin rotation pointer replica.
     rr_next: usize,
+    /// Tunable parameters announced via `PolicyParams` (empty until one
+    /// is seen; lookups fall back to the hard-coded defaults above).
+    params: Vec<(&'static str, u64)>,
+    /// BLISS replica: per-core blacklist bits.
+    bliss_blacklisted: Vec<bool>,
+    /// BLISS replica: the core owning the current grant streak.
+    bliss_last_core: Option<u16>,
+    /// BLISS replica: consecutive-grant streak length.
+    bliss_streak: u64,
+    /// BLISS replica: grants since the blacklist was last cleared.
+    bliss_grants: u64,
+    /// TCM replica: reads granted per core during the current quantum.
+    tcm_reads: Vec<u64>,
+    /// TCM replica: grants observed in the current quantum.
+    tcm_grants: u64,
+    /// TCM replica: current rank vector (`rank[core]`, 0 = highest).
+    tcm_rank: Vec<u32>,
+    /// TCM replica: monotone shuffle counter.
+    tcm_shuffle: u64,
     /// Reads submitted minus reads granted, per core.
     reads_outstanding: Vec<i64>,
     /// Age cap (cycles) past which a candidate counts as starved.
@@ -135,7 +185,28 @@ impl PolicyAuditor {
         self.rr_next = 0;
         self.me_first = None;
         self.me_latest = None;
+        self.params = Vec::new();
+        self.bliss_blacklisted = vec![false; cores];
+        self.bliss_last_core = None;
+        self.bliss_streak = 0;
+        self.bliss_grants = 0;
+        self.tcm_reads = vec![0; cores];
+        self.tcm_grants = 0;
+        self.tcm_rank = vec![0; cores];
+        self.tcm_shuffle = 0;
         self.configured = true;
+    }
+
+    /// Apply a `PolicyParams` announcement (the active policy's tunable
+    /// parameters, emitted right after its `CtrlConfig`).
+    pub fn on_params(&mut self, params: &[(&'static str, u64)]) {
+        self.params = params.to_vec();
+    }
+
+    /// The announced value of parameter `key`, or `default` when the
+    /// stream never announced one.
+    fn param(&self, key: &str, default: u64) -> u64 {
+        self.params.iter().find(|(k, _)| *k == key).map_or(default, |(_, v)| *v)
     }
 
     /// Apply a `ProfileUpdate`.
@@ -155,12 +226,48 @@ impl PolicyAuditor {
         }
     }
 
-    /// Observe a `Grant` (the request leaves the queue).
+    /// Observe a `Grant` (the request leaves the queue). Read grants are
+    /// exactly the policy-selected ones (writes drain outside the
+    /// policy), so the BLISS/TCM grant-history replicas advance here.
     pub fn on_grant(&mut self, core: u16, write: bool) {
-        if !write {
-            if let Some(n) = self.reads_outstanding.get_mut(core as usize) {
-                *n -= 1;
+        if write {
+            return;
+        }
+        if let Some(n) = self.reads_outstanding.get_mut(core as usize) {
+            *n -= 1;
+        }
+        match self.policy {
+            "BLISS" => {
+                if self.bliss_last_core == Some(core) {
+                    self.bliss_streak += 1;
+                } else {
+                    self.bliss_last_core = Some(core);
+                    self.bliss_streak = 1;
+                }
+                if self.bliss_streak >= self.param("threshold", BLISS_DEFAULT_THRESHOLD) {
+                    if let Some(b) = self.bliss_blacklisted.get_mut(usize::from(core)) {
+                        *b = true;
+                    }
+                }
+                self.bliss_grants += 1;
+                if self.bliss_grants >= self.param("clear", BLISS_DEFAULT_CLEAR) {
+                    self.bliss_blacklisted.iter_mut().for_each(|b| *b = false);
+                    self.bliss_grants = 0;
+                }
             }
+            "TCM" => {
+                if let Some(r) = self.tcm_reads.get_mut(usize::from(core)) {
+                    *r += 1;
+                }
+                self.tcm_grants += 1;
+                if self.tcm_grants >= self.param("quantum", TCM_DEFAULT_QUANTUM) {
+                    self.tcm_rank = tcm_ranks(&self.tcm_reads, self.tcm_shuffle);
+                    self.tcm_shuffle += 1;
+                    self.tcm_reads.iter_mut().for_each(|r| *r = 0);
+                    self.tcm_grants = 0;
+                }
+            }
+            _ => {}
         }
     }
 
@@ -310,9 +417,10 @@ impl PolicyAuditor {
         // hit-first-then-oldest (Figure 1: "the first read request of the
         // selected thread"). Not FCFS-RF — it ignores hits by definition —
         // and not extension policies with unknown internal orders.
-        let core_selecting =
-            matches!(self.policy, "HF-RF" | "RR" | "LREQ" | "ME" | "ME-LREQ" | "ME-LREQ-ON")
-                || self.policy.starts_with("FIX-");
+        let core_selecting = matches!(
+            self.policy,
+            "HF-RF" | "RR" | "LREQ" | "ME" | "ME-LREQ" | "ME-LREQ-ON" | "TCM"
+        ) || self.policy.starts_with("FIX-");
         if core_selecting {
             let best_in_core = reads
                 .iter()
@@ -443,6 +551,52 @@ impl PolicyAuditor {
                             ),
                         );
                     }
+                }
+            }
+            "BLISS" => {
+                // Request-level rule: minimize (blacklisted, !row_hit, id).
+                let bl = |c: &CandidateInfo| {
+                    self.bliss_blacklisted.get(usize::from(c.core)).copied().unwrap_or(false)
+                };
+                let best = reads.iter().min_by_key(|c| (bl(c), hf_key(c))).expect("non-empty");
+                if chosen.id != best.id {
+                    let kind = if bl(chosen) != bl(best) {
+                        ViolationKind::CoreChoiceViolated
+                    } else {
+                        ViolationKind::HitFirstViolated
+                    };
+                    push(
+                        kind,
+                        format!(
+                            "BLISS granted req {} (core {} blacklisted={}) over req {} (core {} blacklisted={})",
+                            chosen.id,
+                            chosen.core,
+                            bl(chosen),
+                            best.id,
+                            best.core,
+                            bl(best)
+                        ),
+                    );
+                }
+            }
+            "TCM" => {
+                let rank_of =
+                    |core: u16| self.tcm_rank.get(usize::from(core)).copied().unwrap_or(u32::MAX);
+                let best = candidate_cores
+                    .iter()
+                    .copied()
+                    .min_by_key(|&c| (rank_of(c), c))
+                    .expect("non-empty");
+                if chosen.core != best {
+                    push(
+                        ViolationKind::CoreChoiceViolated,
+                        format!(
+                            "TCM ranks core {best} (rank {}) first, granted core {} (rank {})",
+                            rank_of(best),
+                            chosen.core,
+                            rank_of(chosen.core)
+                        ),
+                    );
                 }
             }
             // Extension policies (FQ, STF, ...) get the generic checks only.
@@ -613,6 +767,68 @@ mod tests {
         let cands = [cand(0, 0, false, false), cand(1, 1, false, false)];
         assert!(decide(&mut a, 0, &cands, &[1, 1], false).is_empty());
         assert!(decide(&mut a, 1, &cands, &[1, 1], false).is_empty());
+    }
+
+    #[test]
+    fn bliss_blacklist_enforced() {
+        let mut a = auditor("BLISS", true, 2);
+        a.on_params(&[("threshold", 2), ("clear", 1_000)]);
+        // Two consecutive read grants to core 0 blacklist it.
+        a.on_grant(0, false);
+        a.on_grant(0, false);
+        assert!(a.bliss_blacklisted[0]);
+        let cands = [cand(0, 0, false, true), cand(1, 1, false, false)];
+        // Core 1's miss must beat blacklisted core 0's row hit.
+        assert!(decide(&mut a, 1, &cands, &[1, 1], false).is_empty());
+        let v = decide(&mut a, 0, &cands, &[1, 1], false);
+        assert!(v.iter().any(|x| x.kind == ViolationKind::CoreChoiceViolated), "{v:?}");
+        // Among equally non-blacklisted candidates the hit-first order holds.
+        a.bliss_blacklisted = vec![false, false];
+        let v = decide(&mut a, 0, &cands, &[1, 1], false);
+        assert!(v.is_empty(), "{v:?}");
+        let v = decide(&mut a, 1, &cands, &[1, 1], false);
+        assert!(v.iter().any(|x| x.kind == ViolationKind::HitFirstViolated), "{v:?}");
+    }
+
+    #[test]
+    fn bliss_defaults_apply_without_params_event() {
+        let mut a = auditor("BLISS", true, 2);
+        // Default threshold is 4: three grants must not blacklist.
+        for _ in 0..3 {
+            a.on_grant(0, false);
+        }
+        assert!(!a.bliss_blacklisted[0]);
+        a.on_grant(0, false);
+        assert!(a.bliss_blacklisted[0]);
+    }
+
+    #[test]
+    fn tcm_rank_enforced_after_recluster() {
+        let mut a = auditor("TCM", true, 2);
+        a.on_params(&[("quantum", 4)]);
+        // One quantum: core 1 heavy (3 reads), core 0 light (1 read).
+        a.on_grant(1, false);
+        a.on_grant(1, false);
+        a.on_grant(1, false);
+        a.on_grant(0, false);
+        // Mean 2: core 0 forms the latency cluster, core 1 the bandwidth one.
+        assert_eq!(a.tcm_rank, vec![0, 1]);
+        let cands = [cand(0, 0, false, false), cand(1, 1, false, true)];
+        assert!(decide(&mut a, 0, &cands, &[1, 1], false).is_empty());
+        let v = decide(&mut a, 1, &cands, &[1, 1], false);
+        assert!(v.iter().any(|x| x.kind == ViolationKind::CoreChoiceViolated), "{v:?}");
+    }
+
+    #[test]
+    fn tcm_ranks_shuffle_rotates_bandwidth_cluster() {
+        // Three heavy cores (1, 2, 3) against one idle core 0.
+        let reads = [0u64, 10, 11, 12];
+        let r0 = tcm_ranks(&reads, 0);
+        let r1 = tcm_ranks(&reads, 1);
+        assert_eq!(r0, vec![0, 1, 2, 3]);
+        assert_eq!(r1, vec![0, 3, 1, 2]);
+        // The latency cluster is untouched by the shuffle.
+        assert_eq!(r0[0], r1[0]);
     }
 
     #[test]

@@ -30,7 +30,7 @@
 //! slower CI runners but catches order-of-magnitude regressions, such as
 //! the trace instrumentation ever costing something while disabled.
 
-use melreq_core::api::{PolicyChoice, Session, SimRequest};
+use melreq_core::api::{Session, SimRequest};
 use melreq_core::experiment::{ExperimentOptions, RunControl};
 use melreq_memctrl::policy::PolicyKind;
 use melreq_stats::types::Cycle;
@@ -117,7 +117,7 @@ fn main() {
     let mut rows = Vec::new();
     let total_start = Instant::now();
     for kind in &policies {
-        let req = SimRequest::new(mix.name).policy(PolicyChoice::Paper(kind.clone())).opts(opts);
+        let req = SimRequest::new(mix.name).policy(kind.clone()).opts(opts);
         let t0 = Instant::now();
         let report = session
             .run(&req, &RunControl::default())

@@ -360,13 +360,11 @@ fn cmd_run(
     }
     if obs.any() {
         // Observability paths sit below the facade: they need the
-        // collector tap on the audit stream.
-        let PolicySpec::Paper(kind) = spec else {
-            return Err(usage(
-                "trace/series/provenance flags cover the paper's policies; FQ/STF are \
-                 externally built and bypass the instrumented scheduler",
-            ));
-        };
+        // collector tap on the audit stream. Every registered policy
+        // runs through the instrumented controller, so they all trace;
+        // schemes without dedicated provenance rules attribute their
+        // grants to the `external` rule.
+        let kind = spec;
         let cache = ProfileCache::new();
         let observe = observe_options(obs, false);
         let (r, report, collector) = if audit {
@@ -408,9 +406,9 @@ fn cmd_run(
     Ok(out)
 }
 
-/// `melreq trace`: run one mix under one paper policy with the full
-/// observability stack on, write the Chrome/Perfetto trace (plus the
-/// optional epoch series), and summarize what was captured.
+/// `melreq trace`: run one mix under any registered policy with the
+/// full observability stack on, write the Chrome/Perfetto trace (plus
+/// the optional epoch series), and summarize what was captured.
 fn cmd_trace(
     mix_name: &str,
     spec: &PolicySpec,
@@ -418,12 +416,7 @@ fn cmd_trace(
     obs: &ObsArgs,
     opts: &ExperimentOptions,
 ) -> Result<String, MelreqError> {
-    let PolicySpec::Paper(kind) = spec else {
-        return Err(usage(
-            "trace covers the paper's policies; FQ/STF are externally built and bypass \
-             the instrumented scheduler",
-        ));
-    };
+    let kind = spec;
     let mix = try_mix(mix_name)?;
     let cache = ProfileCache::new();
     let observe = observe_options(obs, true);
@@ -451,12 +444,6 @@ fn cmd_audit(
     spec: &PolicySpec,
     opts: &ExperimentOptions,
 ) -> Result<String, MelreqError> {
-    let PolicySpec::Paper(kind) = spec else {
-        return Err(usage(
-            "audit checks the paper's policies; FQ/STF are externally built and expose \
-             no invariants to verify",
-        ));
-    };
     let mix = try_mix(mix_name)?;
     let session = Session::new();
     let req = sim_request(&mix, std::slice::from_ref(spec), opts, true);
@@ -472,7 +459,7 @@ fn cmd_audit(
     let mut out = format!(
         "{} under {}: {} events checked per pass\n  pass 1: hash {:016x}, {} violation(s)\n  pass 2: hash {:016x}, {} violation(s)\n",
         mix.name,
-        kind.name(),
+        spec.name(),
         sa.events,
         sa.stream_hash,
         sa.violations,
@@ -507,23 +494,26 @@ fn cmd_compare(
         let report = Session::new().run(&req, &RunControl::default())?;
         return Ok(report.to_json());
     }
-    // (policy, speedup, mean read latency, unfairness) per row.
+    // (policy, speedup, harmonic speedup, read latency, unfairness,
+    // max slowdown) per row.
     let mut totals: Vec<(String, RuleTotals)> = Vec::new();
-    let rows_data: Vec<(String, f64, f64, f64)> = if provenance {
+    let rows_data: Vec<(String, f64, f64, f64, f64, f64)> = if provenance {
         let cache = ProfileCache::new();
         let mut rs = Vec::new();
-        for s in specs {
-            let PolicySpec::Paper(kind) = s else {
-                return Err(usage(
-                    "--provenance covers the paper's policies; drop fq/stf from --policies",
-                ));
-            };
+        for kind in specs {
             let (r, c) = run_mix_observed(&mix, kind, opts, &ObserveOptions::default(), &cache);
             let c = c.lock().expect("obs collector poisoned");
             if let Some((name, t)) = c.active_rule_totals() {
                 totals.push((name.to_string(), t.clone()));
             }
-            rs.push((r.policy.to_string(), r.smt_speedup, r.mean_read_latency, r.unfairness));
+            rs.push((
+                r.policy.to_string(),
+                r.smt_speedup,
+                r.harmonic_speedup,
+                r.mean_read_latency,
+                r.unfairness,
+                r.max_slowdown,
+            ));
         }
         rs
     } else {
@@ -532,19 +522,30 @@ fn cmd_compare(
         report
             .policies
             .iter()
-            .map(|p| (p.policy.clone(), p.smt_speedup, p.mean_read_latency, p.unfairness))
+            .map(|p| {
+                (
+                    p.policy.clone(),
+                    p.smt_speedup,
+                    p.harmonic_speedup,
+                    p.mean_read_latency,
+                    p.unfairness,
+                    p.max_slowdown,
+                )
+            })
             .collect()
     };
     let base = rows_data[0].1;
     let rows: Vec<Vec<String>> = rows_data
         .iter()
-        .map(|(policy, speedup, read_lat, unfairness)| {
+        .map(|(policy, speedup, hmean, read_lat, unfairness, max_slow)| {
             vec![
                 policy.clone(),
                 format!("{speedup:.3}"),
                 pct_over(*speedup, base),
+                format!("{hmean:.3}"),
                 format!("{read_lat:.0}"),
                 format!("{unfairness:.3}"),
+                format!("{max_slow:.3}"),
             ]
         })
         .collect();
@@ -552,7 +553,10 @@ fn cmd_compare(
         "{} ({}):\n\n{}",
         mix.name,
         mix.apps().iter().map(|a| a.name).collect::<Vec<_>>().join(", "),
-        format_table(&["policy", "speedup", "vs first", "read lat", "unfairness"], &rows)
+        format_table(
+            &["policy", "speedup", "vs first", "hmean", "read lat", "unfairness", "max slow"],
+            &rows
+        )
     );
     if provenance {
         out.push_str(&render_provenance(&totals));
@@ -1148,6 +1152,7 @@ fn cmd_client(
             "health" => ("GET", "/healthz", None),
             "metrics" => ("GET", "/metrics", None),
             "buildinfo" => ("GET", "/buildinfo", None),
+            "policies" => ("GET", "/policies", None),
             "shutdown" => ("POST", "/shutdown", None),
             "run" | "compare" => {
                 if verb == "run" && specs.len() != 1 {
@@ -1443,15 +1448,8 @@ mod tests {
 
     #[test]
     fn unknown_mix_is_an_error() {
-        let e = cmd_run(
-            "9MEM-9",
-            &PolicySpec::Paper(PolicyKind::HfRf),
-            &quick(),
-            false,
-            &ObsArgs::default(),
-            false,
-            None,
-        );
+        let e =
+            cmd_run("9MEM-9", &PolicySpec::HfRf, &quick(), false, &ObsArgs::default(), false, None);
         assert!(e.is_err());
         let e = e.unwrap_err();
         assert_eq!(e.exit_code(), 2, "unknown mix is a usage error");
@@ -1481,7 +1479,7 @@ mod tests {
     fn audited_run_reports_clean() {
         let s = cmd_run(
             "2MEM-1",
-            &PolicySpec::Paper(PolicyKind::MeLreq),
+            &PolicySpec::MeLreq,
             &quick(),
             true,
             &ObsArgs::default(),
@@ -1491,14 +1489,15 @@ mod tests {
         .unwrap();
         assert!(s.contains("0 violations"));
         assert!(s.contains("stream hash"));
-        let e =
-            cmd_run("2MEM-1", &PolicySpec::Fq, &quick(), true, &ObsArgs::default(), false, None);
-        assert!(e.is_err(), "--audit must reject externally built policies");
+        let s =
+            cmd_run("2MEM-1", &PolicySpec::Fq, &quick(), true, &ObsArgs::default(), false, None)
+                .unwrap();
+        assert!(s.contains("0 violations"), "FQ audits through the registry path:\n{s}");
     }
 
     #[test]
     fn audit_subcommand_verifies_determinism() {
-        let s = cmd_audit("2MEM-1", &PolicySpec::Paper(PolicyKind::HfRf), &quick()).unwrap();
+        let s = cmd_audit("2MEM-1", &PolicySpec::HfRf, &quick()).unwrap();
         assert!(s.contains("audit OK"));
         assert!(s.contains("pass 2"));
     }
@@ -1573,6 +1572,42 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
     }
 
+    /// The registry collapse must not move a single bit of the paper
+    /// reproduction: the smoke grid's Figure 2 results hash and the
+    /// fork-vs-fresh gate hash are pinned to the values the pre-registry
+    /// tree produced. If either changes, a scheduling or warm-up code
+    /// path changed behavior — not just its plumbing.
+    #[test]
+    fn reproduce_smoke_hashes_are_pinned() {
+        let dir = std::env::temp_dir().join(format!("melreq-pinned-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("sweep.json");
+        cmd_reproduce(
+            true,
+            false,
+            Some(dir.join("store").to_str().unwrap()),
+            out.to_str().unwrap(),
+            &ExperimentOptions::default(),
+            Some(2),
+            None,
+            0.25,
+            None,
+        )
+        .unwrap();
+        let json = std::fs::read_to_string(&out).unwrap();
+        assert!(
+            json.contains("\"results_hash\": \"e1796b05cb5a4d40\""),
+            "Figure 2 smoke-grid results moved:\n{json}"
+        );
+        assert!(
+            json.contains("\"forked_hash\": \"94a4a2d5a267cb70\""),
+            "fork-vs-fresh gate results moved:\n{json}"
+        );
+        assert!(json.contains("\"bit_exact\": true"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
     #[test]
     fn reproduce_with_profile_embeds_summary_and_writes_trace() {
         let _guard = PROF_LOCK.lock().unwrap();
@@ -1627,7 +1662,7 @@ mod tests {
         let s = with_host_profile(Some(path.to_str().unwrap()), "melreq run", Some(2), || {
             cmd_run(
                 "2MEM-1",
-                &PolicySpec::Paper(PolicyKind::MeLreq),
+                &PolicySpec::MeLreq,
                 &quick(),
                 false,
                 &ObsArgs::default(),
@@ -1649,7 +1684,7 @@ mod tests {
     fn run_and_compare_work_end_to_end() {
         let s = cmd_run(
             "2MEM-1",
-            &PolicySpec::Paper(PolicyKind::MeLreq),
+            &PolicySpec::MeLreq,
             &quick(),
             false,
             &ObsArgs::default(),
@@ -1663,7 +1698,7 @@ mod tests {
         assert!(s.contains("hit rate"), "per-channel traffic table missing:\n{s}");
         let s = cmd_compare(
             "2MEM-1",
-            &[PolicySpec::Paper(PolicyKind::HfRf), PolicySpec::Fq],
+            &[PolicySpec::HfRf, PolicySpec::Fq],
             &quick(),
             false,
             false,
@@ -1679,7 +1714,7 @@ mod tests {
         let run = || {
             cmd_run(
                 "2mem-1", // case-insensitive lookup feeds the canonical name
-                &PolicySpec::Paper(PolicyKind::MeLreq),
+                &PolicySpec::MeLreq,
                 &quick(),
                 false,
                 &ObsArgs::default(),
@@ -1699,8 +1734,7 @@ mod tests {
         assert!(!a.contains('\n'), "the report is a single line");
         // And it must match the facade's own rendering for the same
         // request — the CLI adds nothing on top.
-        let req =
-            SimRequest::new("2MEM-1").policy(PolicySpec::Paper(PolicyKind::MeLreq)).opts(quick());
+        let req = SimRequest::new("2MEM-1").policy(PolicySpec::MeLreq).opts(quick());
         let direct = Session::new().run(&req, &RunControl::default()).unwrap().to_json();
         assert_eq!(a, direct);
     }
@@ -1708,40 +1742,18 @@ mod tests {
     #[test]
     fn json_rejects_obs_flags_and_provenance() {
         let obs = ObsArgs { provenance: true, ..ObsArgs::default() };
-        let e = cmd_run(
-            "2MEM-1",
-            &PolicySpec::Paper(PolicyKind::MeLreq),
-            &quick(),
-            false,
-            &obs,
-            true,
-            None,
-        )
-        .unwrap_err();
+        let e =
+            cmd_run("2MEM-1", &PolicySpec::MeLreq, &quick(), false, &obs, true, None).unwrap_err();
         assert_eq!(e.exit_code(), 2);
-        let e = cmd_compare(
-            "2MEM-1",
-            &[PolicySpec::Paper(PolicyKind::HfRf)],
-            &quick(),
-            true,
-            true,
-            None,
-        )
-        .unwrap_err();
+        let e = cmd_compare("2MEM-1", &[PolicySpec::HfRf], &quick(), true, true, None).unwrap_err();
         assert_eq!(e.exit_code(), 2);
     }
 
     #[test]
     fn compare_json_reports_every_policy() {
-        let s = cmd_compare(
-            "2MEM-1",
-            &[PolicySpec::Paper(PolicyKind::HfRf), PolicySpec::Fq],
-            &quick(),
-            false,
-            true,
-            None,
-        )
-        .unwrap();
+        let s =
+            cmd_compare("2MEM-1", &[PolicySpec::HfRf, PolicySpec::Fq], &quick(), false, true, None)
+                .unwrap();
         assert!(s.contains("\"policy\":\"HF-RF\""));
         assert!(s.contains("\"policy\":\"FQ\""));
         assert!(s.starts_with("{\"schema_version\":"));
@@ -1757,7 +1769,7 @@ mod tests {
         let e = cmd_client(
             &["run".to_string()],
             Some("2MEM-1"),
-            &[PolicySpec::Paper(PolicyKind::HfRf), PolicySpec::Fq],
+            &[PolicySpec::HfRf, PolicySpec::Fq],
             &quick(),
             false,
             "127.0.0.1:1",
@@ -1779,14 +1791,8 @@ mod tests {
             sample_epoch: Some(2_000),
             ..ObsArgs::default()
         };
-        let s = cmd_trace(
-            "2MEM-1",
-            &PolicySpec::Paper(PolicyKind::MeLreq),
-            trace.to_str().unwrap(),
-            &obs,
-            &quick(),
-        )
-        .unwrap();
+        let s = cmd_trace("2MEM-1", &PolicySpec::MeLreq, trace.to_str().unwrap(), &obs, &quick())
+            .unwrap();
         assert!(s.contains("ui.perfetto.dev"), "summary must point at the viewer:\n{s}");
         assert!(s.contains("decision provenance"), "provenance table missing:\n{s}");
         let json = std::fs::read_to_string(&trace).unwrap();
@@ -1805,9 +1811,21 @@ mod tests {
     }
 
     #[test]
-    fn trace_rejects_external_policies() {
-        let e = cmd_trace("2MEM-1", &PolicySpec::Fq, "/dev/null", &ObsArgs::default(), &quick());
-        assert!(e.is_err());
+    fn trace_covers_zoo_policies() {
+        // FQ has no dedicated provenance rule: its grants attribute to
+        // the `external` rule, but the trace itself is complete.
+        let s = cmd_trace("2MEM-1", &PolicySpec::Fq, "/dev/null", &ObsArgs::default(), &quick())
+            .unwrap();
+        assert!(s.contains("scheduler decisions"), "trace summary missing:\n{s}");
+        let s = cmd_trace(
+            "2MEM-1",
+            &PolicySpec::parse("bliss(threshold=2)").unwrap(),
+            "/dev/null",
+            &ObsArgs::default(),
+            &quick(),
+        )
+        .unwrap();
+        assert!(s.contains("BLISS"), "parameterized policy must trace:\n{s}");
     }
 
     #[test]
@@ -1821,21 +1839,12 @@ mod tests {
             provenance: true,
             ..ObsArgs::default()
         };
-        let s = cmd_run(
-            "2MEM-1",
-            &PolicySpec::Paper(PolicyKind::HfRf),
-            &quick(),
-            true,
-            &obs,
-            false,
-            None,
-        )
-        .unwrap();
+        let s = cmd_run("2MEM-1", &PolicySpec::HfRf, &quick(), true, &obs, false, None).unwrap();
         assert!(s.contains("0 violations"), "audit and tracing must coexist:\n{s}");
         assert!(s.contains("decision provenance"), "provenance missing:\n{s}");
         assert!(trace.exists());
-        let e = cmd_run("2MEM-1", &PolicySpec::Fq, &quick(), false, &obs, false, None);
-        assert!(e.is_err(), "obs flags must reject externally built policies");
+        let s = cmd_run("2MEM-1", &PolicySpec::Fq, &quick(), false, &obs, false, None).unwrap();
+        assert!(s.contains("decision provenance"), "FQ provenance must render:\n{s}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -1843,7 +1852,7 @@ mod tests {
     fn compare_provenance_renders_rule_totals() {
         let s = cmd_compare(
             "2MEM-1",
-            &[PolicySpec::Paper(PolicyKind::HfRf), PolicySpec::Paper(PolicyKind::MeLreq)],
+            &[PolicySpec::HfRf, PolicySpec::MeLreq],
             &quick(),
             true,
             false,
@@ -1852,7 +1861,7 @@ mod tests {
         .unwrap();
         assert!(s.contains("decision provenance"), "provenance table missing:\n{s}");
         assert!(s.contains("ME-LREQ"), "both policies must appear:\n{s}");
-        let e = cmd_compare("2MEM-1", &[PolicySpec::Fq], &quick(), true, false, None);
-        assert!(e.is_err(), "--provenance must reject externally built policies");
+        let s = cmd_compare("2MEM-1", &[PolicySpec::Fq], &quick(), true, false, None).unwrap();
+        assert!(s.contains("decision provenance"), "FQ provenance must render:\n{s}");
     }
 }

@@ -2,13 +2,14 @@
 //! the simulation crates plus rand/proptest/criterion).
 
 use melreq_core::experiment::ExperimentOptions;
-use melreq_memctrl::policy::PolicyKind;
 
-/// A policy selected on the command line. This is the facade's
-/// [`melreq_core::api::PolicyChoice`] — the CLI, the service and the
-/// bench harness all parse policy names through the same type, so a
-/// token accepted here is accepted everywhere.
-pub use melreq_core::api::PolicyChoice as PolicySpec;
+/// A policy selected on the command line. This is
+/// [`melreq_memctrl::PolicyKind`], resolved through the open policy
+/// registry — the CLI, the service and the bench harness all parse
+/// policy names through the same table, so a token accepted here is
+/// accepted everywhere, including the `name(key=value,...)` parameter
+/// grammar (e.g. `bliss(threshold=8)`).
+pub use melreq_memctrl::PolicyKind as PolicySpec;
 
 /// Observability flags (`--trace`, `--series`, `--sample-epoch`,
 /// `--trace-cap`, `--provenance`) accepted by `run` and `trace`.
@@ -264,8 +265,9 @@ USAGE:
                [--idle-timeout-ms N] [--access-log PATH] [--profile PATH]
   melreq client VERB... [--addr H:P] [--timeout-ms N] [common options]
                where VERB is run <MIX> | compare <MIX> | health | metrics
-               | buildinfo | shutdown; several verbs share one keep-alive
-               connection (at most one of run|compare per invocation)
+               | buildinfo | policies | shutdown; several verbs share one
+               keep-alive connection (at most one of run|compare per
+               invocation)
   melreq loadbench [MIX] [--addr H:P] [--rps R] [--conns N]
                    [--duration S] [--seed N] [--out PATH]
                    [--guard PATH [--guard-ratio R]]
@@ -274,7 +276,16 @@ USAGE:
   melreq help
 
 POLICIES:
-  fcfs fcfs-rf hf-rf rr lreq me me-lreq me-lreq-on fix-0123 fix-3210 fq stf
+  fcfs fcfs-rf hf-rf rr lreq me me-lreq me-lreq-on fix-0123 fix-3210
+  fq stf bliss tcm
+  Names resolve through the open policy registry (case-insensitive,
+  aliases accepted: baseline, hfrf, round-robin, melreq, online,
+  fair-queueing, stall-time-fair, tcm-cluster). Parameterized policies
+  take `name(key=value,...)`: bliss(threshold=4,clear=10000),
+  tcm(quantum=2000), me-lreq-on(epoch=50000). An unknown name suggests
+  the nearest registered one. `melreq client policies` (or GET
+  /policies on a server) lists every descriptor as JSON; compare/sweep
+  with no --policies default to the registry's paper-figure set.
 
 COMMON OPTIONS:
   --instructions N   measured instructions per core   (default 150000)
@@ -623,15 +634,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
         }
     }
 
-    let default_policies = || -> Vec<PolicySpec> {
-        vec![
-            PolicySpec::Paper(PolicyKind::HfRf),
-            PolicySpec::Paper(PolicyKind::RoundRobin),
-            PolicySpec::Paper(PolicyKind::Lreq),
-            PolicySpec::Paper(PolicyKind::Me),
-            PolicySpec::Paper(PolicyKind::MeLreq),
-        ]
-    };
+    // With no explicit set, `compare`/`sweep` enumerate the registry's
+    // paper-figure policies (the Figure 2 set, in figure order).
+    let default_policies = melreq_memctrl::registry::paper_figure_set;
 
     match cmd.as_str() {
         "profile" => Ok(Command::Profile { apps, opts }),
@@ -640,7 +645,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 positional.first().ok_or("run needs a workload mix name (e.g. 4MEM-1)")?.clone();
             Ok(Command::Run {
                 mix,
-                policy: policy.unwrap_or(PolicySpec::Paper(PolicyKind::MeLreq)),
+                policy: policy.unwrap_or(PolicySpec::MeLreq),
                 opts,
                 audit,
                 obs,
@@ -654,7 +659,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 positional.first().ok_or("trace needs a workload mix name (e.g. 4MEM-1)")?.clone();
             Ok(Command::Trace {
                 mix,
-                policy: policy.unwrap_or(PolicySpec::Paper(PolicyKind::MeLreq)),
+                policy: policy.unwrap_or(PolicySpec::MeLreq),
                 out: out.unwrap_or_else(|| "trace.json".to_string()),
                 obs,
                 opts,
@@ -663,11 +668,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
         "audit" => {
             // The acceptance workload: a seeded 4-core paper mix.
             let mix = positional.first().cloned().unwrap_or_else(|| "4MEM-1".to_string());
-            Ok(Command::Audit {
-                mix,
-                policy: policy.unwrap_or(PolicySpec::Paper(PolicyKind::MeLreq)),
-                opts,
-            })
+            Ok(Command::Audit { mix, policy: policy.unwrap_or(PolicySpec::MeLreq), opts })
         }
         "compare" => {
             let mix = positional
@@ -718,7 +719,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
         "client" => {
             if positional.is_empty() {
                 return Err("client needs at least one verb: run, compare, health, metrics, \
-                            buildinfo or shutdown"
+                            buildinfo, policies or shutdown"
                     .to_string());
             }
             // Positionals are verbs in execution order; `run` and
@@ -741,11 +742,13 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                         mix = Some(m.clone());
                         verbs.push(verb.clone());
                     }
-                    "health" | "metrics" | "buildinfo" | "shutdown" => verbs.push(verb.clone()),
+                    "health" | "metrics" | "buildinfo" | "policies" | "shutdown" => {
+                        verbs.push(verb.clone());
+                    }
                     other => {
                         return Err(format!(
                             "unknown client verb '{other}' (run, compare, health, metrics, \
-                             buildinfo, shutdown)"
+                             buildinfo, policies, shutdown)"
                         ));
                     }
                 }
@@ -756,7 +759,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             } else if policies.is_empty() && wants_compare {
                 default_policies()
             } else if policies.is_empty() {
-                vec![PolicySpec::Paper(PolicyKind::MeLreq)]
+                vec![PolicySpec::MeLreq]
             } else {
                 policies
             };
@@ -804,7 +807,7 @@ mod tests {
         match c {
             Command::Run { mix, policy, opts, audit, obs, json, threads, prof_out } => {
                 assert_eq!(mix, "4MEM-1");
-                assert_eq!(policy, PolicySpec::Paper(PolicyKind::Lreq));
+                assert_eq!(policy, PolicySpec::Lreq);
                 assert_eq!(opts.instructions, 5000);
                 assert!(!audit);
                 assert!(!obs.any());
@@ -1332,6 +1335,75 @@ mod tests {
             c => panic!("wrong command {c:?}"),
         }
         assert!(parse_args(&v(&["analyze", "--root"])).is_err());
+    }
+
+    #[test]
+    fn client_policies_verb_parses() {
+        match parse_args(&v(&["client", "policies"])).unwrap() {
+            Command::Client { verbs, mix, .. } => {
+                assert_eq!(verbs, vec!["policies".to_string()]);
+                assert!(mix.is_none());
+            }
+            c => panic!("wrong command {c:?}"),
+        }
+        match parse_args(&v(&["client", "policies", "run", "4MEM-1"])).unwrap() {
+            Command::Client { verbs, .. } => {
+                assert_eq!(verbs, vec!["policies".to_string(), "run".into()]);
+            }
+            c => panic!("wrong command {c:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_policy_suggests_nearest_name() {
+        let e = parse_args(&v(&["run", "4MEM-1", "--policy", "me-lerq"])).unwrap_err();
+        assert!(e.contains("unknown policy"), "{e}");
+        assert!(e.contains("did you mean 'me-lreq'"), "nearest-name suggestion missing: {e}");
+        let e = parse_args(&v(&["compare", "4MEM-1", "--policies", "hf-rf,blis"])).unwrap_err();
+        assert!(e.contains("did you mean 'bliss'"), "{e}");
+    }
+
+    #[test]
+    fn parameterized_policy_tokens_parse_on_the_cli() {
+        match parse_args(&v(&["run", "4MEM-1", "--policy", "bliss(threshold=8,clear=500)"]))
+            .unwrap()
+        {
+            Command::Run { policy, .. } => {
+                assert_eq!(policy.name(), "BLISS");
+                assert_eq!(policy, PolicySpec::parse("bliss(threshold=8,clear=500)").unwrap());
+            }
+            c => panic!("wrong command {c:?}"),
+        }
+        match parse_args(&v(&["compare", "4MEM-1", "--policies", "tcm(quantum=1500),stf"])).unwrap()
+        {
+            Command::Compare { policies, .. } => {
+                assert_eq!(
+                    policies.iter().map(PolicySpec::name).collect::<Vec<_>>(),
+                    vec!["TCM", "STF"]
+                );
+            }
+            c => panic!("wrong command {c:?}"),
+        }
+    }
+
+    #[test]
+    fn usage_documents_the_registry_surface() {
+        for needle in [
+            "bliss",
+            "tcm",
+            "policies",
+            "bliss(threshold=4,clear=10000)",
+            "tcm(quantum=2000)",
+            "me-lreq-on(epoch=50000)",
+            "/policies",
+        ] {
+            assert!(USAGE.contains(needle), "USAGE must document {needle}");
+        }
+        // Every registered id and alias appears in or resolves from the
+        // grammar USAGE describes.
+        for d in melreq_memctrl::registry() {
+            assert!(PolicySpec::parse(d.id).is_ok(), "{} must resolve", d.id);
+        }
     }
 
     #[test]

@@ -22,8 +22,8 @@ use crate::experiment::{self, ExperimentOptions, MixResult, ProfileCache, RunCon
 use crate::store::CheckpointStore;
 use crate::system::CancelToken;
 use json::{esc, fmt_f64, Json};
-use melreq_memctrl::policy::PolicyKind;
-use melreq_memctrl::{FairQueueing, StallTimeFair};
+pub use melreq_memctrl::policy::PolicyKind;
+pub use melreq_memctrl::registry::registry_json;
 use melreq_workloads::{all_mixes, Mix};
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -102,89 +102,12 @@ impl std::fmt::Display for MelreqError {
 
 impl std::error::Error for MelreqError {}
 
-/// A scheduling policy selectable by name: one of the paper's evaluated
-/// set, or one of this repo's extensions. This is the parse-level type
-/// the CLI's `--policy`/`--policies` flags and the service's request
-/// bodies share (the CLI re-exports it as `PolicySpec`).
-#[derive(Debug, Clone, PartialEq)]
-pub enum PolicyChoice {
-    /// A scheme from the paper's evaluated set.
-    Paper(PolicyKind),
-    /// Start-time fair queueing (extension).
-    Fq,
-    /// Stall-time-fairness heuristic (extension).
-    Stf,
-}
-
-impl PolicyChoice {
-    /// Parse a policy name as accepted by `--policy`/`--policies` and
-    /// the service's `"policies"` request field.
-    pub fn parse(s: &str) -> Result<Self, String> {
-        Ok(match s.to_ascii_lowercase().as_str() {
-            "fcfs" => PolicyChoice::Paper(PolicyKind::Fcfs),
-            "fcfs-rf" => PolicyChoice::Paper(PolicyKind::FcfsRf),
-            "hf-rf" | "hfrf" | "baseline" => PolicyChoice::Paper(PolicyKind::HfRf),
-            "rr" | "round-robin" => PolicyChoice::Paper(PolicyKind::RoundRobin),
-            "lreq" => PolicyChoice::Paper(PolicyKind::Lreq),
-            "me" => PolicyChoice::Paper(PolicyKind::Me),
-            "me-lreq" | "melreq" => PolicyChoice::Paper(PolicyKind::MeLreq),
-            "me-lreq-on" | "online" => {
-                PolicyChoice::Paper(PolicyKind::MeLreqOnline { epoch_cycles: 50_000 })
-            }
-            "fix-0123" => {
-                PolicyChoice::Paper(PolicyKind::Fixed { name: "FIX-0123", order: vec![0, 1, 2, 3] })
-            }
-            "fix-3210" => {
-                PolicyChoice::Paper(PolicyKind::Fixed { name: "FIX-3210", order: vec![3, 2, 1, 0] })
-            }
-            "fq" => PolicyChoice::Fq,
-            "stf" => PolicyChoice::Stf,
-            other => return Err(format!("unknown policy '{other}'")),
-        })
-    }
-
-    /// Display name (report column).
-    pub fn name(&self) -> &'static str {
-        match self {
-            PolicyChoice::Paper(k) => k.name(),
-            PolicyChoice::Fq => "FQ",
-            PolicyChoice::Stf => "STF",
-        }
-    }
-
-    /// The canonical parse token that round-trips through
-    /// [`PolicyChoice::parse`] — used when serialising requests.
-    pub fn token(&self) -> &'static str {
-        match self {
-            PolicyChoice::Paper(PolicyKind::Fcfs) => "fcfs",
-            PolicyChoice::Paper(PolicyKind::FcfsRf) => "fcfs-rf",
-            PolicyChoice::Paper(PolicyKind::HfRf) => "hf-rf",
-            PolicyChoice::Paper(PolicyKind::RoundRobin) => "rr",
-            PolicyChoice::Paper(PolicyKind::Lreq) => "lreq",
-            PolicyChoice::Paper(PolicyKind::Me) => "me",
-            PolicyChoice::Paper(PolicyKind::MeLreq) => "me-lreq",
-            PolicyChoice::Paper(PolicyKind::MeLreqOnline { .. }) => "me-lreq-on",
-            PolicyChoice::Paper(PolicyKind::Fixed { name, .. }) => {
-                if *name == "FIX-3210" {
-                    "fix-3210"
-                } else {
-                    "fix-0123"
-                }
-            }
-            PolicyChoice::Fq => "fq",
-            PolicyChoice::Stf => "stf",
-        }
-    }
-
-    /// A canonical, collision-free description (captures `Fixed` orders
-    /// and online epochs) for request hashing.
-    fn canonical(&self) -> String {
-        match self {
-            PolicyChoice::Paper(k) => format!("{k:?}"),
-            PolicyChoice::Fq => "Fq".to_string(),
-            PolicyChoice::Stf => "Stf".to_string(),
-        }
-    }
+/// A canonical, collision-free description of a policy (captures
+/// `Fixed` orders and parameter values) for request hashing. The
+/// `Debug` rendering of [`PolicyKind`] is stable and keeps the
+/// pre-registry cache keys for the paper's schemes and FQ/STF.
+fn canonical_kind(kind: &PolicyKind) -> String {
+    format!("{kind:?}")
 }
 
 /// One simulation request: a mix, a policy set, and the harness knobs.
@@ -195,12 +118,15 @@ pub struct SimRequest {
     /// Table 3 mix name (e.g. `2MEM-1`).
     pub mix: String,
     /// Policies to run, in report order (first = comparison baseline).
-    pub policies: Vec<PolicyChoice>,
+    /// Resolved by name through the policy registry
+    /// (`melreq_memctrl::registry`): the CLI's `--policy`/`--policies`
+    /// flags and the service's request bodies share the same grammar,
+    /// `name` or `name(key=val,...)`.
+    pub policies: Vec<PolicyKind>,
     /// Harness options.
     pub opts: ExperimentOptions,
-    /// Attach the independent protocol/invariant auditor (paper
-    /// policies only); a violated run fails with
-    /// [`MelreqError::Divergence`].
+    /// Attach the independent protocol/invariant auditor; a violated
+    /// run fails with [`MelreqError::Divergence`].
     pub audit: bool,
     /// Optional simulated-cycle budget tightening the options' safety
     /// net; an exhausted budget reports `timed_out` in the result.
@@ -235,14 +161,14 @@ impl SimRequest {
 
     /// Append one policy.
     #[must_use]
-    pub fn policy(mut self, p: PolicyChoice) -> Self {
+    pub fn policy(mut self, p: PolicyKind) -> Self {
         self.policies.push(p);
         self
     }
 
     /// Replace the policy set.
     #[must_use]
-    pub fn policies(mut self, ps: Vec<PolicyChoice>) -> Self {
+    pub fn policies(mut self, ps: Vec<PolicyKind>) -> Self {
         self.policies = ps;
         self
     }
@@ -321,14 +247,14 @@ impl SimRequest {
                         .map(|p| {
                             p.as_str()
                                 .ok_or_else(|| usage("policies must be an array of strings".into()))
-                                .and_then(|s| PolicyChoice::parse(s).map_err(usage))
+                                .and_then(|s| PolicyKind::parse(s).map_err(usage))
                         })
                         .collect::<Result<_, _>>()?;
                 }
                 "policy" => {
                     let s =
                         value.as_str().ok_or_else(|| usage("policy must be a string".into()))?;
-                    req.policies = vec![PolicyChoice::parse(s).map_err(usage)?];
+                    req.policies = vec![PolicyKind::parse(s).map_err(usage)?];
                 }
                 "audit" => {
                     req.audit =
@@ -395,8 +321,11 @@ impl SimRequest {
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(256);
         write!(s, "{{\"schema_version\":{SCHEMA_VERSION},\"mix\":\"{}\"", esc(&self.mix)).unwrap();
-        let tokens: Vec<String> =
-            self.policies.iter().map(|p| format!("\"{}\"", p.token())).collect();
+        let tokens: Vec<String> = self
+            .policies
+            .iter()
+            .map(|p| format!("\"{}\"", melreq_memctrl::canonical_name(p)))
+            .collect();
         write!(s, ",\"policies\":[{}]", tokens.join(",")).unwrap();
         let o = &self.opts;
         write!(
@@ -424,7 +353,7 @@ impl SimRequest {
     /// are excluded — one only bounds wall-clock time, the other only
     /// picks worker-thread count.
     pub fn canonical_string(&self) -> String {
-        let policies: Vec<String> = self.policies.iter().map(PolicyChoice::canonical).collect();
+        let policies: Vec<String> = self.policies.iter().map(canonical_kind).collect();
         let o = &self.opts;
         format!(
             "mix={};policies=[{}];audit={};instr={};warmup={};profile={};slice={};factor={};exact={};budget={:?}",
@@ -478,8 +407,15 @@ pub struct PolicyReport {
     pub policy: String,
     /// SMT speedup (Equation 2).
     pub smt_speedup: f64,
+    /// Weighted speedup (Σ IPC_multi/IPC_single; equals
+    /// [`PolicyReport::smt_speedup`] under the paper's definitions).
+    pub weighted_speedup: f64,
+    /// Harmonic mean of per-core speedups (0.0 when a core starved).
+    pub harmonic_speedup: f64,
     /// Unfairness metric (Equation 3).
     pub unfairness: f64,
+    /// Largest per-core slowdown.
+    pub max_slowdown: f64,
     /// Mean read latency across cores, in cycles.
     pub mean_read_latency: f64,
     /// Per-core IPC in the multiprogrammed run.
@@ -516,7 +452,10 @@ impl PolicyReport {
         PolicyReport {
             policy: r.policy.to_string(),
             smt_speedup: r.smt_speedup,
+            weighted_speedup: r.weighted_speedup,
+            harmonic_speedup: r.harmonic_speedup,
             unfairness: r.unfairness,
+            max_slowdown: r.max_slowdown,
             mean_read_latency: r.mean_read_latency,
             ipc_multi: r.ipc_multi.clone(),
             ipc_single: r.ipc_single.clone(),
@@ -541,10 +480,13 @@ impl PolicyReport {
         };
         write!(
             s,
-            "{{\"policy\":\"{}\",\"smt_speedup\":{},\"unfairness\":{},\"mean_read_latency\":{}",
+            "{{\"policy\":\"{}\",\"smt_speedup\":{},\"weighted_speedup\":{},\"harmonic_speedup\":{},\"unfairness\":{},\"max_slowdown\":{},\"mean_read_latency\":{}",
             esc(&self.policy),
             fmt_f64(self.smt_speedup),
+            fmt_f64(self.weighted_speedup),
+            fmt_f64(self.harmonic_speedup),
             fmt_f64(self.unfairness),
+            fmt_f64(self.max_slowdown),
             fmt_f64(self.mean_read_latency),
         )
         .unwrap();
@@ -697,13 +639,10 @@ impl Session {
         let mut warm_wall = Duration::ZERO;
         let mut reports = Vec::with_capacity(req.policies.len());
         if req.audit {
-            for choice in &req.policies {
-                let PolicyChoice::Paper(kind) = choice else {
-                    return Err(MelreqError::Usage(format!(
-                        "audit supports only the paper's policies, not {}",
-                        choice.name()
-                    )));
-                };
+            // Every registered policy is auditable: the paper's schemes
+            // and BLISS/TCM get full decision replication, the rest the
+            // generic protocol/class/starvation checks.
+            for kind in &req.policies {
                 let (result, audit) =
                     experiment::run_mix_audited_ctl(&mix, kind, &req.opts, &self.cache, &ctl);
                 if audit.total_violations > 0 {
@@ -718,28 +657,34 @@ impl Session {
                 warm_wall += result.warm_wall;
                 reports.push(PolicyReport::from_result(&result, Some(summary)));
             }
-        } else if req.policies.len() > 1
-            && req.policies.iter().all(|p| matches!(p, PolicyChoice::Paper(_)))
-        {
-            // All-paper comparisons share one warm-up and fork it.
-            let kinds: Vec<PolicyKind> = req
-                .policies
-                .iter()
-                .map(|p| match p {
-                    PolicyChoice::Paper(k) => k.clone(),
-                    _ => unreachable!("checked above"),
-                })
-                .collect();
-            let results =
-                experiment::run_mix_group_ctl(&mix, &kinds, &req.opts, &self.cache, store, &ctl);
+        } else if req.policies.len() > 1 {
+            // Comparisons share one warm-up and fork it per policy —
+            // registry factories make this uniform across the zoo.
+            let results = experiment::run_mix_group_ctl(
+                &mix,
+                &req.policies,
+                &req.opts,
+                &self.cache,
+                store,
+                &ctl,
+            );
             for r in &results {
                 wall += r.wall;
                 warm_wall += r.warm_wall;
                 reports.push(PolicyReport::from_result(r, None));
             }
         } else {
-            for choice in &req.policies {
-                let result = self.run_choice(&mix, choice, &req.opts, &ctl);
+            for kind in &req.policies {
+                let result = experiment::run_mix_custom_ctl(
+                    &mix,
+                    kind.name(),
+                    |_, _, _| unreachable!("registered policies are built by swap_policy"),
+                    Some(kind.clone()),
+                    &req.opts,
+                    &self.cache,
+                    store,
+                    &ctl,
+                );
                 wall += result.wall;
                 warm_wall += result.warm_wall;
                 reports.push(PolicyReport::from_result(&result, None));
@@ -754,49 +699,6 @@ impl Session {
             )));
         }
         Ok(SimReport { mix: mix.name.to_string(), policies: reports, wall, warm_wall })
-    }
-
-    /// Run one (mix, choice) pair through the right harness entry point.
-    fn run_choice(
-        &self,
-        mix: &Mix,
-        choice: &PolicyChoice,
-        opts: &ExperimentOptions,
-        ctl: &RunControl,
-    ) -> MixResult {
-        let store = self.store.as_deref();
-        match choice {
-            PolicyChoice::Paper(kind) => experiment::run_mix_custom_ctl(
-                mix,
-                kind.name(),
-                |_, _, _| unreachable!("paper policies are built by swap_policy"),
-                Some(kind.clone()),
-                opts,
-                &self.cache,
-                store,
-                ctl,
-            ),
-            PolicyChoice::Fq => experiment::run_mix_custom_ctl(
-                mix,
-                "FQ",
-                |_me, cores, _seed| (Box::new(FairQueueing::new(cores)), true),
-                None,
-                opts,
-                &self.cache,
-                store,
-                ctl,
-            ),
-            PolicyChoice::Stf => experiment::run_mix_custom_ctl(
-                mix,
-                "STF",
-                |_me, cores, _seed| (Box::new(StallTimeFair::new(cores)), true),
-                None,
-                opts,
-                &self.cache,
-                store,
-                ctl,
-            ),
-        }
     }
 
     /// Merge the caller's control with the request's own limits.
@@ -865,7 +767,7 @@ mod tests {
 
     fn quick_request(policy: &str) -> SimRequest {
         SimRequest::new("2MEM-1")
-            .policy(PolicyChoice::parse(policy).unwrap())
+            .policy(PolicyKind::parse(policy).unwrap())
             .opts(ExperimentOptions::quick())
     }
 
@@ -900,8 +802,8 @@ mod tests {
         let c = a.clone().max_cycles(1 << 30);
         assert_ne!(a.request_key(), c.request_key());
         // Fixed-priority orders are part of the identity.
-        let f0 = SimRequest::new("4MEM-1").policy(PolicyChoice::parse("fix-0123").unwrap());
-        let f3 = SimRequest::new("4MEM-1").policy(PolicyChoice::parse("fix-3210").unwrap());
+        let f0 = SimRequest::new("4MEM-1").policy(PolicyKind::parse("fix-0123").unwrap());
+        let f3 = SimRequest::new("4MEM-1").policy(PolicyKind::parse("fix-3210").unwrap());
         assert_ne!(f0.request_key(), f3.request_key());
     }
 
@@ -930,7 +832,7 @@ mod tests {
     #[test]
     fn unknown_mix_is_usage_error() {
         let session = Session::new();
-        let req = SimRequest::new("MIX9-9").policy(PolicyChoice::Fq);
+        let req = SimRequest::new("MIX9-9").policy(PolicyKind::Fq);
         let err = session.run(&req, &RunControl::default()).unwrap_err();
         assert_eq!(err.exit_code(), 2);
         assert!(err.to_string().contains("MIX9-9"));

@@ -219,8 +219,17 @@ pub struct MixResult {
     pub policy: &'static str,
     /// SMT speedup (Σ IPC_multi/IPC_single — Figure 2's metric).
     pub smt_speedup: f64,
+    /// Weighted speedup (Σ IPC_multi/IPC_single; identical to
+    /// [`MixResult::smt_speedup`] under the paper's definitions, kept as
+    /// a named field so consumers see the standard metric name).
+    pub weighted_speedup: f64,
+    /// Harmonic mean of the per-core speedups (balance-sensitive
+    /// throughput; 0.0 when any core fully starved).
+    pub harmonic_speedup: f64,
     /// Unfairness (max slowdown / min slowdown — Figure 5's metric).
     pub unfairness: f64,
+    /// Largest per-core slowdown (IPC_single/IPC_multi).
+    pub max_slowdown: f64,
     /// Per-core IPC in the multiprogrammed run.
     pub ipc_multi: Vec<f64>,
     /// Per-core single-core reference IPC.
@@ -366,7 +375,10 @@ fn finish_result(
         mix: *mix,
         policy: name,
         smt_speedup: fairness.smt_speedup,
+        weighted_speedup: fairness.weighted_speedup,
+        harmonic_speedup: fairness.harmonic_speedup,
         unfairness: fairness.unfairness,
+        max_slowdown: fairness.max_slowdown,
         ipc_multi: out.ipc,
         ipc_single,
         read_latency: out.read_latency,

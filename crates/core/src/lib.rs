@@ -32,7 +32,7 @@ pub mod report;
 pub mod store;
 pub mod system;
 
-pub use api::{MelreqError, PolicyChoice, Session, SimReport, SimRequest};
+pub use api::{MelreqError, PolicyKind, Session, SimReport, SimRequest};
 pub use config::SystemConfig;
 pub use experiment::{
     run_mix, run_mix_audited, run_mix_audited_observed, run_mix_observed, ExperimentOptions,

@@ -5,18 +5,18 @@
 //! event-stream hashes, so byte equality here is bit equality of the
 //! outcomes and of the full audited event streams.
 
-use melreq_core::api::{PolicyChoice, Session, SimRequest};
+use melreq_core::api::{Session, SimRequest};
 use melreq_core::experiment::{ExperimentOptions, RunControl};
 use melreq_memctrl::policy::PolicyKind;
 
 #[test]
 fn profiling_is_bit_inert_across_all_paper_policies() {
     let policies = vec![
-        PolicyChoice::Paper(PolicyKind::HfRf),
-        PolicyChoice::Paper(PolicyKind::RoundRobin),
-        PolicyChoice::Paper(PolicyKind::Lreq),
-        PolicyChoice::Paper(PolicyKind::Me),
-        PolicyChoice::Paper(PolicyKind::MeLreq),
+        PolicyKind::HfRf,
+        PolicyKind::RoundRobin,
+        PolicyKind::Lreq,
+        PolicyKind::Me,
+        PolicyKind::MeLreq,
     ];
     let req = SimRequest::new("4MEM-1")
         .policies(policies)

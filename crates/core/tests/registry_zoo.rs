@@ -1,0 +1,146 @@
+//! The grown scheduler zoo through the open policy registry: BLISS and
+//! TCM-cluster (plus the externally contributed FQ/STF) must be
+//! first-class citizens of every harness path the paper's policies
+//! enjoy — name resolution, audited runs with deterministic event
+//! streams, shared-warm-up forking, and mid-run pause/restore.
+
+use melreq_core::experiment::{run_mix, run_mix_audited, run_mix_group, ProfileCache};
+use melreq_core::{ExperimentOptions, PolicyKind, System, SystemConfig};
+use melreq_memctrl::{canonical_name, registry};
+use melreq_snap::fnv1a;
+use melreq_trace::InstrStream;
+use melreq_workloads::{mix_by_name, SliceKind};
+
+/// The grown set: every non-paper policy the registry resolves,
+/// including parameterized variants off their defaults.
+fn grown_set() -> Vec<PolicyKind> {
+    vec![
+        PolicyKind::parse("fq").unwrap(),
+        PolicyKind::parse("stf").unwrap(),
+        PolicyKind::parse("bliss").unwrap(),
+        PolicyKind::parse("bliss(threshold=2,clear=3000)").unwrap(),
+        PolicyKind::parse("tcm").unwrap(),
+        PolicyKind::parse("tcm(quantum=1500)").unwrap(),
+        PolicyKind::parse("me-lreq-on(epoch=20000)").unwrap(),
+    ]
+}
+
+#[test]
+fn every_registered_policy_round_trips_through_the_api() {
+    for d in registry() {
+        let kind = PolicyKind::parse(d.id).expect("id resolves");
+        let token = canonical_name(&kind);
+        let back = PolicyKind::parse(&token).expect("canonical token resolves");
+        assert_eq!(kind, back, "{}: parse -> canonical -> parse must be identity", d.id);
+        for alias in d.aliases {
+            assert_eq!(
+                PolicyKind::parse(alias).expect("alias resolves"),
+                d.default_kind(),
+                "alias {alias} must resolve to {}",
+                d.id
+            );
+        }
+    }
+}
+
+#[test]
+fn grown_set_audits_clean_with_deterministic_streams() {
+    let cache = ProfileCache::new();
+    let opts = ExperimentOptions::quick();
+    let mix = mix_by_name("2MEM-1");
+    for kind in grown_set() {
+        let (ra, a) = run_mix_audited(&mix, &kind, &opts, &cache);
+        let (rb, b) = run_mix_audited(&mix, &kind, &opts, &cache);
+        assert!(a.is_clean(), "[{}] audit must pass:\n{}", kind.name(), a.render());
+        assert!(a.events > 0, "[{}] instrumentation must emit events", kind.name());
+        assert_eq!(a.stream_hash, b.stream_hash, "[{}] stream must replay", kind.name());
+        assert_eq!(ra.smt_speedup, rb.smt_speedup, "[{}]", kind.name());
+        assert!(ra.harmonic_speedup > 0.0, "[{}] no core may starve", kind.name());
+        assert!(ra.max_slowdown >= 1.0 - 1e-9, "[{}]", kind.name());
+        assert!(ra.unfairness >= 1.0, "[{}]", kind.name());
+    }
+}
+
+#[test]
+fn zoo_forks_match_fresh_runs_bit_exactly() {
+    let cache = ProfileCache::new();
+    let opts = ExperimentOptions::quick();
+    let mix = mix_by_name("2MEM-1");
+    let policies = [
+        PolicyKind::HfRf,
+        PolicyKind::parse("bliss").unwrap(),
+        PolicyKind::parse("tcm").unwrap(),
+        PolicyKind::Fq,
+        PolicyKind::Stf,
+    ];
+    let group = run_mix_group(&mix, &policies, &opts, &cache, None);
+    assert!(!group[0].warmup_from_checkpoint, "first policy owns the warm-up");
+    for r in &group[1..] {
+        assert!(r.warmup_from_checkpoint, "{} must fork the shared warm-up", r.policy);
+    }
+    for (p, forked) in policies.iter().zip(&group) {
+        let fresh = run_mix(&mix, p, &opts, &cache);
+        assert_eq!(forked.ipc_multi, fresh.ipc_multi, "{}", p.name());
+        assert_eq!(forked.read_latency, fresh.read_latency, "{}", p.name());
+        assert_eq!(forked.sim_cycles, fresh.sim_cycles, "{}", p.name());
+        assert_eq!(forked.smt_speedup, fresh.smt_speedup, "{}", p.name());
+        assert_eq!(forked.harmonic_speedup, fresh.harmonic_speedup, "{}", p.name());
+        assert_eq!(forked.max_slowdown, fresh.max_slowdown, "{}", p.name());
+    }
+}
+
+fn build(mix_name: &str, kind: &PolicyKind, me: &[f64]) -> System {
+    let mix = mix_by_name(mix_name);
+    let streams: Vec<Box<dyn InstrStream + Send>> = mix
+        .apps()
+        .iter()
+        .enumerate()
+        .map(|(i, a)| {
+            Box::new(a.build_stream(i, SliceKind::Evaluation(0))) as Box<dyn InstrStream + Send>
+        })
+        .collect();
+    System::new(SystemConfig::paper(mix.cores(), kind.clone()), streams, me)
+}
+
+/// Pause each zoo policy mid-window — with blacklist bits, cluster
+/// ranks, epoch counters and attained-service state all live — snapshot,
+/// restore into a fresh system, and require both arms to finish in
+/// bit-identical architectural state.
+#[test]
+fn zoo_midrun_snapshot_continue_equals_restore() {
+    const WARMUP: u64 = 4_000;
+    const TARGET: u64 = 6_000;
+    const MAX_CYCLES: u64 = 1 << 26;
+    for (pi, kind) in grown_set().iter().enumerate() {
+        // A distinct deterministic pause offset per policy.
+        let k = (pi as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15) % 3_000;
+        let me = [0.5, 1.5];
+
+        let mut sys = build("2MEM-1", kind, &me);
+        sys.prepare_window(WARMUP, TARGET);
+        assert!(sys.run_to_boundary(MAX_CYCLES), "warm-up must complete");
+        for _ in 0..k {
+            sys.tick();
+        }
+        let snap = sys.snapshot();
+
+        let mut restored = build("2MEM-1", kind, &me);
+        restored
+            .load_snapshot(&snap)
+            .expect("mid-run snapshot must restore into an identical fresh system");
+        assert_eq!(restored.now(), sys.now());
+
+        let name = kind.name();
+        let out_a = sys.run_window(MAX_CYCLES);
+        let out_b = restored.run_window(MAX_CYCLES);
+        assert!(!out_a.timed_out && !out_b.timed_out, "[{name}] must finish");
+        assert_eq!(out_a.cycles, out_b.cycles, "[{name}] cycles");
+        assert_eq!(out_a.ipc, out_b.ipc, "[{name}] IPC");
+        assert_eq!(out_a.read_latency, out_b.read_latency, "[{name}] latency");
+        assert_eq!(
+            fnv1a(&sys.snapshot()),
+            fnv1a(&restored.snapshot()),
+            "[{name}] final machine state diverged after a mid-run restore"
+        );
+    }
+}

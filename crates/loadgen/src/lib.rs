@@ -24,7 +24,7 @@
 //! the artifact (`stream_hash`), so two runs with the same flags offer
 //! byte-identical load.
 
-use melreq_core::api::{resolve_mix, MelreqError, PolicyChoice, SimRequest, SCHEMA_VERSION};
+use melreq_core::api::{resolve_mix, MelreqError, PolicyKind, SimRequest, SCHEMA_VERSION};
 use melreq_core::experiment::ExperimentOptions;
 use melreq_serve::http::ClientConn;
 use rand::rngs::SmallRng;
@@ -171,7 +171,7 @@ struct PhaseShared {
 /// cached phase.
 fn repeated_body(mix: &str) -> String {
     SimRequest::new(mix)
-        .policy(PolicyChoice::parse("me-lreq").expect("known policy token"))
+        .policy(PolicyKind::parse("me-lreq").expect("known policy token"))
         .opts(ExperimentOptions::quick())
         .to_json()
 }
@@ -196,7 +196,7 @@ fn plan_arrivals(cfg: &LoadConfig, spec: PhaseSpec) -> Vec<PlannedArrival> {
             let mix = MIXTURE[rng.gen_range(0..MIXTURE.len())];
             salt += 1;
             SimRequest::new(mix)
-                .policy(PolicyChoice::parse("me-lreq").expect("known policy token"))
+                .policy(PolicyKind::parse("me-lreq").expect("known policy token"))
                 .opts(ExperimentOptions::quick())
                 .max_cycles(SALT_BASE + salt)
                 .to_json()

@@ -295,7 +295,9 @@ impl MemoryController {
     }
 
     /// Announce the controller configuration (including the active
-    /// policy) on the audit stream.
+    /// policy) on the audit stream. Parameterized policies follow up
+    /// with their tunables; the paper's parameter-free schemes emit
+    /// nothing extra, keeping their streams byte-identical.
     fn emit_ctrl_config(&self) {
         self.audit.emit(|| AuditEvent::CtrlConfig {
             cores: self.stats.read_latency.len(),
@@ -306,6 +308,10 @@ impl MemoryController {
             drain_stop: self.cfg.drain_stop,
             overhead: self.cfg.overhead,
         });
+        let params = self.policy.params();
+        if !params.is_empty() {
+            self.audit.emit(|| AuditEvent::PolicyParams { params });
+        }
     }
 
     /// Name of the active policy.

@@ -42,7 +42,7 @@ pub struct FairQueueing {
     /// Global virtual clock: start tag of the most recent grant.
     global_vt: u64,
     /// Per-core service shares (relative weights; equal by default).
-    share: Vec<u32>,
+    share: Vec<u32>, // melreq-allow(S01): construction weights, identical across snapshot peers
 }
 
 impl FairQueueing {
@@ -99,6 +99,21 @@ impl SchedulerPolicy for FairQueueing {
         let start = self.start_tag(granted.core);
         self.global_vt = start;
         self.virtual_time[i] = start + QUANTUM / self.share[i] as u64;
+    }
+
+    fn save_state(&self, enc: &mut melreq_snap::Enc) {
+        enc.u64s(&self.virtual_time);
+        enc.u64(self.global_vt);
+    }
+
+    fn load_state(&mut self, dec: &mut melreq_snap::Dec<'_>) -> Result<(), melreq_snap::SnapError> {
+        let vt = dec.u64s()?;
+        if vt.len() != self.virtual_time.len() {
+            return Err(melreq_snap::SnapError::Invalid("fair-queueing core count mismatch"));
+        }
+        self.virtual_time = vt;
+        self.global_vt = dec.u64()?;
+        Ok(())
     }
 }
 
@@ -170,6 +185,21 @@ impl SchedulerPolicy for StallTimeFair {
         // Serving a request repays part of the core's debt.
         let i = granted.core.index();
         self.debt[i] = (self.debt[i] - QUANTUM as f64).max(0.0);
+    }
+
+    fn save_state(&self, enc: &mut melreq_snap::Enc) {
+        enc.f64s(&self.debt);
+        enc.u64(self.last_now);
+    }
+
+    fn load_state(&mut self, dec: &mut melreq_snap::Dec<'_>) -> Result<(), melreq_snap::SnapError> {
+        let debt = dec.f64s()?;
+        if debt.len() != self.debt.len() {
+            return Err(melreq_snap::SnapError::Invalid("stall-time-fair core count mismatch"));
+        }
+        self.debt = debt;
+        self.last_now = dec.u64()?;
+        Ok(())
     }
 }
 
@@ -264,5 +294,40 @@ mod tests {
     fn policies_report_names() {
         assert_eq!(FairQueueing::new(1).name(), "FQ");
         assert_eq!(StallTimeFair::new(1).name(), "STF");
+    }
+
+    #[test]
+    fn fq_snapshot_round_trips() {
+        let mut p = FairQueueing::with_shares(vec![2, 1]);
+        let cands = [cand(0, 0, false), cand(1, 1, false)];
+        for _ in 0..7 {
+            let i = p.select(&cands, &[1, 1]);
+            p.note_grant(&cands[i]);
+        }
+        let mut enc = melreq_snap::Enc::new();
+        p.save_state(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut q = FairQueueing::with_shares(vec![2, 1]);
+        let mut dec = melreq_snap::Dec::new(&bytes);
+        q.load_state(&mut dec).expect("load");
+        assert!(dec.is_exhausted(), "trailing bytes after fq state");
+        assert_eq!(p.virtual_time(CoreId(0)), q.virtual_time(CoreId(0)));
+        assert_eq!(p.select(&cands, &[1, 1]), q.select(&cands, &[1, 1]));
+    }
+
+    #[test]
+    fn stf_snapshot_round_trips() {
+        let mut p = StallTimeFair::new(2);
+        p.accrue(&[3, 1], 250);
+        p.note_grant(&cand(0, 0, false));
+        let mut enc = melreq_snap::Enc::new();
+        p.save_state(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut q = StallTimeFair::new(2);
+        q.load_state(&mut melreq_snap::Dec::new(&bytes)).expect("load");
+        assert_eq!(p.debt(CoreId(0)).to_bits(), q.debt(CoreId(0)).to_bits());
+        assert_eq!(p.debt(CoreId(1)).to_bits(), q.debt(CoreId(1)).to_bits());
+        let cands = [cand(5, 0, false), cand(6, 1, false)];
+        assert_eq!(p.select(&cands, &[1, 1]), q.select(&cands, &[1, 1]));
     }
 }

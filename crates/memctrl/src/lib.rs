@@ -25,12 +25,16 @@ pub mod controller;
 pub mod ext;
 pub mod policy;
 pub mod queue;
+pub mod registry;
 pub mod request;
 pub mod table;
+pub mod zoo;
 
 pub use controller::{ChannelTraffic, ControllerConfig, ControllerStats, MemoryController};
 pub use ext::{FairQueueing, StallTimeFair};
 pub use policy::{PolicyKind, SchedulerPolicy};
 pub use queue::RequestQueue;
+pub use registry::{canonical_name, registry, suggest, ParamSpec, PolicyDescriptor};
 pub use request::{MemRequest, ReqId};
 pub use table::PriorityTable;
+pub use zoo::{Bliss, TcmCluster};

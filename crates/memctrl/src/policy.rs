@@ -70,6 +70,16 @@ pub trait SchedulerPolicy: std::fmt::Debug + Send {
     /// Observe a grant (used by Round-Robin to advance its pointer).
     fn note_grant(&mut self, _granted: &Candidate) {}
 
+    /// Construction parameters as `(key, value)` pairs. Parameterized
+    /// policies (BLISS, TCM) override this so the controller can announce
+    /// the exact configuration on the audit stream — external checkers
+    /// replicate the decision rule from the name *plus* these values.
+    /// Parameter-free policies keep the empty default, which also keeps
+    /// their audit streams byte-identical to pre-registry runs.
+    fn params(&self) -> Vec<(&'static str, u64)> {
+        Vec::new()
+    }
+
     /// Receive fresh per-core memory-efficiency estimates.
     ///
     /// This is the hook for the paper's *future work*: "online methods
@@ -385,6 +395,29 @@ pub enum PolicyKind {
         /// Priority order; element 0 is the most favoured core.
         order: Vec<usize>,
     },
+    /// Start-time fair queueing over memory service
+    /// ([`crate::ext::FairQueueing`], Nesbit et al., MICRO'06-style).
+    Fq,
+    /// Stall-time-fairness heuristic ([`crate::ext::StallTimeFair`],
+    /// Mutlu & Moscibroda, MICRO'07-style).
+    Stf,
+    /// BLISS blacklisting ([`crate::zoo::Bliss`], Subramanian et al.):
+    /// cores granted too many consecutive requests are blacklisted until
+    /// the next periodic clearing.
+    Bliss {
+        /// Consecutive grants at which a core is blacklisted.
+        threshold: u32,
+        /// Grants between blacklist clearings.
+        clear_interval: u64,
+    },
+    /// TCM-style two-cluster scheduling ([`crate::zoo::TcmCluster`],
+    /// Kim et al.-style): latency-sensitive cores (few reads per
+    /// quantum) outrank bandwidth-sensitive ones, whose intra-cluster
+    /// order is periodically shuffled.
+    TcmCluster {
+        /// Grants per clustering quantum.
+        quantum: u64,
+    },
 }
 
 impl PolicyKind {
@@ -407,6 +440,10 @@ impl PolicyKind {
             PolicyKind::MeLreq => "ME-LREQ",
             PolicyKind::MeLreqOnline { .. } => "ME-LREQ-ON",
             PolicyKind::Fixed { name, .. } => name,
+            PolicyKind::Fq => "FQ",
+            PolicyKind::Stf => "STF",
+            PolicyKind::Bliss { .. } => "BLISS",
+            PolicyKind::TcmCluster { .. } => "TCM",
         }
     }
 
@@ -428,6 +465,14 @@ impl PolicyKind {
             PolicyKind::Fixed { name, order } => {
                 assert_eq!(order.len(), cores, "priority order must cover all cores");
                 Box::new(FixedPriority::from_order(name, order))
+            }
+            PolicyKind::Fq => Box::new(crate::ext::FairQueueing::new(cores)),
+            PolicyKind::Stf => Box::new(crate::ext::StallTimeFair::new(cores)),
+            PolicyKind::Bliss { threshold, clear_interval } => {
+                Box::new(crate::zoo::Bliss::new(cores, *threshold, *clear_interval))
+            }
+            PolicyKind::TcmCluster { quantum } => {
+                Box::new(crate::zoo::TcmCluster::new(cores, *quantum))
             }
         }
     }

@@ -1,0 +1,439 @@
+//! The grown scheduler zoo: policies from the paper's successor work,
+//! registered behind the same [`SchedulerPolicy`] trait as the paper's
+//! five schemes.
+//!
+//! * [`Bliss`] — BLISS-style blacklisting (Subramanian et al., see
+//!   PAPERS.md): a core granted too many *consecutive* requests is
+//!   blacklisted; non-blacklisted candidates outrank blacklisted ones,
+//!   and the blacklist is cleared every `clear_interval` grants so no
+//!   core is penalized forever.
+//! * [`TcmCluster`] — a TCM-style two-cluster scheduler (Kim et al.,
+//!   thread cluster memory scheduling): every `quantum` grants the cores
+//!   are re-clustered by their read counts over the elapsed quantum.
+//!   Cores at or below the mean form the latency-sensitive cluster and
+//!   outrank the bandwidth-sensitive rest; the bandwidth cluster's
+//!   internal order rotates each quantum (TCM's "niceness shuffle")
+//!   so no heavy core is permanently last.
+//!
+//! Both are deliberately wall-clock-free: all bookkeeping is counted in
+//! *grants*, the only time base the policy trait observes, which keeps
+//! them deterministic across kernels and snapshot/restore boundaries.
+
+use crate::policy::{Candidate, SchedulerPolicy};
+use melreq_stats::types::CoreId;
+
+/// BLISS-style blacklisting scheduler.
+///
+/// The decision rule ranks *requests* (not cores first): the candidate
+/// minimizing `(blacklisted(core), !row_hit, id)` wins — application
+/// awareness is reduced to the single blacklist bit, which is the point
+/// of BLISS ("blacklisting": simple interference control without
+/// per-core ranking hardware).
+#[derive(Debug, Clone)]
+pub struct Bliss {
+    /// Per-core blacklist bit.
+    blacklisted: Vec<bool>,
+    /// Core granted most recently (the streak owner).
+    last_core: Option<CoreId>,
+    /// Length of the current consecutive-grant streak.
+    streak: u32,
+    /// Grants since the blacklist was last cleared.
+    grants_since_clear: u64,
+    threshold: u32, // melreq-allow(S01): construction parameter, identical across snapshot peers
+    clear_interval: u64, // melreq-allow(S01): construction parameter, identical across snapshot peers
+}
+
+impl Bliss {
+    /// Blacklisting threshold used when none is given (the BLISS paper's
+    /// "blacklisting threshold" of 4 consecutive requests).
+    pub const DEFAULT_THRESHOLD: u32 = 4;
+    /// Default clearing interval, in grants.
+    pub const DEFAULT_CLEAR_INTERVAL: u64 = 10_000;
+
+    /// A blacklisting scheduler over `cores` cores.
+    ///
+    /// # Panics
+    /// Panics when `cores` is zero, `threshold` is zero, or
+    /// `clear_interval` is zero.
+    pub fn new(cores: usize, threshold: u32, clear_interval: u64) -> Self {
+        assert!(cores > 0, "need at least one core");
+        assert!(threshold > 0, "blacklist threshold must be positive");
+        assert!(clear_interval > 0, "clear interval must be positive");
+        Bliss {
+            blacklisted: vec![false; cores],
+            last_core: None,
+            streak: 0,
+            grants_since_clear: 0,
+            threshold,
+            clear_interval,
+        }
+    }
+
+    /// Whether `core` is currently blacklisted (test/diagnostic access).
+    pub fn is_blacklisted(&self, core: CoreId) -> bool {
+        self.blacklisted[core.index()]
+    }
+}
+
+impl SchedulerPolicy for Bliss {
+    fn name(&self) -> &'static str {
+        "BLISS"
+    }
+
+    fn select(&mut self, cands: &[Candidate], _pending: &[u32]) -> usize {
+        cands
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, c)| (self.blacklisted[c.core.index()], !c.row_hit, c.id))
+            .map(|(i, _)| i)
+            .expect("non-empty")
+    }
+
+    fn note_grant(&mut self, granted: &Candidate) {
+        if self.last_core == Some(granted.core) {
+            self.streak += 1;
+        } else {
+            self.last_core = Some(granted.core);
+            self.streak = 1;
+        }
+        if self.streak >= self.threshold {
+            self.blacklisted[granted.core.index()] = true;
+        }
+        self.grants_since_clear += 1;
+        if self.grants_since_clear >= self.clear_interval {
+            self.blacklisted.iter_mut().for_each(|b| *b = false);
+            self.grants_since_clear = 0;
+        }
+    }
+
+    fn params(&self) -> Vec<(&'static str, u64)> {
+        vec![("threshold", u64::from(self.threshold)), ("clear", self.clear_interval)]
+    }
+
+    fn save_state(&self, enc: &mut melreq_snap::Enc) {
+        enc.usize(self.blacklisted.len());
+        for &b in &self.blacklisted {
+            enc.bool(b);
+        }
+        enc.opt_u64(self.last_core.map(|c| u64::from(c.0)));
+        enc.u32(self.streak);
+        enc.u64(self.grants_since_clear);
+    }
+
+    fn load_state(&mut self, dec: &mut melreq_snap::Dec<'_>) -> Result<(), melreq_snap::SnapError> {
+        let n = dec.usize()?;
+        if n != self.blacklisted.len() {
+            return Err(melreq_snap::SnapError::Invalid("bliss core count mismatch"));
+        }
+        for b in &mut self.blacklisted {
+            *b = dec.bool()?;
+        }
+        self.last_core = match dec.opt_u64()? {
+            Some(raw) => {
+                let core = u16::try_from(raw)
+                    .map_err(|_| melreq_snap::SnapError::Invalid("bliss last core out of range"))?;
+                if usize::from(core) >= self.blacklisted.len() {
+                    return Err(melreq_snap::SnapError::Invalid("bliss last core out of range"));
+                }
+                Some(CoreId(core))
+            }
+            None => None,
+        };
+        self.streak = dec.u32()?;
+        self.grants_since_clear = dec.u64()?;
+        Ok(())
+    }
+}
+
+/// TCM-style two-cluster scheduler.
+///
+/// Core selection is rank-first (like the paper's core-aware schemes):
+/// the candidate core with the smallest rank wins, ties to the lower
+/// core id, and the winner's requests are served hit-first-then-oldest.
+/// Ranks are recomputed every `quantum` grants from the per-core read
+/// counts of the elapsed quantum.
+#[derive(Debug, Clone)]
+pub struct TcmCluster {
+    /// Reads granted per core during the current quantum.
+    interval_reads: Vec<u64>,
+    /// Grants observed in the current quantum.
+    grants_in_quantum: u64,
+    /// `rank[core]` — 0 is the highest priority.
+    rank: Vec<u32>,
+    /// Monotone shuffle counter rotating the bandwidth cluster's order.
+    shuffle: u64,
+    quantum: u64, // melreq-allow(S01): construction parameter, identical across snapshot peers
+}
+
+impl TcmCluster {
+    /// Clustering quantum used when none is given, in grants.
+    pub const DEFAULT_QUANTUM: u64 = 2_000;
+
+    /// A two-cluster scheduler over `cores` cores.
+    ///
+    /// # Panics
+    /// Panics when `cores` is zero or `quantum` is zero.
+    pub fn new(cores: usize, quantum: u64) -> Self {
+        assert!(cores > 0, "need at least one core");
+        assert!(quantum > 0, "clustering quantum must be positive");
+        TcmCluster {
+            interval_reads: vec![0; cores],
+            grants_in_quantum: 0,
+            rank: vec![0; cores],
+            shuffle: 0,
+            quantum,
+        }
+    }
+
+    /// The current rank vector (`rank[core]`, 0 = highest; test access).
+    pub fn ranks(&self) -> &[u32] {
+        &self.rank
+    }
+
+    /// Recompute the clustering from this quantum's read counts.
+    fn recluster(&mut self) {
+        self.rank = Self::rank_from_interval(&self.interval_reads, self.shuffle);
+        self.shuffle += 1;
+        self.interval_reads.iter_mut().for_each(|r| *r = 0);
+        self.grants_in_quantum = 0;
+    }
+
+    /// The pure clustering function: cores at or below the mean read
+    /// count form the latency cluster (ranked by ascending reads, ties
+    /// to the lower id); the bandwidth cluster follows, its ascending
+    /// order rotated by `shuffle` positions.
+    ///
+    /// Public so melreq-obs replicates the ranking from grant history
+    /// without re-running the policy (melreq-audit re-derives the same
+    /// math independently, per its no-shared-code rule).
+    pub fn rank_from_interval(interval_reads: &[u64], shuffle: u64) -> Vec<u32> {
+        let cores = interval_reads.len();
+        let total: u64 = interval_reads.iter().sum();
+        let mean = total / cores as u64;
+        let mut latency: Vec<usize> = (0..cores).filter(|&c| interval_reads[c] <= mean).collect();
+        let mut bandwidth: Vec<usize> = (0..cores).filter(|&c| interval_reads[c] > mean).collect();
+        latency.sort_by_key(|&c| (interval_reads[c], c));
+        bandwidth.sort_by_key(|&c| (interval_reads[c], c));
+        if !bandwidth.is_empty() {
+            let by = usize::try_from(shuffle % bandwidth.len() as u64).expect("rotation < len");
+            bandwidth.rotate_left(by);
+        }
+        let mut rank = vec![0u32; cores];
+        for (pos, &core) in latency.iter().chain(bandwidth.iter()).enumerate() {
+            rank[core] = u32::try_from(pos).expect("core count fits u32");
+        }
+        rank
+    }
+}
+
+impl SchedulerPolicy for TcmCluster {
+    fn name(&self) -> &'static str {
+        "TCM"
+    }
+
+    fn select(&mut self, cands: &[Candidate], _pending: &[u32]) -> usize {
+        let best_core = cands
+            .iter()
+            .map(|c| c.core)
+            .min_by_key(|c| (self.rank[c.index()], c.index()))
+            .expect("non-empty");
+        cands
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.core == best_core)
+            .min_by_key(|(_, c)| (!c.row_hit, c.id))
+            .map(|(i, _)| i)
+            .expect("selected core has a candidate")
+    }
+
+    fn note_grant(&mut self, granted: &Candidate) {
+        self.interval_reads[granted.core.index()] += 1;
+        self.grants_in_quantum += 1;
+        if self.grants_in_quantum >= self.quantum {
+            self.recluster();
+        }
+    }
+
+    fn params(&self) -> Vec<(&'static str, u64)> {
+        vec![("quantum", self.quantum)]
+    }
+
+    fn save_state(&self, enc: &mut melreq_snap::Enc) {
+        enc.u64s(&self.interval_reads);
+        enc.u64(self.grants_in_quantum);
+        enc.usize(self.rank.len());
+        for &r in &self.rank {
+            enc.u32(r);
+        }
+        enc.u64(self.shuffle);
+    }
+
+    fn load_state(&mut self, dec: &mut melreq_snap::Dec<'_>) -> Result<(), melreq_snap::SnapError> {
+        let reads = dec.u64s()?;
+        if reads.len() != self.interval_reads.len() {
+            return Err(melreq_snap::SnapError::Invalid("tcm core count mismatch"));
+        }
+        self.interval_reads = reads;
+        self.grants_in_quantum = dec.u64()?;
+        let n = dec.usize()?;
+        if n != self.rank.len() {
+            return Err(melreq_snap::SnapError::Invalid("tcm rank count mismatch"));
+        }
+        let cores = u32::try_from(self.rank.len())
+            .map_err(|_| melreq_snap::SnapError::Invalid("tcm core count out of range"))?;
+        for r in &mut self.rank {
+            let v = dec.u32()?;
+            if v >= cores {
+                return Err(melreq_snap::SnapError::Invalid("tcm rank out of range"));
+            }
+            *r = v;
+        }
+        self.shuffle = dec.u64()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::ReqId;
+
+    fn cand(id: u64, core: u16, hit: bool) -> Candidate {
+        Candidate { id: ReqId(id), core: CoreId(core), row_hit: hit }
+    }
+
+    #[test]
+    fn bliss_blacklists_after_consecutive_grants() {
+        let mut p = Bliss::new(2, 3, 1000);
+        let hog = cand(0, 0, false);
+        for _ in 0..3 {
+            p.note_grant(&hog);
+        }
+        assert!(p.is_blacklisted(CoreId(0)));
+        assert!(!p.is_blacklisted(CoreId(1)));
+        // A blacklisted core's hit loses to a clean core's miss.
+        let cands = [cand(1, 0, true), cand(5, 1, false)];
+        assert_eq!(cands[p.select(&cands, &[2, 1])].core, CoreId(1));
+    }
+
+    #[test]
+    fn bliss_streak_resets_on_interleaved_grants() {
+        let mut p = Bliss::new(2, 3, 1000);
+        p.note_grant(&cand(0, 0, false));
+        p.note_grant(&cand(1, 0, false));
+        p.note_grant(&cand(2, 1, false)); // breaks core 0's streak
+        p.note_grant(&cand(3, 0, false));
+        p.note_grant(&cand(4, 0, false));
+        assert!(!p.is_blacklisted(CoreId(0)), "streak must reset on interleave");
+        p.note_grant(&cand(5, 0, false));
+        assert!(p.is_blacklisted(CoreId(0)));
+    }
+
+    #[test]
+    fn bliss_clears_blacklist_periodically() {
+        let mut p = Bliss::new(2, 2, 4);
+        p.note_grant(&cand(0, 0, false));
+        p.note_grant(&cand(1, 0, false));
+        assert!(p.is_blacklisted(CoreId(0)));
+        p.note_grant(&cand(2, 0, false));
+        p.note_grant(&cand(3, 0, false)); // 4th grant: clearing boundary
+        assert!(!p.is_blacklisted(CoreId(0)), "blacklist must clear at the interval");
+    }
+
+    #[test]
+    fn bliss_falls_back_to_hit_first_oldest() {
+        let mut p = Bliss::new(2, 4, 1000);
+        let cands = [cand(4, 0, false), cand(7, 1, true), cand(2, 1, true)];
+        // Nobody blacklisted: hit-first-then-oldest across all cores.
+        assert_eq!(p.select(&cands, &[1, 2]), 2);
+    }
+
+    #[test]
+    fn bliss_snapshot_round_trips() {
+        let mut p = Bliss::new(2, 2, 100);
+        for i in 0..5 {
+            p.note_grant(&cand(i, 0, false));
+        }
+        let mut enc = melreq_snap::Enc::new();
+        p.save_state(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut q = Bliss::new(2, 2, 100);
+        let mut dec = melreq_snap::Dec::new(&bytes);
+        q.load_state(&mut dec).expect("load");
+        assert!(dec.is_exhausted(), "trailing bytes after bliss state");
+        let cands = [cand(10, 0, true), cand(11, 1, false)];
+        assert_eq!(p.select(&cands, &[1, 1]), q.select(&cands, &[1, 1]));
+        assert_eq!(p.is_blacklisted(CoreId(0)), q.is_blacklisted(CoreId(0)));
+    }
+
+    #[test]
+    fn bliss_load_rejects_wrong_core_count() {
+        let p = Bliss::new(4, 4, 100);
+        let mut enc = melreq_snap::Enc::new();
+        p.save_state(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut q = Bliss::new(2, 4, 100);
+        assert!(q.load_state(&mut melreq_snap::Dec::new(&bytes)).is_err());
+    }
+
+    #[test]
+    fn tcm_starts_flat_and_prefers_lower_core_id() {
+        let mut p = TcmCluster::new(2, 100);
+        let cands = [cand(3, 1, false), cand(5, 0, false)];
+        assert_eq!(cands[p.select(&cands, &[1, 1])].core, CoreId(0));
+    }
+
+    #[test]
+    fn tcm_ranks_light_cores_above_heavy_ones() {
+        let mut p = TcmCluster::new(2, 10);
+        // Core 0 takes 9 of the 10 grants in the quantum.
+        for i in 0..9 {
+            p.note_grant(&cand(i, 0, false));
+        }
+        p.note_grant(&cand(9, 1, false)); // quantum boundary: recluster
+        assert_eq!(p.ranks(), &[1, 0], "light core must outrank the heavy one");
+        let cands = [cand(20, 0, true), cand(21, 1, false)];
+        assert_eq!(cands[p.select(&cands, &[2, 1])].core, CoreId(1));
+    }
+
+    #[test]
+    fn tcm_shuffles_the_bandwidth_cluster() {
+        // Three heavy cores (above the mean) and one idle: the heavy
+        // cluster's order rotates between quanta.
+        let reads = [0u64, 10, 10, 10];
+        let r0 = TcmCluster::rank_from_interval(&reads, 0);
+        let r1 = TcmCluster::rank_from_interval(&reads, 1);
+        let r2 = TcmCluster::rank_from_interval(&reads, 2);
+        let r3 = TcmCluster::rank_from_interval(&reads, 3);
+        assert_eq!(r0[0], 0, "idle core always leads");
+        assert_ne!(r0, r1, "shuffle must rotate the bandwidth cluster");
+        assert_eq!(r0, r3, "rotation has period = cluster size");
+        assert_ne!(r1, r2);
+    }
+
+    #[test]
+    fn tcm_snapshot_round_trips() {
+        let mut p = TcmCluster::new(3, 7);
+        for i in 0..17 {
+            p.note_grant(&cand(i, u16::try_from(i % 2).expect("small"), false));
+        }
+        let mut enc = melreq_snap::Enc::new();
+        p.save_state(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut q = TcmCluster::new(3, 7);
+        q.load_state(&mut melreq_snap::Dec::new(&bytes)).expect("load");
+        assert_eq!(p.ranks(), q.ranks());
+        let cands = [cand(30, 0, false), cand(31, 1, false), cand(32, 2, true)];
+        assert_eq!(p.select(&cands, &[1, 1, 1]), q.select(&cands, &[1, 1, 1]));
+    }
+
+    #[test]
+    fn zoo_policies_report_names_and_params() {
+        let b = Bliss::new(2, 4, 10_000);
+        assert_eq!(b.name(), "BLISS");
+        assert_eq!(b.params(), vec![("threshold", 4), ("clear", 10_000)]);
+        let t = TcmCluster::new(2, 2_000);
+        assert_eq!(t.name(), "TCM");
+        assert_eq!(t.params(), vec![("quantum", 2_000)]);
+    }
+}

@@ -11,7 +11,7 @@
 //! inert.
 
 use melreq_audit::{AuditEvent, AuditHandle, AuditSink, GrantOutcome, TimingParams};
-use melreq_memctrl::PriorityTable;
+use melreq_memctrl::{Bliss, PriorityTable, TcmCluster};
 use melreq_stats::types::Cycle;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -86,6 +86,18 @@ pub struct Collector {
     table: Option<PriorityTable>,
     fixed_rank: Option<Vec<u32>>,
     rr_next: usize,
+    /// Tunable parameters announced via `PolicyParams`.
+    params: Vec<(&'static str, u64)>,
+    /// BLISS replica: blacklist bits, streak owner/length, grant count.
+    bliss_blacklisted: Vec<bool>,
+    bliss_last_core: Option<u16>,
+    bliss_streak: u64,
+    bliss_grants: u64,
+    /// TCM replica: per-quantum read counts, grant count, ranks, shuffle.
+    tcm_reads: Vec<u64>,
+    tcm_grants: u64,
+    tcm_rank: Vec<u32>,
+    tcm_shuffle: u64,
     // --- provenance ---
     pending_rule: Option<(u64, Rule, Option<RunnerUp>)>,
     totals: Vec<(String, RuleTotals)>,
@@ -114,6 +126,15 @@ impl Collector {
             table: None,
             fixed_rank: None,
             rr_next: 0,
+            params: Vec::new(),
+            bliss_blacklisted: Vec::new(),
+            bliss_last_core: None,
+            bliss_streak: 0,
+            bliss_grants: 0,
+            tcm_reads: Vec::new(),
+            tcm_grants: 0,
+            tcm_rank: Vec::new(),
+            tcm_shuffle: 0,
             pending_rule: None,
             totals: Vec::new(),
             decisions_seen: 0,
@@ -280,6 +301,55 @@ impl Collector {
         }
     }
 
+    /// The announced value of parameter `key`, or `default` when the
+    /// stream never announced one.
+    fn param(&self, key: &str, default: u64) -> u64 {
+        self.params.iter().find(|(k, _)| *k == key).map_or(default, |(_, v)| *v)
+    }
+
+    /// Advance the replica of the active policy's grant-history state
+    /// for one policy-selected (read) grant, mirroring `note_grant`.
+    fn replay_note_grant(&mut self, core: u16) {
+        match self.policy.as_str() {
+            "RR" if self.cores > 0 => {
+                self.rr_next = (usize::from(core) + 1) % self.cores;
+            }
+            "BLISS" => {
+                if self.bliss_last_core == Some(core) {
+                    self.bliss_streak += 1;
+                } else {
+                    self.bliss_last_core = Some(core);
+                    self.bliss_streak = 1;
+                }
+                let threshold = self.param("threshold", u64::from(Bliss::DEFAULT_THRESHOLD));
+                if self.bliss_streak >= threshold {
+                    if let Some(b) = self.bliss_blacklisted.get_mut(usize::from(core)) {
+                        *b = true;
+                    }
+                }
+                self.bliss_grants += 1;
+                if self.bliss_grants >= self.param("clear", Bliss::DEFAULT_CLEAR_INTERVAL) {
+                    self.bliss_blacklisted.iter_mut().for_each(|b| *b = false);
+                    self.bliss_grants = 0;
+                }
+            }
+            "TCM" => {
+                if let Some(r) = self.tcm_reads.get_mut(usize::from(core)) {
+                    *r += 1;
+                }
+                self.tcm_grants += 1;
+                if self.tcm_grants >= self.param("quantum", TcmCluster::DEFAULT_QUANTUM) {
+                    self.tcm_rank =
+                        TcmCluster::rank_from_interval(&self.tcm_reads, self.tcm_shuffle);
+                    self.tcm_shuffle += 1;
+                    self.tcm_reads.iter_mut().for_each(|r| *r = 0);
+                    self.tcm_grants = 0;
+                }
+            }
+            _ => {}
+        }
+    }
+
     fn current_totals(&mut self) -> &mut RuleTotals {
         if let Some(i) = self.totals.iter().position(|(name, _)| *name == self.policy) {
             &mut self.totals[i].1
@@ -380,14 +450,27 @@ impl AuditSink for Collector {
                 self.policy = (*policy).to_string();
                 self.read_first = *read_first;
                 // A (re-)announced policy is freshly constructed: its
-                // rotation pointer starts at core 0.
+                // rotation pointer, blacklist, and clustering all start
+                // from their initial state.
                 self.rr_next = 0;
+                self.params = Vec::new();
+                self.bliss_blacklisted = vec![false; *cores];
+                self.bliss_last_core = None;
+                self.bliss_streak = 0;
+                self.bliss_grants = 0;
+                self.tcm_reads = vec![0; *cores];
+                self.tcm_grants = 0;
+                self.tcm_rank = vec![0; *cores];
+                self.tcm_shuffle = 0;
                 self.pending_rule = None;
                 while self.tracks.len() < *cores {
                     self.tracks.push(CoreTrack::default());
                 }
                 self.prev_committed.resize(*cores, 0);
                 self.rebuild_policy_caches();
+            }
+            AuditEvent::PolicyParams { params } => {
+                self.params = params.clone();
             }
             AuditEvent::ProfileUpdate { me } => {
                 self.me = me.clone();
@@ -439,6 +522,8 @@ impl AuditSink for Collector {
                     fixed_rank: self.fixed_rank.as_deref(),
                     me: &self.me,
                     rr_next: self.rr_next,
+                    blacklisted: &self.bliss_blacklisted,
+                    tcm_rank: &self.tcm_rank,
                     cores: self.cores,
                 };
                 let (rule, runner_up) =
@@ -498,11 +583,9 @@ impl AuditSink for Collector {
                     }
                 }
                 if !*write {
-                    // Replay Round-Robin's pointer: `note_grant` fires
-                    // exactly on policy-selected (read) grants.
-                    if self.policy == "RR" && self.cores > 0 {
-                        self.rr_next = (*core as usize + 1) % self.cores;
-                    }
+                    // Replay the grant-history policy state: `note_grant`
+                    // fires exactly on policy-selected (read) grants.
+                    self.replay_note_grant(*core);
                     let core = *core as usize;
                     if core < self.tracks.len() {
                         self.tracks[core].completions.push(Reverse(*data_ready));

@@ -43,6 +43,10 @@ pub enum Rule {
     MeLreqRatio,
     /// ME-LREQ's quantized priorities tied; the seeded RNG picked.
     RandomTie,
+    /// BLISS's blacklist bit demoted the beaten core's requests.
+    BlissBlacklist,
+    /// TCM's cluster ranking picked the winning core.
+    TcmCluster,
     /// Write-drain mode: writes were being flushed ahead of reads.
     WriteDrain,
     /// No read was schedulable, so a write went out opportunistically.
@@ -54,7 +58,7 @@ pub enum Rule {
 
 impl Rule {
     /// Every rule, in report order.
-    pub const ALL: [Rule; 12] = [
+    pub const ALL: [Rule; 14] = [
         Rule::OnlyCandidate,
         Rule::ReadFirst,
         Rule::RowHitFirst,
@@ -64,6 +68,8 @@ impl Rule {
         Rule::LreqCount,
         Rule::MeLreqRatio,
         Rule::RandomTie,
+        Rule::BlissBlacklist,
+        Rule::TcmCluster,
         Rule::WriteDrain,
         Rule::WriteFallback,
         Rule::External,
@@ -81,6 +87,8 @@ impl Rule {
             Rule::LreqCount => "lreq-count",
             Rule::MeLreqRatio => "me-lreq-ratio",
             Rule::RandomTie => "random-tie",
+            Rule::BlissBlacklist => "bliss-blacklist",
+            Rule::TcmCluster => "tcm-cluster",
             Rule::WriteDrain => "write-drain",
             Rule::WriteFallback => "write-fallback",
             Rule::External => "external",
@@ -157,6 +165,10 @@ pub(crate) struct PolicyView<'a> {
     pub me: &'a [f64],
     /// Replica of Round-Robin's rotation pointer.
     pub rr_next: usize,
+    /// Replica of BLISS's per-core blacklist bits (empty otherwise).
+    pub blacklisted: &'a [bool],
+    /// Replica of TCM's per-core cluster ranks (empty otherwise).
+    pub tcm_rank: &'a [u32],
     /// Core count.
     pub cores: usize,
 }
@@ -327,6 +339,34 @@ pub(crate) fn classify(
             };
             (rule, Some(RunnerUp::of(b)))
         }
+        "BLISS" => {
+            // Request-level rule: minimize (blacklisted, !row_hit, id).
+            let bl = |c: &CandidateInfo| {
+                view.blacklisted.get(usize::from(c.core)).copied().unwrap_or(false)
+            };
+            let beaten =
+                other_reads.iter().min_by_key(|c| (bl(c), hf_key(c))).copied().expect("non-empty");
+            let rule = if bl(ci) != bl(beaten) {
+                Rule::BlissBlacklist
+            } else {
+                same_core_rule(ci, beaten)
+            };
+            (rule, Some(RunnerUp::of(beaten)))
+        }
+        "TCM" => {
+            if let Some(b) = same_core {
+                return (same_core_rule(ci, b), Some(RunnerUp::of(b)));
+            }
+            let rank_of =
+                |core: u16| view.tcm_rank.get(usize::from(core)).copied().unwrap_or(u32::MAX);
+            let beaten_core = other_reads
+                .iter()
+                .map(|c| c.core)
+                .min_by_key(|&c| (rank_of(c), c))
+                .expect("non-empty");
+            let b = cross_core(beaten_core).expect("core has a read");
+            (Rule::TcmCluster, Some(RunnerUp::of(b)))
+        }
         _ => (Rule::External, None),
     }
 }
@@ -382,6 +422,8 @@ mod tests {
             fixed_rank: None,
             me,
             rr_next: 0,
+            blacklisted: &[],
+            tcm_rank: &[],
             cores,
         }
     }
@@ -504,6 +546,33 @@ mod tests {
         let (rule, ru) = classify(&v, false, 5, &cands, &[2, 0]);
         assert_eq!(rule, Rule::RowHitFirst);
         assert_eq!(ru.map(|r| r.id), Some(2));
+    }
+
+    #[test]
+    fn bliss_attributes_blacklist_and_falls_back_to_hit_order() {
+        let mut v = view("BLISS", &[], 2);
+        let black = [true, false];
+        v.blacklisted = &black;
+        // Core 1's miss beats blacklisted core 0's older hit.
+        let cands = [cand(0, 0, false, true), cand(1, 1, false, false)];
+        let (rule, ru) = classify(&v, false, 1, &cands, &[1, 1]);
+        assert_eq!(rule, Rule::BlissBlacklist);
+        assert_eq!(ru.map(|r| r.core), Some(0));
+        // Nobody blacklisted: the row buffer decided.
+        v.blacklisted = &[];
+        let (rule, _) = classify(&v, false, 0, &cands, &[1, 1]);
+        assert_eq!(rule, Rule::RowHitFirst);
+    }
+
+    #[test]
+    fn tcm_attributes_cluster_rank() {
+        let mut v = view("TCM", &[], 2);
+        let rank = [1, 0];
+        v.tcm_rank = &rank;
+        let cands = [cand(0, 0, false, true), cand(1, 1, false, false)];
+        let (rule, ru) = classify(&v, false, 1, &cands, &[1, 1]);
+        assert_eq!(rule, Rule::TcmCluster);
+        assert_eq!(ru.map(|r| r.core), Some(0));
     }
 
     #[test]

@@ -213,16 +213,17 @@ struct Metrics {
 impl Metrics {
     fn new() -> Self {
         let registry = Registry::new();
-        let requests = ["run", "compare", "healthz", "metrics", "shutdown", "buildinfo"]
-            .into_iter()
-            .map(|ep| {
-                let c = registry.counter(
-                    &format!("melreq_requests_total{{endpoint=\"{ep}\"}}"),
-                    "Requests received, by endpoint.",
-                );
-                (ep, c)
-            })
-            .collect();
+        let requests =
+            ["run", "compare", "healthz", "metrics", "shutdown", "buildinfo", "policies"]
+                .into_iter()
+                .map(|ep| {
+                    let c = registry.counter(
+                        &format!("melreq_requests_total{{endpoint=\"{ep}\"}}"),
+                        "Requests received, by endpoint.",
+                    );
+                    (ep, c)
+                })
+                .collect();
         let responses = [200u16, 400, 404, 405, 429, 500, 504]
             .into_iter()
             .map(|code| {
@@ -898,6 +899,14 @@ impl EventLoop {
                 let body = buildinfo_json(&shared.cfg);
                 self.send(token, 200, "application/json", &[], &body);
             }
+            ("GET", "/policies") => {
+                shared.metrics.count_request("policies");
+                let body = format!(
+                    "{{\"schema_version\":{SCHEMA_VERSION},\"policies\":{}}}",
+                    melreq_core::api::registry_json()
+                );
+                self.send(token, 200, "application/json", &[], &body);
+            }
             ("POST", path @ ("/run" | "/compare")) => {
                 let endpoint = if path == "/run" { Endpoint::Run } else { Endpoint::Compare };
                 shared.metrics.count_request(endpoint.as_str());
@@ -921,7 +930,11 @@ impl EventLoop {
                     Err(e) => self.send_error(token, &e),
                 }
             }
-            (_, "/healthz" | "/metrics" | "/buildinfo" | "/shutdown" | "/run" | "/compare") => {
+            (
+                _,
+                "/healthz" | "/metrics" | "/buildinfo" | "/policies" | "/shutdown" | "/run"
+                | "/compare",
+            ) => {
                 let body = error_body(405, "usage", "method not allowed");
                 self.send(token, 405, "application/json", &[], &body);
             }

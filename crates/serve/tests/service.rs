@@ -8,7 +8,7 @@
 //! (`/shutdown`, `ServerHandle::shutdown`) cover the same code the
 //! signal handler flips.
 
-use melreq_core::api::{PolicyChoice, SimRequest, SCHEMA_VERSION};
+use melreq_core::api::{PolicyKind, SimRequest, SCHEMA_VERSION};
 use melreq_core::experiment::ExperimentOptions;
 use melreq_serve::{http, split_envelope, start, ServeConfig, ServerHandle};
 use std::time::Duration;
@@ -39,7 +39,7 @@ fn metric_value(addr: &str, name: &str) -> f64 {
 
 fn run_body(mix: &str, opts: ExperimentOptions) -> String {
     SimRequest::new(mix)
-        .policy(PolicyChoice::parse("me-lreq").expect("policy token"))
+        .policy(PolicyKind::parse("me-lreq").expect("policy token"))
         .opts(opts)
         .to_json()
 }
@@ -78,7 +78,7 @@ fn queue_overflow_sheds_429_and_the_server_recovers() {
             let addr = addr.clone();
             std::thread::spawn(move || {
                 let body = SimRequest::new("2MEM-1")
-                    .policy(PolicyChoice::parse("me-lreq").expect("policy token"))
+                    .policy(PolicyKind::parse("me-lreq").expect("policy token"))
                     .opts(ExperimentOptions::quick())
                     .max_cycles(1_000_000_000 + i)
                     .to_json();
@@ -125,7 +125,7 @@ fn expired_wall_clock_budget_returns_504() {
     let addr = handle.addr().to_string();
 
     let body = SimRequest::new("2MEM-1")
-        .policy(PolicyChoice::parse("me-lreq").expect("policy token"))
+        .policy(PolicyKind::parse("me-lreq").expect("policy token"))
         .opts(slow_opts())
         .timeout_ms(1)
         .to_json();
@@ -193,8 +193,8 @@ fn invalid_requests_are_rejected_up_front() {
     // /run is single-policy; policy sets belong on /compare.
     let multi = SimRequest::new("2MEM-1")
         .policies(vec![
-            PolicyChoice::parse("hf-rf").expect("policy token"),
-            PolicyChoice::parse("me-lreq").expect("policy token"),
+            PolicyKind::parse("hf-rf").expect("policy token"),
+            PolicyKind::parse("me-lreq").expect("policy token"),
         ])
         .opts(ExperimentOptions::quick())
         .to_json();
@@ -209,6 +209,47 @@ fn invalid_requests_are_rejected_up_front() {
     let (status, _) =
         http::exchange(&addr, "GET", "/run", None, EXCHANGE_TIMEOUT).expect("GET /run");
     assert_eq!(status, 405);
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn policies_endpoint_lists_the_registry_and_unknown_names_suggest() {
+    let handle = serve(1, 4);
+    let addr = handle.addr().to_string();
+
+    // GET /policies: the full registry, versioned, one descriptor per
+    // registered scheme with its parameter specs.
+    let (status, body) =
+        http::exchange(&addr, "GET", "/policies", None, EXCHANGE_TIMEOUT).expect("GET /policies");
+    assert_eq!(status, 200, "/policies: {body}");
+    assert!(body.starts_with(&format!("{{\"schema_version\":{SCHEMA_VERSION},\"policies\":[")));
+    for id in ["hf-rf", "me-lreq", "bliss", "tcm", "fq", "stf"] {
+        assert!(body.contains(&format!("\"id\":\"{id}\"")), "missing {id}: {body}");
+    }
+    assert!(body.contains("\"params\""), "descriptors carry parameter specs: {body}");
+    assert!(body.contains("\"threshold\""), "BLISS params missing: {body}");
+    let (status, _) =
+        http::exchange(&addr, "POST", "/policies", None, EXCHANGE_TIMEOUT).expect("POST");
+    assert_eq!(status, 405, "/policies is GET-only");
+
+    // An unknown policy name in a request 400s with a suggestion.
+    let bad = run_body("2MEM-1", ExperimentOptions::quick()).replace("me-lreq", "me-lerq");
+    let (status, body) = post_run(&addr, &bad);
+    assert_eq!(status, 400, "unknown policy: {body}");
+    assert!(body.contains("did you mean"), "nearest-name suggestion missing: {body}");
+
+    // A parameterized zoo policy resolves and runs end to end.
+    let zoo = SimRequest::new("2MEM-1")
+        .policy(PolicyKind::parse("bliss(threshold=2)").expect("policy token"))
+        .opts(ExperimentOptions::quick())
+        .to_json();
+    let (status, body) = post_run(&addr, &zoo);
+    assert_eq!(status, 200, "bliss run: {body}");
+    assert!(body.contains("\"policy\":\"BLISS\""), "report names the policy: {body}");
+    assert!(body.contains("\"harmonic_speedup\""), "fairness metrics missing: {body}");
+    assert!(body.contains("\"max_slowdown\""), "fairness metrics missing: {body}");
 
     handle.shutdown();
     handle.join();

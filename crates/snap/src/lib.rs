@@ -16,7 +16,7 @@
 /// Bump on ANY change to any crate's `save_state` encoding. Persisted
 /// checkpoints and profiles from other versions are ignored, never
 /// migrated.
-pub const SCHEMA_VERSION: u32 = 3;
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// Magic prefix of a sealed container ("MRQSNP" + 2 format bytes).
 pub const MAGIC: [u8; 8] = *b"MRQSNP\x00\x01";

@@ -58,23 +58,55 @@ pub fn unfairness(ipc_multi: &[f64], ipc_single: &[f64]) -> f64 {
     max / min
 }
 
-/// A bundle of both metrics plus the raw slowdowns, for reports.
+/// Harmonic mean of per-program speedups: `n / Σ slowdown[i]`
+/// (Luo et al.) — balances throughput and fairness in one number.
+///
+/// A starved core (infinite slowdown) yields 0.0.
+pub fn harmonic_speedup(ipc_multi: &[f64], ipc_single: &[f64]) -> f64 {
+    let sd = slowdowns(ipc_multi, ipc_single);
+    let total: f64 = sd.iter().sum();
+    if total.is_infinite() {
+        0.0
+    } else {
+        sd.len() as f64 / total
+    }
+}
+
+/// The largest per-program slowdown — the worst-treated core's factor.
+/// `f64::INFINITY` when some core starved entirely.
+pub fn max_slowdown(ipc_multi: &[f64], ipc_single: &[f64]) -> f64 {
+    slowdowns(ipc_multi, ipc_single).into_iter().fold(f64::NEG_INFINITY, f64::max)
+}
+
+/// A bundle of the fairness metrics plus the raw slowdowns, for reports.
 #[derive(Debug, Clone)]
 pub struct FairnessReport {
     /// SMT speedup (higher is better; ideal = number of cores).
     pub smt_speedup: f64,
+    /// Weighted speedup: `Σ IPC_multi[i] / IPC_single[i]` — the same sum
+    /// as SMT speedup, reported under its scheduling-literature name so
+    /// cross-paper comparisons read naturally.
+    pub weighted_speedup: f64,
+    /// Harmonic mean of speedups (higher is better; ideal = 1.0).
+    pub harmonic_speedup: f64,
     /// Unfairness ratio (lower is better; ideal = 1.0).
     pub unfairness: f64,
+    /// Largest per-core slowdown (lower is better; ideal = 1.0).
+    pub max_slowdown: f64,
     /// Per-core slowdown factors.
     pub slowdowns: Vec<f64>,
 }
 
 impl FairnessReport {
-    /// Compute both metrics from per-core multi-core and single-core IPCs.
+    /// Compute every metric from per-core multi-core and single-core IPCs.
     pub fn compute(ipc_multi: &[f64], ipc_single: &[f64]) -> Self {
+        let speedup = smt_speedup(ipc_multi, ipc_single);
         FairnessReport {
-            smt_speedup: smt_speedup(ipc_multi, ipc_single),
+            smt_speedup: speedup,
+            weighted_speedup: speedup,
+            harmonic_speedup: harmonic_speedup(ipc_multi, ipc_single),
             unfairness: unfairness(ipc_multi, ipc_single),
+            max_slowdown: max_slowdown(ipc_multi, ipc_single),
             slowdowns: slowdowns(ipc_multi, ipc_single),
         }
     }
@@ -120,7 +152,18 @@ mod tests {
         let r = FairnessReport::compute(&[0.5, 1.0], &[1.0, 1.0]);
         assert_eq!(r.slowdowns.len(), 2);
         assert!((r.smt_speedup - 1.5).abs() < 1e-12);
+        assert!((r.weighted_speedup - 1.5).abs() < 1e-12);
         assert!((r.unfairness - 2.0).abs() < 1e-12);
+        // Slowdowns 2.0 and 1.0: harmonic speedup = 2 / 3, max slowdown 2.0.
+        assert!((r.harmonic_speedup - 2.0 / 3.0).abs() < 1e-12);
+        assert!((r.max_slowdown - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn harmonic_speedup_handles_starvation() {
+        assert_eq!(harmonic_speedup(&[0.0, 1.0], &[1.0, 1.0]), 0.0);
+        assert!((harmonic_speedup(&[1.0, 1.0], &[1.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert!(max_slowdown(&[0.0, 1.0], &[1.0, 1.0]).is_infinite());
     }
 
     #[test]
